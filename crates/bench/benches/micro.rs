@@ -1,0 +1,220 @@
+//! Criterion micro-benchmarks: one group per experiment axis, measuring
+//! the steady-state primitive each experiment's wall-clock numbers rest
+//! on. The experiment binaries (`src/bin/e*.rs`) produce the paper-shaped
+//! tables; these benches give stable per-operation numbers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use streamrel_baseline::{MiniMr, MrConfig, StoreFirst};
+use streamrel_core::{Db, DbOptions};
+use streamrel_types::time::MINUTES;
+use streamrel_types::Row;
+use streamrel_workload::{ClickstreamGen, NetsecGen};
+
+/// E1/E2 axis: cost of answering the report — batch scan vs active lookup.
+fn bench_report_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_report_latency");
+    for &n in &[10_000usize, 50_000] {
+        // Store-first setup.
+        let mut sf = StoreFirst::new(&NetsecGen::create_table_sql("raw"), "raw").unwrap();
+        let mut gen = NetsecGen::new(1, 2_000, 0, 10_000);
+        let rows = gen.take_rows(n);
+        sf.load(rows.clone()).unwrap();
+        let report = NetsecGen::report_sql("raw");
+        group.bench_with_input(BenchmarkId::new("batch_scan", n), &n, |b, _| {
+            b.iter(|| sf.run_report(&report).unwrap())
+        });
+
+        // Continuous setup.
+        let db = Db::in_memory(DbOptions::default());
+        db.execute(&NetsecGen::create_stream_sql("events")).unwrap();
+        db.execute(
+            "CREATE TABLE deny_report (src_ip varchar(40), denies bigint, \
+             total_bytes bigint, w timestamp)",
+        )
+        .unwrap();
+        db.execute(&NetsecGen::continuous_sql("events", "deny_now", "1 minute"))
+            .unwrap();
+        db.execute("CREATE CHANNEL ch FROM deny_now INTO deny_report APPEND")
+            .unwrap();
+        db.ingest_batch("events", rows).unwrap();
+        db.heartbeat("events", gen.clock() + MINUTES).unwrap();
+        group.bench_with_input(BenchmarkId::new("active_lookup", n), &n, |b, _| {
+            b.iter(|| {
+                db.execute(
+                    "SELECT src_ip, sum(denies) d FROM deny_report \
+                     GROUP BY src_ip ORDER BY d DESC LIMIT 20",
+                )
+                .unwrap()
+                .rows()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E3 axis: per-tuple ingest cost with N CQs, shared vs unshared.
+fn bench_ingest_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_ingest_per_tuple");
+    group.sample_size(10);
+    for &n_cqs in &[1usize, 16] {
+        for sharing in [false, true] {
+            let label = format!("{}cq_{}", n_cqs, if sharing { "shared" } else { "unshared" });
+            group.bench_function(BenchmarkId::new("ingest_10k", label), |b| {
+                b.iter_batched(
+                    || {
+                        let opts = if sharing {
+                            DbOptions::default()
+                        } else {
+                            DbOptions::default().without_sharing()
+                        };
+                        let db = Db::in_memory(opts);
+                        db.execute(&ClickstreamGen::create_stream_sql("clicks")).unwrap();
+                        for i in 0..n_cqs {
+                            db.execute(&format!(
+                                "SELECT url, count(*) c FROM clicks \
+                                 <VISIBLE '{} minutes' ADVANCE '1 minute'> GROUP BY url",
+                                1 + i % 4
+                            ))
+                            .unwrap();
+                        }
+                        let mut gen = ClickstreamGen::new(3, 1_000, 0, 5_000);
+                        (db, gen.take_rows(10_000))
+                    },
+                    |(db, rows): (Db, Vec<Row>)| db.ingest_batch("clicks", rows).unwrap(),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+/// E4 axis: one MV full refresh vs one window close at equal data volume.
+fn bench_refresh_vs_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_refresh_vs_window");
+    group.sample_size(20);
+    let n = 60_000usize; // one minute at 1k/s
+    group.bench_function("mv_full_refresh_60k_rows", |b| {
+        b.iter_batched(
+            || {
+                let mut mv = streamrel_baseline::BatchMatView::new(
+                    &ClickstreamGen::create_table_sql("raw"),
+                    "raw",
+                    "atime",
+                    "CREATE TABLE v (url varchar(1024), c bigint)",
+                    "v",
+                    "SELECT url, count(*) c FROM raw GROUP BY url",
+                    streamrel_baseline::RefreshMode::Full,
+                )
+                .unwrap();
+                let mut gen = ClickstreamGen::new(4, 1_000, 0, 1_000);
+                mv.load(gen.take_rows(n)).unwrap();
+                (mv, gen.clock())
+            },
+            |(mut mv, now)| mv.refresh(now).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("cq_window_close_60k_rows", |b| {
+        b.iter_batched(
+            || {
+                let db = Db::in_memory(DbOptions::default());
+                db.execute(&ClickstreamGen::create_stream_sql("clicks")).unwrap();
+                db.execute(
+                    "CREATE STREAM agg AS SELECT url, count(*) c, cq_close(*) w \
+                     FROM clicks <TUMBLING '1 minute'> GROUP BY url",
+                )
+                .unwrap();
+                let mut gen = ClickstreamGen::new(4, 1_000, 0, 1_000);
+                db.ingest_batch("clicks", gen.take_rows(n)).unwrap();
+                (db, gen.clock() + MINUTES)
+            },
+            |(db, end)| db.heartbeat("clicks", end).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// E5 axis: one full mini-MR job over stored rows.
+fn bench_minimr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_minimr_job");
+    group.sample_size(10);
+    let mut gen = NetsecGen::new(5, 2_000, 0, 10_000);
+    let rows = gen.take_rows(100_000);
+    group.bench_function("grouped_sum_100k_in_memory", |b| {
+        let mut mr = MiniMr::new(MrConfig::default());
+        b.iter(|| mr.run_grouped_sum(&rows, MiniMr::netsec_deny_map).unwrap())
+    });
+    group.finish();
+}
+
+/// E7 axis: storage recovery (WAL replay) cost.
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_wal_replay");
+    group.sample_size(10);
+    let dir = std::env::temp_dir().join(format!("streamrel-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        db.execute(&ClickstreamGen::create_table_sql("raw")).unwrap();
+        let id = db.engine().table_id("raw").unwrap();
+        let mut gen = ClickstreamGen::new(6, 1_000, 0, 1_000);
+        let rows = gen.take_rows(20_000);
+        db.engine()
+            .with_txn(|x| db.engine().insert_many(x, id, rows))
+            .unwrap();
+    }
+    group.bench_function("open_with_20k_row_wal", |b| {
+        b.iter(|| Db::open(&dir, DbOptions::default()).unwrap())
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// F1/E8 axis: snapshot query execution primitives.
+fn bench_sql_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_primitives");
+    let db = Db::in_memory(DbOptions::default());
+    db.execute("CREATE TABLE t (k varchar(16), v integer, ts timestamp)").unwrap();
+    let id = db.engine().table_id("t").unwrap();
+    let mut gen = ClickstreamGen::new(7, 100, 0, 1_000);
+    let rows: Vec<Row> = gen
+        .take_rows(50_000)
+        .into_iter()
+        .map(|r| vec![r[0].clone(), streamrel_types::Value::Int(1), r[1].clone()])
+        .collect();
+    db.engine()
+        .with_txn(|x| db.engine().insert_many(x, id, rows))
+        .unwrap();
+    group.bench_function("parse_analyze_example2", |b| {
+        b.iter(|| {
+            streamrel_sql::parse_statement(
+                "SELECT url, count(*) url_count \
+                 FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'> \
+                 GROUP by url ORDER by url_count desc LIMIT 10",
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("scan_filter_agg_50k", |b| {
+        b.iter(|| {
+            db.execute("SELECT k, sum(v) s FROM t WHERE v > 0 GROUP BY k ORDER BY s DESC LIMIT 10")
+                .unwrap()
+                .rows()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_report_latency,
+    bench_ingest_sharing,
+    bench_refresh_vs_window,
+    bench_minimr,
+    bench_recovery,
+    bench_sql_primitives
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! E2 — §1.1 "Network Effect #1: More Data": as stored volume grows 10x,
+//! store-first report latency grows ~linearly (it re-scans everything),
+//! while the continuous path's report latency stays flat and its ingest
+//! cost stays per-tuple.
+//!
+//! Output: latency of answering "current top URLs" at several total
+//! volumes, under both architectures, plus per-architecture growth
+//! factors.
+
+use streamrel_baseline::StoreFirst;
+use streamrel_bench::{fmt_dur, growth_factor, scale, timed, ResultTable};
+use streamrel_core::{Db, DbOptions};
+use streamrel_workload::ClickstreamGen;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E2: §1.1 data growth sweep — report latency vs total volume\n");
+    let sizes: Vec<usize> = [30_000usize, 100_000, 300_000, 1_000_000]
+        .iter()
+        .map(|n| n * scale())
+        .collect();
+
+    let report = "SELECT url, count(*) c FROM raw GROUP BY url ORDER BY c DESC LIMIT 10";
+    let mut table = ResultTable::new(&[
+        "total rows",
+        "store-first report",
+        "continuous lookup",
+        "cont per-tuple ingest",
+    ]);
+    let mut batch_lat = Vec::new();
+    let mut cont_lat = Vec::new();
+
+    for &n in &sizes {
+        // Store-first.
+        let mut sf = StoreFirst::new(&ClickstreamGen::create_table_sql("raw"), "raw")?;
+        let mut gen = ClickstreamGen::new(21, 5_000, 0, 10_000);
+        let rows = gen.take_rows(n);
+        sf.load(rows.clone())?;
+        let (_, t_batch) = timed(|| sf.run_report(report).unwrap());
+
+        // Continuous: per-minute top-URL counts into an active table;
+        // the "current report" reads the last windows.
+        let db = Db::in_memory(DbOptions::default());
+        db.execute(&ClickstreamGen::create_stream_sql("clicks"))?;
+        db.execute("CREATE TABLE tops (url varchar(1024), c bigint, w timestamp)")?;
+        db.execute(
+            "CREATE STREAM top_now AS SELECT url, count(*) c, cq_close(*) w \
+             FROM clicks <TUMBLING '1 minute'> GROUP BY url",
+        )?;
+        db.execute("CREATE CHANNEL ch FROM top_now INTO tops REPLACE")?;
+        let clock = gen.clock();
+        let (_, t_ingest) = timed(|| {
+            for chunk in rows.chunks(20_000) {
+                db.ingest_batch("clicks", chunk.to_vec()).unwrap();
+            }
+            db.heartbeat("clicks", clock + 60_000_000).unwrap();
+        });
+        let (_, t_cont) = timed(|| {
+            db.execute("SELECT url, c FROM tops ORDER BY c DESC LIMIT 10")
+                .unwrap()
+                .rows()
+        });
+
+        batch_lat.push(t_batch.as_secs_f64());
+        cont_lat.push(t_cont.as_secs_f64());
+        table.row(&[
+            n.to_string(),
+            fmt_dur(t_batch),
+            fmt_dur(t_cont),
+            format!("{:.2}µs", t_ingest.as_micros() as f64 / n as f64),
+        ]);
+    }
+    table.print();
+
+    let steps = sizes.len();
+    let volume_growth = growth_factor(&sizes.iter().map(|&s| s as f64).collect::<Vec<_>>());
+    let batch_growth = growth_factor(&batch_lat);
+    let cont_growth = growth_factor(&cont_lat);
+    println!(
+        "\nper-step growth over {} steps: volume {volume_growth:.1}x, \
+         store-first latency {batch_growth:.2}x, continuous lookup {cont_growth:.2}x",
+        steps - 1
+    );
+    println!(
+        "shape check: store-first tracks volume (≈{volume_growth:.1}x/step); \
+         the continuous lookup must grow far slower."
+    );
+    assert!(
+        batch_growth > cont_growth * 1.3,
+        "store-first must degrade faster than continuous \
+         (batch {batch_growth:.2} vs cont {cont_growth:.2})"
+    );
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! E8 — two correctness/latency properties the paper asserts:
+//!
+//! 1. §3.2: "results are always available within at most one \[ADVANCE]" —
+//!    we measure, for every window, the lag between its close timestamp
+//!    and the event time at which its result materialized in the Active
+//!    Table.
+//! 2. §4 window consistency (ref \[6]): "updates to tables are visible
+//!    only on window boundaries" — under a dimension table being updated
+//!    every half window, each window's join output must reflect exactly
+//!    one dimension version (never a mix), and the QueryStart ablation
+//!    must show unbounded staleness instead.
+
+use streamrel_bench::{scale, ResultTable};
+use streamrel_core::{Db, DbOptions};
+use streamrel_cq::ConsistencyMode;
+use streamrel_types::time::MINUTES;
+use streamrel_types::Value;
+use streamrel_workload::ClickstreamGen;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E8: result availability + window consistency\n");
+
+    // ---------------- Part 1: availability lag ----------------
+    let minutes = 15 * scale() as i64;
+    let rate = 1_000u64;
+    let db = Db::in_memory(DbOptions::default());
+    db.execute(&ClickstreamGen::create_stream_sql("clicks"))?;
+    db.execute("CREATE TABLE agg (url varchar(1024), c bigint, w timestamp)")?;
+    db.execute(
+        "CREATE STREAM per_min AS SELECT url, count(*) c, cq_close(*) w \
+         FROM clicks <TUMBLING '1 minute'> GROUP BY url",
+    )?;
+    db.execute("CREATE CHANNEL ch FROM per_min INTO agg APPEND")?;
+    // Observe availability through a subscription to the same derived
+    // stream: a window's result is archived/delivered synchronously, so
+    // its availability lag in event time is the timestamp of the tuple
+    // whose arrival closed it, minus the window close boundary.
+    let watch = db
+        .execute("SELECT c FROM per_min <SLICES 1 WINDOWS>")?
+        .subscription();
+
+    let mut gen = ClickstreamGen::new(81, 1_000, 0, rate);
+    let mut lags_us: Vec<i64> = Vec::new();
+    let total = (rate as i64 * 60 * minutes) as usize;
+    for _ in 0..total {
+        let row = gen.next_row();
+        let now = row[1].as_timestamp()?;
+        db.ingest("clicks", row)?;
+        for out in db.poll(watch)? {
+            lags_us.push(now - out.close);
+        }
+    }
+    let max_lag = lags_us.iter().copied().max().unwrap_or(0);
+    let avg_lag = lags_us.iter().sum::<i64>() as f64 / lags_us.len().max(1) as f64;
+    let mut t1 = ResultTable::new(&["windows", "avg availability lag", "max lag", "bound (ADVANCE)"]);
+    t1.row(&[
+        lags_us.len().to_string(),
+        format!("{:.1}ms", avg_lag / 1_000.0),
+        format!("{:.1}ms", max_lag as f64 / 1_000.0),
+        "60000ms".into(),
+    ]);
+    t1.print();
+    // A window's result lands with the first tuple past the boundary: at
+    // 1000 ev/s the expected lag is ~1ms of event time, far below one
+    // ADVANCE.
+    assert!(
+        max_lag < MINUTES,
+        "availability within one ADVANCE (max {max_lag}µs)"
+    );
+
+    // ---------------- Part 2: window consistency ----------------
+    println!("\nwindow consistency under concurrent dimension updates:");
+    let mut t2 = ResultTable::new(&["mode", "windows", "pure windows", "mixed windows", "stale windows"]);
+    for (label, mode) in [
+        ("window-boundary (paper)", ConsistencyMode::WindowBoundary),
+        ("query-start (ablation)", ConsistencyMode::QueryStart),
+    ] {
+        let db = Db::in_memory(DbOptions::default().with_consistency(mode));
+        db.execute("CREATE STREAM s (k varchar(8), ts timestamp CQTIME USER)")?;
+        db.execute("CREATE TABLE dim (k varchar(8), version integer)")?;
+        db.execute("INSERT INTO dim VALUES ('a', 0)")?;
+        let sub = db
+            .execute(
+                "SELECT s.k, min(d.version) vmin, max(d.version) vmax, count(*) c \
+                 FROM s <TUMBLING '1 minute'> s JOIN dim d ON s.k = d.k \
+                 GROUP BY s.k",
+            )?
+            .subscription();
+        let windows = 12i64;
+        for m in 0..windows {
+            // Tuples throughout the window.
+            for i in 0..10 {
+                db.ingest(
+                    "s",
+                    vec![Value::text("a"), Value::Timestamp(m * MINUTES + i * 5_000_000 + 1)],
+                )?;
+            }
+            // Mid-window dimension update (version = minute index + 1).
+            db.execute("DELETE FROM dim WHERE k = 'a'")?;
+            db.execute(&format!("INSERT INTO dim VALUES ('a', {})", m + 1))?;
+        }
+        db.heartbeat("s", windows * MINUTES)?;
+        let outs = db.poll(sub)?;
+        let mut pure = 0;
+        let mut mixed = 0;
+        let mut stale = 0;
+        for (i, o) in outs.iter().enumerate() {
+            let r = &o.relation.rows()[0];
+            let (vmin, vmax) = (r[1].as_int()?, r[2].as_int()?);
+            if vmin != vmax {
+                mixed += 1;
+            } else if mode == ConsistencyMode::QueryStart && i > 0 && vmin == 0 {
+                stale += 1;
+                pure += 1;
+            } else {
+                pure += 1;
+            }
+        }
+        t2.row(&[
+            label.into(),
+            outs.len().to_string(),
+            pure.to_string(),
+            mixed.to_string(),
+            stale.to_string(),
+        ]);
+        // Both modes are internally consistent per window (a pinned
+        // snapshot can never mix versions)...
+        assert_eq!(mixed, 0, "{label}: no window may mix dimension versions");
+        if mode == ConsistencyMode::QueryStart {
+            // ...but query-start pinning serves version 0 forever.
+            assert!(stale >= 10, "{label}: ablation must show staleness");
+        }
+    }
+    t2.print();
+    println!(
+        "\nshape check: window-boundary mode gives each window exactly the \
+         dimension version current at its boundary; the query-start \
+         ablation never sees any update (stale), and neither mode ever \
+         mixes versions inside one window (§4's continuous isolation)."
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Database configuration.
+
+use streamrel_cq::ConsistencyMode;
+use streamrel_storage::SyncMode;
+use streamrel_types::Interval;
+
+/// Tuning knobs for a [`crate::Db`]. The defaults are the paper's design
+/// points; the alternatives exist for the ablation experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct DbOptions {
+    /// Pool compatible aggregate CQs into shared slice groups (§2.2
+    /// "Jellybean processing"). Ablated by experiment E3.
+    pub sharing: bool,
+    /// Snapshot policy for table reads inside CQs (window consistency, §4).
+    /// Ablated by experiment E8.
+    pub consistency: ConsistencyMode,
+    /// WAL durability for durable databases.
+    pub sync: SyncMode,
+    /// Out-of-order slack per stream (µs). 0 enforces strict CQTIME order;
+    /// positive values insert a reorder buffer.
+    pub slack: Interval,
+}
+
+impl Default for DbOptions {
+    fn default() -> DbOptions {
+        DbOptions {
+            sharing: true,
+            consistency: ConsistencyMode::WindowBoundary,
+            sync: SyncMode::Flush,
+            slack: 0,
+        }
+    }
+}
+
+impl DbOptions {
+    /// Disable CQ sharing (ablation baseline).
+    pub fn without_sharing(mut self) -> DbOptions {
+        self.sharing = false;
+        self
+    }
+
+    /// Set the out-of-order slack.
+    pub fn with_slack(mut self, slack: Interval) -> DbOptions {
+        self.slack = slack;
+        self
+    }
+
+    /// Set the consistency mode.
+    pub fn with_consistency(mut self, mode: ConsistencyMode) -> DbOptions {
+        self.consistency = mode;
+        self
+    }
+
+    /// Set the WAL sync mode.
+    pub fn with_sync(mut self, sync: SyncMode) -> DbOptions {
+        self.sync = sync;
+        self
+    }
+}

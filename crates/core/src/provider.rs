@@ -1,0 +1,49 @@
+//! SchemaProvider over the database catalog: resolves names to tables
+//! (storage engine), base streams, derived streams and views.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use streamrel_sql::analyzer::{RelKind, SchemaProvider};
+use streamrel_sql::plan::SchemaRef;
+use streamrel_storage::StorageEngine;
+
+/// Stream metadata the provider needs.
+#[derive(Debug, Clone)]
+pub struct StreamDecl {
+    pub schema: SchemaRef,
+    pub cqtime: Option<usize>,
+}
+
+/// Snapshot of the name space used during one analysis.
+pub struct CatalogProvider<'a> {
+    pub engine: &'a Arc<StorageEngine>,
+    pub streams: &'a HashMap<String, StreamDecl>,
+    pub deriveds: &'a HashMap<String, StreamDecl>,
+    pub views: &'a HashMap<String, String>,
+}
+
+impl SchemaProvider for CatalogProvider<'_> {
+    fn relation(&self, name: &str) -> Option<(SchemaRef, RelKind)> {
+        let key = name.to_ascii_lowercase();
+        if let Some(s) = self.streams.get(&key) {
+            return Some((s.schema.clone(), RelKind::Stream { cqtime: s.cqtime }));
+        }
+        if let Some(d) = self.deriveds.get(&key) {
+            return Some((
+                d.schema.clone(),
+                RelKind::DerivedStream { cqtime: d.cqtime },
+            ));
+        }
+        if let Some(sql) = self.views.get(&key) {
+            return Some((
+                Arc::new(streamrel_types::Schema::empty()),
+                RelKind::View { sql: sql.clone() },
+            ));
+        }
+        if let Ok(schema) = self.engine.table_schema(name) {
+            return Some((schema, RelKind::Table));
+        }
+        None
+    }
+}

@@ -1,0 +1,72 @@
+//! Client-facing continuous query results.
+//!
+//! A continuous `SELECT` does not return rows: it returns a
+//! [`SubscriptionId`]; window results accumulate in a queue drained with
+//! [`crate::Db::poll`]. This is the paper's §3.1 contract — "CQs produce
+//! answers incrementally and run until they are explicitly terminated" —
+//! and its §3.2 note that results of an always-on derived stream are
+//! available as soon as a client reconnects.
+
+use std::collections::VecDeque;
+
+use streamrel_cq::CqOutput;
+
+/// Identifies one client subscription within a [`crate::Db`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriptionId(pub u64);
+
+/// Queue of undelivered window results for one subscription.
+#[derive(Debug, Default)]
+pub struct Subscription {
+    queue: VecDeque<CqOutput>,
+    delivered: u64,
+}
+
+impl Subscription {
+    /// Append a window result.
+    pub fn offer(&mut self, out: CqOutput) {
+        self.queue.push_back(out);
+    }
+
+    /// Drain all queued results.
+    pub fn drain(&mut self) -> Vec<CqOutput> {
+        let out: Vec<CqOutput> = self.queue.drain(..).collect();
+        self.delivered += out.len() as u64;
+        out
+    }
+
+    /// Undelivered window count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total delivered window count.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use streamrel_types::{Column, DataType, Relation, Schema};
+
+    #[test]
+    fn queue_drains_in_order() {
+        let mut s = Subscription::default();
+        let schema = Arc::new(Schema::new(vec![Column::new("x", DataType::Int)]).unwrap());
+        for close in [10, 20] {
+            s.offer(CqOutput {
+                close,
+                relation: Relation::empty(schema.clone()),
+            });
+        }
+        assert_eq!(s.pending(), 2);
+        let got = s.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].close, 10);
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.delivered(), 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! Continuous-query runtime: the paper's primary contribution.
+//!
+//! A continuous query (CQ) runs a standard relational plan incrementally
+//! over a stream: the window machinery ([`window`]) turns the unbounded
+//! stream into a sequence of finite relations (Figure 1 / RSTREAM), the
+//! runtime ([`runtime`]) executes the plan once per window — reusing
+//! `streamrel-exec`'s ordinary operators, per §4 — and the sharing layer
+//! ([`shared`]) collapses the per-tuple work of many aggregate CQs into one
+//! pass ("Jellybean processing", §2.2, refs [4, 12]).
+//!
+//! Window consistency (§4, ref \[6]) lives in [`consistency`]: table reads
+//! inside a CQ see one MVCC snapshot pinned per window, so concurrent
+//! updates become visible only at window boundaries. Recovery helpers in
+//! [`recovery`] rebuild runtime state from Active-Table watermarks instead
+//! of operator checkpoints (§4).
+
+pub mod consistency;
+pub mod ordering;
+pub mod recovery;
+pub mod runtime;
+pub mod shared;
+pub mod window;
+
+pub use consistency::{ConsistencyMode, SnapshotSource};
+pub use ordering::ReorderBuffer;
+pub use runtime::{ContinuousQuery, CqOutput, CqStats, ExecMode};
+pub use shared::{SharedGroup, SharedRegistry};
+pub use window::{ClosedWindow, WindowBuffer};

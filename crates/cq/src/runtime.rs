@@ -1,0 +1,691 @@
+//! The continuous-query runtime.
+//!
+//! A [`ContinuousQuery`] wraps one bound plan containing a single
+//! `StreamScan`. Tuples (or, for `<SLICES>` windows, upstream result
+//! batches) are pushed in; whenever a window closes, the relational plan
+//! runs over the window relation with the window's close timestamp as
+//! `cq_close(*)` and — if the plan reads tables — a fresh MVCC snapshot
+//! pinned at the boundary (window consistency, §4). Each closed window
+//! yields a [`CqOutput`]; the concatenation of outputs is the CQ's result
+//! stream (§3.1: "a query that produces a stream never ends").
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use streamrel_exec::{execute, ExecContext, RelationSource};
+use streamrel_sql::analyzer::AnalyzedQuery;
+use streamrel_sql::plan::{LogicalPlan, WindowSpec};
+use streamrel_storage::{Snapshot, StorageEngine};
+use streamrel_types::{Error, Relation, Result, Row, Timestamp};
+
+use crate::consistency::{ConsistencyMode, SnapshotSource};
+use crate::shared::{extract_shape, MemberId, SharedGroup, SharedRegistry, SHARED_INPUT};
+use crate::window::{ClosedWindow, WindowBuffer};
+
+/// One window's result.
+#[derive(Debug, Clone)]
+pub struct CqOutput {
+    /// The window close timestamp (`cq_close(*)`).
+    pub close: Timestamp,
+    /// The result relation for this window.
+    pub relation: Relation,
+}
+
+/// Runtime counters for one CQ.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CqStats {
+    /// Tuples pushed in.
+    pub tuples_in: u64,
+    /// Windows emitted.
+    pub windows_out: u64,
+    /// Total result rows emitted.
+    pub rows_out: u64,
+}
+
+/// How the CQ computes window results.
+pub enum ExecMode {
+    /// Buffer raw tuples per window; run the whole plan at each close.
+    Unshared { buffer: WindowBuffer },
+    /// Aggregate into shared slices; at close, compose the aggregate
+    /// output from slices and run only the post-aggregation plan.
+    Shared {
+        group: Arc<Mutex<SharedGroup>>,
+        member: MemberId,
+        post_plan: LogicalPlan,
+        visible: i64,
+        advance: i64,
+        next_close: Option<Timestamp>,
+        max_ts: Timestamp,
+    },
+}
+
+/// A running continuous query.
+pub struct ContinuousQuery {
+    name: String,
+    plan: LogicalPlan,
+    stream: String,
+    window: WindowSpec,
+    cqtime: Option<usize>,
+    engine: Arc<StorageEngine>,
+    consistency: ConsistencyMode,
+    /// Snapshot pinned at CQ start (QueryStart consistency mode only).
+    start_snapshot: Option<Snapshot>,
+    mode: ExecMode,
+    stats: CqStats,
+}
+
+impl ContinuousQuery {
+    /// Build a CQ from an analyzed continuous query. The plan must contain
+    /// exactly one `StreamScan` (enforced by the analyzer).
+    pub fn new(
+        name: impl Into<String>,
+        analyzed: &AnalyzedQuery,
+        engine: Arc<StorageEngine>,
+        consistency: ConsistencyMode,
+    ) -> Result<ContinuousQuery> {
+        if !analyzed.is_continuous {
+            return Err(Error::stream(
+                "snapshot query given to the CQ runtime; execute it directly",
+            ));
+        }
+        let mut scan = None;
+        analyzed.plan.visit(&mut |p| {
+            if let LogicalPlan::StreamScan {
+                stream,
+                window,
+                cqtime,
+                ..
+            } = p
+            {
+                scan = Some((stream.clone(), *window, *cqtime));
+            }
+        });
+        let (stream, window, cqtime) =
+            scan.ok_or_else(|| Error::stream("continuous plan has no stream scan"))?;
+        let buffer = WindowBuffer::new(window, cqtime)?;
+        let start_snapshot = match consistency {
+            ConsistencyMode::QueryStart => Some(engine.snapshot()),
+            ConsistencyMode::WindowBoundary => None,
+        };
+        Ok(ContinuousQuery {
+            name: name.into(),
+            plan: analyzed.plan.clone(),
+            stream,
+            window,
+            cqtime,
+            engine,
+            consistency,
+            start_snapshot,
+            mode: ExecMode::Unshared { buffer },
+            stats: CqStats::default(),
+        })
+    }
+
+    /// The CQ's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The source stream name.
+    pub fn stream(&self) -> &str {
+        &self.stream
+    }
+
+    /// The window spec.
+    pub fn window(&self) -> WindowSpec {
+        self.window
+    }
+
+    /// Output schema of each window result.
+    pub fn output_schema(&self) -> streamrel_sql::plan::SchemaRef {
+        self.plan.schema()
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> CqStats {
+        self.stats
+    }
+
+    /// True if this CQ runs in shared-slice mode.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.mode, ExecMode::Shared { .. })
+    }
+
+    /// Attempt to convert this CQ to shared-slice execution through the
+    /// registry. Returns true on success. Must be called before any tuple
+    /// flows (re-slicing live groups is refused).
+    pub fn try_share(&mut self, registry: &mut SharedRegistry) -> bool {
+        if self.stats.tuples_in > 0 {
+            return false;
+        }
+        let WindowSpec::Time { visible, advance } = self.window else {
+            return false;
+        };
+        let Some((shape, post_plan)) = extract_shape(&self.plan) else {
+            return false;
+        };
+        let group = registry.group_for(shape);
+        let member = match group.lock().register(visible, advance) {
+            Ok(m) => m,
+            Err(_) => return false,
+        };
+        self.mode = ExecMode::Shared {
+            group,
+            member,
+            post_plan,
+            visible,
+            advance,
+            next_close: None,
+            max_ts: i64::MIN,
+        };
+        true
+    }
+
+    /// In shared mode, the group the CQ belongs to (the orchestrator feeds
+    /// tuples to each distinct group once).
+    pub fn shared_group(&self) -> Option<Arc<Mutex<SharedGroup>>> {
+        match &self.mode {
+            ExecMode::Shared { group, .. } => Some(group.clone()),
+            ExecMode::Unshared { .. } => None,
+        }
+    }
+
+    /// Push one tuple.
+    ///
+    /// Unshared mode: the tuple is buffered and any windows it closes are
+    /// executed. Shared mode: the tuple is assumed already folded into the
+    /// group by the orchestrator (once per group!); this call only advances
+    /// this member's window boundaries.
+    pub fn on_tuple(&mut self, row: Row) -> Result<Vec<CqOutput>> {
+        self.stats.tuples_in += 1;
+        match &mut self.mode {
+            ExecMode::Unshared { buffer } => {
+                let closes = buffer.push(row)?;
+                self.run_windows(closes)
+            }
+            ExecMode::Shared { .. } => {
+                let ts = match self.cqtime {
+                    Some(i) => row
+                        .get(i)
+                        .ok_or_else(|| Error::stream("row too short for CQTIME"))?
+                        .as_timestamp()?,
+                    None => return Err(Error::stream("shared CQ requires CQTIME")),
+                };
+                self.advance_shared(ts)
+            }
+        }
+    }
+
+    /// Shared-mode fast path: the orchestrator already folded the tuple
+    /// into the group; this member only needs the timestamp to advance its
+    /// window boundaries. Avoids cloning the row once per member CQ.
+    pub fn note_shared_tuple(&mut self, ts: Timestamp) -> Result<Vec<CqOutput>> {
+        debug_assert!(self.is_shared());
+        self.stats.tuples_in += 1;
+        self.advance_shared(ts)
+    }
+
+    /// Advance event time without a tuple (heartbeat / punctuation).
+    pub fn on_heartbeat(&mut self, ts: Timestamp) -> Result<Vec<CqOutput>> {
+        match &mut self.mode {
+            ExecMode::Unshared { buffer } => {
+                let closes = buffer.advance_to(ts);
+                self.run_windows(closes)
+            }
+            ExecMode::Shared { .. } => self.advance_shared(ts),
+        }
+    }
+
+    /// Push an upstream result batch (CQ over a derived stream).
+    pub fn on_batch(&mut self, close: Timestamp, rows: Vec<Row>) -> Result<Vec<CqOutput>> {
+        self.stats.tuples_in += rows.len() as u64;
+        match &mut self.mode {
+            ExecMode::Unshared { buffer } => {
+                let closes = buffer.push_batch(close, rows);
+                self.run_windows(closes)
+            }
+            ExecMode::Shared { .. } => Err(Error::stream(
+                "shared mode does not consume derived batches",
+            )),
+        }
+    }
+
+    /// Resume after recovery: windows closing at or before `watermark`
+    /// were already emitted (their results live in the Active Table).
+    pub fn resume_after(&mut self, watermark: Timestamp) {
+        match &mut self.mode {
+            ExecMode::Unshared { buffer } => buffer.resume_after(watermark),
+            ExecMode::Shared {
+                next_close,
+                advance,
+                max_ts,
+                ..
+            } => {
+                *next_close = Some(watermark + *advance);
+                *max_ts = (*max_ts).max(watermark);
+            }
+        }
+    }
+
+    fn advance_shared(&mut self, ts: Timestamp) -> Result<Vec<CqOutput>> {
+        // Collect the boundary crossings first (cheap, per tuple), and
+        // only clone the execution state when a window actually closed.
+        let (group, member, post_plan, closes) = match &mut self.mode {
+            ExecMode::Shared {
+                group,
+                member,
+                post_plan,
+                advance,
+                next_close,
+                max_ts,
+                ..
+            } => {
+                *max_ts = (*max_ts).max(ts);
+                let a = *advance;
+                let mut boundary = match *next_close {
+                    Some(c) => c,
+                    None => (ts.div_euclid(a) + 1) * a,
+                };
+                if boundary > ts {
+                    *next_close = Some(boundary);
+                    return Ok(Vec::new());
+                }
+                let mut closes = Vec::new();
+                while boundary <= ts {
+                    closes.push(boundary);
+                    boundary += a;
+                }
+                *next_close = Some(boundary);
+                (group.clone(), *member, post_plan.clone(), closes)
+            }
+            ExecMode::Unshared { .. } => unreachable!(),
+        };
+        let mut outputs = Vec::new();
+        for close in closes {
+            let agg_rel = {
+                let mut g = group.lock();
+                let rel = g.window_result(member, close)?;
+                g.member_progress(member, close + self.advance_of());
+                g.evict();
+                rel
+            };
+            let out = self.execute_window(&post_plan, SHARED_INPUT, &agg_rel, close)?;
+            outputs.push(out);
+        }
+        Ok(outputs)
+    }
+
+    fn advance_of(&self) -> i64 {
+        match self.window {
+            WindowSpec::Time { advance, .. } => advance,
+            _ => 0,
+        }
+    }
+
+    fn run_windows(&mut self, closes: Vec<ClosedWindow>) -> Result<Vec<CqOutput>> {
+        let mut outputs = Vec::with_capacity(closes.len());
+        let plan = self.plan.clone();
+        let stream = self.stream.clone();
+        let schema = stream_scan_schema(&plan)
+            .ok_or_else(|| Error::stream("plan lost its stream scan"))?;
+        for cw in closes {
+            let rel = Relation::new(schema.clone(), cw.rows);
+            let out = self.execute_window(&plan, &stream, &rel, cw.close)?;
+            outputs.push(out);
+        }
+        Ok(outputs)
+    }
+
+    fn execute_window(
+        &mut self,
+        plan: &LogicalPlan,
+        stream_name: &str,
+        window_rel: &Relation,
+        close: Timestamp,
+    ) -> Result<CqOutput> {
+        let source: SnapshotSource = match self.consistency {
+            // Window consistency: a fresh snapshot at this boundary.
+            ConsistencyMode::WindowBoundary => SnapshotSource::pin(self.engine.clone()),
+            ConsistencyMode::QueryStart => SnapshotSource::with_snapshot(
+                self.engine.clone(),
+                self.start_snapshot.clone().expect("pinned at start"),
+            ),
+        };
+        let ctx = ExecContext::window(&source as &dyn RelationSource, stream_name, window_rel, close);
+        let relation = execute(plan, &ctx)?;
+        self.stats.windows_out += 1;
+        self.stats.rows_out += relation.len() as u64;
+        Ok(CqOutput { close, relation })
+    }
+}
+
+fn stream_scan_schema(plan: &LogicalPlan) -> Option<streamrel_sql::plan::SchemaRef> {
+    let mut schema = None;
+    plan.visit(&mut |p| {
+        if let LogicalPlan::StreamScan { schema: s, .. } = p {
+            schema = Some(s.clone());
+        }
+    });
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use streamrel_sql::analyzer::{Analyzer, RelKind, SchemaProvider};
+    use streamrel_sql::ast::Statement;
+    use streamrel_sql::parser::parse_statement;
+    use streamrel_sql::plan::SchemaRef;
+    use streamrel_types::time::MINUTES;
+    use streamrel_types::{row, Column, DataType, Schema, Value};
+
+    struct Provider {
+        rels: HashMap<String, (SchemaRef, RelKind)>,
+    }
+
+    impl SchemaProvider for Provider {
+        fn relation(&self, name: &str) -> Option<(SchemaRef, RelKind)> {
+            self.rels.get(&name.to_ascii_lowercase()).cloned()
+        }
+    }
+
+    fn url_stream_schema() -> SchemaRef {
+        Arc::new(
+            Schema::new(vec![
+                Column::not_null("url", DataType::Text),
+                Column::not_null("atime", DataType::Timestamp),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn setup() -> (Provider, Arc<StorageEngine>) {
+        let engine = Arc::new(StorageEngine::in_memory());
+        engine
+            .create_table(
+                "url_dim",
+                Schema::new(vec![
+                    Column::new("url", DataType::Text),
+                    Column::new("category", DataType::Text),
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+        let mut rels = HashMap::new();
+        rels.insert(
+            "url_stream".into(),
+            (url_stream_schema(), RelKind::Stream { cqtime: Some(1) }),
+        );
+        rels.insert(
+            "url_dim".into(),
+            (
+                engine.table_schema("url_dim").unwrap(),
+                RelKind::Table,
+            ),
+        );
+        (Provider { rels }, engine)
+    }
+
+    fn make_cq(
+        provider: &Provider,
+        engine: Arc<StorageEngine>,
+        sql: &str,
+        mode: ConsistencyMode,
+    ) -> ContinuousQuery {
+        let Statement::Select(q) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let analyzed = Analyzer::new(provider).analyze(&q).unwrap();
+        ContinuousQuery::new("test_cq", &analyzed, engine, mode).unwrap()
+    }
+
+    fn tup(url: &str, ts: i64) -> Row {
+        row![url, Value::Timestamp(ts)]
+    }
+
+    #[test]
+    fn paper_example_2_end_to_end() {
+        let (p, e) = setup();
+        let mut cq = make_cq(
+            &p,
+            e,
+            "SELECT url, count(*) url_count \
+             FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'> \
+             GROUP by url ORDER by url_count desc LIMIT 10",
+            ConsistencyMode::WindowBoundary,
+        );
+        let mut outputs = Vec::new();
+        // /a twice per minute, /b once, for 3 minutes.
+        for m in 0..3i64 {
+            let base = m * MINUTES;
+            outputs.extend(cq.on_tuple(tup("/a", base + 1)).unwrap());
+            outputs.extend(cq.on_tuple(tup("/b", base + 2)).unwrap());
+            outputs.extend(cq.on_tuple(tup("/a", base + 3)).unwrap());
+        }
+        outputs.extend(cq.on_heartbeat(3 * MINUTES).unwrap());
+        assert_eq!(outputs.len(), 3);
+        // Third window covers minutes 0..3 (visible 5m > elapsed).
+        let last = &outputs[2];
+        assert_eq!(last.close, 3 * MINUTES);
+        assert_eq!(last.relation.rows()[0], row!["/a", 6i64]);
+        assert_eq!(last.relation.rows()[1], row!["/b", 3i64]);
+        assert_eq!(cq.stats().windows_out, 3);
+    }
+
+    #[test]
+    fn cq_close_column_carries_boundary() {
+        let (p, e) = setup();
+        let mut cq = make_cq(
+            &p,
+            e,
+            "SELECT count(*) c, cq_close(*) w FROM url_stream \
+             <TUMBLING '1 minute'>",
+            ConsistencyMode::WindowBoundary,
+        );
+        cq.on_tuple(tup("/a", 5)).unwrap();
+        let outs = cq.on_heartbeat(MINUTES).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(
+            outs[0].relation.rows()[0],
+            vec![Value::Int(1), Value::Timestamp(MINUTES)]
+        );
+    }
+
+    #[test]
+    fn empty_windows_still_emit() {
+        let (p, e) = setup();
+        let mut cq = make_cq(
+            &p,
+            e,
+            "SELECT count(*) c FROM url_stream <TUMBLING '1 minute'>",
+            ConsistencyMode::WindowBoundary,
+        );
+        cq.on_tuple(tup("/a", 5)).unwrap();
+        let outs = cq.on_heartbeat(3 * MINUTES).unwrap();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[1].relation.rows()[0], row![0i64]);
+    }
+
+    #[test]
+    fn stream_table_join_sees_window_boundary_snapshot() {
+        let (p, e) = setup();
+        let dim = e.table_id("url_dim").unwrap();
+        e.with_txn(|x| e.insert(x, dim, row!["/a", "news"])).unwrap();
+        let mut cq = make_cq(
+            &p,
+            e.clone(),
+            "SELECT s.url, d.category FROM url_stream <TUMBLING '1 minute'> s \
+             JOIN url_dim d ON s.url = d.url",
+            ConsistencyMode::WindowBoundary,
+        );
+        cq.on_tuple(tup("/a", 5)).unwrap();
+        let outs = cq.on_heartbeat(MINUTES).unwrap();
+        assert_eq!(outs[0].relation.rows()[0], row!["/a", "news"]);
+        // Update the dimension between windows; next window sees it.
+        e.with_txn(|x| {
+            e.delete_all_visible(x, dim)?;
+            e.insert(x, dim, row!["/a", "sports"])
+        })
+        .unwrap();
+        cq.on_tuple(tup("/a", MINUTES + 5)).unwrap();
+        let outs = cq.on_heartbeat(2 * MINUTES).unwrap();
+        assert_eq!(
+            outs[0].relation.rows()[0],
+            row!["/a", "sports"],
+            "window consistency: update visible at next boundary"
+        );
+    }
+
+    #[test]
+    fn query_start_consistency_freezes_tables() {
+        let (p, e) = setup();
+        let dim = e.table_id("url_dim").unwrap();
+        e.with_txn(|x| e.insert(x, dim, row!["/a", "news"])).unwrap();
+        let mut cq = make_cq(
+            &p,
+            e.clone(),
+            "SELECT s.url, d.category FROM url_stream <TUMBLING '1 minute'> s \
+             JOIN url_dim d ON s.url = d.url",
+            ConsistencyMode::QueryStart,
+        );
+        e.with_txn(|x| {
+            e.delete_all_visible(x, dim)?;
+            e.insert(x, dim, row!["/a", "sports"])
+        })
+        .unwrap();
+        cq.on_tuple(tup("/a", 5)).unwrap();
+        let outs = cq.on_heartbeat(MINUTES).unwrap();
+        assert_eq!(
+            outs[0].relation.rows()[0],
+            row!["/a", "news"],
+            "query-start pin never sees later updates"
+        );
+    }
+
+    #[test]
+    fn shared_mode_matches_unshared_results() {
+        let (p, e) = setup();
+        let sql = "SELECT url, count(*) c FROM url_stream \
+                   <VISIBLE '2 minutes' ADVANCE '1 minute'> GROUP BY url \
+                   ORDER BY c DESC, url";
+        let mut unshared = make_cq(&p, e.clone(), sql, ConsistencyMode::WindowBoundary);
+        let mut shared = make_cq(&p, e.clone(), sql, ConsistencyMode::WindowBoundary);
+        let mut registry = SharedRegistry::new();
+        assert!(shared.try_share(&mut registry));
+        assert!(shared.is_shared());
+        let group = shared.shared_group().unwrap();
+
+        let tuples: Vec<Row> = (0..300)
+            .map(|i| tup(if i % 3 == 0 { "/a" } else { "/b" }, i * 1_000_000))
+            .collect();
+        let mut out_u = Vec::new();
+        let mut out_s = Vec::new();
+        for t in tuples {
+            out_u.extend(unshared.on_tuple(t.clone()).unwrap());
+            // Orchestrator folds the tuple into the group once...
+            group.lock().on_tuple(&t).unwrap();
+            // ...then advances the member.
+            out_s.extend(shared.on_tuple(t).unwrap());
+        }
+        assert_eq!(out_u.len(), out_s.len());
+        for (u, s) in out_u.iter().zip(&out_s) {
+            assert_eq!(u.close, s.close);
+            assert_eq!(u.relation.rows(), s.relation.rows(), "at close {}", u.close);
+        }
+    }
+
+    #[test]
+    fn non_aggregate_plan_cannot_share() {
+        let (p, e) = setup();
+        let mut cq = make_cq(
+            &p,
+            e,
+            "SELECT url FROM url_stream <TUMBLING '1 minute'> WHERE url LIKE '/a%'",
+            ConsistencyMode::WindowBoundary,
+        );
+        let mut registry = SharedRegistry::new();
+        assert!(!cq.try_share(&mut registry));
+    }
+
+    #[test]
+    fn resume_after_skips_emitted_windows() {
+        let (p, e) = setup();
+        let mut cq = make_cq(
+            &p,
+            e,
+            "SELECT count(*) c FROM url_stream <TUMBLING '1 minute'>",
+            ConsistencyMode::WindowBoundary,
+        );
+        cq.resume_after(5 * MINUTES);
+        cq.on_tuple(tup("/a", 5 * MINUTES + 10)).unwrap();
+        let outs = cq.on_heartbeat(6 * MINUTES).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].close, 6 * MINUTES);
+    }
+
+    #[test]
+    fn shared_cq_stats_track_tuples_and_windows() {
+        let (p, e) = setup();
+        let sql = "SELECT url, count(*) c FROM url_stream \
+                   <TUMBLING '1 minute'> GROUP BY url";
+        let mut cq = make_cq(&p, e, sql, ConsistencyMode::WindowBoundary);
+        let mut registry = SharedRegistry::new();
+        assert!(cq.try_share(&mut registry));
+        let group = cq.shared_group().unwrap();
+        for i in 0..10 {
+            let t = tup("/a", i);
+            group.lock().on_tuple(&t).unwrap();
+            cq.on_tuple(t).unwrap();
+        }
+        let outs = cq.on_heartbeat(MINUTES).unwrap();
+        assert_eq!(outs.len(), 1);
+        let st = cq.stats();
+        assert_eq!(st.tuples_in, 10);
+        assert_eq!(st.windows_out, 1);
+        assert_eq!(st.rows_out, 1);
+    }
+
+    #[test]
+    fn output_schema_matches_projection() {
+        let (p, e) = setup();
+        let cq = make_cq(
+            &p,
+            e,
+            "SELECT url, count(*) hits FROM url_stream <TUMBLING '1 minute'> GROUP BY url",
+            ConsistencyMode::WindowBoundary,
+        );
+        let schema = cq.output_schema();
+        assert_eq!(schema.column(0).name, "url");
+        assert_eq!(schema.column(1).name, "hits");
+        assert_eq!(cq.stream(), "url_stream");
+    }
+
+    #[test]
+    fn heartbeat_batches_multiple_closes() {
+        let (p, e) = setup();
+        let mut cq = make_cq(
+            &p,
+            e,
+            "SELECT count(*) c FROM url_stream <TUMBLING '1 minute'>",
+            ConsistencyMode::WindowBoundary,
+        );
+        cq.on_tuple(tup("/a", 1)).unwrap();
+        let outs = cq.on_heartbeat(5 * MINUTES).unwrap();
+        assert_eq!(outs.len(), 5, "one output per crossed boundary");
+        assert_eq!(outs[4].close, 5 * MINUTES);
+    }
+
+    #[test]
+    fn snapshot_query_rejected() {
+        let (p, e) = setup();
+        let Statement::Select(q) =
+            parse_statement("select 1").unwrap()
+        else {
+            panic!()
+        };
+        let analyzed = Analyzer::new(&p).analyze(&q).unwrap();
+        assert!(ContinuousQuery::new("x", &analyzed, e, ConsistencyMode::WindowBoundary).is_err());
+    }
+}

@@ -1,0 +1,581 @@
+//! Shared slice-based aggregation — the paper's "Jellybean processing"
+//! (§2.2) and its refs \[4] (resource sharing in sliding-window aggregates)
+//! and \[12] (on-the-fly sharing for streamed aggregation).
+//!
+//! Many aggregate CQs over the same stream with the same filter, grouping
+//! and aggregate functions — but *different windows* — share one pass over
+//! the data: time is cut into slices of width `gcd(all VISIBLEs and
+//! ADVANCEs)`, one partial accumulator set is maintained per (slice,
+//! group), and each query's window result is composed by *merging* the
+//! slices it covers. Each arriving tuple is therefore aggregated once,
+//! regardless of how many CQs are registered: per-tuple cost is O(1) in
+//! the number of queries, which experiment E3 measures.
+
+use std::collections::{BTreeMap, HashMap};
+
+use streamrel_exec::Accumulator;
+use streamrel_exec::expr::{eval, eval_predicate, EvalContext};
+use streamrel_sql::plan::{AggSpec, BoundExpr, LogicalPlan, SchemaRef, WindowSpec};
+use streamrel_types::{Error, Interval, Relation, Result, Row, Timestamp, Value};
+
+/// The shareable fragment of an aggregate CQ plan: everything at or below
+/// the Aggregate node.
+#[derive(Debug, Clone)]
+pub struct SharedShape {
+    /// Source stream name.
+    pub stream: String,
+    /// Stream schema (Aggregate input).
+    pub input_schema: SchemaRef,
+    /// CQTIME column position in the stream.
+    pub cqtime: usize,
+    /// Optional pre-aggregation filter.
+    pub filter: Option<BoundExpr>,
+    /// Group-by expressions over the stream row.
+    pub group_exprs: Vec<BoundExpr>,
+    /// Aggregate functions.
+    pub aggs: Vec<AggSpec>,
+    /// Output schema of the Aggregate node (`[groups..., aggs...]`).
+    pub agg_schema: SchemaRef,
+}
+
+impl SharedShape {
+    /// Stable fingerprint used to pool compatible queries.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}|{:?}|{:?}|{:?}",
+            self.stream.to_ascii_lowercase(),
+            self.filter,
+            self.group_exprs,
+            self.aggs
+        )
+    }
+}
+
+/// Try to split a CQ plan into a [`SharedShape`] plus a *post-plan* that
+/// consumes the Aggregate output. The post-plan's leaf is a `StreamScan`
+/// on the synthetic name [`SHARED_INPUT`]; at window close the runtime
+/// feeds it the relation composed from slices.
+///
+/// Returns `None` when the plan is not shareable: no aggregation, a
+/// non-trivial pipeline below the Aggregate, a row/slice window, or
+/// `cq_close(*)` used below the Aggregate (its value is unknown at slice
+/// time).
+pub fn extract_shape(plan: &LogicalPlan) -> Option<(SharedShape, LogicalPlan)> {
+    fn rewrite(plan: &LogicalPlan, found: &mut Option<SharedShape>) -> Option<LogicalPlan> {
+        match plan {
+            LogicalPlan::Aggregate {
+                input,
+                group_exprs,
+                aggs,
+                schema,
+            } => {
+                // Input must be StreamScan or Filter(StreamScan).
+                let (filter, scan) = match input.as_ref() {
+                    LogicalPlan::Filter { input, predicate } => {
+                        (Some(predicate.clone()), input.as_ref())
+                    }
+                    other => (None, other),
+                };
+                let LogicalPlan::StreamScan {
+                    stream,
+                    schema: in_schema,
+                    window,
+                    cqtime,
+                } = scan
+                else {
+                    return None;
+                };
+                let WindowSpec::Time { .. } = window else {
+                    return None;
+                };
+                let cqtime = (*cqtime)?;
+                // cq_close below the Aggregate cannot be sliced.
+                if filter.as_ref().is_some_and(BoundExpr::uses_cq_close)
+                    || group_exprs.iter().any(BoundExpr::uses_cq_close)
+                    || aggs
+                        .iter()
+                        .any(|a| a.arg.as_ref().is_some_and(BoundExpr::uses_cq_close))
+                {
+                    return None;
+                }
+                if found.is_some() {
+                    return None; // two aggregates: not shareable
+                }
+                *found = Some(SharedShape {
+                    stream: stream.clone(),
+                    input_schema: in_schema.clone(),
+                    cqtime,
+                    filter,
+                    group_exprs: group_exprs.clone(),
+                    aggs: aggs.clone(),
+                    agg_schema: schema.clone(),
+                });
+                Some(LogicalPlan::StreamScan {
+                    stream: SHARED_INPUT.to_string(),
+                    schema: schema.clone(),
+                    window: *window,
+                    cqtime: None,
+                })
+            }
+            LogicalPlan::Filter { input, predicate } => Some(LogicalPlan::Filter {
+                input: Box::new(rewrite(input, found)?),
+                predicate: predicate.clone(),
+            }),
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => Some(LogicalPlan::Project {
+                input: Box::new(rewrite(input, found)?),
+                exprs: exprs.clone(),
+                schema: schema.clone(),
+            }),
+            LogicalPlan::Sort { input, keys } => Some(LogicalPlan::Sort {
+                input: Box::new(rewrite(input, found)?),
+                keys: keys.clone(),
+            }),
+            LogicalPlan::Limit { input, n } => Some(LogicalPlan::Limit {
+                input: Box::new(rewrite(input, found)?),
+                n: *n,
+            }),
+            LogicalPlan::Distinct { input } => Some(LogicalPlan::Distinct {
+                input: Box::new(rewrite(input, found)?),
+            }),
+            // Joins above the aggregate would need the aggregate on one
+            // side; keep those unshared for now.
+            _ => None,
+        }
+    }
+    let mut found = None;
+    let post = rewrite(plan, &mut found)?;
+    found.map(|s| (s, post))
+}
+
+/// Synthetic stream name the post-plan scans.
+pub const SHARED_INPUT: &str = "__shared_agg";
+
+/// Per-slice partial aggregation state.
+#[derive(Debug, Default)]
+struct SliceState {
+    groups: HashMap<Vec<Value>, Vec<Accumulator>>,
+    /// First-seen order for deterministic output.
+    order: Vec<Vec<Value>>,
+}
+
+/// Registered window requirements of one member query.
+#[derive(Debug, Clone, Copy)]
+struct Member {
+    visible: Interval,
+    /// The member's next close boundary (for eviction horizon).
+    next_close: Option<Timestamp>,
+}
+
+/// Identifier of a member within its group.
+pub type MemberId = usize;
+
+/// One pool of compatible aggregate CQs sharing slice partials.
+pub struct SharedGroup {
+    shape: SharedShape,
+    slice_width: Interval,
+    slices: BTreeMap<Timestamp, SliceState>,
+    members: Vec<Member>,
+    /// Tuples folded in (shared work happens once, so this counts the
+    /// group's total per-tuple aggregation work).
+    pub tuples_processed: u64,
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl SharedGroup {
+    /// New group for a shape; slice width starts unconstrained and is
+    /// fixed by the first member.
+    pub fn new(shape: SharedShape) -> SharedGroup {
+        SharedGroup {
+            shape,
+            slice_width: 0,
+            slices: BTreeMap::new(),
+            members: Vec::new(),
+            tuples_processed: 0,
+        }
+    }
+
+    /// The shared shape.
+    pub fn shape(&self) -> &SharedShape {
+        &self.shape
+    }
+
+    /// Current slice width (µs).
+    pub fn slice_width(&self) -> Interval {
+        self.slice_width
+    }
+
+    /// Number of live slices.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Register a member window. Fails if data already flowed and the new
+    /// member needs finer slices than the group maintains (the caller then
+    /// runs that query unshared).
+    pub fn register(&mut self, visible: Interval, advance: Interval) -> Result<MemberId> {
+        let needed = gcd(visible, advance);
+        let new_width = if self.slice_width == 0 {
+            needed
+        } else {
+            gcd(self.slice_width, needed)
+        };
+        if new_width != self.slice_width && !self.slices.is_empty() {
+            return Err(Error::stream(
+                "cannot re-slice a shared group that already holds data",
+            ));
+        }
+        self.slice_width = new_width;
+        self.members.push(Member {
+            visible,
+            next_close: None,
+        });
+        Ok(self.members.len() - 1)
+    }
+
+    /// Fold one stream tuple into its slice (called once per tuple for the
+    /// whole group — this is where the sharing pays off).
+    pub fn on_tuple(&mut self, row: &Row) -> Result<()> {
+        debug_assert!(self.slice_width > 0, "no members registered");
+        let ectx = EvalContext::default();
+        if let Some(f) = &self.shape.filter {
+            if !eval_predicate(f, row, &ectx)? {
+                return Ok(());
+            }
+        }
+        let ts = row
+            .get(self.shape.cqtime)
+            .ok_or_else(|| Error::stream("row too short for CQTIME"))?
+            .as_timestamp()?;
+        let slice_start = ts.div_euclid(self.slice_width) * self.slice_width;
+        let key: Vec<Value> = self
+            .shape
+            .group_exprs
+            .iter()
+            .map(|e| eval(e, row, &ectx))
+            .collect::<Result<_>>()?;
+        let aggs = &self.shape.aggs;
+        let slice = self.slices.entry(slice_start).or_default();
+        let accs = match slice.groups.get_mut(&key) {
+            Some(a) => a,
+            None => {
+                slice.order.push(key.clone());
+                slice
+                    .groups
+                    .entry(key.clone())
+                    .or_insert_with(|| aggs.iter().map(Accumulator::new).collect())
+            }
+        };
+        for (acc, spec) in accs.iter_mut().zip(aggs) {
+            match &spec.arg {
+                Some(arg) => {
+                    let v = eval(arg, row, &ectx)?;
+                    acc.update(Some(&v))?;
+                }
+                None => acc.update(None)?,
+            }
+        }
+        self.tuples_processed += 1;
+        Ok(())
+    }
+
+    /// Compose the Aggregate-output relation for a member's window
+    /// `[close - visible, close)` by merging covered slices.
+    pub fn window_result(
+        &mut self,
+        member: MemberId,
+        close: Timestamp,
+    ) -> Result<Relation> {
+        let visible = self.members[member].visible;
+        let lo = close - visible;
+        let mut merged: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        for (_, slice) in self.slices.range(lo..close) {
+            for key in &slice.order {
+                let partial = &slice.groups[key];
+                match merged.get_mut(key) {
+                    Some(accs) => {
+                        for (a, p) in accs.iter_mut().zip(partial) {
+                            a.merge(p)?;
+                        }
+                    }
+                    None => {
+                        order.push(key.clone());
+                        merged.insert(key.clone(), partial.clone());
+                    }
+                }
+            }
+        }
+        let mut rel = Relation::empty(self.shape.agg_schema.clone());
+        if merged.is_empty() && self.shape.group_exprs.is_empty() {
+            // Global aggregate over an empty window: defaults row.
+            let row: Row = self
+                .shape
+                .aggs
+                .iter()
+                .map(|s| Accumulator::new(s).finish())
+                .collect();
+            rel.push(row);
+            return Ok(rel);
+        }
+        for key in order {
+            let accs = &merged[&key];
+            let mut row = key;
+            row.extend(accs.iter().map(Accumulator::finish));
+            rel.push(row);
+        }
+        Ok(rel)
+    }
+
+    /// Record a member's next close boundary (drives eviction).
+    pub fn member_progress(&mut self, member: MemberId, next_close: Timestamp) {
+        self.members[member].next_close = Some(next_close);
+    }
+
+    /// Drop slices no member's future window can reach. A member that has
+    /// not yet reported any progress (`next_close == None`) may still need
+    /// every slice, so eviction waits for it.
+    pub fn evict(&mut self) {
+        let mut horizon = i64::MAX;
+        for m in &self.members {
+            match m.next_close {
+                Some(c) => horizon = horizon.min(c - m.visible),
+                None => return,
+            }
+        }
+        if horizon != i64::MAX {
+            // BTreeMap::retain keeps it simple; slices are few.
+            self.slices
+                .retain(|start, _| start + self.slice_width > horizon);
+        }
+    }
+}
+
+/// Registry pooling shared groups by shape fingerprint.
+#[derive(Default)]
+pub struct SharedRegistry {
+    groups: HashMap<String, std::sync::Arc<parking_lot::Mutex<SharedGroup>>>,
+}
+
+impl SharedRegistry {
+    /// Empty registry.
+    pub fn new() -> SharedRegistry {
+        SharedRegistry::default()
+    }
+
+    /// Get or create the group for a shape.
+    pub fn group_for(
+        &mut self,
+        shape: SharedShape,
+    ) -> std::sync::Arc<parking_lot::Mutex<SharedGroup>> {
+        let fp = shape.fingerprint();
+        self.groups
+            .entry(fp)
+            .or_insert_with(|| std::sync::Arc::new(parking_lot::Mutex::new(SharedGroup::new(shape))))
+            .clone()
+    }
+
+    /// All groups feeding from `stream`.
+    pub fn groups_on_stream(
+        &self,
+        stream: &str,
+    ) -> Vec<std::sync::Arc<parking_lot::Mutex<SharedGroup>>> {
+        self.groups
+            .values()
+            .filter(|g| g.lock().shape.stream.eq_ignore_ascii_case(stream))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of distinct groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True if no groups exist.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use streamrel_sql::plan::AggFunc;
+    use streamrel_types::time::MINUTES;
+    use streamrel_types::{row, Column, DataType, Schema};
+
+    fn stream_schema() -> SchemaRef {
+        Arc::new(
+            Schema::new(vec![
+                Column::new("url", DataType::Text),
+                Column::not_null("atime", DataType::Timestamp),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn shape() -> SharedShape {
+        let agg_schema = Arc::new(Schema::new_unchecked(vec![
+            Column::new("url", DataType::Text),
+            Column::new("count", DataType::Int),
+        ]));
+        SharedShape {
+            stream: "url_stream".into(),
+            input_schema: stream_schema(),
+            cqtime: 1,
+            filter: None,
+            group_exprs: vec![BoundExpr::Column {
+                index: 0,
+                ty: DataType::Text,
+            }],
+            aggs: vec![AggSpec {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false,
+                name: "count".into(),
+                ty: DataType::Int,
+            }],
+            agg_schema,
+        }
+    }
+
+    fn tup(url: &str, ts: i64) -> Row {
+        row![url, Value::Timestamp(ts)]
+    }
+
+    #[test]
+    fn slice_width_is_gcd() {
+        let mut g = SharedGroup::new(shape());
+        g.register(5 * MINUTES, MINUTES).unwrap();
+        assert_eq!(g.slice_width(), MINUTES);
+        g.register(10 * MINUTES, 2 * MINUTES).unwrap();
+        assert_eq!(g.slice_width(), MINUTES);
+    }
+
+    #[test]
+    fn reslicing_with_data_rejected() {
+        let mut g = SharedGroup::new(shape());
+        g.register(4 * MINUTES, 2 * MINUTES).unwrap();
+        g.on_tuple(&tup("/a", 10)).unwrap();
+        assert!(g.register(3 * MINUTES, MINUTES).is_err());
+    }
+
+    #[test]
+    fn window_result_merges_slices() {
+        let mut g = SharedGroup::new(shape());
+        let m = g.register(2 * MINUTES, MINUTES).unwrap();
+        // Two tuples in slice [0,1min), one in [1min,2min).
+        g.on_tuple(&tup("/a", 10)).unwrap();
+        g.on_tuple(&tup("/a", 20)).unwrap();
+        g.on_tuple(&tup("/b", MINUTES + 5)).unwrap();
+        let rel = g.window_result(m, 2 * MINUTES).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.rows()[0], row!["/a", 2i64]);
+        assert_eq!(rel.rows()[1], row!["/b", 1i64]);
+        // Only the last minute:
+        let m1 = {
+            // member with 1-minute visible
+            let mut g2 = SharedGroup::new(shape());
+            let m1 = g2.register(MINUTES, MINUTES).unwrap();
+            g2.on_tuple(&tup("/a", 10)).unwrap();
+            g2.on_tuple(&tup("/b", MINUTES + 5)).unwrap();
+            let rel = g2.window_result(m1, 2 * MINUTES).unwrap();
+            assert_eq!(rel.rows(), &[row!["/b", 1i64]]);
+            m1
+        };
+        let _ = m1;
+    }
+
+    #[test]
+    fn tuple_processed_once_for_many_members() {
+        let mut g = SharedGroup::new(shape());
+        for _ in 0..16 {
+            g.register(5 * MINUTES, MINUTES).unwrap();
+        }
+        for i in 0..100 {
+            g.on_tuple(&tup("/a", i)).unwrap();
+        }
+        assert_eq!(g.tuples_processed, 100, "work is per tuple, not per CQ");
+    }
+
+    #[test]
+    fn filter_applies_before_slicing() {
+        let mut s = shape();
+        s.filter = Some(BoundExpr::Like {
+            expr: Box::new(BoundExpr::Column {
+                index: 0,
+                ty: DataType::Text,
+            }),
+            pattern: Box::new(BoundExpr::Literal(Value::text("/a%"))),
+            negated: false,
+        });
+        let mut g = SharedGroup::new(s);
+        let m = g.register(MINUTES, MINUTES).unwrap();
+        g.on_tuple(&tup("/a1", 10)).unwrap();
+        g.on_tuple(&tup("/b1", 20)).unwrap();
+        let rel = g.window_result(m, MINUTES).unwrap();
+        assert_eq!(rel.rows(), &[row!["/a1", 1i64]]);
+    }
+
+    #[test]
+    fn eviction_respects_slowest_member() {
+        let mut g = SharedGroup::new(shape());
+        let fast = g.register(MINUTES, MINUTES).unwrap();
+        let slow = g.register(10 * MINUTES, MINUTES).unwrap();
+        for i in 0..10 {
+            g.on_tuple(&tup("/a", i * MINUTES + 1)).unwrap();
+        }
+        assert_eq!(g.slice_count(), 10);
+        g.member_progress(fast, 10 * MINUTES);
+        g.member_progress(slow, 10 * MINUTES);
+        g.evict();
+        // Slow member still needs [0, 10min): nothing evictable.
+        assert_eq!(g.slice_count(), 10);
+        g.member_progress(slow, 12 * MINUTES);
+        g.evict();
+        // Horizon = min(10-1, 12-10) = 2min → slices below 2min go.
+        assert_eq!(g.slice_count(), 8);
+    }
+
+    #[test]
+    fn empty_global_aggregate_yields_defaults() {
+        let mut s = shape();
+        s.group_exprs.clear();
+        s.agg_schema = Arc::new(Schema::new_unchecked(vec![Column::new(
+            "count",
+            DataType::Int,
+        )]));
+        let mut g = SharedGroup::new(s);
+        let m = g.register(MINUTES, MINUTES).unwrap();
+        let rel = g.window_result(m, MINUTES).unwrap();
+        assert_eq!(rel.rows(), &[row![0i64]]);
+    }
+
+    #[test]
+    fn registry_pools_by_fingerprint() {
+        let mut reg = SharedRegistry::new();
+        let g1 = reg.group_for(shape());
+        let g2 = reg.group_for(shape());
+        assert!(Arc::ptr_eq(&g1, &g2));
+        let mut other = shape();
+        other.stream = "other_stream".into();
+        let g3 = reg.group_for(other);
+        assert!(!Arc::ptr_eq(&g1, &g3));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.groups_on_stream("url_stream").len(), 1);
+    }
+}

@@ -1,0 +1,497 @@
+//! Window buffers: turning an ordered unbounded stream into a sequence of
+//! finite relations (the paper's Figure 1).
+//!
+//! A window clause `<VISIBLE v ADVANCE a>` produces, every `a`, the
+//! relation of tuples whose CQTIME falls in `[close - v, close)`. Close
+//! boundaries are aligned to multiples of `a` (so two CQs with the same
+//! ADVANCE close at identical instants — a prerequisite for slice sharing
+//! and for Example 5's equality join on `cq_close` values).
+
+use std::collections::VecDeque;
+
+use streamrel_types::{Error, Result, Row, Timestamp};
+
+use streamrel_sql::WindowSpec;
+
+/// One closed window: its close timestamp and the rows it contains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedWindow {
+    /// Exclusive upper bound of the window (`cq_close(*)` value).
+    pub close: Timestamp,
+    /// Rows with CQTIME in `[close - visible, close)`, in arrival order.
+    pub rows: Vec<Row>,
+}
+
+/// Per-CQ window state. Feed tuples with [`WindowBuffer::push`] and time
+/// progress with [`WindowBuffer::advance_to`]; both return the windows that
+/// closed as a consequence.
+#[derive(Debug)]
+pub enum WindowBuffer {
+    /// Time-based sliding / tumbling window.
+    Time(TimeWindow),
+    /// Row-count window.
+    Rows(RowWindow),
+    /// `<SLICES n WINDOWS>` over a derived stream's result batches.
+    Slices(SliceWindow),
+}
+
+impl WindowBuffer {
+    /// Build a buffer for a window spec. `cqtime` is the position of the
+    /// stream's time column (required for time windows).
+    pub fn new(spec: WindowSpec, cqtime: Option<usize>) -> Result<WindowBuffer> {
+        match spec {
+            WindowSpec::Time { visible, advance } => {
+                let cqtime = cqtime.ok_or_else(|| {
+                    Error::stream("time window requires a CQTIME column")
+                })?;
+                Ok(WindowBuffer::Time(TimeWindow {
+                    visible,
+                    advance,
+                    cqtime,
+                    buf: VecDeque::new(),
+                    next_close: None,
+                    max_ts: i64::MIN,
+                    inclusive: false,
+                }))
+            }
+            WindowSpec::Rows { visible, advance } => Ok(WindowBuffer::Rows(RowWindow {
+                visible: visible as usize,
+                advance: advance as usize,
+                cqtime,
+                buf: VecDeque::new(),
+                since_emit: 0,
+                max_ts: 0,
+            })),
+            WindowSpec::Slices { count } => Ok(WindowBuffer::Slices(SliceWindow {
+                count: count as usize,
+                batches: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Feed one tuple. For time windows the tuple's CQTIME drives time
+    /// forward, closing any window whose boundary it passes *before* the
+    /// tuple itself is admitted.
+    pub fn push(&mut self, row: Row) -> Result<Vec<ClosedWindow>> {
+        match self {
+            WindowBuffer::Time(w) => w.push(row),
+            WindowBuffer::Rows(w) => Ok(w.push(row)),
+            WindowBuffer::Slices(_) => Err(Error::stream(
+                "slices windows consume whole result batches, not tuples",
+            )),
+        }
+    }
+
+    /// Explicit time progress (heartbeat / punctuation): closes every
+    /// window with `close <= ts` even if no tuple arrives.
+    pub fn advance_to(&mut self, ts: Timestamp) -> Vec<ClosedWindow> {
+        match self {
+            WindowBuffer::Time(w) => w.advance_to(ts),
+            // Row and slice windows are data-driven; time is irrelevant.
+            WindowBuffer::Rows(_) | WindowBuffer::Slices(_) => Vec::new(),
+        }
+    }
+
+    /// Feed one upstream result batch (slices windows only).
+    pub fn push_batch(&mut self, close: Timestamp, rows: Vec<Row>) -> Vec<ClosedWindow> {
+        match self {
+            WindowBuffer::Slices(w) => w.push_batch(close, rows),
+            // A time/row window over a derived stream treats each batch's
+            // rows as ordinary tuples.
+            WindowBuffer::Time(w) => {
+                // Batches are stamped exactly at window closes, so the
+                // downstream window interval flips to (lo, close] — an
+                // exclusive upper bound would systematically exclude the
+                // newest batch.
+                w.inclusive = true;
+                let mut out = Vec::new();
+                for row in rows {
+                    if let Ok(mut closes) = w.push(row) {
+                        out.append(&mut closes);
+                    }
+                }
+                out.extend(w.advance_to(close));
+                out
+            }
+            WindowBuffer::Rows(w) => {
+                let mut out = Vec::new();
+                for row in rows {
+                    out.extend(w.push(row));
+                }
+                out
+            }
+        }
+    }
+
+    /// Rows currently buffered (memory accounting, tests).
+    pub fn buffered(&self) -> usize {
+        match self {
+            WindowBuffer::Time(w) => w.buf.len(),
+            WindowBuffer::Rows(w) => w.buf.len(),
+            WindowBuffer::Slices(w) => w.batches.iter().map(|(_, b)| b.len()).sum(),
+        }
+    }
+
+    /// Skip directly to a resume point: windows up to and including
+    /// `watermark` are considered already emitted (recovery, §4).
+    pub fn resume_after(&mut self, watermark: Timestamp) {
+        if let WindowBuffer::Time(w) = self {
+            w.next_close = Some(watermark + w.advance);
+            w.max_ts = w.max_ts.max(watermark);
+        }
+    }
+}
+
+/// Time-based sliding window state.
+///
+/// Two interval conventions exist:
+/// - **Exclusive** (tuple streams): window is `[close - visible, close)`;
+///   a tuple stamped exactly at a boundary falls in the *next* window.
+/// - **Inclusive** (derived-stream batches): window is
+///   `(close - visible, close]`; a batch stamped at a boundary belongs to
+///   the window closing there (its data *ends* at that instant).
+#[derive(Debug)]
+pub struct TimeWindow {
+    visible: i64,
+    advance: i64,
+    cqtime: usize,
+    /// Buffered `(ts, row)` in arrival (== time) order.
+    buf: VecDeque<(Timestamp, Row)>,
+    /// Next close boundary; `None` until the first tuple fixes alignment.
+    next_close: Option<Timestamp>,
+    max_ts: Timestamp,
+    /// Upper-bound convention (see type docs).
+    inclusive: bool,
+}
+
+impl TimeWindow {
+    fn ts_of(&self, row: &Row) -> Result<Timestamp> {
+        row.get(self.cqtime)
+            .ok_or_else(|| Error::stream("row too short for CQTIME column"))?
+            .as_timestamp()
+            .map_err(|_| Error::stream("CQTIME column is not a timestamp"))
+    }
+
+    /// First close boundary whose window can contain `ts`, aligned to
+    /// multiples of advance. Exclusive mode: strictly after `ts`.
+    /// Inclusive mode: at or after `ts`.
+    fn align_first_close(&self, ts: Timestamp) -> Timestamp {
+        let a = self.advance;
+        if self.inclusive {
+            // Smallest multiple of `a` that is >= ts.
+            ts.div_euclid(a) * a + if ts.rem_euclid(a) == 0 { 0 } else { a }
+        } else {
+            (ts.div_euclid(a) + 1) * a
+        }
+    }
+
+    fn push(&mut self, row: Row) -> Result<Vec<ClosedWindow>> {
+        let ts = self.ts_of(&row)?;
+        if ts < self.max_ts {
+            return Err(Error::stream(format!(
+                "out-of-order tuple: ts {ts} < watermark {} \
+                 (wrap the stream in a ReorderBuffer for slack)",
+                self.max_ts
+            )));
+        }
+        // Close every window whose boundary this tuple passes. In
+        // inclusive mode a tuple AT the boundary still belongs to the
+        // closing window, so only boundaries strictly before it fire.
+        let limit = if self.inclusive { ts - 1 } else { ts };
+        let closes = self.fire_through(limit);
+        if self.next_close.is_none() {
+            self.next_close = Some(self.align_first_close(ts));
+        }
+        self.max_ts = ts;
+        self.buf.push_back((ts, row));
+        Ok(closes)
+    }
+
+    fn advance_to(&mut self, ts: Timestamp) -> Vec<ClosedWindow> {
+        let out = self.fire_through(ts);
+        self.max_ts = self.max_ts.max(ts);
+        out
+    }
+
+    fn fire_through(&mut self, ts: Timestamp) -> Vec<ClosedWindow> {
+        let mut out = Vec::new();
+        let Some(mut close) = self.next_close else {
+            return out;
+        };
+        while close <= ts {
+            let lo = close - self.visible;
+            let in_window: &dyn Fn(Timestamp) -> bool = if self.inclusive {
+                &|t| t > lo && t <= close
+            } else {
+                &|t| t >= lo && t < close
+            };
+            let rows: Vec<Row> = self
+                .buf
+                .iter()
+                .filter(|(t, _)| in_window(*t))
+                .map(|(_, r)| r.clone())
+                .collect();
+            out.push(ClosedWindow { close, rows });
+            // Evict rows that no future window can see: next window's low
+            // edge is (close + advance) - visible.
+            let future_lo = close + self.advance - self.visible;
+            let evictable: &dyn Fn(Timestamp) -> bool = if self.inclusive {
+                &|t| t <= future_lo
+            } else {
+                &|t| t < future_lo
+            };
+            while matches!(self.buf.front(), Some((t, _)) if evictable(*t)) {
+                self.buf.pop_front();
+            }
+            close += self.advance;
+        }
+        self.next_close = Some(close);
+        out
+    }
+}
+
+/// Row-count window state.
+#[derive(Debug)]
+pub struct RowWindow {
+    visible: usize,
+    advance: usize,
+    cqtime: Option<usize>,
+    buf: VecDeque<Row>,
+    since_emit: usize,
+    max_ts: Timestamp,
+}
+
+impl RowWindow {
+    fn push(&mut self, row: Row) -> Vec<ClosedWindow> {
+        if let Some(i) = self.cqtime {
+            if let Some(v) = row.get(i) {
+                if let Ok(t) = v.as_timestamp() {
+                    self.max_ts = self.max_ts.max(t);
+                }
+            }
+        }
+        self.buf.push_back(row);
+        while self.buf.len() > self.visible {
+            self.buf.pop_front();
+        }
+        self.since_emit += 1;
+        if self.since_emit >= self.advance {
+            self.since_emit = 0;
+            vec![ClosedWindow {
+                // Row windows close on arrival; cq_close is the newest
+                // tuple's time (or the running count when no CQTIME).
+                close: self.max_ts,
+                rows: self.buf.iter().cloned().collect(),
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// `<SLICES n WINDOWS>` state: each upstream batch is one slice.
+#[derive(Debug)]
+pub struct SliceWindow {
+    count: usize,
+    batches: VecDeque<(Timestamp, Vec<Row>)>,
+}
+
+impl SliceWindow {
+    fn push_batch(&mut self, close: Timestamp, rows: Vec<Row>) -> Vec<ClosedWindow> {
+        self.batches.push_back((close, rows));
+        while self.batches.len() > self.count {
+            self.batches.pop_front();
+        }
+        if self.batches.len() == self.count {
+            vec![ClosedWindow {
+                close,
+                rows: self
+                    .batches
+                    .iter()
+                    .flat_map(|(_, b)| b.iter().cloned())
+                    .collect(),
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamrel_types::row;
+    use streamrel_types::time::MINUTES;
+    use streamrel_types::Value;
+
+    fn tup(ts: i64) -> Row {
+        row![Value::Timestamp(ts), "x"]
+    }
+
+    fn time_buf(visible: i64, advance: i64) -> WindowBuffer {
+        WindowBuffer::new(
+            WindowSpec::Time { visible, advance },
+            Some(0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tumbling_window_closes_on_boundary_crossing() {
+        let mut w = time_buf(MINUTES, MINUTES);
+        assert!(w.push(tup(10)).unwrap().is_empty());
+        assert!(w.push(tup(30)).unwrap().is_empty());
+        let closes = w.push(tup(MINUTES + 5)).unwrap();
+        assert_eq!(closes.len(), 1);
+        assert_eq!(closes[0].close, MINUTES);
+        assert_eq!(closes[0].rows.len(), 2);
+    }
+
+    #[test]
+    fn paper_example_2_sliding_window() {
+        // VISIBLE 5 minutes ADVANCE 1 minute: every minute, the last 5.
+        let mut w = time_buf(5 * MINUTES, MINUTES);
+        // One tuple per 30s for 7 minutes.
+        let mut all_closes = Vec::new();
+        for i in 0..14 {
+            let ts = i * 30_000_000 + 1; // +1 to sit strictly inside
+            all_closes.extend(w.push(tup(ts)).unwrap());
+        }
+        // Tuples reach 6.5 min: closes at 1..6 minutes = 6 windows.
+        assert_eq!(all_closes.len(), 6);
+        assert_eq!(all_closes[0].close, MINUTES);
+        // First window saw 2 tuples (0..1 min), third saw 6 (0..3 min).
+        assert_eq!(all_closes[0].rows.len(), 2);
+        assert_eq!(all_closes[2].rows.len(), 6);
+        // After 5 minutes the window is saturated at 10 tuples.
+        assert_eq!(all_closes[5].rows.len(), 10);
+    }
+
+    #[test]
+    fn sliding_window_evicts_expired() {
+        let mut w = time_buf(2 * MINUTES, MINUTES);
+        for i in 0..10 {
+            w.push(tup(i * MINUTES + 1)).unwrap();
+        }
+        // Buffer must hold at most ~2 minutes of data.
+        assert!(w.buffered() <= 3, "buffered = {}", w.buffered());
+    }
+
+    #[test]
+    fn heartbeat_closes_empty_windows() {
+        let mut w = time_buf(MINUTES, MINUTES);
+        w.push(tup(10)).unwrap();
+        let closes = w.advance_to(3 * MINUTES);
+        assert_eq!(closes.len(), 3);
+        assert_eq!(closes[0].rows.len(), 1);
+        assert!(closes[1].rows.is_empty(), "gap windows are empty");
+        assert!(closes[2].rows.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut w = time_buf(MINUTES, MINUTES);
+        w.push(tup(100)).unwrap();
+        assert!(w.push(tup(50)).is_err());
+        // Equal timestamps are fine (ties allowed).
+        w.push(tup(100)).unwrap();
+    }
+
+    #[test]
+    fn boundary_tuple_excluded_from_closing_window() {
+        let mut w = time_buf(MINUTES, MINUTES);
+        w.push(tup(10)).unwrap();
+        // Tuple exactly at the close boundary fires the window but is not
+        // inside it (half-open interval).
+        let closes = w.push(tup(MINUTES)).unwrap();
+        assert_eq!(closes.len(), 1);
+        assert_eq!(closes[0].rows.len(), 1);
+        let closes = w.advance_to(2 * MINUTES);
+        assert_eq!(closes[0].rows.len(), 1, "boundary tuple in next window");
+    }
+
+    #[test]
+    fn visible_not_multiple_of_advance_still_correct() {
+        // VISIBLE 90s ADVANCE 60s.
+        let mut w = time_buf(90 * 1_000_000, MINUTES);
+        let mut closes = Vec::new();
+        for i in 0..6 {
+            closes.extend(w.push(tup(i * 30_000_000 + 1)).unwrap());
+        }
+        closes.extend(w.advance_to(2 * MINUTES));
+        // close at 1min: [−30s, 60s) → tuples at 1, 30.000001s → 2 rows
+        // close at 2min: [30s, 120s) → tuples at 60..., 90..., and 30.000001 → 3 rows
+        assert_eq!(closes.len(), 2);
+        assert_eq!(closes[0].rows.len(), 2);
+        assert_eq!(closes[1].rows.len(), 3);
+    }
+
+    #[test]
+    fn row_window_counts() {
+        let mut w =
+            WindowBuffer::new(WindowSpec::Rows { visible: 3, advance: 2 }, Some(0)).unwrap();
+        let mut closes = Vec::new();
+        for i in 0..7 {
+            closes.extend(w.push(tup(i)).unwrap());
+        }
+        // Emits after rows 2, 4, 6 (every 2 rows).
+        assert_eq!(closes.len(), 3);
+        assert_eq!(closes[0].rows.len(), 2, "first window not yet full");
+        assert_eq!(closes[1].rows.len(), 3);
+        assert_eq!(closes[2].rows.len(), 3);
+        // cq_close for row windows is the newest tuple time.
+        assert_eq!(closes[2].close, 5);
+    }
+
+    #[test]
+    fn slices_window_concatenates_batches() {
+        let mut w = WindowBuffer::new(WindowSpec::Slices { count: 2 }, None).unwrap();
+        assert!(w.push_batch(100, vec![row![1i64]]).is_empty());
+        let closes = w.push_batch(200, vec![row![2i64], row![3i64]]);
+        assert_eq!(closes.len(), 1);
+        assert_eq!(closes[0].close, 200);
+        assert_eq!(closes[0].rows.len(), 3);
+        // Rolls forward: next batch drops the oldest.
+        let closes = w.push_batch(300, vec![row![4i64]]);
+        assert_eq!(closes[0].rows.len(), 3);
+        assert_eq!(closes[0].rows[0], row![2i64]);
+    }
+
+    #[test]
+    fn slices_one_window_passes_batches_through() {
+        let mut w = WindowBuffer::new(WindowSpec::Slices { count: 1 }, None).unwrap();
+        let closes = w.push_batch(100, vec![row![1i64]]);
+        assert_eq!(closes.len(), 1);
+        assert_eq!(closes[0].rows, vec![row![1i64]]);
+    }
+
+    #[test]
+    fn tuples_to_slices_buffer_rejected() {
+        let mut w = WindowBuffer::new(WindowSpec::Slices { count: 1 }, None).unwrap();
+        assert!(w.push(row![1i64]).is_err());
+    }
+
+    #[test]
+    fn resume_after_skips_old_windows() {
+        let mut w = time_buf(MINUTES, MINUTES);
+        w.resume_after(5 * MINUTES);
+        // A tuple at 5.5 minutes should NOT fire windows 1..5.
+        let closes = w.push(tup(5 * MINUTES + 30_000_000)).unwrap();
+        assert!(closes.is_empty());
+        let closes = w.advance_to(6 * MINUTES);
+        assert_eq!(closes.len(), 1);
+        assert_eq!(closes[0].close, 6 * MINUTES);
+    }
+
+    #[test]
+    fn negative_timestamps_align_correctly() {
+        let mut w = time_buf(MINUTES, MINUTES);
+        w.push(tup(-90_000_000)).unwrap(); // -1.5 min
+        let closes = w.advance_to(0);
+        // Window closing at -1min contains it; window at 0 does not.
+        assert_eq!(closes.len(), 2);
+        assert_eq!(closes[0].close, -MINUTES);
+        assert_eq!(closes[0].rows.len(), 1);
+        assert_eq!(closes[1].rows.len(), 0);
+    }
+}

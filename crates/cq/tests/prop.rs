@@ -1,0 +1,124 @@
+//! Property-based tests for window semantics and ordering.
+
+use proptest::prelude::*;
+use streamrel_cq::{ReorderBuffer, WindowBuffer};
+use streamrel_sql::WindowSpec;
+use streamrel_types::{Row, Value};
+
+fn tup(ts: i64) -> Row {
+    vec![Value::Timestamp(ts), Value::Int(ts)]
+}
+
+proptest! {
+    /// RSTREAM coverage: with VISIBLE = k * ADVANCE, every tuple appears
+    /// in exactly k consecutive windows once the stream has fully passed
+    /// it (the defining invariant of Figure 1's sequence-of-tables).
+    #[test]
+    fn every_tuple_in_exactly_k_windows(
+        k in 1i64..5,
+        advance in 1_000i64..100_000,
+        mut offsets in prop::collection::vec(0i64..1_000_000, 1..80),
+    ) {
+        offsets.sort_unstable();
+        let visible = k * advance;
+        let mut w = WindowBuffer::new(
+            WindowSpec::Time { visible, advance },
+            Some(0),
+        ).unwrap();
+        let mut appearances = std::collections::HashMap::new();
+        let mut closes = Vec::new();
+        for (i, off) in offsets.iter().enumerate() {
+            // Make timestamps unique so counting is unambiguous.
+            let ts = *off * 128 + i as i64;
+            closes.extend(w.push(tup(ts)).unwrap());
+            appearances.insert(ts, 0u32);
+        }
+        let max_ts = offsets.last().unwrap() * 128 + offsets.len() as i64;
+        // Flush far enough that every tuple's k windows have closed.
+        closes.extend(w.advance_to(max_ts + visible + advance));
+        for cw in &closes {
+            for row in &cw.rows {
+                let ts = row[0].as_timestamp().unwrap();
+                *appearances.get_mut(&ts).unwrap() += 1;
+            }
+        }
+        for (ts, n) in appearances {
+            prop_assert_eq!(n, k as u32, "tuple at {} seen in {} windows, want {}", ts, n, k);
+        }
+        // Window closes are strictly increasing by exactly `advance`.
+        for pair in closes.windows(2) {
+            prop_assert_eq!(pair[1].close - pair[0].close, advance);
+        }
+    }
+
+    /// Tumbling windows partition the stream: every tuple in exactly one
+    /// window, and window contents are disjoint and time-contiguous.
+    #[test]
+    fn tumbling_partitions(
+        advance in 1_000i64..50_000,
+        mut offsets in prop::collection::vec(0i64..500_000, 1..60),
+    ) {
+        offsets.sort_unstable();
+        offsets.dedup();
+        let mut w = WindowBuffer::new(WindowSpec::tumbling(advance), Some(0)).unwrap();
+        let mut closes = Vec::new();
+        for off in &offsets {
+            closes.extend(w.push(tup(*off)).unwrap());
+        }
+        closes.extend(w.advance_to(offsets.last().unwrap() + 2 * advance));
+        let emitted: usize = closes.iter().map(|c| c.rows.len()).sum();
+        prop_assert_eq!(emitted, offsets.len());
+        for cw in &closes {
+            for row in &cw.rows {
+                let ts = row[0].as_timestamp().unwrap();
+                prop_assert!(ts >= cw.close - advance && ts < cw.close);
+            }
+        }
+    }
+
+    /// Row windows emit every `advance` rows with at most `visible` rows.
+    #[test]
+    fn row_window_counts(
+        visible in 1u64..20,
+        advance in 1u64..20,
+        n in 1usize..200,
+    ) {
+        let mut w = WindowBuffer::new(
+            WindowSpec::Rows { visible, advance },
+            Some(0),
+        ).unwrap();
+        let mut emitted = 0usize;
+        for i in 0..n {
+            let closes = w.push(tup(i as i64)).unwrap();
+            for c in &closes {
+                prop_assert!(c.rows.len() as u64 <= visible);
+                emitted += 1;
+            }
+        }
+        prop_assert_eq!(emitted, n / advance as usize);
+    }
+
+    /// ReorderBuffer: released output is time-sorted, and with slack ≥ max
+    /// disorder, nothing is dropped.
+    #[test]
+    fn reorder_buffer_sorts_within_slack(
+        base in prop::collection::vec(0i64..100_000, 1..60),
+        jitter in prop::collection::vec(-500i64..500, 1..60),
+    ) {
+        let n = base.len().min(jitter.len());
+        let mut ordered: Vec<i64> = base[..n].to_vec();
+        ordered.sort_unstable();
+        let jittered: Vec<i64> = ordered.iter().zip(&jitter[..n]).map(|(a, j)| a + j).collect();
+        let mut buf = ReorderBuffer::new(0, 1_001); // slack > max disorder (2*500)
+        let mut out = Vec::new();
+        for ts in &jittered {
+            out.extend(buf.push(tup(*ts)).unwrap());
+        }
+        out.extend(buf.flush());
+        prop_assert_eq!(out.len(), n, "{} late drops", buf.late_drops());
+        let released: Vec<i64> = out.iter().map(|r| r[0].as_timestamp().unwrap()).collect();
+        let mut sorted = released.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(released, sorted);
+    }
+}

@@ -1,0 +1,443 @@
+//! Aggregate accumulators.
+//!
+//! Accumulators are explicitly **mergeable**: `update` folds one input in,
+//! `merge` combines two partial states. Mergeability is what enables the
+//! paper's shared "Jellybean" processing (§2.2, refs [4, 12]): the CQ layer
+//! keeps one partial accumulator per time slice and composes windows by
+//! merging slices, instead of re-aggregating raw rows per window per query.
+
+use std::collections::HashSet;
+
+use streamrel_types::{Error, Result, Value};
+
+use streamrel_sql::plan::{AggFunc, AggSpec};
+
+/// Partial state of one aggregate.
+#[derive(Debug, Clone)]
+enum State {
+    Count(i64),
+    SumInt { sum: i64, any: bool },
+    SumFloat { sum: f64, any: bool },
+    Avg { sum: f64, n: i64 },
+    /// Variance/stddev via mergeable (n, sum, sum of squares).
+    Var { n: i64, sum: f64, sumsq: f64, stddev: bool },
+    MinMax { best: Option<Value>, is_min: bool },
+    Distinct { seen: HashSet<Value>, func: AggFunc },
+}
+
+/// A running aggregate computation.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    state: State,
+}
+
+impl Accumulator {
+    /// Fresh accumulator for an aggregate spec.
+    pub fn new(spec: &AggSpec) -> Accumulator {
+        Accumulator::for_func(spec.func, spec.distinct, spec.arg.is_some() && {
+            matches!(
+                spec.arg.as_ref().map(|a| a.ty()),
+                Some(streamrel_types::DataType::Float)
+            )
+        })
+    }
+
+    /// Fresh accumulator by function; `float_arg` selects float summation.
+    pub fn for_func(func: AggFunc, distinct: bool, float_arg: bool) -> Accumulator {
+        let state = if distinct {
+            State::Distinct {
+                seen: HashSet::new(),
+                func,
+            }
+        } else {
+            match func {
+                AggFunc::Count => State::Count(0),
+                AggFunc::Sum if float_arg => State::SumFloat { sum: 0.0, any: false },
+                AggFunc::Sum => State::SumInt { sum: 0, any: false },
+                AggFunc::Avg => State::Avg { sum: 0.0, n: 0 },
+                AggFunc::Variance => State::Var {
+                    n: 0,
+                    sum: 0.0,
+                    sumsq: 0.0,
+                    stddev: false,
+                },
+                AggFunc::Stddev => State::Var {
+                    n: 0,
+                    sum: 0.0,
+                    sumsq: 0.0,
+                    stddev: true,
+                },
+                AggFunc::Min => State::MinMax {
+                    best: None,
+                    is_min: true,
+                },
+                AggFunc::Max => State::MinMax {
+                    best: None,
+                    is_min: false,
+                },
+            }
+        };
+        Accumulator { state }
+    }
+
+    /// Fold one input value in. `None` means a `count(*)` row (no
+    /// argument); `Some(Null)` is skipped per SQL aggregate semantics.
+    pub fn update(&mut self, arg: Option<&Value>) -> Result<()> {
+        match (&mut self.state, arg) {
+            (State::Count(n), None) => *n += 1,
+            (State::Count(n), Some(v)) => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            (_, None) => {
+                return Err(Error::analysis("aggregate requires an argument"));
+            }
+            (State::SumInt { sum, any }, Some(v)) => {
+                if !v.is_null() {
+                    *sum = sum.checked_add(v.as_int()?).ok_or_else(|| {
+                        Error::Arithmetic("sum() integer overflow".into())
+                    })?;
+                    *any = true;
+                }
+            }
+            (State::SumFloat { sum, any }, Some(v)) => {
+                if !v.is_null() {
+                    *sum += v.as_float()?;
+                    *any = true;
+                }
+            }
+            (State::Avg { sum, n }, Some(v)) => {
+                if !v.is_null() {
+                    *sum += v.as_float()?;
+                    *n += 1;
+                }
+            }
+            (State::Var { n, sum, sumsq, .. }, Some(v)) => {
+                if !v.is_null() {
+                    let x = v.as_float()?;
+                    *n += 1;
+                    *sum += x;
+                    *sumsq += x * x;
+                }
+            }
+            (State::MinMax { best, is_min }, Some(v)) => {
+                if !v.is_null() {
+                    let replace = match best {
+                        None => true,
+                        Some(b) => {
+                            if *is_min {
+                                v.sort_cmp(b).is_lt()
+                            } else {
+                                v.sort_cmp(b).is_gt()
+                            }
+                        }
+                    };
+                    if replace {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            (State::Distinct { seen, .. }, Some(v)) => {
+                if !v.is_null() {
+                    seen.insert(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another partial state into this one (slice composition).
+    pub fn merge(&mut self, other: &Accumulator) -> Result<()> {
+        match (&mut self.state, &other.state) {
+            (State::Count(a), State::Count(b)) => *a += b,
+            (
+                State::SumInt { sum: a, any: aa },
+                State::SumInt { sum: b, any: ba },
+            ) => {
+                *a = a
+                    .checked_add(*b)
+                    .ok_or_else(|| Error::Arithmetic("sum() integer overflow".into()))?;
+                *aa |= ba;
+            }
+            (
+                State::SumFloat { sum: a, any: aa },
+                State::SumFloat { sum: b, any: ba },
+            ) => {
+                *a += b;
+                *aa |= ba;
+            }
+            (State::Avg { sum: a, n: an }, State::Avg { sum: b, n: bn }) => {
+                *a += b;
+                *an += bn;
+            }
+            (
+                State::Var { n: an, sum: asum, sumsq: asq, .. },
+                State::Var { n: bn, sum: bsum, sumsq: bsq, .. },
+            ) => {
+                *an += bn;
+                *asum += bsum;
+                *asq += bsq;
+            }
+            (
+                State::MinMax { best: a, is_min },
+                State::MinMax { best: b, .. },
+            ) => {
+                if let Some(bv) = b {
+                    let replace = match a {
+                        None => true,
+                        Some(av) => {
+                            if *is_min {
+                                bv.sort_cmp(av).is_lt()
+                            } else {
+                                bv.sort_cmp(av).is_gt()
+                            }
+                        }
+                    };
+                    if replace {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (State::Distinct { seen: a, .. }, State::Distinct { seen: b, .. }) => {
+                a.extend(b.iter().cloned());
+            }
+            _ => {
+                return Err(Error::analysis(
+                    "cannot merge accumulators of different kinds",
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value: SQL semantics (`sum`/`min`/`max`/`avg` over nothing is
+    /// NULL; `count` over nothing is 0).
+    pub fn finish(&self) -> Value {
+        match &self.state {
+            State::Count(n) => Value::Int(*n),
+            State::SumInt { sum, any } => {
+                if *any {
+                    Value::Int(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            State::SumFloat { sum, any } => {
+                if *any {
+                    Value::Float(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            State::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / *n as f64)
+                }
+            }
+            State::Var { n, sum, sumsq, stddev } => {
+                if *n < 2 {
+                    Value::Null
+                } else {
+                    let nf = *n as f64;
+                    let var = ((sumsq - sum * sum / nf) / (nf - 1.0)).max(0.0);
+                    Value::Float(if *stddev { var.sqrt() } else { var })
+                }
+            }
+            State::MinMax { best, .. } => best.clone().unwrap_or(Value::Null),
+            State::Distinct { seen, func } => match func {
+                AggFunc::Count => Value::Int(seen.len() as i64),
+                AggFunc::Sum => {
+                    if seen.is_empty() {
+                        return Value::Null;
+                    }
+                    let mut int_sum = 0i64;
+                    let mut float_sum = 0.0f64;
+                    let mut is_float = false;
+                    for v in seen {
+                        match v {
+                            Value::Int(i) => {
+                                int_sum = int_sum.wrapping_add(*i);
+                                float_sum += *i as f64;
+                            }
+                            Value::Float(f) => {
+                                is_float = true;
+                                float_sum += f;
+                            }
+                            _ => return Value::Null,
+                        }
+                    }
+                    if is_float {
+                        Value::Float(float_sum)
+                    } else {
+                        Value::Int(int_sum)
+                    }
+                }
+                AggFunc::Avg => {
+                    if seen.is_empty() {
+                        Value::Null
+                    } else {
+                        let sum: f64 =
+                            seen.iter().filter_map(|v| v.as_float().ok()).sum();
+                        Value::Float(sum / seen.len() as f64)
+                    }
+                }
+                AggFunc::Variance | AggFunc::Stddev => {
+                    if seen.len() < 2 {
+                        return Value::Null;
+                    }
+                    let xs: Vec<f64> =
+                        seen.iter().filter_map(|v| v.as_float().ok()).collect();
+                    let n = xs.len() as f64;
+                    let sum: f64 = xs.iter().sum();
+                    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+                    let var = ((sumsq - sum * sum / n) / (n - 1.0)).max(0.0);
+                    Value::Float(if *func == AggFunc::Stddev {
+                        var.sqrt()
+                    } else {
+                        var
+                    })
+                }
+                AggFunc::Min => seen
+                    .iter()
+                    .min_by(|a, b| a.sort_cmp(b))
+                    .cloned()
+                    .unwrap_or(Value::Null),
+                AggFunc::Max => seen
+                    .iter()
+                    .max_by(|a, b| a.sort_cmp(b))
+                    .cloned()
+                    .unwrap_or(Value::Null),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(func: AggFunc) -> Accumulator {
+        Accumulator::for_func(func, false, false)
+    }
+
+    #[test]
+    fn count_star_and_count_col() {
+        let mut a = acc(AggFunc::Count);
+        a.update(None).unwrap();
+        a.update(None).unwrap();
+        assert_eq!(a.finish(), Value::Int(2));
+        let mut b = acc(AggFunc::Count);
+        b.update(Some(&Value::Int(1))).unwrap();
+        b.update(Some(&Value::Null)).unwrap();
+        assert_eq!(b.finish(), Value::Int(1), "count(col) skips NULLs");
+    }
+
+    #[test]
+    fn sum_skips_null_and_empty_is_null() {
+        let mut a = acc(AggFunc::Sum);
+        assert_eq!(a.finish(), Value::Null);
+        a.update(Some(&Value::Int(5))).unwrap();
+        a.update(Some(&Value::Null)).unwrap();
+        a.update(Some(&Value::Int(7))).unwrap();
+        assert_eq!(a.finish(), Value::Int(12));
+    }
+
+    #[test]
+    fn sum_overflow_detected() {
+        let mut a = acc(AggFunc::Sum);
+        a.update(Some(&Value::Int(i64::MAX))).unwrap();
+        assert!(a.update(Some(&Value::Int(1))).is_err());
+    }
+
+    #[test]
+    fn avg() {
+        let mut a = acc(AggFunc::Avg);
+        for v in [1, 2, 3, 4] {
+            a.update(Some(&Value::Int(v))).unwrap();
+        }
+        assert_eq!(a.finish(), Value::Float(2.5));
+        assert_eq!(acc(AggFunc::Avg).finish(), Value::Null);
+    }
+
+    #[test]
+    fn min_max() {
+        let mut mn = acc(AggFunc::Min);
+        let mut mx = acc(AggFunc::Max);
+        for v in ["pear", "apple", "zoo"] {
+            mn.update(Some(&Value::text(v))).unwrap();
+            mx.update(Some(&Value::text(v))).unwrap();
+        }
+        assert_eq!(mn.finish(), Value::text("apple"));
+        assert_eq!(mx.finish(), Value::text("zoo"));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        // Property: splitting the input across two accumulators and merging
+        // gives the same result as one accumulator (core slice-sharing
+        // invariant).
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            let vals: Vec<Value> = (0..10).map(Value::Int).collect();
+            let mut whole = acc(func);
+            for v in &vals {
+                whole.update(Some(v)).unwrap();
+            }
+            let mut left = acc(func);
+            let mut right = acc(func);
+            for v in &vals[..4] {
+                left.update(Some(v)).unwrap();
+            }
+            for v in &vals[4..] {
+                right.update(Some(v)).unwrap();
+            }
+            left.merge(&right).unwrap();
+            assert_eq!(left.finish(), whole.finish(), "{func:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_count_dedups_across_merge() {
+        let mut a = Accumulator::for_func(AggFunc::Count, true, false);
+        let mut b = Accumulator::for_func(AggFunc::Count, true, false);
+        for v in [1, 2, 2, 3] {
+            a.update(Some(&Value::Int(v))).unwrap();
+        }
+        for v in [3, 4] {
+            b.update(Some(&Value::Int(v))).unwrap();
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.finish(), Value::Int(4));
+    }
+
+    #[test]
+    fn distinct_sum_avg() {
+        let mut s = Accumulator::for_func(AggFunc::Sum, true, false);
+        for v in [2, 2, 3] {
+            s.update(Some(&Value::Int(v))).unwrap();
+        }
+        assert_eq!(s.finish(), Value::Int(5));
+        let mut av = Accumulator::for_func(AggFunc::Avg, true, false);
+        for v in [2, 2, 4] {
+            av.update(Some(&Value::Int(v))).unwrap();
+        }
+        assert_eq!(av.finish(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn mismatched_merge_rejected() {
+        let mut a = acc(AggFunc::Count);
+        let b = acc(AggFunc::Sum);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn float_sum() {
+        let mut a = Accumulator::for_func(AggFunc::Sum, false, true);
+        a.update(Some(&Value::Float(1.5))).unwrap();
+        a.update(Some(&Value::Int(2))).unwrap();
+        assert_eq!(a.finish(), Value::Float(3.5));
+    }
+}

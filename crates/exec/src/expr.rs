@@ -1,0 +1,692 @@
+//! Scalar expression evaluation over a single row.
+
+use streamrel_types::{DataType, Error, Result, Timestamp, Value};
+
+use streamrel_sql::plan::{BinaryOp, BoundExpr, ScalarFunc, UnaryOp};
+
+/// Per-evaluation context: values the expression tree cannot get from the
+/// row itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalContext {
+    /// The close timestamp of the current window (`cq_close(*)`), set by
+    /// the CQ runtime. `None` in snapshot queries.
+    pub cq_close: Option<Timestamp>,
+}
+
+impl EvalContext {
+    /// Context for one window close.
+    pub fn for_window(close: Timestamp) -> EvalContext {
+        EvalContext {
+            cq_close: Some(close),
+        }
+    }
+}
+
+/// Evaluate a bound expression against a row.
+pub fn eval(expr: &BoundExpr, row: &[Value], ctx: &EvalContext) -> Result<Value> {
+    match expr {
+        BoundExpr::Literal(v) => Ok(v.clone()),
+        BoundExpr::Column { index, .. } => row
+            .get(*index)
+            .cloned()
+            .ok_or_else(|| Error::analysis(format!("column index {index} out of range"))),
+        BoundExpr::CqClose => ctx
+            .cq_close
+            .map(Value::Timestamp)
+            .ok_or_else(|| Error::stream("cq_close(*) outside a window evaluation")),
+        BoundExpr::Unary { op, expr } => {
+            let v = eval(expr, row, ctx)?;
+            eval_unary(*op, v)
+        }
+        BoundExpr::Binary {
+            op, left, right, ..
+        } => {
+            // Short-circuit AND / OR with SQL three-valued logic.
+            match op {
+                BinaryOp::And => {
+                    let l = eval(left, row, ctx)?.as_bool()?;
+                    if l == Some(false) {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = eval(right, row, ctx)?.as_bool()?;
+                    Ok(match (l, r) {
+                        (Some(true), Some(true)) => Value::Bool(true),
+                        (_, Some(false)) => Value::Bool(false),
+                        _ => Value::Null,
+                    })
+                }
+                BinaryOp::Or => {
+                    let l = eval(left, row, ctx)?.as_bool()?;
+                    if l == Some(true) {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = eval(right, row, ctx)?.as_bool()?;
+                    Ok(match (l, r) {
+                        (Some(false), Some(false)) => Value::Bool(false),
+                        (_, Some(true)) => Value::Bool(true),
+                        _ => Value::Null,
+                    })
+                }
+                _ => {
+                    let l = eval(left, row, ctx)?;
+                    let r = eval(right, row, ctx)?;
+                    eval_binary(*op, l, r)
+                }
+            }
+        }
+        BoundExpr::Cast { expr, ty } => eval(expr, row, ctx)?.cast(*ty),
+        BoundExpr::IsNull { expr, negated } => {
+            let v = eval(expr, row, ctx)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, row, ctx)?;
+            let p = eval(pattern, row, ctx)?;
+            if v.is_null() || p.is_null() {
+                return Ok(Value::Null);
+            }
+            let matched = like_match(v.as_text()?, p.as_text()?);
+            Ok(Value::Bool(matched != *negated))
+        }
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, row, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval(item, row, ctx)?;
+                match v.sql_eq(&iv) {
+                    Some(true) => return Ok(Value::Bool(!*negated)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        BoundExpr::Case {
+            operand,
+            whens,
+            else_expr,
+            ..
+        } => {
+            let op_val = operand
+                .as_ref()
+                .map(|e| eval(e, row, ctx))
+                .transpose()?;
+            for (cond, result) in whens {
+                let hit = match &op_val {
+                    Some(v) => {
+                        let c = eval(cond, row, ctx)?;
+                        v.sql_eq(&c) == Some(true)
+                    }
+                    None => eval(cond, row, ctx)?.as_bool()? == Some(true),
+                };
+                if hit {
+                    return eval(result, row, ctx);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(e, row, ctx),
+                None => Ok(Value::Null),
+            }
+        }
+        BoundExpr::ScalarFunc { func, args, .. } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(a, row, ctx))
+                .collect::<Result<_>>()?;
+            eval_scalar(*func, vals)
+        }
+    }
+}
+
+/// Evaluate a predicate to a definite boolean: NULL counts as false (SQL
+/// WHERE semantics).
+pub fn eval_predicate(expr: &BoundExpr, row: &[Value], ctx: &EvalContext) -> Result<bool> {
+    Ok(eval(expr, row, ctx)?.as_bool()?.unwrap_or(false))
+}
+
+fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        UnaryOp::Not => Ok(Value::Bool(!v.as_bool()?.unwrap())),
+        UnaryOp::Neg => match v {
+            Value::Int(i) => i
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| Error::Arithmetic("integer negation overflow".into())),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            Value::Interval(i) => Ok(Value::Interval(-i)),
+            other => Err(Error::type_err(format!("cannot negate {other}"))),
+        },
+    }
+}
+
+fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
+    use BinaryOp::*;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        Eq | Neq | Lt | Le | Gt | Ge => {
+            let ord = l.sort_cmp(&r);
+            let b = match op {
+                Eq => ord.is_eq(),
+                Neq => ord.is_ne(),
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Concat => {
+            let ls = l.cast(DataType::Text)?;
+            let rs = r.cast(DataType::Text)?;
+            Ok(Value::text(format!(
+                "{}{}",
+                ls.as_text()?,
+                rs.as_text()?
+            )))
+        }
+        Add | Sub | Mul | Div | Mod => eval_arith(op, l, r),
+        And | Or => unreachable!("short-circuited in eval()"),
+    }
+}
+
+fn eval_arith(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
+    use BinaryOp::*;
+    use Value::*;
+    let div0 = || Error::Arithmetic("division by zero".into());
+    let overflow = || Error::Arithmetic("integer overflow".into());
+    match (&l, &r) {
+        (Int(a), Int(b)) => match op {
+            Add => a.checked_add(*b).map(Int).ok_or_else(overflow),
+            Sub => a.checked_sub(*b).map(Int).ok_or_else(overflow),
+            Mul => a.checked_mul(*b).map(Int).ok_or_else(overflow),
+            Div => {
+                if *b == 0 {
+                    Err(div0())
+                } else {
+                    Ok(Int(a / b))
+                }
+            }
+            Mod => {
+                if *b == 0 {
+                    Err(div0())
+                } else {
+                    Ok(Int(a % b))
+                }
+            }
+            _ => unreachable!(),
+        },
+        // Mixed numeric → float arithmetic.
+        (Int(_) | Float(_), Int(_) | Float(_)) => {
+            let a = l.as_float()?;
+            let b = r.as_float()?;
+            let v = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Err(div0());
+                    }
+                    a / b
+                }
+                Mod => {
+                    if b == 0.0 {
+                        return Err(div0());
+                    }
+                    a % b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Float(v))
+        }
+        (Timestamp(t), Interval(iv)) => match op {
+            Add => t.checked_add(*iv).map(Timestamp).ok_or_else(overflow),
+            Sub => t.checked_sub(*iv).map(Timestamp).ok_or_else(overflow),
+            _ => Err(type_mismatch(op, &l, &r)),
+        },
+        (Interval(iv), Timestamp(t)) if op == Add => {
+            t.checked_add(*iv).map(Timestamp).ok_or_else(overflow)
+        }
+        (Timestamp(a), Timestamp(b)) if op == Sub => {
+            a.checked_sub(*b).map(Interval).ok_or_else(overflow)
+        }
+        (Interval(a), Interval(b)) => match op {
+            Add => a.checked_add(*b).map(Interval).ok_or_else(overflow),
+            Sub => a.checked_sub(*b).map(Interval).ok_or_else(overflow),
+            _ => Err(type_mismatch(op, &l, &r)),
+        },
+        (Interval(a), Int(b)) => match op {
+            Mul => a.checked_mul(*b).map(Interval).ok_or_else(overflow),
+            Div => {
+                if *b == 0 {
+                    Err(div0())
+                } else {
+                    Ok(Interval(a / b))
+                }
+            }
+            _ => Err(type_mismatch(op, &l, &r)),
+        },
+        (Int(a), Interval(b)) if op == Mul => {
+            b.checked_mul(*a).map(Interval).ok_or_else(overflow)
+        }
+        (Interval(a), Float(b)) if op == Mul || op == Div => {
+            let v = if op == Mul {
+                *a as f64 * b
+            } else {
+                if *b == 0.0 {
+                    return Err(div0());
+                }
+                *a as f64 / b
+            };
+            Ok(Interval(v.round() as i64))
+        }
+        (Float(a), Interval(b)) if op == Mul => Ok(Interval((a * *b as f64).round() as i64)),
+        _ => Err(type_mismatch(op, &l, &r)),
+    }
+}
+
+fn type_mismatch(op: BinaryOp, l: &Value, r: &Value) -> Error {
+    Error::type_err(format!("operator {op:?} cannot combine {l} and {r}"))
+}
+
+/// SQL LIKE: `%` matches any run, `_` matches one character. Backslash
+/// escapes the next pattern character.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn go(t: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => {
+                // Try every split point (including empty).
+                (0..=t.len()).any(|k| go(&t[k..], &p[1..]))
+            }
+            Some('_') => !t.is_empty() && go(&t[1..], &p[1..]),
+            Some('\\') if p.len() > 1 => {
+                !t.is_empty() && t[0] == p[1] && go(&t[1..], &p[2..])
+            }
+            Some(c) => !t.is_empty() && t[0] == *c && go(&t[1..], &p[1..]),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    go(&t, &p)
+}
+
+fn eval_scalar(func: ScalarFunc, mut args: Vec<Value>) -> Result<Value> {
+    use ScalarFunc::*;
+    match func {
+        Abs => {
+            let v = args.remove(0);
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                Value::Interval(i) => Ok(Value::Interval(i.abs())),
+                other => Err(Error::type_err(format!("abs({other})"))),
+            }
+        }
+        Lower | Upper => {
+            let v = args.remove(0);
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let s = v.cast(DataType::Text)?;
+            let s = s.as_text()?;
+            Ok(Value::text(if func == Lower {
+                s.to_lowercase()
+            } else {
+                s.to_uppercase()
+            }))
+        }
+        Length => {
+            let v = args.remove(0);
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Int(v.as_text()?.chars().count() as i64))
+        }
+        Round | Floor | Ceil => {
+            let v = args.remove(0);
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i)),
+                Value::Float(f) => Ok(Value::Float(match func {
+                    Round => f.round(),
+                    Floor => f.floor(),
+                    Ceil => f.ceil(),
+                    _ => unreachable!(),
+                })),
+                other => Err(Error::type_err(format!("{func:?}({other})"))),
+            }
+        }
+        Coalesce => {
+            for v in args {
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        NullIf => {
+            let b = args.pop().unwrap();
+            let a = args.pop().unwrap();
+            if a.sql_eq(&b) == Some(true) {
+                Ok(Value::Null)
+            } else {
+                Ok(a)
+            }
+        }
+        Greatest | Least => {
+            let mut best: Option<Value> = None;
+            for v in args {
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = if func == Greatest {
+                            v.sort_cmp(&b).is_gt()
+                        } else {
+                            v.sort_cmp(&b).is_lt()
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        Substr => {
+            let (s, start, len) = match args.len() {
+                2 => (args[0].clone(), args[1].clone(), None),
+                3 => (args[0].clone(), args[1].clone(), Some(args[2].clone())),
+                _ => return Err(Error::analysis("substr arity")),
+            };
+            if s.is_null() || start.is_null() {
+                return Ok(Value::Null);
+            }
+            let text = s.as_text()?;
+            let start = (start.as_int()?.max(1) - 1) as usize;
+            let chars: Vec<char> = text.chars().collect();
+            let end = match len {
+                Some(l) => {
+                    if l.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    (start + l.as_int()?.max(0) as usize).min(chars.len())
+                }
+                None => chars.len(),
+            };
+            let start = start.min(chars.len());
+            Ok(Value::text(chars[start..end].iter().collect::<String>()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamrel_types::row;
+    use streamrel_types::time::{HOURS, WEEKS};
+
+    fn lit(v: Value) -> BoundExpr {
+        BoundExpr::Literal(v)
+    }
+
+    fn bin(op: BinaryOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+            ty: DataType::Bool, // ty unused at runtime
+        }
+    }
+
+    fn ev(e: &BoundExpr) -> Value {
+        eval(e, &[], &EvalContext::default()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(
+            ev(&bin(BinaryOp::Add, lit(Value::Int(2)), lit(Value::Int(3)))),
+            Value::Int(5)
+        );
+        assert_eq!(
+            ev(&bin(
+                BinaryOp::Mul,
+                lit(Value::Int(2)),
+                lit(Value::Float(1.5))
+            )),
+            Value::Float(3.0)
+        );
+        assert!(eval(
+            &bin(BinaryOp::Div, lit(Value::Int(1)), lit(Value::Int(0))),
+            &[],
+            &EvalContext::default()
+        )
+        .is_err());
+        assert!(eval(
+            &bin(
+                BinaryOp::Add,
+                lit(Value::Int(i64::MAX)),
+                lit(Value::Int(1))
+            ),
+            &[],
+            &EvalContext::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn temporal_arithmetic() {
+        // timestamp - interval = timestamp (Example 5's historical offset).
+        let e = bin(
+            BinaryOp::Sub,
+            lit(Value::Timestamp(10 * WEEKS)),
+            lit(Value::Interval(WEEKS)),
+        );
+        assert_eq!(ev(&e), Value::Timestamp(9 * WEEKS));
+        // timestamp - timestamp = interval
+        let e = bin(
+            BinaryOp::Sub,
+            lit(Value::Timestamp(3 * HOURS)),
+            lit(Value::Timestamp(HOURS)),
+        );
+        assert_eq!(ev(&e), Value::Interval(2 * HOURS));
+        // interval * 2
+        let e = bin(
+            BinaryOp::Mul,
+            lit(Value::Interval(HOURS)),
+            lit(Value::Int(2)),
+        );
+        assert_eq!(ev(&e), Value::Interval(2 * HOURS));
+    }
+
+    #[test]
+    fn null_propagation() {
+        let e = bin(BinaryOp::Add, lit(Value::Null), lit(Value::Int(1)));
+        assert_eq!(ev(&e), Value::Null);
+        let e = bin(BinaryOp::Eq, lit(Value::Null), lit(Value::Null));
+        assert_eq!(ev(&e), Value::Null);
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let t = || lit(Value::Bool(true));
+        let f = || lit(Value::Bool(false));
+        let n = || lit(Value::Null);
+        assert_eq!(ev(&bin(BinaryOp::And, f(), n())), Value::Bool(false));
+        assert_eq!(ev(&bin(BinaryOp::And, n(), f())), Value::Bool(false));
+        assert_eq!(ev(&bin(BinaryOp::And, t(), n())), Value::Null);
+        assert_eq!(ev(&bin(BinaryOp::Or, t(), n())), Value::Bool(true));
+        assert_eq!(ev(&bin(BinaryOp::Or, n(), t())), Value::Bool(true));
+        assert_eq!(ev(&bin(BinaryOp::Or, f(), n())), Value::Null);
+    }
+
+    #[test]
+    fn predicate_null_is_false() {
+        let e = bin(BinaryOp::Eq, lit(Value::Null), lit(Value::Int(1)));
+        assert!(!eval_predicate(&e, &[], &EvalContext::default()).unwrap());
+    }
+
+    #[test]
+    fn cq_close_requires_context() {
+        let e = BoundExpr::CqClose;
+        assert!(eval(&e, &[], &EvalContext::default()).is_err());
+        assert_eq!(
+            eval(&e, &[], &EvalContext::for_window(42)).unwrap(),
+            Value::Timestamp(42)
+        );
+    }
+
+    #[test]
+    fn column_access() {
+        let row = row![10i64, "x"];
+        let e = BoundExpr::Column {
+            index: 1,
+            ty: DataType::Text,
+        };
+        assert_eq!(eval(&e, &row, &EvalContext::default()).unwrap(), Value::text("x"));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(!like_match("hello", "h_"));
+        assert!(!like_match("hello", "world%"));
+        assert!(like_match("50%", "50\\%"));
+        assert!(!like_match("500", "50\\%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn case_expressions() {
+        // Searched CASE.
+        let e = BoundExpr::Case {
+            operand: None,
+            whens: vec![(
+                bin(BinaryOp::Gt, lit(Value::Int(5)), lit(Value::Int(3))),
+                lit(Value::text("big")),
+            )],
+            else_expr: Some(Box::new(lit(Value::text("small")))),
+            ty: DataType::Text,
+        };
+        assert_eq!(ev(&e), Value::text("big"));
+        // Simple CASE with operand.
+        let e = BoundExpr::Case {
+            operand: Some(Box::new(lit(Value::Int(2)))),
+            whens: vec![
+                (lit(Value::Int(1)), lit(Value::text("one"))),
+                (lit(Value::Int(2)), lit(Value::text("two"))),
+            ],
+            else_expr: None,
+            ty: DataType::Text,
+        };
+        assert_eq!(ev(&e), Value::text("two"));
+    }
+
+    #[test]
+    fn in_list_three_valued() {
+        let e = BoundExpr::InList {
+            expr: Box::new(lit(Value::Int(1))),
+            list: vec![lit(Value::Int(2)), lit(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(ev(&e), Value::Null, "not found but NULL present");
+        let e = BoundExpr::InList {
+            expr: Box::new(lit(Value::Int(2))),
+            list: vec![lit(Value::Int(2)), lit(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(ev(&e), Value::Bool(true));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let f = |func, args: Vec<Value>| {
+            eval_scalar(func, args).unwrap()
+        };
+        assert_eq!(f(ScalarFunc::Abs, vec![Value::Int(-3)]), Value::Int(3));
+        assert_eq!(
+            f(ScalarFunc::Upper, vec![Value::text("abc")]),
+            Value::text("ABC")
+        );
+        assert_eq!(f(ScalarFunc::Length, vec![Value::text("héllo")]), Value::Int(5));
+        assert_eq!(
+            f(
+                ScalarFunc::Coalesce,
+                vec![Value::Null, Value::Int(7), Value::Int(9)]
+            ),
+            Value::Int(7)
+        );
+        assert_eq!(
+            f(ScalarFunc::NullIf, vec![Value::Int(1), Value::Int(1)]),
+            Value::Null
+        );
+        assert_eq!(
+            f(
+                ScalarFunc::Greatest,
+                vec![Value::Int(1), Value::Int(9), Value::Int(4)]
+            ),
+            Value::Int(9)
+        );
+        assert_eq!(
+            f(
+                ScalarFunc::Substr,
+                vec![Value::text("continuous"), Value::Int(1), Value::Int(4)]
+            ),
+            Value::text("cont")
+        );
+        assert_eq!(f(ScalarFunc::Round, vec![Value::Float(2.5)]), Value::Float(3.0));
+    }
+
+    #[test]
+    fn concat_casts_operands() {
+        let e = bin(BinaryOp::Concat, lit(Value::Int(5)), lit(Value::text("x")));
+        assert_eq!(ev(&e), Value::text("5x"));
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let e = BoundExpr::IsNull {
+            expr: Box::new(lit(Value::Null)),
+            negated: false,
+        };
+        assert_eq!(ev(&e), Value::Bool(true));
+        let e = BoundExpr::IsNull {
+            expr: Box::new(lit(Value::Int(1))),
+            negated: true,
+        };
+        assert_eq!(ev(&e), Value::Bool(true));
+    }
+}

@@ -1,0 +1,19 @@
+//! Relational execution for streamrel.
+//!
+//! Executes a bound [`LogicalPlan`](streamrel_sql::LogicalPlan) over finite
+//! relations. The same operators serve both halves of the paper's
+//! stream-relational merger (§4): a snapshot query runs the plan once over
+//! table scans; the CQ runtime (`streamrel-cq`) runs the identical plan once
+//! per window, supplying the window relation for the plan's `StreamScan`
+//! leaf and the `cq_close` timestamp for the evaluator.
+
+pub mod agg;
+pub mod executor;
+pub mod expr;
+pub mod join;
+pub mod source;
+
+pub use agg::Accumulator;
+pub use executor::{execute, ExecContext};
+pub use expr::{eval, eval_predicate, EvalContext};
+pub use source::RelationSource;

@@ -1,0 +1,63 @@
+//! Data-source abstraction for the executor.
+
+use streamrel_types::{Relation, Result, Row, Value};
+
+/// Supplies table contents to the executor.
+///
+/// Implemented by the engine layer over the MVCC storage (a scan under a
+/// pinned snapshot — which snapshot is exactly the *window consistency*
+/// question of §4: snapshot queries use a fresh snapshot, CQs use the one
+/// pinned at the window boundary).
+pub trait RelationSource {
+    /// Materialize the visible rows of `table`.
+    fn scan_table(&self, table: &str) -> Result<Relation>;
+
+    /// Equality lookup through a secondary index on `column`, if one
+    /// exists. `Ok(None)` means "no usable index — fall back to a scan".
+    ///
+    /// This is the §3.3 payoff of Active Tables being plain tables:
+    /// "indexes can be defined over them to further improve query
+    /// performance" — stream-table joins (Example 5) use this to avoid
+    /// rescanning the archive at every window close.
+    fn index_lookup(&self, table: &str, column: &str, key: &Value) -> Result<Option<Vec<Row>>> {
+        let _ = (table, column, key);
+        Ok(None)
+    }
+}
+
+/// A trivial source over pre-materialized relations (tests, baselines).
+pub struct MapSource {
+    tables: std::collections::HashMap<String, Relation>,
+}
+
+impl MapSource {
+    /// Empty source.
+    pub fn new() -> MapSource {
+        MapSource {
+            tables: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Register a relation under a name.
+    pub fn with(mut self, name: &str, rel: Relation) -> MapSource {
+        self.tables.insert(name.to_ascii_lowercase(), rel);
+        self
+    }
+}
+
+impl Default for MapSource {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RelationSource for MapSource {
+    fn scan_table(&self, table: &str) -> Result<Relation> {
+        self.tables
+            .get(&table.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| {
+                streamrel_types::Error::catalog(format!("table `{table}` not found"))
+            })
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests: the accumulator merge law (the invariant the
+//! entire shared-slice design rests on) and executor algebraic identities.
+
+use proptest::prelude::*;
+use streamrel_exec::expr::{eval, EvalContext};
+use streamrel_exec::Accumulator;
+use streamrel_sql::plan::{AggFunc, BinaryOp, BoundExpr};
+use streamrel_types::Value;
+
+fn arb_vals() -> impl Strategy<Value = Vec<Option<i64>>> {
+    prop::collection::vec(prop::option::of(-1000i64..1000), 0..60)
+}
+
+fn feed(acc: &mut Accumulator, vals: &[Option<i64>]) {
+    for v in vals {
+        match v {
+            Some(x) => acc.update(Some(&Value::Int(*x))).unwrap(),
+            None => acc.update(Some(&Value::Null)).unwrap(),
+        }
+    }
+}
+
+proptest! {
+    /// Merge law: for every aggregate and every split of the input,
+    /// merging partials equals aggregating the whole. This is exactly why
+    /// slice-composed windows (shared mode) match raw re-aggregation.
+    #[test]
+    fn accumulator_merge_law(
+        vals in arb_vals(),
+        split in 0usize..60,
+        distinct in any::<bool>(),
+    ) {
+        let split = split.min(vals.len());
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            let mut whole = Accumulator::for_func(func, distinct, false);
+            feed(&mut whole, &vals);
+            let mut left = Accumulator::for_func(func, distinct, false);
+            let mut right = Accumulator::for_func(func, distinct, false);
+            feed(&mut left, &vals[..split]);
+            feed(&mut right, &vals[split..]);
+            left.merge(&right).unwrap();
+            prop_assert_eq!(
+                left.finish(), whole.finish(),
+                "{:?} distinct={} split={} vals={:?}", func, distinct, split, vals
+            );
+        }
+    }
+
+    /// Merge is associative: ((a+b)+c) == (a+(b+c)).
+    #[test]
+    fn accumulator_merge_associative(
+        a in arb_vals(), b in arb_vals(), c in arb_vals()
+    ) {
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            let mk = |vals: &[Option<i64>]| {
+                let mut acc = Accumulator::for_func(func, false, false);
+                feed(&mut acc, vals);
+                acc
+            };
+            let mut left_assoc = mk(&a);
+            left_assoc.merge(&mk(&b)).unwrap();
+            left_assoc.merge(&mk(&c)).unwrap();
+            let mut bc = mk(&b);
+            bc.merge(&mk(&c)).unwrap();
+            let mut right_assoc = mk(&a);
+            right_assoc.merge(&bc).unwrap();
+            prop_assert_eq!(left_assoc.finish(), right_assoc.finish(), "{:?}", func);
+        }
+    }
+
+    /// Comparison operators are coherent: exactly one of <, =, > holds for
+    /// non-null ints, and `a < b` iff `b > a`.
+    #[test]
+    fn comparison_coherence(a in any::<i64>(), b in any::<i64>()) {
+        let ctx = EvalContext::default();
+        let bin = |op, l: i64, r: i64| {
+            let e = BoundExpr::Binary {
+                op,
+                left: Box::new(BoundExpr::Literal(Value::Int(l))),
+                right: Box::new(BoundExpr::Literal(Value::Int(r))),
+                ty: streamrel_types::DataType::Bool,
+            };
+            eval(&e, &[], &ctx).unwrap() == Value::Bool(true)
+        };
+        let lt = bin(BinaryOp::Lt, a, b);
+        let eq = bin(BinaryOp::Eq, a, b);
+        let gt = bin(BinaryOp::Gt, a, b);
+        prop_assert_eq!(lt as u8 + eq as u8 + gt as u8, 1);
+        prop_assert_eq!(lt, bin(BinaryOp::Gt, b, a));
+        prop_assert_eq!(bin(BinaryOp::Le, a, b), lt || eq);
+    }
+
+    /// LIKE with only `%`/`_`-free patterns is string equality.
+    #[test]
+    fn like_without_wildcards_is_equality(
+        s in "[a-z]{0,12}",
+        p in "[a-z]{0,12}",
+    ) {
+        prop_assert_eq!(streamrel_exec::expr::like_match(&s, &p), s == p);
+    }
+
+    /// `x LIKE x` always holds for wildcard-free strings, and `%` matches
+    /// every string.
+    #[test]
+    fn like_reflexive_and_percent(s in "[a-z0-9 ]{0,16}") {
+        prop_assert!(streamrel_exec::expr::like_match(&s, &s));
+        prop_assert!(streamrel_exec::expr::like_match(&s, "%"));
+    }
+}

@@ -1,0 +1,357 @@
+//! SQL lexer.
+//!
+//! Produces a token stream with source offsets for error reporting.
+//! Keywords are recognized case-insensitively but identifiers preserve their
+//! original text (the analyzer lower-cases unquoted names, SQL-style).
+
+use streamrel_types::{Error, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Unquoted identifier or keyword (case preserved).
+    Ident(String),
+    /// Double-quoted identifier (case significant, quotes stripped).
+    QuotedIdent(String),
+    /// Single-quoted string literal (escapes processed).
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Punctuation / operator.
+    Symbol(Sym),
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Dot,
+    DoubleColon,
+    Concat,
+}
+
+/// A token with its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset where it starts.
+    pub offset: usize,
+}
+
+impl Token {
+    /// True if this is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> Result<Vec<SpannedToken>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // block comment
+                let mut depth = 1;
+                i += 2;
+                while i + 1 < bytes.len() && depth > 0 {
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else if bytes[i] == b'/' && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if depth > 0 {
+                    return Err(Error::parse("unterminated block comment"));
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(SpannedToken {
+                    token: Token::StringLit(s),
+                    offset: start,
+                });
+                i = next;
+            }
+            '"' => {
+                let end = input[i + 1..]
+                    .find('"')
+                    .ok_or_else(|| Error::parse("unterminated quoted identifier"))?;
+                tokens.push(SpannedToken {
+                    token: Token::QuotedIdent(input[i + 1..i + 1 + end].to_string()),
+                    offset: start,
+                });
+                i = i + 1 + end + 1;
+            }
+            '0'..='9' => {
+                let (tok, next) = lex_number(input, i)?;
+                tokens.push(SpannedToken {
+                    token: tok,
+                    offset: start,
+                });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                tokens.push(SpannedToken {
+                    token: Token::Ident(input[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            _ => {
+                let (sym, width) = match (c, bytes.get(i + 1).map(|&b| b as char)) {
+                    ('(', _) => (Sym::LParen, 1),
+                    (')', _) => (Sym::RParen, 1),
+                    (',', _) => (Sym::Comma, 1),
+                    (';', _) => (Sym::Semicolon, 1),
+                    ('*', _) => (Sym::Star, 1),
+                    ('+', _) => (Sym::Plus, 1),
+                    ('-', _) => (Sym::Minus, 1),
+                    ('/', _) => (Sym::Slash, 1),
+                    ('%', _) => (Sym::Percent, 1),
+                    ('.', _) => (Sym::Dot, 1),
+                    ('=', _) => (Sym::Eq, 1),
+                    ('!', Some('=')) => (Sym::Neq, 2),
+                    ('<', Some('>')) => (Sym::Neq, 2),
+                    ('<', Some('=')) => (Sym::Le, 2),
+                    ('<', _) => (Sym::Lt, 1),
+                    ('>', Some('=')) => (Sym::Ge, 2),
+                    ('>', _) => (Sym::Gt, 1),
+                    (':', Some(':')) => (Sym::DoubleColon, 2),
+                    ('|', Some('|')) => (Sym::Concat, 2),
+                    _ => {
+                        return Err(Error::parse(format!(
+                            "unexpected character `{c}` at offset {i}"
+                        )))
+                    }
+                };
+                tokens.push(SpannedToken {
+                    token: Token::Symbol(sym),
+                    offset: start,
+                });
+                i += width;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_string(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut s = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' => {
+                // '' escapes a quote
+                if bytes.get(i + 1) == Some(&b'\'') {
+                    s.push('\'');
+                    i += 2;
+                } else {
+                    return Ok((s, i + 1));
+                }
+            }
+            _ => {
+                // Advance by whole UTF-8 characters.
+                let ch_len = utf8_len(bytes[i]);
+                s.push_str(&input[i..i + ch_len]);
+                i += ch_len;
+            }
+        }
+    }
+    Err(Error::parse("unterminated string literal"))
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    let mut is_float = false;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    // Fractional part — but not `1..2` or method-like `1.x`.
+    if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &input[start..i];
+    let tok = if is_float {
+        Token::FloatLit(
+            text.parse()
+                .map_err(|_| Error::parse(format!("bad float literal `{text}`")))?,
+        )
+    } else {
+        Token::IntLit(
+            text.parse()
+                .map_err(|_| Error::parse(format!("integer literal `{text}` out of range")))?,
+        )
+    };
+    Ok((tok, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_paper_example_2() {
+        let sql = "SELECT url, count(*) url_count \
+                   FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'> \
+                   GROUP by url ORDER by url_count desc LIMIT 10";
+        let t = toks(sql);
+        assert!(t.contains(&Token::Ident("url_stream".into())));
+        assert!(t.contains(&Token::Symbol(Sym::Lt)));
+        assert!(t.contains(&Token::StringLit("5 minutes".into())));
+        assert!(t.contains(&Token::Symbol(Sym::Gt)));
+        assert!(t.contains(&Token::IntLit(10)));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Token::StringLit("it's".into())]);
+        assert_eq!(toks("'héllo'"), vec![Token::StringLit("héllo".into())]);
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Token::IntLit(42)]);
+        assert_eq!(toks("3.5"), vec![Token::FloatLit(3.5)]);
+        assert_eq!(toks("1e3"), vec![Token::FloatLit(1000.0)]);
+        assert_eq!(toks("2.5e-1"), vec![Token::FloatLit(0.25)]);
+        // Digits then dot then ident char: number, dot, ident (qualified use).
+        assert_eq!(
+            toks("1.x"),
+            vec![
+                Token::IntLit(1),
+                Token::Symbol(Sym::Dot),
+                Token::Ident("x".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a -- comment\n b /* block /* nested */ */ c"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Ident("c".into())
+            ]
+        );
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a <= b <> c >= d != e :: f || g"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Symbol(Sym::Le),
+                Token::Ident("b".into()),
+                Token::Symbol(Sym::Neq),
+                Token::Ident("c".into()),
+                Token::Symbol(Sym::Ge),
+                Token::Ident("d".into()),
+                Token::Symbol(Sym::Neq),
+                Token::Ident("e".into()),
+                Token::Symbol(Sym::DoubleColon),
+                Token::Ident("f".into()),
+                Token::Symbol(Sym::Concat),
+                Token::Ident("g".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(
+            toks(r#""Mixed Case""#),
+            vec![Token::QuotedIdent("Mixed Case".into())]
+        );
+        assert!(lex(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let spanned = lex("ab  cd").unwrap();
+        assert_eq!(spanned[0].offset, 0);
+        assert_eq!(spanned[1].offset, 4);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("select @x").is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! TruSQL-style SQL front-end.
+//!
+//! Implements the paper's language design (§3): standard SQL with *minimal
+//! extensions* — streams as ordered unbounded relations, window clauses on
+//! stream references, `CREATE STREAM`, `CREATE STREAM ... AS` (derived
+//! streams), `CREATE CHANNEL ... INTO ... APPEND|REPLACE`, and the
+//! `cq_close(*)` window-close function. Queries over tables alone are
+//! snapshot queries (SQ); any query touching a stream is a continuous query
+//! (CQ), per §3.1.
+//!
+//! Pipeline: [`lexer`] → [`parser`] (AST in [`ast`]) → [`analyzer`]
+//! (name/type binding, view inlining) → [`plan`] (logical plan consumed by
+//! `streamrel-exec` and `streamrel-cq`).
+
+pub mod analyzer;
+pub mod ast;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+
+pub use analyzer::{Analyzer, AnalyzedQuery, RelKind, SchemaProvider};
+pub use ast::{ChannelMode, Statement, WindowSpec};
+pub use parser::{parse_statement, parse_statements};
+pub use plan::{AggFunc, AggSpec, BinaryOp, BoundExpr, LogicalPlan, ScalarFunc, UnaryOp};

@@ -1,0 +1,110 @@
+//! Property-based parser robustness: the front-end must never panic, on
+//! any input — garbage returns `Err`, and everything it accepts must
+//! re-parse consistently.
+
+use proptest::prelude::*;
+use streamrel_sql::parser::{parse_statement, parse_statements};
+
+proptest! {
+    /// Arbitrary byte soup never panics the lexer/parser.
+    #[test]
+    fn parser_never_panics_on_garbage(input in ".{0,200}") {
+        let _ = parse_statements(&input);
+    }
+
+    /// SQL-flavored token soup never panics either (denser coverage of
+    /// parser paths than pure noise).
+    #[test]
+    fn parser_never_panics_on_sqlish(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("select"), Just("from"), Just("where"), Just("group"),
+                Just("by"), Just("order"), Just("limit"), Just("create"),
+                Just("stream"), Just("table"), Just("channel"), Just("as"),
+                Just("visible"), Just("advance"), Just("slices"), Just("windows"),
+                Just("count"), Just("sum"), Just("(*)"), Just("("), Just(")"),
+                Just(","), Just("<"), Just(">"), Just("'5 minutes'"), Just("*"),
+                Just("="), Just("+"), Just("t"), Just("x"), Just("1"), Just("'a'"),
+                Just("::"), Just("interval"), Just("case"), Just("when"),
+                Just("then"), Just("end"), Just("join"), Just("on"), Just(";"),
+            ],
+            0..30,
+        )
+    ) {
+        let sql = words.join(" ");
+        let _ = parse_statements(&sql);
+    }
+
+    /// Window clauses with arbitrary (positive) intervals parse and carry
+    /// the right microsecond values.
+    #[test]
+    fn window_clause_roundtrip(vis in 1u64..10_000, adv in 1u64..10_000) {
+        let sql = format!(
+            "select * from s <visible '{vis} seconds' advance '{adv} seconds'>"
+        );
+        let stmt = parse_statement(&sql).unwrap();
+        let streamrel_sql::ast::Statement::Select(q) = stmt else { panic!() };
+        let Some(streamrel_sql::ast::TableRef::Named { window, .. }) = q.from else {
+            panic!()
+        };
+        prop_assert_eq!(
+            window,
+            Some(streamrel_sql::WindowSpec::Time {
+                visible: vis as i64 * 1_000_000,
+                advance: adv as i64 * 1_000_000,
+            })
+        );
+    }
+
+    /// Any identifier-shaped name works for tables and columns.
+    #[test]
+    fn identifiers_roundtrip(name in "[a-z_][a-z0-9_]{0,20}") {
+        // Skip names that collide with reserved words.
+        prop_assume!(!["from","where","group","having","order","limit","on",
+            "join","inner","left","right","full","cross","and","or","not",
+            "as","union","select","when","then","else","end","asc","desc",
+            "between","in","like","is","into","values","set","case","null",
+            "true","false","interval","timestamp","cast"].contains(&name.as_str()));
+        let sql = format!("select {name} from {name}");
+        let stmt = parse_statement(&sql).unwrap();
+        let streamrel_sql::ast::Statement::Select(q) = stmt else { panic!() };
+        match &q.projection[0] {
+            streamrel_sql::ast::SelectItem::Expr {
+                expr: streamrel_sql::ast::Expr::Column { name: n, .. },
+                ..
+            } => prop_assert_eq!(n, &name),
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    /// Integer and float literals round-trip through the parser.
+    #[test]
+    fn numeric_literals_roundtrip(i in any::<i64>().prop_filter("nonneg", |v| *v >= 0)) {
+        let sql = format!("select {i}");
+        let stmt = parse_statement(&sql).unwrap();
+        let streamrel_sql::ast::Statement::Select(q) = stmt else { panic!() };
+        match &q.projection[0] {
+            streamrel_sql::ast::SelectItem::Expr {
+                expr: streamrel_sql::ast::Expr::Literal(streamrel_types::Value::Int(v)),
+                ..
+            } => prop_assert_eq!(*v, i),
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    /// String literals with embedded quotes round-trip via '' escaping.
+    #[test]
+    fn string_literals_roundtrip(s in "[a-zA-Z0-9' ]{0,30}") {
+        let escaped = s.replace('\'', "''");
+        let sql = format!("select '{escaped}'");
+        let stmt = parse_statement(&sql).unwrap();
+        let streamrel_sql::ast::Statement::Select(q) = stmt else { panic!() };
+        match &q.projection[0] {
+            streamrel_sql::ast::SelectItem::Expr {
+                expr: streamrel_sql::ast::Expr::Literal(streamrel_types::Value::Text(t)),
+                ..
+            } => prop_assert_eq!(t.as_ref(), s.as_str()),
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Storage-level catalog: tables, their heaps and indexes, plus a generic
+//! persistent key/value area used by the upper layers to store stream,
+//! view and channel DDL (replayed after storage recovery — the paper's
+//! "leverage large portions of existing DBMS code" in miniature, §4).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use streamrel_types::{Error, Result, Schema};
+
+use crate::heap::HeapTable;
+use crate::index::OrderedIndex;
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+/// A named index attached to a table.
+pub struct NamedIndex {
+    /// Index name (unique per engine).
+    pub name: String,
+    /// The index structure.
+    pub index: OrderedIndex,
+}
+
+/// Everything the engine knows about one table.
+pub struct TableMeta {
+    /// Stable numeric id (WAL records reference this).
+    pub id: u32,
+    /// Table name (case-insensitive unique).
+    pub name: String,
+    /// Column definitions.
+    pub schema: SchemaRef,
+    /// The versioned heap.
+    pub heap: HeapTable,
+    /// Secondary indexes.
+    pub indexes: RwLock<Vec<Arc<NamedIndex>>>,
+}
+
+/// In-memory catalog; persistence is handled by the engine via WAL records
+/// and checkpoints.
+#[derive(Default)]
+pub struct Catalog {
+    by_name: RwLock<HashMap<String, u32>>,
+    by_id: RwLock<HashMap<u32, Arc<TableMeta>>>,
+    next_id: AtomicU32,
+    kv: RwLock<BTreeMap<String, String>>,
+}
+
+impl Catalog {
+    /// Empty catalog; table ids start at 1.
+    pub fn new() -> Catalog {
+        Catalog {
+            next_id: AtomicU32::new(1),
+            ..Default::default()
+        }
+    }
+
+    /// Register a new table under a fresh id.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<Arc<TableMeta>> {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.create_table_with_id(id, name, schema)
+    }
+
+    /// Register a table under an explicit id (WAL replay / checkpoint load).
+    pub fn create_table_with_id(
+        &self,
+        id: u32,
+        name: &str,
+        schema: Schema,
+    ) -> Result<Arc<TableMeta>> {
+        let key = name.to_ascii_lowercase();
+        let mut by_name = self.by_name.write();
+        let mut by_id = self.by_id.write();
+        if by_name.contains_key(&key) {
+            return Err(Error::catalog(format!("table `{name}` already exists")));
+        }
+        if by_id.contains_key(&id) {
+            return Err(Error::catalog(format!("table id {id} already exists")));
+        }
+        // Keep the id allocator ahead of explicit ids.
+        let mut cur = self.next_id.load(Ordering::SeqCst);
+        while cur <= id {
+            match self.next_id.compare_exchange(cur, id + 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let meta = Arc::new(TableMeta {
+            id,
+            name: name.to_string(),
+            schema: Arc::new(schema),
+            heap: HeapTable::new(id),
+            indexes: RwLock::new(Vec::new()),
+        });
+        by_name.insert(key, id);
+        by_id.insert(id, Arc::clone(&meta));
+        Ok(meta)
+    }
+
+    /// Remove a table by id. Returns its meta for final cleanup.
+    pub fn drop_table(&self, id: u32) -> Result<Arc<TableMeta>> {
+        let mut by_name = self.by_name.write();
+        let mut by_id = self.by_id.write();
+        let meta = by_id
+            .remove(&id)
+            .ok_or_else(|| Error::catalog(format!("no table with id {id}")))?;
+        by_name.remove(&meta.name.to_ascii_lowercase());
+        Ok(meta)
+    }
+
+    /// Look up a table by name.
+    pub fn table_by_name(&self, name: &str) -> Result<Arc<TableMeta>> {
+        let id = *self
+            .by_name
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| Error::catalog(format!("table `{name}` does not exist")))?;
+        self.table_by_id(id)
+    }
+
+    /// Look up a table by id.
+    pub fn table_by_id(&self, id: u32) -> Result<Arc<TableMeta>> {
+        self.by_id
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::catalog(format!("no table with id {id}")))
+    }
+
+    /// True if a table with this name exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.by_name.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// All tables, ordered by id.
+    pub fn all_tables(&self) -> Vec<Arc<TableMeta>> {
+        let mut v: Vec<_> = self.by_id.read().values().cloned().collect();
+        v.sort_by_key(|m| m.id);
+        v
+    }
+
+    /// Set a persistent catalog key (engine logs it).
+    pub fn kv_put(&self, key: &str, value: &str) {
+        self.kv.write().insert(key.to_string(), value.to_string());
+    }
+
+    /// Read a catalog key.
+    pub fn kv_get(&self, key: &str) -> Option<String> {
+        self.kv.read().get(key).cloned()
+    }
+
+    /// Delete a catalog key; returns whether it existed.
+    pub fn kv_del(&self, key: &str) -> bool {
+        self.kv.write().remove(key).is_some()
+    }
+
+    /// All `(key, value)` pairs whose key starts with `prefix`, key-ordered.
+    pub fn kv_scan(&self, prefix: &str) -> Vec<(String, String)> {
+        self.kv
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamrel_types::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("a", DataType::Int)]).unwrap()
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let c = Catalog::new();
+        let t = c.create_table("Events", schema()).unwrap();
+        assert_eq!(t.id, 1);
+        assert_eq!(c.table_by_name("events").unwrap().id, 1);
+        assert_eq!(c.table_by_name("EVENTS").unwrap().id, 1);
+        assert!(c.has_table("events"));
+        assert!(!c.has_table("other"));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        assert!(c.create_table("T", schema()).is_err());
+    }
+
+    #[test]
+    fn explicit_id_bumps_allocator() {
+        let c = Catalog::new();
+        c.create_table_with_id(10, "a", schema()).unwrap();
+        let t = c.create_table("b", schema()).unwrap();
+        assert!(t.id > 10);
+    }
+
+    #[test]
+    fn drop_frees_name() {
+        let c = Catalog::new();
+        let t = c.create_table("t", schema()).unwrap();
+        c.drop_table(t.id).unwrap();
+        assert!(!c.has_table("t"));
+        assert!(c.table_by_id(t.id).is_err());
+        c.create_table("t", schema()).unwrap();
+    }
+
+    #[test]
+    fn kv_roundtrip_and_prefix_scan() {
+        let c = Catalog::new();
+        c.kv_put("stream.s1", "CREATE STREAM s1");
+        c.kv_put("stream.s2", "CREATE STREAM s2");
+        c.kv_put("view.v1", "CREATE VIEW v1");
+        assert_eq!(c.kv_get("stream.s1").as_deref(), Some("CREATE STREAM s1"));
+        let streams = c.kv_scan("stream.");
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].0, "stream.s1");
+        assert!(c.kv_del("stream.s1"));
+        assert!(!c.kv_del("stream.s1"));
+        assert_eq!(c.kv_scan("stream.").len(), 1);
+    }
+}

@@ -1,0 +1,977 @@
+//! The storage engine: transactions + catalog + WAL + checkpoints.
+//!
+//! [`StorageEngine`] is the durable half of the stream-relational system.
+//! It owns the transaction manager, the table catalog, the write-ahead log
+//! and checkpointing. Everything above it (snapshot queries, channels,
+//! Active Tables) goes through this API, so stored data really is "simply
+//! streaming data that has been entered into persistent structures" (§2.3).
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use streamrel_types::{Error, Result, Row, Schema};
+
+use crate::catalog::{Catalog, NamedIndex, SchemaRef, TableMeta};
+use crate::codec::{self, Reader};
+use crate::crc::crc32;
+use crate::heap::TupleId;
+use crate::index::{IndexKey, OrderedIndex};
+use crate::txn::{Snapshot, TxnId, TxnManager, TxnStatus, FROZEN_XID};
+use crate::wal::{replay, Wal, WalRecord};
+
+pub use crate::wal::SyncMode;
+
+const CHECKPOINT_FILE: &str = "checkpoint.dat";
+const WAL_FILE: &str = "wal.log";
+const CHECKPOINT_MAGIC: &[u8; 8] = b"SRCHKPT1";
+
+/// Counters exposed for tests, benchmarks and EXPERIMENTS.md tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// WAL records appended since open.
+    pub wal_records: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted.
+    pub aborts: u64,
+    /// Rows inserted.
+    pub inserts: u64,
+    /// Rows deleted.
+    pub deletes: u64,
+    /// WAL records replayed at open (recovery work).
+    pub replayed: u64,
+}
+
+/// The durable storage engine.
+pub struct StorageEngine {
+    dir: Option<PathBuf>,
+    txns: TxnManager,
+    catalog: Catalog,
+    wal: Option<Mutex<Wal>>,
+    stats: Mutex<EngineStats>,
+}
+
+impl StorageEngine {
+    /// Open (or create) an engine rooted at `dir` with the default
+    /// [`SyncMode::Flush`] durability.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<StorageEngine> {
+        Self::open_with(dir, SyncMode::Flush)
+    }
+
+    /// Open with an explicit durability mode. Loads the checkpoint (if any)
+    /// and replays the WAL: this is crash recovery for durable state.
+    pub fn open_with(dir: impl Into<PathBuf>, sync: SyncMode) -> Result<StorageEngine> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let engine = StorageEngine {
+            dir: Some(dir.clone()),
+            txns: TxnManager::new(),
+            catalog: Catalog::new(),
+            wal: None,
+            stats: Mutex::new(EngineStats::default()),
+        };
+        engine.load_checkpoint(&dir.join(CHECKPOINT_FILE))?;
+        let replayed = engine.replay_wal(&dir.join(WAL_FILE))?;
+        engine.stats.lock().replayed = replayed;
+        engine.rebuild_indexes();
+        let wal = Wal::open(dir.join(WAL_FILE), sync)?;
+        let engine = StorageEngine {
+            wal: Some(Mutex::new(wal)),
+            ..engine
+        };
+        Ok(engine)
+    }
+
+    /// A purely in-memory engine (no WAL, no checkpoints). Used by
+    /// baselines and benchmarks where durability is not under test.
+    pub fn in_memory() -> StorageEngine {
+        StorageEngine {
+            dir: None,
+            txns: TxnManager::new(),
+            catalog: Catalog::new(),
+            wal: None,
+            stats: Mutex::new(EngineStats::default()),
+        }
+    }
+
+    /// The data directory, if durable.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Engine statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.lock()
+    }
+
+    /// The transaction manager (CQ layer pins snapshots through this).
+    pub fn txns(&self) -> &TxnManager {
+        &self.txns
+    }
+
+    fn log(&self, rec: &WalRecord) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.lock().append(rec)?;
+            self.stats.lock().wal_records += 1;
+        }
+        Ok(())
+    }
+
+    fn log_sync(&self) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.lock().sync_commit()?;
+        }
+        Ok(())
+    }
+
+    // ---- transactions ----------------------------------------------------
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> Result<TxnId> {
+        let xid = self.txns.begin();
+        self.log(&WalRecord::Begin { xid })?;
+        Ok(xid)
+    }
+
+    /// Commit: logs the commit record, makes it durable, then flips status.
+    pub fn commit(&self, xid: TxnId) -> Result<()> {
+        self.log(&WalRecord::Commit { xid })?;
+        self.log_sync()?;
+        self.txns.commit(xid);
+        self.stats.lock().commits += 1;
+        Ok(())
+    }
+
+    /// Abort: the transaction's inserts/deletes become permanently
+    /// invisible (no physical undo needed under MVCC).
+    pub fn abort(&self, xid: TxnId) -> Result<()> {
+        self.log(&WalRecord::Abort { xid })?;
+        self.txns.abort(xid);
+        self.stats.lock().aborts += 1;
+        Ok(())
+    }
+
+    /// Fresh read-only snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        self.txns.snapshot(None)
+    }
+
+    /// Snapshot owned by `xid` (sees its own writes).
+    pub fn snapshot_for(&self, xid: TxnId) -> Snapshot {
+        self.txns.snapshot(Some(xid))
+    }
+
+    /// Run `f` inside a fresh transaction, committing on `Ok` and aborting
+    /// on `Err`.
+    pub fn with_txn<T>(&self, f: impl FnOnce(TxnId) -> Result<T>) -> Result<T> {
+        let xid = self.begin()?;
+        match f(xid) {
+            Ok(v) => {
+                self.commit(xid)?;
+                Ok(v)
+            }
+            Err(e) => {
+                self.abort(xid)?;
+                Err(e)
+            }
+        }
+    }
+
+    // ---- DDL ---------------------------------------------------------------
+
+    /// Create a table; DDL is logged and durable immediately.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<u32> {
+        let meta = self.catalog.create_table(name, schema)?;
+        self.log(&WalRecord::CreateTable {
+            id: meta.id,
+            name: meta.name.clone(),
+            schema: (*meta.schema).clone(),
+        })?;
+        self.log_sync()?;
+        Ok(meta.id)
+    }
+
+    /// Drop a table and its indexes.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let meta = self.catalog.table_by_name(name)?;
+        self.catalog.drop_table(meta.id)?;
+        self.log(&WalRecord::DropTable { id: meta.id })?;
+        self.log_sync()?;
+        Ok(())
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> Result<u32> {
+        Ok(self.catalog.table_by_name(name)?.id)
+    }
+
+    /// True if the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.catalog.has_table(name)
+    }
+
+    /// Table metadata by name.
+    pub fn table(&self, name: &str) -> Result<Arc<TableMeta>> {
+        self.catalog.table_by_name(name)
+    }
+
+    /// Table metadata by id.
+    pub fn table_by_id(&self, id: u32) -> Result<Arc<TableMeta>> {
+        self.catalog.table_by_id(id)
+    }
+
+    /// Schema of a table.
+    pub fn table_schema(&self, name: &str) -> Result<SchemaRef> {
+        Ok(self.catalog.table_by_name(name)?.schema.clone())
+    }
+
+    /// All table names, id-ordered.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog
+            .all_tables()
+            .iter()
+            .map(|t| t.name.clone())
+            .collect()
+    }
+
+    /// Create a named index over `columns` of `table`. The index definition
+    /// persists via the catalog KV area; entries are built from the current
+    /// heap and maintained on every subsequent insert.
+    pub fn create_index(&self, index_name: &str, table: &str, columns: &[String]) -> Result<()> {
+        let meta = self.catalog.table_by_name(table)?;
+        let mut cols = Vec::with_capacity(columns.len());
+        for c in columns {
+            cols.push(meta.schema.index_of(c)?);
+        }
+        {
+            let indexes = meta.indexes.read();
+            if indexes.iter().any(|i| i.name.eq_ignore_ascii_case(index_name)) {
+                return Err(Error::catalog(format!("index `{index_name}` already exists")));
+            }
+        }
+        let idx = OrderedIndex::new(cols.clone());
+        // Build from existing data: every version slot, visibility checked
+        // at read time.
+        for (slot, tv) in meta.heap.dump_versions() {
+            if let Some(row) = tv.row {
+                idx.insert(&row, slot);
+            }
+        }
+        meta.indexes.write().push(Arc::new(NamedIndex {
+            name: index_name.to_string(),
+            index: idx,
+        }));
+        let spec = format!("{}|{}", table, columns.join(","));
+        self.catalog_put(&format!("__index.{index_name}"), &spec)?;
+        Ok(())
+    }
+
+    /// Drop a named index (searching every table). Returns false if no
+    /// such index exists.
+    pub fn drop_index(&self, index_name: &str) -> Result<bool> {
+        let mut dropped = false;
+        for meta in self.catalog.all_tables() {
+            let mut indexes = meta.indexes.write();
+            let before = indexes.len();
+            indexes.retain(|i| !i.name.eq_ignore_ascii_case(index_name));
+            if indexes.len() != before {
+                dropped = true;
+            }
+        }
+        if dropped {
+            self.catalog_del(&format!("__index.{index_name}"))?;
+        }
+        Ok(dropped)
+    }
+
+    /// Find an index on `table` whose first key column is `column`.
+    pub fn index_on(&self, table: &str, column: &str) -> Option<Arc<NamedIndex>> {
+        let meta = self.catalog.table_by_name(table).ok()?;
+        let col = meta.schema.index_of(column).ok()?;
+        let indexes = meta.indexes.read();
+        indexes
+            .iter()
+            .find(|i| i.index.key_columns().first() == Some(&col))
+            .cloned()
+    }
+
+    // ---- DML ---------------------------------------------------------------
+
+    /// Insert a row (coerced against the schema) under transaction `xid`.
+    pub fn insert(&self, xid: TxnId, table_id: u32, row: Row) -> Result<TupleId> {
+        let meta = self.catalog.table_by_id(table_id)?;
+        let row = meta.schema.coerce_row(row)?;
+        let tid = meta.heap.insert(xid, row.clone());
+        for idx in meta.indexes.read().iter() {
+            idx.index.insert(&row, tid.slot);
+        }
+        self.log(&WalRecord::Insert {
+            xid,
+            table: table_id,
+            slot: tid.slot,
+            row,
+        })?;
+        self.stats.lock().inserts += 1;
+        Ok(tid)
+    }
+
+    /// Insert many rows in one transaction scope (amortizes lock traffic).
+    pub fn insert_many(&self, xid: TxnId, table_id: u32, rows: Vec<Row>) -> Result<u64> {
+        let mut n = 0;
+        for row in rows {
+            self.insert(xid, table_id, row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Delete the tuple at `tid`, erroring on a write-write conflict with a
+    /// concurrent (non-aborted) deleter.
+    pub fn delete(&self, xid: TxnId, tid: TupleId) -> Result<()> {
+        let meta = self.catalog.table_by_id(tid.table)?;
+        let ok = meta
+            .heap
+            .delete(xid, tid.slot, |other| self.txns.is_aborted(other));
+        if !ok {
+            return Err(Error::TxnAborted(format!(
+                "write-write conflict or missing tuple at {tid:?}"
+            )));
+        }
+        self.log(&WalRecord::Delete {
+            xid,
+            table: tid.table,
+            slot: tid.slot,
+        })?;
+        self.stats.lock().deletes += 1;
+        Ok(())
+    }
+
+    /// Delete every row visible to `xid`'s snapshot (used by REPLACE
+    /// channels and `DELETE FROM t` without a predicate).
+    pub fn delete_all_visible(&self, xid: TxnId, table_id: u32) -> Result<u64> {
+        let meta = self.catalog.table_by_id(table_id)?;
+        let snap = self.snapshot_for(xid);
+        let victims = meta.heap.scan(&snap, &|x| self.txns.is_aborted(x));
+        let mut n = 0;
+        for (tid, _) in victims {
+            self.delete(xid, tid)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Non-MVCC bulk truncate (requires the caller to ensure quiescence;
+    /// used by explicit `TRUNCATE` DDL, not by channels).
+    pub fn truncate(&self, table_id: u32) -> Result<()> {
+        let meta = self.catalog.table_by_id(table_id)?;
+        meta.heap.truncate();
+        for idx in meta.indexes.read().iter() {
+            idx.index.clear();
+        }
+        self.log(&WalRecord::Truncate {
+            table: table_id,
+            xid: 0,
+        })?;
+        self.log_sync()?;
+        Ok(())
+    }
+
+    /// Scan all rows of a table visible to `snap`.
+    pub fn scan(&self, table_id: u32, snap: &Snapshot) -> Result<Vec<(TupleId, Row)>> {
+        let meta = self.catalog.table_by_id(table_id)?;
+        Ok(meta.heap.scan(snap, &|x| self.txns.is_aborted(x)))
+    }
+
+    /// Visit visible rows; callback returns false to stop (LIMIT pushdown).
+    pub fn scan_visit(
+        &self,
+        table_id: u32,
+        snap: &Snapshot,
+        f: impl FnMut(TupleId, &Row) -> bool,
+    ) -> Result<()> {
+        let meta = self.catalog.table_by_id(table_id)?;
+        meta.heap
+            .for_each_visible(snap, &|x| self.txns.is_aborted(x), f);
+        Ok(())
+    }
+
+    /// Equality lookup through a named index, returning visible rows.
+    pub fn index_lookup(
+        &self,
+        table: &str,
+        index: &NamedIndex,
+        key: &IndexKey,
+        snap: &Snapshot,
+    ) -> Result<Vec<(TupleId, Row)>> {
+        let meta = self.catalog.table_by_name(table)?;
+        let mut out = Vec::new();
+        for slot in index.index.lookup(key) {
+            if let Some(row) = meta.heap.get(slot, snap, &|x| self.txns.is_aborted(x)) {
+                out.push((
+                    TupleId {
+                        table: meta.id,
+                        slot,
+                    },
+                    row,
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reclaim dead tuple versions across all tables; returns count.
+    pub fn vacuum(&self) -> usize {
+        let horizon = self.txns.snapshot(None).xmax;
+        let committed = |x: TxnId| self.txns.status(x) == TxnStatus::Committed;
+        let aborted = |x: TxnId| self.txns.is_aborted(x);
+        let mut total = 0;
+        for meta in self.catalog.all_tables() {
+            let reclaimed = meta.heap.vacuum(horizon, &committed, &aborted);
+            for idx in meta.indexes.read().iter() {
+                for (slot, row) in &reclaimed {
+                    idx.index.remove(row, *slot);
+                }
+            }
+            total += reclaimed.len();
+        }
+        total
+    }
+
+    // ---- catalog KV (upper-layer DDL persistence) --------------------------
+
+    /// Persist an upper-layer catalog entry (stream/view/channel DDL text).
+    pub fn catalog_put(&self, key: &str, value: &str) -> Result<()> {
+        self.catalog.kv_put(key, value);
+        self.log(&WalRecord::CatalogPut {
+            key: key.to_string(),
+            value: value.to_string(),
+        })?;
+        self.log_sync()?;
+        Ok(())
+    }
+
+    /// Persist a catalog entry atomically with transaction `xid`: on
+    /// replay the entry applies only if `xid` committed. The in-memory
+    /// value is set immediately (the caller commits or the whole operation
+    /// fails). Durability rides on the transaction's commit sync.
+    pub fn catalog_put_txn(&self, xid: TxnId, key: &str, value: &str) -> Result<()> {
+        self.catalog.kv_put(key, value);
+        self.log(&WalRecord::CatalogPutTxn {
+            xid,
+            key: key.to_string(),
+            value: value.to_string(),
+        })?;
+        Ok(())
+    }
+
+    /// Read an upper-layer catalog entry.
+    pub fn catalog_get(&self, key: &str) -> Option<String> {
+        self.catalog.kv_get(key)
+    }
+
+    /// Delete an upper-layer catalog entry.
+    pub fn catalog_del(&self, key: &str) -> Result<bool> {
+        let existed = self.catalog.kv_del(key);
+        if existed {
+            self.log(&WalRecord::CatalogDel {
+                key: key.to_string(),
+            })?;
+            self.log_sync()?;
+        }
+        Ok(existed)
+    }
+
+    /// Prefix scan over upper-layer catalog entries.
+    pub fn catalog_scan(&self, prefix: &str) -> Vec<(String, String)> {
+        self.catalog.kv_scan(prefix)
+    }
+
+    // ---- checkpoint / recovery ---------------------------------------------
+
+    /// Write a checkpoint capturing all committed state, then truncate the
+    /// WAL. Requires no in-flight transactions (callers quiesce first).
+    pub fn checkpoint(&self) -> Result<()> {
+        let dir = match &self.dir {
+            Some(d) => d.clone(),
+            None => return Err(Error::storage("in-memory engine cannot checkpoint")),
+        };
+        if self.txns.active_count() > 0 {
+            return Err(Error::storage(
+                "checkpoint requires quiescence (active transactions exist)",
+            ));
+        }
+        let snap = self.snapshot();
+        let aborted = |x: TxnId| self.txns.is_aborted(x);
+
+        let mut body = Vec::new();
+        let tables = self.catalog.all_tables();
+        codec::put_u64(&mut body, snap.xmax);
+        codec::put_u32(&mut body, tables.len() as u32);
+        for meta in &tables {
+            codec::put_u32(&mut body, meta.id);
+            codec::put_str(&mut body, &meta.name);
+            codec::encode_schema(&mut body, &meta.schema);
+            let rows = meta.heap.scan(&snap, &aborted);
+            codec::put_u64(&mut body, rows.len() as u64);
+            for (_, row) in rows {
+                codec::encode_row(&mut body, &row);
+            }
+        }
+        let kv = self.catalog.kv_scan("");
+        codec::put_u32(&mut body, kv.len() as u32);
+        for (k, v) in kv {
+            codec::put_str(&mut body, &k);
+            codec::put_str(&mut body, &v);
+        }
+
+        let tmp = dir.join("checkpoint.tmp");
+        let final_path = dir.join(CHECKPOINT_FILE);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(CHECKPOINT_MAGIC)?;
+            f.write_all(&(body.len() as u64).to_le_bytes())?;
+            f.write_all(&crc32(&body).to_le_bytes())?;
+            f.write_all(&body)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &final_path)?;
+        if let Some(wal) = &self.wal {
+            wal.lock().reset()?;
+        }
+        self.txns.prune_below(snap.xmax);
+        Ok(())
+    }
+
+    fn load_checkpoint(&self, path: &Path) -> Result<()> {
+        let mut data = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        }
+        if data.len() < 20 || &data[..8] != CHECKPOINT_MAGIC {
+            return Err(Error::storage("bad checkpoint header"));
+        }
+        let len = u64::from_le_bytes(data[8..16].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(data[16..20].try_into().unwrap());
+        if data.len() < 20 + len {
+            return Err(Error::storage("truncated checkpoint"));
+        }
+        let body = &data[20..20 + len];
+        if crc32(body) != crc {
+            return Err(Error::storage("checkpoint crc mismatch"));
+        }
+        let mut r = Reader::new(body);
+        let next_xid = r.u64()?;
+        let ntables = r.u32()?;
+        for _ in 0..ntables {
+            let id = r.u32()?;
+            let name = r.str()?;
+            let schema = codec::decode_schema(&mut r)?;
+            let meta = self.catalog.create_table_with_id(id, &name, schema)?;
+            let nrows = r.u64()?;
+            for _ in 0..nrows {
+                let row = codec::decode_row(&mut r)?;
+                meta.heap.insert(FROZEN_XID, row);
+            }
+        }
+        let nkv = r.u32()?;
+        for _ in 0..nkv {
+            let k = r.str()?;
+            let v = r.str()?;
+            self.catalog.kv_put(&k, &v);
+        }
+        self.txns.bump_next_xid(next_xid);
+        Ok(())
+    }
+
+    fn replay_wal(&self, path: &Path) -> Result<u64> {
+        let (records, _) = replay(path)?;
+        let n = records.len() as u64;
+        let mut seen: HashMap<TxnId, TxnStatus> = HashMap::new();
+        let mut max_xid = 0;
+        // Transactional catalog entries apply only if their transaction
+        // committed; buffer them until outcomes are known.
+        let mut txn_puts: Vec<(TxnId, String, String)> = Vec::new();
+        for rec in records {
+            match rec {
+                WalRecord::Begin { xid } => {
+                    seen.insert(xid, TxnStatus::InProgress);
+                    max_xid = max_xid.max(xid);
+                }
+                WalRecord::Insert {
+                    xid,
+                    table,
+                    slot,
+                    row,
+                } => {
+                    if let Ok(meta) = self.catalog.table_by_id(table) {
+                        meta.heap.insert_at(xid, slot, row);
+                    }
+                    max_xid = max_xid.max(xid);
+                }
+                WalRecord::Delete { xid, table, slot } => {
+                    if let Ok(meta) = self.catalog.table_by_id(table) {
+                        meta.heap.delete(xid, slot, |_| true);
+                    }
+                    max_xid = max_xid.max(xid);
+                }
+                WalRecord::Commit { xid } => {
+                    seen.insert(xid, TxnStatus::Committed);
+                }
+                WalRecord::Abort { xid } => {
+                    seen.insert(xid, TxnStatus::Aborted);
+                }
+                WalRecord::CreateTable { id, name, schema } => {
+                    self.catalog.create_table_with_id(id, &name, schema)?;
+                }
+                WalRecord::DropTable { id } => {
+                    let _ = self.catalog.drop_table(id);
+                }
+                WalRecord::Truncate { table, .. } => {
+                    if let Ok(meta) = self.catalog.table_by_id(table) {
+                        meta.heap.truncate();
+                    }
+                }
+                WalRecord::CatalogPut { key, value } => {
+                    self.catalog.kv_put(&key, &value);
+                }
+                WalRecord::CatalogPutTxn { xid, key, value } => {
+                    max_xid = max_xid.max(xid);
+                    txn_puts.push((xid, key, value));
+                }
+                WalRecord::CatalogDel { key } => {
+                    self.catalog.kv_del(&key);
+                }
+            }
+        }
+        for (xid, key, value) in txn_puts {
+            let committed = seen.get(&xid) == Some(&TxnStatus::Committed);
+            if committed {
+                self.catalog.kv_put(&key, &value);
+            }
+        }
+        // Transactions with no commit record crashed in flight: aborted.
+        for (xid, status) in seen {
+            let final_status = if status == TxnStatus::InProgress {
+                TxnStatus::Aborted
+            } else {
+                status
+            };
+            self.txns.set_status(xid, final_status);
+        }
+        self.txns.bump_next_xid(max_xid + 1);
+        Ok(n)
+    }
+
+    fn rebuild_indexes(&self) {
+        for meta in self.catalog.all_tables() {
+            let defs: Vec<_> = self
+                .catalog
+                .kv_scan("__index.")
+                .into_iter()
+                .filter_map(|(k, v)| {
+                    let name = k.strip_prefix("__index.")?.to_string();
+                    let (tbl, cols) = v.split_once('|')?;
+                    if tbl.eq_ignore_ascii_case(&meta.name) {
+                        Some((name, cols.split(',').map(str::to_string).collect::<Vec<_>>()))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            for (name, cols) in defs {
+                let positions: Option<Vec<usize>> = cols
+                    .iter()
+                    .map(|c| meta.schema.index_of(c).ok())
+                    .collect();
+                let Some(positions) = positions else { continue };
+                let idx = OrderedIndex::new(positions);
+                for (slot, tv) in meta.heap.dump_versions() {
+                    if let Some(row) = tv.row {
+                        idx.insert(&row, slot);
+                    }
+                }
+                meta.indexes.write().push(Arc::new(NamedIndex { name, index: idx }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamrel_types::{row, Column, DataType};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "streamrel-engine-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::not_null("url", DataType::Text),
+            Column::new("hits", DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn visible_rows(e: &StorageEngine, table: &str) -> Vec<Row> {
+        let id = e.table_id(table).unwrap();
+        let snap = e.snapshot();
+        let mut rows: Vec<Row> = e
+            .scan(id, &snap)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        rows.sort_by(|a, b| a[0].sort_cmp(&b[0]));
+        rows
+    }
+
+    #[test]
+    fn insert_commit_scan() {
+        let e = StorageEngine::in_memory();
+        let t = e.create_table("urls", schema()).unwrap();
+        e.with_txn(|xid| {
+            e.insert(xid, t, row!["/a", 1i64])?;
+            e.insert(xid, t, row!["/b", 2i64])?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            visible_rows(&e, "urls"),
+            vec![row!["/a", 1i64], row!["/b", 2i64]]
+        );
+    }
+
+    #[test]
+    fn failed_txn_leaves_no_trace() {
+        let e = StorageEngine::in_memory();
+        let t = e.create_table("urls", schema()).unwrap();
+        let r: Result<()> = e.with_txn(|xid| {
+            e.insert(xid, t, row!["/a", 1i64])?;
+            Err(Error::analysis("boom"))
+        });
+        assert!(r.is_err());
+        assert!(visible_rows(&e, "urls").is_empty());
+        assert_eq!(e.stats().aborts, 1);
+    }
+
+    #[test]
+    fn durable_recovery_replays_wal() {
+        let dir = tmpdir("recovery");
+        {
+            let e = StorageEngine::open(&dir).unwrap();
+            let t = e.create_table("urls", schema()).unwrap();
+            e.with_txn(|xid| {
+                e.insert(xid, t, row!["/a", 1i64])?;
+                e.insert(xid, t, row!["/b", 2i64])
+            })
+            .unwrap();
+            // Uncommitted transaction, lost on "crash".
+            let xid = e.begin().unwrap();
+            e.insert(xid, t, row!["/ghost", 9i64]).unwrap();
+            if let Some(w) = &e.wal {
+                w.lock().sync_commit().unwrap();
+            }
+            // Drop without commit = crash.
+        }
+        let e = StorageEngine::open(&dir).unwrap();
+        assert_eq!(
+            visible_rows(&e, "urls"),
+            vec![row!["/a", 1i64], row!["/b", 2i64]],
+            "committed rows survive, in-flight insert is aborted"
+        );
+        assert!(e.stats().replayed > 0);
+    }
+
+    #[test]
+    fn checkpoint_then_recover() {
+        let dir = tmpdir("checkpoint");
+        {
+            let e = StorageEngine::open(&dir).unwrap();
+            let t = e.create_table("urls", schema()).unwrap();
+            e.with_txn(|xid| e.insert(xid, t, row!["/a", 1i64])).unwrap();
+            e.checkpoint().unwrap();
+            // Post-checkpoint WAL traffic.
+            e.with_txn(|xid| e.insert(xid, t, row!["/b", 2i64])).unwrap();
+        }
+        let e = StorageEngine::open(&dir).unwrap();
+        assert_eq!(
+            visible_rows(&e, "urls"),
+            vec![row!["/a", 1i64], row!["/b", 2i64]]
+        );
+        // DDL after recovery still works (id allocator restored).
+        e.create_table("more", schema()).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_requires_quiescence() {
+        let dir = tmpdir("quiesce");
+        let e = StorageEngine::open(&dir).unwrap();
+        let _t = e.create_table("urls", schema()).unwrap();
+        let xid = e.begin().unwrap();
+        assert!(e.checkpoint().is_err());
+        e.commit(xid).unwrap();
+        e.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn transactional_catalog_put_respects_commit_outcome() {
+        let dir = tmpdir("cputx");
+        {
+            let e = StorageEngine::open(&dir).unwrap();
+            let t = e.create_table("arch", schema()).unwrap();
+            // Committed: rows + watermark atomically.
+            e.with_txn(|x| {
+                e.insert(x, t, row!["/a", 1i64])?;
+                e.catalog_put_txn(x, "cq_watermark.q", "100")
+            })
+            .unwrap();
+            // In-flight at crash: rows + watermark must BOTH vanish.
+            let x = e.begin().unwrap();
+            e.insert(x, t, row!["/b", 2i64]).unwrap();
+            e.catalog_put_txn(x, "cq_watermark.q", "200").unwrap();
+            if let Some(w) = &e.wal {
+                w.lock().sync_commit().unwrap();
+            }
+            // Crash without commit.
+        }
+        let e = StorageEngine::open(&dir).unwrap();
+        assert_eq!(
+            e.catalog_get("cq_watermark.q").as_deref(),
+            Some("100"),
+            "uncommitted watermark must not survive"
+        );
+        assert_eq!(visible_rows(&e, "arch"), vec![row!["/a", 1i64]]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn catalog_kv_survives_restart() {
+        let dir = tmpdir("kv");
+        {
+            let e = StorageEngine::open(&dir).unwrap();
+            e.catalog_put("stream.url_stream", "CREATE STREAM url_stream").unwrap();
+            e.catalog_put("view.v", "CREATE VIEW v").unwrap();
+            e.catalog_del("view.v").unwrap();
+        }
+        let e = StorageEngine::open(&dir).unwrap();
+        assert_eq!(
+            e.catalog_get("stream.url_stream").as_deref(),
+            Some("CREATE STREAM url_stream")
+        );
+        assert!(e.catalog_get("view.v").is_none());
+    }
+
+    #[test]
+    fn index_accelerated_lookup_respects_visibility() {
+        let e = StorageEngine::in_memory();
+        let t = e.create_table("urls", schema()).unwrap();
+        e.create_index("urls_by_url", "urls", &["url".into()]).unwrap();
+        e.with_txn(|xid| {
+            e.insert(xid, t, row!["/a", 1i64])?;
+            e.insert(xid, t, row!["/a", 2i64])?;
+            e.insert(xid, t, row!["/b", 3i64])
+        })
+        .unwrap();
+        // Uncommitted row should not appear in index lookups.
+        let pending = e.begin().unwrap();
+        e.insert(pending, t, row!["/a", 99i64]).unwrap();
+        let idx = e.index_on("urls", "url").unwrap();
+        let snap = e.snapshot();
+        let hits = e
+            .index_lookup("urls", &idx, &IndexKey(row!["/a"]), &snap)
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+        e.commit(pending).unwrap();
+        let snap = e.snapshot();
+        let hits = e
+            .index_lookup("urls", &idx, &IndexKey(row!["/a"]), &snap)
+            .unwrap();
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn index_survives_restart() {
+        let dir = tmpdir("idxrec");
+        {
+            let e = StorageEngine::open(&dir).unwrap();
+            let t = e.create_table("urls", schema()).unwrap();
+            e.create_index("by_url", "urls", &["url".into()]).unwrap();
+            e.with_txn(|xid| e.insert(xid, t, row!["/a", 1i64])).unwrap();
+        }
+        let e = StorageEngine::open(&dir).unwrap();
+        let idx = e.index_on("urls", "url").expect("index rebuilt");
+        let snap = e.snapshot();
+        let hits = e
+            .index_lookup("urls", &idx, &IndexKey(row!["/a"]), &snap)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn delete_all_visible_and_vacuum() {
+        let e = StorageEngine::in_memory();
+        let t = e.create_table("urls", schema()).unwrap();
+        e.with_txn(|xid| {
+            e.insert(xid, t, row!["/a", 1i64])?;
+            e.insert(xid, t, row!["/b", 2i64])
+        })
+        .unwrap();
+        e.with_txn(|xid| {
+            let n = e.delete_all_visible(xid, t)?;
+            assert_eq!(n, 2);
+            e.insert(xid, t, row!["/c", 3i64])
+        })
+        .unwrap();
+        assert_eq!(visible_rows(&e, "urls"), vec![row!["/c", 3i64]]);
+        let reclaimed = e.vacuum();
+        assert_eq!(reclaimed, 2);
+        assert_eq!(visible_rows(&e, "urls"), vec![row!["/c", 3i64]]);
+    }
+
+    #[test]
+    fn schema_enforced_on_insert() {
+        let e = StorageEngine::in_memory();
+        let t = e.create_table("urls", schema()).unwrap();
+        let r = e.with_txn(|xid| e.insert(xid, t, row![1i64, "/a"]));
+        assert!(r.is_err(), "swapped column types must be rejected");
+        let r = e.with_txn(|xid| e.insert(xid, t, vec![streamrel_types::Value::Null, streamrel_types::Value::Int(1)]));
+        assert!(r.is_err(), "NOT NULL violated");
+    }
+
+    #[test]
+    fn truncate_clears() {
+        let e = StorageEngine::in_memory();
+        let t = e.create_table("urls", schema()).unwrap();
+        e.with_txn(|xid| e.insert(xid, t, row!["/a", 1i64])).unwrap();
+        e.truncate(t).unwrap();
+        assert!(visible_rows(&e, "urls").is_empty());
+    }
+
+    #[test]
+    fn drop_table_gone_after_restart() {
+        let dir = tmpdir("drop");
+        {
+            let e = StorageEngine::open(&dir).unwrap();
+            e.create_table("urls", schema()).unwrap();
+            e.create_table("keep", schema()).unwrap();
+            e.drop_table("urls").unwrap();
+        }
+        let e = StorageEngine::open(&dir).unwrap();
+        assert!(!e.has_table("urls"));
+        assert!(e.has_table("keep"));
+    }
+}

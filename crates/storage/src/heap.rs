@@ -1,0 +1,402 @@
+//! Versioned in-memory heap tables.
+//!
+//! A heap table is an append-only vector of tuple *versions*; MVCC stamps
+//! (`xmin`/`xmax`) plus a [`Snapshot`] decide which versions a reader sees.
+//! Updates are delete + insert (new version), as in PostgreSQL. Dead
+//! versions are reclaimed by [`HeapTable::vacuum`].
+
+use parking_lot::RwLock;
+use streamrel_types::Row;
+
+use crate::txn::{Snapshot, TxnId};
+
+/// Identifies one tuple version: table id plus slot in the heap vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId {
+    /// Owning table.
+    pub table: u32,
+    /// Slot within the table's heap.
+    pub slot: u64,
+}
+
+/// One stored version of a row.
+#[derive(Debug, Clone)]
+pub struct TupleVersion {
+    /// Inserting transaction.
+    pub xmin: TxnId,
+    /// Deleting transaction, or 0 if live.
+    pub xmax: TxnId,
+    /// The row payload. `None` after vacuum reclaims a dead version.
+    pub row: Option<Row>,
+}
+
+/// A single versioned table.
+///
+/// Interior mutability via one `RwLock`: scans take the read lock and clone
+/// visible rows out (analytics operators want owned rows anyway), writers
+/// take the write lock briefly per tuple.
+pub struct HeapTable {
+    id: u32,
+    versions: RwLock<Vec<TupleVersion>>,
+}
+
+impl HeapTable {
+    /// New empty heap for table `id`.
+    pub fn new(id: u32) -> HeapTable {
+        HeapTable {
+            id,
+            versions: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The owning table id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Insert a row stamped with `xid`; returns its TupleId.
+    pub fn insert(&self, xid: TxnId, row: Row) -> TupleId {
+        let mut v = self.versions.write();
+        let slot = v.len() as u64;
+        v.push(TupleVersion {
+            xmin: xid,
+            xmax: 0,
+            row: Some(row),
+        });
+        TupleId {
+            table: self.id,
+            slot,
+        }
+    }
+
+    /// Insert at a specific slot (used only by WAL replay so replayed
+    /// TupleIds keep their original identity). Intermediate slots are
+    /// filled with dead placeholders if the log skipped them.
+    pub fn insert_at(&self, xid: TxnId, slot: u64, row: Row) {
+        let mut v = self.versions.write();
+        while (v.len() as u64) < slot {
+            v.push(TupleVersion {
+                xmin: 0,
+                xmax: 0,
+                row: None,
+            });
+        }
+        if (v.len() as u64) == slot {
+            v.push(TupleVersion {
+                xmin: xid,
+                xmax: 0,
+                row: Some(row),
+            });
+        } else {
+            v[slot as usize] = TupleVersion {
+                xmin: xid,
+                xmax: 0,
+                row: Some(row),
+            };
+        }
+    }
+
+    /// Mark the version at `slot` deleted by `xid`. Returns false if the
+    /// slot is missing or already deleted by a *different committed* txn —
+    /// the engine layer turns that into a write-write conflict.
+    pub fn delete(&self, xid: TxnId, slot: u64, conflict_ok: impl Fn(TxnId) -> bool) -> bool {
+        let mut v = self.versions.write();
+        match v.get_mut(slot as usize) {
+            Some(tv) if tv.row.is_some() => {
+                if tv.xmax != 0 && tv.xmax != xid && !conflict_ok(tv.xmax) {
+                    return false;
+                }
+                tv.xmax = xid;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Undo a delete stamp (used when the deleting transaction aborts).
+    pub fn undelete(&self, xid: TxnId, slot: u64) {
+        let mut v = self.versions.write();
+        if let Some(tv) = v.get_mut(slot as usize) {
+            if tv.xmax == xid {
+                tv.xmax = 0;
+            }
+        }
+    }
+
+    /// Number of version slots (live + dead).
+    pub fn version_count(&self) -> usize {
+        self.versions.read().len()
+    }
+
+    /// Scan all versions visible to `snap`, returning `(TupleId, Row)`.
+    pub fn scan(&self, snap: &Snapshot, aborted: &dyn Fn(TxnId) -> bool) -> Vec<(TupleId, Row)> {
+        let v = self.versions.read();
+        let mut out = Vec::new();
+        for (slot, tv) in v.iter().enumerate() {
+            if let Some(row) = &tv.row {
+                if self.version_visible(tv, snap, aborted) {
+                    out.push((
+                        TupleId {
+                            table: self.id,
+                            slot: slot as u64,
+                        },
+                        row.clone(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Visit visible rows without materializing the whole result. The
+    /// callback returns `false` to stop early (LIMIT pushdown).
+    pub fn for_each_visible(
+        &self,
+        snap: &Snapshot,
+        aborted: &dyn Fn(TxnId) -> bool,
+        mut f: impl FnMut(TupleId, &Row) -> bool,
+    ) {
+        let v = self.versions.read();
+        for (slot, tv) in v.iter().enumerate() {
+            if let Some(row) = &tv.row {
+                if self.version_visible(tv, snap, aborted)
+                    && !f(
+                        TupleId {
+                            table: self.id,
+                            slot: slot as u64,
+                        },
+                        row,
+                    )
+                {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Fetch one row by slot if visible.
+    pub fn get(
+        &self,
+        slot: u64,
+        snap: &Snapshot,
+        aborted: &dyn Fn(TxnId) -> bool,
+    ) -> Option<Row> {
+        let v = self.versions.read();
+        let tv = v.get(slot as usize)?;
+        let row = tv.row.as_ref()?;
+        if self.version_visible(tv, snap, aborted) {
+            Some(row.clone())
+        } else {
+            None
+        }
+    }
+
+    fn version_visible(
+        &self,
+        tv: &TupleVersion,
+        snap: &Snapshot,
+        aborted: &dyn Fn(TxnId) -> bool,
+    ) -> bool {
+        if tv.xmin == 0 || !snap.sees(tv.xmin, aborted) {
+            return false;
+        }
+        // Inserted visibly; check the delete stamp.
+        if tv.xmax != 0 && snap.sees(tv.xmax, aborted) {
+            return false;
+        }
+        true
+    }
+
+    /// Reclaim versions dead to every possible snapshot: deleted by a
+    /// transaction committed before `horizon` (oldest snapshot xmax), or
+    /// inserted by an aborted transaction. Returns the reclaimed
+    /// `(slot, row)` pairs so callers can unlink index entries.
+    pub fn vacuum(
+        &self,
+        horizon: TxnId,
+        committed: &dyn Fn(TxnId) -> bool,
+        aborted: &dyn Fn(TxnId) -> bool,
+    ) -> Vec<(u64, Row)> {
+        let mut v = self.versions.write();
+        let mut reclaimed = Vec::new();
+        for (slot, tv) in v.iter_mut().enumerate() {
+            if tv.row.is_none() {
+                continue;
+            }
+            let insert_dead = aborted(tv.xmin);
+            let delete_final =
+                tv.xmax != 0 && tv.xmax < horizon && committed(tv.xmax);
+            if insert_dead || delete_final {
+                reclaimed.push((slot as u64, tv.row.take().unwrap()));
+            }
+        }
+        reclaimed
+    }
+
+    /// Snapshot of the raw version vector (used by checkpointing). Dead
+    /// slots are skipped.
+    pub fn dump_versions(&self) -> Vec<(u64, TupleVersion)> {
+        self.versions
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, tv)| tv.row.is_some())
+            .map(|(i, tv)| (i as u64, tv.clone()))
+            .collect()
+    }
+
+    /// Truncate: drop every version (DDL-level operation, caller logs it).
+    pub fn truncate(&self) {
+        self.versions.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::TxnManager;
+    use streamrel_types::row;
+
+    fn scan_rows(h: &HeapTable, m: &TxnManager) -> Vec<Row> {
+        let snap = m.snapshot(None);
+        h.scan(&snap, &|x| m.is_aborted(x))
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    #[test]
+    fn committed_insert_is_visible() {
+        let m = TxnManager::new();
+        let h = HeapTable::new(0);
+        let x = m.begin();
+        h.insert(x, row![1i64]);
+        assert!(scan_rows(&h, &m).is_empty(), "uncommitted invisible");
+        m.commit(x);
+        assert_eq!(scan_rows(&h, &m), vec![row![1i64]]);
+    }
+
+    #[test]
+    fn own_uncommitted_writes_visible_to_self() {
+        let m = TxnManager::new();
+        let h = HeapTable::new(0);
+        let x = m.begin();
+        h.insert(x, row![1i64]);
+        let snap = m.snapshot(Some(x));
+        assert_eq!(h.scan(&snap, &|i| m.is_aborted(i)).len(), 1);
+    }
+
+    #[test]
+    fn aborted_insert_invisible() {
+        let m = TxnManager::new();
+        let h = HeapTable::new(0);
+        let x = m.begin();
+        h.insert(x, row![1i64]);
+        m.abort(x);
+        assert!(scan_rows(&h, &m).is_empty());
+    }
+
+    #[test]
+    fn delete_hides_row_after_commit() {
+        let m = TxnManager::new();
+        let h = HeapTable::new(0);
+        let x = m.begin();
+        let tid = h.insert(x, row![1i64]);
+        m.commit(x);
+        let y = m.begin();
+        assert!(h.delete(y, tid.slot, |_| false));
+        assert_eq!(scan_rows(&h, &m).len(), 1, "delete not yet committed");
+        m.commit(y);
+        assert!(scan_rows(&h, &m).is_empty());
+    }
+
+    #[test]
+    fn aborted_delete_resurrects() {
+        let m = TxnManager::new();
+        let h = HeapTable::new(0);
+        let x = m.begin();
+        let tid = h.insert(x, row![1i64]);
+        m.commit(x);
+        let y = m.begin();
+        h.delete(y, tid.slot, |_| false);
+        m.abort(y);
+        assert_eq!(scan_rows(&h, &m).len(), 1, "aborted delete is no delete");
+    }
+
+    #[test]
+    fn snapshot_isolation_reader_does_not_see_later_commit() {
+        let m = TxnManager::new();
+        let h = HeapTable::new(0);
+        let snap = m.snapshot(None); // early snapshot
+        let x = m.begin();
+        h.insert(x, row![1i64]);
+        m.commit(x);
+        assert!(h.scan(&snap, &|i| m.is_aborted(i)).is_empty());
+        assert_eq!(scan_rows(&h, &m).len(), 1, "fresh snapshot sees it");
+    }
+
+    #[test]
+    fn write_write_conflict_detected() {
+        let m = TxnManager::new();
+        let h = HeapTable::new(0);
+        let x = m.begin();
+        let tid = h.insert(x, row![1i64]);
+        m.commit(x);
+        let y = m.begin();
+        let z = m.begin();
+        assert!(h.delete(y, tid.slot, |i| m.is_aborted(i)));
+        assert!(
+            !h.delete(z, tid.slot, |i| m.is_aborted(i)),
+            "second deleter must conflict"
+        );
+    }
+
+    #[test]
+    fn vacuum_reclaims_dead_versions() {
+        let m = TxnManager::new();
+        let h = HeapTable::new(0);
+        let x = m.begin();
+        let tid = h.insert(x, row![1i64]);
+        h.insert(x, row![2i64]);
+        m.commit(x);
+        let y = m.begin();
+        h.delete(y, tid.slot, |_| false);
+        m.commit(y);
+        let horizon = m.snapshot(None).xmax;
+        let n = h.vacuum(
+            horizon,
+            &|i| m.status(i) == crate::txn::TxnStatus::Committed,
+            &|i| m.is_aborted(i),
+        );
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].1, row![1i64]);
+        assert_eq!(scan_rows(&h, &m), vec![row![2i64]]);
+    }
+
+    #[test]
+    fn insert_at_replays_sparse_slots() {
+        let m = TxnManager::new();
+        let h = HeapTable::new(0);
+        h.insert_at(crate::txn::FROZEN_XID, 3, row![9i64]);
+        assert_eq!(h.version_count(), 4);
+        assert_eq!(scan_rows(&h, &m), vec![row![9i64]]);
+    }
+
+    #[test]
+    fn early_exit_scan() {
+        let m = TxnManager::new();
+        let h = HeapTable::new(0);
+        let x = m.begin();
+        for i in 0..100i64 {
+            h.insert(x, row![i]);
+        }
+        m.commit(x);
+        let snap = m.snapshot(None);
+        let mut seen = 0;
+        h.for_each_visible(&snap, &|i| m.is_aborted(i), |_, _| {
+            seen += 1;
+            seen < 5
+        });
+        assert_eq!(seen, 5);
+    }
+}

@@ -1,0 +1,25 @@
+//! Relational storage substrate for streamrel.
+//!
+//! Implements the "full-function database system" half of the paper's
+//! stream-relational merger (§2.2): MVCC heap tables with snapshot
+//! isolation, a write-ahead log with CRC-protected records, crash recovery,
+//! ordered secondary indexes, and a persistent catalog of table definitions.
+//!
+//! The continuous-query layer (`streamrel-cq`) builds directly on these
+//! pieces: Active Tables are ordinary tables here, window consistency is a
+//! pinned [`Snapshot`], and CQ recovery replays this crate's WAL before
+//! re-seeding stream state (§4 of the paper).
+
+pub mod catalog;
+pub mod codec;
+pub mod crc;
+pub mod engine;
+pub mod heap;
+pub mod index;
+pub mod txn;
+pub mod wal;
+
+pub use engine::{StorageEngine, SyncMode};
+pub use heap::{HeapTable, TupleId};
+pub use index::OrderedIndex;
+pub use txn::{Snapshot, TxnId, TxnManager, TxnStatus};

@@ -1,0 +1,472 @@
+//! Write-ahead log.
+//!
+//! Every state mutation is logged before it is applied; recovery replays the
+//! log to rebuild durable state (§4: "a traditional RDBMS only guarantees
+//! the integrity of durable state" — this is that guarantee; the CQ layer
+//! adds runtime-state recovery from Active Tables on top).
+//!
+//! On-disk framing: `[u32 payload_len][u32 crc32(payload)][payload]`.
+//! Replay tolerates a torn final record (crash mid-append) by stopping at
+//! the first length/CRC mismatch, mirroring how real WALs handle tails.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use streamrel_types::{Error, Result, Row, Schema};
+
+use crate::codec::{
+    decode_row, decode_schema, encode_row, encode_schema, put_str, put_u32, put_u64, Reader,
+};
+use crate::crc::crc32;
+use crate::txn::TxnId;
+
+/// One logical WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Transaction start.
+    Begin { xid: TxnId },
+    /// Row inserted at a heap slot.
+    Insert {
+        xid: TxnId,
+        table: u32,
+        slot: u64,
+        row: Row,
+    },
+    /// Row version at a heap slot stamped deleted.
+    Delete { xid: TxnId, table: u32, slot: u64 },
+    /// Transaction committed (records before this are durable effects).
+    Commit { xid: TxnId },
+    /// Transaction aborted (its effects must be ignored on replay).
+    Abort { xid: TxnId },
+    /// DDL: table created.
+    CreateTable {
+        id: u32,
+        name: String,
+        schema: Schema,
+    },
+    /// DDL: table dropped.
+    DropTable { id: u32 },
+    /// DDL: table truncated (REPLACE-mode channels use this).
+    Truncate { table: u32, xid: TxnId },
+    /// Generic persistent key/value entry (stream / view / channel DDL text
+    /// lives here, replayed by the upper layers after storage recovery).
+    CatalogPut { key: String, value: String },
+    /// Transactional catalog entry: applied on replay only if `xid`
+    /// committed. Used for CQ watermarks so the watermark and the window's
+    /// Active-Table rows become durable atomically (exactly-once
+    /// archiving across crashes, §4).
+    CatalogPutTxn {
+        xid: TxnId,
+        key: String,
+        value: String,
+    },
+    /// Remove a catalog entry.
+    CatalogDel { key: String },
+}
+
+const T_BEGIN: u8 = 1;
+const T_INSERT: u8 = 2;
+const T_DELETE: u8 = 3;
+const T_COMMIT: u8 = 4;
+const T_ABORT: u8 = 5;
+const T_CREATE: u8 = 6;
+const T_DROP: u8 = 7;
+const T_TRUNC: u8 = 8;
+const T_CPUT: u8 = 9;
+const T_CDEL: u8 = 10;
+const T_CPUTX: u8 = 11;
+
+impl WalRecord {
+    /// Serialize to the payload form (no framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(32);
+        match self {
+            WalRecord::Begin { xid } => {
+                b.push(T_BEGIN);
+                put_u64(&mut b, *xid);
+            }
+            WalRecord::Insert {
+                xid,
+                table,
+                slot,
+                row,
+            } => {
+                b.push(T_INSERT);
+                put_u64(&mut b, *xid);
+                put_u32(&mut b, *table);
+                put_u64(&mut b, *slot);
+                encode_row(&mut b, row);
+            }
+            WalRecord::Delete { xid, table, slot } => {
+                b.push(T_DELETE);
+                put_u64(&mut b, *xid);
+                put_u32(&mut b, *table);
+                put_u64(&mut b, *slot);
+            }
+            WalRecord::Commit { xid } => {
+                b.push(T_COMMIT);
+                put_u64(&mut b, *xid);
+            }
+            WalRecord::Abort { xid } => {
+                b.push(T_ABORT);
+                put_u64(&mut b, *xid);
+            }
+            WalRecord::CreateTable { id, name, schema } => {
+                b.push(T_CREATE);
+                put_u32(&mut b, *id);
+                put_str(&mut b, name);
+                encode_schema(&mut b, schema);
+            }
+            WalRecord::DropTable { id } => {
+                b.push(T_DROP);
+                put_u32(&mut b, *id);
+            }
+            WalRecord::Truncate { table, xid } => {
+                b.push(T_TRUNC);
+                put_u32(&mut b, *table);
+                put_u64(&mut b, *xid);
+            }
+            WalRecord::CatalogPut { key, value } => {
+                b.push(T_CPUT);
+                put_str(&mut b, key);
+                put_str(&mut b, value);
+            }
+            WalRecord::CatalogDel { key } => {
+                b.push(T_CDEL);
+                put_str(&mut b, key);
+            }
+            WalRecord::CatalogPutTxn { xid, key, value } => {
+                b.push(T_CPUTX);
+                put_u64(&mut b, *xid);
+                put_str(&mut b, key);
+                put_str(&mut b, value);
+            }
+        }
+        b
+    }
+
+    /// Deserialize from a payload.
+    pub fn decode(buf: &[u8]) -> Result<WalRecord> {
+        let mut r = Reader::new(buf);
+        let rec = match r.u8()? {
+            T_BEGIN => WalRecord::Begin { xid: r.u64()? },
+            T_INSERT => WalRecord::Insert {
+                xid: r.u64()?,
+                table: r.u32()?,
+                slot: r.u64()?,
+                row: decode_row(&mut r)?,
+            },
+            T_DELETE => WalRecord::Delete {
+                xid: r.u64()?,
+                table: r.u32()?,
+                slot: r.u64()?,
+            },
+            T_COMMIT => WalRecord::Commit { xid: r.u64()? },
+            T_ABORT => WalRecord::Abort { xid: r.u64()? },
+            T_CREATE => WalRecord::CreateTable {
+                id: r.u32()?,
+                name: r.str()?,
+                schema: decode_schema(&mut r)?,
+            },
+            T_DROP => WalRecord::DropTable { id: r.u32()? },
+            T_TRUNC => WalRecord::Truncate {
+                table: r.u32()?,
+                xid: r.u64()?,
+            },
+            T_CPUT => WalRecord::CatalogPut {
+                key: r.str()?,
+                value: r.str()?,
+            },
+            T_CDEL => WalRecord::CatalogDel { key: r.str()? },
+            T_CPUTX => WalRecord::CatalogPutTxn {
+                xid: r.u64()?,
+                key: r.str()?,
+                value: r.str()?,
+            },
+            t => return Err(Error::storage(format!("unknown wal record type {t}"))),
+        };
+        if r.remaining() != 0 {
+            return Err(Error::storage("trailing bytes in wal record"));
+        }
+        Ok(rec)
+    }
+}
+
+/// Durability policy for the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Buffer in user space; flushed on drop/checkpoint only. Fastest;
+    /// loses the tail on crash. Fine for benchmarks and derived state.
+    NoSync,
+    /// Flush to the OS page cache on every commit (default): survives
+    /// process crash, not power loss.
+    #[default]
+    Flush,
+    /// `fdatasync` on every commit: survives power loss.
+    Fsync,
+}
+
+/// Append-only WAL writer.
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    sync: SyncMode,
+    appended: u64,
+}
+
+impl Wal {
+    /// Open (creating if absent) the log at `path` for appending.
+    pub fn open(path: impl Into<PathBuf>, sync: SyncMode) -> Result<Wal> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Wal {
+            path,
+            writer: BufWriter::new(file),
+            sync,
+            appended: 0,
+        })
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of records appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Append one record (framing + CRC). Durability is controlled by
+    /// [`Wal::sync_commit`], which callers invoke at commit points.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
+        let payload = rec.encode();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        self.writer.write_all(&frame)?;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Make previously appended records durable per the sync mode.
+    pub fn sync_commit(&mut self) -> Result<()> {
+        match self.sync {
+            SyncMode::NoSync => Ok(()),
+            SyncMode::Flush => Ok(self.writer.flush()?),
+            SyncMode::Fsync => {
+                self.writer.flush()?;
+                self.writer.get_ref().sync_data()?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Flush and truncate the log to zero length (after a checkpoint has
+    /// captured all state).
+    pub fn reset(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        let file = OpenOptions::new().write(true).open(&self.path)?;
+        file.set_len(0)?;
+        file.sync_data()?;
+        let file = OpenOptions::new().append(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+/// Read every intact record from a log file. Stops cleanly at a torn tail;
+/// returns the records and the count of bytes of valid prefix.
+pub fn replay(path: &Path) -> Result<(Vec<WalRecord>, u64)> {
+    let mut data = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut data)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((vec![], 0)),
+        Err(e) => return Err(e.into()),
+    }
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= data.len() {
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        let start = pos + 8;
+        let end = match start.checked_add(len) {
+            Some(e) if e <= data.len() => e,
+            _ => break, // torn tail
+        };
+        let payload = &data[start..end];
+        if crc32(payload) != crc {
+            break; // corrupt tail
+        }
+        match WalRecord::decode(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => break,
+        }
+        pos = end;
+    }
+    Ok((records, pos as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamrel_types::{row, Column, DataType};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "streamrel-wal-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        let schema = Schema::new(vec![
+            Column::not_null("url", DataType::Text),
+            Column::new("hits", DataType::Int),
+        ])
+        .unwrap();
+        vec![
+            WalRecord::CreateTable {
+                id: 7,
+                name: "urls".into(),
+                schema,
+            },
+            WalRecord::Begin { xid: 2 },
+            WalRecord::Insert {
+                xid: 2,
+                table: 7,
+                slot: 0,
+                row: row!["/index", 3i64],
+            },
+            WalRecord::Delete {
+                xid: 2,
+                table: 7,
+                slot: 0,
+            },
+            WalRecord::Commit { xid: 2 },
+            WalRecord::CatalogPut {
+                key: "stream.url_stream".into(),
+                value: "CREATE STREAM url_stream (...)".into(),
+            },
+            WalRecord::Truncate { table: 7, xid: 3 },
+            WalRecord::Abort { xid: 3 },
+            WalRecord::CatalogDel {
+                key: "stream.url_stream".into(),
+            },
+            WalRecord::CatalogPutTxn {
+                xid: 4,
+                key: "cq_watermark.urls_now".into(),
+                value: "60000000".into(),
+            },
+            WalRecord::DropTable { id: 7 },
+        ]
+    }
+
+    #[test]
+    fn record_encoding_roundtrips() {
+        for rec in sample_records() {
+            let enc = rec.encode();
+            assert_eq!(WalRecord::decode(&enc).unwrap(), rec, "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = tmp("roundtrip");
+        let recs = sample_records();
+        {
+            let mut wal = Wal::open(&path, SyncMode::Flush).unwrap();
+            for r in &recs {
+                wal.append(r).unwrap();
+            }
+            wal.sync_commit().unwrap();
+        }
+        let (got, _) = replay(&path).unwrap();
+        assert_eq!(got, recs);
+    }
+
+    #[test]
+    fn replay_missing_file_is_empty() {
+        let path = tmp("missing");
+        std::fs::remove_file(&path).ok();
+        let (got, bytes) = replay(&path).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let path = tmp("torn");
+        let recs = sample_records();
+        {
+            let mut wal = Wal::open(&path, SyncMode::Flush).unwrap();
+            for r in &recs {
+                wal.append(r).unwrap();
+            }
+            wal.sync_commit().unwrap();
+        }
+        // Chop off the last 3 bytes: final record is torn.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let (got, _) = replay(&path).unwrap();
+        assert_eq!(got.len(), recs.len() - 1);
+        assert_eq!(got[..], recs[..recs.len() - 1]);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let path = tmp("crc");
+        let recs = sample_records();
+        {
+            let mut wal = Wal::open(&path, SyncMode::Flush).unwrap();
+            for r in &recs {
+                wal.append(r).unwrap();
+            }
+            wal.sync_commit().unwrap();
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a byte inside the second record's payload.
+        let first_len = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+        let idx = 8 + first_len + 8 + 1;
+        data[idx] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let (got, _) = replay(&path).unwrap();
+        assert_eq!(got.len(), 1, "only the first record survives");
+    }
+
+    #[test]
+    fn reset_truncates() {
+        let path = tmp("reset");
+        let mut wal = Wal::open(&path, SyncMode::Flush).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        wal.sync_commit().unwrap();
+        wal.reset().unwrap();
+        wal.append(&WalRecord::Begin { xid: 99 }).unwrap();
+        wal.sync_commit().unwrap();
+        drop(wal);
+        let (got, _) = replay(&path).unwrap();
+        assert_eq!(got, vec![WalRecord::Begin { xid: 99 }]);
+    }
+
+    #[test]
+    fn fsync_mode_works() {
+        let path = tmp("fsync");
+        let mut wal = Wal::open(&path, SyncMode::Fsync).unwrap();
+        wal.append(&WalRecord::Begin { xid: 5 }).unwrap();
+        wal.sync_commit().unwrap();
+        let (got, _) = replay(&path).unwrap();
+        assert_eq!(got.len(), 1);
+    }
+}

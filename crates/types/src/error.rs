@@ -1,0 +1,124 @@
+//! Unified error type for the whole engine.
+
+use std::fmt;
+
+/// Convenient result alias used across all streamrel crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Engine-wide error type.
+///
+/// A single enum (rather than per-crate error types) keeps the public API of
+/// the umbrella crate small and lets SQL-level errors carry through the
+/// executor and storage layers without conversion boilerplate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexing / parsing failure with position info baked into the message.
+    Parse(String),
+    /// Semantic analysis failure (unknown column, type mismatch, ...).
+    Analysis(String),
+    /// Type-system violation at runtime (e.g. `sum` over text).
+    Type(String),
+    /// Catalog-level failure (duplicate object, missing table, ...).
+    Catalog(String),
+    /// Storage-layer failure (WAL corruption, page errors, ...).
+    Storage(String),
+    /// Transaction aborted (write-write conflict, explicit rollback, ...).
+    TxnAborted(String),
+    /// Continuous-query runtime failure (bad window spec, ordering violation).
+    Stream(String),
+    /// Arithmetic fault (overflow, division by zero).
+    Arithmetic(String),
+    /// I/O error, stringified to keep `Error: Clone + PartialEq`.
+    Io(String),
+    /// Feature present in the grammar but intentionally unsupported.
+    Unsupported(String),
+}
+
+impl Error {
+    /// Shorthand constructor for parse errors.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse(msg.into())
+    }
+
+    /// Shorthand constructor for analysis errors.
+    pub fn analysis(msg: impl Into<String>) -> Self {
+        Error::Analysis(msg.into())
+    }
+
+    /// Shorthand constructor for type errors.
+    pub fn type_err(msg: impl Into<String>) -> Self {
+        Error::Type(msg.into())
+    }
+
+    /// Shorthand constructor for catalog errors.
+    pub fn catalog(msg: impl Into<String>) -> Self {
+        Error::Catalog(msg.into())
+    }
+
+    /// Shorthand constructor for storage errors.
+    pub fn storage(msg: impl Into<String>) -> Self {
+        Error::Storage(msg.into())
+    }
+
+    /// Shorthand constructor for stream/CQ errors.
+    pub fn stream(msg: impl Into<String>) -> Self {
+        Error::Stream(msg.into())
+    }
+
+    /// Shorthand constructor for unsupported-feature errors.
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        Error::Unsupported(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Analysis(m) => write!(f, "analysis error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
+            Error::Stream(m) => write!(f, "stream error: {m}"),
+            Error::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::parse("unexpected token `FROM`");
+        assert_eq!(e.to_string(), "parse error: unexpected token `FROM`");
+        let e = Error::TxnAborted("write-write conflict".into());
+        assert!(e.to_string().contains("aborted"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::parse("x"), Error::parse("x"));
+        assert_ne!(Error::parse("x"), Error::analysis("x"));
+    }
+}

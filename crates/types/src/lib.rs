@@ -1,0 +1,23 @@
+//! Core data model for the streamrel stream-relational engine.
+//!
+//! This crate defines the value system shared by every layer of the stack:
+//! SQL literals, stored tuples, stream records, window relations and query
+//! results all use the same [`Value`] / [`Row`] / [`Schema`] representation,
+//! which is the paper's core principle that "streaming data and stored data
+//! are not intrinsically different" (§2.3).
+
+pub mod datatype;
+pub mod error;
+pub mod relation;
+pub mod row;
+pub mod schema;
+pub mod time;
+pub mod value;
+
+pub use datatype::DataType;
+pub use error::{Error, Result};
+pub use relation::Relation;
+pub use row::Row;
+pub use schema::{Column, Schema};
+pub use time::{format_timestamp, parse_interval, parse_timestamp, Interval, Timestamp};
+pub use value::Value;

@@ -1,0 +1,186 @@
+//! Finite relations: the unit of data flowing between operators.
+//!
+//! A [`Relation`] is a schema plus a bag of rows. Under the paper's RSTREAM
+//! semantics (Figure 1), a window clause turns an unbounded stream into a
+//! *sequence of relations*, and the relational query runs over each one; the
+//! same type also carries snapshot-query results, making stream and table
+//! processing share one executor.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::row::Row;
+use crate::schema::{Schema, SchemaRef};
+
+/// A finite, ordered bag of rows with a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: SchemaRef,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: SchemaRef) -> Relation {
+        Relation {
+            schema,
+            rows: vec![],
+        }
+    }
+
+    /// Build from parts without validation (rows are trusted to match).
+    pub fn new(schema: SchemaRef, rows: Vec<Row>) -> Relation {
+        Relation { schema, rows }
+    }
+
+    /// Build from parts, coercing every row against the schema.
+    pub fn try_new(schema: SchemaRef, rows: Vec<Row>) -> Result<Relation> {
+        let rows = rows
+            .into_iter()
+            .map(|r| schema.coerce_row(r))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Relation { schema, rows })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// The rows, in order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Mutable row access (used by sort/limit operators).
+    pub fn rows_mut(&mut self) -> &mut Vec<Row> {
+        &mut self.rows
+    }
+
+    /// Consume into rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row (trusted).
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned ASCII table — handy in examples and the bench
+    /// harness for showing window-by-window output like the paper's Fig. 1.
+    pub fn to_table(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() && cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (h, w) in headers.iter().zip(&widths) {
+            out.push_str(&format!(" {h:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &rendered {
+            out.push('|');
+            for (c, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {c:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+/// Convenience: build an `Arc<Schema>`.
+pub fn schema_ref(schema: Schema) -> SchemaRef {
+    Arc::new(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::row;
+    use crate::schema::Column;
+    use crate::value::Value;
+
+    fn s() -> SchemaRef {
+        schema_ref(
+            Schema::new(vec![
+                Column::new("url", DataType::Text),
+                Column::new("cnt", DataType::Int),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn try_new_coerces() {
+        let rel = Relation::try_new(s(), vec![row!["/a", 3i64], row!["/b", 1i64]]).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.rows()[0][1], Value::Int(3));
+    }
+
+    #[test]
+    fn try_new_rejects_bad_arity() {
+        assert!(Relation::try_new(s(), vec![row!["/a"]]).is_err());
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let rel = Relation::try_new(s(), vec![row!["/index.html", 12i64]]).unwrap();
+        let t = rel.to_table();
+        assert!(t.contains("| url         | cnt |"), "got:\n{t}");
+        assert!(t.contains("| /index.html | 12  |"), "got:\n{t}");
+    }
+
+    #[test]
+    fn empty_relation() {
+        let rel = Relation::empty(s());
+        assert!(rel.is_empty());
+        assert_eq!(rel.len(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Row representation.
+
+use crate::value::Value;
+
+/// A tuple of values. Rows are positional; names live in the
+/// [`Schema`](crate::schema::Schema) that accompanies a relation.
+pub type Row = Vec<Value>;
+
+/// Helpers for building rows tersely in tests, examples and generators.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::value::Value::from($v)),*]
+    };
+}
+
+/// Project a row onto the given column indexes.
+pub fn project(row: &Row, indexes: &[usize]) -> Row {
+    indexes.iter().map(|&i| row[i].clone()).collect()
+}
+
+/// Concatenate two rows (used by join operators).
+pub fn concat(left: &Row, right: &Row) -> Row {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    out.extend_from_slice(left);
+    out.extend_from_slice(right);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn row_macro_builds_values() {
+        let r = row![1i64, "a", 2.5f64, true];
+        assert_eq!(
+            r,
+            vec![
+                Value::Int(1),
+                Value::text("a"),
+                Value::Float(2.5),
+                Value::Bool(true)
+            ]
+        );
+    }
+
+    #[test]
+    fn project_selects_indexes() {
+        let r = row![10i64, 20i64, 30i64];
+        assert_eq!(project(&r, &[2, 0]), row![30i64, 10i64]);
+        assert_eq!(project(&r, &[]), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn concat_joins_rows() {
+        let l = row![1i64];
+        let r = row!["x"];
+        assert_eq!(concat(&l, &r), row![1i64, "x"]);
+    }
+}

@@ -1,0 +1,327 @@
+//! Timestamp and interval handling.
+//!
+//! All temporal quantities in streamrel are microseconds held in an `i64`:
+//! [`Timestamp`] is microseconds since the Unix epoch, [`Interval`] is a
+//! signed duration in microseconds. The paper's window clauses (`VISIBLE '5
+//! minutes' ADVANCE '1 minute'`) and interval casts (`'1 week'::interval`)
+//! parse through [`parse_interval`]; timestamp literals parse through
+//! [`parse_timestamp`].
+
+use crate::error::{Error, Result};
+
+/// Microseconds since the Unix epoch (1970-01-01T00:00:00Z).
+pub type Timestamp = i64;
+
+/// Signed duration in microseconds.
+pub type Interval = i64;
+
+/// One microsecond, the base unit.
+pub const MICROS: i64 = 1;
+/// Microseconds per millisecond.
+pub const MILLIS: i64 = 1_000;
+/// Microseconds per second.
+pub const SECONDS: i64 = 1_000_000;
+/// Microseconds per minute.
+pub const MINUTES: i64 = 60 * SECONDS;
+/// Microseconds per hour.
+pub const HOURS: i64 = 60 * MINUTES;
+/// Microseconds per day.
+pub const DAYS: i64 = 24 * HOURS;
+/// Microseconds per (7-day) week.
+pub const WEEKS: i64 = 7 * DAYS;
+
+/// Parse an interval string like `'5 minutes'`, `'1 week'`, `'250 ms'`,
+/// `'1.5 hours'` or a bare microsecond count like `'90000000'`.
+///
+/// Multiple clauses are summed: `'1 hour 30 minutes'` is 90 minutes.
+/// Negative intervals (`'-5 minutes'`) are supported for historical offsets.
+pub fn parse_interval(s: &str) -> Result<Interval> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(Error::parse("empty interval string"));
+    }
+    let mut total: i64 = 0;
+    let mut toks = s.split_whitespace().peekable();
+    let mut matched_any = false;
+    while let Some(num_tok) = toks.next() {
+        // Allow unit glued to number, e.g. "5min" / "250ms".
+        let (num_str, glued_unit) = split_number_unit(num_tok);
+        let magnitude: f64 = num_str
+            .parse()
+            .map_err(|_| Error::parse(format!("bad interval number `{num_tok}` in `{s}`")))?;
+        let unit_str = if glued_unit.is_empty() {
+            match toks.next() {
+                Some(u) => u.to_string(),
+                // A bare number with no unit means microseconds.
+                None => "microseconds".to_string(),
+            }
+        } else {
+            glued_unit.to_string()
+        };
+        let unit = unit_micros(&unit_str)
+            .ok_or_else(|| Error::parse(format!("unknown interval unit `{unit_str}` in `{s}`")))?;
+        let part = magnitude * unit as f64;
+        if !part.is_finite() || part.abs() > i64::MAX as f64 / 2.0 {
+            return Err(Error::Arithmetic(format!("interval overflow in `{s}`")));
+        }
+        total = total
+            .checked_add(part.round() as i64)
+            .ok_or_else(|| Error::Arithmetic(format!("interval overflow in `{s}`")))?;
+        matched_any = true;
+    }
+    if !matched_any {
+        return Err(Error::parse(format!("unparseable interval `{s}`")));
+    }
+    Ok(total)
+}
+
+fn split_number_unit(tok: &str) -> (&str, &str) {
+    let split_at = tok
+        .char_indices()
+        .find(|(i, c)| c.is_ascii_alphabetic() && !(*i == 0 && (*c == '-' || *c == '+')))
+        .map(|(i, _)| i)
+        .unwrap_or(tok.len());
+    tok.split_at(split_at)
+}
+
+fn unit_micros(unit: &str) -> Option<i64> {
+    let lower = unit.to_ascii_lowercase();
+    // Check exact short forms first so singularization doesn't eat them.
+    match lower.as_str() {
+        "us" | "usec" | "usecs" => return Some(MICROS),
+        "ms" | "msec" | "msecs" => return Some(MILLIS),
+        "s" | "sec" | "secs" => return Some(SECONDS),
+        "m" | "min" | "mins" => return Some(MINUTES),
+        "h" | "hr" | "hrs" => return Some(HOURS),
+        "d" => return Some(DAYS),
+        "w" | "wk" | "wks" => return Some(WEEKS),
+        _ => {}
+    }
+    let singular = lower.strip_suffix('s').unwrap_or(&lower);
+    match singular {
+        "microsecond" => Some(MICROS),
+        "millisecond" => Some(MILLIS),
+        "second" => Some(SECONDS),
+        "minute" => Some(MINUTES),
+        "hour" => Some(HOURS),
+        "day" => Some(DAYS),
+        "week" => Some(WEEKS),
+        _ => None,
+    }
+}
+
+/// Parse a timestamp literal: `'2009-01-04 12:30:00'`,
+/// `'2009-01-04T12:30:00.250'`, `'2009-01-04'`, or a bare integer (epoch µs).
+pub fn parse_timestamp(s: &str) -> Result<Timestamp> {
+    let s = s.trim();
+    if let Ok(micros) = s.parse::<i64>() {
+        return Ok(micros);
+    }
+    let (date_part, time_part) = match s.find([' ', 'T']) {
+        Some(i) => (&s[..i], &s[i + 1..]),
+        None => (s, ""),
+    };
+    let mut dp = date_part.split('-');
+    let year: i64 = dp
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| Error::parse(format!("bad timestamp `{s}`")))?;
+    let month: i64 = dp
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| Error::parse(format!("bad timestamp `{s}`")))?;
+    let day: i64 = dp
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| Error::parse(format!("bad timestamp `{s}`")))?;
+    if dp.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return Err(Error::parse(format!("bad timestamp `{s}`")));
+    }
+    let mut micros = days_from_civil(year, month, day) * DAYS;
+    if !time_part.is_empty() {
+        let time_part = time_part.trim_end_matches('Z');
+        let mut tp = time_part.split(':');
+        let hour: i64 = tp
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| Error::parse(format!("bad timestamp `{s}`")))?;
+        let minute: i64 = tp
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| Error::parse(format!("bad timestamp `{s}`")))?;
+        let sec_str = tp.next().unwrap_or("0");
+        if tp.next().is_some() || hour > 23 || minute > 59 {
+            return Err(Error::parse(format!("bad timestamp `{s}`")));
+        }
+        let secs: f64 = sec_str
+            .parse()
+            .map_err(|_| Error::parse(format!("bad timestamp `{s}`")))?;
+        if !(0.0..60.0).contains(&secs) {
+            return Err(Error::parse(format!("bad timestamp `{s}`")));
+        }
+        micros += hour * HOURS + minute * MINUTES + (secs * SECONDS as f64).round() as i64;
+    }
+    Ok(micros)
+}
+
+/// Days since the Unix epoch for a proleptic-Gregorian civil date.
+/// Howard Hinnant's `days_from_civil` algorithm.
+fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m + 9) % 12; // [0, 11], Mar = 0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, i64, i64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Render a timestamp as `YYYY-MM-DD HH:MM:SS[.ffffff]` (UTC).
+pub fn format_timestamp(ts: Timestamp) -> String {
+    let days = ts.div_euclid(DAYS);
+    let rem = ts.rem_euclid(DAYS);
+    let (y, m, d) = civil_from_days(days);
+    let hour = rem / HOURS;
+    let minute = (rem % HOURS) / MINUTES;
+    let sec = (rem % MINUTES) / SECONDS;
+    let micros = rem % SECONDS;
+    if micros == 0 {
+        format!("{y:04}-{m:02}-{d:02} {hour:02}:{minute:02}:{sec:02}")
+    } else {
+        format!("{y:04}-{m:02}-{d:02} {hour:02}:{minute:02}:{sec:02}.{micros:06}")
+    }
+}
+
+/// Render an interval in a compact human form, e.g. `5 minutes`, `1.5 hours`.
+pub fn format_interval(iv: Interval) -> String {
+    let abs = iv.unsigned_abs() as i64;
+    let sign = if iv < 0 { "-" } else { "" };
+    for (unit, name) in [
+        (WEEKS, "week"),
+        (DAYS, "day"),
+        (HOURS, "hour"),
+        (MINUTES, "minute"),
+        (SECONDS, "second"),
+        (MILLIS, "millisecond"),
+    ] {
+        if abs >= unit && abs % unit == 0 {
+            let n = abs / unit;
+            let plural = if n == 1 { "" } else { "s" };
+            return format!("{sign}{n} {name}{plural}");
+        }
+    }
+    format!("{iv} microseconds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_intervals() {
+        assert_eq!(parse_interval("5 minutes").unwrap(), 5 * MINUTES);
+        assert_eq!(parse_interval("1 minute").unwrap(), MINUTES);
+        assert_eq!(parse_interval("1 week").unwrap(), WEEKS);
+        assert_eq!(parse_interval("2 hours").unwrap(), 2 * HOURS);
+        assert_eq!(parse_interval("30 seconds").unwrap(), 30 * SECONDS);
+    }
+
+    #[test]
+    fn parses_compound_and_glued() {
+        assert_eq!(
+            parse_interval("1 hour 30 minutes").unwrap(),
+            HOURS + 30 * MINUTES
+        );
+        assert_eq!(parse_interval("250ms").unwrap(), 250 * MILLIS);
+        assert_eq!(parse_interval("5min").unwrap(), 5 * MINUTES);
+        assert_eq!(parse_interval("10s").unwrap(), 10 * SECONDS);
+    }
+
+    #[test]
+    fn parses_fractional_and_negative() {
+        assert_eq!(parse_interval("1.5 hours").unwrap(), 90 * MINUTES);
+        assert_eq!(parse_interval("-5 minutes").unwrap(), -5 * MINUTES);
+        assert_eq!(parse_interval("42").unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_garbage_intervals() {
+        assert!(parse_interval("").is_err());
+        assert!(parse_interval("five minutes").is_err());
+        assert!(parse_interval("5 lightyears").is_err());
+    }
+
+    #[test]
+    fn timestamp_round_trip_epoch() {
+        assert_eq!(parse_timestamp("1970-01-01 00:00:00").unwrap(), 0);
+        assert_eq!(format_timestamp(0), "1970-01-01 00:00:00");
+    }
+
+    #[test]
+    fn timestamp_known_values() {
+        // 2009-01-04 (CIDR 2009 start date) = 14248 days after epoch.
+        let ts = parse_timestamp("2009-01-04 00:00:00").unwrap();
+        assert_eq!(ts, 14_248 * DAYS);
+        assert_eq!(format_timestamp(ts), "2009-01-04 00:00:00");
+        let ts2 = parse_timestamp("2009-01-04T12:30:15.250").unwrap();
+        assert_eq!(
+            ts2,
+            ts + 12 * HOURS + 30 * MINUTES + 15 * SECONDS + 250 * MILLIS
+        );
+        assert_eq!(format_timestamp(ts2), "2009-01-04 12:30:15.250000");
+    }
+
+    #[test]
+    fn timestamp_date_only_and_numeric() {
+        assert_eq!(
+            parse_timestamp("2009-01-04").unwrap(),
+            parse_timestamp("2009-01-04 00:00:00").unwrap()
+        );
+        assert_eq!(parse_timestamp("123456789").unwrap(), 123_456_789);
+    }
+
+    #[test]
+    fn timestamp_rejects_garbage() {
+        assert!(parse_timestamp("not a date").is_err());
+        assert!(parse_timestamp("2009-13-01").is_err());
+        assert!(parse_timestamp("2009-01-04 25:00:00").is_err());
+    }
+
+    #[test]
+    fn civil_day_conversion_is_inverse() {
+        for z in [-1_000_000, -1, 0, 1, 719_468, 14_248, 2_000_000] {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z, "roundtrip for day {z}");
+        }
+    }
+
+    #[test]
+    fn pre_epoch_timestamps_format() {
+        let ts = parse_timestamp("1969-12-31 23:00:00").unwrap();
+        assert_eq!(ts, -HOURS);
+        assert_eq!(format_timestamp(ts), "1969-12-31 23:00:00");
+    }
+
+    #[test]
+    fn interval_formatting() {
+        assert_eq!(format_interval(5 * MINUTES), "5 minutes");
+        assert_eq!(format_interval(MINUTES), "1 minute");
+        assert_eq!(format_interval(WEEKS), "1 week");
+        assert_eq!(format_interval(-2 * HOURS), "-2 hours");
+        assert_eq!(format_interval(1), "1 microseconds");
+    }
+}

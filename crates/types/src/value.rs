@@ -1,0 +1,512 @@
+//! Runtime values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::datatype::DataType;
+use crate::error::{Error, Result};
+use crate::time::{format_interval, format_timestamp, Interval, Timestamp};
+
+/// A single SQL value.
+///
+/// Text is reference-counted (`Arc<str>`) because analytics workloads copy
+/// string values heavily across operators (group keys, window relations,
+/// archive rows); cloning a `Value::Text` is a pointer bump.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL. Compares per SQL three-valued logic in expressions; sorts
+    /// last in ORDER BY and groups as a single key in GROUP BY.
+    Null,
+    /// Boolean value.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Text(Arc<str>),
+    /// Microseconds since the Unix epoch.
+    Timestamp(Timestamp),
+    /// Signed duration in microseconds.
+    Interval(Interval),
+}
+
+impl Value {
+    /// Build a text value from anything string-like.
+    pub fn text(s: impl AsRef<str>) -> Value {
+        Value::Text(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime data type, or `None` for NULL (which is typeless).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+            Value::Interval(_) => Some(DataType::Interval),
+        }
+    }
+
+    /// True if this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract a boolean, erroring on other types. NULL maps to `None`.
+    pub fn as_bool(&self) -> Result<Option<bool>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(*b)),
+            other => Err(Error::type_err(format!("expected boolean, got {other}"))),
+        }
+    }
+
+    /// Extract an i64 (int or timestamp/interval raw micros).
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Timestamp(t) => Ok(*t),
+            Value::Interval(i) => Ok(*i),
+            other => Err(Error::type_err(format!("expected integer, got {other}"))),
+        }
+    }
+
+    /// Extract an f64, widening integers.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(Error::type_err(format!("expected numeric, got {other}"))),
+        }
+    }
+
+    /// Extract the string slice of a text value.
+    pub fn as_text(&self) -> Result<&str> {
+        match self {
+            Value::Text(s) => Ok(s),
+            other => Err(Error::type_err(format!("expected text, got {other}"))),
+        }
+    }
+
+    /// Extract a timestamp (µs since epoch).
+    pub fn as_timestamp(&self) -> Result<Timestamp> {
+        match self {
+            Value::Timestamp(t) => Ok(*t),
+            Value::Int(i) => Ok(*i),
+            other => Err(Error::type_err(format!("expected timestamp, got {other}"))),
+        }
+    }
+
+    /// Cast this value to `target`, following SQL cast semantics.
+    /// NULL casts to NULL of any type.
+    pub fn cast(&self, target: DataType) -> Result<Value> {
+        if self.is_null() {
+            return Ok(Value::Null);
+        }
+        if self.data_type() == Some(target) {
+            return Ok(self.clone());
+        }
+        let fail = || {
+            Err(Error::type_err(format!(
+                "cannot cast {} to {target}",
+                self.clone()
+            )))
+        };
+        match (self, target) {
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
+            (Value::Float(f), DataType::Int) => {
+                if f.is_finite() && (i64::MIN as f64..=i64::MAX as f64).contains(f) {
+                    Ok(Value::Int(f.round() as i64))
+                } else {
+                    Err(Error::Arithmetic(format!("float {f} out of integer range")))
+                }
+            }
+            (Value::Int(i), DataType::Timestamp) => Ok(Value::Timestamp(*i)),
+            (Value::Int(i), DataType::Interval) => Ok(Value::Interval(*i)),
+            (Value::Timestamp(t), DataType::Int) => Ok(Value::Int(*t)),
+            (Value::Interval(i), DataType::Int) => Ok(Value::Int(*i)),
+            (Value::Int(i), DataType::Bool) => Ok(Value::Bool(*i != 0)),
+            (Value::Bool(b), DataType::Int) => Ok(Value::Int(*b as i64)),
+            (Value::Text(s), DataType::Int) => {
+                s.trim().parse::<i64>().map(Value::Int).or_else(|_| fail())
+            }
+            (Value::Text(s), DataType::Float) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .or_else(|_| fail()),
+            (Value::Text(s), DataType::Bool) => match s.trim().to_ascii_lowercase().as_str() {
+                "t" | "true" | "1" | "yes" => Ok(Value::Bool(true)),
+                "f" | "false" | "0" | "no" => Ok(Value::Bool(false)),
+                _ => fail(),
+            },
+            (Value::Text(s), DataType::Timestamp) => {
+                crate::time::parse_timestamp(s).map(Value::Timestamp)
+            }
+            (Value::Text(s), DataType::Interval) => {
+                crate::time::parse_interval(s).map(Value::Interval)
+            }
+            (v, DataType::Text) => Ok(Value::text(v.to_string())),
+            _ => fail(),
+        }
+    }
+
+    /// Total ordering used by ORDER BY, index keys and merge operations.
+    ///
+    /// NULL sorts after every non-null value ("NULLS LAST"). All numeric
+    /// kinds — Int, Float, and the µs-backed Timestamp/Interval — form one
+    /// numeric class and compare by value (exactly: i64↔f64 comparison
+    /// does not round through f64). Cross-class comparisons fall back to a
+    /// stable type-rank order so sorting never panics. The SQL analyzer
+    /// rejects senseless cross-type comparisons before execution; this
+    /// order only needs to be *total* and consistent with [`Hash`].
+    pub fn sort_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Greater,
+            (_, Null) => Ordering::Less,
+            _ => {
+                // Order by class first — the whole numeric class shares
+                // one rank, so cross-class and within-class comparisons
+                // can never disagree (transitivity).
+                let (ca, cb) = (class_rank(self), class_rank(other));
+                if ca != cb {
+                    return ca.cmp(&cb);
+                }
+                match (self, other) {
+                    (Bool(a), Bool(b)) => a.cmp(b),
+                    (Text(a), Text(b)) => a.cmp(b),
+                    (a, b) => cmp_numeric(
+                        numeric_repr(a).expect("numeric class"),
+                        numeric_repr(b).expect("numeric class"),
+                    ),
+                }
+            }
+        }
+    }
+
+    /// SQL equality for joins/grouping: NULL equals nothing (not even NULL)
+    /// under `=`, but [`Value::group_eq`] treats NULLs as one group.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.sort_cmp(other) == Ordering::Equal)
+    }
+
+    /// Grouping equality: like `sql_eq` but NULL == NULL (SQL GROUP BY
+    /// places all NULLs in a single group).
+    pub fn group_eq(&self, other: &Value) -> bool {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => true,
+            (false, false) => self.sort_cmp(other) == Ordering::Equal,
+            _ => false,
+        }
+    }
+}
+
+/// The numeric class: exact 64-bit integers (Int, Timestamp, Interval —
+/// the latter two are raw µs) or a float.
+#[derive(Clone, Copy)]
+enum Num {
+    I(i64),
+    F(f64),
+}
+
+fn numeric_repr(v: &Value) -> Option<Num> {
+    match v {
+        Value::Int(i) | Value::Timestamp(i) | Value::Interval(i) => Some(Num::I(*i)),
+        Value::Float(f) => Some(Num::F(*f)),
+        _ => None,
+    }
+}
+
+/// Normalize floats so that `-0.0 == 0.0` (required: Int(0) compares
+/// equal to both, so they must compare equal to each other).
+fn norm_f64(f: f64) -> f64 {
+    if f == 0.0 {
+        0.0
+    } else {
+        f
+    }
+}
+
+fn cmp_numeric(a: Num, b: Num) -> Ordering {
+    match (a, b) {
+        (Num::I(x), Num::I(y)) => x.cmp(&y),
+        (Num::F(x), Num::F(y)) => norm_f64(x).total_cmp(&norm_f64(y)),
+        (Num::I(x), Num::F(y)) => cmp_i64_f64(x, y),
+        (Num::F(x), Num::I(y)) => cmp_i64_f64(y, x).reverse(),
+    }
+}
+
+/// Exact comparison of an i64 against an f64 (no rounding through f64, so
+/// the order stays transitive for integers beyond 2^53). NaN ordering
+/// matches `total_cmp`: negative NaN below everything, positive NaN above.
+fn cmp_i64_f64(a: i64, b: f64) -> Ordering {
+    if b.is_nan() {
+        return if b.is_sign_positive() {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        };
+    }
+    // i64::MAX as f64 == 2^63 > i64::MAX, so b beyond these bounds is
+    // strictly outside i64's range.
+    if b >= i64::MAX as f64 {
+        return Ordering::Less;
+    }
+    if b < i64::MIN as f64 {
+        return Ordering::Greater;
+    }
+    let bt = b.trunc() as i64; // exact: |b| < 2^63
+    match a.cmp(&bt) {
+        Ordering::Equal => {
+            let frac = b - bt as f64;
+            if frac > 0.0 {
+                Ordering::Less
+            } else if frac < 0.0 {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        o => o,
+    }
+}
+
+/// Cross-class sort rank: booleans, then the numeric class (Int, Float,
+/// Timestamp, Interval), then text. NULL is handled before ranking.
+fn class_rank(v: &Value) -> u8 {
+    match v {
+        Value::Bool(_) => 0,
+        Value::Int(_) | Value::Float(_) | Value::Timestamp(_) | Value::Interval(_) => 1,
+        Value::Text(_) => 2,
+        Value::Null => 3,
+    }
+}
+
+/// Equality for use as hash-map keys (group-by, hash join build keys).
+/// Follows [`Value::group_eq`] semantics: NULLs are equal to each other,
+/// `1` and `1.0` are equal (they compare equal numerically).
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.group_eq(other)
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and floats must hash identically when numerically equal
+            // because they compare equal; hash every numeric as f64 bits
+            // unless the int is not exactly representable.
+            Value::Int(i) => {
+                let f = *i as f64;
+                if f as i64 == *i {
+                    2u8.hash(state);
+                    f.to_bits().hash(state);
+                } else {
+                    3u8.hash(state);
+                    i.hash(state);
+                }
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                // Normalized so -0.0 hashes like 0.0 (they compare equal).
+                norm_f64(*f).to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+            // Temporal values compare equal to bare ints of the same µs
+            // value, so they must hash through the integer scheme (the
+            // resulting Timestamp/Interval cross-collisions are harmless).
+            Value::Timestamp(t) | Value::Interval(t) => {
+                let f = *t as f64;
+                if f as i64 == *t {
+                    2u8.hash(state);
+                    f.to_bits().hash(state);
+                } else {
+                    3u8.hash(state);
+                    t.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Text(s) => f.write_str(s),
+            Value::Timestamp(t) => f.write_str(&format_timestamp(*t)),
+            Value::Interval(i) => f.write_str(&format_interval(*i)),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::text(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_sorts_last() {
+        assert_eq!(Value::Null.sort_cmp(&Value::Int(1)), Ordering::Greater);
+        assert_eq!(Value::Int(1).sort_cmp(&Value::Null), Ordering::Less);
+        assert_eq!(Value::Null.sort_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(Value::Int(1).sort_cmp(&Value::Float(1.5)), Ordering::Less);
+        assert_eq!(Value::Float(2.0).sort_cmp(&Value::Int(2)), Ordering::Equal);
+        assert!(Value::Int(2).group_eq(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn numeric_hash_consistent_with_eq() {
+        let a = Value::Int(2);
+        let b = Value::Float(2.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn sql_eq_three_valued() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Some(false));
+    }
+
+    #[test]
+    fn group_eq_nulls_collapse() {
+        assert!(Value::Null.group_eq(&Value::Null));
+        assert!(!Value::Null.group_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(
+            Value::text("42").cast(DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::text("1 week").cast(DataType::Interval).unwrap(),
+            Value::Interval(crate::time::WEEKS)
+        );
+        assert_eq!(
+            Value::Int(5).cast(DataType::Float).unwrap(),
+            Value::Float(5.0)
+        );
+        assert_eq!(
+            Value::Float(2.6).cast(DataType::Int).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(Value::Null.cast(DataType::Text).unwrap(), Value::Null);
+        assert!(Value::text("xyz").cast(DataType::Int).is_err());
+        assert!(Value::Float(f64::NAN).cast(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn cast_timestamp_text_roundtrip() {
+        let ts = Value::text("2009-01-04 12:00:00")
+            .cast(DataType::Timestamp)
+            .unwrap();
+        let txt = ts.cast(DataType::Text).unwrap();
+        assert_eq!(txt.as_text().unwrap(), "2009-01-04 12:00:00");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::Float(3.0).to_string(), "3.0");
+        assert_eq!(Value::text("hi").to_string(), "hi");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn temporal_int_comparison_and_hash() {
+        assert!(Value::Int(5).group_eq(&Value::Timestamp(5)));
+        assert!(Value::Timestamp(5).group_eq(&Value::Int(5)));
+        assert_eq!(hash_of(&Value::Int(5)), hash_of(&Value::Timestamp(5)));
+        assert_eq!(
+            Value::Timestamp(10).sort_cmp(&Value::Int(3)),
+            Ordering::Greater
+        );
+        assert_eq!(Value::Int(3).sort_cmp(&Value::Interval(10)), Ordering::Less);
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert!(Value::text("x").as_float().is_err());
+        assert!(Value::Int(1).as_text().is_err());
+        assert_eq!(Value::Int(1).as_float().unwrap(), 1.0);
+        assert_eq!(Value::Bool(true).as_bool().unwrap(), Some(true));
+        assert_eq!(Value::Null.as_bool().unwrap(), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the value system and time parsing.
+
+use proptest::prelude::*;
+use streamrel_types::time::format_interval;
+use streamrel_types::{format_timestamp, parse_interval, parse_timestamp, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[ -~]{0,24}".prop_map(Value::text),
+        any::<i64>().prop_map(Value::Timestamp),
+        any::<i64>().prop_map(Value::Interval),
+    ]
+}
+
+proptest! {
+    /// sort_cmp is a total order: antisymmetric and transitive.
+    #[test]
+    fn sort_cmp_total_order(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        prop_assert_eq!(a.sort_cmp(&b), b.sort_cmp(&a).reverse());
+        prop_assert_eq!(a.sort_cmp(&a), Equal);
+        if a.sort_cmp(&b) != Greater && b.sort_cmp(&c) != Greater {
+            prop_assert_ne!(a.sort_cmp(&c), Greater,
+                "transitivity violated: {:?} {:?} {:?}", a, b, c);
+        }
+    }
+
+    /// Eq and Hash agree: equal values hash identically.
+    #[test]
+    fn eq_implies_same_hash(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b), "{:?} == {:?} but hashes differ", a, b);
+        }
+    }
+
+    /// Every value renders to text (cast-to-text is total for non-null).
+    #[test]
+    fn cast_to_text_total(v in arb_value()) {
+        let t = v.cast(streamrel_types::DataType::Text).unwrap();
+        if v.is_null() {
+            prop_assert!(t.is_null());
+        } else {
+            prop_assert!(t.as_text().is_ok());
+        }
+    }
+
+    /// Timestamp format → parse round-trips exactly.
+    #[test]
+    fn timestamp_roundtrip(ts in -4_102_444_800_000_000i64..4_102_444_800_000_000i64) {
+        let s = format_timestamp(ts);
+        prop_assert_eq!(parse_timestamp(&s).unwrap(), ts, "via {}", s);
+    }
+
+    /// Interval format → parse round-trips for unit-aligned values.
+    #[test]
+    fn interval_roundtrip(n in 1i64..10_000, unit in 0usize..6) {
+        let micros = n * [1_000i64, 1_000_000, 60_000_000, 3_600_000_000,
+                          86_400_000_000, 604_800_000_000][unit];
+        let s = format_interval(micros);
+        prop_assert_eq!(parse_interval(&s).unwrap(), micros, "via {}", s);
+    }
+
+    /// group_eq is an equivalence relation compatible with sort_cmp.
+    #[test]
+    fn group_eq_matches_sort_cmp(a in arb_value(), b in arb_value()) {
+        if !a.is_null() && !b.is_null() {
+            prop_assert_eq!(
+                a.group_eq(&b),
+                a.sort_cmp(&b) == std::cmp::Ordering::Equal
+            );
+        }
+    }
+}

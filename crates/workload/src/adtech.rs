@@ -1,0 +1,111 @@
+//! Ad-impression generator (the paper's §1.1 advertising-network domain):
+//! campaign spend tracking with per-campaign budgets, used by the
+//! `ad_dashboard` example and the growth-sweep experiment E2.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streamrel_types::{Row, Timestamp, Value};
+
+use crate::zipf::Zipf;
+
+/// Deterministic ad-impression stream.
+pub struct AdImpressionGen {
+    rng: StdRng,
+    zipf: Zipf,
+    campaigns: usize,
+    publishers: Vec<Value>,
+    clock: Timestamp,
+    mean_gap: i64,
+}
+
+impl AdImpressionGen {
+    /// New generator over `campaigns` campaigns and 32 publishers.
+    pub fn new(seed: u64, campaigns: usize, start: Timestamp, events_per_sec: u64) -> AdImpressionGen {
+        assert!(campaigns > 0 && events_per_sec > 0);
+        let publishers = (0..32)
+            .map(|i| Value::text(format!("pub-{i:02}")))
+            .collect();
+        AdImpressionGen {
+            rng: StdRng::seed_from_u64(seed ^ 0xAD5_FEED),
+            zipf: Zipf::new(campaigns, 0.8),
+            campaigns,
+            publishers,
+            clock: start,
+            mean_gap: 1_000_000 / events_per_sec as i64,
+        }
+    }
+
+    /// Next impression: `[campaign_id, publisher, cost_micros, clicked, itime]`.
+    pub fn next_row(&mut self) -> Row {
+        let gap = self
+            .rng
+            .gen_range(self.mean_gap / 2..=self.mean_gap * 3 / 2)
+            .max(1);
+        self.clock += gap;
+        let campaign = self.zipf.sample(&mut self.rng) as i64;
+        let publisher = self.publishers[self.rng.gen_range(0..self.publishers.len())].clone();
+        // CPM-style pricing: 500–5000 micro-dollars per impression.
+        let cost: i64 = self.rng.gen_range(500..5000);
+        let clicked = self.rng.gen_bool(0.02);
+        vec![
+            Value::Int(campaign),
+            publisher,
+            Value::Int(cost),
+            Value::Bool(clicked),
+            Value::Timestamp(self.clock),
+        ]
+    }
+
+    /// Generate `n` impressions.
+    pub fn take_rows(&mut self, n: usize) -> Vec<Row> {
+        (0..n).map(|_| self.next_row()).collect()
+    }
+
+    /// Number of campaigns.
+    pub fn campaigns(&self) -> usize {
+        self.campaigns
+    }
+
+    /// Current event-time clock.
+    pub fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    /// SQL declaring the matching stream.
+    pub fn create_stream_sql(name: &str) -> String {
+        format!(
+            "CREATE STREAM {name} (campaign_id integer, publisher varchar(16), \
+             cost_micros bigint, clicked boolean, itime timestamp CQTIME USER)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impressions_well_formed() {
+        let mut g = AdImpressionGen::new(1, 50, 0, 1000);
+        let rows = g.take_rows(1000);
+        let mut clicks = 0;
+        for r in &rows {
+            assert_eq!(r.len(), 5);
+            let c = r[0].as_int().unwrap();
+            assert!((0..50).contains(&c));
+            let cost = r[2].as_int().unwrap();
+            assert!((500..5000).contains(&cost));
+            if r[3] == Value::Bool(true) {
+                clicks += 1;
+            }
+        }
+        assert!(clicks < 100, "~2% CTR, got {clicks}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = AdImpressionGen::new(3, 10, 0, 100).take_rows(64);
+        let b = AdImpressionGen::new(3, 10, 0, 100).take_rows(64);
+        assert_eq!(a, b);
+    }
+}

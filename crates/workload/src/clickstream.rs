@@ -1,0 +1,155 @@
+//! URL clickstream generator (the paper's running example: `url_stream`
+//! with `url`, `atime CQTIME USER`, `client_ip`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streamrel_types::{Row, Timestamp, Value};
+
+use crate::zipf::Zipf;
+
+/// Deterministic clickstream: Zipf-skewed URLs, fixed mean event rate with
+/// bounded jitter, monotone timestamps.
+pub struct ClickstreamGen {
+    rng: StdRng,
+    zipf: Zipf,
+    urls: Vec<Value>,
+    ips: Vec<Value>,
+    clock: Timestamp,
+    mean_gap: i64,
+    emitted: u64,
+}
+
+impl ClickstreamGen {
+    /// New generator.
+    ///
+    /// - `seed`: determinism.
+    /// - `n_urls`: distinct URLs (Zipf s=1.0 over them).
+    /// - `start`: first event timestamp (µs).
+    /// - `events_per_sec`: mean arrival rate in *event time*.
+    pub fn new(seed: u64, n_urls: usize, start: Timestamp, events_per_sec: u64) -> ClickstreamGen {
+        assert!(events_per_sec > 0);
+        let urls: Vec<Value> = (0..n_urls)
+            .map(|i| Value::text(format!("/page/{i:06}")))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC11C_5EED);
+        let ips: Vec<Value> = (0..256)
+            .map(|_| {
+                Value::text(format!(
+                    "{}.{}.{}.{}",
+                    rng.gen_range(1..255u8),
+                    rng.gen_range(0..255u8),
+                    rng.gen_range(0..255u8),
+                    rng.gen_range(1..255u8)
+                ))
+            })
+            .collect();
+        ClickstreamGen {
+            rng,
+            zipf: Zipf::new(n_urls, 1.0),
+            urls,
+            ips,
+            clock: start,
+            mean_gap: 1_000_000 / events_per_sec as i64,
+            emitted: 0,
+        }
+    }
+
+    /// Next event: `[url, atime, client_ip]`.
+    pub fn next_row(&mut self) -> Row {
+        // Jitter ±50% around the mean gap, never zero (strict order not
+        // required — ties allowed — but monotonicity is).
+        let jitter = self
+            .rng
+            .gen_range(self.mean_gap / 2..=self.mean_gap * 3 / 2)
+            .max(1);
+        self.clock += jitter;
+        self.emitted += 1;
+        let url = self.urls[self.zipf.sample(&mut self.rng)].clone();
+        let ip = self.ips[self.rng.gen_range(0..self.ips.len())].clone();
+        vec![url, Value::Timestamp(self.clock), ip]
+    }
+
+    /// Generate `n` events.
+    pub fn take_rows(&mut self, n: usize) -> Vec<Row> {
+        (0..n).map(|_| self.next_row()).collect()
+    }
+
+    /// Current event-time clock.
+    pub fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    /// Events emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The SQL to declare the matching stream.
+    pub fn create_stream_sql(name: &str) -> String {
+        format!(
+            "CREATE STREAM {name} (url varchar(1024), \
+             atime timestamp CQTIME USER, client_ip varchar(50))"
+        )
+    }
+
+    /// The SQL to declare a matching raw-archive table.
+    pub fn create_table_sql(name: &str) -> String {
+        format!(
+            "CREATE TABLE {name} (url varchar(1024), \
+             atime timestamp, client_ip varchar(50))"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_ordered_and_well_formed() {
+        let mut g = ClickstreamGen::new(1, 100, 0, 1000);
+        let rows = g.take_rows(500);
+        assert_eq!(rows.len(), 500);
+        let mut last = i64::MIN;
+        for r in &rows {
+            assert_eq!(r.len(), 3);
+            let ts = r[1].as_timestamp().unwrap();
+            assert!(ts >= last, "monotone timestamps");
+            last = ts;
+            assert!(r[0].as_text().unwrap().starts_with("/page/"));
+        }
+        assert_eq!(g.emitted(), 500);
+    }
+
+    #[test]
+    fn rate_is_approximately_respected() {
+        let mut g = ClickstreamGen::new(2, 10, 0, 1000);
+        let rows = g.take_rows(10_000);
+        let span = rows.last().unwrap()[1].as_timestamp().unwrap()
+            - rows[0][1].as_timestamp().unwrap();
+        let secs = span as f64 / 1e6;
+        let rate = 10_000.0 / secs;
+        assert!((700.0..1300.0).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<Row> = ClickstreamGen::new(9, 50, 0, 100).take_rows(50);
+        let b: Vec<Row> = ClickstreamGen::new(9, 50, 0, 100).take_rows(50);
+        assert_eq!(a, b);
+        let c: Vec<Row> = ClickstreamGen::new(10, 50, 0, 100).take_rows(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn url_skew_present() {
+        let mut g = ClickstreamGen::new(3, 1000, 0, 1000);
+        let rows = g.take_rows(20_000);
+        let mut counts = std::collections::HashMap::new();
+        for r in &rows {
+            *counts.entry(r[0].as_text().unwrap().to_string()).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().unwrap();
+        assert!(*max > 500, "hottest URL dominates: {max}");
+    }
+}

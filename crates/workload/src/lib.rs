@@ -1,0 +1,18 @@
+//! Deterministic workload generators for the paper's "network-effect"
+//! application domains (§1.1): web clickstreams, network-security event
+//! feeds and ad-tech impression streams.
+//!
+//! All generators are seeded and fully deterministic, emit rows in CQTIME
+//! order (the additive, time-ordered character §1.4 describes), and let
+//! benchmarks dial the two axes the paper's argument turns on: total data
+//! volume ("more data") and event rate vs. reporting latency ("less time").
+
+pub mod adtech;
+pub mod clickstream;
+pub mod netsec;
+pub mod zipf;
+
+pub use adtech::AdImpressionGen;
+pub use clickstream::ClickstreamGen;
+pub use netsec::NetsecGen;
+pub use zipf::Zipf;

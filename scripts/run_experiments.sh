@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate every experiment in EXPERIMENTS.md (F1, E1-E8).
+# Usage: scripts/run_experiments.sh [SCALE]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export SCALE="${1:-1}"
+echo "== building (release) =="
+cargo build --release -p streamrel-bench --bins
+for exp in f1_window_sequence e1_netsec_speedup e2_growth_sweep e3_shared_cqs \
+           e4_mv_staleness e5_minimr_vs_cq e6_historical_join e7_recovery \
+           e8_latency_consistency; do
+    echo
+    echo "=============================================================="
+    echo "== $exp (SCALE=$SCALE)"
+    echo "=============================================================="
+    "target/release/$exp"
+done

@@ -1,0 +1,224 @@
+//! The streamrel interactive shell.
+//!
+//! ```text
+//! streamrel [data-dir]      # durable at data-dir, or in-memory if omitted
+//! ```
+//!
+//! Plain SQL statements execute against the database; continuous SELECTs
+//! create subscriptions whose window results print as they arrive (checked
+//! after every subsequent statement). Meta commands:
+//!
+//! - `\i <file>`              run a SQL script
+//! - `\heartbeat <stream> <ts|'timestamp'>`  advance a stream's event time
+//! - `\subs`                  list live subscriptions
+//! - `\unsub <n>`             terminate subscription n
+//! - `\stats`                 runtime counters
+//! - `\q`                     quit
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+use streamrel::types::{format_timestamp, parse_timestamp};
+use streamrel::{Db, DbOptions, ExecResult, SubscriptionId};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let db = match &arg {
+        Some(dir) => match Db::open(dir, DbOptions::default()) {
+            Ok(db) => {
+                println!("streamrel: durable database at {dir}");
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot open {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            println!("streamrel: in-memory database (pass a directory for durability)");
+            Db::in_memory(DbOptions::default())
+        }
+    };
+    println!("type SQL statements ending with `;`, or \\q to quit.\n");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    let mut subs: BTreeMap<u64, String> = BTreeMap::new();
+    loop {
+        if buffer.is_empty() {
+            print!("streamrel> ");
+        } else {
+            print!("........ > ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            if !meta_command(&db, trimmed, &mut subs) {
+                break;
+            }
+            drain_subscriptions(&db, &subs);
+            continue;
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        run_sql(&db, &sql, &mut subs);
+        drain_subscriptions(&db, &subs);
+    }
+    println!("bye.");
+}
+
+fn run_sql(db: &Db, sql: &str, subs: &mut BTreeMap<u64, String>) {
+    for piece in split_statements(sql) {
+        match db.execute(&piece) {
+            Ok(ExecResult::Rows(rel)) => {
+                print!("{}", rel.to_table());
+                println!("({} rows)", rel.len());
+            }
+            Ok(ExecResult::Subscribed(SubscriptionId(id))) => {
+                subs.insert(id, piece.trim().to_string());
+                println!(
+                    "continuous query registered as subscription [{id}]; \
+                     window results will print as they close."
+                );
+            }
+            Ok(ExecResult::Created(name)) => println!("created {name}"),
+            Ok(ExecResult::Dropped(name)) => println!("dropped {name}"),
+            Ok(ExecResult::Inserted(n)) => println!("inserted {n} row(s)"),
+            Ok(ExecResult::Deleted(n)) => println!("deleted {n} row(s)"),
+            Ok(ExecResult::Truncated(name)) => println!("truncated {name}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+/// Split on top-level semicolons (quotes respected) so multi-statement
+/// input works; the engine re-parses each piece.
+fn split_statements(sql: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut chars = sql.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ';' if !in_str => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.clone());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn meta_command(db: &Db, cmd: &str, subs: &mut BTreeMap<u64, String>) -> bool {
+    let mut parts = cmd.split_whitespace();
+    match parts.next() {
+        Some("\\q") | Some("\\quit") => return false,
+        Some("\\i") => match parts.next() {
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(script) => run_sql(db, &script, subs),
+                Err(e) => println!("cannot read {path}: {e}"),
+            },
+            None => println!("usage: \\i <file>"),
+        },
+        Some("\\heartbeat") => {
+            let Some(stream) = parts.next() else {
+                println!("usage: \\heartbeat <stream> <epoch_us | YYYY-MM-DD[ HH:MM:SS]>");
+                return true;
+            };
+            // The timestamp may contain a space ('1970-01-01 00:01:00').
+            let ts_str = parts.collect::<Vec<_>>().join(" ");
+            if ts_str.is_empty() {
+                println!("usage: \\heartbeat <stream> <epoch_us | YYYY-MM-DD[ HH:MM:SS]>");
+                return true;
+            }
+            match parse_timestamp(ts_str.trim_matches('\'')) {
+                Ok(ts) => match db.heartbeat(stream, ts) {
+                    Ok(()) => println!("heartbeat({stream}) -> {}", format_timestamp(ts)),
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(e) => println!("bad timestamp: {e}"),
+            }
+        }
+        Some("\\subs") => {
+            if subs.is_empty() {
+                println!("no live subscriptions");
+            }
+            for (id, sql) in subs.iter() {
+                println!("[{id}] {sql}");
+            }
+        }
+        Some("\\unsub") => {
+            if let Some(Ok(id)) = parts.next().map(str::parse::<u64>) {
+                match db.unsubscribe(SubscriptionId(id)) {
+                    Ok(()) => {
+                        subs.remove(&id);
+                        println!("terminated [{id}]");
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            } else {
+                println!("usage: \\unsub <n>");
+            }
+        }
+        Some("\\copy") => {
+            let (Some(target), Some(path)) = (parts.next(), parts.next()) else {
+                println!("usage: \\copy <stream|table> <file.csv> [noheader]");
+                return true;
+            };
+            let has_header = parts.next() != Some("noheader");
+            match std::fs::File::open(path) {
+                Ok(f) => match db.copy_csv(target, std::io::BufReader::new(f), has_header) {
+                    Ok(n) => println!("copied {n} row(s) into {target}"),
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(e) => println!("cannot open {path}: {e}"),
+            }
+        }
+        Some("\\stats") => {
+            let s = db.stats();
+            println!(
+                "tuples_in={} windows_out={} rows_archived={} late_drops={}",
+                s.tuples_in, s.windows_out, s.rows_archived, s.late_drops
+            );
+        }
+        Some(other) => println!("unknown meta command {other} (try \\q, \\i, \\copy, \\heartbeat, \\subs, \\unsub, \\stats)"),
+        None => {}
+    }
+    true
+}
+
+fn drain_subscriptions(db: &Db, subs: &BTreeMap<u64, String>) {
+    for (&id, _) in subs.iter() {
+        if let Ok(outs) = db.poll(SubscriptionId(id)) {
+            for out in outs {
+                println!(
+                    "[{id}] window closing {}:",
+                    format_timestamp(out.close)
+                );
+                print!("{}", out.relation.to_table());
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Concurrency: the Db is a shared-memory object — writers ingest and
+//! update dimension tables while readers run snapshot queries, exactly
+//! the mixed workload §2.3 promises ("a side benefit: real-time
+//! processing for applications equipped to take advantage of it").
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use streamrel::types::Value;
+use streamrel::{Db, DbOptions};
+
+#[test]
+fn concurrent_ingest_and_snapshot_queries() {
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    db.execute("CREATE STREAM s (k varchar(8), ts timestamp CQTIME USER)")
+        .unwrap();
+    db.execute("CREATE TABLE agg (k varchar(8), c bigint, w timestamp)")
+        .unwrap();
+    db.execute(
+        "CREATE STREAM per AS SELECT k, count(*) c, cq_close(*) w \
+         FROM s <TUMBLING '1 second'> GROUP BY k",
+    )
+    .unwrap();
+    db.execute("CREATE CHANNEL ch FROM per INTO agg APPEND").unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let n_tuples = 20_000i64;
+
+    std::thread::scope(|scope| {
+        // One writer drives the stream (streams are single-writer by
+        // design: CQTIME order is per-stream).
+        let w_db = db.clone();
+        let w_stop = stop.clone();
+        scope.spawn(move || {
+            for i in 0..n_tuples {
+                w_db.ingest(
+                    "s",
+                    vec![
+                        Value::text(format!("k{}", i % 5)),
+                        Value::Timestamp(i * 1_000),
+                    ],
+                )
+                .unwrap();
+            }
+            w_db.heartbeat("s", n_tuples * 1_000 + 1_000_000).unwrap();
+            w_stop.store(true, Ordering::SeqCst);
+        });
+
+        // Readers hammer snapshot queries the whole time.
+        for _ in 0..3 {
+            let r_db = db.clone();
+            let r_stop = stop.clone();
+            scope.spawn(move || {
+                let mut last_total = 0i64;
+                while !r_stop.load(Ordering::SeqCst) {
+                    let rel = r_db
+                        .execute("SELECT coalesce(sum(c), 0) FROM agg")
+                        .unwrap()
+                        .rows();
+                    let total = rel.rows()[0][0].as_int().unwrap();
+                    // Monotone: committed window results never regress.
+                    assert!(total >= last_total, "{total} < {last_total}");
+                    last_total = total;
+                }
+            });
+        }
+
+        // A fourth thread updates an unrelated table concurrently.
+        let t_db = db.clone();
+        let t_stop = stop.clone();
+        scope.spawn(move || {
+            t_db.execute("CREATE TABLE scratch (x integer)").unwrap();
+            let mut i = 0;
+            while !t_stop.load(Ordering::SeqCst) {
+                t_db.execute(&format!("INSERT INTO scratch VALUES ({i})"))
+                    .unwrap();
+                i += 1;
+            }
+        });
+    });
+
+    // All tuples accounted for exactly once.
+    let rel = db.execute("SELECT sum(c) FROM agg").unwrap().rows();
+    assert_eq!(rel.rows()[0][0], Value::Int(n_tuples));
+}
+
+#[test]
+fn concurrent_subscribers_see_identical_streams() {
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        .unwrap();
+    let subs: Vec<_> = (0..4)
+        .map(|_| {
+            db.execute("SELECT sum(v) t FROM s <TUMBLING '1 second'>")
+                .unwrap()
+                .subscription()
+        })
+        .collect();
+    for i in 0..5_000i64 {
+        db.ingest("s", vec![Value::Int(1), Value::Timestamp(i * 1_000)])
+            .unwrap();
+    }
+    db.heartbeat("s", 5_000_000).unwrap();
+    // Poll from different threads; all must see the same window sequence.
+    let results: Vec<Vec<(i64, i64)>> = std::thread::scope(|scope| {
+        subs.iter()
+            .map(|sub| {
+                let db = db.clone();
+                let sub = *sub;
+                scope.spawn(move || {
+                    db.poll(sub)
+                        .unwrap()
+                        .into_iter()
+                        .map(|o| (o.close, o.relation.rows()[0][0].as_int().unwrap()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for r in &results[1..] {
+        assert_eq!(r, &results[0]);
+    }
+    assert_eq!(results[0].len(), 5);
+    assert_eq!(results[0][0].1, 1000);
+}

@@ -1,0 +1,275 @@
+//! Crash/recovery integration tests: durable state via WAL, runtime state
+//! via Active-Table watermarks (§4), exactly-once window archiving across
+//! restarts, and checkpointing.
+
+use std::path::PathBuf;
+
+use streamrel::types::time::MINUTES;
+use streamrel::types::Value;
+use streamrel::{Db, DbOptions};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "streamrel-it-durability-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn setup(db: &Db) {
+    db.execute("CREATE STREAM s (k varchar(16), ts timestamp CQTIME USER)")
+        .unwrap();
+    db.execute("CREATE TABLE agg (k varchar(16), c bigint, w timestamp)")
+        .unwrap();
+    db.execute(
+        "CREATE STREAM per_minute AS SELECT k, count(*) c, cq_close(*) w \
+         FROM s <TUMBLING '1 minute'> GROUP BY k",
+    )
+    .unwrap();
+    db.execute("CREATE CHANNEL ch FROM per_minute INTO agg APPEND")
+        .unwrap();
+    // Raw archive for in-flight window rebuild.
+    db.execute("CREATE TABLE raw (k varchar(16), ts timestamp)").unwrap();
+    db.execute("CREATE CHANNEL raw_ch FROM s INTO raw APPEND").unwrap();
+}
+
+fn tup(k: &str, ts: i64) -> Vec<Value> {
+    vec![Value::text(k), Value::Timestamp(ts)]
+}
+
+#[test]
+fn windows_archive_exactly_once_across_crashes() {
+    let dir = tmpdir("exactly-once");
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        setup(&db);
+        // Two complete windows plus a partial third.
+        for m in 0..2i64 {
+            db.ingest("s", tup("a", m * MINUTES + 1)).unwrap();
+            db.ingest("s", tup("a", m * MINUTES + 2)).unwrap();
+        }
+        db.ingest("s", tup("a", 2 * MINUTES + 1)).unwrap(); // in-flight
+        db.heartbeat("s", 2 * MINUTES).unwrap();
+        // Crash without shutdown.
+    }
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        // The two closed windows are archived exactly once.
+        let rel = db
+            .execute("SELECT count(*), sum(c) FROM agg")
+            .unwrap()
+            .rows();
+        assert_eq!(rel.rows()[0], vec![Value::Int(2), Value::Int(4)]);
+        // Continue: the in-flight tuple was lost from the window buffer
+        // (runtime state), but its window has not closed; new traffic for
+        // minute 3 closes window 3.
+        db.ingest("s", tup("a", 2 * MINUTES + 30_000_000)).unwrap();
+        db.heartbeat("s", 3 * MINUTES).unwrap();
+        let rel = db
+            .execute("SELECT count(*) FROM agg")
+            .unwrap()
+            .rows();
+        assert_eq!(rel.rows()[0][0], Value::Int(3), "window 3 archived once");
+        // No duplicates for windows 1-2:
+        let rel = db
+            .execute("SELECT w, count(*) n FROM agg GROUP BY w HAVING count(*) > 1")
+            .unwrap()
+            .rows();
+        assert!(rel.is_empty(), "no window archived twice: {rel}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn in_flight_window_rebuilds_from_raw_archive() {
+    // The paper's full §4 story: runtime state (the partial window) is
+    // rebuilt from disk — here from the raw Active Table — instead of
+    // operator checkpoints.
+    let dir = tmpdir("inflight");
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        setup(&db);
+        db.ingest("s", tup("a", 1)).unwrap();
+        db.ingest("s", tup("a", 2)).unwrap();
+        db.heartbeat("s", MINUTES).unwrap(); // window 1 archived
+        db.ingest("s", tup("a", MINUTES + 1)).unwrap(); // in-flight
+        db.ingest("s", tup("a", MINUTES + 2)).unwrap(); // in-flight
+    }
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        // Rebuild runtime state: replay raw rows past the archive
+        // watermark through the stream.
+        let wm = streamrel::cq::recovery::archive_watermark(db.engine(), "agg", "w")
+            .unwrap()
+            .unwrap_or(i64::MIN);
+        assert_eq!(wm, MINUTES);
+        let replay =
+            streamrel::cq::recovery::replay_rows_after(db.engine(), "raw", "ts", wm).unwrap();
+        assert_eq!(replay.len(), 2, "the two in-flight tuples");
+        // Feeding them back rebuilds the partial window... but they are
+        // already in `raw`, so bypass the raw channel by re-ingesting and
+        // then de-duplicating is wrong; instead drop + recreate the raw
+        // channel around the replay. Simpler: the replay count itself is
+        // the E7 metric; complete the window with fresh traffic.
+        db.execute("DROP CHANNEL raw_ch").unwrap();
+        for r in replay {
+            db.ingest("s", r).unwrap();
+        }
+        db.execute("CREATE CHANNEL raw_ch FROM s INTO raw APPEND").unwrap();
+        db.heartbeat("s", 2 * MINUTES).unwrap();
+        let rel = db
+            .execute("SELECT c FROM agg WHERE w = 120000000")
+            .unwrap()
+            .rows();
+        assert_eq!(
+            rel.rows()[0][0],
+            Value::Int(2),
+            "window 2 includes the rebuilt in-flight tuples"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_shrinks_recovery_and_preserves_state() {
+    let dir = tmpdir("checkpoint");
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        setup(&db);
+        for m in 0..5i64 {
+            for i in 0..20 {
+                db.ingest("s", tup("a", m * MINUTES + i + 1)).unwrap();
+            }
+        }
+        db.heartbeat("s", 5 * MINUTES).unwrap();
+        db.engine().checkpoint().unwrap();
+        // Post-checkpoint traffic.
+        db.ingest("s", tup("a", 5 * MINUTES + 1)).unwrap();
+        db.heartbeat("s", 6 * MINUTES).unwrap();
+    }
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        let replayed = db.engine().stats().replayed;
+        // Only post-checkpoint records replay (6th window: 1 raw insert +
+        // watermark puts + agg insert + txn records — well under the 100+
+        // from before the checkpoint).
+        assert!(replayed < 60, "replayed {replayed} records");
+        let rel = db.execute("SELECT count(*), sum(c) FROM agg").unwrap().rows();
+        assert_eq!(rel.rows()[0], vec![Value::Int(6), Value::Int(101)]);
+        let rel = db.execute("SELECT count(*) FROM raw").unwrap().rows();
+        assert_eq!(rel.rows()[0][0], Value::Int(101));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ddl_objects_survive_restart() {
+    let dir = tmpdir("ddl");
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        setup(&db);
+        db.execute("CREATE VIEW busy AS SELECT k, c FROM per_minute <SLICES 1 WINDOWS> WHERE c > 1")
+            .unwrap();
+        db.execute("CREATE INDEX agg_by_k ON agg (k)").unwrap();
+    }
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        // All objects usable after restart.
+        db.ingest("s", tup("z", 1)).unwrap();
+        db.ingest("s", tup("z", 2)).unwrap();
+        let sub = db.execute("SELECT * FROM busy").unwrap().subscription();
+        db.heartbeat("s", MINUTES).unwrap();
+        let outs = db.poll(sub).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].relation.rows()[0], vec![Value::text("z"), Value::Int(2)]);
+        // Index survived (lookup path).
+        let idx = db.engine().index_on("agg", "k");
+        assert!(idx.is_some(), "index rebuilt on restart");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dropped_objects_stay_dropped_after_restart() {
+    let dir = tmpdir("dropped");
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        setup(&db);
+        db.execute("DROP CHANNEL ch").unwrap();
+        db.execute("DROP STREAM per_minute").unwrap();
+    }
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        let e = db.execute("DROP STREAM per_minute").unwrap_err();
+        assert!(e.to_string().contains("does not exist"), "{e}");
+        // Base stream is still there and usable.
+        db.ingest("s", tup("a", 1)).unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replace_channel_resumes_via_kv_watermark() {
+    // A REPLACE-mode Active Table holds only the latest window, so the
+    // archive itself cannot give a resume point; the per-CQ watermark in
+    // the engine catalog (WAL-logged) does.
+    let dir = tmpdir("replace-wm");
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+            .unwrap();
+        db.execute("CREATE TABLE latest (total bigint, w timestamp)").unwrap();
+        db.execute(
+            "CREATE STREAM agg AS SELECT sum(v) total, cq_close(*) w \
+             FROM s <TUMBLING '1 minute'>",
+        )
+        .unwrap();
+        db.execute("CREATE CHANNEL ch FROM agg INTO latest REPLACE").unwrap();
+        for m in 0..3i64 {
+            db.ingest("s", vec![Value::Int(m + 1), Value::Timestamp(m * MINUTES + 1)])
+                .unwrap();
+        }
+        db.heartbeat("s", 3 * MINUTES).unwrap();
+        let rel = db.execute("SELECT total, w FROM latest").unwrap().rows();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.rows()[0][0], Value::Int(3));
+    }
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        // Latest window survived.
+        let rel = db.execute("SELECT total FROM latest").unwrap().rows();
+        assert_eq!(rel.rows()[0][0], Value::Int(3));
+        // The CQ resumed past window 3: new data for window 4 replaces it
+        // exactly once, with no re-emission of windows 1-3.
+        let before = db.stats().windows_out;
+        db.ingest("s", vec![Value::Int(9), Value::Timestamp(3 * MINUTES + 1)])
+            .unwrap();
+        db.heartbeat("s", 4 * MINUTES).unwrap();
+        assert_eq!(db.stats().windows_out - before, 1, "exactly one new window");
+        let rel = db.execute("SELECT total, w FROM latest").unwrap().rows();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.rows()[0][0], Value::Int(9));
+        assert_eq!(rel.rows()[0][1], Value::Timestamp(4 * MINUTES));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_sync_modes_all_recover() {
+    use streamrel::storage::SyncMode;
+    for sync in [SyncMode::NoSync, SyncMode::Flush, SyncMode::Fsync] {
+        let dir = tmpdir(&format!("sync-{sync:?}"));
+        {
+            let db = Db::open(&dir, DbOptions::default().with_sync(sync)).unwrap();
+            db.execute("CREATE TABLE t (a integer)").unwrap();
+            db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+            // Clean-ish shutdown: checkpoint makes even NoSync durable.
+            db.engine().checkpoint().unwrap();
+        }
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        let rel = db.execute("SELECT sum(a) FROM t").unwrap().rows();
+        assert_eq!(rel.rows()[0][0], Value::Int(3), "{sync:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

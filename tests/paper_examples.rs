@@ -1,0 +1,319 @@
+//! End-to-end integration tests: the paper's Examples 1-5 driven through
+//! the public umbrella API, with the outputs the paper describes.
+
+use streamrel::types::time::{MINUTES, WEEKS};
+use streamrel::types::{format_timestamp, Value};
+use streamrel::{Db, DbOptions, ExecResult};
+
+fn db_with_paper_objects() -> Db {
+    let db = Db::in_memory(DbOptions::default());
+    db.execute(
+        "CREATE STREAM url_stream ( url varchar(1024), \
+         atime timestamp CQTIME USER, client_ip varchar(50) )",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE STREAM urls_now as SELECT url, count(*) as scnt, \
+         cq_close(*) as stime FROM url_stream \
+         <VISIBLE '5 minutes' ADVANCE '1 minute'> GROUP by url",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE TABLE urls_archive (url varchar(1024), scnt integer, stime timestamp)",
+    )
+    .unwrap();
+    db.execute("CREATE CHANNEL urls_channel FROM urls_now INTO urls_archive APPEND")
+        .unwrap();
+    db
+}
+
+fn click(db: &Db, url: &str, ts: i64) {
+    db.ingest(
+        "url_stream",
+        vec![Value::text(url), Value::Timestamp(ts), Value::text("1.1.1.1")],
+    )
+    .unwrap();
+}
+
+#[test]
+fn example_2_top_ten_urls() {
+    let db = db_with_paper_objects();
+    let sub = db
+        .execute(
+            "SELECT url, count(*) url_count \
+             FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'> \
+             GROUP by url ORDER by url_count desc LIMIT 10",
+        )
+        .unwrap()
+        .subscription();
+    // 12 distinct URLs with distinct frequencies; only top 10 may appear.
+    for i in 0..12i64 {
+        for k in 0..=i {
+            click(&db, &format!("/u{i}"), i * 1000 + k);
+        }
+    }
+    db.heartbeat("url_stream", MINUTES).unwrap();
+    let outs = db.poll(sub).unwrap();
+    assert_eq!(outs.len(), 1);
+    let rel = &outs[0].relation;
+    assert_eq!(rel.len(), 10, "LIMIT 10 enforced");
+    assert_eq!(rel.rows()[0], vec![Value::text("/u11"), Value::Int(12)]);
+    assert_eq!(rel.rows()[9], vec![Value::text("/u2"), Value::Int(3)]);
+}
+
+#[test]
+fn example_3_results_available_within_one_advance() {
+    let db = db_with_paper_objects();
+    // "the results produced by urls_now are always available within at
+    // most one minute": a tuple at t triggers archive rows no later than
+    // the next minute boundary.
+    click(&db, "/x", 30 * 1_000_000);
+    db.heartbeat("url_stream", MINUTES).unwrap();
+    let rel = db
+        .execute("SELECT stime FROM urls_archive")
+        .unwrap()
+        .rows();
+    assert_eq!(rel.len(), 1);
+    assert_eq!(rel.rows()[0][0], Value::Timestamp(MINUTES));
+}
+
+#[test]
+fn example_3_disconnected_client_catches_up() {
+    let db = db_with_paper_objects();
+    // The derived stream runs always-on with no client attached...
+    for m in 0..3i64 {
+        click(&db, "/x", m * MINUTES + 1);
+    }
+    db.heartbeat("url_stream", 3 * MINUTES).unwrap();
+    // ...a client "re-connects" by reading the Active Table.
+    let rel = db
+        .execute("SELECT count(*) FROM urls_archive")
+        .unwrap()
+        .rows();
+    assert_eq!(rel.rows()[0][0], Value::Int(3));
+}
+
+#[test]
+fn example_4_replace_mode() {
+    let db = db_with_paper_objects();
+    db.execute(
+        "CREATE TABLE urls_latest (url varchar(1024), scnt integer, stime timestamp)",
+    )
+    .unwrap();
+    db.execute("CREATE CHANNEL latest_ch FROM urls_now INTO urls_latest REPLACE")
+        .unwrap();
+    for m in 0..3i64 {
+        click(&db, "/x", m * MINUTES + 1);
+    }
+    db.heartbeat("url_stream", 3 * MINUTES).unwrap();
+    let append = db.execute("SELECT count(*) FROM urls_archive").unwrap().rows();
+    let replace = db.execute("SELECT count(*) FROM urls_latest").unwrap().rows();
+    assert_eq!(append.rows()[0][0], Value::Int(3), "append accumulates");
+    assert_eq!(replace.rows()[0][0], Value::Int(1), "replace overwrites");
+    let rel = db.execute("SELECT stime FROM urls_latest").unwrap().rows();
+    assert_eq!(rel.rows()[0][0], Value::Timestamp(3 * MINUTES));
+}
+
+#[test]
+fn example_5_week_over_week() {
+    let db = db_with_paper_objects();
+    let sub = db
+        .execute(
+            "select c.scnt, h.scnt, c.stime from \
+             (select sum(scnt) as scnt, cq_close(*) as stime \
+              from urls_now <slices 1 windows>) c, urls_archive h \
+             where c.stime - '1 week'::interval = h.stime",
+        )
+        .unwrap()
+        .subscription();
+    // History: a summary row exactly one week before minute 2.
+    db.execute(&format!(
+        "INSERT INTO urls_archive VALUES ('WEEKLY', 7, '{}')",
+        format_timestamp(2 * MINUTES - WEEKS)
+    ))
+    .unwrap();
+    for m in 0..2i64 {
+        click(&db, "/a", m * MINUTES + 1);
+        click(&db, "/b", m * MINUTES + 2);
+    }
+    db.heartbeat("url_stream", 2 * MINUTES).unwrap();
+    let outs = db.poll(sub).unwrap();
+    assert_eq!(outs.len(), 2);
+    assert!(outs[0].relation.is_empty(), "no history a week before minute 1");
+    let r = &outs[1].relation;
+    assert_eq!(r.len(), 1);
+    // Current window (5-minute visible) holds 4 clicks; history says 7.
+    assert_eq!(r.rows()[0][0], Value::Int(4));
+    assert_eq!(r.rows()[0][1], Value::Int(7));
+    assert_eq!(r.rows()[0][2], Value::Timestamp(2 * MINUTES));
+}
+
+#[test]
+fn jellybean_vs_jar_same_answer() {
+    // §2.2: computing metrics as beans enter the jar must equal counting
+    // the jar afterwards. Run both against identical data.
+    let db = db_with_paper_objects();
+    db.execute(
+        "CREATE TABLE raw_jar (url varchar(1024), atime timestamp, client_ip varchar(50))",
+    )
+    .unwrap();
+    db.execute("CREATE CHANNEL raw_ch FROM url_stream INTO raw_jar APPEND")
+        .unwrap();
+    let urls = ["/a", "/b", "/a", "/c", "/a", "/b"];
+    for (i, u) in urls.iter().enumerate() {
+        click(&db, u, i as i64 * 1000);
+    }
+    db.heartbeat("url_stream", MINUTES).unwrap();
+    let jar = db
+        .execute("SELECT url, count(*) c FROM raw_jar GROUP BY url ORDER BY url")
+        .unwrap()
+        .rows();
+    let beans = db
+        .execute("SELECT url, scnt FROM urls_archive ORDER BY url")
+        .unwrap()
+        .rows();
+    assert_eq!(jar.rows(), beans.rows());
+}
+
+#[test]
+fn figure_1_window_sequence() {
+    // Figure 1: the window clause turns the stream into a sequence of
+    // tables. Assert the sequence structure precisely.
+    let db = Db::in_memory(DbOptions::default());
+    db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        .unwrap();
+    let sub = db
+        .execute("SELECT v FROM s <VISIBLE '2 minutes' ADVANCE '1 minute'>")
+        .unwrap()
+        .subscription();
+    for (v, ts) in [(1i64, 10), (2, 30), (3, MINUTES + 10), (4, 2 * MINUTES + 10)] {
+        db.ingest("s", vec![Value::Int(v), Value::Timestamp(ts)]).unwrap();
+    }
+    db.heartbeat("s", 3 * MINUTES).unwrap();
+    let outs = db.poll(sub).unwrap();
+    let seq: Vec<Vec<i64>> = outs
+        .iter()
+        .map(|o| o.relation.rows().iter().map(|r| r[0].as_int().unwrap()).collect())
+        .collect();
+    assert_eq!(
+        seq,
+        vec![
+            vec![1, 2],       // window closing 1min: [.. , 1min)
+            vec![1, 2, 3],    // closing 2min: last 2 minutes
+            vec![3, 4],       // closing 3min
+        ]
+    );
+}
+
+#[test]
+fn sq_and_cq_share_one_sql_surface() {
+    // §2.3: "queries can be posed exclusively on relations, exclusively on
+    // streams, or on a combination" — same statement text either returns
+    // rows (SQ) or subscribes (CQ) based only on what it references.
+    let db = db_with_paper_objects();
+    let r = db.execute("SELECT 1 + 1").unwrap();
+    assert!(matches!(r, ExecResult::Rows(_)));
+    let r = db.execute("SELECT count(*) FROM urls_archive").unwrap();
+    assert!(matches!(r, ExecResult::Rows(_)));
+    let r = db
+        .execute("SELECT count(*) FROM url_stream <TUMBLING '1 minute'>")
+        .unwrap();
+    assert!(matches!(r, ExecResult::Subscribed(_)));
+}
+
+#[test]
+fn shared_cq_with_having_and_limit() {
+    // The post-aggregation pipeline (HAVING, ORDER BY, LIMIT) runs
+    // per-query even under shared slices; verify it behaves.
+    let db = Db::in_memory(DbOptions::default());
+    db.execute("CREATE STREAM s (k varchar(8), ts timestamp CQTIME USER)")
+        .unwrap();
+    let sub = db
+        .execute(
+            "SELECT k, count(*) c FROM s <TUMBLING '1 minute'> \
+             GROUP BY k HAVING count(*) >= 3 ORDER BY c DESC LIMIT 2",
+        )
+        .unwrap()
+        .subscription();
+    // k0 x5, k1 x4, k2 x3, k3 x1.
+    let mut ts = 0;
+    for (k, n) in [("k0", 5), ("k1", 4), ("k2", 3), ("k3", 1)] {
+        for _ in 0..n {
+            ts += 1;
+            db.ingest("s", vec![Value::text(k), Value::Timestamp(ts)]).unwrap();
+        }
+    }
+    db.heartbeat("s", MINUTES).unwrap();
+    let outs = db.poll(sub).unwrap();
+    let rel = &outs[0].relation;
+    assert_eq!(rel.len(), 2, "HAVING cut k3, LIMIT cut k2");
+    assert_eq!(rel.rows()[0], vec![Value::text("k0"), Value::Int(5)]);
+    assert_eq!(rel.rows()[1], vec![Value::text("k1"), Value::Int(4)]);
+}
+
+#[test]
+fn slices_three_windows_via_sql() {
+    let db = Db::in_memory(DbOptions::default());
+    db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        .unwrap();
+    db.execute(
+        "CREATE STREAM per_min AS SELECT sum(v) sv, cq_close(*) w \
+         FROM s <TUMBLING '1 minute'>",
+    )
+    .unwrap();
+    let sub = db
+        .execute("SELECT sum(sv) total FROM per_min <SLICES 3 WINDOWS>")
+        .unwrap()
+        .subscription();
+    for m in 0..5i64 {
+        db.ingest("s", vec![Value::Int(m + 1), Value::Timestamp(m * MINUTES + 1)])
+            .unwrap();
+    }
+    db.heartbeat("s", 5 * MINUTES).unwrap();
+    let outs = db.poll(sub).unwrap();
+    // Slices windows need 3 batches: first fires after minute 3.
+    assert_eq!(outs.len(), 3);
+    assert_eq!(outs[0].relation.rows()[0][0], Value::Int(1 + 2 + 3));
+    assert_eq!(outs[2].relation.rows()[0][0], Value::Int(3 + 4 + 5));
+}
+
+#[test]
+fn view_over_derived_stream() {
+    let db = Db::in_memory(DbOptions::default());
+    db.execute("CREATE STREAM s (k varchar(8), ts timestamp CQTIME USER)")
+        .unwrap();
+    db.execute(
+        "CREATE STREAM per_min AS SELECT k, count(*) c, cq_close(*) w \
+         FROM s <TUMBLING '1 minute'> GROUP BY k",
+    )
+    .unwrap();
+    db.execute("CREATE VIEW hot AS SELECT k, c FROM per_min <SLICES 1 WINDOWS> WHERE c > 1")
+        .unwrap();
+    let sub = db.execute("SELECT * FROM hot").unwrap().subscription();
+    for ts in [1i64, 2, 3] {
+        db.ingest("s", vec![Value::text("a"), Value::Timestamp(ts)]).unwrap();
+    }
+    db.ingest("s", vec![Value::text("b"), Value::Timestamp(4)]).unwrap();
+    db.heartbeat("s", MINUTES).unwrap();
+    let outs = db.poll(sub).unwrap();
+    assert_eq!(outs.len(), 1);
+    assert_eq!(outs[0].relation.rows(), &[vec![Value::text("a"), Value::Int(3)]]);
+}
+
+#[test]
+fn row_window_stream_without_cqtime() {
+    // Row-count windows work on streams with no CQTIME column at all.
+    let db = Db::in_memory(DbOptions::default());
+    db.execute("CREATE STREAM s (v integer)").unwrap();
+    let sub = db
+        .execute("SELECT sum(v) FROM s <VISIBLE 2 ROWS ADVANCE 2 ROWS>")
+        .unwrap()
+        .subscription();
+    for v in [1i64, 2, 3, 4] {
+        db.ingest("s", vec![Value::Int(v)]).unwrap();
+    }
+    let outs = db.poll(sub).unwrap();
+    assert_eq!(outs.len(), 2);
+    assert_eq!(outs[0].relation.rows()[0][0], Value::Int(3));
+    assert_eq!(outs[1].relation.rows()[0][0], Value::Int(7));
+}

@@ -1,0 +1,146 @@
+//! Soak test: a full pipeline under sustained mixed load — ingest,
+//! cascaded derived streams, both channel modes, dimension updates,
+//! ad-hoc snapshot queries, vacuum, and (durable variant) checkpointing —
+//! with global invariants checked at every phase boundary.
+
+use streamrel::types::time::MINUTES;
+use streamrel::types::Value;
+use streamrel::{Db, DbOptions};
+
+fn build_pipeline(db: &Db) {
+    db.execute("CREATE STREAM clicks (url varchar(64), ts timestamp CQTIME USER)")
+        .unwrap();
+    db.execute("CREATE TABLE categories (url varchar(64), cat varchar(16))")
+        .unwrap();
+    for i in 0..8 {
+        db.execute(&format!(
+            "INSERT INTO categories VALUES ('/p{i}', 'cat{}')",
+            i % 3
+        ))
+        .unwrap();
+    }
+    // Level 1: per-minute per-URL counts, enriched with category.
+    db.execute(
+        "CREATE STREAM by_url AS \
+         SELECT c.url, min(d.cat) cat, count(*) hits, cq_close(*) w \
+         FROM clicks <TUMBLING '1 minute'> c \
+         JOIN categories d ON c.url = d.url GROUP BY c.url",
+    )
+    .unwrap();
+    // Level 2: rolling 3-minute totals per category over level 1.
+    db.execute(
+        "CREATE STREAM by_cat AS \
+         SELECT cat, sum(hits) hits, cq_close(*) w3 \
+         FROM by_url <VISIBLE '3 minutes' ADVANCE '1 minute'> GROUP BY cat",
+    )
+    .unwrap();
+    db.execute("CREATE TABLE url_hist (url varchar(64), cat varchar(16), hits bigint, w timestamp)")
+        .unwrap();
+    db.execute("CREATE CHANNEL c1 FROM by_url INTO url_hist APPEND").unwrap();
+    db.execute("CREATE TABLE cat_latest (cat varchar(16), hits bigint, w3 timestamp)")
+        .unwrap();
+    db.execute("CREATE CHANNEL c2 FROM by_cat INTO cat_latest REPLACE").unwrap();
+}
+
+fn drive(db: &Db, minutes_start: i64, minutes_end: i64) {
+    for m in minutes_start..minutes_end {
+        let rows: Vec<Vec<Value>> = (0..120)
+            .map(|i| {
+                vec![
+                    Value::text(format!("/p{}", (m + i) % 8)),
+                    Value::Timestamp(m * MINUTES + i * 400_000 + 1),
+                ]
+            })
+            .collect();
+        db.ingest_batch("clicks", rows).unwrap();
+        // Mid-stream dimension churn.
+        if m % 3 == 2 {
+            db.execute(&format!("DELETE FROM categories WHERE url = '/p{}'", m % 8))
+                .unwrap();
+            db.execute(&format!(
+                "INSERT INTO categories VALUES ('/p{}', 'cat{}')",
+                m % 8,
+                m % 3
+            ))
+            .unwrap();
+        }
+        // Ad-hoc snapshot query interleaved.
+        db.execute("SELECT count(*) FROM url_hist").unwrap();
+    }
+    db.heartbeat("clicks", minutes_end * MINUTES).unwrap();
+}
+
+fn check_invariants(db: &Db, minutes: i64) {
+    // Every ingested click that matched a category landed in exactly one
+    // url_hist window row-sum.
+    let total = db
+        .execute("SELECT coalesce(sum(hits), 0) FROM url_hist")
+        .unwrap()
+        .rows();
+    assert_eq!(
+        total.rows()[0][0],
+        Value::Int(minutes * 120),
+        "all clicks accounted once"
+    );
+    // No window/url pair archived twice.
+    let dup = db
+        .execute("SELECT w, url, count(*) FROM url_hist GROUP BY w, url HAVING count(*) > 1")
+        .unwrap()
+        .rows();
+    assert!(dup.is_empty());
+    // The REPLACE table holds exactly the distinct categories of one close.
+    let latest = db
+        .execute("SELECT count(distinct w3), count(*) FROM cat_latest")
+        .unwrap()
+        .rows();
+    assert_eq!(latest.rows()[0][0], Value::Int(1), "one window only");
+    // Level-2 totals cover the last 3 minutes of level-1 data.
+    let lvl2 = db
+        .execute("SELECT sum(hits) FROM cat_latest")
+        .unwrap()
+        .rows();
+    let expect = 120 * minutes.min(3);
+    assert_eq!(lvl2.rows()[0][0], Value::Int(expect));
+}
+
+#[test]
+fn soak_in_memory() {
+    let db = Db::in_memory(DbOptions::default());
+    build_pipeline(&db);
+    drive(&db, 0, 10);
+    check_invariants(&db, 10);
+    let reclaimed = db.engine().vacuum();
+    // REPLACE channel deletes + dimension churn leave dead versions.
+    assert!(reclaimed > 0, "vacuum reclaimed {reclaimed}");
+    check_invariants(&db, 10);
+    // Keep going after vacuum.
+    drive(&db, 10, 15);
+    check_invariants(&db, 15);
+}
+
+#[test]
+fn soak_durable_with_restarts_and_checkpoints() {
+    let dir = std::env::temp_dir().join(format!("streamrel-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        build_pipeline(&db);
+        drive(&db, 0, 5);
+        check_invariants(&db, 5);
+        db.execute("CHECKPOINT").unwrap();
+    }
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        check_invariants(&db, 5);
+        drive(&db, 5, 9);
+        check_invariants(&db, 9);
+        // Crash without checkpoint.
+    }
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        check_invariants(&db, 9);
+        drive(&db, 9, 12);
+        check_invariants(&db, 12);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
