@@ -108,9 +108,7 @@ impl BatchMatView {
                 let view_id = self.db.engine().table_id(&self.view_table)?;
                 self.db.engine().with_txn(|x| {
                     self.db.engine().delete_all_visible(x, view_id)?;
-                    self.db
-                        .engine()
-                        .insert_many(x, view_id, result.into_rows())
+                    self.db.engine().insert_many(x, view_id, result.into_rows())
                 })?;
                 scanned
             }
@@ -170,7 +168,9 @@ impl BatchMatView {
             .with_txn(|x| scratch.engine().insert_many(x, id, rows))?;
         match scratch.execute(&self.query_sql)? {
             ExecResult::Rows(r) => Ok(r),
-            other => Err(Error::analysis(format!("non-snapshot view query: {other:?}"))),
+            other => Err(Error::analysis(format!(
+                "non-snapshot view query: {other:?}"
+            ))),
         }
     }
 
@@ -211,13 +211,19 @@ impl BatchMatView {
             fn relation(
                 &self,
                 _: &str,
-            ) -> Option<(streamrel_sql::plan::SchemaRef, streamrel_sql::analyzer::RelKind)>
-            {
+            ) -> Option<(
+                streamrel_sql::plan::SchemaRef,
+                streamrel_sql::analyzer::RelKind,
+            )> {
                 None
             }
         }
         let bound = Analyzer::new(&NoRels).bind_over_schema(&expr, &schema)?;
-        let _ = eval_predicate(&bound, &vec![Value::Null; schema.len()], &EvalContext::default());
+        let _ = eval_predicate(
+            &bound,
+            &vec![Value::Null; schema.len()],
+            &EvalContext::default(),
+        );
         Ok(())
     }
 }

@@ -154,8 +154,7 @@ impl MiniMr {
             }
             result
         } else {
-            let mut result: Vec<Vec<(String, i64)>> =
-                (0..partitions).map(|_| Vec::new()).collect();
+            let mut result: Vec<Vec<(String, i64)>> = (0..partitions).map(|_| Vec::new()).collect();
             for worker in map_outputs {
                 for (p, pairs) in worker.into_iter().enumerate() {
                     result[p].extend(pairs);
@@ -190,8 +189,7 @@ impl MiniMr {
         })
         .map_err(|_| Error::analysis("reduce phase panicked"))?;
 
-        let mut output: Vec<(String, i64, i64)> =
-            reduced_parts.into_iter().flatten().collect();
+        let mut output: Vec<(String, i64, i64)> = reduced_parts.into_iter().flatten().collect();
         output.sort_by(|a, b| a.0.cmp(&b.0));
         self.last_stats = MrRunStats {
             mapped,
@@ -205,7 +203,9 @@ impl MiniMr {
     /// The netsec report (E5) as a map function: emit `(src_ip, bytes)`
     /// for denied high-severity events.
     pub fn netsec_deny_map(row: &Row) -> Vec<(String, i64)> {
-        let action = row.get(2).and_then(|v| v.as_text().ok().map(str::to_string));
+        let action = row
+            .get(2)
+            .and_then(|v| v.as_text().ok().map(str::to_string));
         let severity = row.get(3).and_then(|v| v.as_int().ok());
         if action.as_deref() == Some("deny") && severity.unwrap_or(0) >= 3 {
             let src = row[0].as_text().unwrap_or("?").to_string();
@@ -257,11 +257,7 @@ mod tests {
         let out = mr.run_grouped_sum(&rows(), sum_map).unwrap();
         assert_eq!(
             out,
-            vec![
-                ("a".into(), 9, 3),
-                ("b".into(), 2, 1),
-                ("c".into(), 4, 1)
-            ]
+            vec![("a".into(), 9, 3), ("b".into(), 2, 1), ("c".into(), 4, 1)]
         );
         let st = mr.last_stats();
         assert_eq!(st.mapped, 5);
@@ -287,7 +283,9 @@ mod tests {
 
     #[test]
     fn matches_single_threaded_reference() {
-        let input: Vec<Row> = (0..1000i64).map(|i| row![format!("k{}", i % 17), i]).collect();
+        let input: Vec<Row> = (0..1000i64)
+            .map(|i| row![format!("k{}", i % 17), i])
+            .collect();
         let mut mr = MiniMr::new(MrConfig {
             workers: 7,
             partitions: 5,
@@ -312,17 +310,29 @@ mod tests {
     #[test]
     fn empty_map_output_allowed() {
         let mut mr = MiniMr::new(MrConfig::default());
-        let out = mr
-            .run_grouped_sum(&rows(), |_| Vec::new())
-            .unwrap();
+        let out = mr.run_grouped_sum(&rows(), |_| Vec::new()).unwrap();
         assert!(out.is_empty());
         assert_eq!(mr.last_stats().shuffled, 0);
     }
 
     #[test]
     fn netsec_map_filters() {
-        let deny = row!["10.0.0.1", 80i64, "deny", 4i64, 1000i64, Value::Timestamp(1)];
-        let allow = row!["10.0.0.2", 80i64, "allow", 1i64, 1000i64, Value::Timestamp(2)];
+        let deny = row![
+            "10.0.0.1",
+            80i64,
+            "deny",
+            4i64,
+            1000i64,
+            Value::Timestamp(1)
+        ];
+        let allow = row![
+            "10.0.0.2",
+            80i64,
+            "allow",
+            1i64,
+            1000i64,
+            Value::Timestamp(2)
+        ];
         assert_eq!(
             MiniMr::netsec_deny_map(&deny),
             vec![("10.0.0.1".to_string(), 1000)]
@@ -345,11 +355,8 @@ mod integration_tests {
     #[test]
     fn mr_output_feeds_the_database() {
         // Batch side: historical grouped sums via map/reduce.
-        let history: Vec<streamrel_types::Row> = vec![
-            row!["a", 10i64],
-            row!["b", 20i64],
-            row!["a", 30i64],
-        ];
+        let history: Vec<streamrel_types::Row> =
+            vec![row!["a", 10i64], row!["b", 20i64], row!["a", 30i64]];
         let mut mr = MiniMr::new(MrConfig::default());
         let batch = mr
             .run_grouped_sum(&history, |r| {
@@ -389,8 +396,10 @@ mod integration_tests {
             ExecResult::Subscribed(sub) => sub,
             other => panic!("{other:?}"),
         };
-        db.ingest("s", row!["a", 5i64, Value::Timestamp(1)]).unwrap();
-        db.ingest("s", row!["b", 6i64, Value::Timestamp(2)]).unwrap();
+        db.ingest("s", row!["a", 5i64, Value::Timestamp(1)])
+            .unwrap();
+        db.ingest("s", row!["b", 6i64, Value::Timestamp(2)])
+            .unwrap();
         db.heartbeat("s", 60_000_000).unwrap();
         let outs = db.poll(sub).unwrap();
         assert_eq!(outs[0].relation.rows()[0], row!["a", 5i64, 40i64]);

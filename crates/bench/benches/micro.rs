@@ -59,7 +59,11 @@ fn bench_ingest_sharing(c: &mut Criterion) {
     group.sample_size(10);
     for &n_cqs in &[1usize, 16] {
         for sharing in [false, true] {
-            let label = format!("{}cq_{}", n_cqs, if sharing { "shared" } else { "unshared" });
+            let label = format!(
+                "{}cq_{}",
+                n_cqs,
+                if sharing { "shared" } else { "unshared" }
+            );
             group.bench_function(BenchmarkId::new("ingest_10k", label), |b| {
                 b.iter_batched(
                     || {
@@ -69,7 +73,8 @@ fn bench_ingest_sharing(c: &mut Criterion) {
                             DbOptions::default().without_sharing()
                         };
                         let db = Db::in_memory(opts);
-                        db.execute(&ClickstreamGen::create_stream_sql("clicks")).unwrap();
+                        db.execute(&ClickstreamGen::create_stream_sql("clicks"))
+                            .unwrap();
                         for i in 0..n_cqs {
                             db.execute(&format!(
                                 "SELECT url, count(*) c FROM clicks \
@@ -120,7 +125,8 @@ fn bench_refresh_vs_window(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let db = Db::in_memory(DbOptions::default());
-                db.execute(&ClickstreamGen::create_stream_sql("clicks")).unwrap();
+                db.execute(&ClickstreamGen::create_stream_sql("clicks"))
+                    .unwrap();
                 db.execute(
                     "CREATE STREAM agg AS SELECT url, count(*) c, cq_close(*) w \
                      FROM clicks <TUMBLING '1 minute'> GROUP BY url",
@@ -158,7 +164,8 @@ fn bench_recovery(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
     {
         let db = Db::open(&dir, DbOptions::default()).unwrap();
-        db.execute(&ClickstreamGen::create_table_sql("raw")).unwrap();
+        db.execute(&ClickstreamGen::create_table_sql("raw"))
+            .unwrap();
         let id = db.engine().table_id("raw").unwrap();
         let mut gen = ClickstreamGen::new(6, 1_000, 0, 1_000);
         let rows = gen.take_rows(20_000);
@@ -177,7 +184,8 @@ fn bench_recovery(c: &mut Criterion) {
 fn bench_sql_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("sql_primitives");
     let db = Db::in_memory(DbOptions::default());
-    db.execute("CREATE TABLE t (k varchar(16), v integer, ts timestamp)").unwrap();
+    db.execute("CREATE TABLE t (k varchar(16), v integer, ts timestamp)")
+        .unwrap();
     let id = db.engine().table_id("t").unwrap();
     let mut gen = ClickstreamGen::new(7, 100, 0, 1_000);
     let rows: Vec<Row> = gen

@@ -20,7 +20,8 @@ fn run(n_cqs: usize, sharing: bool, rows: &[Row], end: i64) -> std::time::Durati
         DbOptions::default().without_sharing()
     };
     let db = Db::in_memory(opts);
-    db.execute(&ClickstreamGen::create_stream_sql("clicks")).unwrap();
+    db.execute(&ClickstreamGen::create_stream_sql("clicks"))
+        .unwrap();
     let mut subs = Vec::new();
     for i in 0..n_cqs {
         let visible = 1 + (i % 4);
@@ -61,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut gen = ClickstreamGen::new(31, 2_000, 0, 200);
     let rows = gen.take_rows(n_tuples);
     let end = gen.clock() + 60_000_000;
-    println!("workload: {n_tuples} clicks over {} minutes of event time\n", n_tuples / 200 / 60);
+    println!(
+        "workload: {n_tuples} clicks over {} minutes of event time\n",
+        n_tuples / 200 / 60
+    );
 
     let counts = [1usize, 4, 16, 64];
     let mut table = ResultTable::new(&[
@@ -94,9 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let ug = growth_factor(&unshared_cost);
     let sg = growth_factor(&shared_cost);
-    println!(
-        "\nper-step cost growth (CQ count x4/step): unshared {ug:.2}x, shared {sg:.2}x"
-    );
+    println!("\nper-step cost growth (CQ count x4/step): unshared {ug:.2}x, shared {sg:.2}x");
     println!(
         "shape check: unshared per-tuple cost grows with the number of \
          CQs; shared stays near-flat (one aggregation pass regardless of \

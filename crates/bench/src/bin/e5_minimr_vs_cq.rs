@@ -53,9 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     db.execute(&NetsecGen::continuous_sql("events", "deny_now", "1 minute"))?;
     db.execute("CREATE CHANNEL ch FROM deny_now INTO deny_report APPEND")?;
-    let mut cq_report = streamrel_types::Relation::empty(std::sync::Arc::new(
-        streamrel_types::Schema::empty(),
-    ));
+    let mut cq_report =
+        streamrel_types::Relation::empty(std::sync::Arc::new(streamrel_types::Schema::empty()));
     let (_, cq_time) = timed(|| {
         for p in 1..=reports {
             let lo = n * (p - 1) / reports;
@@ -121,6 +120,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          touches each tuple exactly once.",
         (reports + 1) as f64 / 2.0
     );
-    assert!(mr_rows_touched > cq_rows_touched * 3, "MR must re-touch data");
+    assert!(
+        mr_rows_touched > cq_rows_touched * 3,
+        "MR must re-touch data"
+    );
     Ok(())
 }

@@ -81,7 +81,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|o| o.close > week2_start && !o.relation.is_empty())
         .collect();
 
-    let mut table = ResultTable::new(&["window close (min into wk2)", "current", "week ago", "ratio"]);
+    let mut table = ResultTable::new(&[
+        "window close (min into wk2)",
+        "current",
+        "week ago",
+        "ratio",
+    ]);
     for o in week2_windows.iter().take(6) {
         let r = &o.relation.rows()[0];
         let cur = r[0].as_int()?;

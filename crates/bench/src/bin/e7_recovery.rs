@@ -75,11 +75,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (full_count, full_scan_t) = timed(|| full_replay_count(db.engine(), "raw").unwrap());
     // A full replay also has to redo every window's aggregation:
     let (_, full_agg_t) = timed(|| {
-        db.execute(
-            "SELECT url, count(*) FROM raw GROUP BY url ORDER BY 2 DESC LIMIT 1",
-        )
-        .unwrap()
-        .rows()
+        db.execute("SELECT url, count(*) FROM raw GROUP BY url ORDER BY 2 DESC LIMIT 1")
+            .unwrap()
+            .rows()
     });
 
     println!(
@@ -108,7 +106,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dup = db
         .execute("SELECT w, url, count(*) FROM agg GROUP BY w, url HAVING count(*) > 1")?
         .rows();
-    assert!(dup.is_empty(), "no window/url archived twice after recovery");
+    assert!(
+        dup.is_empty(),
+        "no window/url archived twice after recovery"
+    );
 
     println!(
         "\nshape check: watermark recovery replays only the in-flight \
@@ -117,7 +118,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          by one window.",
         100.0 * tail_len as f64 / full_count as f64
     );
-    assert!(tail_len * 10 < full_count as usize, "tail must be a small fraction");
+    assert!(
+        tail_len * 10 < full_count as usize,
+        "tail must be a small fraction"
+    );
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

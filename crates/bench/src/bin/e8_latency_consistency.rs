@@ -52,7 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let max_lag = lags_us.iter().copied().max().unwrap_or(0);
     let avg_lag = lags_us.iter().sum::<i64>() as f64 / lags_us.len().max(1) as f64;
-    let mut t1 = ResultTable::new(&["windows", "avg availability lag", "max lag", "bound (ADVANCE)"]);
+    let mut t1 = ResultTable::new(&[
+        "windows",
+        "avg availability lag",
+        "max lag",
+        "bound (ADVANCE)",
+    ]);
     t1.row(&[
         lags_us.len().to_string(),
         format!("{:.1}ms", avg_lag / 1_000.0),
@@ -70,7 +75,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---------------- Part 2: window consistency ----------------
     println!("\nwindow consistency under concurrent dimension updates:");
-    let mut t2 = ResultTable::new(&["mode", "windows", "pure windows", "mixed windows", "stale windows"]);
+    let mut t2 = ResultTable::new(&[
+        "mode",
+        "windows",
+        "pure windows",
+        "mixed windows",
+        "stale windows",
+    ]);
     for (label, mode) in [
         ("window-boundary (paper)", ConsistencyMode::WindowBoundary),
         ("query-start (ablation)", ConsistencyMode::QueryStart),
@@ -92,7 +103,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for i in 0..10 {
                 db.ingest(
                     "s",
-                    vec![Value::text("a"), Value::Timestamp(m * MINUTES + i * 5_000_000 + 1)],
+                    vec![
+                        Value::text("a"),
+                        Value::Timestamp(m * MINUTES + i * 5_000_000 + 1),
+                    ],
                 )?;
             }
             // Mid-window dimension update (version = minute index + 1).

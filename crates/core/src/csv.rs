@@ -57,10 +57,7 @@ fn parse_record(
 
 /// Convert CSV text fields to a row for `schema`. Empty unquoted fields
 /// become NULL; everything else casts from text to the column type.
-pub fn fields_to_row(
-    fields: &[String],
-    schema: &streamrel_types::Schema,
-) -> Result<Row> {
+pub fn fields_to_row(fields: &[String], schema: &streamrel_types::Schema) -> Result<Row> {
     if fields.len() != schema.len() {
         return Err(Error::analysis(format!(
             "CSV record has {} fields but schema has {} columns",
@@ -76,9 +73,9 @@ pub fn fields_to_row(
         }
         let v = match col.ty {
             DataType::Text => Value::text(f),
-            ty => Value::text(f).cast(ty).map_err(|e| {
-                Error::type_err(format!("column `{}`: {e}", col.name))
-            })?,
+            ty => Value::text(f)
+                .cast(ty)
+                .map_err(|e| Error::type_err(format!("column `{}`: {e}", col.name)))?,
         };
         row.push(v);
     }
@@ -114,12 +111,7 @@ pub fn read_csv(
 impl crate::Db {
     /// Bulk-load CSV into a stream (ordered ingest through all CQs) or a
     /// table (one transaction). Returns rows loaded.
-    pub fn copy_csv(
-        &self,
-        target: &str,
-        reader: impl BufRead,
-        has_header: bool,
-    ) -> Result<u64> {
+    pub fn copy_csv(&self, target: &str, reader: impl BufRead, has_header: bool) -> Result<u64> {
         // Resolve the schema: stream first, then table.
         let schema = match self.stream_schema(target) {
             Some(s) => s,
@@ -160,7 +152,8 @@ mod tests {
     #[test]
     fn quoted_fields_and_escapes() {
         let db = Db::in_memory(DbOptions::default());
-        db.execute("CREATE TABLE t (a varchar(64), b integer)").unwrap();
+        db.execute("CREATE TABLE t (a varchar(64), b integer)")
+            .unwrap();
         let csv = "\"hello, world\",1\n\"she said \"\"hi\"\"\",2\n\"multi\nline\",3\n";
         db.copy_csv("t", Cursor::new(csv), false).unwrap();
         let rel = db.execute("SELECT a FROM t ORDER BY b").unwrap().rows();
@@ -172,9 +165,13 @@ mod tests {
     #[test]
     fn empty_fields_are_null() {
         let db = Db::in_memory(DbOptions::default());
-        db.execute("CREATE TABLE t (a integer, b varchar(8))").unwrap();
+        db.execute("CREATE TABLE t (a integer, b varchar(8))")
+            .unwrap();
         db.copy_csv("t", Cursor::new("1,\n,x\n"), false).unwrap();
-        let rel = db.execute("SELECT count(*), count(a), count(b) FROM t").unwrap().rows();
+        let rel = db
+            .execute("SELECT count(*), count(a), count(b) FROM t")
+            .unwrap()
+            .rows();
         assert_eq!(rel.rows()[0], row![2i64, 1i64, 1i64]);
     }
 

@@ -18,7 +18,7 @@ use streamrel_types::{Column, Error, Relation, Result, Row, Schema, Timestamp, V
 
 use crate::options::DbOptions;
 use crate::provider::{CatalogProvider, StreamDecl};
-use crate::subscription::{Subscription, SubscriptionId};
+use crate::subscription::{ResultNotifier, Subscription, SubscriptionId};
 
 /// Result of [`Db::execute`].
 #[derive(Debug)]
@@ -68,6 +68,10 @@ pub struct DbStats {
     pub rows_archived: u64,
     /// Tuples dropped as too late (outside slack).
     pub late_drops: u64,
+    /// Window results dropped because a subscription queue overflowed.
+    pub sub_drops: u64,
+    /// Currently registered client subscriptions.
+    pub live_subs: u64,
 }
 
 struct BaseStream {
@@ -122,6 +126,7 @@ pub struct Db {
     engine: Arc<StorageEngine>,
     options: DbOptions,
     inner: Mutex<Inner>,
+    notify: Arc<ResultNotifier>,
 }
 
 impl Db {
@@ -159,6 +164,7 @@ impl Db {
                 ddl_seq: 1,
                 stats: DbStats::default(),
             }),
+            notify: ResultNotifier::new(),
         }
     }
 
@@ -169,7 +175,17 @@ impl Db {
 
     /// Aggregate runtime counters.
     pub fn stats(&self) -> DbStats {
-        self.inner.lock().stats
+        let inner = self.inner.lock();
+        let mut stats = inner.stats;
+        stats.live_subs = inner.subs.len() as u64;
+        stats
+    }
+
+    /// Wakes whenever a client subscription receives a window result.
+    /// Blocking consumers (the network server's delivery threads) wait on
+    /// this instead of polling.
+    pub fn notifier(&self) -> Arc<ResultNotifier> {
+        self.notify.clone()
     }
 
     /// Schema of a base stream, if `name` is one.
@@ -351,7 +367,10 @@ impl Db {
         for c in rel.schema().columns() {
             let mut name = c.name.clone();
             let mut k = 1;
-            while cols.iter().any(|p: &Column| p.name.eq_ignore_ascii_case(&name)) {
+            while cols
+                .iter()
+                .any(|p: &Column| p.name.eq_ignore_ascii_case(&name))
+            {
                 k += 1;
                 name = format!("{}_{k}", c.name);
             }
@@ -416,8 +435,7 @@ impl Db {
                 rel
             }
             ShowKind::Streams => {
-                let mut rel =
-                    Relation::empty(schema(&["stream", "kind", "columns"]));
+                let mut rel = Relation::empty(schema(&["stream", "kind", "columns"]));
                 let mut names: Vec<_> = inner.streams.keys().cloned().collect();
                 names.sort();
                 for name in names {
@@ -445,10 +463,7 @@ impl Db {
                 let mut names: Vec<_> = inner.views.keys().cloned().collect();
                 names.sort();
                 for name in names {
-                    rel.push(vec![
-                        Value::text(&name),
-                        Value::text(&inner.views[&name]),
-                    ]);
+                    rel.push(vec![Value::text(&name), Value::text(&inner.views[&name])]);
                 }
                 rel
             }
@@ -574,7 +589,11 @@ impl Db {
         )?;
         // Slice sharing applies to base-stream aggregates only: derived
         // streams deliver whole result batches, not tuples.
-        if self.options.sharing && inner.streams.contains_key(&cq.stream().to_ascii_lowercase()) {
+        if self.options.sharing
+            && inner
+                .streams
+                .contains_key(&cq.stream().to_ascii_lowercase())
+        {
             cq.try_share(&mut inner.registry);
         }
         let out_schema = analyzed.plan.schema();
@@ -846,7 +865,11 @@ impl Db {
             self.engine.clone(),
             self.options.consistency,
         )?;
-        if self.options.sharing && inner.streams.contains_key(&cq.stream().to_ascii_lowercase()) {
+        if self.options.sharing
+            && inner
+                .streams
+                .contains_key(&cq.stream().to_ascii_lowercase())
+        {
             cq.try_share(&mut inner.registry);
         }
         let upstream = cq.stream().to_string();
@@ -860,7 +883,10 @@ impl Db {
             },
         );
         self.attach_cq(&mut inner, &upstream, cq_id)?;
-        inner.subs.insert(sub_id, Subscription::default());
+        inner.subs.insert(
+            sub_id,
+            Subscription::bounded(self.options.sub_queue_capacity, self.options.sub_overflow),
+        );
         Ok(ExecResult::Subscribed(sub_id))
     }
 
@@ -887,6 +913,9 @@ impl Db {
                 d.downstream_cqs.retain(|&c| c != id);
             }
         }
+        drop(inner);
+        // Wake blocked deliverers so they notice the subscription is gone.
+        self.notify.notify();
         Ok(())
     }
 
@@ -1027,13 +1056,15 @@ impl Db {
             .into_iter()
             .flat_map(|(id, outs)| outs.into_iter().map(move |o| (id, o)))
             .collect();
+        let mut published = false;
         while let Some((cq_id, out)) = queue.pop_front() {
             inner.stats.windows_out += 1;
             let sink_target = match &inner.cqs.get(&cq_id).map(|e| &e.sink) {
                 Some(Sink::Client(s)) => {
                     let s = *s;
                     if let Some(sub) = inner.subs.get_mut(&s) {
-                        sub.offer(out);
+                        inner.stats.sub_drops += sub.offer(out);
+                        published = true;
                     }
                     continue;
                 }
@@ -1073,14 +1104,15 @@ impl Db {
             }
             for ds in downstream {
                 if let Some(entry) = inner.cqs.get_mut(&ds) {
-                    let outs = entry
-                        .cq
-                        .on_batch(out.close, out.relation.rows().to_vec())?;
+                    let outs = entry.cq.on_batch(out.close, out.relation.rows().to_vec())?;
                     for o in outs {
                         queue.push_back((ds, o));
                     }
                 }
             }
+        }
+        if published {
+            self.notify.notify();
         }
         Ok(())
     }
@@ -1109,10 +1141,7 @@ impl Db {
         let entries = self.engine.catalog_scan("ddl.");
         let mut max_seq = 0u64;
         for (k, sql) in entries {
-            if let Some(seq) = k
-                .strip_prefix("ddl.")
-                .and_then(|s| s.parse::<u64>().ok())
-            {
+            if let Some(seq) = k.strip_prefix("ddl.").and_then(|s| s.parse::<u64>().ok()) {
                 max_seq = max_seq.max(seq);
             }
             let stmt = parse_statement(&sql)?;
@@ -1160,7 +1189,10 @@ impl streamrel_sql::analyzer::SchemaProvider for ProviderView<'_> {
     fn relation(
         &self,
         name: &str,
-    ) -> Option<(streamrel_sql::plan::SchemaRef, streamrel_sql::analyzer::RelKind)> {
+    ) -> Option<(
+        streamrel_sql::plan::SchemaRef,
+        streamrel_sql::analyzer::RelKind,
+    )> {
         let streams: HashMap<String, StreamDecl> = self
             .streams
             .iter()
@@ -1290,9 +1322,12 @@ mod tests {
         let db = db();
         setup_paper_objects(&db);
         for m in 0..3i64 {
-            db.ingest("url_stream", click("/home", m * MINUTES + 1)).unwrap();
-            db.ingest("url_stream", click("/buy", m * MINUTES + 2)).unwrap();
-            db.ingest("url_stream", click("/home", m * MINUTES + 3)).unwrap();
+            db.ingest("url_stream", click("/home", m * MINUTES + 1))
+                .unwrap();
+            db.ingest("url_stream", click("/buy", m * MINUTES + 2))
+                .unwrap();
+            db.ingest("url_stream", click("/home", m * MINUTES + 3))
+                .unwrap();
         }
         db.heartbeat("url_stream", 3 * MINUTES).unwrap();
         // 3 windows closed, each emitting 2 groups → 6 archived rows.
@@ -1302,7 +1337,10 @@ mod tests {
             .rows();
         assert_eq!(rel.len(), 6);
         assert_eq!(rel.rows()[0], row!["/buy", 1i64, Value::Timestamp(MINUTES)]);
-        assert_eq!(rel.rows()[1], row!["/home", 2i64, Value::Timestamp(MINUTES)]);
+        assert_eq!(
+            rel.rows()[1],
+            row!["/home", 2i64, Value::Timestamp(MINUTES)]
+        );
         // Cumulative over the sliding 5-minute window.
         assert_eq!(
             rel.rows()[5],
@@ -1394,10 +1432,8 @@ mod tests {
     fn insert_into_stream_is_ingest() {
         let db = db();
         setup_paper_objects(&db);
-        db.execute(
-            "INSERT INTO url_stream VALUES ('/sql', '1970-01-01 00:00:05', '1.2.3.4')",
-        )
-        .unwrap();
+        db.execute("INSERT INTO url_stream VALUES ('/sql', '1970-01-01 00:00:05', '1.2.3.4')")
+            .unwrap();
         db.heartbeat("url_stream", MINUTES).unwrap();
         let rel = db.execute("SELECT url FROM urls_archive").unwrap().rows();
         assert_eq!(rel.rows()[0], row!["/sql"]);
@@ -1420,7 +1456,8 @@ mod tests {
             .unwrap();
         db.ingest("s", row![5i64, Value::Timestamp(1)]).unwrap();
         db.heartbeat("s", MINUTES).unwrap();
-        db.ingest("s", row![7i64, Value::Timestamp(MINUTES + 1)]).unwrap();
+        db.ingest("s", row![7i64, Value::Timestamp(MINUTES + 1)])
+            .unwrap();
         db.heartbeat("s", 2 * MINUTES).unwrap();
         let rel = db.execute("SELECT total FROM latest").unwrap().rows();
         assert_eq!(rel.len(), 1, "REPLACE overwrites prior window");
@@ -1432,8 +1469,10 @@ mod tests {
         let db = db();
         db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
             .unwrap();
-        db.execute("CREATE TABLE raw (v integer, ts timestamp)").unwrap();
-        db.execute("CREATE CHANNEL raw_ch FROM s INTO raw APPEND").unwrap();
+        db.execute("CREATE TABLE raw (v integer, ts timestamp)")
+            .unwrap();
+        db.execute("CREATE CHANNEL raw_ch FROM s INTO raw APPEND")
+            .unwrap();
         for i in 0..5i64 {
             db.ingest("s", row![i, Value::Timestamp(i)]).unwrap();
         }
@@ -1458,8 +1497,10 @@ mod tests {
              FROM minute_sums <VISIBLE '3 minutes' ADVANCE '1 minute'>",
         )
         .unwrap();
-        db.execute("CREATE TABLE out3 (total bigint, w3 timestamp)").unwrap();
-        db.execute("CREATE CHANNEL c3 FROM rolling INTO out3 APPEND").unwrap();
+        db.execute("CREATE TABLE out3 (total bigint, w3 timestamp)")
+            .unwrap();
+        db.execute("CREATE CHANNEL c3 FROM rolling INTO out3 APPEND")
+            .unwrap();
         for m in 0..4i64 {
             db.ingest("s", row![m + 1, Value::Timestamp(m * MINUTES + 1)])
                 .unwrap();
@@ -1484,10 +1525,8 @@ mod tests {
         let db = db();
         db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
             .unwrap();
-        db.execute(
-            "CREATE VIEW busy AS SELECT count(*) c FROM s <TUMBLING '1 minute'>",
-        )
-        .unwrap();
+        db.execute("CREATE VIEW busy AS SELECT count(*) c FROM s <TUMBLING '1 minute'>")
+            .unwrap();
         let sub = db.execute("SELECT c FROM busy").unwrap().subscription();
         db.ingest("s", row![1i64, Value::Timestamp(5)]).unwrap();
         db.heartbeat("s", MINUTES).unwrap();
@@ -1498,8 +1537,10 @@ mod tests {
     #[test]
     fn snapshot_queries_still_plain_sql() {
         let db = db();
-        db.execute("CREATE TABLE t (a integer, b varchar(10))").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x')").unwrap();
+        db.execute("CREATE TABLE t (a integer, b varchar(10))")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x')")
+            .unwrap();
         let rel = db
             .execute("SELECT b, count(*) c, sum(a) s FROM t GROUP BY b ORDER BY b")
             .unwrap()
@@ -1515,10 +1556,14 @@ mod tests {
     #[test]
     fn insert_with_column_list_and_defaults() {
         let db = db();
-        db.execute("CREATE TABLE t (a integer, b varchar(10), c float)").unwrap();
+        db.execute("CREATE TABLE t (a integer, b varchar(10), c float)")
+            .unwrap();
         db.execute("INSERT INTO t (b, a) VALUES ('z', 9)").unwrap();
         let rel = db.execute("SELECT a, b, c FROM t").unwrap().rows();
-        assert_eq!(rel.rows()[0], vec![Value::Int(9), Value::text("z"), Value::Null]);
+        assert_eq!(
+            rel.rows()[0],
+            vec![Value::Int(9), Value::text("z"), Value::Null]
+        );
     }
 
     #[test]
@@ -1550,30 +1595,36 @@ mod tests {
 
     #[test]
     fn durable_recovery_resumes_cq_from_active_table() {
-        let dir = std::env::temp_dir().join(format!(
-            "streamrel-db-recovery-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("streamrel-db-recovery-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         {
             let db = Db::open(&dir, DbOptions::default()).unwrap();
             setup_paper_objects(&db);
             for m in 0..2i64 {
-                db.ingest("url_stream", click("/a", m * MINUTES + 1)).unwrap();
+                db.ingest("url_stream", click("/a", m * MINUTES + 1))
+                    .unwrap();
             }
             db.heartbeat("url_stream", 2 * MINUTES).unwrap();
-            let rel = db.execute("SELECT count(*) FROM urls_archive").unwrap().rows();
+            let rel = db
+                .execute("SELECT count(*) FROM urls_archive")
+                .unwrap()
+                .rows();
             assert_eq!(rel.rows()[0], row![2i64]);
             // Crash (drop without clean shutdown).
         }
         {
             let db = Db::open(&dir, DbOptions::default()).unwrap();
             // Archive survived; DDL was replayed; CQ resumed past window 2.
-            let rel = db.execute("SELECT count(*) FROM urls_archive").unwrap().rows();
+            let rel = db
+                .execute("SELECT count(*) FROM urls_archive")
+                .unwrap()
+                .rows();
             assert_eq!(rel.rows()[0], row![2i64]);
             // New traffic continues where we left off — no duplicate
             // windows for minutes 1-2.
-            db.ingest("url_stream", click("/a", 2 * MINUTES + 1)).unwrap();
+            db.ingest("url_stream", click("/a", 2 * MINUTES + 1))
+                .unwrap();
             db.heartbeat("url_stream", 3 * MINUTES).unwrap();
             let rel = db
                 .execute("SELECT count(*) FROM urls_archive")
@@ -1605,7 +1656,8 @@ mod tests {
             })
             .collect();
         for i in 0..120i64 {
-            db.ingest("s", row!["a", Value::Timestamp(i * 1_000_000)]).unwrap();
+            db.ingest("s", row!["a", Value::Timestamp(i * 1_000_000)])
+                .unwrap();
         }
         db.heartbeat("s", 2 * MINUTES).unwrap();
         for sub in subs {
@@ -1632,8 +1684,10 @@ mod tests {
             db.ingest("s", row![1i64, Value::Timestamp(ts)]).unwrap();
         }
         // Very late tuple: dropped.
-        db.ingest("s", row![1i64, Value::Timestamp(1_000_000)]).unwrap();
-        db.ingest("s", row![1i64, Value::Timestamp(80_000_000)]).unwrap();
+        db.ingest("s", row![1i64, Value::Timestamp(1_000_000)])
+            .unwrap();
+        db.ingest("s", row![1i64, Value::Timestamp(80_000_000)])
+            .unwrap();
         db.heartbeat("s", 2 * MINUTES).unwrap();
         assert_eq!(db.stats().late_drops, 1);
         let outs = db.poll(sub).unwrap();

@@ -29,8 +29,10 @@ mod csv;
 mod db;
 mod options;
 mod provider;
+mod script;
 mod subscription;
 
 pub use db::{Db, DbStats, ExecResult};
 pub use options::DbOptions;
-pub use subscription::{Subscription, SubscriptionId};
+pub use script::split_statements;
+pub use subscription::{OverflowPolicy, ResultNotifier, Subscription, SubscriptionId};

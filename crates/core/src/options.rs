@@ -4,6 +4,8 @@ use streamrel_cq::ConsistencyMode;
 use streamrel_storage::SyncMode;
 use streamrel_types::Interval;
 
+use crate::subscription::{OverflowPolicy, DEFAULT_SUB_CAPACITY};
+
 /// Tuning knobs for a [`crate::Db`]. The defaults are the paper's design
 /// points; the alternatives exist for the ablation experiments.
 #[derive(Debug, Clone, Copy)]
@@ -19,6 +21,12 @@ pub struct DbOptions {
     /// Out-of-order slack per stream (µs). 0 enforces strict CQTIME order;
     /// positive values insert a reorder buffer.
     pub slack: Interval,
+    /// Max undelivered window results per subscription; a slow poller past
+    /// this bound loses windows per `sub_overflow` instead of growing
+    /// memory. The network server's backpressure rests on this.
+    pub sub_queue_capacity: usize,
+    /// Which window result to sacrifice when a subscription queue is full.
+    pub sub_overflow: OverflowPolicy,
 }
 
 impl Default for DbOptions {
@@ -28,6 +36,8 @@ impl Default for DbOptions {
             consistency: ConsistencyMode::WindowBoundary,
             sync: SyncMode::Flush,
             slack: 0,
+            sub_queue_capacity: DEFAULT_SUB_CAPACITY,
+            sub_overflow: OverflowPolicy::DropOldest,
         }
     }
 }
@@ -54,6 +64,13 @@ impl DbOptions {
     /// Set the WAL sync mode.
     pub fn with_sync(mut self, sync: SyncMode) -> DbOptions {
         self.sync = sync;
+        self
+    }
+
+    /// Bound each subscription's undelivered-results queue.
+    pub fn with_sub_queue(mut self, capacity: usize, overflow: OverflowPolicy) -> DbOptions {
+        self.sub_queue_capacity = capacity;
+        self.sub_overflow = overflow;
         self
     }
 }

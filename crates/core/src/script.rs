@@ -1,0 +1,101 @@
+//! SQL script utilities shared by every front end (the interactive shell,
+//! the network server, `\i` script loading).
+
+/// Split a script on top-level semicolons, respecting single-quoted
+/// strings **including SQL's doubled-quote escape** (`'it''s'` is one
+/// string literal, not two). Pieces that are empty after trimming are
+/// discarded; the engine re-parses each returned piece.
+pub fn split_statements(sql: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = sql.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                // Consume the whole string literal, handling '' escapes:
+                // a quote immediately followed by another quote is an
+                // escaped quote *inside* the literal, not a terminator.
+                cur.push(c);
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            cur.push('\'');
+                            if chars.peek() == Some(&'\'') {
+                                cur.push(chars.next().unwrap());
+                            } else {
+                                break; // closing quote
+                            }
+                        }
+                        Some(inner) => cur.push(inner),
+                        None => break, // unterminated literal: keep as-is
+                    }
+                }
+            }
+            ';' => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.clone());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_plain_statements() {
+        let got = split_statements("create table t (a integer); insert into t values (1);");
+        assert_eq!(got.len(), 2);
+        assert!(got[0].starts_with("create table"));
+        assert!(got[1].trim().starts_with("insert"));
+    }
+
+    #[test]
+    fn semicolon_inside_string_does_not_split() {
+        let got = split_statements("insert into t values ('a;b'); select 1");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], "insert into t values ('a;b')");
+    }
+
+    #[test]
+    fn doubled_quote_escape_is_one_literal() {
+        // The old implementation flipped in-string state on every quote,
+        // so the '' in "it''s" ended the string and the ; after "done"
+        // was treated as quoted — merging the two statements.
+        let got = split_statements("insert into t values ('it''s done'); select 1");
+        assert_eq!(got.len(), 2, "got {got:?}");
+        assert_eq!(got[0], "insert into t values ('it''s done')");
+        assert_eq!(got[1].trim(), "select 1");
+    }
+
+    #[test]
+    fn escaped_quote_then_semicolon_in_string() {
+        let got = split_statements("select 'a''; drop table t; --'");
+        assert_eq!(got.len(), 1, "the whole thing is one statement: {got:?}");
+    }
+
+    #[test]
+    fn trailing_statement_without_semicolon_kept() {
+        let got = split_statements("select 1; select 2");
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_whitespace_pieces_dropped() {
+        assert!(split_statements(" ;;  ; ").is_empty());
+    }
+
+    #[test]
+    fn unterminated_literal_does_not_loop_or_panic() {
+        let got = split_statements("select 'oops; select 2");
+        assert_eq!(got.len(), 1);
+    }
+}

@@ -6,26 +6,82 @@
 //! answers incrementally and run until they are explicitly terminated" —
 //! and its §3.2 note that results of an always-on derived stream are
 //! available as soon as a client reconnects.
+//!
+//! The queue is **bounded**: a slow (or absent) poller cannot grow memory
+//! without limit. On overflow the configured [`OverflowPolicy`] decides
+//! which window result is sacrificed, and every drop is counted — both
+//! per subscription and in the aggregate [`crate::DbStats`]. This is the
+//! same mechanism the network server leans on for per-connection
+//! backpressure.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
 
+use parking_lot::{Condvar, Mutex};
 use streamrel_cq::CqOutput;
 
 /// Identifies one client subscription within a [`crate::Db`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SubscriptionId(pub u64);
 
-/// Queue of undelivered window results for one subscription.
-#[derive(Debug, Default)]
-pub struct Subscription {
-    queue: VecDeque<CqOutput>,
-    delivered: u64,
+/// What to do when a subscription queue is full and a new window closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Drop the oldest queued window to make room (fresh data wins).
+    #[default]
+    DropOldest,
+    /// Drop the incoming window (history wins).
+    DropNewest,
 }
 
+/// Bounded queue of undelivered window results for one subscription.
+#[derive(Debug)]
+pub struct Subscription {
+    queue: VecDeque<CqOutput>,
+    capacity: usize,
+    policy: OverflowPolicy,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl Default for Subscription {
+    fn default() -> Subscription {
+        Subscription::bounded(DEFAULT_SUB_CAPACITY, OverflowPolicy::default())
+    }
+}
+
+/// Default queue capacity when none is configured.
+pub const DEFAULT_SUB_CAPACITY: usize = 1024;
+
 impl Subscription {
-    /// Append a window result.
-    pub fn offer(&mut self, out: CqOutput) {
-        self.queue.push_back(out);
+    /// A queue holding at most `capacity` undelivered window results.
+    pub fn bounded(capacity: usize, policy: OverflowPolicy) -> Subscription {
+        Subscription {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            policy,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append a window result. Returns the number of results dropped to
+    /// honour the capacity bound (0 or 1).
+    pub fn offer(&mut self, out: CqOutput) -> u64 {
+        if self.queue.len() < self.capacity {
+            self.queue.push_back(out);
+            return 0;
+        }
+        self.dropped += 1;
+        match self.policy {
+            OverflowPolicy::DropOldest => {
+                self.queue.pop_front();
+                self.queue.push_back(out);
+            }
+            OverflowPolicy::DropNewest => {}
+        }
+        1
     }
 
     /// Drain all queued results.
@@ -44,6 +100,52 @@ impl Subscription {
     pub fn delivered(&self) -> u64 {
         self.delivered
     }
+
+    /// Window results dropped on overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Wakes blocked pollers when any subscription receives a window result.
+///
+/// The embedded API polls; a network server cannot afford to — its
+/// delivery threads block here (with a timeout, so teardown can always
+/// make progress) and drain their connection's subscriptions on each
+/// generation bump.
+#[derive(Debug, Default)]
+pub struct ResultNotifier {
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl ResultNotifier {
+    /// Create a notifier (generation 0).
+    pub fn new() -> Arc<ResultNotifier> {
+        Arc::new(ResultNotifier::default())
+    }
+
+    /// The current generation; bumped every time results are published.
+    pub fn generation(&self) -> u64 {
+        *self.generation.lock()
+    }
+
+    /// Publish: bump the generation and wake all waiters.
+    pub fn notify(&self) {
+        *self.generation.lock() += 1;
+        self.cv.notify_all();
+    }
+
+    /// Block until the generation exceeds `seen` or `timeout` elapses.
+    /// Returns the generation observed on wake-up.
+    pub fn wait_newer(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut gen = self.generation.lock();
+        if *gen > seen {
+            return *gen;
+        }
+        let _ = self.cv.wait_for(&mut gen, timeout);
+        *gen
+    }
 }
 
 #[cfg(test)]
@@ -52,15 +154,19 @@ mod tests {
     use std::sync::Arc;
     use streamrel_types::{Column, DataType, Relation, Schema};
 
+    fn out(close: i64) -> CqOutput {
+        let schema = Arc::new(Schema::new(vec![Column::new("x", DataType::Int)]).unwrap());
+        CqOutput {
+            close,
+            relation: Relation::empty(schema),
+        }
+    }
+
     #[test]
     fn queue_drains_in_order() {
         let mut s = Subscription::default();
-        let schema = Arc::new(Schema::new(vec![Column::new("x", DataType::Int)]).unwrap());
         for close in [10, 20] {
-            s.offer(CqOutput {
-                close,
-                relation: Relation::empty(schema.clone()),
-            });
+            assert_eq!(s.offer(out(close)), 0);
         }
         assert_eq!(s.pending(), 2);
         let got = s.drain();
@@ -68,5 +174,57 @@ mod tests {
         assert_eq!(got[0].close, 10);
         assert_eq!(s.pending(), 0);
         assert_eq!(s.delivered(), 2);
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_freshest_windows() {
+        let mut s = Subscription::bounded(2, OverflowPolicy::DropOldest);
+        assert_eq!(s.offer(out(1)) + s.offer(out(2)) + s.offer(out(3)), 1);
+        let got = s.drain();
+        assert_eq!(
+            got.iter().map(|o| o.close).collect::<Vec<_>>(),
+            vec![2, 3],
+            "oldest window was sacrificed"
+        );
+        assert_eq!(s.dropped(), 1);
+    }
+
+    #[test]
+    fn drop_newest_keeps_history() {
+        let mut s = Subscription::bounded(2, OverflowPolicy::DropNewest);
+        s.offer(out(1));
+        s.offer(out(2));
+        assert_eq!(s.offer(out(3)), 1);
+        let got = s.drain();
+        assert_eq!(got.iter().map(|o| o.close).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(s.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut s = Subscription::bounded(0, OverflowPolicy::DropOldest);
+        assert_eq!(s.offer(out(1)), 0);
+        assert_eq!(s.offer(out(2)), 1);
+        assert_eq!(s.drain().len(), 1);
+    }
+
+    #[test]
+    fn notifier_wakes_on_publish() {
+        let n = ResultNotifier::new();
+        let seen = n.generation();
+        let n2 = n.clone();
+        let t = std::thread::spawn(move || n2.wait_newer(seen, std::time::Duration::from_secs(5)));
+        // Publish from this thread; the waiter must observe a newer gen.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        n.notify();
+        assert!(t.join().unwrap() > seen);
+    }
+
+    #[test]
+    fn notifier_times_out_quietly() {
+        let n = ResultNotifier::new();
+        let g = n.wait_newer(n.generation(), std::time::Duration::from_millis(10));
+        assert_eq!(g, 0);
     }
 }

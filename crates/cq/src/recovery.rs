@@ -134,7 +134,10 @@ mod tests {
     #[test]
     fn watermark_of_empty_archive_is_none() {
         let e = engine();
-        assert_eq!(archive_watermark(&e, "urls_archive", "stime").unwrap(), None);
+        assert_eq!(
+            archive_watermark(&e, "urls_archive", "stime").unwrap(),
+            None
+        );
     }
 
     #[test]

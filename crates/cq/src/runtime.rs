@@ -327,8 +327,8 @@ impl ContinuousQuery {
         let mut outputs = Vec::with_capacity(closes.len());
         let plan = self.plan.clone();
         let stream = self.stream.clone();
-        let schema = stream_scan_schema(&plan)
-            .ok_or_else(|| Error::stream("plan lost its stream scan"))?;
+        let schema =
+            stream_scan_schema(&plan).ok_or_else(|| Error::stream("plan lost its stream scan"))?;
         for cw in closes {
             let rel = Relation::new(schema.clone(), cw.rows);
             let out = self.execute_window(&plan, &stream, &rel, cw.close)?;
@@ -352,7 +352,12 @@ impl ContinuousQuery {
                 self.start_snapshot.clone().expect("pinned at start"),
             ),
         };
-        let ctx = ExecContext::window(&source as &dyn RelationSource, stream_name, window_rel, close);
+        let ctx = ExecContext::window(
+            &source as &dyn RelationSource,
+            stream_name,
+            window_rel,
+            close,
+        );
         let relation = execute(plan, &ctx)?;
         self.stats.windows_out += 1;
         self.stats.rows_out += relation.len() as u64;
@@ -420,10 +425,7 @@ mod tests {
         );
         rels.insert(
             "url_dim".into(),
-            (
-                engine.table_schema("url_dim").unwrap(),
-                RelKind::Table,
-            ),
+            (engine.table_schema("url_dim").unwrap(), RelKind::Table),
         );
         (Provider { rels }, engine)
     }
@@ -512,7 +514,8 @@ mod tests {
     fn stream_table_join_sees_window_boundary_snapshot() {
         let (p, e) = setup();
         let dim = e.table_id("url_dim").unwrap();
-        e.with_txn(|x| e.insert(x, dim, row!["/a", "news"])).unwrap();
+        e.with_txn(|x| e.insert(x, dim, row!["/a", "news"]))
+            .unwrap();
         let mut cq = make_cq(
             &p,
             e.clone(),
@@ -542,7 +545,8 @@ mod tests {
     fn query_start_consistency_freezes_tables() {
         let (p, e) = setup();
         let dim = e.table_id("url_dim").unwrap();
-        e.with_txn(|x| e.insert(x, dim, row!["/a", "news"])).unwrap();
+        e.with_txn(|x| e.insert(x, dim, row!["/a", "news"]))
+            .unwrap();
         let mut cq = make_cq(
             &p,
             e.clone(),
@@ -680,9 +684,7 @@ mod tests {
     #[test]
     fn snapshot_query_rejected() {
         let (p, e) = setup();
-        let Statement::Select(q) =
-            parse_statement("select 1").unwrap()
-        else {
+        let Statement::Select(q) = parse_statement("select 1").unwrap() else {
             panic!()
         };
         let analyzed = Analyzer::new(&p).analyze(&q).unwrap();

@@ -13,8 +13,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use streamrel_exec::Accumulator;
 use streamrel_exec::expr::{eval, eval_predicate, EvalContext};
+use streamrel_exec::Accumulator;
 use streamrel_sql::plan::{AggSpec, BoundExpr, LogicalPlan, SchemaRef, WindowSpec};
 use streamrel_types::{Error, Interval, Relation, Result, Row, Timestamp, Value};
 
@@ -293,11 +293,7 @@ impl SharedGroup {
 
     /// Compose the Aggregate-output relation for a member's window
     /// `[close - visible, close)` by merging covered slices.
-    pub fn window_result(
-        &mut self,
-        member: MemberId,
-        close: Timestamp,
-    ) -> Result<Relation> {
+    pub fn window_result(&mut self, member: MemberId, close: Timestamp) -> Result<Relation> {
         let visible = self.members[member].visible;
         let lo = close - visible;
         let mut merged: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
@@ -383,7 +379,9 @@ impl SharedRegistry {
         let fp = shape.fingerprint();
         self.groups
             .entry(fp)
-            .or_insert_with(|| std::sync::Arc::new(parking_lot::Mutex::new(SharedGroup::new(shape))))
+            .or_insert_with(|| {
+                std::sync::Arc::new(parking_lot::Mutex::new(SharedGroup::new(shape)))
+            })
             .clone()
     }
 

@@ -41,9 +41,8 @@ impl WindowBuffer {
     pub fn new(spec: WindowSpec, cqtime: Option<usize>) -> Result<WindowBuffer> {
         match spec {
             WindowSpec::Time { visible, advance } => {
-                let cqtime = cqtime.ok_or_else(|| {
-                    Error::stream("time window requires a CQTIME column")
-                })?;
+                let cqtime =
+                    cqtime.ok_or_else(|| Error::stream("time window requires a CQTIME column"))?;
                 Ok(WindowBuffer::Time(TimeWindow {
                     visible,
                     advance,
@@ -329,11 +328,7 @@ mod tests {
     }
 
     fn time_buf(visible: i64, advance: i64) -> WindowBuffer {
-        WindowBuffer::new(
-            WindowSpec::Time { visible, advance },
-            Some(0),
-        )
-        .unwrap()
+        WindowBuffer::new(WindowSpec::Time { visible, advance }, Some(0)).unwrap()
     }
 
     #[test]
@@ -428,8 +423,14 @@ mod tests {
 
     #[test]
     fn row_window_counts() {
-        let mut w =
-            WindowBuffer::new(WindowSpec::Rows { visible: 3, advance: 2 }, Some(0)).unwrap();
+        let mut w = WindowBuffer::new(
+            WindowSpec::Rows {
+                visible: 3,
+                advance: 2,
+            },
+            Some(0),
+        )
+        .unwrap();
         let mut closes = Vec::new();
         for i in 0..7 {
             closes.extend(w.push(tup(i)).unwrap());

@@ -16,13 +16,33 @@ use streamrel_sql::plan::{AggFunc, AggSpec};
 #[derive(Debug, Clone)]
 enum State {
     Count(i64),
-    SumInt { sum: i64, any: bool },
-    SumFloat { sum: f64, any: bool },
-    Avg { sum: f64, n: i64 },
+    SumInt {
+        sum: i64,
+        any: bool,
+    },
+    SumFloat {
+        sum: f64,
+        any: bool,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
     /// Variance/stddev via mergeable (n, sum, sum of squares).
-    Var { n: i64, sum: f64, sumsq: f64, stddev: bool },
-    MinMax { best: Option<Value>, is_min: bool },
-    Distinct { seen: HashSet<Value>, func: AggFunc },
+    Var {
+        n: i64,
+        sum: f64,
+        sumsq: f64,
+        stddev: bool,
+    },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+    },
+    Distinct {
+        seen: HashSet<Value>,
+        func: AggFunc,
+    },
 }
 
 /// A running aggregate computation.
@@ -34,12 +54,16 @@ pub struct Accumulator {
 impl Accumulator {
     /// Fresh accumulator for an aggregate spec.
     pub fn new(spec: &AggSpec) -> Accumulator {
-        Accumulator::for_func(spec.func, spec.distinct, spec.arg.is_some() && {
-            matches!(
-                spec.arg.as_ref().map(|a| a.ty()),
-                Some(streamrel_types::DataType::Float)
-            )
-        })
+        Accumulator::for_func(
+            spec.func,
+            spec.distinct,
+            spec.arg.is_some() && {
+                matches!(
+                    spec.arg.as_ref().map(|a| a.ty()),
+                    Some(streamrel_types::DataType::Float)
+                )
+            },
+        )
     }
 
     /// Fresh accumulator by function; `float_arg` selects float summation.
@@ -52,7 +76,10 @@ impl Accumulator {
         } else {
             match func {
                 AggFunc::Count => State::Count(0),
-                AggFunc::Sum if float_arg => State::SumFloat { sum: 0.0, any: false },
+                AggFunc::Sum if float_arg => State::SumFloat {
+                    sum: 0.0,
+                    any: false,
+                },
                 AggFunc::Sum => State::SumInt { sum: 0, any: false },
                 AggFunc::Avg => State::Avg { sum: 0.0, n: 0 },
                 AggFunc::Variance => State::Var {
@@ -95,9 +122,9 @@ impl Accumulator {
             }
             (State::SumInt { sum, any }, Some(v)) => {
                 if !v.is_null() {
-                    *sum = sum.checked_add(v.as_int()?).ok_or_else(|| {
-                        Error::Arithmetic("sum() integer overflow".into())
-                    })?;
+                    *sum = sum
+                        .checked_add(v.as_int()?)
+                        .ok_or_else(|| Error::Arithmetic("sum() integer overflow".into()))?;
                     *any = true;
                 }
             }
@@ -151,19 +178,13 @@ impl Accumulator {
     pub fn merge(&mut self, other: &Accumulator) -> Result<()> {
         match (&mut self.state, &other.state) {
             (State::Count(a), State::Count(b)) => *a += b,
-            (
-                State::SumInt { sum: a, any: aa },
-                State::SumInt { sum: b, any: ba },
-            ) => {
+            (State::SumInt { sum: a, any: aa }, State::SumInt { sum: b, any: ba }) => {
                 *a = a
                     .checked_add(*b)
                     .ok_or_else(|| Error::Arithmetic("sum() integer overflow".into()))?;
                 *aa |= ba;
             }
-            (
-                State::SumFloat { sum: a, any: aa },
-                State::SumFloat { sum: b, any: ba },
-            ) => {
+            (State::SumFloat { sum: a, any: aa }, State::SumFloat { sum: b, any: ba }) => {
                 *a += b;
                 *aa |= ba;
             }
@@ -172,17 +193,24 @@ impl Accumulator {
                 *an += bn;
             }
             (
-                State::Var { n: an, sum: asum, sumsq: asq, .. },
-                State::Var { n: bn, sum: bsum, sumsq: bsq, .. },
+                State::Var {
+                    n: an,
+                    sum: asum,
+                    sumsq: asq,
+                    ..
+                },
+                State::Var {
+                    n: bn,
+                    sum: bsum,
+                    sumsq: bsq,
+                    ..
+                },
             ) => {
                 *an += bn;
                 *asum += bsum;
                 *asq += bsq;
             }
-            (
-                State::MinMax { best: a, is_min },
-                State::MinMax { best: b, .. },
-            ) => {
+            (State::MinMax { best: a, is_min }, State::MinMax { best: b, .. }) => {
                 if let Some(bv) = b {
                     let replace = match a {
                         None => true,
@@ -237,7 +265,12 @@ impl Accumulator {
                     Value::Float(sum / *n as f64)
                 }
             }
-            State::Var { n, sum, sumsq, stddev } => {
+            State::Var {
+                n,
+                sum,
+                sumsq,
+                stddev,
+            } => {
                 if *n < 2 {
                     Value::Null
                 } else {
@@ -279,8 +312,7 @@ impl Accumulator {
                     if seen.is_empty() {
                         Value::Null
                     } else {
-                        let sum: f64 =
-                            seen.iter().filter_map(|v| v.as_float().ok()).sum();
+                        let sum: f64 = seen.iter().filter_map(|v| v.as_float().ok()).sum();
                         Value::Float(sum / seen.len() as f64)
                     }
                 }
@@ -288,8 +320,7 @@ impl Accumulator {
                     if seen.len() < 2 {
                         return Value::Null;
                     }
-                    let xs: Vec<f64> =
-                        seen.iter().filter_map(|v| v.as_float().ok()).collect();
+                    let xs: Vec<f64> = seen.iter().filter_map(|v| v.as_float().ok()).collect();
                     let n = xs.len() as f64;
                     let sum: f64 = xs.iter().sum();
                     let sumsq: f64 = xs.iter().map(|x| x * x).sum();
@@ -379,7 +410,13 @@ mod tests {
         // Property: splitting the input across two accumulators and merging
         // gives the same result as one accumulator (core slice-sharing
         // invariant).
-        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
             let vals: Vec<Value> = (0..10).map(Value::Int).collect();
             let mut whole = acc(func);
             for v in &vals {

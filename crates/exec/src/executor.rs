@@ -203,11 +203,7 @@ fn try_index_join(
             let col = &right_schema.column(*index).name;
             // Cheap existence probe: ask for a lookup of a sentinel; a
             // `None` answer means no index on this column.
-            if ctx
-                .source
-                .index_lookup(table, col, &Value::Null)?
-                .is_some()
-            {
+            if ctx.source.index_lookup(table, col, &Value::Null)?.is_some() {
                 probe = Some((i, col.clone()));
                 break;
             }
@@ -425,7 +421,10 @@ mod tests {
     #[test]
     fn filter_and_project() {
         let fx = fixture();
-        let out = run(&fx, "select cust, amount * 2 dbl from orders where amount >= 10");
+        let out = run(
+            &fx,
+            "select cust, amount * 2 dbl from orders where amount >= 10",
+        );
         assert_eq!(out.len(), 3);
         assert_eq!(out.rows()[0], row!["alice", 20.0]);
         assert_eq!(out.schema().column(1).name, "dbl");
@@ -446,7 +445,10 @@ mod tests {
     #[test]
     fn global_aggregate_empty_input() {
         let fx = fixture();
-        let out = run(&fx, "select count(*) n, sum(amount) s from orders where id > 100");
+        let out = run(
+            &fx,
+            "select count(*) n, sum(amount) s from orders where id > 100",
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows()[0], vec![Value::Int(0), Value::Null]);
     }
@@ -480,7 +482,10 @@ mod tests {
     #[test]
     fn order_by_limit_top_n() {
         let fx = fixture();
-        let out = run(&fx, "select cust, amount from orders order by amount desc limit 2");
+        let out = run(
+            &fx,
+            "select cust, amount from orders order by amount desc limit 2",
+        );
         assert_eq!(out.len(), 2);
         assert_eq!(out.rows()[0], row!["alice", 30.0]);
         assert_eq!(out.rows()[1], row!["bob", 20.0]);
@@ -597,8 +602,14 @@ mod tests {
         );
         let ctx = ExecContext::window(&fx.source, "url_stream", &window_rows, 60_000_000);
         let out = execute(&analyzed.plan, &ctx).unwrap();
-        assert_eq!(out.rows()[0], row!["/a", 2i64, Value::Timestamp(60_000_000)]);
-        assert_eq!(out.rows()[1], row!["/b", 1i64, Value::Timestamp(60_000_000)]);
+        assert_eq!(
+            out.rows()[0],
+            row!["/a", 2i64, Value::Timestamp(60_000_000)]
+        );
+        assert_eq!(
+            out.rows()[1],
+            row!["/b", 1i64, Value::Timestamp(60_000_000)]
+        );
     }
 }
 
@@ -625,12 +636,7 @@ mod index_join_tests {
             self.scans.set(self.scans.get() + 1);
             self.inner.scan_table(table)
         }
-        fn index_lookup(
-            &self,
-            table: &str,
-            column: &str,
-            key: &Value,
-        ) -> Result<Option<Vec<Row>>> {
+        fn index_lookup(&self, table: &str, column: &str, key: &Value) -> Result<Option<Vec<Row>>> {
             let Some(&col) = self.indexed.get(&table.to_ascii_lowercase()) else {
                 return Ok(None);
             };
@@ -738,11 +744,7 @@ mod index_join_tests {
         let src = source(true);
         let out = execute(&plan, &ExecContext::snapshot(&src)).unwrap();
         assert_eq!(out.len(), 4);
-        let unmatched: Vec<_> = out
-            .rows()
-            .iter()
-            .filter(|r| r[2].is_null())
-            .collect();
+        let unmatched: Vec<_> = out.rows().iter().filter(|r| r[2].is_null()).collect();
         assert_eq!(unmatched.len(), 1);
         assert_eq!(unmatched[0][0], Value::Int(9));
     }

@@ -122,10 +122,7 @@ pub fn eval(expr: &BoundExpr, row: &[Value], ctx: &EvalContext) -> Result<Value>
             else_expr,
             ..
         } => {
-            let op_val = operand
-                .as_ref()
-                .map(|e| eval(e, row, ctx))
-                .transpose()?;
+            let op_val = operand.as_ref().map(|e| eval(e, row, ctx)).transpose()?;
             for (cond, result) in whens {
                 let hit = match &op_val {
                     Some(v) => {
@@ -199,11 +196,7 @@ fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
         Concat => {
             let ls = l.cast(DataType::Text)?;
             let rs = r.cast(DataType::Text)?;
-            Ok(Value::text(format!(
-                "{}{}",
-                ls.as_text()?,
-                rs.as_text()?
-            )))
+            Ok(Value::text(format!("{}{}", ls.as_text()?, rs.as_text()?)))
         }
         Add | Sub | Mul | Div | Mod => eval_arith(op, l, r),
         And | Or => unreachable!("short-circuited in eval()"),
@@ -287,9 +280,7 @@ fn eval_arith(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
             }
             _ => Err(type_mismatch(op, &l, &r)),
         },
-        (Int(a), Interval(b)) if op == Mul => {
-            b.checked_mul(*a).map(Interval).ok_or_else(overflow)
-        }
+        (Int(a), Interval(b)) if op == Mul => b.checked_mul(*a).map(Interval).ok_or_else(overflow),
         (Interval(a), Float(b)) if op == Mul || op == Div => {
             let v = if op == Mul {
                 *a as f64 * b
@@ -321,9 +312,7 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
                 (0..=t.len()).any(|k| go(&t[k..], &p[1..]))
             }
             Some('_') => !t.is_empty() && go(&t[1..], &p[1..]),
-            Some('\\') if p.len() > 1 => {
-                !t.is_empty() && t[0] == p[1] && go(&t[1..], &p[2..])
-            }
+            Some('\\') if p.len() > 1 => !t.is_empty() && t[0] == p[1] && go(&t[1..], &p[2..]),
             Some(c) => !t.is_empty() && t[0] == *c && go(&t[1..], &p[1..]),
         }
     }
@@ -491,11 +480,7 @@ mod tests {
         )
         .is_err());
         assert!(eval(
-            &bin(
-                BinaryOp::Add,
-                lit(Value::Int(i64::MAX)),
-                lit(Value::Int(1))
-            ),
+            &bin(BinaryOp::Add, lit(Value::Int(i64::MAX)), lit(Value::Int(1))),
             &[],
             &EvalContext::default()
         )
@@ -571,7 +556,10 @@ mod tests {
             index: 1,
             ty: DataType::Text,
         };
-        assert_eq!(eval(&e, &row, &EvalContext::default()).unwrap(), Value::text("x"));
+        assert_eq!(
+            eval(&e, &row, &EvalContext::default()).unwrap(),
+            Value::text("x")
+        );
     }
 
     #[test]
@@ -633,15 +621,16 @@ mod tests {
 
     #[test]
     fn scalar_functions() {
-        let f = |func, args: Vec<Value>| {
-            eval_scalar(func, args).unwrap()
-        };
+        let f = |func, args: Vec<Value>| eval_scalar(func, args).unwrap();
         assert_eq!(f(ScalarFunc::Abs, vec![Value::Int(-3)]), Value::Int(3));
         assert_eq!(
             f(ScalarFunc::Upper, vec![Value::text("abc")]),
             Value::text("ABC")
         );
-        assert_eq!(f(ScalarFunc::Length, vec![Value::text("héllo")]), Value::Int(5));
+        assert_eq!(
+            f(ScalarFunc::Length, vec![Value::text("héllo")]),
+            Value::Int(5)
+        );
         assert_eq!(
             f(
                 ScalarFunc::Coalesce,
@@ -667,7 +656,10 @@ mod tests {
             ),
             Value::text("cont")
         );
-        assert_eq!(f(ScalarFunc::Round, vec![Value::Float(2.5)]), Value::Float(3.0));
+        assert_eq!(
+            f(ScalarFunc::Round, vec![Value::Float(2.5)]),
+            Value::Float(3.0)
+        );
     }
 
     #[test]

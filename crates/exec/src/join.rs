@@ -341,7 +341,10 @@ mod tests {
         );
         let r = rel(
             &[("ts", DataType::Timestamp)],
-            vec![row![Value::Timestamp(9 * week)], row![Value::Timestamp(8 * week)]],
+            vec![
+                row![Value::Timestamp(9 * week)],
+                row![Value::Timestamp(8 * week)],
+            ],
         );
         let on = BoundExpr::Binary {
             op: BinaryOp::Eq,
@@ -432,7 +435,7 @@ mod tests {
                 }),
                 ty: DataType::Bool,
             }),
-        ty: DataType::Bool,
+            ty: DataType::Bool,
         };
         let keys = extract_keys(&on, 2).unwrap();
         assert_eq!(keys.left.len(), 1);

@@ -56,8 +56,6 @@ impl RelationSource for MapSource {
         self.tables
             .get(&table.to_ascii_lowercase())
             .cloned()
-            .ok_or_else(|| {
-                streamrel_types::Error::catalog(format!("table `{table}` not found"))
-            })
+            .ok_or_else(|| streamrel_types::Error::catalog(format!("table `{table}` not found")))
     }
 }

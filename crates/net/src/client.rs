@@ -1,0 +1,301 @@
+//! Blocking wire-protocol client.
+//!
+//! One TCP connection carries both request/response traffic and
+//! asynchronous `WindowResult` pushes. A background reader thread
+//! demultiplexes: responses go to the (single) in-flight request;
+//! window results are routed to the [`SubscriptionStream`] they belong
+//! to. Requests are serialized — the protocol allows one outstanding
+//! request per connection — but pushed results arrive at any time,
+//! including while no request is in flight.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use streamrel_cq::CqOutput;
+use streamrel_types::{Relation, Row, Timestamp};
+
+use crate::frame::{Frame, FrameType};
+use crate::wire;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server answered with an `Error` frame (e.g. a SQL error).
+    Remote(String),
+    /// The peer sent something the protocol does not allow here.
+    Protocol(String),
+    /// The connection is gone (EOF, server shutdown, reader died).
+    Disconnected,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Remote(m) => write!(f, "server error: {m}"),
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+            NetError::Disconnected => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<streamrel_types::Error> for NetError {
+    fn from(e: streamrel_types::Error) -> NetError {
+        NetError::Protocol(e.to_string())
+    }
+}
+
+/// Client-side result alias.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// A demultiplexed server→client message destined for the request path.
+enum Reply {
+    Rows(Relation),
+    Subscribed(u64, Receiver<CqOutput>),
+    Heartbeat,
+    Goodbye,
+    Err(String),
+}
+
+struct Io {
+    writer: TcpStream,
+    resp: Receiver<Reply>,
+}
+
+/// Blocking connection to a streamrel server.
+pub struct Client {
+    io: Mutex<Io>,
+    socket: TcpStream,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> NetResult<Client> {
+        let socket = TcpStream::connect(addr)?;
+        socket.set_nodelay(true).ok();
+        let writer = socket.try_clone()?;
+        let read_half = socket.try_clone()?;
+        let (resp_tx, resp_rx) = mpsc::channel();
+        let reader = std::thread::Builder::new()
+            .name("streamrel-client-reader".into())
+            .spawn(move || reader_loop(read_half, resp_tx))
+            .map_err(NetError::Io)?;
+        Ok(Client {
+            io: Mutex::new(Io {
+                writer,
+                resp: resp_rx,
+            }),
+            socket,
+            reader: Some(reader),
+        })
+    }
+
+    /// Execute one non-continuous SQL statement. DDL and DML acks come
+    /// back as one-row relations (see [`wire::ack_relation`]).
+    pub fn execute(&self, sql: &str) -> NetResult<Relation> {
+        match self.request(Frame::new(FrameType::Query, wire::encode_query(sql)))? {
+            Reply::Rows(rel) => Ok(rel),
+            Reply::Subscribed(..) => Err(NetError::Protocol(
+                "statement registered a continuous query; use subscribe()".into(),
+            )),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Register a continuous SELECT; window results are *pushed* by the
+    /// server and surface on the returned iterator as they close.
+    pub fn subscribe(&self, sql: &str) -> NetResult<SubscriptionStream> {
+        match self.request(Frame::new(FrameType::Query, wire::encode_query(sql)))? {
+            Reply::Subscribed(id, rx) => Ok(SubscriptionStream { id, rx }),
+            Reply::Rows(_) => Err(NetError::Protocol(
+                "statement returned rows, not a subscription; use execute()".into(),
+            )),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Push a batch of tuples into a stream. Returns the ingested count.
+    pub fn ingest_batch(&self, stream: &str, rows: &[Row]) -> NetResult<u64> {
+        match self.request(Frame::new(
+            FrameType::Ingest,
+            wire::encode_ingest(stream, rows),
+        ))? {
+            Reply::Rows(rel) => match wire::parse_ack(&rel) {
+                Some((tag, _, n)) if tag == "ingested" => Ok(n as u64),
+                _ => Err(NetError::Protocol("malformed ingest ack".into())),
+            },
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Advance a stream's event time (punctuation), closing due windows.
+    pub fn heartbeat(&self, stream: &str, ts: Timestamp) -> NetResult<()> {
+        match self.request(Frame::new(
+            FrameType::Heartbeat,
+            wire::encode_heartbeat(stream, ts),
+        ))? {
+            Reply::Heartbeat => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Orderly hang-up: `Goodbye`, await the ack, close the socket. The
+    /// server reaps this connection's subscriptions either way; this
+    /// just makes the close synchronous.
+    pub fn close(self) -> NetResult<()> {
+        match self.request(Frame::bare(FrameType::Goodbye)) {
+            Ok(Reply::Goodbye) | Err(NetError::Disconnected) => Ok(()),
+            Ok(other) => Err(unexpected(&other)),
+            Err(e) => Err(e),
+        }
+        // Drop does the socket shutdown and reader join.
+    }
+
+    /// Send one frame and wait for its reply.
+    fn request(&self, frame: Frame) -> NetResult<Reply> {
+        let io = self.io.lock();
+        frame.write_to(&mut &io.writer)?;
+        (&io.writer).flush()?;
+        match io.resp.recv() {
+            Ok(Reply::Err(msg)) => Err(NetError::Remote(msg)),
+            Ok(reply) => Ok(reply),
+            Err(_) => Err(NetError::Disconnected),
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        // Best-effort goodbye; an abrupt close is also handled server-side.
+        if let Some(io) = self.io.try_lock() {
+            let _ = Frame::bare(FrameType::Goodbye).write_to(&mut &io.writer);
+        }
+        let _ = self.socket.shutdown(Shutdown::Both);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn unexpected(reply: &Reply) -> NetError {
+    let what = match reply {
+        Reply::Rows(_) => "Rows",
+        Reply::Subscribed(..) => "Subscribed",
+        Reply::Heartbeat => "Heartbeat",
+        Reply::Goodbye => "Goodbye",
+        Reply::Err(_) => "Error",
+    };
+    NetError::Protocol(format!("unexpected {what} reply"))
+}
+
+/// Reader thread: decode frames and route them. Response frames go to
+/// the in-flight request; `WindowResult` frames go to their stream. On
+/// any socket or protocol error the thread exits, which closes every
+/// channel and surfaces `Disconnected` to all callers.
+fn reader_loop(mut socket: TcpStream, resp: Sender<Reply>) {
+    let mut subs: Vec<(u64, Sender<CqOutput>)> = Vec::new();
+    loop {
+        let frame = match Frame::read_from(&mut socket) {
+            Ok(Some(f)) => f,
+            _ => return,
+        };
+        let forwarded = match frame.ty {
+            FrameType::Rows => match wire::decode_rows(&frame.payload) {
+                Ok(rel) => resp.send(Reply::Rows(rel)).is_ok(),
+                Err(_) => return,
+            },
+            FrameType::Subscribed => match wire::decode_subscribed(&frame.payload) {
+                Ok(id) => {
+                    // Register the route *before* handing the receiver to
+                    // the caller: this thread is the only frame source, so
+                    // no WindowResult for `id` can be missed.
+                    let (tx, rx) = mpsc::channel();
+                    subs.push((id, tx));
+                    resp.send(Reply::Subscribed(id, rx)).is_ok()
+                }
+                Err(_) => return,
+            },
+            FrameType::WindowResult => match wire::decode_window_result(&frame.payload) {
+                Ok((id, out)) => {
+                    // Dead streams (receiver dropped) are pruned lazily.
+                    subs.retain(|(sid, tx)| *sid != id || tx.send(out.clone()).is_ok());
+                    true
+                }
+                Err(_) => return,
+            },
+            FrameType::Heartbeat => resp.send(Reply::Heartbeat).is_ok(),
+            FrameType::Error => match wire::decode_error(&frame.payload) {
+                Ok(msg) => resp.send(Reply::Err(msg)).is_ok(),
+                Err(_) => return,
+            },
+            FrameType::Goodbye => {
+                let _ = resp.send(Reply::Goodbye);
+                return;
+            }
+            FrameType::Query | FrameType::Ingest => return, // server must not send these
+        };
+        if !forwarded {
+            // The Client was dropped; nobody is listening any more.
+            return;
+        }
+    }
+}
+
+/// Iterator over pushed window results for one continuous query.
+///
+/// `next()` blocks until the next window closes; it returns `None` when
+/// the connection (or subscription) is gone. Dropping the stream stops
+/// routing — further results for this subscription are discarded
+/// client-side until the connection closes and the server reaps it.
+pub struct SubscriptionStream {
+    id: u64,
+    rx: Receiver<CqOutput>,
+}
+
+impl SubscriptionStream {
+    /// The server-assigned subscription id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Non-blocking poll; `None` if nothing is pending right now.
+    pub fn try_next(&self) -> Option<CqOutput> {
+        match self.rx.try_recv() {
+            Ok(out) => Some(out),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Block up to `timeout` for the next window result.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<CqOutput> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(out) => Some(out),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+}
+
+impl Iterator for SubscriptionStream {
+    type Item = CqOutput;
+
+    fn next(&mut self) -> Option<CqOutput> {
+        self.rx.recv().ok()
+    }
+}

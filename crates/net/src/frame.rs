@@ -1,0 +1,197 @@
+//! Length-prefixed binary framing.
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! +----------------+-----------+--------+----------------+
+//! | len: u32 LE    | ver: u8   | ty: u8 | payload        |
+//! +----------------+-----------+--------+----------------+
+//! ```
+//!
+//! `len` counts everything after itself (version + type + payload), so a
+//! reader can skip unknown frames wholesale. The version byte is checked
+//! on every frame: a mismatch is a hard protocol error, which keeps the
+//! format honestly versioned instead of accidentally frozen.
+
+use std::io::{self, Read, Write};
+
+/// Wire-format version. Bump on any incompatible frame or payload change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a single frame's length field. Anything larger is
+/// treated as a malformed (or hostile) frame rather than an allocation.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Frame discriminator. The numeric values are the wire encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Client → server: one SQL statement (snapshot or continuous).
+    Query = 1,
+    /// Server → client: a relation (snapshot results, statement acks).
+    Rows = 2,
+    /// Server → client: a continuous query was registered.
+    Subscribed = 3,
+    /// Server → client, unsolicited: a window closed for a subscription.
+    WindowResult = 4,
+    /// Client → server: a batch of tuples for one stream.
+    Ingest = 5,
+    /// Client → server: advance a stream's event time; echoed as the ack.
+    Heartbeat = 6,
+    /// Server → client: the request failed (payload: message).
+    Error = 7,
+    /// Either direction: orderly end of the connection.
+    Goodbye = 8,
+}
+
+impl FrameType {
+    /// Decode a wire byte.
+    pub fn from_u8(b: u8) -> Option<FrameType> {
+        Some(match b {
+            1 => FrameType::Query,
+            2 => FrameType::Rows,
+            3 => FrameType::Subscribed,
+            4 => FrameType::WindowResult,
+            5 => FrameType::Ingest,
+            6 => FrameType::Heartbeat,
+            7 => FrameType::Error,
+            8 => FrameType::Goodbye,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload means.
+    pub ty: FrameType,
+    /// Opaque payload; see [`crate::wire`] for the per-type encodings.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Frame with a payload.
+    pub fn new(ty: FrameType, payload: Vec<u8>) -> Frame {
+        Frame { ty, payload }
+    }
+
+    /// Payload-less frame (Goodbye).
+    pub fn bare(ty: FrameType) -> Frame {
+        Frame::new(ty, Vec::new())
+    }
+
+    /// Serialize onto `w`. Does not flush.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let len = self.payload.len() as u64 + 2;
+        if len > MAX_FRAME_LEN as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame of {len} bytes exceeds MAX_FRAME_LEN"),
+            ));
+        }
+        w.write_all(&(len as u32).to_le_bytes())?;
+        w.write_all(&[PROTOCOL_VERSION, self.ty as u8])?;
+        w.write_all(&self.payload)
+    }
+
+    /// Read one frame. Returns `Ok(None)` on clean EOF at a frame
+    /// boundary; mid-frame EOF, a bad version byte, an unknown type, or
+    /// an implausible length are `InvalidData` errors.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+        let mut len_buf = [0u8; 4];
+        if !read_exact_or_eof(r, &mut len_buf)? {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if !(2..=MAX_FRAME_LEN).contains(&len) {
+            return Err(malformed(format!("implausible frame length {len}")));
+        }
+        let mut header = [0u8; 2];
+        r.read_exact(&mut header)?;
+        if header[0] != PROTOCOL_VERSION {
+            return Err(malformed(format!(
+                "protocol version {} (this build speaks {PROTOCOL_VERSION})",
+                header[0]
+            )));
+        }
+        let ty = FrameType::from_u8(header[1])
+            .ok_or_else(|| malformed(format!("unknown frame type {}", header[1])))?;
+        let mut payload = vec![0u8; len as usize - 2];
+        r.read_exact(&mut payload)?;
+        Ok(Some(Frame { ty, payload }))
+    }
+}
+
+fn malformed(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// `read_exact`, except a clean EOF before the first byte yields
+/// `Ok(false)` instead of an error.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        Frame::new(FrameType::Query, b"select 1".to_vec())
+            .write_to(&mut buf)
+            .unwrap();
+        Frame::bare(FrameType::Goodbye).write_to(&mut buf).unwrap();
+        let mut r = &buf[..];
+        let f1 = Frame::read_from(&mut r).unwrap().unwrap();
+        assert_eq!(f1.ty, FrameType::Query);
+        assert_eq!(f1.payload, b"select 1");
+        let f2 = Frame::read_from(&mut r).unwrap().unwrap();
+        assert_eq!(f2.ty, FrameType::Goodbye);
+        assert!(f2.payload.is_empty());
+        assert!(Frame::read_from(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let buf = [2u8, 0, 0, 0, 99, 1];
+        let err = Frame::read_from(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_type_and_huge_length() {
+        let buf = [2u8, 0, 0, 0, PROTOCOL_VERSION, 200];
+        assert!(Frame::read_from(&mut &buf[..]).is_err());
+        let buf = u32::MAX.to_le_bytes();
+        assert!(Frame::read_from(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut buf = Vec::new();
+        Frame::new(FrameType::Rows, vec![7; 32])
+            .write_to(&mut buf)
+            .unwrap();
+        buf.truncate(10);
+        assert!(Frame::read_from(&mut &buf[..]).is_err());
+    }
+}

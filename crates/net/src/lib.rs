@@ -1,0 +1,19 @@
+//! Networked continuous analytics: wire protocol, server and client.
+//!
+//! The paper's deployment model ("always-on" services fed by many
+//! producers and watched by many dashboards, §1) needs more than an
+//! embedded engine: this crate puts [`streamrel_core::Db`] on a TCP
+//! socket. The server is thread-per-connection and **pushes** continuous
+//! query results — a subscriber never polls; window results stream out
+//! as windows close. Framing is length-prefixed binary ([`frame`]), and
+//! payloads reuse the storage codec ([`wire`]) so the wire format equals
+//! the WAL format.
+
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, NetError, NetResult, SubscriptionStream};
+pub use frame::{Frame, FrameType, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use server::{Server, ServerOptions};

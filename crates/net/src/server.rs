@@ -1,0 +1,368 @@
+//! Thread-per-connection TCP server.
+//!
+//! Each accepted connection gets two threads:
+//!
+//! - a **request** thread that reads frames, executes them against the
+//!   shared [`Db`] and writes the reply, and
+//! - a **delivery** thread that blocks on the database's
+//!   [`streamrel_core::ResultNotifier`] and *pushes* `WindowResult`
+//!   frames for every subscription this connection owns, as windows
+//!   close — continuous SELECT results are never polled over the wire.
+//!
+//! Backpressure is the engine's bounded subscription queue: a client that
+//! stops reading stalls its delivery thread on the socket (bounded by
+//! [`ServerOptions::write_timeout`]), the queue behind it fills, and the
+//! configured overflow policy sheds windows for *that* subscription only.
+//! When a connection drops — gracefully via `Goodbye` or abruptly — every
+//! subscription it owned is unsubscribed from the database, so dead
+//! clients cannot accumulate server-side state.
+
+use std::collections::HashSet;
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use streamrel_core::{Db, ExecResult, SubscriptionId};
+
+use crate::frame::{Frame, FrameType};
+use crate::wire;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Per-frame socket write timeout. A subscriber that stops reading
+    /// for longer than this gets disconnected (and reaped) instead of
+    /// wedging its delivery thread forever.
+    pub write_timeout: Duration,
+    /// Fallback wake interval for delivery threads; bounds how long
+    /// teardown can take, not how fast results are pushed (pushes are
+    /// notifier-driven).
+    pub tick: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            write_timeout: Duration::from_secs(5),
+            tick: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A running streamrel wire-protocol server.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<ConnHandle>>>,
+}
+
+struct ConnHandle {
+    socket: TcpStream,
+    thread: JoinHandle<()>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve `db`
+    /// until [`Server::shutdown`] or drop.
+    pub fn serve(db: Arc<Db>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Server::serve_with(db, addr, ServerOptions::default())
+    }
+
+    /// [`Server::serve`] with explicit options.
+    pub fn serve_with(
+        db: Arc<Db>,
+        addr: impl ToSocketAddrs,
+        opts: ServerOptions,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<ConnHandle>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shutdown = shutdown.clone();
+            let conns = conns.clone();
+            thread::Builder::new()
+                .name("streamrel-accept".into())
+                .spawn(move || accept_loop(listener, db, opts, shutdown, conns))?
+        };
+        Ok(Server {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, hang up every connection, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let conns: Vec<ConnHandle> = std::mem::take(&mut *self.conns.lock());
+        for c in &conns {
+            let _ = c.socket.shutdown(Shutdown::Both);
+        }
+        for c in conns {
+            let _ = c.thread.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    db: Arc<Db>,
+    opts: ServerOptions,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<ConnHandle>>>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_write_timeout(Some(opts.write_timeout));
+                let Ok(socket) = stream.try_clone() else {
+                    continue;
+                };
+                let db = db.clone();
+                let spawned = thread::Builder::new()
+                    .name("streamrel-conn".into())
+                    .spawn(move || handle_conn(db, stream, opts));
+                if let Ok(thread) = spawned {
+                    let mut guard = conns.lock();
+                    // Opportunistically reap finished connections so a
+                    // long-lived server does not accumulate handles.
+                    guard.retain(|c| !c.thread.is_finished());
+                    guard.push(ConnHandle { socket, thread });
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Everything the request and delivery threads share for one connection.
+struct Conn {
+    db: Arc<Db>,
+    writer: Mutex<TcpStream>,
+    subs: Mutex<HashSet<u64>>,
+    gone: AtomicBool,
+}
+
+impl Conn {
+    fn send(&self, frame: &Frame) -> io::Result<()> {
+        let mut w = self.writer.lock();
+        frame.write_to(&mut *w)?;
+        w.flush()
+    }
+
+    /// Unsubscribe everything this connection owns (idempotent).
+    fn reap(&self) {
+        for id in self.subs.lock().drain() {
+            let _ = self.db.unsubscribe(SubscriptionId(id));
+        }
+    }
+
+    /// Push pending window results for every subscription this
+    /// connection owns. Any socket error marks the connection gone.
+    fn deliver_pending(&self) {
+        let ids: Vec<u64> = self.subs.lock().iter().copied().collect();
+        for id in ids {
+            let outs = match self.db.poll(SubscriptionId(id)) {
+                Ok(outs) => outs,
+                Err(_) => continue, // unsubscribed mid-flight
+            };
+            for out in outs {
+                let frame = Frame::new(
+                    FrameType::WindowResult,
+                    wire::encode_window_result(id, &out),
+                );
+                if self.send(&frame).is_err() {
+                    self.gone.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_conn(db: Arc<Db>, stream: TcpStream, opts: ServerOptions) {
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(Conn {
+        db: db.clone(),
+        writer: Mutex::new(writer),
+        subs: Mutex::new(HashSet::new()),
+        gone: AtomicBool::new(false),
+    });
+
+    // Delivery thread: block on the notifier, push results as they land.
+    let delivery = {
+        let conn = conn.clone();
+        let notifier = db.notifier();
+        thread::spawn(move || {
+            let mut seen = notifier.generation();
+            while !conn.gone.load(Ordering::SeqCst) {
+                seen = notifier.wait_newer(seen, opts.tick);
+                conn.deliver_pending();
+            }
+        })
+    };
+
+    request_loop(&conn, &stream);
+
+    // Teardown: stop the deliverer, then reap this connection's
+    // subscriptions so the engine stops retaining windows for it.
+    conn.gone.store(true, Ordering::SeqCst);
+    db.notifier().notify(); // wake the deliverer promptly
+    let _ = delivery.join();
+    conn.reap();
+    // shutdown() acts on the connection itself, so the peer sees EOF even
+    // though the server's registry still holds a cloned handle.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn request_loop(conn: &Arc<Conn>, mut stream: &TcpStream) {
+    loop {
+        let frame = match Frame::read_from(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // clean EOF
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Malformed frame: tell the client why, then hang up.
+                // Re-synchronising a corrupt byte stream is hopeless.
+                let _ = conn.send(&Frame::new(
+                    FrameType::Error,
+                    wire::encode_error(&format!("malformed frame: {e}")),
+                ));
+                return;
+            }
+            Err(_) => return, // abrupt disconnect
+        };
+        let keep_going = match frame.ty {
+            FrameType::Query => handle_query(conn, &frame.payload),
+            FrameType::Ingest => handle_ingest(conn, &frame.payload),
+            FrameType::Heartbeat => handle_heartbeat(conn, &frame.payload),
+            FrameType::Goodbye => {
+                // Reap before acking so a synchronous `close()` observes
+                // its subscriptions already gone.
+                conn.reap();
+                let _ = conn.send(&Frame::bare(FrameType::Goodbye));
+                false
+            }
+            // Server-to-client frame types arriving here are a protocol
+            // violation; answer and hang up.
+            FrameType::Rows
+            | FrameType::Subscribed
+            | FrameType::WindowResult
+            | FrameType::Error => {
+                let _ = conn.send(&Frame::new(
+                    FrameType::Error,
+                    wire::encode_error(&format!("unexpected frame {:?} from client", frame.ty)),
+                ));
+                false
+            }
+        };
+        if !keep_going || conn.gone.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Run one SQL statement; reply `Rows`, `Subscribed` or `Error`.
+/// SQL errors are replies, not disconnects. Returns false on socket death.
+fn handle_query(conn: &Arc<Conn>, payload: &[u8]) -> bool {
+    let sql = match wire::decode_query(payload) {
+        Ok(sql) => sql,
+        Err(e) => return reply_error(conn, &e.to_string()),
+    };
+    let reply = match conn.db.execute(&sql) {
+        Ok(ExecResult::Rows(rel)) => Frame::new(FrameType::Rows, wire::encode_rows(&rel)),
+        Ok(ExecResult::Subscribed(SubscriptionId(id))) => {
+            // Reply before registering for delivery: queued results are
+            // retained by the engine, and this order guarantees the
+            // Subscribed frame precedes the first WindowResult on the wire.
+            let ok = conn
+                .send(&Frame::new(
+                    FrameType::Subscribed,
+                    wire::encode_subscribed(id),
+                ))
+                .is_ok();
+            if ok {
+                conn.subs.lock().insert(id);
+            } else {
+                let _ = conn.db.unsubscribe(SubscriptionId(id));
+            }
+            return ok;
+        }
+        Ok(ExecResult::Created(name)) => ack("created", &name, 0),
+        Ok(ExecResult::Dropped(name)) => ack("dropped", &name, 0),
+        Ok(ExecResult::Inserted(n)) => ack("inserted", "", n as i64),
+        Ok(ExecResult::Deleted(n)) => ack("deleted", "", n as i64),
+        Ok(ExecResult::Truncated(name)) => ack("truncated", &name, 0),
+        Err(e) => Frame::new(FrameType::Error, wire::encode_error(&e.to_string())),
+    };
+    conn.send(&reply).is_ok()
+}
+
+fn handle_ingest(conn: &Arc<Conn>, payload: &[u8]) -> bool {
+    let (stream, rows) = match wire::decode_ingest(payload) {
+        Ok(v) => v,
+        Err(e) => return reply_error(conn, &e.to_string()),
+    };
+    let n = rows.len() as i64;
+    let reply = match conn.db.ingest_batch(&stream, rows) {
+        Ok(()) => ack("ingested", &stream, n),
+        Err(e) => Frame::new(FrameType::Error, wire::encode_error(&e.to_string())),
+    };
+    conn.send(&reply).is_ok()
+}
+
+fn handle_heartbeat(conn: &Arc<Conn>, payload: &[u8]) -> bool {
+    let (stream, ts) = match wire::decode_heartbeat(payload) {
+        Ok(v) => v,
+        Err(e) => return reply_error(conn, &e.to_string()),
+    };
+    let reply = match conn.db.heartbeat(&stream, ts) {
+        Ok(()) => Frame::new(FrameType::Heartbeat, wire::encode_heartbeat(&stream, ts)),
+        Err(e) => Frame::new(FrameType::Error, wire::encode_error(&e.to_string())),
+    };
+    conn.send(&reply).is_ok()
+}
+
+fn ack(tag: &str, detail: &str, n: i64) -> Frame {
+    Frame::new(
+        FrameType::Rows,
+        wire::encode_rows(&wire::ack_relation(tag, detail, n)),
+    )
+}
+
+fn reply_error(conn: &Arc<Conn>, msg: &str) -> bool {
+    conn.send(&Frame::new(FrameType::Error, wire::encode_error(msg)))
+        .is_ok()
+}

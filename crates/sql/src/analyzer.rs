@@ -6,9 +6,7 @@ use std::sync::Arc;
 
 use streamrel_types::{Column, DataType, Error, Result, Schema, Value};
 
-use crate::ast::{
-    Expr, JoinKind, OrderItem, Query, SelectItem, TableRef, UnaryOp, WindowSpec,
-};
+use crate::ast::{Expr, JoinKind, OrderItem, Query, SelectItem, TableRef, UnaryOp, WindowSpec};
 use crate::parser::parse_statement;
 use crate::plan::{
     AggFunc, AggSpec, BinaryOp, BoundExpr, LogicalPlan, ScalarFunc, SchemaRef, SortKey,
@@ -206,12 +204,11 @@ impl<'a> Analyzer<'a> {
         }
 
         // Aggregation?
-        let has_aggs = query
-            .projection
-            .iter()
-            .any(|item| matches!(item, SelectItem::Expr { expr, .. } if contains_aggregate(expr)))
-            || query.having.as_ref().is_some_and(contains_aggregate)
-            || !query.group_by.is_empty();
+        let has_aggs =
+            query.projection.iter().any(
+                |item| matches!(item, SelectItem::Expr { expr, .. } if contains_aggregate(expr)),
+            ) || query.having.as_ref().is_some_and(contains_aggregate)
+                || !query.group_by.is_empty();
 
         let (mut plan, mut out_exprs, mut out_names, agg_ctx): (
             LogicalPlan,
@@ -534,7 +531,9 @@ impl<'a> Analyzer<'a> {
                         }
                     }
                     if !matched {
-                        return Err(Error::analysis(format!("unknown relation `{q}` in `{q}.*`")));
+                        return Err(Error::analysis(format!(
+                            "unknown relation `{q}` in `{q}.*`"
+                        )));
                     }
                 }
                 SelectItem::Expr { expr, alias } => {
@@ -761,8 +760,7 @@ impl<'a> Analyzer<'a> {
         agg_schema: &Schema,
         pre_scope: &Scope,
     ) -> Result<BoundExpr> {
-        let rec =
-            |e: &Expr| self.bind_post_agg(e, groups, aggs, n_groups, agg_schema, pre_scope);
+        let rec = |e: &Expr| self.bind_post_agg(e, groups, aggs, n_groups, agg_schema, pre_scope);
         match expr {
             Expr::Unary { op, expr } => {
                 let inner = rec(expr)?;
@@ -835,9 +833,8 @@ impl<'a> Analyzer<'a> {
                 })
             }
             Expr::Function { name, args, .. } => {
-                let func = ScalarFunc::from_name(name).ok_or_else(|| {
-                    Error::analysis(format!("unknown function `{name}`"))
-                })?;
+                let func = ScalarFunc::from_name(name)
+                    .ok_or_else(|| Error::analysis(format!("unknown function `{name}`")))?;
                 let bound: Vec<BoundExpr> = args.iter().map(rec).collect::<Result<_>>()?;
                 let ty = scalar_result_type(func, &bound)?;
                 Ok(BoundExpr::ScalarFunc {
@@ -1104,7 +1101,9 @@ fn check_unary(op: UnaryOp, inner: &BoundExpr) -> Result<()> {
         UnaryOp::Not if ty == DataType::Bool => Ok(()),
         UnaryOp::Not => Err(Error::type_err(format!("NOT requires boolean, got {ty}"))),
         UnaryOp::Neg if ty.is_numeric() || ty == DataType::Interval => Ok(()),
-        UnaryOp::Neg => Err(Error::type_err(format!("unary minus requires numeric, got {ty}"))),
+        UnaryOp::Neg => Err(Error::type_err(format!(
+            "unary minus requires numeric, got {ty}"
+        ))),
     }
 }
 
@@ -1398,10 +1397,13 @@ mod tests {
         assert_eq!(schema.column(0).name, "url");
         assert_eq!(schema.column(1).name, "url_count");
         assert_eq!(schema.column(1).ty, DataType::Int);
-        assert_eq!(a.plan.stream_scans()[0].1, WindowSpec::Time {
-            visible: 5 * MINUTES,
-            advance: MINUTES
-        });
+        assert_eq!(
+            a.plan.stream_scans()[0].1,
+            WindowSpec::Time {
+                visible: 5 * MINUTES,
+                advance: MINUTES
+            }
+        );
     }
 
     #[test]
@@ -1508,10 +1510,9 @@ mod tests {
 
     #[test]
     fn temporal_arithmetic_types() {
-        let a = analyze(
-            "select stime - '1 week'::interval ago, stime - stime gap from urls_archive",
-        )
-        .unwrap();
+        let a =
+            analyze("select stime - '1 week'::interval ago, stime - stime gap from urls_archive")
+                .unwrap();
         let s = a.plan.schema();
         assert_eq!(s.column(0).ty, DataType::Timestamp);
         assert_eq!(s.column(1).ty, DataType::Interval);
@@ -1547,19 +1548,14 @@ mod tests {
     fn wildcard_expansion() {
         let a = analyze("select * from urls_archive").unwrap();
         assert_eq!(a.plan.schema().len(), 3);
-        let a = analyze(
-            "select h.* from urls_archive h join url_dim d on h.url = d.url",
-        )
-        .unwrap();
+        let a = analyze("select h.* from urls_archive h join url_dim d on h.url = d.url").unwrap();
         assert_eq!(a.plan.schema().len(), 3);
     }
 
     #[test]
     fn ambiguous_column_rejected() {
-        let e = analyze(
-            "select url from urls_archive h join url_dim d on h.url = d.url",
-        )
-        .unwrap_err();
+        let e =
+            analyze("select url from urls_archive h join url_dim d on h.url = d.url").unwrap_err();
         assert!(e.to_string().contains("ambiguous"), "{e}");
     }
 
@@ -1578,10 +1574,8 @@ mod tests {
 
     #[test]
     fn group_by_expression_reused_in_projection() {
-        let a = analyze(
-            "select upper(url) u, count(*) c from urls_archive group by upper(url)",
-        )
-        .unwrap();
+        let a = analyze("select upper(url) u, count(*) c from urls_archive group by upper(url)")
+            .unwrap();
         assert_eq!(a.plan.schema().column(0).name, "u");
     }
 

@@ -50,10 +50,7 @@ pub enum Statement {
         rows: Vec<Vec<Expr>>,
     },
     /// `DELETE FROM table [WHERE expr]`
-    Delete {
-        table: String,
-        filter: Option<Expr>,
-    },
+    Delete { table: String, filter: Option<Expr> },
     /// `TRUNCATE table`
     Truncate { table: String },
     /// A SELECT: snapshot query over tables, continuous query if any stream
@@ -114,7 +111,10 @@ pub struct ColumnDef {
 pub enum WindowSpec {
     /// `<VISIBLE 'v' ADVANCE 'a'>` — time-based sliding window: every `a`,
     /// emit the query over the last `v` of data. `v == a` is tumbling.
-    Time { visible: Interval, advance: Interval },
+    Time {
+        visible: Interval,
+        advance: Interval,
+    },
     /// `<VISIBLE n ROWS ADVANCE m ROWS>` — row-count window.
     Rows { visible: u64, advance: u64 },
     /// `<SLICES n WINDOWS>` — over a derived stream: each window is `n`

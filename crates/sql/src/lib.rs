@@ -19,7 +19,7 @@ pub mod optimizer;
 pub mod parser;
 pub mod plan;
 
-pub use analyzer::{Analyzer, AnalyzedQuery, RelKind, SchemaProvider};
+pub use analyzer::{AnalyzedQuery, Analyzer, RelKind, SchemaProvider};
 pub use ast::{ChannelMode, Statement, WindowSpec};
 pub use parser::{parse_statement, parse_statements};
 pub use plan::{AggFunc, AggSpec, BinaryOp, BoundExpr, LogicalPlan, ScalarFunc, UnaryOp};

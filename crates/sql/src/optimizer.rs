@@ -254,7 +254,9 @@ mod tests {
         LogicalPlan::TableScan {
             table: name.into(),
             schema: Arc::new(Schema::new_unchecked(
-                cols.iter().map(|c| Column::new(*c, DataType::Int)).collect(),
+                cols.iter()
+                    .map(|c| Column::new(*c, DataType::Int))
+                    .collect(),
             )),
         }
     }
@@ -307,7 +309,10 @@ mod tests {
     fn single_side_conjuncts_push_below() {
         // WHERE a.x = b.y AND a.x = 5 AND b.y = 7
         let pred = and(
-            and(eq(col(0), col(1)), eq(col(0), BoundExpr::Literal(Value::Int(5)))),
+            and(
+                eq(col(0), col(1)),
+                eq(col(0), BoundExpr::Literal(Value::Int(5))),
+            ),
             eq(col(1), BoundExpr::Literal(Value::Int(7))),
         );
         let plan = LogicalPlan::Filter {
@@ -315,7 +320,10 @@ mod tests {
             predicate: pred,
         };
         let opt = optimize(plan);
-        let LogicalPlan::Join { left, right, on, .. } = opt else {
+        let LogicalPlan::Join {
+            left, right, on, ..
+        } = opt
+        else {
             panic!()
         };
         assert!(matches!(*left, LogicalPlan::Filter { .. }), "left pushed");

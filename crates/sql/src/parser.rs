@@ -73,7 +73,10 @@ impl Parser {
 
     fn err_here(&self, msg: &str) -> Error {
         match self.tokens.get(self.pos) {
-            Some(t) => Error::parse(format!("{msg} (at offset {}, near {:?})", t.offset, t.token)),
+            Some(t) => Error::parse(format!(
+                "{msg} (at offset {}, near {:?})",
+                t.offset, t.token
+            )),
             None => Error::parse(format!("{msg} (at end of input)")),
         }
     }
@@ -490,8 +493,11 @@ impl Parser {
             return Ok(SelectItem::Wildcard);
         }
         // alias.* form
-        if let (Some(Token::Ident(_)), Some(Token::Symbol(Sym::Dot)), Some(Token::Symbol(Sym::Star))) =
-            (self.peek(), self.peek_at(1), self.peek_at(2))
+        if let (
+            Some(Token::Ident(_)),
+            Some(Token::Symbol(Sym::Dot)),
+            Some(Token::Symbol(Sym::Star)),
+        ) = (self.peek(), self.peek_at(1), self.peek_at(2))
         {
             let q = self.ident()?;
             self.expect_sym(Sym::Dot)?;
@@ -543,7 +549,8 @@ impl Parser {
         loop {
             let kind = if self.eat_kw("join") {
                 JoinKind::Inner
-            } else if self.peek_kw("inner") && self.peek_at(1).map(|t| t.is_kw("join")) == Some(true)
+            } else if self.peek_kw("inner")
+                && self.peek_at(1).map(|t| t.is_kw("join")) == Some(true)
             {
                 self.pos += 2;
                 JoinKind::Inner
@@ -552,7 +559,8 @@ impl Parser {
                 self.eat_kw("outer");
                 self.expect_kw("join")?;
                 JoinKind::Left
-            } else if self.peek_kw("cross") && self.peek_at(1).map(|t| t.is_kw("join")) == Some(true)
+            } else if self.peek_kw("cross")
+                && self.peek_at(1).map(|t| t.is_kw("join")) == Some(true)
             {
                 self.pos += 2;
                 let right = self.table_primary()?;
@@ -1064,10 +1072,9 @@ mod tests {
 
     #[test]
     fn parses_paper_example_4_channel() {
-        let s = parse_statement(
-            "CREATE CHANNEL urls_channel FROM urls_now INTO urls_archive APPEND",
-        )
-        .unwrap();
+        let s =
+            parse_statement("CREATE CHANNEL urls_channel FROM urls_now INTO urls_archive APPEND")
+                .unwrap();
         assert_eq!(
             s,
             Statement::CreateChannel {
@@ -1136,9 +1143,7 @@ mod tests {
                 panic!()
             };
             match q.from.unwrap() {
-                TableRef::Named {
-                    alias, window, ..
-                } => {
+                TableRef::Named { alias, window, .. } => {
                     assert_eq!(alias.as_deref(), Some("x"), "{sql}");
                     assert!(window.is_some(), "{sql}");
                 }
@@ -1170,10 +1175,10 @@ mod tests {
 
     #[test]
     fn join_syntax() {
-        let Statement::Select(q) = parse_statement(
-            "select * from a join b on a.x = b.y left join c on b.z = c.z",
-        )
-        .unwrap() else {
+        let Statement::Select(q) =
+            parse_statement("select * from a join b on a.x = b.y left join c on b.z = c.z")
+                .unwrap()
+        else {
             panic!()
         };
         match q.from.unwrap() {
@@ -1190,12 +1195,13 @@ mod tests {
 
     #[test]
     fn insert_and_delete() {
-        let s = parse_statement(
-            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
-        )
-        .unwrap();
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match s {
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 assert_eq!(table, "t");
                 assert_eq!(columns.unwrap(), vec!["a", "b"]);
                 assert_eq!(rows.len(), 2);
@@ -1203,13 +1209,18 @@ mod tests {
             _ => panic!(),
         }
         let s = parse_statement("DELETE FROM t WHERE a > 5").unwrap();
-        assert!(matches!(s, Statement::Delete { filter: Some(_), .. }));
+        assert!(matches!(
+            s,
+            Statement::Delete {
+                filter: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn expressions_precedence() {
-        let Statement::Select(q) =
-            parse_statement("select 1 + 2 * 3 = 7 and not false").unwrap()
+        let Statement::Select(q) = parse_statement("select 1 + 2 * 3 = 7 and not false").unwrap()
         else {
             panic!()
         };
@@ -1269,10 +1280,9 @@ mod tests {
 
     #[test]
     fn multiple_statements() {
-        let stmts = parse_statements(
-            "create table t (a int); insert into t values (1); select * from t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("create table t (a int); insert into t values (1); select * from t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -1286,7 +1296,9 @@ mod tests {
 
     #[test]
     fn negative_window_rejected() {
-        assert!(parse_statement("select * from s <visible '0 minutes' advance '1 minute'>").is_err());
+        assert!(
+            parse_statement("select * from s <visible '0 minutes' advance '1 minute'>").is_err()
+        );
         assert!(parse_statement("select * from s <slices 0 windows>").is_err());
     }
 

@@ -9,9 +9,9 @@
 //! understood, iterator-style relational query operators" for CQs (§4).
 
 pub use crate::ast::{BinaryOp, JoinKind, UnaryOp, WindowSpec};
-use streamrel_types::{DataType, Value};
-use streamrel_types::schema::Schema;
 use std::sync::Arc;
+use streamrel_types::schema::Schema;
+use streamrel_types::{DataType, Value};
 
 /// Shared schema handle.
 pub type SchemaRef = Arc<Schema>;
@@ -192,9 +192,7 @@ impl BoundExpr {
             BoundExpr::Unary { expr, .. }
             | BoundExpr::Cast { expr, .. }
             | BoundExpr::IsNull { expr, .. } => expr.uses_cq_close(),
-            BoundExpr::Binary { left, right, .. } => {
-                left.uses_cq_close() || right.uses_cq_close()
-            }
+            BoundExpr::Binary { left, right, .. } => left.uses_cq_close() || right.uses_cq_close(),
             BoundExpr::Like { expr, pattern, .. } => {
                 expr.uses_cq_close() || pattern.uses_cq_close()
             }
@@ -439,8 +437,14 @@ impl LogicalPlan {
             }
             LogicalPlan::Filter { .. } => "Filter".into(),
             LogicalPlan::Project { .. } => "Project".into(),
-            LogicalPlan::Aggregate { group_exprs, aggs, .. } => {
-                format!("Aggregate(groups={}, aggs={})", group_exprs.len(), aggs.len())
+            LogicalPlan::Aggregate {
+                group_exprs, aggs, ..
+            } => {
+                format!(
+                    "Aggregate(groups={}, aggs={})",
+                    group_exprs.len(),
+                    aggs.len()
+                )
             }
             LogicalPlan::Join { kind, .. } => format!("Join({kind:?})"),
             LogicalPlan::Sort { .. } => "Sort".into(),
@@ -485,9 +489,7 @@ mod tests {
     fn scan() -> LogicalPlan {
         LogicalPlan::TableScan {
             table: "t".into(),
-            schema: Arc::new(
-                Schema::new(vec![Column::new("a", DataType::Int)]).unwrap(),
-            ),
+            schema: Arc::new(Schema::new(vec![Column::new("a", DataType::Int)]).unwrap()),
         }
     }
 
@@ -537,10 +539,19 @@ mod tests {
     #[test]
     fn agg_result_types() {
         assert_eq!(AggFunc::Count.result_type(None), DataType::Int);
-        assert_eq!(AggFunc::Avg.result_type(Some(DataType::Int)), DataType::Float);
-        assert_eq!(AggFunc::Sum.result_type(Some(DataType::Float)), DataType::Float);
+        assert_eq!(
+            AggFunc::Avg.result_type(Some(DataType::Int)),
+            DataType::Float
+        );
+        assert_eq!(
+            AggFunc::Sum.result_type(Some(DataType::Float)),
+            DataType::Float
+        );
         assert_eq!(AggFunc::Sum.result_type(Some(DataType::Int)), DataType::Int);
-        assert_eq!(AggFunc::Min.result_type(Some(DataType::Text)), DataType::Text);
+        assert_eq!(
+            AggFunc::Min.result_type(Some(DataType::Text)),
+            DataType::Text
+        );
     }
 
     #[test]

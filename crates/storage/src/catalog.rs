@@ -82,7 +82,10 @@ impl Catalog {
         // Keep the id allocator ahead of explicit ids.
         let mut cur = self.next_id.load(Ordering::SeqCst);
         while cur <= id {
-            match self.next_id.compare_exchange(cur, id + 1, Ordering::SeqCst, Ordering::SeqCst) {
+            match self
+                .next_id
+                .compare_exchange(cur, id + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => break,
                 Err(actual) => cur = actual,
             }

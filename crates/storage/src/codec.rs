@@ -86,8 +86,7 @@ impl<'a> Reader<'a> {
     pub fn str(&mut self) -> Result<String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| Error::storage("invalid UTF-8 in record"))
+        String::from_utf8(bytes.to_vec()).map_err(|_| Error::storage("invalid UTF-8 in record"))
     }
 }
 

@@ -249,8 +249,13 @@ impl StorageEngine {
         }
         {
             let indexes = meta.indexes.read();
-            if indexes.iter().any(|i| i.name.eq_ignore_ascii_case(index_name)) {
-                return Err(Error::catalog(format!("index `{index_name}` already exists")));
+            if indexes
+                .iter()
+                .any(|i| i.name.eq_ignore_ascii_case(index_name))
+            {
+                return Err(Error::catalog(format!(
+                    "index `{index_name}` already exists"
+                )));
             }
         }
         let idx = OrderedIndex::new(cols.clone());
@@ -680,17 +685,18 @@ impl StorageEngine {
                     let name = k.strip_prefix("__index.")?.to_string();
                     let (tbl, cols) = v.split_once('|')?;
                     if tbl.eq_ignore_ascii_case(&meta.name) {
-                        Some((name, cols.split(',').map(str::to_string).collect::<Vec<_>>()))
+                        Some((
+                            name,
+                            cols.split(',').map(str::to_string).collect::<Vec<_>>(),
+                        ))
                     } else {
                         None
                     }
                 })
                 .collect();
             for (name, cols) in defs {
-                let positions: Option<Vec<usize>> = cols
-                    .iter()
-                    .map(|c| meta.schema.index_of(c).ok())
-                    .collect();
+                let positions: Option<Vec<usize>> =
+                    cols.iter().map(|c| meta.schema.index_of(c).ok()).collect();
                 let Some(positions) = positions else { continue };
                 let idx = OrderedIndex::new(positions);
                 for (slot, tv) in meta.heap.dump_versions() {
@@ -698,7 +704,9 @@ impl StorageEngine {
                         idx.insert(&row, slot);
                     }
                 }
-                meta.indexes.write().push(Arc::new(NamedIndex { name, index: idx }));
+                meta.indexes
+                    .write()
+                    .push(Arc::new(NamedIndex { name, index: idx }));
             }
         }
     }
@@ -802,10 +810,12 @@ mod tests {
         {
             let e = StorageEngine::open(&dir).unwrap();
             let t = e.create_table("urls", schema()).unwrap();
-            e.with_txn(|xid| e.insert(xid, t, row!["/a", 1i64])).unwrap();
+            e.with_txn(|xid| e.insert(xid, t, row!["/a", 1i64]))
+                .unwrap();
             e.checkpoint().unwrap();
             // Post-checkpoint WAL traffic.
-            e.with_txn(|xid| e.insert(xid, t, row!["/b", 2i64])).unwrap();
+            e.with_txn(|xid| e.insert(xid, t, row!["/b", 2i64]))
+                .unwrap();
         }
         let e = StorageEngine::open(&dir).unwrap();
         assert_eq!(
@@ -863,7 +873,8 @@ mod tests {
         let dir = tmpdir("kv");
         {
             let e = StorageEngine::open(&dir).unwrap();
-            e.catalog_put("stream.url_stream", "CREATE STREAM url_stream").unwrap();
+            e.catalog_put("stream.url_stream", "CREATE STREAM url_stream")
+                .unwrap();
             e.catalog_put("view.v", "CREATE VIEW v").unwrap();
             e.catalog_del("view.v").unwrap();
         }
@@ -879,7 +890,8 @@ mod tests {
     fn index_accelerated_lookup_respects_visibility() {
         let e = StorageEngine::in_memory();
         let t = e.create_table("urls", schema()).unwrap();
-        e.create_index("urls_by_url", "urls", &["url".into()]).unwrap();
+        e.create_index("urls_by_url", "urls", &["url".into()])
+            .unwrap();
         e.with_txn(|xid| {
             e.insert(xid, t, row!["/a", 1i64])?;
             e.insert(xid, t, row!["/a", 2i64])?;
@@ -910,7 +922,8 @@ mod tests {
             let e = StorageEngine::open(&dir).unwrap();
             let t = e.create_table("urls", schema()).unwrap();
             e.create_index("by_url", "urls", &["url".into()]).unwrap();
-            e.with_txn(|xid| e.insert(xid, t, row!["/a", 1i64])).unwrap();
+            e.with_txn(|xid| e.insert(xid, t, row!["/a", 1i64]))
+                .unwrap();
         }
         let e = StorageEngine::open(&dir).unwrap();
         let idx = e.index_on("urls", "url").expect("index rebuilt");
@@ -948,7 +961,13 @@ mod tests {
         let t = e.create_table("urls", schema()).unwrap();
         let r = e.with_txn(|xid| e.insert(xid, t, row![1i64, "/a"]));
         assert!(r.is_err(), "swapped column types must be rejected");
-        let r = e.with_txn(|xid| e.insert(xid, t, vec![streamrel_types::Value::Null, streamrel_types::Value::Int(1)]));
+        let r = e.with_txn(|xid| {
+            e.insert(
+                xid,
+                t,
+                vec![streamrel_types::Value::Null, streamrel_types::Value::Int(1)],
+            )
+        });
         assert!(r.is_err(), "NOT NULL violated");
     }
 
@@ -956,7 +975,8 @@ mod tests {
     fn truncate_clears() {
         let e = StorageEngine::in_memory();
         let t = e.create_table("urls", schema()).unwrap();
-        e.with_txn(|xid| e.insert(xid, t, row!["/a", 1i64])).unwrap();
+        e.with_txn(|xid| e.insert(xid, t, row!["/a", 1i64]))
+            .unwrap();
         e.truncate(t).unwrap();
         assert!(visible_rows(&e, "urls").is_empty());
     }

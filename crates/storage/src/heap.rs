@@ -175,12 +175,7 @@ impl HeapTable {
     }
 
     /// Fetch one row by slot if visible.
-    pub fn get(
-        &self,
-        slot: u64,
-        snap: &Snapshot,
-        aborted: &dyn Fn(TxnId) -> bool,
-    ) -> Option<Row> {
+    pub fn get(&self, slot: u64, snap: &Snapshot, aborted: &dyn Fn(TxnId) -> bool) -> Option<Row> {
         let v = self.versions.read();
         let tv = v.get(slot as usize)?;
         let row = tv.row.as_ref()?;
@@ -224,8 +219,7 @@ impl HeapTable {
                 continue;
             }
             let insert_dead = aborted(tv.xmin);
-            let delete_final =
-                tv.xmax != 0 && tv.xmax < horizon && committed(tv.xmax);
+            let delete_final = tv.xmax != 0 && tv.xmax < horizon && committed(tv.xmax);
             if insert_dead || delete_final {
                 reclaimed.push((slot as u64, tv.row.take().unwrap()));
             }

@@ -92,7 +92,9 @@ impl OrderedIndex {
     /// Heap slots for keys within `[lo, hi]` bounds.
     pub fn range(&self, lo: Bound<IndexKey>, hi: Bound<IndexKey>) -> Vec<u64> {
         let t = self.tree.read();
-        t.range((lo, hi)).flat_map(|(_, v)| v.iter().copied()).collect()
+        t.range((lo, hi))
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
     }
 
     /// Number of distinct keys.

@@ -158,12 +158,10 @@ impl TxnManager {
     pub fn bump_next_xid(&self, min_next: TxnId) {
         let mut cur = self.next_xid.load(Ordering::SeqCst);
         while cur < min_next {
-            match self.next_xid.compare_exchange(
-                cur,
-                min_next,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .next_xid
+                .compare_exchange(cur, min_next, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => break,
                 Err(actual) => cur = actual,
             }

@@ -122,7 +122,10 @@ mod tests {
             DataType::Float.common_type(DataType::Int),
             Some(DataType::Float)
         );
-        assert_eq!(DataType::Int.common_type(DataType::Int), Some(DataType::Int));
+        assert_eq!(
+            DataType::Int.common_type(DataType::Int),
+            Some(DataType::Int)
+        );
         assert_eq!(DataType::Text.common_type(DataType::Int), None);
         assert_eq!(DataType::Timestamp.common_type(DataType::Interval), None);
     }

@@ -58,7 +58,10 @@ impl Schema {
                 .iter()
                 .any(|p| p.name.eq_ignore_ascii_case(&c.name))
             {
-                return Err(Error::catalog(format!("duplicate column name `{}`", c.name)));
+                return Err(Error::catalog(format!(
+                    "duplicate column name `{}`",
+                    c.name
+                )));
             }
         }
         Ok(Schema { columns })
@@ -238,9 +241,7 @@ mod tests {
             Column::new("t", DataType::Timestamp),
         ])
         .unwrap();
-        let out = s
-            .coerce_row(vec![Value::Int(3), Value::Int(1000)])
-            .unwrap();
+        let out = s.coerce_row(vec![Value::Int(3), Value::Int(1000)]).unwrap();
         assert_eq!(out, vec![Value::Float(3.0), Value::Timestamp(1000)]);
     }
 

@@ -20,7 +20,12 @@ pub struct AdImpressionGen {
 
 impl AdImpressionGen {
     /// New generator over `campaigns` campaigns and 32 publishers.
-    pub fn new(seed: u64, campaigns: usize, start: Timestamp, events_per_sec: u64) -> AdImpressionGen {
+    pub fn new(
+        seed: u64,
+        campaigns: usize,
+        start: Timestamp,
+        events_per_sec: u64,
+    ) -> AdImpressionGen {
         assert!(campaigns > 0 && events_per_sec > 0);
         let publishers = (0..32)
             .map(|i| Value::text(format!("pub-{i:02}")))

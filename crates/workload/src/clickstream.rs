@@ -125,8 +125,8 @@ mod tests {
     fn rate_is_approximately_respected() {
         let mut g = ClickstreamGen::new(2, 10, 0, 1000);
         let rows = g.take_rows(10_000);
-        let span = rows.last().unwrap()[1].as_timestamp().unwrap()
-            - rows[0][1].as_timestamp().unwrap();
+        let span =
+            rows.last().unwrap()[1].as_timestamp().unwrap() - rows[0][1].as_timestamp().unwrap();
         let secs = span as f64 / 1e6;
         let rate = 10_000.0 / secs;
         assert!((700.0..1300.0).contains(&rate), "rate {rate}");
@@ -147,7 +147,9 @@ mod tests {
         let rows = g.take_rows(20_000);
         let mut counts = std::collections::HashMap::new();
         for r in &rows {
-            *counts.entry(r[0].as_text().unwrap().to_string()).or_insert(0u32) += 1;
+            *counts
+                .entry(r[0].as_text().unwrap().to_string())
+                .or_insert(0u32) += 1;
         }
         let max = counts.values().max().unwrap();
         assert!(*max > 500, "hottest URL dominates: {max}");

@@ -28,7 +28,14 @@ impl NetsecGen {
         assert!(n_sources > 0 && events_per_sec > 0);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC0_FEED);
         let srcs: Vec<Value> = (0..n_sources)
-            .map(|i| Value::text(format!("10.{}.{}.{}", i / 65536 % 256, i / 256 % 256, i % 256)))
+            .map(|i| {
+                Value::text(format!(
+                    "10.{}.{}.{}",
+                    i / 65536 % 256,
+                    i / 256 % 256,
+                    i % 256
+                ))
+            })
             .collect();
         let attackers = (n_sources / 50).max(1);
         let _ = &mut rng;
@@ -59,7 +66,7 @@ impl NetsecGen {
             (self.srcs[i].clone(), false)
         };
         let port: i64 = *[22, 80, 443, 3389, 8080]
-            .get(self.rng.gen_range(0..5))
+            .get(self.rng.gen_range(0..5usize))
             .unwrap();
         let action = if is_attack && self.rng.gen_bool(0.7) {
             Value::text("deny")
@@ -150,7 +157,7 @@ mod tests {
             last = ts;
             if r[2].as_text().unwrap() == "deny" {
                 denies += 1;
-                }
+            }
         }
         // ~7% of traffic is denied attack traffic.
         assert!(denies > 20 && denies < 300, "denies = {denies}");

@@ -90,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let alert_windows = db.poll(alerts)?;
     let alert_count: usize = alert_windows.iter().map(|w| w.relation.len()).sum();
-    println!("\nover-pace alerts fired: {alert_count} (across {} windows)", alert_windows.len());
+    println!(
+        "\nover-pace alerts fired: {alert_count} (across {} windows)",
+        alert_windows.len()
+    );
 
     // Mid-flight budget update: visible to the NEXT window (window
     // consistency), never mid-window.

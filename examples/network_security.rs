@@ -21,7 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------------------------------------------------------------
     // The OLD architecture: store first, query later.
     // ---------------------------------------------------------------
-    let mut store_first = StoreFirst::new(&NetsecGen::create_table_sql("raw_events"), "raw_events")?;
+    let mut store_first =
+        StoreFirst::new(&NetsecGen::create_table_sql("raw_events"), "raw_events")?;
     let mut gen = NetsecGen::new(7, 5_000, 0, 10_000);
     let rows = gen.take_rows(EVENTS);
     let t = Instant::now();
@@ -62,9 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?
         .rows();
     let lookup_time = t.elapsed();
-    println!(
-        "\ncontinuous: ingest+process {ingest_time:?}, report lookup {lookup_time:?}"
-    );
+    println!("\ncontinuous: ingest+process {ingest_time:?}, report lookup {lookup_time:?}");
     println!("top offender (continuous): {}", cont_report.rows()[0][0]);
 
     // Same answer, different architecture.
@@ -80,9 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The per-minute report history is queryable SQL as well:
-    let windows = db
-        .execute("SELECT count(*) FROM deny_report")?
-        .rows();
+    let windows = db.execute("SELECT count(*) FROM deny_report")?.rows();
     println!(
         "\ndeny_report holds {} per-window offender rows through {}",
         windows.rows()[0][0],

@@ -1,73 +1,104 @@
 //! Quickstart: the paper's five TruSQL examples, end to end.
 //!
-//! Run with: `cargo run --example quickstart`
+//! Run embedded (in-process engine):  `cargo run --example quickstart`
+//! Run over the wire protocol:        `cargo run --example quickstart -- --remote`
+//!
+//! Remote mode spins up a TCP server on an ephemeral port and drives the
+//! exact same five examples through the blocking client — continuous
+//! query results are *pushed* to the client as windows close, not
+//! polled. Set `STREAMREL_ADDR` to point at an already-running
+//! `streamrel-serve` instead.
 
+use std::sync::Arc;
+use std::time::Duration;
+
+use streamrel::net::{Client, Server};
 use streamrel::types::time::MINUTES;
 use streamrel::types::{format_timestamp, Value};
 use streamrel::{Db, DbOptions};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let db = Db::in_memory(DbOptions::default());
+const EX1_DDL: &str = "CREATE STREAM url_stream ( \
+    url        varchar(1024), \
+    atime      timestamp CQTIME USER, \
+    client_ip  varchar(50) )";
 
-    println!("== Example 1: CREATE STREAM (an ordered unbounded relation) ==");
-    db.execute(
-        "CREATE STREAM url_stream ( \
-            url        varchar(1024), \
-            atime      timestamp CQTIME USER, \
-            client_ip  varchar(50) )",
-    )?;
-    println!("   created stream url_stream\n");
+const EX2_CQ: &str = "SELECT url, count(*) url_count \
+    FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'> \
+    GROUP by url ORDER by url_count desc LIMIT 10";
 
-    println!("== Example 2: a simple continuous query (top URLs) ==");
-    let top_urls = db
-        .execute(
-            "SELECT url, count(*) url_count \
-             FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'> \
-             GROUP by url ORDER by url_count desc LIMIT 10",
-        )?
-        .subscription();
-    println!("   subscribed; results arrive once per minute of stream time\n");
+const EX3_DDL: &str = "CREATE STREAM urls_now as \
+    SELECT url, count(*) as scnt, cq_close(*) as stime \
+    FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'> \
+    GROUP by url";
 
-    println!("== Example 3: a derived stream (always-on CQ) ==");
-    db.execute(
-        "CREATE STREAM urls_now as \
-         SELECT url, count(*) as scnt, cq_close(*) as stime \
-         FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'> \
-         GROUP by url",
-    )?;
-    println!("   created derived stream urls_now\n");
+const EX4_TABLE: &str = "CREATE TABLE urls_archive (url varchar(1024), scnt integer, \
+    stime timestamp)";
+const EX4_CHANNEL: &str = "CREATE CHANNEL urls_channel FROM urls_now INTO urls_archive APPEND";
 
-    println!("== Example 4: persistence — a channel into an Active Table ==");
-    db.execute(
-        "CREATE TABLE urls_archive (url varchar(1024), scnt integer, \
-         stime timestamp)",
-    )?;
-    db.execute("CREATE CHANNEL urls_channel FROM urls_now INTO urls_archive APPEND")?;
-    println!("   urls_archive is now continuously maintained\n");
+const EX5_CQ: &str = "select c.scnt, h.scnt, c.stime from \
+    (select sum(scnt) as scnt, cq_close(*) as stime \
+     from urls_now <slices 1 windows>) c, urls_archive h \
+    where c.stime - '1 week'::interval = h.stime";
 
-    println!("== Example 5: stream-table join for historical comparison ==");
-    let comparison = db
-        .execute(
-            "select c.scnt, h.scnt, c.stime from \
-             (select sum(scnt) as scnt, cq_close(*) as stime \
-              from urls_now <slices 1 windows>) c, urls_archive h \
-             where c.stime - '1 week'::interval = h.stime",
-        )?
-        .subscription();
-    println!("   subscribed to current-vs-last-week comparison\n");
+const ARCHIVE_SQL: &str = "SELECT stime, url, scnt FROM urls_archive ORDER BY stime, scnt DESC";
+const PEAKS_SQL: &str =
+    "SELECT url, max(scnt) peak FROM urls_archive GROUP BY url ORDER BY peak DESC LIMIT 3";
 
-    // ---- drive the system: simulate a few minutes of clicks ----
-    println!("== Streaming clicks ==");
+/// The demo click workload: three minutes of page views.
+fn clicks() -> Vec<(String, i64)> {
     let urls = ["/home", "/products", "/home", "/checkout", "/home"];
+    let mut out = Vec::new();
     for minute in 0..3i64 {
         for (i, url) in urls.iter().enumerate() {
             let ts = minute * MINUTES + (i as i64 + 1) * 1_000_000;
-            db.execute(&format!(
-                "INSERT INTO url_stream VALUES ('{url}', '{}', '192.168.0.{}')",
-                format_timestamp(ts),
-                i + 1
-            ))?;
+            out.push((
+                format!(
+                    "INSERT INTO url_stream VALUES ('{url}', '{}', '192.168.0.{}')",
+                    format_timestamp(ts),
+                    i + 1
+                ),
+                ts,
+            ));
         }
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--remote") {
+        remote()
+    } else {
+        embedded()
+    }
+}
+
+fn embedded() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Db::in_memory(DbOptions::default());
+
+    println!("== Example 1: CREATE STREAM (an ordered unbounded relation) ==");
+    db.execute(EX1_DDL)?;
+    println!("   created stream url_stream\n");
+
+    println!("== Example 2: a simple continuous query (top URLs) ==");
+    let top_urls = db.execute(EX2_CQ)?.subscription();
+    println!("   subscribed; results arrive once per minute of stream time\n");
+
+    println!("== Example 3: a derived stream (always-on CQ) ==");
+    db.execute(EX3_DDL)?;
+    println!("   created derived stream urls_now\n");
+
+    println!("== Example 4: persistence — a channel into an Active Table ==");
+    db.execute(EX4_TABLE)?;
+    db.execute(EX4_CHANNEL)?;
+    println!("   urls_archive is now continuously maintained\n");
+
+    println!("== Example 5: stream-table join for historical comparison ==");
+    let comparison = db.execute(EX5_CQ)?.subscription();
+    println!("   subscribed to current-vs-last-week comparison\n");
+
+    println!("== Streaming clicks ==");
+    for (sql, _) in clicks() {
+        db.execute(&sql)?;
     }
     // Punctuate: tell the stream that time has reached minute 3.
     db.heartbeat("url_stream", 3 * MINUTES)?;
@@ -79,21 +110,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("-- The Active Table is ordinary SQL (Example 4):");
-    let rel = db
-        .execute(
-            "SELECT stime, url, scnt FROM urls_archive \
-             ORDER BY stime, scnt DESC",
-        )?
-        .rows();
-    print!("{}", rel.to_table());
+    print!("{}", db.execute(ARCHIVE_SQL)?.rows().to_table());
 
     println!("-- Ad-hoc analytics over precomputed metrics, not raw data:");
-    let rel = db
-        .execute(
-            "SELECT url, max(scnt) peak FROM urls_archive \
-             GROUP BY url ORDER BY peak DESC LIMIT 3",
-        )?
-        .rows();
+    let rel = db.execute(PEAKS_SQL)?.rows();
     print!("{}", rel.to_table());
 
     // The historical comparison emits once per window too (it joins
@@ -111,5 +131,79 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.tuples_in, stats.windows_out, stats.rows_archived
     );
     assert_eq!(rel.rows()[0][0], Value::text("/home"));
+    Ok(())
+}
+
+fn remote() -> Result<(), Box<dyn std::error::Error>> {
+    // Connect to STREAMREL_ADDR if set, else serve in-process.
+    let (local, addr) = match std::env::var("STREAMREL_ADDR") {
+        Ok(addr) => (None, addr),
+        Err(_) => {
+            let db = Arc::new(Db::in_memory(DbOptions::default()));
+            let server = Server::serve(db.clone(), "127.0.0.1:0")?;
+            let addr = server.local_addr().to_string();
+            (Some((db, server)), addr)
+        }
+    };
+    println!("== remote mode: wire protocol against {addr} ==\n");
+    let client = Client::connect(&addr)?;
+
+    println!("== Example 1: CREATE STREAM over the wire ==");
+    client.execute(EX1_DDL)?;
+
+    println!("== Example 2: continuous query; results are pushed ==");
+    let top_urls = client.subscribe(EX2_CQ)?;
+
+    println!("== Examples 3+4: derived stream archived via a channel ==");
+    client.execute(EX3_DDL)?;
+    client.execute(EX4_TABLE)?;
+    client.execute(EX4_CHANNEL)?;
+
+    println!("== Example 5: stream-table join for historical comparison ==");
+    let comparison = client.subscribe(EX5_CQ)?;
+
+    println!("\n== Streaming clicks ==");
+    for (sql, _) in clicks() {
+        client.execute(&sql)?;
+    }
+    client.heartbeat("url_stream", 3 * MINUTES)?;
+
+    println!("-- Example 2 output (pushed over TCP as each window closes):");
+    while let Some(out) = top_urls.next_timeout(Duration::from_secs(2)) {
+        println!("window closing at {}:", format_timestamp(out.close));
+        print!("{}", out.relation.to_table());
+    }
+
+    println!("-- The Active Table is ordinary SQL (Example 4):");
+    print!("{}", client.execute(ARCHIVE_SQL)?.to_table());
+
+    println!("-- Ad-hoc analytics over precomputed metrics, not raw data:");
+    let rel = client.execute(PEAKS_SQL)?;
+    print!("{}", rel.to_table());
+
+    let mut history = 0;
+    while comparison
+        .next_timeout(Duration::from_millis(200))
+        .is_some()
+    {
+        history += 1;
+    }
+    println!(
+        "-- Example 5 pushed {history} comparison windows (no data from a \
+         week ago in this 3-minute demo, so each is empty)"
+    );
+
+    assert_eq!(rel.rows()[0][0], Value::text("/home"));
+    drop((top_urls, comparison));
+    client.close()?;
+    if let Some((db, server)) = local {
+        let stats = db.stats();
+        println!(
+            "\nstats: {} tuples in, {} windows out, {} rows archived, \
+             {} live subscriptions after close",
+            stats.tuples_in, stats.windows_out, stats.rows_archived, stats.live_subs
+        );
+        server.shutdown();
+    }
     Ok(())
 }

@@ -1,0 +1,65 @@
+//! Offline shim for `crossbeam`, backed by `std::thread::scope`.
+//!
+//! Provides just `crossbeam::thread::scope` / `Scope::spawn` /
+//! `ScopedJoinHandle::join` as the workspace uses them. Since Rust 1.63
+//! std has native scoped threads, so the shim is a thin renaming layer;
+//! the only API difference is that crossbeam passes the scope to each
+//! spawned closure (for nested spawns), which callers here ignore, so the
+//! shim passes `()` instead.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle for spawning borrowed-data threads.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure's argument is the
+        /// nested-spawn scope in real crossbeam; here it is `()`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.0.spawn(move || f(())))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads join before returning.
+    /// Always `Ok` (a panicking unjoined child propagates as a panic, which
+    /// is at least as strict as crossbeam's `Err`).
+    #[allow(clippy::result_unit_err)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ()>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let sums: Vec<i32> = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| scope.spawn(move |_| c.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![3, 7]);
+    }
+}

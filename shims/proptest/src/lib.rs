@@ -1,0 +1,143 @@
+//! Offline shim for `proptest`: the strategy/runner subset this workspace's
+//! property tests use, with deterministic per-test seeding and **no
+//! shrinking** — a failing case panics with the generated inputs printed
+//! via the assertion message instead of being minimized.
+//!
+//! Supported surface:
+//! - `proptest! { #![proptest_config(..)] #[test] fn f(x in strat, ..) {..} }`
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//! - `Just`, `any::<T>()`, integer ranges, tuples, `&str` regex literals
+//!   (char classes / `.` with `{m,n}` quantifiers), `prop_oneof!`,
+//!   `Strategy::{prop_map, prop_filter, boxed}`, `prop::collection::vec`,
+//!   `prop::option::of`
+//! - `test_runner::Config::with_cases`
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Option strategies.
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests: each function runs `Config::cases` times with
+/// freshly generated inputs. Deterministic seed derived from the test name.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..cfg.cases {
+                    $(let $p = $crate::strategy::Strategy::generate(&($s), &mut rng);)+
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(msg) = outcome {
+                        panic!("proptest {} failed on case {}/{}: {}",
+                               stringify!($name), case + 1, cfg.cases, msg);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property test (fails the current case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return Err(format!("{:?} != {:?}", va, vb));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return Err(format!("{:?} != {:?}: {}", va, vb, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if va == vb {
+            return Err(format!("both sides equal: {:?}", va));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (va, vb) = (&$a, &$b);
+        if va == vb {
+            return Err(format!("both sides equal {:?}: {}", va, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Skip the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// Choose uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}

@@ -1,0 +1,527 @@
+//! Value-generation strategies (no shrinking).
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard values failing `pred` (regenerates; gives up loudly after
+    /// many rejections rather than looping forever).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+// ---- combinators -----------------------------------------------------------
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1000 straight values",
+            self.reason
+        );
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among strategies (backs `prop_oneof!`).
+pub struct OneOf<T>(Vec<BoxedStrategy<T>>);
+
+/// Build a [`OneOf`] from boxed alternatives.
+pub fn one_of<T: Debug>(choices: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+    OneOf(choices)
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+// ---- leaf strategies -------------------------------------------------------
+
+/// Always produce (a clone of) one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draw an arbitrary value (edge-case-biased where it matters).
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The full-range strategy for `T` (`any::<T>()`).
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias toward boundary values — the cases random draws
+                // essentially never hit but bugs congregate around.
+                if rng.gen_bool(0.125) {
+                    [0 as $t, 1 as $t, <$t>::MIN, <$t>::MAX][rng.gen_range(0..4usize)]
+                } else {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        if rng.gen_bool(0.15) {
+            [
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::MIN,
+                f64::MAX,
+                f64::EPSILON,
+            ][rng.gen_range(0..10usize)]
+        } else {
+            // Random bit pattern: covers subnormals, NaNs, the lot.
+            f64::from_bits(rng.gen::<u64>())
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:ident $idx:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+// ---- collections -----------------------------------------------------------
+
+/// Element-count bounds for [`vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // exclusive
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// `prop::collection::vec`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = if self.size.min + 1 >= self.size.max {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..self.size.max)
+        };
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `Option<S::Value>` (`prop::option::of`).
+pub struct OptionStrategy<S>(S);
+
+/// `prop::option::of`.
+pub fn option_of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(0.25) {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+// ---- regex-literal string strategy ----------------------------------------
+
+/// `&str` literals act as (a small subset of) regex string strategies:
+/// concatenations of `.` or `[...]` char classes, each with an optional
+/// `{n}` / `{m,n}` quantifier. This covers every pattern in the workspace's
+/// tests; anything fancier panics loudly instead of silently misgenerating.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    AnyChar,
+    Class(Vec<(char, char)>), // inclusive ranges; singletons are (c, c)
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = match chars[i] {
+                        '\\' => {
+                            i += 1;
+                            chars[i]
+                        }
+                        c => c,
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((c, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((c, c));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated [class] in pattern {pat:?}");
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                Atom::Class(vec![(c, c)])
+            }
+            c => {
+                assert!(
+                    !"(){}|*+?^$".contains(c),
+                    "unsupported regex construct {c:?} in pattern {pat:?}"
+                );
+                i += 1;
+                Atom::Class(vec![(c, c)])
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated {quantifier}")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("bad quantifier"),
+                    b.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, min, max) in parse_pattern(pat) {
+        let count = if min == max {
+            min
+        } else {
+            rng.gen_range(min..=max)
+        };
+        for _ in 0..count {
+            match &atom {
+                Atom::AnyChar => {
+                    // Mostly printable ASCII with occasional control and
+                    // multi-byte characters, mirroring `.`'s breadth enough
+                    // for no-panic fuzzing.
+                    let c = match rng.gen_range(0..20u32) {
+                        0 => '\t',
+                        1 => '\n',
+                        2 => 'é',
+                        3 => '漢',
+                        4 => '\u{1F600}',
+                        _ => char::from_u32(rng.gen_range(0x20..0x7Fu32)).unwrap(),
+                    };
+                    out.push(c);
+                }
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                    let c = char::from_u32(rng.gen_range(lo as u32..=hi as u32))
+                        .expect("class range spans invalid codepoints");
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (1u64..5, 0i64..10).generate(&mut r);
+            assert!((1..5).contains(&v.0) && (0..10).contains(&v.1));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = vec(0i64..5, 2..6usize).generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_map_filter_compose() {
+        let mut r = rng();
+        let s = one_of(vec![
+            Just(1i64).boxed(),
+            (10i64..20).prop_map(|v| v * 2).boxed(),
+        ])
+        .prop_filter("even or one", |v| *v == 1 || *v % 2 == 0);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v == 1 || (20..40).contains(&v) && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let ident = "[a-z_][a-z0-9_]{0,20}".generate(&mut r);
+            assert!(!ident.is_empty() && ident.len() <= 21);
+            let first = ident.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase() || first == '_');
+
+            let printable = "[ -~]{0,24}".generate(&mut r);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+            assert!(printable.chars().count() <= 24);
+
+            let anything = ".{0,16}".generate(&mut r);
+            assert!(anything.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    fn option_of_yields_both_variants() {
+        let mut r = rng();
+        let s = option_of(0i64..100);
+        let drawn: Vec<_> = (0..200).map(|_| s.generate(&mut r)).collect();
+        assert!(drawn.iter().any(|v| v.is_none()));
+        assert!(drawn.iter().any(|v| v.is_some()));
+    }
+
+    #[test]
+    fn arbitrary_ints_hit_boundaries() {
+        let mut r = rng();
+        let drawn: Vec<i64> = (0..500).map(|_| i64::arbitrary(&mut r)).collect();
+        assert!(drawn.contains(&i64::MAX));
+        assert!(drawn.contains(&i64::MIN));
+    }
+}

@@ -1,0 +1,54 @@
+//! Test configuration and the deterministic RNG driving generation.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Runner configuration (only `cases` is honoured by the shim).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        // Real proptest defaults to 256; the shim trades a little coverage
+        // for suite latency (these properties build whole databases per
+        // case). Override per-test with `proptest_config` when needed.
+        Config { cases: 64 }
+    }
+}
+
+/// Deterministic RNG: seeded from the property's name (plus the optional
+/// `PROPTEST_SEED` env var) so failures reproduce run-to-run.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for the named test.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = extra.trim().parse::<u64>() {
+                seed ^= v;
+            }
+        }
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -1,0 +1,55 @@
+//! The streamrel network server.
+//!
+//! ```text
+//! streamrel-serve <data-dir> <addr>      # durable database at data-dir
+//! streamrel-serve --memory <addr>        # in-memory database
+//! ```
+//!
+//! Binds `addr` (e.g. `127.0.0.1:7878`) and serves the wire protocol:
+//! snapshot SQL, DDL, ingest, heartbeats, and pushed continuous-query
+//! results. Runs until killed; durable databases recover their DDL and
+//! watermarks on the next start.
+
+use std::sync::Arc;
+
+use streamrel::net::Server;
+use streamrel::{Db, DbOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (dir, addr) = match args.as_slice() {
+        [dir, addr] => (dir.as_str(), addr.as_str()),
+        _ => {
+            eprintln!("usage: streamrel-serve <data-dir | --memory> <addr>");
+            std::process::exit(2);
+        }
+    };
+    let db = if dir == "--memory" {
+        println!("streamrel-serve: in-memory database");
+        Db::in_memory(DbOptions::default())
+    } else {
+        match Db::open(dir, DbOptions::default()) {
+            Ok(db) => {
+                println!("streamrel-serve: durable database at {dir}");
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot open {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let server = match Server::serve(Arc::new(db), addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    // Serve until the process is killed; the accept loop runs on its own
+    // thread, so just park this one.
+    loop {
+        std::thread::park();
+    }
+}

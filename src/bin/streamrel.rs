@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
 use streamrel::types::{format_timestamp, parse_timestamp};
-use streamrel::{Db, DbOptions, ExecResult, SubscriptionId};
+use streamrel::{split_statements, Db, DbOptions, ExecResult, SubscriptionId};
 
 fn main() {
     let arg = std::env::args().nth(1);
@@ -103,34 +103,6 @@ fn run_sql(db: &Db, sql: &str, subs: &mut BTreeMap<u64, String>) {
     }
 }
 
-/// Split on top-level semicolons (quotes respected) so multi-statement
-/// input works; the engine re-parses each piece.
-fn split_statements(sql: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut cur = String::new();
-    let mut in_str = false;
-    let mut chars = sql.chars().peekable();
-    while let Some(c) = chars.next() {
-        match c {
-            '\'' => {
-                in_str = !in_str;
-                cur.push(c);
-            }
-            ';' if !in_str => {
-                if !cur.trim().is_empty() {
-                    out.push(cur.clone());
-                }
-                cur.clear();
-            }
-            _ => cur.push(c),
-        }
-    }
-    if !cur.trim().is_empty() {
-        out.push(cur);
-    }
-    out
-}
-
 fn meta_command(db: &Db, cmd: &str, subs: &mut BTreeMap<u64, String>) -> bool {
     let mut parts = cmd.split_whitespace();
     match parts.next() {
@@ -199,8 +171,10 @@ fn meta_command(db: &Db, cmd: &str, subs: &mut BTreeMap<u64, String>) -> bool {
         Some("\\stats") => {
             let s = db.stats();
             println!(
-                "tuples_in={} windows_out={} rows_archived={} late_drops={}",
-                s.tuples_in, s.windows_out, s.rows_archived, s.late_drops
+                "tuples_in={} windows_out={} rows_archived={} late_drops={} \
+                 sub_drops={} live_subs={}",
+                s.tuples_in, s.windows_out, s.rows_archived, s.late_drops, s.sub_drops,
+                s.live_subs
             );
         }
         Some(other) => println!("unknown meta command {other} (try \\q, \\i, \\copy, \\heartbeat, \\subs, \\unsub, \\stats)"),
@@ -213,10 +187,7 @@ fn drain_subscriptions(db: &Db, subs: &BTreeMap<u64, String>) {
     for (&id, _) in subs.iter() {
         if let Ok(outs) = db.poll(SubscriptionId(id)) {
             for out in outs {
-                println!(
-                    "[{id}] window closing {}:",
-                    format_timestamp(out.close)
-                );
+                println!("[{id}] window closing {}:", format_timestamp(out.close));
                 print!("{}", out.relation.to_table());
             }
         }

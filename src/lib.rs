@@ -32,7 +32,10 @@
 //! assert_eq!(report.len(), 1);
 //! ```
 
-pub use streamrel_core::{Db, DbOptions, DbStats, ExecResult, Subscription, SubscriptionId};
+pub use streamrel_core::{
+    split_statements, Db, DbOptions, DbStats, ExecResult, OverflowPolicy, ResultNotifier,
+    Subscription, SubscriptionId,
+};
 
 /// Core data model (values, rows, schemas, relations, time).
 pub mod types {
@@ -67,4 +70,9 @@ pub mod baseline {
 /// Deterministic workload generators.
 pub mod workload {
     pub use streamrel_workload::*;
+}
+
+/// Wire protocol: TCP server and blocking client.
+pub mod net {
+    pub use streamrel_net::*;
 }

@@ -21,7 +21,8 @@ fn concurrent_ingest_and_snapshot_queries() {
          FROM s <TUMBLING '1 second'> GROUP BY k",
     )
     .unwrap();
-    db.execute("CREATE CHANNEL ch FROM per INTO agg APPEND").unwrap();
+    db.execute("CREATE CHANNEL ch FROM per INTO agg APPEND")
+        .unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));
     let n_tuples = 20_000i64;

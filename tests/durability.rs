@@ -30,8 +30,10 @@ fn setup(db: &Db) {
     db.execute("CREATE CHANNEL ch FROM per_minute INTO agg APPEND")
         .unwrap();
     // Raw archive for in-flight window rebuild.
-    db.execute("CREATE TABLE raw (k varchar(16), ts timestamp)").unwrap();
-    db.execute("CREATE CHANNEL raw_ch FROM s INTO raw APPEND").unwrap();
+    db.execute("CREATE TABLE raw (k varchar(16), ts timestamp)")
+        .unwrap();
+    db.execute("CREATE CHANNEL raw_ch FROM s INTO raw APPEND")
+        .unwrap();
 }
 
 fn tup(k: &str, ts: i64) -> Vec<Value> {
@@ -66,10 +68,7 @@ fn windows_archive_exactly_once_across_crashes() {
         // minute 3 closes window 3.
         db.ingest("s", tup("a", 2 * MINUTES + 30_000_000)).unwrap();
         db.heartbeat("s", 3 * MINUTES).unwrap();
-        let rel = db
-            .execute("SELECT count(*) FROM agg")
-            .unwrap()
-            .rows();
+        let rel = db.execute("SELECT count(*) FROM agg").unwrap().rows();
         assert_eq!(rel.rows()[0][0], Value::Int(3), "window 3 archived once");
         // No duplicates for windows 1-2:
         let rel = db
@@ -116,7 +115,8 @@ fn in_flight_window_rebuilds_from_raw_archive() {
         for r in replay {
             db.ingest("s", r).unwrap();
         }
-        db.execute("CREATE CHANNEL raw_ch FROM s INTO raw APPEND").unwrap();
+        db.execute("CREATE CHANNEL raw_ch FROM s INTO raw APPEND")
+            .unwrap();
         db.heartbeat("s", 2 * MINUTES).unwrap();
         let rel = db
             .execute("SELECT c FROM agg WHERE w = 120000000")
@@ -155,7 +155,10 @@ fn checkpoint_shrinks_recovery_and_preserves_state() {
         // watermark puts + agg insert + txn records — well under the 100+
         // from before the checkpoint).
         assert!(replayed < 60, "replayed {replayed} records");
-        let rel = db.execute("SELECT count(*), sum(c) FROM agg").unwrap().rows();
+        let rel = db
+            .execute("SELECT count(*), sum(c) FROM agg")
+            .unwrap()
+            .rows();
         assert_eq!(rel.rows()[0], vec![Value::Int(6), Value::Int(101)]);
         let rel = db.execute("SELECT count(*) FROM raw").unwrap().rows();
         assert_eq!(rel.rows()[0][0], Value::Int(101));
@@ -169,8 +172,10 @@ fn ddl_objects_survive_restart() {
     {
         let db = Db::open(&dir, DbOptions::default()).unwrap();
         setup(&db);
-        db.execute("CREATE VIEW busy AS SELECT k, c FROM per_minute <SLICES 1 WINDOWS> WHERE c > 1")
-            .unwrap();
+        db.execute(
+            "CREATE VIEW busy AS SELECT k, c FROM per_minute <SLICES 1 WINDOWS> WHERE c > 1",
+        )
+        .unwrap();
         db.execute("CREATE INDEX agg_by_k ON agg (k)").unwrap();
     }
     {
@@ -182,7 +187,10 @@ fn ddl_objects_survive_restart() {
         db.heartbeat("s", MINUTES).unwrap();
         let outs = db.poll(sub).unwrap();
         assert_eq!(outs.len(), 1);
-        assert_eq!(outs[0].relation.rows()[0], vec![Value::text("z"), Value::Int(2)]);
+        assert_eq!(
+            outs[0].relation.rows()[0],
+            vec![Value::text("z"), Value::Int(2)]
+        );
         // Index survived (lookup path).
         let idx = db.engine().index_on("agg", "k");
         assert!(idx.is_some(), "index rebuilt on restart");
@@ -219,16 +227,21 @@ fn replace_channel_resumes_via_kv_watermark() {
         let db = Db::open(&dir, DbOptions::default()).unwrap();
         db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
             .unwrap();
-        db.execute("CREATE TABLE latest (total bigint, w timestamp)").unwrap();
+        db.execute("CREATE TABLE latest (total bigint, w timestamp)")
+            .unwrap();
         db.execute(
             "CREATE STREAM agg AS SELECT sum(v) total, cq_close(*) w \
              FROM s <TUMBLING '1 minute'>",
         )
         .unwrap();
-        db.execute("CREATE CHANNEL ch FROM agg INTO latest REPLACE").unwrap();
+        db.execute("CREATE CHANNEL ch FROM agg INTO latest REPLACE")
+            .unwrap();
         for m in 0..3i64 {
-            db.ingest("s", vec![Value::Int(m + 1), Value::Timestamp(m * MINUTES + 1)])
-                .unwrap();
+            db.ingest(
+                "s",
+                vec![Value::Int(m + 1), Value::Timestamp(m * MINUTES + 1)],
+            )
+            .unwrap();
         }
         db.heartbeat("s", 3 * MINUTES).unwrap();
         let rel = db.execute("SELECT total, w FROM latest").unwrap().rows();

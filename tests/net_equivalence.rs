@@ -1,0 +1,195 @@
+//! Wire-layer equivalence and robustness.
+//!
+//! The protocol must be a transparent transport: results delivered to a
+//! remote subscriber are byte-identical to what the same workload yields
+//! from the embedded API. On top of that, the server has to survive
+//! hostile input (malformed frames) and abrupt client death, reaping the
+//! dead connection's subscriptions.
+
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use streamrel::net::{wire, Client, Frame, FrameType, Server};
+use streamrel::types::Value;
+use streamrel::{Db, DbOptions, ExecResult};
+
+const DDL: &str = "CREATE STREAM events (v integer, etime timestamp CQTIME USER)";
+const CQ: &str = "SELECT sum(v) total, cq_close(*) w FROM events <TUMBLING '1 minute'>";
+
+const INGESTERS: usize = 4;
+const SUBSCRIBERS: usize = 4;
+const ROUNDS: i64 = 12; // 10s apart -> two one-minute windows
+
+fn row(round: i64, client: i64) -> Vec<Value> {
+    // All rows of one round share a timestamp, so any cross-client
+    // interleaving within a round is a valid arrival order under zero
+    // slack; a barrier keeps rounds themselves ordered.
+    vec![
+        Value::Int(round * 10 + client),
+        Value::Timestamp(round * 10_000_000),
+    ]
+}
+
+/// Canonical bytes for one window result: close time + codec-encoded
+/// relation. "Byte-matching" means these are equal.
+fn canonical(close: i64, relation: &streamrel::types::Relation) -> (i64, Vec<u8>) {
+    (close, wire::encode_rows(relation))
+}
+
+/// The reference: same workload through the embedded API.
+fn in_process_reference() -> Vec<(i64, Vec<u8>)> {
+    let db = Db::in_memory(DbOptions::default());
+    db.execute(DDL).unwrap();
+    let sub = match db.execute(CQ).unwrap() {
+        ExecResult::Subscribed(s) => s,
+        other => panic!("expected subscription, got {other:?}"),
+    };
+    for r in 0..ROUNDS {
+        for c in 0..INGESTERS as i64 {
+            db.ingest("events", row(r, c)).unwrap();
+        }
+    }
+    db.heartbeat("events", 120_000_000).unwrap();
+    db.poll(sub)
+        .unwrap()
+        .iter()
+        .map(|o| canonical(o.close, &o.relation))
+        .collect()
+}
+
+#[test]
+fn remote_subscribers_see_byte_identical_results() {
+    let reference = in_process_reference();
+    assert_eq!(reference.len(), 2, "workload closes two windows");
+
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    let server = Server::serve(db.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let admin = Client::connect(addr).unwrap();
+    admin.execute(DDL).unwrap();
+
+    // M subscribers, registered before any data flows.
+    let subscribers: Vec<Client> = (0..SUBSCRIBERS)
+        .map(|_| Client::connect(addr).unwrap())
+        .collect();
+    let streams: Vec<_> = subscribers
+        .iter()
+        .map(|c| c.subscribe(CQ).unwrap())
+        .collect();
+    assert_eq!(db.stats().live_subs, SUBSCRIBERS as u64);
+
+    // N concurrent ingest clients, one barrier'd round at a time.
+    let barrier = Barrier::new(INGESTERS);
+    std::thread::scope(|s| {
+        for c in 0..INGESTERS as i64 {
+            let barrier = &barrier;
+            s.spawn(move || {
+                let client = Client::connect(addr).unwrap();
+                for r in 0..ROUNDS {
+                    barrier.wait();
+                    assert_eq!(client.ingest_batch("events", &[row(r, c)]).unwrap(), 1);
+                    barrier.wait();
+                }
+                client.close().unwrap();
+            });
+        }
+    });
+    admin.heartbeat("events", 120_000_000).unwrap();
+
+    // Every subscriber gets the pushed windows, byte-identical to the
+    // embedded run — no polling anywhere on the client side.
+    for stream in &streams {
+        let mut got = Vec::new();
+        while got.len() < reference.len() {
+            let out = stream
+                .next_timeout(Duration::from_secs(10))
+                .expect("window result not pushed within 10s");
+            got.push(canonical(out.close, &out.relation));
+        }
+        assert_eq!(got, reference);
+    }
+
+    let stats = db.stats();
+    assert_eq!(stats.tuples_in, (ROUNDS as u64) * INGESTERS as u64);
+    assert_eq!(stats.sub_drops, 0);
+    drop(streams);
+    drop(subscribers);
+    drop(admin);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frame_gets_error_and_server_survives() {
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    let server = Server::serve(db.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // Hand-roll a frame with a bogus protocol version byte.
+    use std::io::Write;
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&[2, 0, 0, 0, 99, 1]).unwrap();
+    let reply = Frame::read_from(&mut raw).unwrap().expect("error frame");
+    assert_eq!(reply.ty, FrameType::Error);
+    let msg = wire::decode_error(&reply.payload).unwrap();
+    assert!(
+        msg.contains("version"),
+        "diagnostic names the problem: {msg}"
+    );
+    // The server hangs up on protocol corruption…
+    assert!(Frame::read_from(&mut raw).unwrap().is_none());
+    drop(raw);
+
+    // …but keeps serving well-formed clients.
+    let client = Client::connect(addr).unwrap();
+    let rel = client.execute("SELECT 1 one").unwrap();
+    assert_eq!(rel.rows(), [vec![Value::Int(1)]]);
+
+    // SQL errors, by contrast, are replies — the connection stays up.
+    assert!(client.execute("SELEKT nope").is_err());
+    let rel = client.execute("SELECT 2 two").unwrap();
+    assert_eq!(rel.rows(), [vec![Value::Int(2)]]);
+    client.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn abrupt_disconnect_reaps_subscriptions() {
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    let server = Server::serve(db.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let admin = Client::connect(addr).unwrap();
+    admin.execute(DDL).unwrap();
+
+    // Subscribe over a raw socket, then vanish without a Goodbye.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    {
+        use std::io::Write;
+        Frame::new(FrameType::Query, wire::encode_query(CQ))
+            .write_to(&mut raw)
+            .unwrap();
+        raw.flush().unwrap();
+    }
+    let reply = Frame::read_from(&mut raw).unwrap().unwrap();
+    assert_eq!(reply.ty, FrameType::Subscribed);
+    assert_eq!(db.stats().live_subs, 1);
+
+    drop(raw); // abrupt: TCP RST/FIN with no protocol goodbye
+
+    // The server notices EOF and unsubscribes the dead client.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while db.stats().live_subs != 0 {
+        assert!(Instant::now() < deadline, "dead subscription never reaped");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The engine no longer retains windows for it either: ingest and
+    // close a window, and nothing queues anywhere.
+    admin.ingest_batch("events", &[row(0, 0)]).unwrap();
+    admin.heartbeat("events", 120_000_000).unwrap();
+    assert_eq!(db.stats().live_subs, 0);
+    admin.close().unwrap();
+    server.shutdown();
+}

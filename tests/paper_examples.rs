@@ -18,10 +18,8 @@ fn db_with_paper_objects() -> Db {
          <VISIBLE '5 minutes' ADVANCE '1 minute'> GROUP by url",
     )
     .unwrap();
-    db.execute(
-        "CREATE TABLE urls_archive (url varchar(1024), scnt integer, stime timestamp)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE urls_archive (url varchar(1024), scnt integer, stime timestamp)")
+        .unwrap();
     db.execute("CREATE CHANNEL urls_channel FROM urls_now INTO urls_archive APPEND")
         .unwrap();
     db
@@ -30,7 +28,11 @@ fn db_with_paper_objects() -> Db {
 fn click(db: &Db, url: &str, ts: i64) {
     db.ingest(
         "url_stream",
-        vec![Value::text(url), Value::Timestamp(ts), Value::text("1.1.1.1")],
+        vec![
+            Value::text(url),
+            Value::Timestamp(ts),
+            Value::text("1.1.1.1"),
+        ],
     )
     .unwrap();
 }
@@ -69,10 +71,7 @@ fn example_3_results_available_within_one_advance() {
     // the next minute boundary.
     click(&db, "/x", 30 * 1_000_000);
     db.heartbeat("url_stream", MINUTES).unwrap();
-    let rel = db
-        .execute("SELECT stime FROM urls_archive")
-        .unwrap()
-        .rows();
+    let rel = db.execute("SELECT stime FROM urls_archive").unwrap().rows();
     assert_eq!(rel.len(), 1);
     assert_eq!(rel.rows()[0][0], Value::Timestamp(MINUTES));
 }
@@ -96,18 +95,22 @@ fn example_3_disconnected_client_catches_up() {
 #[test]
 fn example_4_replace_mode() {
     let db = db_with_paper_objects();
-    db.execute(
-        "CREATE TABLE urls_latest (url varchar(1024), scnt integer, stime timestamp)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE urls_latest (url varchar(1024), scnt integer, stime timestamp)")
+        .unwrap();
     db.execute("CREATE CHANNEL latest_ch FROM urls_now INTO urls_latest REPLACE")
         .unwrap();
     for m in 0..3i64 {
         click(&db, "/x", m * MINUTES + 1);
     }
     db.heartbeat("url_stream", 3 * MINUTES).unwrap();
-    let append = db.execute("SELECT count(*) FROM urls_archive").unwrap().rows();
-    let replace = db.execute("SELECT count(*) FROM urls_latest").unwrap().rows();
+    let append = db
+        .execute("SELECT count(*) FROM urls_archive")
+        .unwrap()
+        .rows();
+    let replace = db
+        .execute("SELECT count(*) FROM urls_latest")
+        .unwrap()
+        .rows();
     assert_eq!(append.rows()[0][0], Value::Int(3), "append accumulates");
     assert_eq!(replace.rows()[0][0], Value::Int(1), "replace overwrites");
     let rel = db.execute("SELECT stime FROM urls_latest").unwrap().rows();
@@ -139,7 +142,10 @@ fn example_5_week_over_week() {
     db.heartbeat("url_stream", 2 * MINUTES).unwrap();
     let outs = db.poll(sub).unwrap();
     assert_eq!(outs.len(), 2);
-    assert!(outs[0].relation.is_empty(), "no history a week before minute 1");
+    assert!(
+        outs[0].relation.is_empty(),
+        "no history a week before minute 1"
+    );
     let r = &outs[1].relation;
     assert_eq!(r.len(), 1);
     // Current window (5-minute visible) holds 4 clicks; history says 7.
@@ -153,10 +159,8 @@ fn jellybean_vs_jar_same_answer() {
     // §2.2: computing metrics as beans enter the jar must equal counting
     // the jar afterwards. Run both against identical data.
     let db = db_with_paper_objects();
-    db.execute(
-        "CREATE TABLE raw_jar (url varchar(1024), atime timestamp, client_ip varchar(50))",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE raw_jar (url varchar(1024), atime timestamp, client_ip varchar(50))")
+        .unwrap();
     db.execute("CREATE CHANNEL raw_ch FROM url_stream INTO raw_jar APPEND")
         .unwrap();
     let urls = ["/a", "/b", "/a", "/c", "/a", "/b"];
@@ -186,21 +190,33 @@ fn figure_1_window_sequence() {
         .execute("SELECT v FROM s <VISIBLE '2 minutes' ADVANCE '1 minute'>")
         .unwrap()
         .subscription();
-    for (v, ts) in [(1i64, 10), (2, 30), (3, MINUTES + 10), (4, 2 * MINUTES + 10)] {
-        db.ingest("s", vec![Value::Int(v), Value::Timestamp(ts)]).unwrap();
+    for (v, ts) in [
+        (1i64, 10),
+        (2, 30),
+        (3, MINUTES + 10),
+        (4, 2 * MINUTES + 10),
+    ] {
+        db.ingest("s", vec![Value::Int(v), Value::Timestamp(ts)])
+            .unwrap();
     }
     db.heartbeat("s", 3 * MINUTES).unwrap();
     let outs = db.poll(sub).unwrap();
     let seq: Vec<Vec<i64>> = outs
         .iter()
-        .map(|o| o.relation.rows().iter().map(|r| r[0].as_int().unwrap()).collect())
+        .map(|o| {
+            o.relation
+                .rows()
+                .iter()
+                .map(|r| r[0].as_int().unwrap())
+                .collect()
+        })
         .collect();
     assert_eq!(
         seq,
         vec![
-            vec![1, 2],       // window closing 1min: [.. , 1min)
-            vec![1, 2, 3],    // closing 2min: last 2 minutes
-            vec![3, 4],       // closing 3min
+            vec![1, 2],    // window closing 1min: [.. , 1min)
+            vec![1, 2, 3], // closing 2min: last 2 minutes
+            vec![3, 4],    // closing 3min
         ]
     );
 }
@@ -240,7 +256,8 @@ fn shared_cq_with_having_and_limit() {
     for (k, n) in [("k0", 5), ("k1", 4), ("k2", 3), ("k3", 1)] {
         for _ in 0..n {
             ts += 1;
-            db.ingest("s", vec![Value::text(k), Value::Timestamp(ts)]).unwrap();
+            db.ingest("s", vec![Value::text(k), Value::Timestamp(ts)])
+                .unwrap();
         }
     }
     db.heartbeat("s", MINUTES).unwrap();
@@ -266,8 +283,11 @@ fn slices_three_windows_via_sql() {
         .unwrap()
         .subscription();
     for m in 0..5i64 {
-        db.ingest("s", vec![Value::Int(m + 1), Value::Timestamp(m * MINUTES + 1)])
-            .unwrap();
+        db.ingest(
+            "s",
+            vec![Value::Int(m + 1), Value::Timestamp(m * MINUTES + 1)],
+        )
+        .unwrap();
     }
     db.heartbeat("s", 5 * MINUTES).unwrap();
     let outs = db.poll(sub).unwrap();
@@ -291,13 +311,18 @@ fn view_over_derived_stream() {
         .unwrap();
     let sub = db.execute("SELECT * FROM hot").unwrap().subscription();
     for ts in [1i64, 2, 3] {
-        db.ingest("s", vec![Value::text("a"), Value::Timestamp(ts)]).unwrap();
+        db.ingest("s", vec![Value::text("a"), Value::Timestamp(ts)])
+            .unwrap();
     }
-    db.ingest("s", vec![Value::text("b"), Value::Timestamp(4)]).unwrap();
+    db.ingest("s", vec![Value::text("b"), Value::Timestamp(4)])
+        .unwrap();
     db.heartbeat("s", MINUTES).unwrap();
     let outs = db.poll(sub).unwrap();
     assert_eq!(outs.len(), 1);
-    assert_eq!(outs[0].relation.rows(), &[vec![Value::text("a"), Value::Int(3)]]);
+    assert_eq!(
+        outs[0].relation.rows(),
+        &[vec![Value::text("a"), Value::Int(3)]]
+    );
 }
 
 #[test]

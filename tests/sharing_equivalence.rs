@@ -39,7 +39,10 @@ fn run_workload(
         clock += gap;
         db.ingest(
             "s",
-            vec![Value::text(format!("k{}", key % 4)), Value::Timestamp(clock)],
+            vec![
+                Value::text(format!("k{}", key % 4)),
+                Value::Timestamp(clock),
+            ],
         )
         .unwrap();
     }

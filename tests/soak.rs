@@ -34,12 +34,16 @@ fn build_pipeline(db: &Db) {
          FROM by_url <VISIBLE '3 minutes' ADVANCE '1 minute'> GROUP BY cat",
     )
     .unwrap();
-    db.execute("CREATE TABLE url_hist (url varchar(64), cat varchar(16), hits bigint, w timestamp)")
+    db.execute(
+        "CREATE TABLE url_hist (url varchar(64), cat varchar(16), hits bigint, w timestamp)",
+    )
+    .unwrap();
+    db.execute("CREATE CHANNEL c1 FROM by_url INTO url_hist APPEND")
         .unwrap();
-    db.execute("CREATE CHANNEL c1 FROM by_url INTO url_hist APPEND").unwrap();
     db.execute("CREATE TABLE cat_latest (cat varchar(16), hits bigint, w3 timestamp)")
         .unwrap();
-    db.execute("CREATE CHANNEL c2 FROM by_cat INTO cat_latest REPLACE").unwrap();
+    db.execute("CREATE CHANNEL c2 FROM by_cat INTO cat_latest REPLACE")
+        .unwrap();
 }
 
 fn drive(db: &Db, minutes_start: i64, minutes_end: i64) {

@@ -110,7 +110,10 @@ fn aggregates_and_grouping() {
 fn order_by_forms() {
     let db = seeded();
     // Alias, ordinal, hidden input column, expression over output.
-    let by_alias = rows(&db, "SELECT name, salary s FROM emp ORDER BY s DESC LIMIT 1");
+    let by_alias = rows(
+        &db,
+        "SELECT name, salary s FROM emp ORDER BY s DESC LIMIT 1",
+    );
     assert_eq!(by_alias.rows()[0][0], Value::text("ada"));
     let by_ordinal = rows(&db, "SELECT name, salary FROM emp ORDER BY 2 DESC LIMIT 1");
     assert_eq!(by_ordinal.rows()[0][0], Value::text("ada"));
@@ -179,7 +182,8 @@ fn comma_join_with_where_is_inner_join() {
     let db = seeded();
     db.execute("CREATE TABLE dept_info (dept varchar(16), floor integer)")
         .unwrap();
-    db.execute("INSERT INTO dept_info VALUES ('eng', 3)").unwrap();
+    db.execute("INSERT INTO dept_info VALUES ('eng', 3)")
+        .unwrap();
     let r = rows(
         &db,
         "SELECT e.name FROM emp e, dept_info d \
@@ -227,15 +231,12 @@ fn temporal_expressions() {
         "SELECT name FROM emp WHERE hired > '2021-01-01'::timestamp ORDER BY hired",
     );
     assert_eq!(r.len(), 3);
-    let r = rows(
-        &db,
-        "SELECT max(hired) - min(hired) FROM emp",
+    let r = rows(&db, "SELECT max(hired) - min(hired) FROM emp");
+    assert_eq!(
+        r.rows()[0][0].data_type(),
+        Some(streamrel::types::DataType::Interval)
     );
-    assert_eq!(r.rows()[0][0].data_type(), Some(streamrel::types::DataType::Interval));
-    let r = rows(
-        &db,
-        "SELECT timestamp '2020-01-15' + interval '1 week'",
-    );
+    let r = rows(&db, "SELECT timestamp '2020-01-15' + interval '1 week'");
     assert_eq!(
         r.rows()[0][0],
         Value::Timestamp(streamrel::types::parse_timestamp("2020-01-22").unwrap())
@@ -249,9 +250,15 @@ fn dml_roundtrip() {
         db.execute("DELETE FROM emp WHERE dept = 'ops'").unwrap(),
         ExecResult::Deleted(2)
     ));
-    assert_eq!(rows(&db, "SELECT count(*) FROM emp").rows()[0][0], Value::Int(3));
+    assert_eq!(
+        rows(&db, "SELECT count(*) FROM emp").rows()[0][0],
+        Value::Int(3)
+    );
     db.execute("TRUNCATE emp").unwrap();
-    assert_eq!(rows(&db, "SELECT count(*) FROM emp").rows()[0][0], Value::Int(0));
+    assert_eq!(
+        rows(&db, "SELECT count(*) FROM emp").rows()[0][0],
+        Value::Int(0)
+    );
 }
 
 #[test]
@@ -265,7 +272,10 @@ fn error_quality() {
         ("SELECT sum(name) FROM emp", "non-numeric"),
         ("SELECT * FROM emp WHERE salary", "must be boolean"),
         ("SELECT cq_close(*) FROM emp", "cq_close"),
-        ("SELECT * FROM emp <TUMBLING '1 minute'>", "not allowed on table"),
+        (
+            "SELECT * FROM emp <TUMBLING '1 minute'>",
+            "not allowed on table",
+        ),
         ("CREATE TABLE emp (a integer)", "already"),
     ];
     for (sql, needle) in cases {
@@ -286,7 +296,8 @@ fn runtime_errors_surface() {
 #[test]
 fn quoted_identifiers_and_case() {
     let db = db();
-    db.execute(r#"CREATE TABLE "MixedCase" ("Col A" integer)"#).unwrap();
+    db.execute(r#"CREATE TABLE "MixedCase" ("Col A" integer)"#)
+        .unwrap();
     db.execute(r#"INSERT INTO "MixedCase" VALUES (1)"#).unwrap();
     // The catalog is case-insensitive throughout (a documented
     // simplification vs PostgreSQL's quoted-exact rule); quoting is for
@@ -307,7 +318,8 @@ fn row_count_windows_via_sql() {
         .unwrap()
         .subscription();
     for i in 0..9i64 {
-        db.ingest("s", vec![Value::Int(i), Value::Timestamp(i)]).unwrap();
+        db.ingest("s", vec![Value::Int(i), Value::Timestamp(i)])
+            .unwrap();
     }
     let outs = db.poll(sub).unwrap();
     assert_eq!(outs.len(), 3);
@@ -341,7 +353,10 @@ fn explain_shows_plan_and_classification() {
     let text: Vec<String> = r.rows().iter().map(|row| row[0].to_string()).collect();
     assert!(text[0].contains("Snapshot Query"), "{text:?}");
     assert!(text.iter().any(|l| l.contains("Aggregate")), "{text:?}");
-    assert!(text.iter().any(|l| l.contains("TableScan(emp)")), "{text:?}");
+    assert!(
+        text.iter().any(|l| l.contains("TableScan(emp)")),
+        "{text:?}"
+    );
 
     db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
         .unwrap();
@@ -356,8 +371,10 @@ fn show_commands() {
         .unwrap();
     db.execute("CREATE STREAM d AS SELECT count(*) c, cq_close(*) w FROM s <TUMBLING '1 minute'>")
         .unwrap();
-    db.execute("CREATE TABLE sink (c bigint, w timestamp)").unwrap();
-    db.execute("CREATE CHANNEL ch FROM d INTO sink APPEND").unwrap();
+    db.execute("CREATE TABLE sink (c bigint, w timestamp)")
+        .unwrap();
+    db.execute("CREATE CHANNEL ch FROM d INTO sink APPEND")
+        .unwrap();
     db.execute("CREATE VIEW v AS SELECT name FROM emp").unwrap();
 
     let tables = rows(&db, "SHOW TABLES");
@@ -366,11 +383,14 @@ fn show_commands() {
 
     let streams = rows(&db, "SHOW STREAMS");
     assert_eq!(streams.len(), 2);
-    assert_eq!(streams.rows()[0], vec![
-        Value::text("s"),
-        Value::text("base"),
-        Value::text("(v integer, ts timestamp not null)"),
-    ]);
+    assert_eq!(
+        streams.rows()[0],
+        vec![
+            Value::text("s"),
+            Value::text("base"),
+            Value::text("(v integer, ts timestamp not null)"),
+        ]
+    );
     assert_eq!(streams.rows()[1][1], Value::text("derived"));
 
     let views = rows(&db, "SHOW VIEWS");
@@ -451,7 +471,8 @@ fn stddev_works_in_shared_cqs() {
 #[test]
 fn create_and_drop_index() {
     let db = seeded();
-    db.execute("CREATE INDEX emp_by_dept ON emp (dept)").unwrap();
+    db.execute("CREATE INDEX emp_by_dept ON emp (dept)")
+        .unwrap();
     assert!(db.engine().index_on("emp", "dept").is_some());
     db.execute("DROP INDEX emp_by_dept").unwrap();
     assert!(db.engine().index_on("emp", "dept").is_none());
