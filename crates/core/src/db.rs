@@ -3,12 +3,14 @@
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use streamrel_cq::recovery::{load_watermark, save_watermark_txn};
 use streamrel_cq::{ContinuousQuery, CqOutput, CqStats, ReorderBuffer, SharedRegistry};
-use streamrel_exec::{execute, ExecContext};
+use streamrel_exec::{execute, ExecContext, ExecMetrics};
+use streamrel_obs::{Counter, Gauge, Histogram};
 use streamrel_sql::analyzer::Analyzer;
 use streamrel_sql::ast::{ChannelMode, ColumnDef, Expr, ObjectKind, Query, ShowKind, Statement};
 use streamrel_sql::parser::{parse_statement, parse_statements};
@@ -72,6 +74,8 @@ pub struct DbStats {
     pub sub_drops: u64,
     /// Currently registered client subscriptions.
     pub live_subs: u64,
+    /// Window results currently queued across all subscriptions.
+    pub sub_queued: u64,
 }
 
 struct BaseStream {
@@ -104,6 +108,9 @@ enum Sink {
 struct CqEntry {
     cq: ContinuousQuery,
     sink: Sink,
+    /// Window-close latency (tuple arrival → result enqueued), µs. One
+    /// instrument per CQ, registered as `cq.close_us.<name>`.
+    close_hist: Arc<Histogram>,
 }
 
 struct Inner {
@@ -120,6 +127,32 @@ struct Inner {
     stats: DbStats,
 }
 
+/// Cached handles into the engine's metrics registry. Held as `Arc`s so
+/// the ingest/pump hot paths never touch the registry lock.
+struct DbMetrics {
+    tuples_in: Arc<Counter>,
+    windows_out: Arc<Counter>,
+    rows_archived: Arc<Counter>,
+    late_drops: Arc<Counter>,
+    sub_drops: Arc<Counter>,
+    sub_queue_depth: Arc<Gauge>,
+    exec: ExecMetrics,
+}
+
+impl DbMetrics {
+    fn register(registry: &streamrel_obs::Registry) -> DbMetrics {
+        DbMetrics {
+            tuples_in: registry.counter("db.tuples_in"),
+            windows_out: registry.counter("db.windows_out"),
+            rows_archived: registry.counter("db.rows_archived"),
+            late_drops: registry.counter("db.late_drops"),
+            sub_drops: registry.counter("db.sub_drops"),
+            sub_queue_depth: registry.gauge("db.sub_queue_depth"),
+            exec: ExecMetrics::register(registry),
+        }
+    }
+}
+
 /// The stream-relational database: one SQL entry point over tables,
 /// streams and their combinations (§2.3).
 pub struct Db {
@@ -127,6 +160,7 @@ pub struct Db {
     options: DbOptions,
     inner: Mutex<Inner>,
     notify: Arc<ResultNotifier>,
+    metrics: DbMetrics,
 }
 
 impl Db {
@@ -148,6 +182,7 @@ impl Db {
     }
 
     fn with_engine(engine: Arc<StorageEngine>, options: DbOptions) -> Db {
+        let metrics = DbMetrics::register(engine.metrics());
         Db {
             engine,
             options,
@@ -165,6 +200,7 @@ impl Db {
                 stats: DbStats::default(),
             }),
             notify: ResultNotifier::new(),
+            metrics,
         }
     }
 
@@ -178,7 +214,20 @@ impl Db {
         let inner = self.inner.lock();
         let mut stats = inner.stats;
         stats.live_subs = inner.subs.len() as u64;
+        stats.sub_queued = inner.subs.values().map(|s| s.pending() as u64).sum();
         stats
+    }
+
+    /// Snapshot of the `streamrel_metrics` virtual relation — the same
+    /// relation `SELECT * FROM streamrel_metrics`, `SHOW METRICS` and the
+    /// wire protocol's `Stats` frame all serve.
+    pub fn metrics_relation(&self) -> Relation {
+        self.engine.metrics().to_relation()
+    }
+
+    /// Snapshot of the `streamrel_trace` virtual relation (the trace ring).
+    pub fn trace_relation(&self) -> Relation {
+        self.engine.metrics().trace().to_relation()
     }
 
     /// Wakes whenever a client subscription receives a window result.
@@ -232,11 +281,13 @@ impl Db {
     /// Drain pending window results for a subscription.
     pub fn poll(&self, sub: SubscriptionId) -> Result<Vec<CqOutput>> {
         let mut inner = self.inner.lock();
-        inner
+        let outs = inner
             .subs
             .get_mut(&sub)
             .map(Subscription::drain)
-            .ok_or_else(|| Error::stream(format!("unknown subscription {sub:?}")))
+            .ok_or_else(|| Error::stream(format!("unknown subscription {sub:?}")))?;
+        self.metrics.sub_queue_depth.sub(outs.len() as i64);
+        Ok(outs)
     }
 
     /// Push one tuple into a base stream (programmatic fast path; the SQL
@@ -247,13 +298,17 @@ impl Db {
 
     /// Push many tuples (one archiving transaction for raw channels).
     pub fn ingest_batch(&self, stream: &str, rows: Vec<Row>) -> Result<()> {
+        // One timestamp per ingest event; every window this batch closes
+        // measures its latency from here (arrival → result enqueued).
+        let start = Instant::now();
         let mut inner = self.inner.lock();
-        self.ingest_locked(&mut inner, stream, rows)
+        self.ingest_locked(&mut inner, stream, rows, start)
     }
 
     /// Advance a stream's event time without data: closes due windows of
     /// every CQ over the stream (punctuation / heartbeat).
     pub fn heartbeat(&self, stream: &str, ts: Timestamp) -> Result<()> {
+        let start = Instant::now();
         let mut inner = self.inner.lock();
         let key = stream.to_ascii_lowercase();
         let cq_ids = inner
@@ -272,7 +327,7 @@ impl Db {
                 .on_heartbeat(ts)?;
             emitted.push((id, outs));
         }
-        self.pump(&mut inner, emitted)
+        self.pump(&mut inner, emitted, start)
     }
 
     // ---- statement dispatch -------------------------------------------------
@@ -284,6 +339,7 @@ impl Db {
                 columns,
                 if_not_exists,
             } => {
+                check_reserved(&name)?;
                 if if_not_exists && self.engine.has_table(&name) {
                     return Ok(ExecResult::Created(name));
                 }
@@ -411,8 +467,13 @@ impl Db {
         Ok(ExecResult::Rows(rel))
     }
 
-    /// `SHOW TABLES|STREAMS|VIEWS|CHANNELS`.
+    /// `SHOW TABLES|STREAMS|VIEWS|CHANNELS|METRICS|TRACE`.
     fn show(&self, kind: ShowKind) -> Relation {
+        match kind {
+            ShowKind::Metrics => return self.metrics_relation(),
+            ShowKind::Trace => return self.trace_relation(),
+            _ => {}
+        }
         let inner = self.inner.lock();
         let schema = |cols: &[&str]| {
             Arc::new(Schema::new_unchecked(
@@ -486,6 +547,7 @@ impl Db {
                 }
                 rel
             }
+            ShowKind::Metrics | ShowKind::Trace => unreachable!("handled above"),
         }
     }
 
@@ -606,6 +668,10 @@ impl Db {
             CqEntry {
                 cq,
                 sink: Sink::Derived(key.clone()),
+                close_hist: self
+                    .engine
+                    .metrics()
+                    .histogram(&format!("cq.close_us.{key}")),
             },
         );
         self.attach_cq(&mut inner, &upstream, cq_id)?;
@@ -716,6 +782,7 @@ impl Db {
                     let cq_id = d.cq_id;
                     inner.deriveds.remove(&key);
                     inner.cqs.remove(&cq_id);
+                    self.engine.metrics().remove(&format!("cq.close_us.{key}"));
                     // Detach from upstream lists.
                     for s in inner.streams.values_mut() {
                         s.cq_ids.retain(|&id| id != cq_id);
@@ -853,7 +920,8 @@ impl Db {
         if !analyzed.is_continuous {
             // Snapshot query: fresh snapshot, run to completion (§3.1 SQ).
             let source = streamrel_cq::SnapshotSource::pin(self.engine.clone());
-            let rel = execute(&analyzed.plan, &ExecContext::snapshot(&source))?;
+            let ctx = ExecContext::snapshot(&source).with_metrics(&self.metrics.exec);
+            let rel = execute(&analyzed.plan, &ctx)?;
             return Ok(ExecResult::Rows(rel));
         }
         // Continuous query: register a subscription-backed CQ.
@@ -880,6 +948,10 @@ impl Db {
             CqEntry {
                 cq,
                 sink: Sink::Client(sub_id),
+                close_hist: self
+                    .engine
+                    .metrics()
+                    .histogram(&format!("cq.close_us.sub_{}", sub_id.0)),
             },
         );
         self.attach_cq(&mut inner, &upstream, cq_id)?;
@@ -894,10 +966,15 @@ impl Db {
     /// they are explicitly terminated").
     pub fn unsubscribe(&self, sub: SubscriptionId) -> Result<()> {
         let mut inner = self.inner.lock();
-        inner
+        let removed = inner
             .subs
             .remove(&sub)
             .ok_or_else(|| Error::stream(format!("unknown subscription {sub:?}")))?;
+        // Undelivered results leave the queue with the subscription.
+        self.metrics.sub_queue_depth.sub(removed.pending() as i64);
+        self.engine
+            .metrics()
+            .remove(&format!("cq.close_us.sub_{}", sub.0));
         let ids: Vec<u64> = inner
             .cqs
             .iter()
@@ -922,6 +999,7 @@ impl Db {
     // ---- internals ------------------------------------------------------------
 
     fn check_name_free(&self, inner: &Inner, key: &str) -> Result<()> {
+        check_reserved(key)?;
         if inner.streams.contains_key(key)
             || inner.deriveds.contains_key(key)
             || inner.views.contains_key(key)
@@ -954,7 +1032,13 @@ impl Db {
         Err(Error::stream(format!("unknown stream `{upstream}`")))
     }
 
-    fn ingest_locked(&self, inner: &mut Inner, stream: &str, rows: Vec<Row>) -> Result<()> {
+    fn ingest_locked(
+        &self,
+        inner: &mut Inner,
+        stream: &str,
+        rows: Vec<Row>,
+        start: Instant,
+    ) -> Result<()> {
         let key = stream.to_ascii_lowercase();
         let (schema, has_reorder) = {
             let s = inner
@@ -978,7 +1062,9 @@ impl Db {
             for r in coerced {
                 released.extend(rb.push(r)?);
             }
-            inner.stats.late_drops += rb.late_drops() - before;
+            let dropped = rb.late_drops() - before;
+            inner.stats.late_drops += dropped;
+            self.metrics.late_drops.add(dropped);
             released
         } else {
             coerced
@@ -987,6 +1073,7 @@ impl Db {
             return Ok(());
         }
         inner.stats.tuples_in += released.len() as u64;
+        self.metrics.tuples_in.add(released.len() as u64);
 
         // Raw archive channels (one transaction per batch).
         let raw_channels = inner.streams[&key].raw_channels.clone();
@@ -1005,6 +1092,7 @@ impl Db {
             let ch = inner.channels.get_mut(ch_name).unwrap();
             ch.rows_written += n;
             inner.stats.rows_archived += n;
+            self.metrics.rows_archived.add(n);
         }
 
         // Shared groups: fold each tuple once per group.
@@ -1046,12 +1134,20 @@ impl Db {
                 emitted.push((id, outs));
             }
         }
-        self.pump(inner, emitted)
+        self.pump(inner, emitted, start)
     }
 
     /// Propagate CQ outputs through sinks: client queues, channels and
     /// downstream CQs (derived-stream composition, §3.2), breadth-first.
-    fn pump(&self, inner: &mut Inner, emitted: Vec<(u64, Vec<CqOutput>)>) -> Result<()> {
+    /// `start` is the one timestamp taken when the triggering batch or
+    /// heartbeat arrived; each CQ's close-latency histogram observes the
+    /// elapsed time when its result is enqueued.
+    fn pump(
+        &self,
+        inner: &mut Inner,
+        emitted: Vec<(u64, Vec<CqOutput>)>,
+        start: Instant,
+    ) -> Result<()> {
         let mut queue: VecDeque<(u64, CqOutput)> = emitted
             .into_iter()
             .flat_map(|(id, outs)| outs.into_iter().map(move |o| (id, o)))
@@ -1059,11 +1155,20 @@ impl Db {
         let mut published = false;
         while let Some((cq_id, out)) = queue.pop_front() {
             inner.stats.windows_out += 1;
+            self.metrics.windows_out.inc();
+            if let Some(entry) = inner.cqs.get(&cq_id) {
+                entry.close_hist.observe_from(start);
+            }
             let sink_target = match &inner.cqs.get(&cq_id).map(|e| &e.sink) {
                 Some(Sink::Client(s)) => {
                     let s = *s;
                     if let Some(sub) = inner.subs.get_mut(&s) {
-                        inner.stats.sub_drops += sub.offer(out);
+                        let drops = sub.offer(out);
+                        inner.stats.sub_drops += drops;
+                        self.metrics.sub_drops.add(drops);
+                        // Net queue growth: +1 unless a drop made room
+                        // (both overflow policies leave the length as-is).
+                        self.metrics.sub_queue_depth.add(1 - drops as i64);
                         published = true;
                     }
                     continue;
@@ -1101,6 +1206,7 @@ impl Db {
                 let ch = inner.channels.get_mut(&ch_name).unwrap();
                 ch.rows_written += n;
                 inner.stats.rows_archived += n;
+                self.metrics.rows_archived.add(n);
             }
             for ds in downstream {
                 if let Some(entry) = inner.cqs.get_mut(&ds) {
@@ -1230,6 +1336,22 @@ fn find_cq_close_column(plan: &LogicalPlan) -> Option<usize> {
         }
     });
     found
+}
+
+/// User DDL may not claim the engine's `streamrel_` namespace: the virtual
+/// relations (`streamrel_metrics`, `streamrel_trace`) must never be
+/// shadowed by a real table or stream.
+fn check_reserved(name: &str) -> Result<()> {
+    if name
+        .to_ascii_lowercase()
+        .starts_with(streamrel_obs::RESERVED_PREFIX)
+    {
+        return Err(Error::catalog(format!(
+            "name `{name}` uses the reserved `{}` prefix",
+            streamrel_obs::RESERVED_PREFIX
+        )));
+    }
+    Ok(())
 }
 
 fn column_defs_to_schema(columns: &[ColumnDef]) -> Result<Schema> {
@@ -1715,6 +1837,131 @@ mod tests {
             ExecResult::Rows(r) => assert_eq!(r.rows()[0], row![3i64]),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn metrics_relation_is_selectable_and_live() {
+        let db = db();
+        setup_paper_objects(&db);
+        db.ingest("url_stream", click("/a", 1)).unwrap();
+        db.ingest("url_stream", click("/b", 2)).unwrap();
+        db.heartbeat("url_stream", MINUTES).unwrap();
+        // Ordinary SELECT over the virtual relation.
+        let rel = db
+            .execute("SELECT value FROM streamrel_metrics WHERE name = 'db.tuples_in'")
+            .unwrap()
+            .rows();
+        assert_eq!(rel.rows()[0], row![2i64]);
+        // Aggregation works too — it is just a relation.
+        let rel = db
+            .execute("SELECT count(*) FROM streamrel_metrics")
+            .unwrap()
+            .rows();
+        let n = rel.rows()[0][0].as_int().unwrap();
+        assert!(n > 5, "expected several registered instruments, got {n}");
+        // It is live: more traffic moves the counter.
+        db.ingest("url_stream", click("/c", MINUTES + 1)).unwrap();
+        let rel = db
+            .execute("SELECT value FROM streamrel_metrics WHERE name = 'db.tuples_in'")
+            .unwrap()
+            .rows();
+        assert_eq!(rel.rows()[0], row![3i64]);
+        // SHOW METRICS serves the identical relation (same schema + path).
+        let shown = db.execute("SHOW METRICS").unwrap().rows();
+        assert_eq!(**shown.schema(), streamrel_obs::metrics::metrics_schema());
+        assert_eq!(shown.len(), db.metrics_relation().len());
+    }
+
+    #[test]
+    fn per_cq_close_latency_histogram_populates() {
+        let db = db();
+        setup_paper_objects(&db);
+        let sub = db
+            .execute("SELECT count(*) c FROM url_stream <TUMBLING '1 minute'>")
+            .unwrap()
+            .subscription();
+        db.ingest("url_stream", click("/a", 1)).unwrap();
+        db.heartbeat("url_stream", 2 * MINUTES).unwrap();
+        // Both the derived-stream CQ and the subscription CQ closed
+        // windows; each must have a populated latency histogram.
+        let rel = db
+            .execute(
+                "SELECT name, value FROM streamrel_metrics \
+                 WHERE kind = 'histogram' ORDER BY name",
+            )
+            .unwrap()
+            .rows();
+        let find = |n: &str| {
+            rel.rows()
+                .iter()
+                .find(|r| r[0] == Value::text(n))
+                .unwrap_or_else(|| panic!("missing histogram `{n}`"))[1]
+                .as_int()
+                .unwrap()
+        };
+        assert_eq!(find("cq.close_us.urls_now"), 2, "two windows closed");
+        assert_eq!(find(&format!("cq.close_us.sub_{}", sub.0)), 2);
+        db.unsubscribe(sub).unwrap();
+        let rel = db
+            .execute(&format!(
+                "SELECT count(*) FROM streamrel_metrics \
+                 WHERE name = 'cq.close_us.sub_{}'",
+                sub.0
+            ))
+            .unwrap()
+            .rows();
+        assert_eq!(rel.rows()[0], row![0i64], "instrument removed with sub");
+    }
+
+    #[test]
+    fn trace_relation_records_runtime_decisions() {
+        let db = db();
+        setup_paper_objects(&db);
+        db.ingest("url_stream", click("/a", 1)).unwrap();
+        db.heartbeat("url_stream", MINUTES).unwrap();
+        let rel = db
+            .execute("SELECT kind, scope FROM streamrel_trace WHERE kind = 'cq.close'")
+            .unwrap()
+            .rows();
+        assert!(!rel.is_empty(), "window close must be traced");
+        assert_eq!(rel.rows()[0][1], Value::text("urls_now"));
+    }
+
+    #[test]
+    fn reserved_prefix_rejected_for_user_objects() {
+        let db = db();
+        assert!(db
+            .execute("CREATE TABLE streamrel_metrics (a integer)")
+            .is_err());
+        assert!(db
+            .execute("CREATE STREAM streamrel_s (v integer, ts timestamp CQTIME USER)")
+            .is_err());
+        assert!(db.execute("CREATE VIEW streamrel_v AS SELECT 1").is_err());
+        assert!(db
+            .execute("CREATE TABLE streamrel_anything AS SELECT 1 a")
+            .is_err());
+    }
+
+    #[test]
+    fn queue_depth_gauge_agrees_with_db_stats() {
+        let db = db();
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+            .unwrap();
+        let sub = db
+            .execute("SELECT count(*) c FROM s <TUMBLING '1 minute'>")
+            .unwrap()
+            .subscription();
+        let gauge = db.engine().metrics().gauge("db.sub_queue_depth");
+        db.ingest("s", row![1i64, Value::Timestamp(1)]).unwrap();
+        db.heartbeat("s", 3 * MINUTES).unwrap();
+        assert_eq!(db.stats().sub_queued, 3);
+        assert_eq!(gauge.get(), 3);
+        db.poll(sub).unwrap();
+        assert_eq!(db.stats().sub_queued, 0);
+        assert_eq!(gauge.get(), 0);
+        db.heartbeat("s", 4 * MINUTES).unwrap();
+        db.unsubscribe(sub).unwrap();
+        assert_eq!(gauge.get(), 0, "pending results leave with the sub");
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub struct CatalogProvider<'a> {
 
 impl SchemaProvider for CatalogProvider<'_> {
     fn relation(&self, name: &str) -> Option<(SchemaRef, RelKind)> {
+        // Engine-provided virtual relations (`streamrel_metrics`,
+        // `streamrel_trace`) resolve as ordinary tables; the scan layer
+        // serves them from the metrics registry. The `streamrel_` prefix
+        // is reserved, so user objects can never shadow them.
+        if let Some(schema) = streamrel_obs::virtual_schema(name) {
+            return Some((Arc::new(schema), RelKind::Table));
+        }
         let key = name.to_ascii_lowercase();
         if let Some(s) = self.streams.get(&key) {
             return Some((s.schema.clone(), RelKind::Stream { cqtime: s.cqtime }));

@@ -227,4 +227,81 @@ mod tests {
         let g = n.wait_newer(n.generation(), std::time::Duration::from_millis(10));
         assert_eq!(g, 0);
     }
+
+    // ---- conservation: delivered + dropped + pending == offered ----------
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every window offered is accounted for exactly once: delivered,
+        /// dropped, or still queued — under any interleaving of offers and
+        /// drains, any capacity, and both overflow policies.
+        #[test]
+        fn offers_are_conserved(
+            capacity in 1usize..8,
+            drop_newest in any::<bool>(),
+            // true = offer a window, false = drain the queue.
+            ops in prop::collection::vec(any::<bool>(), 0..200),
+        ) {
+            let policy = if drop_newest {
+                OverflowPolicy::DropNewest
+            } else {
+                OverflowPolicy::DropOldest
+            };
+            let mut s = Subscription::bounded(capacity, policy);
+            let mut offered = 0u64;
+            for (i, op) in ops.into_iter().enumerate() {
+                if op {
+                    s.offer(out(i as i64));
+                    offered += 1;
+                } else {
+                    s.drain();
+                }
+                prop_assert_eq!(
+                    s.delivered() + s.dropped() + s.pending() as u64,
+                    offered
+                );
+                prop_assert!(s.pending() <= capacity);
+            }
+        }
+    }
+
+    #[test]
+    fn conservation_under_concurrent_offer_and_poll() {
+        // The Db serializes access behind a mutex; model that contention
+        // directly: one thread offers, one drains, both policies.
+        for policy in [OverflowPolicy::DropOldest, OverflowPolicy::DropNewest] {
+            let sub = Arc::new(Mutex::new(Subscription::bounded(4, policy)));
+            let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            const OFFERS: u64 = 2_000;
+            let offerer = {
+                let (sub, done) = (sub.clone(), done.clone());
+                std::thread::spawn(move || {
+                    for i in 0..OFFERS {
+                        sub.lock().offer(out(i as i64));
+                    }
+                    done.store(true, std::sync::atomic::Ordering::Release);
+                })
+            };
+            let drainer = {
+                let (sub, done) = (sub.clone(), done.clone());
+                std::thread::spawn(move || loop {
+                    let finished = done.load(std::sync::atomic::Ordering::Acquire);
+                    sub.lock().drain();
+                    if finished {
+                        break;
+                    }
+                    std::thread::yield_now();
+                })
+            };
+            offerer.join().unwrap();
+            drainer.join().unwrap();
+            let s = sub.lock();
+            assert_eq!(
+                s.delivered() + s.dropped() + s.pending() as u64,
+                OFFERS,
+                "conservation violated under {policy:?}"
+            );
+        }
+    }
 }

@@ -53,6 +53,15 @@ impl SnapshotSource {
 
 impl RelationSource for SnapshotSource {
     fn scan_table(&self, table: &str) -> Result<Relation> {
+        // Virtual relations (`streamrel_metrics`, `streamrel_trace`) are
+        // served straight from the engine's registry: every SELECT path —
+        // embedded snapshot queries, per-window CQ plans, CREATE TABLE AS
+        // — flows through this source, so observability is queryable
+        // everywhere ordinary tables are ("everything is a table").
+        // Metrics are live counters, deliberately outside MVCC.
+        if let Some(rel) = streamrel_obs::virtual_relation(table, self.engine.metrics()) {
+            return Ok(rel);
+        }
         let meta = self.engine.table(table)?;
         let rows = self
             .engine

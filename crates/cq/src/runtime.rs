@@ -95,15 +95,16 @@ impl ContinuousQuery {
                 stream,
                 window,
                 cqtime,
+                derived,
                 ..
             } = p
             {
-                scan = Some((stream.clone(), *window, *cqtime));
+                scan = Some((stream.clone(), *window, *cqtime, *derived));
             }
         });
-        let (stream, window, cqtime) =
+        let (stream, window, cqtime, derived) =
             scan.ok_or_else(|| Error::stream("continuous plan has no stream scan"))?;
-        let buffer = WindowBuffer::new(window, cqtime)?;
+        let buffer = WindowBuffer::new(window, cqtime, derived)?;
         let start_snapshot = match consistency {
             ConsistencyMode::QueryStart => Some(engine.snapshot()),
             ConsistencyMode::WindowBoundary => None,
@@ -179,6 +180,12 @@ impl ContinuousQuery {
             next_close: None,
             max_ts: i64::MIN,
         };
+        self.engine.metrics().trace().record(
+            "cq.share",
+            &self.name,
+            format!("visible={visible} advance={advance}"),
+            0,
+        );
         true
     }
 
@@ -253,18 +260,43 @@ impl ContinuousQuery {
 
     /// Resume after recovery: windows closing at or before `watermark`
     /// were already emitted (their results live in the Active Table).
+    /// The next close is re-aligned to the advance grid in both modes —
+    /// resuming at `watermark + advance` from an unaligned watermark
+    /// would drift every subsequent close off the alignment invariant
+    /// (breaking slice sharing and `cq_close` equality joins).
     pub fn resume_after(&mut self, watermark: Timestamp) {
-        match &mut self.mode {
-            ExecMode::Unshared { buffer } => buffer.resume_after(watermark),
+        let next = match &mut self.mode {
+            ExecMode::Unshared { buffer } => {
+                buffer.resume_after(watermark);
+                None
+            }
             ExecMode::Shared {
                 next_close,
                 advance,
                 max_ts,
                 ..
             } => {
-                *next_close = Some(watermark + *advance);
+                *next_close = Some(crate::window::align_next_close(watermark, *advance));
                 *max_ts = (*max_ts).max(watermark);
+                *next_close
             }
+        };
+        self.engine.metrics().trace().record(
+            "cq.resume",
+            &self.name,
+            match next.or_else(|| self.next_close_hint()) {
+                Some(c) => format!("watermark={watermark} next_close={c}"),
+                None => format!("watermark={watermark}"),
+            },
+            watermark,
+        );
+    }
+
+    /// The next close boundary, if already fixed (trace/debug only).
+    fn next_close_hint(&self) -> Option<Timestamp> {
+        match &self.mode {
+            ExecMode::Unshared { buffer } => buffer.next_close(),
+            ExecMode::Shared { next_close, .. } => *next_close,
         }
     }
 
@@ -361,6 +393,13 @@ impl ContinuousQuery {
         let relation = execute(plan, &ctx)?;
         self.stats.windows_out += 1;
         self.stats.rows_out += relation.len() as u64;
+        // One trace event per close decision — never per tuple.
+        self.engine.metrics().trace().record(
+            "cq.close",
+            &self.name,
+            format!("in_rows={} out_rows={}", window_rel.len(), relation.len()),
+            close,
+        );
         Ok(CqOutput { close, relation })
     }
 }
@@ -627,6 +666,63 @@ mod tests {
         let outs = cq.on_heartbeat(6 * MINUTES).unwrap();
         assert_eq!(outs.len(), 1);
         assert_eq!(outs[0].close, 6 * MINUTES);
+    }
+
+    #[test]
+    fn resume_after_unaligned_watermark_realigns_both_modes() {
+        // Regression: shared-mode resume used to set next_close to
+        // watermark + advance, drifting every later close off the advance
+        // grid when the recovered watermark was unaligned (mid-window
+        // crash). Both modes must round UP to the next multiple.
+        let (p, e) = setup();
+        let sql = "SELECT url, count(*) c FROM url_stream \
+                   <TUMBLING '1 minute'> GROUP BY url";
+        let unaligned = 5 * MINUTES + 17; // not a multiple of 1 minute
+
+        let mut unshared = make_cq(&p, e.clone(), sql, ConsistencyMode::WindowBoundary);
+        unshared.resume_after(unaligned);
+        let outs = unshared.on_heartbeat(7 * MINUTES).unwrap();
+        let closes: Vec<Timestamp> = outs.iter().map(|o| o.close).collect();
+        assert_eq!(closes, vec![6 * MINUTES, 7 * MINUTES]);
+
+        let mut shared = make_cq(&p, e, sql, ConsistencyMode::WindowBoundary);
+        let mut registry = SharedRegistry::new();
+        assert!(shared.try_share(&mut registry));
+        shared.resume_after(unaligned);
+        let group = shared.shared_group().unwrap();
+        let mut outs = Vec::new();
+        for i in 0..3 {
+            let t = tup("/a", 5 * MINUTES + 30_000_000 + i * MINUTES);
+            group.lock().on_tuple(&t).unwrap();
+            outs.extend(shared.on_tuple(t).unwrap());
+        }
+        let closes: Vec<Timestamp> = outs.iter().map(|o| o.close).collect();
+        assert_eq!(
+            closes,
+            vec![6 * MINUTES, 7 * MINUTES],
+            "shared-mode closes must stay on the advance grid after resume"
+        );
+    }
+
+    #[test]
+    fn runtime_decisions_are_traced() {
+        let (p, e) = setup();
+        let mut cq = make_cq(
+            &p,
+            e.clone(),
+            "SELECT count(*) c FROM url_stream <TUMBLING '1 minute'>",
+            ConsistencyMode::WindowBoundary,
+        );
+        cq.resume_after(MINUTES);
+        cq.on_tuple(tup("/a", MINUTES + 5)).unwrap();
+        cq.on_heartbeat(2 * MINUTES).unwrap();
+        let events = e.metrics().trace().dump();
+        let kinds: Vec<&str> = events.iter().map(|ev| ev.kind.as_str()).collect();
+        assert!(kinds.contains(&"cq.resume"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"cq.close"), "kinds: {kinds:?}");
+        let close = events.iter().find(|ev| ev.kind == "cq.close").unwrap();
+        assert_eq!(close.scope, "test_cq");
+        assert_eq!(close.ts, 2 * MINUTES);
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub fn extract_shape(plan: &LogicalPlan) -> Option<(SharedShape, LogicalPlan)> {
                     schema: in_schema,
                     window,
                     cqtime,
+                    ..
                 } = scan
                 else {
                     return None;
@@ -115,6 +116,7 @@ pub fn extract_shape(plan: &LogicalPlan) -> Option<(SharedShape, LogicalPlan)> {
                     schema: schema.clone(),
                     window: *window,
                     cqtime: None,
+                    derived: false,
                 })
             }
             LogicalPlan::Filter { input, predicate } => Some(LogicalPlan::Filter {

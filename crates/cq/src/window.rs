@@ -37,8 +37,13 @@ pub enum WindowBuffer {
 
 impl WindowBuffer {
     /// Build a buffer for a window spec. `cqtime` is the position of the
-    /// stream's time column (required for time windows).
-    pub fn new(spec: WindowSpec, cqtime: Option<usize>) -> Result<WindowBuffer> {
+    /// stream's time column (required for time windows). `derived` says
+    /// the scanned relation is a derived stream, whose batches are
+    /// stamped exactly at window closes: time windows then use the
+    /// inclusive `(lo, close]` interval convention. Inclusivity is fixed
+    /// at construction (the source kind is known at plan time) — it never
+    /// changes per push, no matter how tuples and batches interleave.
+    pub fn new(spec: WindowSpec, cqtime: Option<usize>, derived: bool) -> Result<WindowBuffer> {
         match spec {
             WindowSpec::Time { visible, advance } => {
                 let cqtime =
@@ -50,7 +55,7 @@ impl WindowBuffer {
                     buf: VecDeque::new(),
                     next_close: None,
                     max_ts: i64::MIN,
-                    inclusive: false,
+                    inclusive: derived,
                 }))
             }
             WindowSpec::Rows { visible, advance } => Ok(WindowBuffer::Rows(RowWindow {
@@ -59,7 +64,8 @@ impl WindowBuffer {
                 cqtime,
                 buf: VecDeque::new(),
                 since_emit: 0,
-                max_ts: 0,
+                max_ts: i64::MIN,
+                total: 0,
             })),
             WindowSpec::Slices { count } => Ok(WindowBuffer::Slices(SliceWindow {
                 count: count as usize,
@@ -96,13 +102,11 @@ impl WindowBuffer {
         match self {
             WindowBuffer::Slices(w) => w.push_batch(close, rows),
             // A time/row window over a derived stream treats each batch's
-            // rows as ordinary tuples.
+            // rows as ordinary tuples. The interval convention (inclusive
+            // for derived sources, whose batches are stamped exactly at
+            // window closes) was fixed at construction — see
+            // [`WindowBuffer::new`].
             WindowBuffer::Time(w) => {
-                // Batches are stamped exactly at window closes, so the
-                // downstream window interval flips to (lo, close] — an
-                // exclusive upper bound would systematically exclude the
-                // newest batch.
-                w.inclusive = true;
                 let mut out = Vec::new();
                 for row in rows {
                     if let Ok(mut closes) = w.push(row) {
@@ -132,13 +136,43 @@ impl WindowBuffer {
     }
 
     /// Skip directly to a resume point: windows up to and including
-    /// `watermark` are considered already emitted (recovery, §4).
+    /// `watermark` are considered already emitted (recovery, §4). The next
+    /// close is re-aligned to the advance grid — the watermark itself may
+    /// be unaligned (e.g. a row-window CQ's tuple-time watermark shared
+    /// the same Active Table), and an unaligned resume would drift every
+    /// subsequent close off the alignment invariant this module documents.
     pub fn resume_after(&mut self, watermark: Timestamp) {
         if let WindowBuffer::Time(w) = self {
-            w.next_close = Some(watermark + w.advance);
+            w.next_close = Some(align_next_close(watermark, w.advance));
             w.max_ts = w.max_ts.max(watermark);
         }
     }
+
+    /// The next close boundary, if already fixed (time windows only;
+    /// trace/debug use).
+    pub fn next_close(&self) -> Option<Timestamp> {
+        match self {
+            WindowBuffer::Time(w) => w.next_close,
+            WindowBuffer::Rows(_) | WindowBuffer::Slices(_) => None,
+        }
+    }
+
+    /// The event-time watermark: the largest CQTIME observed, or `None`
+    /// if no timestamp has been seen yet (stats and recovery must not
+    /// mistake the sentinel for a real time).
+    pub fn watermark(&self) -> Option<Timestamp> {
+        match self {
+            WindowBuffer::Time(w) => (w.max_ts != i64::MIN).then_some(w.max_ts),
+            WindowBuffer::Rows(w) => (w.max_ts != i64::MIN).then_some(w.max_ts),
+            WindowBuffer::Slices(w) => w.batches.back().map(|(close, _)| *close),
+        }
+    }
+}
+
+/// Smallest multiple of `advance` strictly greater than `watermark`: the
+/// first close boundary not yet emitted when resuming after `watermark`.
+pub(crate) fn align_next_close(watermark: Timestamp, advance: i64) -> Timestamp {
+    (watermark.div_euclid(advance) + 1) * advance
 }
 
 /// Time-based sliding window state.
@@ -257,7 +291,12 @@ pub struct RowWindow {
     cqtime: Option<usize>,
     buf: VecDeque<Row>,
     since_emit: usize,
+    /// Largest CQTIME seen; `i64::MIN` (same sentinel as [`TimeWindow`])
+    /// until one arrives, so pre-epoch (negative) timestamps are reported
+    /// faithfully rather than masked by a zero default.
     max_ts: Timestamp,
+    /// Rows ever pushed (the close value when no CQTIME is available).
+    total: u64,
 }
 
 impl RowWindow {
@@ -274,12 +313,18 @@ impl RowWindow {
             self.buf.pop_front();
         }
         self.since_emit += 1;
+        self.total += 1;
         if self.since_emit >= self.advance {
             self.since_emit = 0;
             vec![ClosedWindow {
                 // Row windows close on arrival; cq_close is the newest
-                // tuple's time (or the running count when no CQTIME).
-                close: self.max_ts,
+                // tuple's time, or the running row count when no CQTIME
+                // value has been observed.
+                close: if self.max_ts == i64::MIN {
+                    self.total as i64
+                } else {
+                    self.max_ts
+                },
                 rows: self.buf.iter().cloned().collect(),
             }]
         } else {
@@ -328,7 +373,11 @@ mod tests {
     }
 
     fn time_buf(visible: i64, advance: i64) -> WindowBuffer {
-        WindowBuffer::new(WindowSpec::Time { visible, advance }, Some(0)).unwrap()
+        WindowBuffer::new(WindowSpec::Time { visible, advance }, Some(0), false).unwrap()
+    }
+
+    fn derived_time_buf(visible: i64, advance: i64) -> WindowBuffer {
+        WindowBuffer::new(WindowSpec::Time { visible, advance }, Some(0), true).unwrap()
     }
 
     #[test]
@@ -429,6 +478,7 @@ mod tests {
                 advance: 2,
             },
             Some(0),
+            false,
         )
         .unwrap();
         let mut closes = Vec::new();
@@ -446,7 +496,7 @@ mod tests {
 
     #[test]
     fn slices_window_concatenates_batches() {
-        let mut w = WindowBuffer::new(WindowSpec::Slices { count: 2 }, None).unwrap();
+        let mut w = WindowBuffer::new(WindowSpec::Slices { count: 2 }, None, true).unwrap();
         assert!(w.push_batch(100, vec![row![1i64]]).is_empty());
         let closes = w.push_batch(200, vec![row![2i64], row![3i64]]);
         assert_eq!(closes.len(), 1);
@@ -460,7 +510,7 @@ mod tests {
 
     #[test]
     fn slices_one_window_passes_batches_through() {
-        let mut w = WindowBuffer::new(WindowSpec::Slices { count: 1 }, None).unwrap();
+        let mut w = WindowBuffer::new(WindowSpec::Slices { count: 1 }, None, true).unwrap();
         let closes = w.push_batch(100, vec![row![1i64]]);
         assert_eq!(closes.len(), 1);
         assert_eq!(closes[0].rows, vec![row![1i64]]);
@@ -468,7 +518,7 @@ mod tests {
 
     #[test]
     fn tuples_to_slices_buffer_rejected() {
-        let mut w = WindowBuffer::new(WindowSpec::Slices { count: 1 }, None).unwrap();
+        let mut w = WindowBuffer::new(WindowSpec::Slices { count: 1 }, None, true).unwrap();
         assert!(w.push(row![1i64]).is_err());
     }
 
@@ -482,6 +532,108 @@ mod tests {
         let closes = w.advance_to(6 * MINUTES);
         assert_eq!(closes.len(), 1);
         assert_eq!(closes[0].close, 6 * MINUTES);
+    }
+
+    #[test]
+    fn push_batch_does_not_flip_tuple_window_inclusive() {
+        // Regression: push_batch used to set `inclusive = true` forever on
+        // a tuple-stream window. A boundary-stamped tuple arriving *after*
+        // a batch must still fall in the NEXT window (exclusive interval).
+        let mut w = time_buf(MINUTES, MINUTES);
+        w.push(tup(10)).unwrap();
+        // Interleave a batch: its rows are ordinary tuples here.
+        w.push_batch(30, vec![tup(20), tup(30)]);
+        // Tuple exactly at the boundary: fires the window, excluded from it.
+        let closes = w.push(tup(MINUTES)).unwrap();
+        assert_eq!(closes.len(), 1);
+        assert_eq!(
+            closes[0].rows.len(),
+            3,
+            "boundary tuple must not join the closing window"
+        );
+        let closes = w.advance_to(2 * MINUTES);
+        assert_eq!(
+            closes[0].rows.len(),
+            1,
+            "boundary tuple belongs to the next window"
+        );
+    }
+
+    #[test]
+    fn derived_window_is_inclusive_from_construction() {
+        // A derived-stream window is inclusive before any push_batch call:
+        // a batch stamped exactly at a close belongs to the closing window.
+        let mut w = derived_time_buf(MINUTES, MINUTES);
+        let closes = w.push_batch(MINUTES, vec![tup(MINUTES)]);
+        assert_eq!(closes.len(), 1);
+        assert_eq!(closes[0].close, MINUTES);
+        assert_eq!(
+            closes[0].rows.len(),
+            1,
+            "boundary-stamped batch row must be inside the closing window"
+        );
+    }
+
+    #[test]
+    fn resume_after_unaligned_watermark_realigns() {
+        // Regression: resume from a watermark that is not a multiple of
+        // ADVANCE (e.g. mid-window crash). The next close must round UP to
+        // the advance grid, not sit at watermark + advance.
+        let mut w = time_buf(MINUTES, MINUTES);
+        w.resume_after(5 * MINUTES + 30_000_000); // 5.5 min
+        w.push(tup(5 * MINUTES + 40_000_000)).unwrap();
+        let closes = w.advance_to(7 * MINUTES);
+        assert_eq!(closes.len(), 2);
+        assert_eq!(closes[0].close, 6 * MINUTES, "re-aligned to advance grid");
+        assert_eq!(closes[1].close, 7 * MINUTES);
+    }
+
+    #[test]
+    fn row_window_negative_timestamps_not_masked() {
+        // Regression: max_ts used to start at 0, so pre-epoch streams
+        // reported close = 0 instead of the newest (negative) tuple time.
+        let mut w = WindowBuffer::new(
+            WindowSpec::Rows {
+                visible: 2,
+                advance: 2,
+            },
+            Some(0),
+            false,
+        )
+        .unwrap();
+        let mut closes = Vec::new();
+        closes.extend(w.push(tup(-500)).unwrap());
+        closes.extend(w.push(tup(-400)).unwrap());
+        assert_eq!(closes.len(), 1);
+        assert_eq!(closes[0].close, -400, "close is the newest tuple time");
+    }
+
+    #[test]
+    fn row_window_without_cqtime_uses_running_count() {
+        let mut w = WindowBuffer::new(
+            WindowSpec::Rows {
+                visible: 2,
+                advance: 2,
+            },
+            None,
+            false,
+        )
+        .unwrap();
+        let mut closes = Vec::new();
+        for i in 0..6 {
+            closes.extend(w.push(row![i as i64]).unwrap());
+        }
+        let seen: Vec<Timestamp> = closes.iter().map(|c| c.close).collect();
+        assert_eq!(seen, vec![2, 4, 6], "running row count stands in for time");
+    }
+
+    #[test]
+    fn watermark_none_until_first_timestamp() {
+        let w = time_buf(MINUTES, MINUTES);
+        assert_eq!(w.watermark(), None, "sentinel must not leak as a time");
+        let mut w = time_buf(MINUTES, MINUTES);
+        w.push(tup(-42)).unwrap();
+        assert_eq!(w.watermark(), Some(-42), "negative watermark is real");
     }
 
     #[test]

@@ -24,6 +24,7 @@ proptest! {
         let mut w = WindowBuffer::new(
             WindowSpec::Time { visible, advance },
             Some(0),
+            false,
         ).unwrap();
         let mut appearances = std::collections::HashMap::new();
         let mut closes = Vec::new();
@@ -60,7 +61,7 @@ proptest! {
     ) {
         offsets.sort_unstable();
         offsets.dedup();
-        let mut w = WindowBuffer::new(WindowSpec::tumbling(advance), Some(0)).unwrap();
+        let mut w = WindowBuffer::new(WindowSpec::tumbling(advance), Some(0), false).unwrap();
         let mut closes = Vec::new();
         for off in &offsets {
             closes.extend(w.push(tup(*off)).unwrap());
@@ -86,6 +87,7 @@ proptest! {
         let mut w = WindowBuffer::new(
             WindowSpec::Rows { visible, advance },
             Some(0),
+            false,
         ).unwrap();
         let mut emitted = 0usize;
         for i in 0..n {

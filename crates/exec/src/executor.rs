@@ -9,6 +9,7 @@
 //!   per-window results form the output stream (RSTREAM, Figure 1).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use streamrel_types::{Error, Relation, Result, Row, Timestamp, Value};
 
@@ -19,6 +20,25 @@ use crate::expr::{eval, eval_predicate, EvalContext};
 use crate::join;
 use crate::source::RelationSource;
 
+/// Cached executor instruments. Registered once per engine (the registry
+/// lookup happens at registration, not per plan execution).
+pub struct ExecMetrics {
+    /// Plans run to completion (snapshot queries + per-window CQ steps).
+    pub plans_run: Arc<streamrel_obs::Counter>,
+    /// Result rows produced by completed plans.
+    pub rows_out: Arc<streamrel_obs::Counter>,
+}
+
+impl ExecMetrics {
+    /// Register (or re-attach to) the executor instruments in `registry`.
+    pub fn register(registry: &streamrel_obs::Registry) -> ExecMetrics {
+        ExecMetrics {
+            plans_run: registry.counter("exec.plans_run"),
+            rows_out: registry.counter("exec.rows_out"),
+        }
+    }
+}
+
 /// Everything `execute` needs besides the plan.
 pub struct ExecContext<'a> {
     /// Table provider (MVCC scans live behind this).
@@ -28,6 +48,8 @@ pub struct ExecContext<'a> {
     pub stream_input: Option<(&'a str, &'a Relation)>,
     /// Window close timestamp for `cq_close(*)`.
     pub cq_close: Option<Timestamp>,
+    /// Optional executor instruments, bumped once per completed plan.
+    pub metrics: Option<&'a ExecMetrics>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -37,6 +59,7 @@ impl<'a> ExecContext<'a> {
             source,
             stream_input: None,
             cq_close: None,
+            metrics: None,
         }
     }
 
@@ -51,7 +74,14 @@ impl<'a> ExecContext<'a> {
             source,
             stream_input: Some((stream, rows)),
             cq_close: Some(close),
+            metrics: None,
         }
+    }
+
+    /// Attach executor instruments (builder style).
+    pub fn with_metrics(mut self, metrics: &'a ExecMetrics) -> ExecContext<'a> {
+        self.metrics = Some(metrics);
+        self
     }
 
     fn eval_ctx(&self) -> EvalContext {
@@ -63,6 +93,17 @@ impl<'a> ExecContext<'a> {
 
 /// Execute a plan to a materialized relation.
 pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Relation> {
+    let rel = execute_node(plan, ctx)?;
+    if let Some(m) = ctx.metrics {
+        m.plans_run.inc();
+        m.rows_out.add(rel.len() as u64);
+    }
+    Ok(rel)
+}
+
+/// Recursive worker: executes one plan node (metrics are observed only at
+/// the top level, by [`execute`]).
+fn execute_node(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Relation> {
     let ectx = ctx.eval_ctx();
     match plan {
         LogicalPlan::OneRow => {
@@ -82,7 +123,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Relation> {
             ))),
         },
         LogicalPlan::Filter { input, predicate } => {
-            let rel = execute(input, ctx)?;
+            let rel = execute_node(input, ctx)?;
             let mut out = Relation::empty(rel.schema().clone());
             for row in rel.rows() {
                 if eval_predicate(predicate, row, &ectx)? {
@@ -96,7 +137,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Relation> {
             exprs,
             schema,
         } => {
-            let rel = execute(input, ctx)?;
+            let rel = execute_node(input, ctx)?;
             let mut out = Relation::empty(schema.clone());
             for row in rel.rows() {
                 let mut new_row = Vec::with_capacity(exprs.len());
@@ -113,7 +154,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Relation> {
             aggs,
             schema,
         } => {
-            let rel = execute(input, ctx)?;
+            let rel = execute_node(input, ctx)?;
             aggregate(&rel, group_exprs, aggs, schema.clone(), &ectx)
         }
         LogicalPlan::Join {
@@ -123,7 +164,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Relation> {
             on,
             schema,
         } => {
-            let l = execute(left, ctx)?;
+            let l = execute_node(left, ctx)?;
             // No left rows → no output rows for INNER/LEFT/CROSS; skip
             // materializing the right side entirely. This matters for CQs:
             // empty windows would otherwise re-scan joined tables (e.g.
@@ -137,23 +178,23 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Relation> {
             if let Some(rel) = try_index_join(&l, right, *kind, on.as_ref(), schema, ctx)? {
                 return Ok(rel);
             }
-            let r = execute(right, ctx)?;
+            let r = execute_node(right, ctx)?;
             join::join(&l, &r, *kind, on.as_ref(), schema.clone(), &ectx)
         }
         LogicalPlan::Sort { input, keys } => {
-            let mut rel = execute(input, ctx)?;
+            let mut rel = execute_node(input, ctx)?;
             sort_relation(&mut rel, keys, &ectx)?;
             Ok(rel)
         }
         LogicalPlan::Limit { input, n } => {
-            let rel = execute(input, ctx)?;
+            let rel = execute_node(input, ctx)?;
             let schema = rel.schema().clone();
             let mut rows = rel.into_rows();
             rows.truncate(*n as usize);
             Ok(Relation::new(schema, rows))
         }
         LogicalPlan::Distinct { input } => {
-            let rel = execute(input, ctx)?;
+            let rel = execute_node(input, ctx)?;
             let schema = rel.schema().clone();
             let mut seen: std::collections::HashSet<Row> = std::collections::HashSet::new();
             let mut out = Relation::empty(schema);

@@ -14,6 +14,6 @@ pub mod join;
 pub mod source;
 
 pub use agg::Accumulator;
-pub use executor::{execute, ExecContext};
+pub use executor::{execute, ExecContext, ExecMetrics};
 pub use expr::{eval, eval_predicate, EvalContext};
 pub use source::RelationSource;

@@ -69,6 +69,7 @@ enum Reply {
     Rows(Relation),
     Subscribed(u64, Receiver<CqOutput>),
     Heartbeat,
+    Stats(Relation),
     Goodbye,
     Err(String),
 }
@@ -145,6 +146,16 @@ impl Client {
         }
     }
 
+    /// Fetch the server's `streamrel_metrics` virtual relation. The
+    /// schema is byte-identical to `SELECT * FROM streamrel_metrics`
+    /// executed embedded: the server serializes the very same relation.
+    pub fn stats(&self) -> NetResult<Relation> {
+        match self.request(Frame::bare(FrameType::Stats))? {
+            Reply::Stats(rel) => Ok(rel),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Advance a stream's event time (punctuation), closing due windows.
     pub fn heartbeat(&self, stream: &str, ts: Timestamp) -> NetResult<()> {
         match self.request(Frame::new(
@@ -199,6 +210,7 @@ fn unexpected(reply: &Reply) -> NetError {
         Reply::Rows(_) => "Rows",
         Reply::Subscribed(..) => "Subscribed",
         Reply::Heartbeat => "Heartbeat",
+        Reply::Stats(_) => "StatsResult",
         Reply::Goodbye => "Goodbye",
         Reply::Err(_) => "Error",
     };
@@ -241,6 +253,10 @@ fn reader_loop(mut socket: TcpStream, resp: Sender<Reply>) {
                 Err(_) => return,
             },
             FrameType::Heartbeat => resp.send(Reply::Heartbeat).is_ok(),
+            FrameType::StatsResult => match wire::decode_rows(&frame.payload) {
+                Ok(rel) => resp.send(Reply::Stats(rel)).is_ok(),
+                Err(_) => return,
+            },
             FrameType::Error => match wire::decode_error(&frame.payload) {
                 Ok(msg) => resp.send(Reply::Err(msg)).is_ok(),
                 Err(_) => return,
@@ -249,7 +265,7 @@ fn reader_loop(mut socket: TcpStream, resp: Sender<Reply>) {
                 let _ = resp.send(Reply::Goodbye);
                 return;
             }
-            FrameType::Query | FrameType::Ingest => return, // server must not send these
+            FrameType::Query | FrameType::Ingest | FrameType::Stats => return, // server must not send these
         };
         if !forwarded {
             // The Client was dropped; nobody is listening any more.

@@ -42,6 +42,11 @@ pub enum FrameType {
     Error = 7,
     /// Either direction: orderly end of the connection.
     Goodbye = 8,
+    /// Client → server: request a snapshot of the engine's metrics.
+    Stats = 9,
+    /// Server → client: the `streamrel_metrics` relation (same payload
+    /// encoding as `Rows`, so the schema is byte-identical to a SELECT).
+    StatsResult = 10,
 }
 
 impl FrameType {
@@ -56,6 +61,8 @@ impl FrameType {
             6 => FrameType::Heartbeat,
             7 => FrameType::Error,
             8 => FrameType::Goodbye,
+            9 => FrameType::Stats,
+            10 => FrameType::StatsResult,
             _ => return None,
         })
     }

@@ -20,13 +20,14 @@
 use std::collections::HashSet;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use parking_lot::Mutex;
 use streamrel_core::{Db, ExecResult, SubscriptionId};
+use streamrel_obs::Counter;
 
 use crate::frame::{Frame, FrameType};
 use crate::wire;
@@ -166,16 +167,26 @@ fn accept_loop(
     }
 }
 
+/// Monotonic connection ids, used to key per-connection instruments
+/// (`net.conn.<id>.*`) so concurrent connections never share counters.
+static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Everything the request and delivery threads share for one connection.
 struct Conn {
     db: Arc<Db>,
     writer: Mutex<TcpStream>,
     subs: Mutex<HashSet<u64>>,
     gone: AtomicBool,
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    conn_in: Arc<Counter>,
+    conn_out: Arc<Counter>,
 }
 
 impl Conn {
     fn send(&self, frame: &Frame) -> io::Result<()> {
+        self.frames_out.inc();
+        self.conn_out.inc();
         let mut w = self.writer.lock();
         frame.write_to(&mut *w)?;
         w.flush()
@@ -215,11 +226,20 @@ fn handle_conn(db: Arc<Db>, stream: TcpStream, opts: ServerOptions) {
     let Ok(writer) = stream.try_clone() else {
         return;
     };
+    let registry = db.engine().metrics().clone();
+    let conn_id = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
+    let conn_prefix = format!("net.conn.{conn_id}.");
+    let connections = registry.gauge("net.connections");
+    connections.add(1);
     let conn = Arc::new(Conn {
         db: db.clone(),
         writer: Mutex::new(writer),
         subs: Mutex::new(HashSet::new()),
         gone: AtomicBool::new(false),
+        frames_in: registry.counter("net.frames_in"),
+        frames_out: registry.counter("net.frames_out"),
+        conn_in: registry.counter(&format!("{conn_prefix}frames_in")),
+        conn_out: registry.counter(&format!("{conn_prefix}frames_out")),
     });
 
     // Delivery thread: block on the notifier, push results as they land.
@@ -243,6 +263,10 @@ fn handle_conn(db: Arc<Db>, stream: TcpStream, opts: ServerOptions) {
     db.notifier().notify(); // wake the deliverer promptly
     let _ = delivery.join();
     conn.reap();
+    // Per-connection instruments die with the connection; the aggregate
+    // `net.*` counters and the connection gauge live on.
+    connections.add(-1);
+    registry.remove_prefix(&conn_prefix);
     // shutdown() acts on the connection itself, so the peer sees EOF even
     // though the server's registry still holds a cloned handle.
     let _ = stream.shutdown(Shutdown::Both);
@@ -264,10 +288,13 @@ fn request_loop(conn: &Arc<Conn>, mut stream: &TcpStream) {
             }
             Err(_) => return, // abrupt disconnect
         };
+        conn.frames_in.inc();
+        conn.conn_in.inc();
         let keep_going = match frame.ty {
             FrameType::Query => handle_query(conn, &frame.payload),
             FrameType::Ingest => handle_ingest(conn, &frame.payload),
             FrameType::Heartbeat => handle_heartbeat(conn, &frame.payload),
+            FrameType::Stats => handle_stats(conn),
             FrameType::Goodbye => {
                 // Reap before acking so a synchronous `close()` observes
                 // its subscriptions already gone.
@@ -280,7 +307,8 @@ fn request_loop(conn: &Arc<Conn>, mut stream: &TcpStream) {
             FrameType::Rows
             | FrameType::Subscribed
             | FrameType::WindowResult
-            | FrameType::Error => {
+            | FrameType::Error
+            | FrameType::StatsResult => {
                 let _ = conn.send(&Frame::new(
                     FrameType::Error,
                     wire::encode_error(&format!("unexpected frame {:?} from client", frame.ty)),
@@ -353,6 +381,16 @@ fn handle_heartbeat(conn: &Arc<Conn>, payload: &[u8]) -> bool {
         Err(e) => Frame::new(FrameType::Error, wire::encode_error(&e.to_string())),
     };
     conn.send(&reply).is_ok()
+}
+
+/// Serve the current `streamrel_metrics` relation. The payload goes
+/// through the same relation codec as `Rows`, and the relation itself is
+/// the one `SELECT * FROM streamrel_metrics` would return — so embedded
+/// and wire clients see a byte-identical schema.
+fn handle_stats(conn: &Arc<Conn>) -> bool {
+    let rel = conn.db.metrics_relation();
+    conn.send(&Frame::new(FrameType::StatsResult, wire::encode_rows(&rel)))
+        .is_ok()
 }
 
 fn ack(tag: &str, detail: &str, n: i64) -> Frame {

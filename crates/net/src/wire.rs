@@ -14,6 +14,8 @@
 //! | `Heartbeat`    | `str` stream, `i64` event time (µs)                |
 //! | `Error`        | `str` message                                      |
 //! | `Goodbye`      | (empty)                                            |
+//! | `Stats`        | (empty)                                            |
+//! | `StatsResult`  | relation (the `streamrel_metrics` virtual relation)|
 //!
 //! where `relation` = schema, `u32` row count, rows.
 

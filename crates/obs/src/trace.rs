@@ -1,0 +1,178 @@
+//! Ring-buffered structured trace events.
+//!
+//! The CQ runtime records one event per *decision* (window close, shared
+//! advance, recovery resume) — not per tuple — so the ring is a cheap,
+//! bounded flight recorder. Events are dumped on demand via the
+//! `streamrel_trace` virtual relation.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use streamrel_types::relation::schema_ref;
+use streamrel_types::{Column, DataType, Relation, Row, Schema, Timestamp, Value};
+
+/// One recorded engine decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (never reused, survives ring eviction).
+    pub seq: u64,
+    /// Event class, e.g. `cq.close`, `cq.advance`, `cq.resume`.
+    pub kind: String,
+    /// The object the event concerns, e.g. a CQ or stream name.
+    pub scope: String,
+    /// Free-form detail.
+    pub detail: String,
+    /// Stream time the decision was made at (window close, watermark, …).
+    pub ts: Timestamp,
+}
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    next_seq: u64,
+}
+
+/// A fixed-capacity ring of [`TraceEvent`]s; old events are evicted as
+/// new ones arrive.
+pub struct TraceRing {
+    inner: Mutex<Ring>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl TraceRing {
+    /// Default number of retained events.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A ring retaining the last `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            inner: Mutex::new(Ring {
+                events: VecDeque::new(),
+                next_seq: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Record an event; returns its sequence number.
+    pub fn record(
+        &self,
+        kind: impl Into<String>,
+        scope: impl Into<String>,
+        detail: impl Into<String>,
+        ts: Timestamp,
+    ) -> u64 {
+        let mut ring = self.inner.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(TraceEvent {
+            seq,
+            kind: kind.into(),
+            scope: scope.into(),
+            detail: detail.into(),
+            ts,
+        });
+        seq
+    }
+
+    /// Copy out the retained events, oldest first.
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+
+    /// Snapshot as the `streamrel_trace` relation.
+    pub fn to_relation(&self) -> Relation {
+        let rows: Vec<Row> = self
+            .dump()
+            .into_iter()
+            .map(|e| {
+                vec![
+                    Value::Int(e.seq as i64),
+                    Value::text(e.kind),
+                    Value::text(e.scope),
+                    Value::text(e.detail),
+                    Value::Timestamp(e.ts),
+                ]
+            })
+            .collect();
+        Relation::new(schema_ref(trace_schema()), rows)
+    }
+}
+
+/// Schema of the `streamrel_trace` virtual relation.
+pub fn trace_schema() -> Schema {
+    Schema::new(vec![
+        Column::not_null("seq", DataType::Int),
+        Column::not_null("kind", DataType::Text),
+        Column::not_null("scope", DataType::Text),
+        Column::not_null("detail", DataType::Text),
+        Column::not_null("ts", DataType::Timestamp),
+    ])
+    .expect("trace schema is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let ring = TraceRing::new(8);
+        ring.record("cq.close", "top_urls", "close=60000000", 60_000_000);
+        ring.record("cq.close", "top_urls", "close=120000000", 120_000_000);
+        let events = ring.dump();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].ts, 120_000_000);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_seq_survives() {
+        let ring = TraceRing::new(3);
+        for i in 0..10 {
+            ring.record("k", "s", format!("event {i}"), i);
+        }
+        let events = ring.dump();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 7);
+        assert_eq!(events[2].seq, 9);
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn relation_snapshot() {
+        let ring = TraceRing::new(4);
+        ring.record("cq.resume", "urls_now", "watermark=5", 5);
+        let rel = ring.to_relation();
+        assert_eq!(**rel.schema(), trace_schema());
+        assert_eq!(rel.rows()[0][1], Value::text("cq.resume"));
+        assert_eq!(rel.rows()[0][4], Value::Timestamp(5));
+    }
+}

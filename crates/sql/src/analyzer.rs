@@ -293,12 +293,26 @@ impl<'a> Analyzer<'a> {
             }
         }
 
-        // Projection node (including any hidden sort columns).
+        // Projection node (including any hidden sort columns). A plain
+        // column reference keeps its source nullability — `SELECT *` must
+        // reproduce the input schema exactly (the wire/embedded
+        // equivalence of `streamrel_metrics` depends on it). Computed and
+        // post-aggregate outputs stay conservatively nullable.
         let full_schema = Arc::new(Schema::new_unchecked(
             out_exprs
                 .iter()
                 .zip(&out_names)
-                .map(|(e, n)| Column::new(n.clone(), e.ty()))
+                .map(|(e, n)| {
+                    let nullable = match (e, &agg_ctx) {
+                        (BoundExpr::Column { index, .. }, None) => scope.entries[*index].nullable,
+                        _ => true,
+                    };
+                    Column {
+                        name: n.clone(),
+                        ty: e.ty(),
+                        nullable,
+                    }
+                })
                 .collect(),
         ));
         let visible_schema = Arc::new(Schema::new_unchecked(
@@ -400,6 +414,7 @@ impl<'a> Analyzer<'a> {
                                 schema,
                                 window,
                                 cqtime,
+                                derived: false,
                             },
                             scope,
                         ))
@@ -424,6 +439,7 @@ impl<'a> Analyzer<'a> {
                                 schema,
                                 window,
                                 cqtime,
+                                derived: true,
                             },
                             scope,
                         ))

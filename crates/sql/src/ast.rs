@@ -60,7 +60,8 @@ pub enum Statement {
     CreateTableAs { name: String, query: Query },
     /// `EXPLAIN <select>` — render the bound logical plan.
     Explain(Query),
-    /// `SHOW TABLES|STREAMS|VIEWS|CHANNELS` — catalog introspection.
+    /// `SHOW TABLES|STREAMS|VIEWS|CHANNELS|METRICS|TRACE` — catalog and
+    /// engine introspection.
     Show(ShowKind),
     /// `CHECKPOINT` — compact the WAL into a checkpoint file.
     Checkpoint,
@@ -75,6 +76,10 @@ pub enum ShowKind {
     Streams,
     Views,
     Channels,
+    /// The engine metrics registry (`streamrel_metrics`).
+    Metrics,
+    /// The engine trace ring (`streamrel_trace`).
+    Trace,
 }
 
 /// Object kinds for DROP.

@@ -186,8 +186,14 @@ impl Parser {
                 ShowKind::Views
             } else if self.eat_kw("channels") {
                 ShowKind::Channels
+            } else if self.eat_kw("metrics") {
+                ShowKind::Metrics
+            } else if self.eat_kw("trace") {
+                ShowKind::Trace
             } else {
-                return Err(self.err_here("expected TABLES, STREAMS, VIEWS or CHANNELS"));
+                return Err(
+                    self.err_here("expected TABLES, STREAMS, VIEWS, CHANNELS, METRICS or TRACE")
+                );
             };
             Ok(Statement::Show(kind))
         } else if self.eat_kw("checkpoint") {

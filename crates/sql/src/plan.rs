@@ -335,6 +335,11 @@ pub enum LogicalPlan {
         window: WindowSpec,
         /// Position of the CQTIME column, if the stream orders on data time.
         cqtime: Option<usize>,
+        /// True when the scanned relation is a derived stream. Its rows
+        /// arrive as result batches stamped exactly at window closes, so
+        /// time windows over it use the inclusive `(lo, close]` interval
+        /// convention — fixed here at plan time, not discovered at runtime.
+        derived: bool,
     },
     /// Row filter.
     Filter {
@@ -513,6 +518,7 @@ mod tests {
             schema: scan().schema(),
             window: WindowSpec::tumbling(60),
             cqtime: Some(0),
+            derived: false,
         };
         assert!(s.is_continuous());
         assert_eq!(s.stream_scans().len(), 1);

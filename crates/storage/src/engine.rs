@@ -11,8 +11,10 @@ use std::fs::File;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
+use streamrel_obs::{Histogram, Registry};
 use streamrel_types::{Error, Result, Row, Schema};
 
 use crate::catalog::{Catalog, NamedIndex, SchemaRef, TableMeta};
@@ -53,6 +55,11 @@ pub struct StorageEngine {
     catalog: Catalog,
     wal: Option<Mutex<Wal>>,
     stats: Mutex<EngineStats>,
+    /// Engine-wide metrics registry; every layer above shares this handle.
+    metrics: Arc<Registry>,
+    /// Cached instruments so the hot commit path skips the registry map.
+    commit_hist: Arc<Histogram>,
+    wal_sync_hist: Arc<Histogram>,
 }
 
 impl StorageEngine {
@@ -67,12 +74,18 @@ impl StorageEngine {
     pub fn open_with(dir: impl Into<PathBuf>, sync: SyncMode) -> Result<StorageEngine> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        let metrics = Arc::new(Registry::default());
+        let commit_hist = metrics.histogram("storage.commit_us");
+        let wal_sync_hist = metrics.histogram("storage.wal_sync_us");
         let engine = StorageEngine {
             dir: Some(dir.clone()),
             txns: TxnManager::new(),
             catalog: Catalog::new(),
             wal: None,
             stats: Mutex::new(EngineStats::default()),
+            metrics,
+            commit_hist,
+            wal_sync_hist,
         };
         engine.load_checkpoint(&dir.join(CHECKPOINT_FILE))?;
         let replayed = engine.replay_wal(&dir.join(WAL_FILE))?;
@@ -89,12 +102,18 @@ impl StorageEngine {
     /// A purely in-memory engine (no WAL, no checkpoints). Used by
     /// baselines and benchmarks where durability is not under test.
     pub fn in_memory() -> StorageEngine {
+        let metrics = Arc::new(Registry::default());
+        let commit_hist = metrics.histogram("storage.commit_us");
+        let wal_sync_hist = metrics.histogram("storage.wal_sync_us");
         StorageEngine {
             dir: None,
             txns: TxnManager::new(),
             catalog: Catalog::new(),
             wal: None,
             stats: Mutex::new(EngineStats::default()),
+            metrics,
+            commit_hist,
+            wal_sync_hist,
         }
     }
 
@@ -106,6 +125,13 @@ impl StorageEngine {
     /// Engine statistics snapshot.
     pub fn stats(&self) -> EngineStats {
         *self.stats.lock()
+    }
+
+    /// The engine-wide metrics registry. Layers above the storage engine
+    /// register their own instruments here so one `SELECT * FROM
+    /// streamrel_metrics` sees the whole stack.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
     /// The transaction manager (CQ layer pins snapshots through this).
@@ -123,7 +149,9 @@ impl StorageEngine {
 
     fn log_sync(&self) -> Result<()> {
         if let Some(wal) = &self.wal {
+            let start = Instant::now();
             wal.lock().sync_commit()?;
+            self.wal_sync_hist.observe_from(start);
         }
         Ok(())
     }
@@ -139,10 +167,12 @@ impl StorageEngine {
 
     /// Commit: logs the commit record, makes it durable, then flips status.
     pub fn commit(&self, xid: TxnId) -> Result<()> {
+        let start = Instant::now();
         self.log(&WalRecord::Commit { xid })?;
         self.log_sync()?;
         self.txns.commit(xid);
         self.stats.lock().commits += 1;
+        self.commit_hist.observe_from(start);
         Ok(())
     }
 

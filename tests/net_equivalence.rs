@@ -121,6 +121,60 @@ fn remote_subscribers_see_byte_identical_results() {
 }
 
 #[test]
+fn stats_frame_matches_embedded_metrics_schema() {
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    let server = Server::serve(db.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let client = Client::connect(addr).unwrap();
+    client.execute(DDL).unwrap();
+    client.ingest_batch("events", &[row(0, 0)]).unwrap();
+
+    let over_wire = client.stats().unwrap();
+    let embedded = match db.execute("SELECT * FROM streamrel_metrics").unwrap() {
+        ExecResult::Rows(rel) => rel,
+        other => panic!("expected rows, got {other:?}"),
+    };
+
+    // Byte-identical schema: both sides run through the one relation
+    // codec, so encoding schema-only relations must agree exactly.
+    let schema_bytes = |rel: &streamrel::types::Relation| {
+        wire::encode_rows(&streamrel::types::Relation::empty(rel.schema().clone()))
+    };
+    assert_eq!(
+        schema_bytes(&over_wire),
+        schema_bytes(&embedded),
+        "wire Stats schema differs from embedded SELECT"
+    );
+
+    // The wire snapshot is live engine state: the ingest above is
+    // visible, and the serving connection counts itself.
+    let value_of = |rel: &streamrel::types::Relation, name: &str| -> Option<Value> {
+        rel.rows()
+            .iter()
+            .find(|r| r[0] == Value::text(name))
+            .map(|r| r[2].clone())
+    };
+    assert_eq!(value_of(&over_wire, "db.tuples_in"), Some(Value::Int(1)));
+    match value_of(&over_wire, "net.connections") {
+        Some(Value::Int(n)) if n >= 1 => {}
+        other => panic!("net.connections should count this client, got {other:?}"),
+    }
+
+    client.close().unwrap();
+    server.shutdown();
+
+    // Per-connection instruments are reaped with their connections.
+    assert!(
+        !db.metrics_relation()
+            .rows()
+            .iter()
+            .any(|r| matches!(&r[0], Value::Text(t) if t.starts_with("net.conn."))),
+        "per-connection counters must not outlive the connection"
+    );
+}
+
+#[test]
 fn malformed_frame_gets_error_and_server_survives() {
     let db = Arc::new(Db::in_memory(DbOptions::default()));
     let server = Server::serve(db.clone(), "127.0.0.1:0").unwrap();
