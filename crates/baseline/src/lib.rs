@@ -11,6 +11,8 @@
 //!   partitioned parallel batch processing with materialized intermediate
 //!   state, the Hadoop-shaped comparator.
 
+#![deny(unsafe_code)]
+
 pub mod matview;
 pub mod minimr;
 pub mod storefirst;

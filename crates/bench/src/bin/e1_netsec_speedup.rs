@@ -8,6 +8,8 @@
 //! - the resulting speedup (which grows with volume, since the lookup
 //!   cost is (near-)constant while the batch scan is linear).
 
+#![deny(unsafe_code)]
+
 use streamrel_baseline::StoreFirst;
 use streamrel_bench::{fmt_dur, scale, timed, ResultTable};
 use streamrel_core::{Db, DbOptions};

@@ -7,6 +7,8 @@
 //! volumes, under both architectures, plus per-architecture growth
 //! factors.
 
+#![deny(unsafe_code)]
+
 use streamrel_baseline::StoreFirst;
 use streamrel_bench::{fmt_dur, growth_factor, scale, timed, ResultTable};
 use streamrel_core::{Db, DbOptions};

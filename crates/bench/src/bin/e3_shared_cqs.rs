@@ -8,6 +8,8 @@
 //! cost must grow ~linearly with the CQ count; shared cost must stay
 //! near-flat.
 
+#![deny(unsafe_code)]
+
 use streamrel_bench::{fmt_dur, growth_factor, scale, timed, ResultTable};
 use streamrel_core::{Db, DbOptions};
 use streamrel_types::Row;

@@ -8,6 +8,8 @@
 //! (whose "refresh period" is its ADVANCE and whose per-result work is
 //! bounded by the window's own rows).
 
+#![deny(unsafe_code)]
+
 use streamrel_baseline::{BatchMatView, RefreshMode};
 use streamrel_bench::{scale, ResultTable};
 use streamrel_core::{Db, DbOptions};

@@ -9,6 +9,8 @@
 //! and (b) the continuous pipeline. We report total work (rows touched)
 //! and wall time across a day of periodic reporting.
 
+#![deny(unsafe_code)]
+
 use streamrel_baseline::{MiniMr, MrConfig};
 use streamrel_bench::{fmt_dur, scale, timed, ResultTable};
 use streamrel_core::{Db, DbOptions};

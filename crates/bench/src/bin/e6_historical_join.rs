@@ -6,6 +6,8 @@
 //! correct first-week row, and measure the per-window join latency (which
 //! stays flat thanks to window consistency + indexed archive).
 
+#![deny(unsafe_code)]
+
 use streamrel_bench::{fmt_dur, scale, timed, ResultTable};
 use streamrel_core::{Db, DbOptions};
 use streamrel_types::time::{MINUTES, WEEKS};

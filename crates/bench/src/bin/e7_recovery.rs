@@ -9,6 +9,8 @@
 //! - `full replay`: reprocess the entire raw archive from the beginning
 //!   (what a system without Active-Table watermarks must do).
 
+#![deny(unsafe_code)]
+
 use streamrel_bench::{fmt_dur, scale, timed, ResultTable};
 use streamrel_core::{Db, DbOptions};
 use streamrel_cq::recovery::{archive_watermark, full_replay_count, replay_rows_after};

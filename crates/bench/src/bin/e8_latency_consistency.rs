@@ -10,6 +10,8 @@
 //!    one dimension version (never a mix), and the QueryStart ablation
 //!    must show unbounded staleness instead.
 
+#![deny(unsafe_code)]
+
 use streamrel_bench::{scale, ResultTable};
 use streamrel_core::{Db, DbOptions};
 use streamrel_cq::ConsistencyMode;

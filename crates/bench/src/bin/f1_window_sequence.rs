@@ -4,6 +4,8 @@
 //! clause applied to a small clickstream, printing the sequence of
 //! relations the window operator produces and the query result over each.
 
+#![deny(unsafe_code)]
+
 use streamrel_core::{Db, DbOptions};
 use streamrel_types::time::MINUTES;
 use streamrel_types::{format_timestamp, Value};

@@ -10,6 +10,8 @@
 //! instrumentation's share of the ingest path from above; the run fails
 //! if even that inflated bound reaches 5% of ingest time.
 
+#![deny(unsafe_code)]
+
 use std::time::Instant;
 
 use streamrel_bench::{fmt_dur, scale, timed, ResultTable};

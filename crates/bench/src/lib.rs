@@ -5,6 +5,8 @@
 //! claims to experiments is in DESIGN.md §4) and prints a small table of
 //! rows that EXPERIMENTS.md records.
 
+#![deny(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Scale factor from the `SCALE` env var (default 1). Experiment sizes

@@ -1,0 +1,738 @@
+//! Static safety analysis for streamrel.
+//!
+//! Two independent levels share this crate:
+//!
+//! * **Level 1 — plan analysis** ([`check_plan`]): a pass over the bound
+//!   [`LogicalPlan`] that runs at CQ registration, before any runtime
+//!   state is allocated. It classifies every plan as admissible or not:
+//!   unbounded-state operators (stream joins or aggregates with no window
+//!   bound) and windows that can never close are *rejected* with a
+//!   structured [`Error::Check`] carrying a fix hint; shapes that are
+//!   legal but costly (shared-grid mismatches, sorts over raw stream
+//!   tuples) produce *warnings* surfaced through `EXPLAIN CHECK`.
+//!   The same pass computes a conservative per-plan state-size bound.
+//!
+//! * **Level 2 — source lint** ([`lint`]): a self-hosted, dependency-free
+//!   scanner over the workspace's own sources enforcing engine invariants
+//!   (no `unwrap()` in I/O crates, declared lock order, `Relaxed` atomics
+//!   only in `crates/obs`, the reserved `streamrel_` prefix). It runs in
+//!   CI via the `streamrel-lint` binary.
+//!
+//! The paper's thesis is that continuous queries are long-lived shared
+//! infrastructure (§2, §4): a plan admitted today runs for weeks, so a
+//! state bug that a snapshot engine would survive becomes a slow-motion
+//! outage. Admission is therefore the right place to be strict.
+
+#![deny(unsafe_code)]
+
+pub mod lint;
+
+use std::sync::Arc;
+use streamrel_cq::shared::{extract_shape, SharedRegistry};
+use streamrel_sql::plan::LogicalPlan;
+use streamrel_sql::WindowSpec;
+use streamrel_types::relation::Relation;
+use streamrel_types::schema::{Column, Schema};
+use streamrel_types::time::format_interval;
+use streamrel_types::{DataType, Error, Value};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The plan must not be admitted as a continuous query.
+    Reject,
+    /// The plan is admissible but the shape is a known footgun.
+    Warn,
+}
+
+impl Severity {
+    /// Lowercase label used in `EXPLAIN CHECK` output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Reject => "reject",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One rule hit produced by the plan analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Stable rule identifier (see DESIGN.md §8 for the catalog).
+    pub rule: &'static str,
+    /// What is wrong with the plan.
+    pub message: String,
+    /// How to fix the query.
+    pub hint: String,
+}
+
+impl Finding {
+    fn reject(rule: &'static str, message: String, hint: String) -> Finding {
+        Finding {
+            severity: Severity::Reject,
+            rule,
+            message,
+            hint,
+        }
+    }
+
+    fn warn(rule: &'static str, message: String, hint: String) -> Finding {
+        Finding {
+            severity: Severity::Warn,
+            rule,
+            message,
+            hint,
+        }
+    }
+}
+
+/// Context the admission check needs from the engine.
+///
+/// Everything here is optional in the sense that `check_plan` degrades
+/// gracefully: without a registry the shared-grid rule simply cannot
+/// fire (there is nothing to mismatch against).
+#[derive(Default)]
+pub struct CheckContext<'a> {
+    /// Whether shared slice aggregation is enabled engine-wide.
+    pub sharing: bool,
+    /// The live shared-slice registry, for grid-compatibility checks.
+    pub registry: Option<&'a SharedRegistry>,
+}
+
+/// Result of the Level-1 plan analysis.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Whether the plan is a continuous query (any stream scanned).
+    pub continuous: bool,
+    /// All rule hits, rejections first.
+    pub findings: Vec<Finding>,
+    /// Conservative human-readable bound on standing state.
+    pub state_bound: String,
+}
+
+impl CheckReport {
+    /// The first rejection, if any.
+    pub fn rejection(&self) -> Option<&Finding> {
+        self.findings
+            .iter()
+            .find(|f| f.severity == Severity::Reject)
+    }
+
+    /// Number of warnings.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Convert the first rejection into the structured admission error.
+    pub fn to_error(&self) -> Option<Error> {
+        self.rejection()
+            .map(|f| Error::check(f.rule, f.message.clone(), f.hint.clone()))
+    }
+
+    /// Render the report as the `EXPLAIN CHECK` relation.
+    ///
+    /// Columns: `kind` (query/verdict/reject/warn/state-bound), `rule`,
+    /// `detail`, `hint`. Built here — not in the server — so the embedded
+    /// and remote surfaces are one code path.
+    pub fn to_relation(&self) -> Relation {
+        let schema = Arc::new(Schema::new_unchecked(vec![
+            Column::new("kind", DataType::Text),
+            Column::new("rule", DataType::Text),
+            Column::new("detail", DataType::Text),
+            Column::new("hint", DataType::Text),
+        ]));
+        let mut rel = Relation::empty(schema);
+        let class = if self.continuous {
+            "continuous query (CQ)"
+        } else {
+            "snapshot query (SQ)"
+        };
+        rel.push(vec![
+            Value::text("query"),
+            Value::text(""),
+            Value::text(class),
+            Value::text(""),
+        ]);
+        let verdict = if self.rejection().is_some() {
+            "reject: not admissible as a standing query".to_string()
+        } else if self.warnings() > 0 {
+            format!("admit with {} warning(s)", self.warnings())
+        } else {
+            "admit".to_string()
+        };
+        rel.push(vec![
+            Value::text("verdict"),
+            Value::text(""),
+            Value::text(verdict),
+            Value::text(""),
+        ]);
+        for f in &self.findings {
+            rel.push(vec![
+                Value::text(f.severity.label()),
+                Value::text(f.rule),
+                Value::text(&f.message),
+                Value::text(&f.hint),
+            ]);
+        }
+        rel.push(vec![
+            Value::text("state-bound"),
+            Value::text(""),
+            Value::text(&self.state_bound),
+            Value::text(""),
+        ]);
+        rel
+    }
+}
+
+/// Nearest enclosing stateful operator above a scan, tracked while
+/// descending the plan.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Enclosing {
+    None,
+    Join,
+    Aggregate,
+}
+
+/// Run the Level-1 admission analysis over a bound plan.
+///
+/// Pure function of the plan plus [`CheckContext`]; performs no I/O and
+/// allocates only the report (the `check_overhead` bench holds it under
+/// 1 ms per registration).
+pub fn check_plan(plan: &LogicalPlan, ctx: &CheckContext) -> CheckReport {
+    let mut findings = Vec::new();
+    classify(plan, Enclosing::None, &mut findings);
+    window_shape_rules(plan, &mut findings);
+    shared_grid_rule(plan, ctx, &mut findings);
+    non_monotonic_rule(plan, &mut findings);
+    findings.sort_by_key(|f| match f.severity {
+        Severity::Reject => 0,
+        Severity::Warn => 1,
+    });
+    CheckReport {
+        continuous: plan.is_continuous(),
+        state_bound: state_bound(plan),
+        findings,
+    }
+}
+
+const WINDOW_HINT: &str = "add a window clause to the stream reference, e.g. \
+                           `s <visible '5 minutes' advance '1 minute'>` or \
+                           `s <visible 100 rows advance 10 rows>`";
+
+/// Rules `unbounded-join` / `unbounded-aggregate` / `unbounded-stream`:
+/// a stream scanned with no window bound, classified by the nearest
+/// enclosing stateful operator so the hint names the operator whose
+/// state would actually grow without bound.
+fn classify(plan: &LogicalPlan, enclosing: Enclosing, out: &mut Vec<Finding>) {
+    match plan {
+        LogicalPlan::StreamScan { stream, window, .. } => {
+            if *window == WindowSpec::Unbounded {
+                let (rule, message) = match enclosing {
+                    Enclosing::Join => (
+                        "unbounded-join",
+                        format!(
+                            "stream `{stream}` feeds a join with no window \
+                             bound; the join must retain every tuple ever \
+                             seen and its state grows forever"
+                        ),
+                    ),
+                    Enclosing::Aggregate => (
+                        "unbounded-aggregate",
+                        format!(
+                            "aggregate over stream `{stream}` has no window \
+                             bound; its groups accumulate forever and no \
+                             window ever closes to emit them"
+                        ),
+                    ),
+                    Enclosing::None => (
+                        "unbounded-stream",
+                        format!(
+                            "stream `{stream}` is scanned without a window; \
+                             a standing query over it would retain every \
+                             arriving tuple"
+                        ),
+                    ),
+                };
+                out.push(Finding::reject(rule, message, WINDOW_HINT.to_string()));
+            }
+        }
+        LogicalPlan::Join { left, right, .. } => {
+            classify(left, Enclosing::Join, out);
+            classify(right, Enclosing::Join, out);
+        }
+        LogicalPlan::Aggregate { input, .. } => {
+            classify(input, Enclosing::Aggregate, out);
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Distinct { input } => classify(input, enclosing, out),
+        LogicalPlan::OneRow | LogicalPlan::TableScan { .. } => {}
+    }
+}
+
+/// Rules `never-closing-window` / `advance-exceeds-visible` /
+/// `unaligned-window`: per-window shape checks.
+fn window_shape_rules(plan: &LogicalPlan, out: &mut Vec<Finding>) {
+    for (stream, window) in plan.stream_scans() {
+        match window {
+            WindowSpec::Time { visible, advance } => {
+                if visible <= 0 {
+                    out.push(Finding::reject(
+                        "never-closing-window",
+                        format!(
+                            "window over `{stream}` has non-positive \
+                             VISIBLE ({}); it can never contain data",
+                            format_interval(visible)
+                        ),
+                        "use a positive interval, e.g. VISIBLE '1 minute'".to_string(),
+                    ));
+                } else if advance <= 0 {
+                    out.push(Finding::reject(
+                        "never-closing-window",
+                        format!(
+                            "window over `{stream}` has non-positive \
+                             ADVANCE ({}); it would never close and never \
+                             emit a result",
+                            format_interval(advance)
+                        ),
+                        "use a positive ADVANCE; for a tumbling window set \
+                         ADVANCE equal to VISIBLE"
+                            .to_string(),
+                    ));
+                } else if advance > visible {
+                    out.push(Finding::reject(
+                        "advance-exceeds-visible",
+                        format!(
+                            "window over `{stream}` advances by {} but only \
+                             {} is visible: tuples arriving in the gap are \
+                             silently never reported",
+                            format_interval(advance),
+                            format_interval(visible)
+                        ),
+                        format!(
+                            "set ADVANCE <= VISIBLE (tumbling: ADVANCE '{}' \
+                             equal to VISIBLE)",
+                            format_interval(visible)
+                        ),
+                    ));
+                } else if visible % advance != 0 {
+                    out.push(Finding::warn(
+                        "unaligned-window",
+                        format!(
+                            "VISIBLE {} is not a multiple of ADVANCE {}; \
+                             shared slices fall back to their gcd and the \
+                             window closes off the natural grid",
+                            format_interval(visible),
+                            format_interval(advance)
+                        ),
+                        "make VISIBLE a whole multiple of ADVANCE".to_string(),
+                    ));
+                }
+            }
+            WindowSpec::Rows { visible, advance } => {
+                if visible == 0 || advance == 0 {
+                    out.push(Finding::reject(
+                        "never-closing-window",
+                        format!(
+                            "row window over `{stream}` has VISIBLE {visible} \
+                             ROWS ADVANCE {advance} ROWS; a zero bound means \
+                             it never fills or never slides"
+                        ),
+                        "use positive row counts, e.g. <visible 100 rows \
+                         advance 10 rows>"
+                            .to_string(),
+                    ));
+                } else if advance > visible {
+                    out.push(Finding::reject(
+                        "advance-exceeds-visible",
+                        format!(
+                            "row window over `{stream}` advances {advance} \
+                             rows but shows only {visible}: every window \
+                             skips {} arriving rows",
+                            advance - visible
+                        ),
+                        format!("set ADVANCE <= VISIBLE ({visible} rows)"),
+                    ));
+                }
+            }
+            WindowSpec::Slices { count } => {
+                if count == 0 {
+                    out.push(Finding::reject(
+                        "never-closing-window",
+                        format!(
+                            "slice window over `{stream}` spans 0 upstream \
+                             windows; it can never close"
+                        ),
+                        "use <slices 1 windows> or more".to_string(),
+                    ));
+                }
+            }
+            WindowSpec::Unbounded => {} // handled by classify()
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Rule `shared-grid-mismatch` (warn): the plan is shareable and sharing
+/// is on, but an existing shared group for the same shape already runs
+/// on a slice grid this window's gcd cannot join — the CQ would silently
+/// run unshared.
+fn shared_grid_rule(plan: &LogicalPlan, ctx: &CheckContext, out: &mut Vec<Finding>) {
+    if !ctx.sharing {
+        return;
+    }
+    let Some(registry) = ctx.registry else { return };
+    let Some((shape, _)) = extract_shape(plan) else {
+        return;
+    };
+    let windows = plan.stream_scans();
+    let Some((stream, WindowSpec::Time { visible, advance })) = windows.first() else {
+        return;
+    };
+    if *visible <= 0 || *advance <= 0 {
+        return; // already rejected by the shape rules
+    }
+    let needed = gcd(*visible, *advance);
+    if let Some(width) = registry.slice_width_for(&shape) {
+        if needed % width != 0 {
+            out.push(Finding::warn(
+                "shared-grid-mismatch",
+                format!(
+                    "an existing shared group over `{stream}` slices at {} \
+                     but this window's grid is {}; the group cannot \
+                     re-slice with data present, so this CQ runs unshared",
+                    format_interval(width),
+                    format_interval(needed)
+                ),
+                format!(
+                    "align VISIBLE/ADVANCE to multiples of the group's \
+                     slice width ({})",
+                    format_interval(width)
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule `non-monotonic-op` (warn): `ORDER BY` / `DISTINCT` applied to raw
+/// (unaggregated) stream tuples. Append-only streams make these re-buffer
+/// and re-process the full window on every close; over the aggregated
+/// result they are cheap.
+fn non_monotonic_rule(plan: &LogicalPlan, out: &mut Vec<Finding>) {
+    fn raw_stream_below(plan: &LogicalPlan) -> bool {
+        match plan {
+            LogicalPlan::StreamScan { .. } => true,
+            // An aggregate compacts the stream: operators above it work
+            // on the (small) result relation, not raw tuples.
+            LogicalPlan::Aggregate { .. } => false,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input } => raw_stream_below(input),
+            LogicalPlan::Join { left, right, .. } => {
+                raw_stream_below(left) || raw_stream_below(right)
+            }
+            LogicalPlan::OneRow | LogicalPlan::TableScan { .. } => false,
+        }
+    }
+    plan.visit(&mut |p| {
+        let (op, input) = match p {
+            LogicalPlan::Sort { input, .. } => ("ORDER BY", input),
+            LogicalPlan::Distinct { input } => ("DISTINCT", input),
+            _ => return,
+        };
+        if input.is_continuous() && raw_stream_below(input) {
+            out.push(Finding::warn(
+                "non-monotonic-op",
+                format!(
+                    "{op} is applied to raw stream tuples; every window \
+                     close re-buffers and re-orders the full window"
+                ),
+                "aggregate first and apply the operation to the (much \
+                 smaller) per-window result"
+                    .to_string(),
+            ));
+        }
+    });
+}
+
+/// Conservative human-readable bound on the standing state the plan
+/// needs, derived from its window clauses.
+fn state_bound(plan: &LogicalPlan) -> String {
+    let scans = plan.stream_scans();
+    if scans.is_empty() {
+        return "none (snapshot query holds no standing state)".to_string();
+    }
+    let mut parts = Vec::new();
+    for (stream, window) in scans {
+        let part = match window {
+            WindowSpec::Time { visible, advance } => {
+                let slices = if advance > 0 && visible > 0 {
+                    (visible + advance - 1) / advance
+                } else {
+                    0
+                };
+                format!(
+                    "`{stream}`: tuples from the last {} ({} slice(s) of {}); \
+                     row count bounded by arrival rate x {0}",
+                    format_interval(visible),
+                    slices.max(1),
+                    format_interval(gcd(visible.max(1), advance.max(1))),
+                )
+            }
+            WindowSpec::Rows { visible, .. } => {
+                format!("`{stream}`: exactly the last {visible} row(s)")
+            }
+            WindowSpec::Slices { count } => {
+                format!("`{stream}`: the last {count} upstream result batch(es)")
+            }
+            WindowSpec::Unbounded => {
+                format!("`{stream}`: UNBOUNDED — grows with every arrival")
+            }
+        };
+        parts.push(part);
+    }
+    parts.join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamrel_sql::analyzer::SchemaProvider;
+    use streamrel_sql::plan::SchemaRef;
+    use streamrel_sql::{parse_statement, Analyzer, RelKind, Statement};
+    use streamrel_types::schema::{Column, Schema};
+
+    /// Minimal in-memory catalog: one table plus one base stream whose
+    /// CQTIME column sits at position 0.
+    struct TestProvider;
+
+    impl SchemaProvider for TestProvider {
+        fn relation(&self, name: &str) -> Option<(SchemaRef, RelKind)> {
+            let ts = Column::new("ts", DataType::Timestamp);
+            match name {
+                "hits" => Some((
+                    Arc::new(Schema::new_unchecked(vec![
+                        ts,
+                        Column::new("url", DataType::Text),
+                        Column::new("bytes", DataType::Int),
+                    ])),
+                    RelKind::Stream { cqtime: Some(0) },
+                )),
+                "sites" => Some((
+                    Arc::new(Schema::new_unchecked(vec![
+                        Column::new("url", DataType::Text),
+                        Column::new("owner", DataType::Text),
+                    ])),
+                    RelKind::Table,
+                )),
+                _ => None,
+            }
+        }
+    }
+
+    fn check(sql: &str) -> CheckReport {
+        let stmt = parse_statement(sql).expect("parse");
+        let Statement::Select(q) = stmt else {
+            panic!("not a select")
+        };
+        let analyzed = Analyzer::new(&TestProvider).analyze(&q).expect("analyze");
+        check_plan(&analyzed.plan, &CheckContext::default())
+    }
+
+    /// A bare scan with a hand-built window, for shapes the SQL parser
+    /// already refuses to produce (defense-in-depth rules).
+    fn scan_with(window: WindowSpec) -> LogicalPlan {
+        LogicalPlan::StreamScan {
+            stream: "hits".to_string(),
+            schema: Arc::new(Schema::new_unchecked(vec![Column::new(
+                "ts",
+                DataType::Timestamp,
+            )])),
+            window,
+            cqtime: Some(0),
+            derived: false,
+        }
+    }
+
+    fn rejected_rule(sql: &str) -> &'static str {
+        let report = check(sql);
+        report
+            .rejection()
+            .unwrap_or_else(|| panic!("expected rejection for {sql:?}, got {:?}", report.findings))
+            .rule
+    }
+
+    fn admitted(sql: &str) -> CheckReport {
+        let report = check(sql);
+        assert!(
+            report.rejection().is_none(),
+            "expected admission for {sql:?}, got {:?}",
+            report.findings
+        );
+        report
+    }
+
+    // Each rejection rule, paired with the accepted near-miss that
+    // differs only in the property the rule checks.
+
+    #[test]
+    fn unbounded_stream_rejected() {
+        assert_eq!(rejected_rule("select * from hits"), "unbounded-stream");
+        admitted("select * from hits <visible 100 rows advance 100 rows>");
+    }
+
+    #[test]
+    fn unbounded_join_rejected() {
+        assert_eq!(
+            rejected_rule("select h.url from hits h join sites s on h.url = s.url"),
+            "unbounded-join"
+        );
+        admitted(
+            "select h.url from hits <visible '1 minute' advance '1 minute'> h \
+             join sites s on h.url = s.url",
+        );
+    }
+
+    #[test]
+    fn unbounded_aggregate_rejected() {
+        assert_eq!(
+            rejected_rule("select url, count(*) from hits group by url"),
+            "unbounded-aggregate"
+        );
+        admitted(
+            "select url, count(*) from hits <visible '1 minute' advance \
+             '1 minute'> group by url",
+        );
+    }
+
+    #[test]
+    fn advance_exceeds_visible_rejected() {
+        assert_eq!(
+            rejected_rule("select count(*) from hits <visible '1 minute' advance '5 minutes'>"),
+            "advance-exceeds-visible"
+        );
+        admitted("select count(*) from hits <visible '5 minutes' advance '1 minute'>");
+    }
+
+    #[test]
+    fn advance_exceeds_visible_rows_rejected() {
+        assert_eq!(
+            rejected_rule("select count(*) from hits <visible 10 rows advance 20 rows>"),
+            "advance-exceeds-visible"
+        );
+        admitted("select count(*) from hits <visible 20 rows advance 10 rows>");
+    }
+
+    // The parser refuses zero bounds outright, so the never-closing rules
+    // are exercised on hand-built plans (they guard programmatic plan
+    // construction and future syntax).
+
+    #[test]
+    fn zero_advance_time_window_rejected() {
+        let plan = scan_with(WindowSpec::Time {
+            visible: 60,
+            advance: 0,
+        });
+        let report = check_plan(&plan, &CheckContext::default());
+        assert_eq!(
+            report.rejection().expect("reject").rule,
+            "never-closing-window"
+        );
+    }
+
+    #[test]
+    fn zero_row_window_rejected() {
+        let plan = scan_with(WindowSpec::Rows {
+            visible: 0,
+            advance: 0,
+        });
+        let report = check_plan(&plan, &CheckContext::default());
+        assert_eq!(
+            report.rejection().expect("reject").rule,
+            "never-closing-window"
+        );
+    }
+
+    #[test]
+    fn zero_slice_window_rejected() {
+        let plan = scan_with(WindowSpec::Slices { count: 0 });
+        let report = check_plan(&plan, &CheckContext::default());
+        assert_eq!(
+            report.rejection().expect("reject").rule,
+            "never-closing-window"
+        );
+    }
+
+    #[test]
+    fn non_monotonic_sort_warns() {
+        let report =
+            admitted("select url from hits <visible 100 rows advance 100 rows> order by url");
+        assert!(report.findings.iter().any(|f| f.rule == "non-monotonic-op"));
+        // Near-miss: sorting the aggregated result is fine.
+        let report = admitted(
+            "select url, count(*) c from hits <visible 100 rows advance 100 rows> \
+             group by url order by c",
+        );
+        assert!(!report.findings.iter().any(|f| f.rule == "non-monotonic-op"));
+    }
+
+    #[test]
+    fn unaligned_window_warns() {
+        let report =
+            admitted("select count(*) from hits <visible '5 minutes' advance '2 minutes'>");
+        assert!(report.findings.iter().any(|f| f.rule == "unaligned-window"));
+        let report =
+            admitted("select count(*) from hits <visible '4 minutes' advance '2 minutes'>");
+        assert!(!report.findings.iter().any(|f| f.rule == "unaligned-window"));
+    }
+
+    #[test]
+    fn snapshot_query_admitted_clean() {
+        let report = check("select * from sites");
+        assert!(!report.continuous);
+        assert!(report.findings.is_empty());
+        assert!(report.state_bound.starts_with("none"));
+    }
+
+    #[test]
+    fn state_bound_mentions_rows() {
+        let report = admitted("select count(*) from hits <visible 100 rows advance 100 rows>");
+        assert!(
+            report.state_bound.contains("100 row(s)"),
+            "{}",
+            report.state_bound
+        );
+    }
+
+    #[test]
+    fn report_relation_shape() {
+        let rel = check("select * from hits").to_relation();
+        assert_eq!(rel.schema().columns().len(), 4);
+        // query row + verdict row + >=1 finding + state-bound row.
+        assert!(rel.len() >= 4);
+    }
+
+    #[test]
+    fn to_error_round_trips_rule() {
+        let err = check("select * from hits").to_error().expect("rejection");
+        let s = err.to_string();
+        assert!(s.contains("unbounded-stream"), "{s}");
+        assert!(s.contains("hint:"), "{s}");
+    }
+}

@@ -1,0 +1,475 @@
+//! Level 2: the self-hosted engine-invariant source lint.
+//!
+//! A deliberately simple token/line-level scanner over the workspace's own
+//! Rust sources — no external parser, no network, no build artifacts — so
+//! it runs identically offline and in CI. It enforces invariants the
+//! compiler cannot see:
+//!
+//! * **`no-unwrap`** — no `.unwrap()` / `.expect(` in non-test code of the
+//!   I/O crates (`crates/storage`, `crates/net`, `crates/core`). A panic
+//!   in a storage or wire path takes down every standing CQ at once.
+//! * **`lock-order`** — files declare their mutex acquisition order in a
+//!   `// lock-order: a < b < c` comment; every function's `.lock()` sites
+//!   are checked against the declaration. Out-of-order acquisition is the
+//!   only deadlock source the engine has.
+//! * **`relaxed-ordering`** — `Ordering::Relaxed` is allowed only in
+//!   `crates/obs` (metrics counters, where staleness is acceptable).
+//! * **`reserved-prefix`** — the reserved `streamrel_` catalog prefix may
+//!   be hardcoded only at its definition/enforcement sites; everything
+//!   else must go through `streamrel_obs::RESERVED_PREFIX`.
+//! * **`deny-unsafe`** — every crate root carries `#![deny(unsafe_code)]`
+//!   or a documented `lint: allow-unsafe(reason)` exception comment.
+//!
+//! Violations can be burned down via the `lint.allow` file at the repo
+//! root (`<rule-id> <path>` per line). Entries that no longer match
+//! anything **fail the lint** — the allowlist can only shrink.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crate subtrees where `.unwrap()` / `.expect(` are forbidden outside
+/// tests.
+const NO_UNWRAP_SCOPES: &[&str] = &["crates/storage/src/", "crates/net/src/", "crates/core/src/"];
+
+/// Files allowed to hardcode the reserved catalog prefix: its definition
+/// (`crates/obs`), the enforcement site, and this lint's own rule table.
+const RESERVED_PREFIX_SITES: &[&str] = &["crates/core/src/provider.rs", "crates/check/src/lint.rs"];
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// Repo-relative path (unix separators).
+    pub path: String,
+    /// 1-based line number (0 for whole-file rules).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Result of a full lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations not covered by the allowlist.
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by allowlist entries.
+    pub allowed: usize,
+    /// Allowlist entries that matched nothing (these fail the run).
+    pub stale: Vec<String>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when CI should fail.
+    pub fn failed(&self) -> bool {
+        !self.violations.is_empty() || !self.stale.is_empty()
+    }
+}
+
+/// Run the lint over a workspace root.
+pub fn run(root: &Path) -> io::Result<LintReport> {
+    let allow = parse_allowlist(&fs::read_to_string(root.join("lint.allow")).unwrap_or_default());
+    let mut files = Vec::new();
+    for top in ["crates", "shims", "src"] {
+        collect_rs(&root.join(top), &mut files)?;
+    }
+    files.sort();
+    let mut report = LintReport::default();
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = fs::read_to_string(file)?;
+        report.files_scanned += 1;
+        for v in lint_file(&rel, &content) {
+            match allow.iter().position(|(r, p)| *r == v.rule && *p == v.path) {
+                Some(i) => {
+                    used.insert(i);
+                    report.allowed += 1;
+                }
+                None => report.violations.push(v),
+            }
+        }
+    }
+    for (i, (rule, path)) in allow.iter().enumerate() {
+        if !used.contains(&i) {
+            report.stale.push(format!("{rule} {path}"));
+        }
+    }
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+        let name = name.as_deref().unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Parse `lint.allow` text: `#` comments, blank lines, `<rule> <path>`.
+fn parse_allowlist(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (rule, path) = l.split_once(char::is_whitespace)?;
+            Some((rule.to_string(), path.trim().to_string()))
+        })
+        .collect()
+}
+
+/// Split one source line into (code with string contents blanked,
+/// concatenated string-literal contents).
+fn split_strings(line: &str) -> (String, String) {
+    let mut code = String::with_capacity(line.len());
+    let mut strings = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut prev = '\0';
+    for c in line.chars() {
+        if !in_str && c == '/' && prev == '/' {
+            code.pop(); // drop the first slash of the trailing comment
+            break;
+        }
+        prev = c;
+        if in_str {
+            if escaped {
+                escaped = false;
+                strings.push(c);
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+                code.push('"');
+            } else {
+                strings.push(c);
+            }
+        } else if c == '"' {
+            in_str = true;
+            code.push('"');
+            strings.push(' ');
+        } else {
+            code.push(c);
+        }
+    }
+    (code, strings)
+}
+
+/// True for lines that are only a comment (the scanner skips them).
+fn is_comment(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("/*") || t.starts_with('*')
+}
+
+/// Index of the first line starting the `#[cfg(test)]` region, if any.
+/// Everything at or after it is test code. This matches the repo-wide
+/// convention of one trailing inline test module per file.
+fn test_region_start(lines: &[&str]) -> usize {
+    lines
+        .iter()
+        .position(|l| l.trim() == "#[cfg(test)]")
+        .unwrap_or(lines.len())
+}
+
+/// Whether a path is a crate root (lib or binary) for the `deny-unsafe`
+/// rule. Each `src/bin/*.rs` file is its own crate root under cargo, so
+/// a `deny` in the sibling `lib.rs` does not cover it.
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs"
+        || rel.ends_with("/src/lib.rs")
+        || rel.contains("/src/bin/")
+        || rel.starts_with("src/bin/")
+}
+
+/// Extract the receiver identifier of a `.lock()` call: the last
+/// dot-separated path segment before the call (`self.inner.lock()` →
+/// `inner`, `g.lock()` → `g`).
+fn lock_receivers(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = code;
+    while let Some(i) = rest.find(".lock()") {
+        let head = &rest[..i];
+        let seg: String = head
+            .chars()
+            .rev()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        let seg: String = seg.chars().rev().collect();
+        if !seg.is_empty() {
+            out.push(seg);
+        }
+        rest = &rest[i + ".lock()".len()..];
+    }
+    out
+}
+
+/// Lint a single file's content. `rel` is the repo-relative unix path.
+pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+    let test_start = test_region_start(&lines);
+
+    let in_crates = rel.starts_with("crates/");
+    let no_unwrap = NO_UNWRAP_SCOPES.iter().any(|s| rel.starts_with(s));
+    let relaxed_ok = rel.starts_with("crates/obs/");
+    let prefix_ok =
+        !in_crates || rel.starts_with("crates/obs/") || RESERVED_PREFIX_SITES.contains(&rel);
+
+    // Collect this file's declared lock order first. Only a line that is
+    // exactly the annotation comment counts — prose mentions don't.
+    let mut order: Vec<String> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if let Some(rest) = line.trim_start().strip_prefix("// lock-order:") {
+            let names: Vec<String> = rest
+                .split('<')
+                .map(|n| n.trim().to_string())
+                .filter(|n| !n.is_empty())
+                .collect();
+            if order.is_empty() {
+                order = names;
+            } else if order != names {
+                out.push(Violation {
+                    rule: "lock-order",
+                    path: rel.to_string(),
+                    line: idx + 1,
+                    message: "conflicting lock-order declarations in one file".to_string(),
+                });
+            }
+        }
+    }
+
+    // Per-function furthest lock position seen so far.
+    let mut max_pos: Option<usize> = None;
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let in_test = idx >= test_start;
+        if is_comment(line) {
+            continue;
+        }
+        let (code, strings) = split_strings(line);
+
+        if !in_test {
+            if no_unwrap && (code.contains(".unwrap()") || code.contains(".expect(")) {
+                out.push(Violation {
+                    rule: "no-unwrap",
+                    path: rel.to_string(),
+                    line: lineno,
+                    message: "`.unwrap()`/`.expect()` in I/O crate non-test \
+                              code; return a typed error instead"
+                        .to_string(),
+                });
+            }
+            if in_crates && !relaxed_ok && code.contains("Ordering::Relaxed") {
+                out.push(Violation {
+                    rule: "relaxed-ordering",
+                    path: rel.to_string(),
+                    line: lineno,
+                    message: "`Ordering::Relaxed` outside crates/obs; use \
+                              SeqCst or justify in crates/obs"
+                        .to_string(),
+                });
+            }
+            if !prefix_ok && strings.contains("streamrel_") {
+                out.push(Violation {
+                    rule: "reserved-prefix",
+                    path: rel.to_string(),
+                    line: lineno,
+                    message: "hardcoded reserved prefix; use \
+                              streamrel_obs::RESERVED_PREFIX"
+                        .to_string(),
+                });
+            }
+            if !order.is_empty() {
+                let t = code.trim_start();
+                if t.starts_with("fn ") || code.contains(" fn ") {
+                    max_pos = None;
+                }
+                for recv in lock_receivers(&code) {
+                    if let Some(pos) = order.iter().position(|n| *n == recv) {
+                        if let Some(prev) = max_pos {
+                            if pos < prev && !line.contains("lint: lock-order-ok") {
+                                out.push(Violation {
+                                    rule: "lock-order",
+                                    path: rel.to_string(),
+                                    line: lineno,
+                                    message: format!(
+                                        "`{recv}` acquired after `{}`, against \
+                                         the declared order `{}`",
+                                        order[prev],
+                                        order.join(" < ")
+                                    ),
+                                });
+                            }
+                        }
+                        max_pos = Some(max_pos.map_or(pos, |p| p.max(pos)));
+                    }
+                }
+            }
+        }
+    }
+
+    if is_crate_root(rel)
+        && !content.contains("#![deny(unsafe_code)]")
+        && !content.contains("lint: allow-unsafe(")
+    {
+        out.push(Violation {
+            rule: "deny-unsafe",
+            path: rel.to_string(),
+            line: 0,
+            message: "crate root lacks `#![deny(unsafe_code)]` (or a \
+                      documented `lint: allow-unsafe(reason)` exception)"
+                .to_string(),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(rel: &str, src: &str) -> Vec<&'static str> {
+        lint_file(rel, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_in_io_crates_only() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_of("crates/storage/src/wal.rs", src),
+            vec!["no-unwrap"]
+        );
+        assert_eq!(rules_of("crates/net/src/server.rs", src), vec!["no-unwrap"]);
+        assert!(rules_of("crates/exec/src/expr.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_flagged() {
+        let src = "fn f() { x.expect(\"boom\"); }\n";
+        assert_eq!(rules_of("crates/core/src/db.rs", src), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn unwrap_in_test_region_allowed() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n fn g() { x.unwrap(); }\n}\n";
+        assert!(rules_of("crates/storage/src/wal.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_inside_string_or_comment_ignored() {
+        let src = "fn f() { let s = \".unwrap()\"; } // .unwrap()\n// x.unwrap()\n";
+        assert!(rules_of("crates/storage/src/wal.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_scoped_to_obs() {
+        let src = "fn f() { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert_eq!(
+            rules_of("crates/net/src/server.rs", src),
+            vec!["relaxed-ordering"]
+        );
+        assert!(rules_of("crates/obs/src/metrics.rs", src).is_empty());
+        assert!(rules_of("shims/crossbeam/src/channel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reserved_prefix_flagged_outside_definition_sites() {
+        let src = "fn f() { let n = \"streamrel_sneaky\"; }\n";
+        assert_eq!(
+            rules_of("crates/core/src/db.rs", src),
+            vec!["reserved-prefix"]
+        );
+        assert!(rules_of("crates/core/src/provider.rs", src).is_empty());
+        assert!(rules_of("crates/obs/src/metrics.rs", src).is_empty());
+        // In code position (an identifier, e.g. a crate name) it is fine.
+        let code = "use streamrel_obs::RESERVED_PREFIX;\n";
+        assert!(rules_of("crates/core/src/db.rs", code).is_empty());
+    }
+
+    #[test]
+    fn lock_order_violation_detected() {
+        let src = "// lock-order: inner < g\n\
+                   fn ok(&self) { let a = self.inner.lock(); let b = g.lock(); }\n\
+                   fn bad(&self) { let b = g.lock(); let a = self.inner.lock(); }\n";
+        assert_eq!(rules_of("crates/core/src/db.rs", src), vec!["lock-order"]);
+    }
+
+    #[test]
+    fn lock_order_resets_per_function() {
+        let src = "// lock-order: a < b\n\
+                   fn f() { b.lock(); }\n\
+                   fn g() { a.lock(); b.lock(); }\n";
+        assert!(rules_of("crates/core/src/db.rs", src).is_empty());
+    }
+
+    #[test]
+    fn conflicting_lock_order_declarations_flagged() {
+        let src = "// lock-order: a < b\n// lock-order: b < a\nfn f() {}\n";
+        assert_eq!(rules_of("crates/core/src/db.rs", src), vec!["lock-order"]);
+    }
+
+    #[test]
+    fn deny_unsafe_required_in_crate_roots() {
+        assert_eq!(
+            rules_of("crates/exec/src/lib.rs", "pub fn f() {}\n"),
+            vec!["deny-unsafe"]
+        );
+        assert!(rules_of(
+            "crates/exec/src/lib.rs",
+            "#![deny(unsafe_code)]\npub fn f() {}\n"
+        )
+        .is_empty());
+        // Documented exception accepted.
+        assert!(rules_of(
+            "shims/parking_lot/src/lib.rs",
+            "// lint: allow-unsafe(guard hand-off needs raw ptr)\npub fn f() {}\n"
+        )
+        .is_empty());
+        // Non-roots don't need it.
+        assert!(rules_of("crates/exec/src/expr.rs", "pub fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn allowlist_parses_and_ignores_comments() {
+        let allow = parse_allowlist("# comment\n\nno-unwrap crates/storage/src/wal.rs\n");
+        assert_eq!(
+            allow,
+            vec![(
+                "no-unwrap".to_string(),
+                "crates/storage/src/wal.rs".to_string()
+            )]
+        );
+    }
+}

@@ -7,6 +7,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use streamrel_check::{check_plan, CheckContext};
 use streamrel_cq::recovery::{load_watermark, save_watermark_txn};
 use streamrel_cq::{ContinuousQuery, CqOutput, CqStats, ReorderBuffer, SharedRegistry};
 use streamrel_exec::{execute, ExecContext, ExecMetrics};
@@ -113,6 +114,11 @@ struct CqEntry {
     close_hist: Arc<Histogram>,
 }
 
+// lock-order: inner < g
+//
+// The `Db::inner` mutex is always acquired before any shared-group mutex
+// (`g`, via `SharedRegistry`); streamrel-lint checks every function in
+// this file against that order.
 struct Inner {
     streams: HashMap<String, BaseStream>,
     deriveds: HashMap<String, Derived>,
@@ -136,6 +142,10 @@ struct DbMetrics {
     late_drops: Arc<Counter>,
     sub_drops: Arc<Counter>,
     sub_queue_depth: Arc<Gauge>,
+    /// Plans refused by the Level-1 admission check.
+    check_rejected: Arc<Counter>,
+    /// Warnings attached to admitted plans.
+    check_warned: Arc<Counter>,
     exec: ExecMetrics,
 }
 
@@ -148,6 +158,8 @@ impl DbMetrics {
             late_drops: registry.counter("db.late_drops"),
             sub_drops: registry.counter("db.sub_drops"),
             sub_queue_depth: registry.gauge("db.sub_queue_depth"),
+            check_rejected: registry.counter("check.rejected"),
+            check_warned: registry.counter("check.warned"),
             exec: ExecMetrics::register(registry),
         }
     }
@@ -319,12 +331,11 @@ impl Db {
             .clone();
         let mut emitted = Vec::new();
         for id in cq_ids {
-            let outs = inner
+            let entry = inner
                 .cqs
                 .get_mut(&id)
-                .expect("cq registered")
-                .cq
-                .on_heartbeat(ts)?;
+                .ok_or_else(|| Error::stream(format!("cq {id} not registered")))?;
+            let outs = entry.cq.on_heartbeat(ts)?;
             emitted.push((id, outs));
         }
         self.pump(&mut inner, emitted, start)
@@ -391,6 +402,7 @@ impl Db {
             Statement::Select(query) => self.select(&query),
             Statement::CreateTableAs { name, query } => self.create_table_as(&name, &query),
             Statement::Explain(query) => self.explain(&query),
+            Statement::ExplainCheck(query) => self.explain_check(&query),
             Statement::Show(kind) => Ok(ExecResult::Rows(self.show(kind))),
             Statement::Checkpoint => {
                 self.engine.checkpoint()?;
@@ -465,6 +477,47 @@ impl Db {
             rel.push(vec![Value::text(line)]);
         }
         Ok(ExecResult::Rows(rel))
+    }
+
+    /// `EXPLAIN CHECK <select>`: the Level-1 static-safety report — the
+    /// SQ/CQ classification, the admission verdict, every rule finding
+    /// with its fix hint, and the conservative state-size bound — without
+    /// registering anything.
+    fn explain_check(&self, query: &Query) -> Result<ExecResult> {
+        let report = {
+            let inner = self.inner.lock();
+            let provider = self.provider(&inner);
+            let analyzed = Analyzer::new(&provider).analyze(query)?;
+            check_plan(
+                &analyzed.plan,
+                &CheckContext {
+                    sharing: self.options.sharing,
+                    registry: Some(&inner.registry),
+                },
+            )
+        };
+        Ok(ExecResult::Rows(report.to_relation()))
+    }
+
+    /// The Level-1 admission gate: every continuous plan is statically
+    /// classified by `streamrel-check` *before* any runtime state (window
+    /// buffers, subscriptions, shared-group membership) is allocated.
+    /// Rejections surface as [`Error::Check`] with a fix hint; warnings
+    /// only bump the `check.warned` counter.
+    fn admit_plan(&self, inner: &Inner, plan: &LogicalPlan) -> Result<()> {
+        let report = check_plan(
+            plan,
+            &CheckContext {
+                sharing: self.options.sharing,
+                registry: Some(&inner.registry),
+            },
+        );
+        if let Some(err) = report.to_error() {
+            self.metrics.check_rejected.inc();
+            return Err(err);
+        }
+        self.metrics.check_warned.add(report.warnings() as u64);
+        Ok(())
     }
 
     /// `SHOW TABLES|STREAMS|VIEWS|CHANNELS|METRICS|TRACE`.
@@ -643,6 +696,7 @@ impl Db {
                  (use CREATE VIEW or CREATE TABLE AS for snapshot queries)",
             ));
         }
+        self.admit_plan(&inner, &analyzed.plan)?;
         let mut cq = ContinuousQuery::new(
             key.clone(),
             &analyzed,
@@ -925,6 +979,7 @@ impl Db {
             return Ok(ExecResult::Rows(rel));
         }
         // Continuous query: register a subscription-backed CQ.
+        self.admit_plan(&inner, &analyzed.plan)?;
         let sub_id = SubscriptionId(inner.next_sub);
         inner.next_sub += 1;
         let mut cq = ContinuousQuery::new(
@@ -1055,8 +1110,11 @@ impl Db {
         }
         // Out-of-order slack.
         let released = if has_reorder {
-            let s = inner.streams.get_mut(&key).unwrap();
-            let rb = s.reorder.as_mut().unwrap();
+            let rb = inner
+                .streams
+                .get_mut(&key)
+                .and_then(|s| s.reorder.as_mut())
+                .ok_or_else(|| Error::stream(format!("reorder buffer for `{key}` vanished")))?;
             let before = rb.late_drops();
             let mut released = Vec::new();
             for r in coerced {
@@ -1089,8 +1147,9 @@ impl Db {
                 }
                 self.engine.insert_many(x, tid, released.clone())
             })?;
-            let ch = inner.channels.get_mut(ch_name).unwrap();
-            ch.rows_written += n;
+            if let Some(ch) = inner.channels.get_mut(ch_name) {
+                ch.rows_written += n;
+            }
             inner.stats.rows_archived += n;
             self.metrics.rows_archived.add(n);
         }
@@ -1116,7 +1175,10 @@ impl Db {
         let cq_ids = inner.streams[&key].cq_ids.clone();
         let mut emitted = Vec::new();
         for id in cq_ids {
-            let entry = inner.cqs.get_mut(&id).expect("cq registered");
+            let entry = inner
+                .cqs
+                .get_mut(&id)
+                .ok_or_else(|| Error::stream(format!("cq {id} not registered")))?;
             let mut outs = Vec::new();
             if entry.cq.is_shared() {
                 let ts_list = timestamps
@@ -1203,8 +1265,9 @@ impl Db {
                 save_watermark_txn(&self.engine, x, &sink_target, out.close)
             })?;
             for (ch_name, n) in written {
-                let ch = inner.channels.get_mut(&ch_name).unwrap();
-                ch.rows_written += n;
+                if let Some(ch) = inner.channels.get_mut(&ch_name) {
+                    ch.rows_written += n;
+                }
                 inner.stats.rows_archived += n;
                 self.metrics.rows_archived.add(n);
             }

@@ -25,6 +25,8 @@
 //! assert_eq!(rel.rows()[0][0], streamrel_types::Value::Int(5));
 //! ```
 
+#![deny(unsafe_code)]
+
 mod csv;
 mod db;
 mod options;

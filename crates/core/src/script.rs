@@ -21,7 +21,8 @@ pub fn split_statements(sql: &str) -> Vec<String> {
                         Some('\'') => {
                             cur.push('\'');
                             if chars.peek() == Some(&'\'') {
-                                cur.push(chars.next().unwrap());
+                                chars.next();
+                                cur.push('\'');
                             } else {
                                 break; // closing quote
                             }

@@ -114,6 +114,10 @@ impl Subscription {
 /// make progress) and drain their connection's subscriptions on each
 /// generation bump.
 #[derive(Debug, Default)]
+// lock-order: generation < sub
+//
+// The notifier's generation lock is never taken while holding a
+// subscription queue lock.
 pub struct ResultNotifier {
     generation: Mutex<u64>,
     cv: Condvar,

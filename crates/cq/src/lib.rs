@@ -14,6 +14,8 @@
 //! [`recovery`] rebuild runtime state from Active-Table watermarks instead
 //! of operator checkpoints (§4).
 
+#![deny(unsafe_code)]
+
 pub mod consistency;
 pub mod ordering;
 pub mod recovery;

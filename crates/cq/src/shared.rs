@@ -399,6 +399,16 @@ impl SharedRegistry {
             .collect()
     }
 
+    /// Slice width of the group a shape would pool with, if one exists
+    /// and has already fixed its grid. `streamrel-check` uses this at
+    /// registration to warn when a new member's window would not compose
+    /// from the existing slices (it then runs unshared).
+    pub fn slice_width_for(&self, shape: &SharedShape) -> Option<Interval> {
+        let g = self.groups.get(&shape.fingerprint())?;
+        let w = g.lock().slice_width;
+        (w > 0).then_some(w)
+    }
+
     /// Number of distinct groups.
     pub fn len(&self) -> usize {
         self.groups.len()

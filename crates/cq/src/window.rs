@@ -71,6 +71,13 @@ impl WindowBuffer {
                 count: count as usize,
                 batches: VecDeque::new(),
             })),
+            // Defense in depth: admission (`streamrel-check`) rejects
+            // unbounded scans before a CQ is built, so reaching this arm
+            // means a caller bypassed the check.
+            WindowSpec::Unbounded => Err(Error::stream(
+                "stream scanned without a window bound; \
+                 the plan was not admission-checked",
+            )),
         }
     }
 

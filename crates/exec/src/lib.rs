@@ -7,6 +7,8 @@
 //! per window, supplying the window relation for the plan's `StreamScan`
 //! leaf and the `cq_close` timestamp for the evaluator.
 
+#![deny(unsafe_code)]
+
 pub mod agg;
 pub mod executor;
 pub mod expr;

@@ -9,6 +9,8 @@
 //! payloads reuse the storage codec ([`wire`]) so the wire format equals
 //! the WAL format.
 
+#![deny(unsafe_code)]
+
 pub mod client;
 pub mod frame;
 pub mod server;

@@ -171,6 +171,10 @@ fn accept_loop(
 /// (`net.conn.<id>.*`) so concurrent connections never share counters.
 static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
 
+// lock-order: conns < subs < writer
+//
+// The server's connection list is taken before any per-connection lock,
+// and a connection's subscription set before its socket writer.
 /// Everything the request and delivery threads share for one connection.
 struct Conn {
     db: Arc<Db>,
@@ -227,7 +231,7 @@ fn handle_conn(db: Arc<Db>, stream: TcpStream, opts: ServerOptions) {
         return;
     };
     let registry = db.engine().metrics().clone();
-    let conn_id = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
+    let conn_id = CONN_SEQ.fetch_add(1, Ordering::SeqCst);
     let conn_prefix = format!("net.conn.{conn_id}.");
     let connections = registry.gauge("net.connections");
     connections.add(1);

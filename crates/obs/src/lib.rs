@@ -14,6 +14,8 @@
 //!   virtual relations `streamrel_metrics` and `streamrel_trace` are
 //!   ordinary `SELECT` targets (the paper's "everything is a table" stance).
 
+#![deny(unsafe_code)]
+
 pub mod metrics;
 pub mod trace;
 

@@ -391,12 +391,12 @@ impl<'a> Analyzer<'a> {
                         ))
                     }
                     RelKind::Stream { cqtime } => {
-                        let window = window.ok_or_else(|| {
-                            Error::analysis(format!(
-                                "stream `{name}` requires a window clause \
-                                 (e.g. <VISIBLE '5 minutes' ADVANCE '1 minute'>)"
-                            ))
-                        })?;
+                        // A missing window clause binds as
+                        // `WindowSpec::Unbounded` rather than erroring:
+                        // `streamrel-check` classifies the unbounded
+                        // operator (bare scan, join, aggregate) at
+                        // registration and rejects with a targeted hint.
+                        let window = window.unwrap_or(WindowSpec::Unbounded);
                         if matches!(window, WindowSpec::Slices { .. }) {
                             return Err(Error::analysis(
                                 "<SLICES n WINDOWS> applies to derived streams only",
@@ -420,12 +420,9 @@ impl<'a> Analyzer<'a> {
                         ))
                     }
                     RelKind::DerivedStream { cqtime } => {
-                        let window = window.ok_or_else(|| {
-                            Error::analysis(format!(
-                                "derived stream `{name}` requires a window clause \
-                                 (e.g. <SLICES 1 WINDOWS>)"
-                            ))
-                        })?;
+                        // As for base streams: bind the missing window as
+                        // Unbounded and let the admission check reject it.
+                        let window = window.unwrap_or(WindowSpec::Unbounded);
                         if matches!(window, WindowSpec::Time { .. }) && cqtime.is_none() {
                             return Err(Error::analysis(format!(
                                 "time window on derived stream `{name}` requires it to \
@@ -1429,9 +1426,14 @@ mod tests {
     }
 
     #[test]
-    fn stream_without_window_rejected() {
-        let e = analyze("select * from url_stream").unwrap_err();
-        assert!(e.to_string().contains("window"), "{e}");
+    fn stream_without_window_binds_as_unbounded() {
+        // The analyzer no longer rejects a windowless stream reference —
+        // it binds `WindowSpec::Unbounded` so the registration-time
+        // safety check (`streamrel-check`) can classify the unbounded
+        // operator and reject with a targeted hint.
+        let a = analyze("select * from url_stream").unwrap();
+        assert!(a.is_continuous);
+        assert_eq!(a.plan.stream_scans()[0].1, WindowSpec::Unbounded);
     }
 
     #[test]

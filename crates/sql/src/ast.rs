@@ -60,6 +60,10 @@ pub enum Statement {
     CreateTableAs { name: String, query: Query },
     /// `EXPLAIN <select>` — render the bound logical plan.
     Explain(Query),
+    /// `EXPLAIN CHECK <select>` — run the static plan-safety analysis
+    /// (`streamrel-check`) and render the admission verdict, every
+    /// finding with its fix hint, and the conservative state-size bound.
+    ExplainCheck(Query),
     /// `SHOW TABLES|STREAMS|VIEWS|CHANNELS|METRICS|TRACE` — catalog and
     /// engine introspection.
     Show(ShowKind),
@@ -126,6 +130,13 @@ pub enum WindowSpec {
     /// consecutive result batches of the upstream CQ (paper Example 5 uses
     /// `<slices 1 windows>`).
     Slices { count: u64 },
+    /// A stream referenced with no window clause at all. The analyzer
+    /// binds this instead of erroring so `streamrel-check` can classify
+    /// the resulting unbounded-state operator (join, aggregate, bare
+    /// scan) and reject it at registration with a targeted hint. It
+    /// never survives admission: the CQ runtime refuses to build a
+    /// window buffer for it.
+    Unbounded,
 }
 
 impl WindowSpec {

@@ -12,6 +12,8 @@
 //! (name/type binding, view inlining) → [`plan`] (logical plan consumed by
 //! `streamrel-exec` and `streamrel-cq`).
 
+#![deny(unsafe_code)]
+
 pub mod analyzer;
 pub mod ast;
 pub mod lexer;

@@ -176,7 +176,11 @@ impl Parser {
         } else if self.peek_kw("select") {
             Ok(Statement::Select(self.query()?))
         } else if self.eat_kw("explain") {
-            Ok(Statement::Explain(self.query()?))
+            if self.eat_kw("check") {
+                Ok(Statement::ExplainCheck(self.query()?))
+            } else {
+                Ok(Statement::Explain(self.query()?))
+            }
         } else if self.eat_kw("show") {
             let kind = if self.eat_kw("tables") {
                 ShowKind::Tables

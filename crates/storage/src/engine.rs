@@ -48,6 +48,10 @@ pub struct EngineStats {
     pub replayed: u64,
 }
 
+// lock-order: wal < stats
+//
+// Commit paths append to the WAL and then bump the counters; never hold
+// `stats` while taking `wal` (streamrel-lint enforces this per function).
 /// The durable storage engine.
 pub struct StorageEngine {
     dir: Option<PathBuf>,
@@ -593,8 +597,14 @@ impl StorageEngine {
         if data.len() < 20 || &data[..8] != CHECKPOINT_MAGIC {
             return Err(Error::storage("bad checkpoint header"));
         }
-        let len = u64::from_le_bytes(data[8..16].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(data[16..20].try_into().unwrap());
+        let len = data[8..16]
+            .try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| Error::storage("bad checkpoint header"))? as usize;
+        let crc = data[16..20]
+            .try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| Error::storage("bad checkpoint header"))?;
         if data.len() < 20 + len {
             return Err(Error::storage("truncated checkpoint"));
         }

@@ -221,7 +221,9 @@ impl HeapTable {
             let insert_dead = aborted(tv.xmin);
             let delete_final = tv.xmax != 0 && tv.xmax < horizon && committed(tv.xmax);
             if insert_dead || delete_final {
-                reclaimed.push((slot as u64, tv.row.take().unwrap()));
+                if let Some(row) = tv.row.take() {
+                    reclaimed.push((slot as u64, row));
+                }
             }
         }
         reclaimed

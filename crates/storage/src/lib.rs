@@ -10,6 +10,8 @@
 //! pinned [`Snapshot`], and CQ recovery replays this crate's WAL before
 //! re-seeding stream state (§4 of the paper).
 
+#![deny(unsafe_code)]
+
 pub mod catalog;
 pub mod codec;
 pub mod crc;

@@ -291,11 +291,19 @@ pub fn replay(path: &Path) -> Result<(Vec<WalRecord>, u64)> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((vec![], 0)),
         Err(e) => return Err(e.into()),
     }
+    // A short slice reads as `None`, which ends replay exactly like a
+    // torn tail would.
+    fn le_u32(data: &[u8], pos: usize) -> Option<u32> {
+        let b: [u8; 4] = data.get(pos..pos + 4)?.try_into().ok()?;
+        Some(u32::from_le_bytes(b))
+    }
     let mut records = Vec::new();
     let mut pos = 0usize;
     while pos + 8 <= data.len() {
-        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        let (Some(len), Some(crc)) = (le_u32(&data, pos), le_u32(&data, pos + 4)) else {
+            break; // torn tail
+        };
+        let len = len as usize;
         let start = pos + 8;
         let end = match start.checked_add(len) {
             Some(e) if e <= data.len() => e,

@@ -32,6 +32,18 @@ pub enum Error {
     Io(String),
     /// Feature present in the grammar but intentionally unsupported.
     Unsupported(String),
+    /// Static plan-safety rejection from `streamrel-check` at CQ
+    /// registration: the plan would accumulate unbounded state or hold a
+    /// window that can never close. Carries the violated rule and an
+    /// actionable fix hint for the client.
+    Check {
+        /// Rule identifier (e.g. `unbounded-join`).
+        rule: String,
+        /// What is wrong with the plan.
+        message: String,
+        /// How to fix the query.
+        hint: String,
+    },
 }
 
 impl Error {
@@ -69,6 +81,19 @@ impl Error {
     pub fn unsupported(msg: impl Into<String>) -> Self {
         Error::Unsupported(msg.into())
     }
+
+    /// Shorthand constructor for plan-safety check rejections.
+    pub fn check(
+        rule: impl Into<String>,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        Error::Check {
+            rule: rule.into(),
+            message: message.into(),
+            hint: hint.into(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -84,6 +109,11 @@ impl fmt::Display for Error {
             Error::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Check {
+                rule,
+                message,
+                hint,
+            } => write!(f, "check error [{rule}]: {message}; hint: {hint}"),
         }
     }
 }

@@ -6,6 +6,8 @@
 //! which is the paper's core principle that "streaming data and stored data
 //! are not intrinsically different" (§2.3).
 
+#![deny(unsafe_code)]
+
 pub mod datatype;
 pub mod error;
 pub mod relation;

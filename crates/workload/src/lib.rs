@@ -7,6 +7,8 @@
 //! benchmarks dial the two axes the paper's argument turns on: total data
 //! volume ("more data") and event rate vs. reporting latency ("less time").
 
+#![deny(unsafe_code)]
+
 pub mod adtech;
 pub mod clickstream;
 pub mod netsec;

@@ -5,6 +5,8 @@
 //! statistical regression — just enough to keep `cargo bench` useful for
 //! relative comparisons while the real crate is unavailable offline.
 
+#![deny(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Prevent the optimizer from deleting a value/computation.

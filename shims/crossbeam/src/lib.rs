@@ -7,6 +7,8 @@
 //! spawned closure (for nested spawns), which callers here ignore, so the
 //! shim passes `()` instead.
 
+#![deny(unsafe_code)]
+
 pub mod thread {
     use std::any::Any;
 

@@ -7,6 +7,10 @@
 //! acquired — the data is still consistent for our use cases, matching
 //! parking_lot's behaviour of not having poisoning at all.
 
+// lint: allow-unsafe(Condvar::wait must hand the guard through std's API
+// by value; the shim moves it with a raw pointer read/write in
+// `take_guard`, which is sound because the source is forgotten)
+
 use std::fmt;
 use std::sync::{self, TryLockError};
 use std::time::Duration;

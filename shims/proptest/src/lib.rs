@@ -12,6 +12,8 @@
 //!   `prop::option::of`
 //! - `test_runner::Config::with_cases`
 
+#![deny(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

@@ -6,6 +6,8 @@
 //! fast, and easily good enough for workload generation and tests (the
 //! only uses in this workspace; nothing here is security-sensitive).
 
+#![deny(unsafe_code)]
+
 /// Core trait: a source of random 64-bit words.
 pub trait RngCore {
     /// Next raw 64 random bits.

@@ -16,6 +16,8 @@
 //! a client gets from `SELECT * FROM streamrel_metrics` or a `Stats`
 //! frame.
 
+#![deny(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -15,6 +15,8 @@
 //! - `\stats`                 runtime counters
 //! - `\q`                     quit
 
+#![deny(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 

@@ -32,6 +32,8 @@
 //! assert_eq!(report.len(), 1);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub use streamrel_core::{
     split_statements, Db, DbOptions, DbStats, ExecResult, OverflowPolicy, ResultNotifier,
     Subscription, SubscriptionId,

@@ -247,3 +247,39 @@ fn abrupt_disconnect_reaps_subscriptions() {
     admin.close().unwrap();
     server.shutdown();
 }
+
+#[test]
+fn check_rejection_is_byte_identical_embedded_and_remote() {
+    // A plan the Level-1 admission check refuses must come back as a
+    // structured error frame carrying the same message the embedded API
+    // produces — never a dropped connection. One case per rule family.
+    let bad = [
+        "SELECT v FROM events",        // unbounded-stream
+        "SELECT sum(v) s FROM events", // unbounded-aggregate
+        "SELECT count(*) c FROM events <VISIBLE '1 minute' ADVANCE '5 minutes'>",
+    ];
+
+    let embedded = Db::in_memory(DbOptions::default());
+    embedded.execute(DDL).unwrap();
+
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    let server = Server::serve(db.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let client = Client::connect(addr).unwrap();
+    client.execute(DDL).unwrap();
+
+    for sql in bad {
+        let local = embedded.execute(sql).unwrap_err().to_string();
+        assert!(local.starts_with("check error ["), "{sql}: {local}");
+        let remote = match client.execute(sql) {
+            Err(streamrel::net::NetError::Remote(msg)) => msg,
+            other => panic!("{sql}: expected remote error frame, got {other:?}"),
+        };
+        assert_eq!(local, remote, "{sql}: embedded and remote messages differ");
+    }
+
+    // The connection survived all three rejections.
+    client.execute("SELECT 1").unwrap();
+    client.close().unwrap();
+    server.shutdown();
+}
