@@ -1,0 +1,149 @@
+//! ingest_parallel — aggregate ingest throughput under the sharded
+//! execution core vs the seed's single-lock baseline.
+//!
+//! Four base streams are fed by four concurrent ingester threads for a
+//! fixed wall-clock window. Three streams carry a cheap tumbling count;
+//! the fourth carries a deliberately expensive CQ (a grouped sliding
+//! window that re-scans a large buffer on every close). Under the
+//! single-lock baseline every window close on the slow stream stalls
+//! ingest on all three fast streams; under per-stream shards it stalls
+//! only its own. The aggregate rows/sec across all four streams is the
+//! headline number — the isolation win shows up even on a single-core
+//! host, because baseline ingesters are *blocked* on the one lock while
+//! sharded ingesters stay runnable.
+//!
+//! The run records the measurement to `BENCH_ingest_parallel.json` and
+//! fails (non-zero exit, for the CI smoke job) if the sharded
+//! configuration does not reach `MIN_SPEEDUP` over the baseline. The
+//! floor is only enforced when the host actually has `STREAMS` cores:
+//! on fewer cores the total CPU budget is fixed, so no lock layout can
+//! multiply aggregate throughput and the number is reported as-is.
+
+#![deny(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use streamrel_bench::ResultTable;
+use streamrel_core::{Db, DbOptions};
+use streamrel_types::Value;
+
+/// Streams, ingester threads, and shards in the sharded configuration.
+const STREAMS: usize = 4;
+/// Measured ingest window per configuration.
+const RUN: Duration = Duration::from_millis(2_500);
+/// CI acceptance floor for sharded-vs-baseline aggregate throughput.
+const MIN_SPEEDUP: f64 = 1.5;
+/// Rows per `ingest_batch` call on the fast streams.
+const FAST_BATCH: usize = 256;
+/// Rows per `ingest_batch` call on the slow stream. Small on purpose:
+/// each batch advances logical time enough to close several windows.
+const SLOW_BATCH: usize = 48;
+
+fn setup(db: &Db) {
+    for i in 0..STREAMS - 1 {
+        db.execute(&format!(
+            "CREATE STREAM s{i} (v integer, ts timestamp CQTIME USER)"
+        ))
+        .unwrap();
+        db.execute(&format!(
+            "SELECT count(*) c, cq_close(*) w FROM s{i} <TUMBLING '1 minute'>"
+        ))
+        .unwrap();
+    }
+    // The slow stream: every 5-second advance re-scans a 10-minute
+    // buffer, grouped and sorted — a stand-in for an expensive report.
+    db.execute("CREATE STREAM slow (k varchar(8), ts timestamp CQTIME USER)")
+        .unwrap();
+    db.execute(
+        "SELECT k, count(*) c FROM slow \
+         <VISIBLE '10 minutes' ADVANCE '5 seconds'> \
+         GROUP BY k ORDER BY c DESC, k",
+    )
+    .unwrap();
+}
+
+/// Feed all four streams concurrently for `RUN`; return aggregate rows/s.
+fn run(opts: DbOptions) -> f64 {
+    let db = Db::in_memory(opts);
+    setup(&db);
+    let total = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for i in 0..STREAMS - 1 {
+            let (db, total) = (&db, &total);
+            s.spawn(move || {
+                let stream = format!("s{i}");
+                let mut clock = 0i64;
+                while start.elapsed() < RUN {
+                    let rows: Vec<Vec<Value>> = (0..FAST_BATCH)
+                        .map(|_| {
+                            clock += 1_000_000;
+                            vec![Value::Int(clock / 1_000_000), Value::Timestamp(clock)]
+                        })
+                        .collect();
+                    db.ingest_batch(&stream, rows).unwrap();
+                    total.fetch_add(FAST_BATCH as u64, Ordering::SeqCst);
+                }
+            });
+        }
+        let (db, total) = (&db, &total);
+        s.spawn(move || {
+            let mut clock = 0i64;
+            while start.elapsed() < RUN {
+                let rows: Vec<Vec<Value>> = (0..SLOW_BATCH)
+                    .map(|n| {
+                        clock += 1_000_000;
+                        vec![Value::text(format!("k{}", n % 7)), Value::Timestamp(clock)]
+                    })
+                    .collect();
+                db.ingest_batch("slow", rows).unwrap();
+                total.fetch_add(SLOW_BATCH as u64, Ordering::SeqCst);
+            }
+        });
+    });
+    total.load(Ordering::SeqCst) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("ingest_parallel: sharded execution core vs single-lock baseline\n");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let baseline = run(DbOptions::default().with_shards(1).with_pool_workers(0));
+    let sharded = run(DbOptions::default().with_shards(STREAMS));
+    let speedup = sharded / baseline;
+
+    let mut table = ResultTable::new(&["configuration", "aggregate rows/s"]);
+    table.row(&["single lock, inline eval".into(), format!("{baseline:.0}")]);
+    table.row(&[
+        format!("{STREAMS} shards, worker pool"),
+        format!("{sharded:.0}"),
+    ]);
+    table.print();
+    println!(
+        "\n{STREAMS} streams / {STREAMS} ingesters on {cores} core(s): \
+         {speedup:.2}x aggregate throughput"
+    );
+
+    let json = format!(
+        "{{\n  \"streams\": {STREAMS},\n  \"shards\": {STREAMS},\n  \
+         \"cores\": {cores},\n  \"baseline_tps\": {baseline:.1},\n  \
+         \"sharded_tps\": {sharded:.1},\n  \"speedup\": {speedup:.3}\n}}\n"
+    );
+    std::fs::write("BENCH_ingest_parallel.json", json)?;
+    println!("recorded BENCH_ingest_parallel.json");
+
+    if cores < STREAMS {
+        println!(
+            "SKIP: {MIN_SPEEDUP}x floor needs {STREAMS} cores (host has \
+             {cores}); aggregate throughput cannot scale past the CPU budget"
+        );
+        return Ok(());
+    }
+    if speedup < MIN_SPEEDUP {
+        eprintln!("FAIL: speedup {speedup:.2}x below the {MIN_SPEEDUP}x floor");
+        std::process::exit(1);
+    }
+    println!("PASS: speedup {speedup:.2}x >= {MIN_SPEEDUP}x");
+    Ok(())
+}

@@ -12,6 +12,10 @@
 //!   `// lock-order: a < b < c` comment; every function's `.lock()` sites
 //!   are checked against the declaration. Out-of-order acquisition is the
 //!   only deadlock source the engine has.
+//! * **`undeclared-lock-order`** — a non-test function that acquires two
+//!   or more distinct locks in a file with *no* `// lock-order:`
+//!   declaration. Nested acquisition with no declared order is how the
+//!   shard/pool locks would silently grow deadlock potential.
 //! * **`relaxed-ordering`** — `Ordering::Relaxed` is allowed only in
 //!   `crates/obs` (metrics counters, where staleness is acceptable).
 //! * **`reserved-prefix`** — the reserved `streamrel_` catalog prefix may
@@ -270,6 +274,10 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
 
     // Per-function furthest lock position seen so far.
     let mut max_pos: Option<usize> = None;
+    // Per-function distinct lock receivers (for files with no declared
+    // order), and whether this function was already reported.
+    let mut fn_locks: Vec<String> = Vec::new();
+    let mut fn_reported = false;
 
     for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -310,11 +318,34 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
                         .to_string(),
                 });
             }
-            if !order.is_empty() {
-                let t = code.trim_start();
-                if t.starts_with("fn ") || code.contains(" fn ") {
-                    max_pos = None;
+            let t = code.trim_start();
+            if t.starts_with("fn ") || code.contains(" fn ") {
+                max_pos = None;
+                fn_locks.clear();
+                fn_reported = false;
+            }
+            if order.is_empty() && in_crates {
+                for recv in lock_receivers(&code) {
+                    if !fn_locks.contains(&recv) {
+                        fn_locks.push(recv);
+                    }
+                    if fn_locks.len() >= 2 && !fn_reported && !line.contains("lint: lock-order-ok")
+                    {
+                        fn_reported = true;
+                        out.push(Violation {
+                            rule: "undeclared-lock-order",
+                            path: rel.to_string(),
+                            line: lineno,
+                            message: format!(
+                                "function acquires `{}` with no `// lock-order:` \
+                                 declaration in this file",
+                                fn_locks.join("` and `")
+                            ),
+                        });
+                    }
                 }
+            }
+            if !order.is_empty() {
                 for recv in lock_receivers(&code) {
                     if let Some(pos) = order.iter().position(|n| *n == recv) {
                         if let Some(prev) = max_pos {
@@ -432,6 +463,26 @@ mod tests {
                    fn f() { b.lock(); }\n\
                    fn g() { a.lock(); b.lock(); }\n";
         assert!(rules_of("crates/core/src/db.rs", src).is_empty());
+    }
+
+    #[test]
+    fn undeclared_multi_lock_function_flagged() {
+        // Two distinct locks in one function, no declaration: violation.
+        let src = "fn f(&self) { self.a.lock(); self.b.lock(); }\n";
+        assert_eq!(
+            rules_of("crates/cq/src/pool.rs", src),
+            vec!["undeclared-lock-order"]
+        );
+        // One lock per function is fine without a declaration.
+        let src = "fn f(&self) { self.a.lock(); }\nfn g(&self) { self.b.lock(); }\n";
+        assert!(rules_of("crates/cq/src/pool.rs", src).is_empty());
+        // A declaration satisfies the rule (and takes over checking).
+        let src = "// lock-order: a < b\n\
+                   fn f(&self) { self.a.lock(); self.b.lock(); }\n";
+        assert!(rules_of("crates/cq/src/pool.rs", src).is_empty());
+        // Repeatedly taking the same lock is not a multi-lock function.
+        let src = "fn f(&self) { self.a.lock(); self.a.lock(); }\n";
+        assert!(rules_of("crates/cq/src/pool.rs", src).is_empty());
     }
 
     #[test]

@@ -1,17 +1,27 @@
 //! The stream-relational database object.
+//!
+//! Execution is sharded: catalog/DDL state lives behind one lock, while
+//! each base stream's runtime (reorder buffer, CQ runtimes, channel
+//! sinks) lives in its own [`Shard`] so ingest and heartbeat on distinct
+//! streams never contend. Closed-window plan evaluation runs on a small
+//! worker pool; results are re-sequenced into submission order — (CQ,
+//! close) — so subscription output is byte-identical to serial execution.
 
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use streamrel_check::{check_plan, CheckContext};
 use streamrel_cq::recovery::{load_watermark, save_watermark_txn};
-use streamrel_cq::{ContinuousQuery, CqOutput, CqStats, ReorderBuffer, SharedRegistry};
+use streamrel_cq::{
+    ContinuousQuery, CqOutput, CqStats, ReorderBuffer, SharedRegistry, WindowTask, WorkerPool,
+};
 use streamrel_exec::{execute, ExecContext, ExecMetrics};
-use streamrel_obs::{Counter, Gauge, Histogram};
+use streamrel_obs::{Counter, Gauge};
 use streamrel_sql::analyzer::Analyzer;
 use streamrel_sql::ast::{ChannelMode, ColumnDef, Expr, ObjectKind, Query, ShowKind, Statement};
 use streamrel_sql::parser::{parse_statement, parse_statements};
@@ -21,6 +31,7 @@ use streamrel_types::{Column, Error, Relation, Result, Row, Schema, Timestamp, V
 
 use crate::options::DbOptions;
 use crate::provider::{CatalogProvider, StreamDecl};
+use crate::shard::{ChannelSink, CqEntry, DerivedRuntime, Shard, ShardState, Sink, StreamRuntime};
 use crate::subscription::{ResultNotifier, Subscription, SubscriptionId};
 
 /// Result of [`Db::execute`].
@@ -79,58 +90,60 @@ pub struct DbStats {
     pub sub_queued: u64,
 }
 
-struct BaseStream {
+/// A base stream's catalog entry: its declaration plus which shard owns
+/// its runtime.
+struct CatStream {
     decl: StreamDecl,
-    reorder: Option<ReorderBuffer>,
-    cq_ids: Vec<u64>,
-    raw_channels: Vec<String>,
+    shard: usize,
 }
 
-struct Derived {
+/// A derived stream's catalog entry. The derived stream lives in the same
+/// shard as the base stream its CQ DAG is rooted at, so `pump` never
+/// crosses shards.
+struct CatDerived {
     decl: StreamDecl,
+    shard: usize,
     cq_id: u64,
-    channels: Vec<String>,
-    downstream_cqs: Vec<u64>,
 }
 
-struct Channel {
+/// A channel's definition. `rows_written` is shared with the
+/// [`ChannelSink`] mirrored into the producing shard, so `SHOW CHANNELS`
+/// reads it without any shard lock.
+struct ChannelDef {
     table: String,
     mode: ChannelMode,
-    rows_written: u64,
+    rows_written: Arc<AtomicU64>,
 }
 
-enum Sink {
-    /// Feed a derived stream's subscribers.
-    Derived(String),
-    /// Queue for a client subscription.
-    Client(SubscriptionId),
-}
-
-struct CqEntry {
-    cq: ContinuousQuery,
-    sink: Sink,
-    /// Window-close latency (tuple arrival → result enqueued), µs. One
-    /// instrument per CQ, registered as `cq.close_us.<name>`.
-    close_hist: Arc<Histogram>,
-}
-
-// lock-order: inner < g
+// lock-order: catalog < state < g < subs
 //
-// The `Db::inner` mutex is always acquired before any shared-group mutex
-// (`g`, via `SharedRegistry`); streamrel-lint checks every function in
-// this file against that order.
-struct Inner {
-    streams: HashMap<String, BaseStream>,
-    deriveds: HashMap<String, Derived>,
+// The `Db::catalog` mutex (DDL state) is acquired before any shard's
+// `state` lock; shard state precedes shared-group mutexes (`g`, via
+// `SharedRegistry`), which precede the client `subs` table. A group lock
+// is never held while acquiring shard state (the registry releases each
+// group guard before returning). streamrel-lint checks every function in
+// this file against this order.
+
+/// Catalog and DDL state: everything that is *not* on the per-tuple hot
+/// path. Stream/derived declarations, views, channel definitions, the
+/// slice-sharing registry, and the shard map itself.
+struct Catalog {
+    streams: HashMap<String, CatStream>,
+    deriveds: HashMap<String, CatDerived>,
     views: HashMap<String, String>,
-    channels: HashMap<String, Channel>,
-    cqs: HashMap<u64, CqEntry>,
-    subs: HashMap<SubscriptionId, Subscription>,
+    channels: HashMap<String, ChannelDef>,
     registry: SharedRegistry,
+    /// The execution shards. Streams are assigned at CREATE time and
+    /// never migrate; a dropped stream's shard slot stays (slots are
+    /// cheap and ids must stay stable).
+    shards: Vec<Arc<Shard>>,
+    /// Which shard hosts each client subscription's CQs.
+    sub_shard: HashMap<SubscriptionId, usize>,
+    /// Streams created so far (drives round-robin shard assignment).
+    stream_seq: usize,
     next_cq: u64,
     next_sub: u64,
     ddl_seq: u64,
-    stats: DbStats,
 }
 
 /// Cached handles into the engine's metrics registry. Held as `Arc`s so
@@ -142,6 +155,8 @@ struct DbMetrics {
     late_drops: Arc<Counter>,
     sub_drops: Arc<Counter>,
     sub_queue_depth: Arc<Gauge>,
+    /// Ingest/heartbeat calls that found their shard lock already held.
+    shard_contention: Arc<Counter>,
     /// Plans refused by the Level-1 admission check.
     check_rejected: Arc<Counter>,
     /// Warnings attached to admitted plans.
@@ -158,6 +173,7 @@ impl DbMetrics {
             late_drops: registry.counter("db.late_drops"),
             sub_drops: registry.counter("db.sub_drops"),
             sub_queue_depth: registry.gauge("db.sub_queue_depth"),
+            shard_contention: registry.counter("db.shard.contention"),
             check_rejected: registry.counter("check.rejected"),
             check_warned: registry.counter("check.warned"),
             exec: ExecMetrics::register(registry),
@@ -170,7 +186,11 @@ impl DbMetrics {
 pub struct Db {
     engine: Arc<StorageEngine>,
     options: DbOptions,
-    inner: Mutex<Inner>,
+    catalog: Mutex<Catalog>,
+    /// Client subscription queues, behind their own lock so shards
+    /// deliver results without serializing on the catalog.
+    subs: Mutex<HashMap<SubscriptionId, Subscription>>,
+    pool: WorkerPool,
     notify: Arc<ResultNotifier>,
     metrics: DbMetrics,
 }
@@ -195,24 +215,27 @@ impl Db {
 
     fn with_engine(engine: Arc<StorageEngine>, options: DbOptions) -> Db {
         let metrics = DbMetrics::register(engine.metrics());
+        let pool = WorkerPool::new(options.resolved_pool_workers(), engine.metrics());
         Db {
-            engine,
-            options,
-            inner: Mutex::new(Inner {
+            catalog: Mutex::new(Catalog {
                 streams: HashMap::new(),
                 deriveds: HashMap::new(),
                 views: HashMap::new(),
                 channels: HashMap::new(),
-                cqs: HashMap::new(),
-                subs: HashMap::new(),
                 registry: SharedRegistry::new(),
+                shards: Vec::new(),
+                sub_shard: HashMap::new(),
+                stream_seq: 0,
                 next_cq: 1,
                 next_sub: 1,
                 ddl_seq: 1,
-                stats: DbStats::default(),
             }),
+            subs: Mutex::new(HashMap::new()),
+            pool,
             notify: ResultNotifier::new(),
             metrics,
+            engine,
+            options,
         }
     }
 
@@ -221,13 +244,20 @@ impl Db {
         &self.engine
     }
 
-    /// Aggregate runtime counters.
+    /// Aggregate runtime counters. Totals come from the metrics registry
+    /// (shards bump them without any shared `Db` lock); queue figures
+    /// come from the live subscription table.
     pub fn stats(&self) -> DbStats {
-        let inner = self.inner.lock();
-        let mut stats = inner.stats;
-        stats.live_subs = inner.subs.len() as u64;
-        stats.sub_queued = inner.subs.values().map(|s| s.pending() as u64).sum();
-        stats
+        let subs = self.subs.lock();
+        DbStats {
+            tuples_in: self.metrics.tuples_in.get(),
+            windows_out: self.metrics.windows_out.get(),
+            rows_archived: self.metrics.rows_archived.get(),
+            late_drops: self.metrics.late_drops.get(),
+            sub_drops: self.metrics.sub_drops.get(),
+            live_subs: subs.len() as u64,
+            sub_queued: subs.values().map(|s| s.pending() as u64).sum(),
+        }
     }
 
     /// Snapshot of the `streamrel_metrics` virtual relation — the same
@@ -251,7 +281,7 @@ impl Db {
 
     /// Schema of a base stream, if `name` is one.
     pub fn stream_schema(&self, name: &str) -> Option<streamrel_sql::plan::SchemaRef> {
-        self.inner
+        self.catalog
             .lock()
             .streams
             .get(&name.to_ascii_lowercase())
@@ -260,9 +290,13 @@ impl Db {
 
     /// Per-CQ counters for the CQ backing derived stream `name`.
     pub fn derived_cq_stats(&self, name: &str) -> Option<CqStats> {
-        let inner = self.inner.lock();
-        let d = inner.deriveds.get(&name.to_ascii_lowercase())?;
-        inner.cqs.get(&d.cq_id).map(|e| e.cq.stats())
+        let (shard, cq_id) = {
+            let catalog = self.catalog.lock();
+            let d = catalog.deriveds.get(&name.to_ascii_lowercase())?;
+            (shard_at(&catalog, d.shard).ok()?, d.cq_id)
+        };
+        let state = shard.state.lock();
+        state.cqs.get(&cq_id).map(|e| e.cq.stats())
     }
 
     // ---- SQL entry points ---------------------------------------------------
@@ -292,14 +326,10 @@ impl Db {
 
     /// Drain pending window results for a subscription.
     pub fn poll(&self, sub: SubscriptionId) -> Result<Vec<CqOutput>> {
-        let mut inner = self.inner.lock();
-        let outs = inner
-            .subs
-            .get_mut(&sub)
+        let mut subs = self.subs.lock();
+        subs.get_mut(&sub)
             .map(Subscription::drain)
-            .ok_or_else(|| Error::stream(format!("unknown subscription {sub:?}")))?;
-        self.metrics.sub_queue_depth.sub(outs.len() as i64);
-        Ok(outs)
+            .ok_or_else(|| Error::stream(format!("unknown subscription {sub:?}")))
     }
 
     /// Push one tuple into a base stream (programmatic fast path; the SQL
@@ -309,36 +339,52 @@ impl Db {
     }
 
     /// Push many tuples (one archiving transaction for raw channels).
+    /// Only the owning shard's lock is held: concurrent ingest into
+    /// other streams proceeds in parallel.
     pub fn ingest_batch(&self, stream: &str, rows: Vec<Row>) -> Result<()> {
         // One timestamp per ingest event; every window this batch closes
         // measures its latency from here (arrival → result enqueued).
         let start = Instant::now();
-        let mut inner = self.inner.lock();
-        self.ingest_locked(&mut inner, stream, rows, start)
+        let key = stream.to_ascii_lowercase();
+        let shard = self.shard_of_stream(&key, stream)?;
+        let mut state = self.lock_shard(&shard);
+        self.ingest_sharded(&mut state, &key, rows, start)
     }
 
     /// Advance a stream's event time without data: closes due windows of
     /// every CQ over the stream (punctuation / heartbeat).
+    ///
+    /// If a CQ's window evaluation fails, results already produced by
+    /// earlier CQs (and earlier windows of the failing CQ) are still
+    /// delivered before the error is returned — an error in one plan
+    /// never silently discards another CQ's output.
     pub fn heartbeat(&self, stream: &str, ts: Timestamp) -> Result<()> {
         let start = Instant::now();
-        let mut inner = self.inner.lock();
         let key = stream.to_ascii_lowercase();
-        let cq_ids = inner
+        let shard = self.shard_of_stream(&key, stream)?;
+        let mut state = self.lock_shard(&shard);
+        let cq_ids = state
             .streams
             .get(&key)
             .ok_or_else(|| Error::stream(format!("unknown stream `{stream}`")))?
             .cq_ids
             .clone();
-        let mut emitted = Vec::new();
+        let mut staged: Vec<(u64, Vec<WindowTask>)> = Vec::new();
+        let mut stage_err: Option<Error> = None;
         for id in cq_ids {
-            let entry = inner
+            let entry = state
                 .cqs
                 .get_mut(&id)
                 .ok_or_else(|| Error::stream(format!("cq {id} not registered")))?;
-            let outs = entry.cq.on_heartbeat(ts)?;
-            emitted.push((id, outs));
+            match entry.cq.stage_heartbeat(ts) {
+                Ok(tasks) => staged.push((id, tasks)),
+                Err(e) => {
+                    stage_err = Some(e);
+                    break;
+                }
+            }
         }
-        self.pump(&mut inner, emitted, start)
+        self.eval_and_pump(&mut state, staged, stage_err, start)
     }
 
     // ---- statement dispatch -------------------------------------------------
@@ -418,9 +464,9 @@ impl Db {
     /// `CREATE TABLE name AS <snapshot query>`.
     fn create_table_as(&self, name: &str, query: &Query) -> Result<ExecResult> {
         let analyzed = {
-            let inner = self.inner.lock();
-            self.check_name_free(&inner, &name.to_ascii_lowercase())?;
-            let provider = self.provider(&inner);
+            let catalog = self.catalog.lock();
+            self.check_name_free(&catalog, &name.to_ascii_lowercase())?;
+            let provider = self.provider(&catalog);
             Analyzer::new(&provider).analyze(query)?
         };
         if analyzed.is_continuous {
@@ -458,8 +504,8 @@ impl Db {
     /// SQ/CQ classification of §3.1.
     fn explain(&self, query: &Query) -> Result<ExecResult> {
         let analyzed = {
-            let inner = self.inner.lock();
-            let provider = self.provider(&inner);
+            let catalog = self.catalog.lock();
+            let provider = self.provider(&catalog);
             Analyzer::new(&provider).analyze(query)?
         };
         let schema = Arc::new(Schema::new_unchecked(vec![Column::new(
@@ -485,14 +531,14 @@ impl Db {
     /// registering anything.
     fn explain_check(&self, query: &Query) -> Result<ExecResult> {
         let report = {
-            let inner = self.inner.lock();
-            let provider = self.provider(&inner);
+            let catalog = self.catalog.lock();
+            let provider = self.provider(&catalog);
             let analyzed = Analyzer::new(&provider).analyze(query)?;
             check_plan(
                 &analyzed.plan,
                 &CheckContext {
                     sharing: self.options.sharing,
-                    registry: Some(&inner.registry),
+                    registry: Some(&catalog.registry),
                 },
             )
         };
@@ -504,12 +550,12 @@ impl Db {
     /// buffers, subscriptions, shared-group membership) is allocated.
     /// Rejections surface as [`Error::Check`] with a fix hint; warnings
     /// only bump the `check.warned` counter.
-    fn admit_plan(&self, inner: &Inner, plan: &LogicalPlan) -> Result<()> {
+    fn admit_plan(&self, catalog: &Catalog, plan: &LogicalPlan) -> Result<()> {
         let report = check_plan(
             plan,
             &CheckContext {
                 sharing: self.options.sharing,
-                registry: Some(&inner.registry),
+                registry: Some(&catalog.registry),
             },
         );
         if let Some(err) = report.to_error() {
@@ -527,7 +573,7 @@ impl Db {
             ShowKind::Trace => return self.trace_relation(),
             _ => {}
         }
-        let inner = self.inner.lock();
+        let catalog = self.catalog.lock();
         let schema = |cols: &[&str]| {
             Arc::new(Schema::new_unchecked(
                 cols.iter()
@@ -550,20 +596,20 @@ impl Db {
             }
             ShowKind::Streams => {
                 let mut rel = Relation::empty(schema(&["stream", "kind", "columns"]));
-                let mut names: Vec<_> = inner.streams.keys().cloned().collect();
+                let mut names: Vec<_> = catalog.streams.keys().cloned().collect();
                 names.sort();
                 for name in names {
-                    let s = &inner.streams[&name];
+                    let s = &catalog.streams[&name];
                     rel.push(vec![
                         Value::text(&name),
                         Value::text("base"),
                         Value::text(s.decl.schema.to_string()),
                     ]);
                 }
-                let mut names: Vec<_> = inner.deriveds.keys().cloned().collect();
+                let mut names: Vec<_> = catalog.deriveds.keys().cloned().collect();
                 names.sort();
                 for name in names {
-                    let d = &inner.deriveds[&name];
+                    let d = &catalog.deriveds[&name];
                     rel.push(vec![
                         Value::text(&name),
                         Value::text("derived"),
@@ -574,20 +620,20 @@ impl Db {
             }
             ShowKind::Views => {
                 let mut rel = Relation::empty(schema(&["view", "definition"]));
-                let mut names: Vec<_> = inner.views.keys().cloned().collect();
+                let mut names: Vec<_> = catalog.views.keys().cloned().collect();
                 names.sort();
                 for name in names {
-                    rel.push(vec![Value::text(&name), Value::text(&inner.views[&name])]);
+                    rel.push(vec![Value::text(&name), Value::text(&catalog.views[&name])]);
                 }
                 rel
             }
             ShowKind::Channels => {
                 let mut rel =
                     Relation::empty(schema(&["channel", "into_table", "mode", "rows_written"]));
-                let mut names: Vec<_> = inner.channels.keys().cloned().collect();
+                let mut names: Vec<_> = catalog.channels.keys().cloned().collect();
                 names.sort();
                 for name in names {
-                    let c = &inner.channels[&name];
+                    let c = &catalog.channels[&name];
                     rel.push(vec![
                         Value::text(&name),
                         Value::text(&c.table),
@@ -595,7 +641,7 @@ impl Db {
                             ChannelMode::Append => "APPEND",
                             ChannelMode::Replace => "REPLACE",
                         }),
-                        Value::text(c.rows_written.to_string()),
+                        Value::text(c.rows_written.load(Ordering::SeqCst).to_string()),
                     ]);
                 }
                 rel
@@ -612,15 +658,15 @@ impl Db {
         sql: &str,
         persist: bool,
     ) -> Result<ExecResult> {
-        let mut inner = self.inner.lock();
+        let mut catalog = self.catalog.lock();
         let key = name.to_ascii_lowercase();
-        if inner.streams.contains_key(&key) {
+        if catalog.streams.contains_key(&key) {
             if if_not_exists {
                 return Ok(ExecResult::Created(name.to_string()));
             }
             return Err(Error::catalog(format!("stream `{name}` already exists")));
         }
-        self.check_name_free(&inner, &key)?;
+        self.check_name_free(&catalog, &key)?;
         let schema = column_defs_to_schema(columns)?;
         let cqtime = columns.iter().position(|c| c.cqtime_user);
         if let Some(i) = cqtime {
@@ -636,17 +682,27 @@ impl Db {
             (s, Some(c)) if s > 0 => Some(ReorderBuffer::new(c, s)),
             _ => None,
         };
-        inner.streams.insert(
+        let shard_idx = self.assign_shard(&mut catalog);
+        catalog.streams.insert(
             key.clone(),
-            BaseStream {
+            CatStream {
+                decl: decl.clone(),
+                shard: shard_idx,
+            },
+        );
+        let shard = shard_at(&catalog, shard_idx)?;
+        shard.state.lock().streams.insert(
+            key.clone(),
+            StreamRuntime {
                 decl,
                 reorder,
                 cq_ids: Vec::new(),
                 raw_channels: Vec::new(),
+                groups: Vec::new(),
             },
         );
         if persist {
-            self.persist_ddl(&mut inner, "stream", &key, sql)?;
+            self.persist_ddl(&mut catalog, "stream", &key, sql)?;
         }
         Ok(ExecResult::Created(name.to_string()))
     }
@@ -658,20 +714,20 @@ impl Db {
         sql: &str,
         persist: bool,
     ) -> Result<ExecResult> {
-        let mut inner = self.inner.lock();
+        let mut catalog = self.catalog.lock();
         let key = name.to_ascii_lowercase();
-        self.check_name_free(&inner, &key)?;
+        self.check_name_free(&catalog, &key)?;
         // Validate by analyzing now (errors surface at CREATE time).
         {
-            let provider = self.provider(&inner);
+            let provider = self.provider(&catalog);
             let Statement::CreateView { query, .. } = parse_statement(sql)? else {
                 return Err(Error::analysis("stored view text is not CREATE VIEW"));
             };
             Analyzer::new(&provider).analyze(&query)?;
         }
-        inner.views.insert(key.clone(), sql.to_string());
+        catalog.views.insert(key.clone(), sql.to_string());
         if persist {
-            self.persist_ddl(&mut inner, "view", &key, sql)?;
+            self.persist_ddl(&mut catalog, "view", &key, sql)?;
         }
         Ok(ExecResult::Created(name.to_string()))
     }
@@ -683,11 +739,11 @@ impl Db {
         sql: &str,
         persist: bool,
     ) -> Result<ExecResult> {
-        let mut inner = self.inner.lock();
+        let mut catalog = self.catalog.lock();
         let key = name.to_ascii_lowercase();
-        self.check_name_free(&inner, &key)?;
+        self.check_name_free(&catalog, &key)?;
         let analyzed = {
-            let provider = self.provider(&inner);
+            let provider = self.provider(&catalog);
             Analyzer::new(&provider).analyze(query)?
         };
         if !analyzed.is_continuous {
@@ -696,7 +752,7 @@ impl Db {
                  (use CREATE VIEW or CREATE TABLE AS for snapshot queries)",
             ));
         }
-        self.admit_plan(&inner, &analyzed.plan)?;
+        self.admit_plan(&catalog, &analyzed.plan)?;
         let mut cq = ContinuousQuery::new(
             key.clone(),
             &analyzed,
@@ -705,44 +761,65 @@ impl Db {
         )?;
         // Slice sharing applies to base-stream aggregates only: derived
         // streams deliver whole result batches, not tuples.
-        if self.options.sharing
-            && inner
-                .streams
-                .contains_key(&cq.stream().to_ascii_lowercase())
-        {
-            cq.try_share(&mut inner.registry);
+        let upstream = cq.stream().to_ascii_lowercase();
+        let upstream_is_base = catalog.streams.contains_key(&upstream);
+        if self.options.sharing && upstream_is_base {
+            cq.try_share(&mut catalog.registry);
         }
         let out_schema = analyzed.plan.schema();
         let cqtime = find_cq_close_column(&analyzed.plan);
-        let upstream = cq.stream().to_string();
-        let cq_id = inner.next_cq;
-        inner.next_cq += 1;
-        inner.cqs.insert(
-            cq_id,
-            CqEntry {
-                cq,
-                sink: Sink::Derived(key.clone()),
-                close_hist: self
-                    .engine
-                    .metrics()
-                    .histogram(&format!("cq.close_us.{key}")),
-            },
-        );
-        self.attach_cq(&mut inner, &upstream, cq_id)?;
-        inner.deriveds.insert(
+        let shard_idx = if let Some(s) = catalog.streams.get(&upstream) {
+            s.shard
+        } else if let Some(d) = catalog.deriveds.get(&upstream) {
+            d.shard
+        } else {
+            return Err(Error::stream(format!("unknown stream `{}`", cq.stream())));
+        };
+        let cq_id = catalog.next_cq;
+        catalog.next_cq += 1;
+        catalog.deriveds.insert(
             key.clone(),
-            Derived {
+            CatDerived {
                 decl: StreamDecl {
                     schema: out_schema,
                     cqtime,
                 },
+                shard: shard_idx,
                 cq_id,
-                channels: Vec::new(),
-                downstream_cqs: Vec::new(),
             },
         );
+        // Mirror the (possibly new) shared groups into the owning shard
+        // so the ingest hot path folds tuples without the catalog lock.
+        let groups = if upstream_is_base {
+            catalog.registry.groups_on_stream(&upstream)
+        } else {
+            Vec::new()
+        };
+        let shard = shard_at(&catalog, shard_idx)?;
+        let hist = self
+            .engine
+            .metrics()
+            .histogram(&format!("cq.close_us.{key}"));
+        {
+            let mut state = shard.state.lock();
+            if let Some(rt) = state.streams.get_mut(&upstream) {
+                rt.groups = groups;
+            }
+            state.cqs.insert(
+                cq_id,
+                CqEntry {
+                    cq,
+                    sink: Sink::Derived(key.clone()),
+                    close_hist: hist,
+                },
+            );
+            attach_cq(&mut state, &upstream, cq_id)?;
+            state
+                .deriveds
+                .insert(key.clone(), DerivedRuntime::default());
+        }
         if persist {
-            self.persist_ddl(&mut inner, "derived", &key, sql)?;
+            self.persist_ddl(&mut catalog, "derived", &key, sql)?;
         }
         Ok(ExecResult::Created(name.to_string()))
     }
@@ -756,19 +833,20 @@ impl Db {
         sql: &str,
         persist: bool,
     ) -> Result<ExecResult> {
-        let mut inner = self.inner.lock();
+        let mut catalog = self.catalog.lock();
         let key = name.to_ascii_lowercase();
-        if inner.channels.contains_key(&key) {
+        if catalog.channels.contains_key(&key) {
             return Err(Error::catalog(format!("channel `{name}` already exists")));
         }
         let from_key = from_stream.to_ascii_lowercase();
         let table_schema = self.engine.table_schema(into_table)?;
         // Validate schema compatibility (arity; types are coerced at
         // insert, so a count/arity check catches the real mistakes).
-        let src_schema = if let Some(d) = inner.deriveds.get(&from_key) {
-            d.decl.schema.clone()
-        } else if let Some(s) = inner.streams.get(&from_key) {
-            s.decl.schema.clone()
+        let (src_schema, shard_idx, from_derived) = if let Some(d) = catalog.deriveds.get(&from_key)
+        {
+            (d.decl.schema.clone(), d.shard, true)
+        } else if let Some(s) = catalog.streams.get(&from_key) {
+            (s.decl.schema.clone(), s.shard, false)
         } else {
             return Err(Error::catalog(format!(
                 "channel source `{from_stream}` is not a stream"
@@ -781,106 +859,145 @@ impl Db {
                 table_schema.len()
             )));
         }
-        inner.channels.insert(
+        let rows_written = Arc::new(AtomicU64::new(0));
+        catalog.channels.insert(
             key.clone(),
-            Channel {
+            ChannelDef {
                 table: into_table.to_string(),
                 mode,
-                rows_written: 0,
+                rows_written: rows_written.clone(),
             },
         );
-        if let Some(d) = inner.deriveds.get_mut(&from_key) {
-            d.channels.push(key.clone());
-        } else if let Some(s) = inner.streams.get_mut(&from_key) {
-            s.raw_channels.push(key.clone());
+        let sink = ChannelSink {
+            name: key.clone(),
+            table: into_table.to_string(),
+            mode,
+            rows_written,
+        };
+        let shard = shard_at(&catalog, shard_idx)?;
+        {
+            let mut state = shard.state.lock();
+            if from_derived {
+                state
+                    .deriveds
+                    .entry(from_key.clone())
+                    .or_default()
+                    .channels
+                    .push(sink);
+            } else if let Some(rt) = state.streams.get_mut(&from_key) {
+                rt.raw_channels.push(sink);
+            }
         }
         if persist {
-            self.persist_ddl(&mut inner, "channel", &key, sql)?;
+            self.persist_ddl(&mut catalog, "channel", &key, sql)?;
         }
         Ok(ExecResult::Created(name.to_string()))
     }
 
     fn drop_object(&self, kind: ObjectKind, name: &str, if_exists: bool) -> Result<ExecResult> {
         let key = name.to_ascii_lowercase();
-        let missing = |what: &str| {
-            if if_exists {
-                Ok(ExecResult::Dropped(name.to_string()))
-            } else {
-                Err(Error::catalog(format!("{what} `{name}` does not exist")))
-            }
-        };
         match kind {
             ObjectKind::Table => {
                 if !self.engine.has_table(&key) {
-                    return missing("table");
+                    return missing("table", name, if_exists);
                 }
                 self.engine.drop_table(&key)?;
                 Ok(ExecResult::Dropped(name.to_string()))
             }
-            ObjectKind::View => {
-                let mut inner = self.inner.lock();
-                if inner.views.remove(&key).is_none() {
-                    return missing("view");
-                }
-                self.unpersist_ddl(&mut inner, "view", &key)?;
-                Ok(ExecResult::Dropped(name.to_string()))
-            }
-            ObjectKind::Stream => {
-                let mut inner = self.inner.lock();
-                if let Some(d) = inner.deriveds.get(&key) {
-                    if !d.downstream_cqs.is_empty() || !d.channels.is_empty() {
-                        return Err(Error::catalog(format!(
-                            "derived stream `{name}` has dependents; drop them first"
-                        )));
-                    }
-                    let cq_id = d.cq_id;
-                    inner.deriveds.remove(&key);
-                    inner.cqs.remove(&cq_id);
-                    self.engine.metrics().remove(&format!("cq.close_us.{key}"));
-                    // Detach from upstream lists.
-                    for s in inner.streams.values_mut() {
-                        s.cq_ids.retain(|&id| id != cq_id);
-                    }
-                    for d in inner.deriveds.values_mut() {
-                        d.downstream_cqs.retain(|&id| id != cq_id);
-                    }
-                    self.unpersist_ddl(&mut inner, "derived", &key)?;
-                    return Ok(ExecResult::Dropped(name.to_string()));
-                }
-                if let Some(s) = inner.streams.get(&key) {
-                    if !s.cq_ids.is_empty() || !s.raw_channels.is_empty() {
-                        return Err(Error::catalog(format!(
-                            "stream `{name}` has dependents; drop them first"
-                        )));
-                    }
-                    inner.streams.remove(&key);
-                    self.unpersist_ddl(&mut inner, "stream", &key)?;
-                    return Ok(ExecResult::Dropped(name.to_string()));
-                }
-                missing("stream")
-            }
-            ObjectKind::Channel => {
-                let mut inner = self.inner.lock();
-                if inner.channels.remove(&key).is_none() {
-                    return missing("channel");
-                }
-                for d in inner.deriveds.values_mut() {
-                    d.channels.retain(|c| c != &key);
-                }
-                for s in inner.streams.values_mut() {
-                    s.raw_channels.retain(|c| c != &key);
-                }
-                self.unpersist_ddl(&mut inner, "channel", &key)?;
-                Ok(ExecResult::Dropped(name.to_string()))
-            }
+            ObjectKind::View => self.drop_view(&key, name, if_exists),
+            ObjectKind::Stream => self.drop_stream(&key, name, if_exists),
+            ObjectKind::Channel => self.drop_channel(&key, name, if_exists),
             ObjectKind::Index => {
                 if self.engine.drop_index(&key)? {
                     Ok(ExecResult::Dropped(name.to_string()))
                 } else {
-                    missing("index")
+                    missing("index", name, if_exists)
                 }
             }
         }
+    }
+
+    fn drop_view(&self, key: &str, name: &str, if_exists: bool) -> Result<ExecResult> {
+        let mut catalog = self.catalog.lock();
+        if catalog.views.remove(key).is_none() {
+            return missing("view", name, if_exists);
+        }
+        self.unpersist_ddl(&mut catalog, "view", key)?;
+        Ok(ExecResult::Dropped(name.to_string()))
+    }
+
+    fn drop_stream(&self, key: &str, name: &str, if_exists: bool) -> Result<ExecResult> {
+        let mut catalog = self.catalog.lock();
+        if let Some(d) = catalog.deriveds.get(key) {
+            let cq_id = d.cq_id;
+            let shard = shard_at(&catalog, d.shard)?;
+            {
+                let mut state = shard.state.lock();
+                let has_deps = state
+                    .deriveds
+                    .get(key)
+                    .map(|rt| !rt.downstream_cqs.is_empty() || !rt.channels.is_empty())
+                    .unwrap_or(false);
+                if has_deps {
+                    return Err(Error::catalog(format!(
+                        "derived stream `{name}` has dependents; drop them first"
+                    )));
+                }
+                state.deriveds.remove(key);
+                state.cqs.remove(&cq_id);
+                // Detach from upstream lists.
+                for s in state.streams.values_mut() {
+                    s.cq_ids.retain(|&id| id != cq_id);
+                }
+                for rt in state.deriveds.values_mut() {
+                    rt.downstream_cqs.retain(|&id| id != cq_id);
+                }
+            }
+            catalog.deriveds.remove(key);
+            self.engine.metrics().remove(&format!("cq.close_us.{key}"));
+            self.unpersist_ddl(&mut catalog, "derived", key)?;
+            return Ok(ExecResult::Dropped(name.to_string()));
+        }
+        if let Some(s) = catalog.streams.get(key) {
+            let shard = shard_at(&catalog, s.shard)?;
+            {
+                let mut state = shard.state.lock();
+                let has_deps = state
+                    .streams
+                    .get(key)
+                    .map(|rt| !rt.cq_ids.is_empty() || !rt.raw_channels.is_empty())
+                    .unwrap_or(false);
+                if has_deps {
+                    return Err(Error::catalog(format!(
+                        "stream `{name}` has dependents; drop them first"
+                    )));
+                }
+                state.streams.remove(key);
+            }
+            // The shard slot itself stays: ids must remain stable.
+            catalog.streams.remove(key);
+            self.unpersist_ddl(&mut catalog, "stream", key)?;
+            return Ok(ExecResult::Dropped(name.to_string()));
+        }
+        missing("stream", name, if_exists)
+    }
+
+    fn drop_channel(&self, key: &str, name: &str, if_exists: bool) -> Result<ExecResult> {
+        let mut catalog = self.catalog.lock();
+        if catalog.channels.remove(key).is_none() {
+            return missing("channel", name, if_exists);
+        }
+        for shard in catalog.shards.iter() {
+            let mut state = shard.state.lock();
+            for rt in state.deriveds.values_mut() {
+                rt.channels.retain(|c| c.name != key);
+            }
+            for rt in state.streams.values_mut() {
+                rt.raw_channels.retain(|c| c.name != key);
+            }
+        }
+        self.unpersist_ddl(&mut catalog, "channel", key)?;
+        Ok(ExecResult::Dropped(name.to_string()))
     }
 
     fn insert(
@@ -891,8 +1008,8 @@ impl Db {
     ) -> Result<ExecResult> {
         // Evaluate constant expressions.
         let analyzer_rows: Vec<Row> = {
-            let inner = self.inner.lock();
-            let provider = self.provider(&inner);
+            let catalog = self.catalog.lock();
+            let provider = self.provider(&catalog);
             let analyzer = Analyzer::new(&provider);
             let mut out = Vec::with_capacity(value_rows.len());
             for exprs in value_rows {
@@ -912,8 +1029,8 @@ impl Db {
         let key = target.to_ascii_lowercase();
         // Stream ingest path.
         let stream_schema = {
-            let inner = self.inner.lock();
-            inner.streams.get(&key).map(|s| s.decl.schema.clone())
+            let catalog = self.catalog.lock();
+            catalog.streams.get(&key).map(|s| s.decl.schema.clone())
         };
         if let Some(schema) = stream_schema {
             let rows = reorder_columns(&schema, columns, analyzer_rows)?;
@@ -936,8 +1053,8 @@ impl Db {
         let id = self.engine.table_id(table)?;
         let bound = match filter {
             Some(f) => {
-                let inner = self.inner.lock();
-                let provider = self.provider(&inner);
+                let catalog = self.catalog.lock();
+                let provider = self.provider(&catalog);
                 Some(Analyzer::new(&provider).bind_over_schema(f, &schema)?)
             }
             None => None,
@@ -966,53 +1083,74 @@ impl Db {
     }
 
     fn select(&self, query: &Query) -> Result<ExecResult> {
-        let mut inner = self.inner.lock();
+        let mut catalog = self.catalog.lock();
         let analyzed = {
-            let provider = self.provider(&inner);
+            let provider = self.provider(&catalog);
             Analyzer::new(&provider).analyze(query)?
         };
         if !analyzed.is_continuous {
             // Snapshot query: fresh snapshot, run to completion (§3.1 SQ).
+            // Holds only the catalog lock — ingest proceeds in parallel.
             let source = streamrel_cq::SnapshotSource::pin(self.engine.clone());
             let ctx = ExecContext::snapshot(&source).with_metrics(&self.metrics.exec);
             let rel = execute(&analyzed.plan, &ctx)?;
             return Ok(ExecResult::Rows(rel));
         }
         // Continuous query: register a subscription-backed CQ.
-        self.admit_plan(&inner, &analyzed.plan)?;
-        let sub_id = SubscriptionId(inner.next_sub);
-        inner.next_sub += 1;
+        self.admit_plan(&catalog, &analyzed.plan)?;
+        let sub_id = SubscriptionId(catalog.next_sub);
+        catalog.next_sub += 1;
         let mut cq = ContinuousQuery::new(
             format!("sub_{}", sub_id.0),
             &analyzed,
             self.engine.clone(),
             self.options.consistency,
         )?;
-        if self.options.sharing
-            && inner
-                .streams
-                .contains_key(&cq.stream().to_ascii_lowercase())
-        {
-            cq.try_share(&mut inner.registry);
+        let upstream = cq.stream().to_ascii_lowercase();
+        let upstream_is_base = catalog.streams.contains_key(&upstream);
+        if self.options.sharing && upstream_is_base {
+            cq.try_share(&mut catalog.registry);
         }
-        let upstream = cq.stream().to_string();
-        let cq_id = inner.next_cq;
-        inner.next_cq += 1;
-        inner.cqs.insert(
-            cq_id,
-            CqEntry {
-                cq,
-                sink: Sink::Client(sub_id),
-                close_hist: self
-                    .engine
-                    .metrics()
-                    .histogram(&format!("cq.close_us.sub_{}", sub_id.0)),
-            },
-        );
-        self.attach_cq(&mut inner, &upstream, cq_id)?;
-        inner.subs.insert(
+        let shard_idx = if let Some(s) = catalog.streams.get(&upstream) {
+            s.shard
+        } else if let Some(d) = catalog.deriveds.get(&upstream) {
+            d.shard
+        } else {
+            return Err(Error::stream(format!("unknown stream `{}`", cq.stream())));
+        };
+        let cq_id = catalog.next_cq;
+        catalog.next_cq += 1;
+        catalog.sub_shard.insert(sub_id, shard_idx);
+        let groups = if upstream_is_base {
+            catalog.registry.groups_on_stream(&upstream)
+        } else {
+            Vec::new()
+        };
+        let shard = shard_at(&catalog, shard_idx)?;
+        let hist = self
+            .engine
+            .metrics()
+            .histogram(&format!("cq.close_us.sub_{}", sub_id.0));
+        {
+            let mut state = shard.state.lock();
+            if let Some(rt) = state.streams.get_mut(&upstream) {
+                rt.groups = groups;
+            }
+            state.cqs.insert(
+                cq_id,
+                CqEntry {
+                    cq,
+                    sink: Sink::Client(sub_id),
+                    close_hist: hist,
+                },
+            );
+            attach_cq(&mut state, &upstream, cq_id)?;
+        }
+        drop(catalog);
+        self.subs.lock().insert(
             sub_id,
-            Subscription::bounded(self.options.sub_queue_capacity, self.options.sub_overflow),
+            Subscription::bounded(self.options.sub_queue_capacity, self.options.sub_overflow)
+                .with_depth_gauge(self.metrics.sub_queue_depth.clone()),
         );
         Ok(ExecResult::Subscribed(sub_id))
     }
@@ -1020,32 +1158,37 @@ impl Db {
     /// Terminate a continuous query / subscription (§3.1: "CQs run until
     /// they are explicitly terminated").
     pub fn unsubscribe(&self, sub: SubscriptionId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let removed = inner
-            .subs
+        let mut catalog = self.catalog.lock();
+        let shard_idx = catalog
+            .sub_shard
             .remove(&sub)
             .ok_or_else(|| Error::stream(format!("unknown subscription {sub:?}")))?;
-        // Undelivered results leave the queue with the subscription.
-        self.metrics.sub_queue_depth.sub(removed.pending() as i64);
         self.engine
             .metrics()
             .remove(&format!("cq.close_us.sub_{}", sub.0));
-        let ids: Vec<u64> = inner
-            .cqs
-            .iter()
-            .filter(|(_, e)| matches!(e.sink, Sink::Client(s) if s == sub))
-            .map(|(id, _)| *id)
-            .collect();
-        for id in ids {
-            inner.cqs.remove(&id);
-            for s in inner.streams.values_mut() {
-                s.cq_ids.retain(|&c| c != id);
-            }
-            for d in inner.deriveds.values_mut() {
-                d.downstream_cqs.retain(|&c| c != id);
+        let shard = shard_at(&catalog, shard_idx)?;
+        drop(catalog);
+        {
+            let mut state = shard.state.lock();
+            let ids: Vec<u64> = state
+                .cqs
+                .iter()
+                .filter(|(_, e)| matches!(e.sink, Sink::Client(s) if s == sub))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in ids {
+                state.cqs.remove(&id);
+                for s in state.streams.values_mut() {
+                    s.cq_ids.retain(|&c| c != id);
+                }
+                for d in state.deriveds.values_mut() {
+                    d.downstream_cqs.retain(|&c| c != id);
+                }
             }
         }
-        drop(inner);
+        // Undelivered results leave the depth gauge with the subscription
+        // (its Drop impl settles the account).
+        self.subs.lock().remove(&sub);
         // Wake blocked deliverers so they notice the subscription is gone.
         self.notify.notify();
         Ok(())
@@ -1053,11 +1196,11 @@ impl Db {
 
     // ---- internals ------------------------------------------------------------
 
-    fn check_name_free(&self, inner: &Inner, key: &str) -> Result<()> {
+    fn check_name_free(&self, catalog: &Catalog, key: &str) -> Result<()> {
         check_reserved(key)?;
-        if inner.streams.contains_key(key)
-            || inner.deriveds.contains_key(key)
-            || inner.views.contains_key(key)
+        if catalog.streams.contains_key(key)
+            || catalog.deriveds.contains_key(key)
+            || catalog.views.contains_key(key)
             || self.engine.has_table(key)
         {
             return Err(Error::catalog(format!("name `{key}` is already in use")));
@@ -1065,42 +1208,60 @@ impl Db {
         Ok(())
     }
 
-    fn provider<'a>(&'a self, inner: &'a Inner) -> ProviderView<'a> {
+    fn provider<'a>(&'a self, catalog: &'a Catalog) -> ProviderView<'a> {
         ProviderView {
             engine: &self.engine,
-            streams: &inner.streams,
-            deriveds: &inner.deriveds,
-            views: &inner.views,
+            catalog,
         }
     }
 
-    fn attach_cq(&self, inner: &mut Inner, upstream: &str, cq_id: u64) -> Result<()> {
-        let key = upstream.to_ascii_lowercase();
-        if let Some(s) = inner.streams.get_mut(&key) {
-            s.cq_ids.push(cq_id);
-            return Ok(());
+    /// Pick (and if needed create) the shard for a new base stream.
+    fn assign_shard(&self, catalog: &mut Catalog) -> usize {
+        let idx = if self.options.shards == 0 {
+            catalog.shards.len()
+        } else {
+            catalog.stream_seq % self.options.shards
+        };
+        catalog.stream_seq += 1;
+        while catalog.shards.len() <= idx {
+            catalog.shards.push(Shard::new());
         }
-        if let Some(d) = inner.deriveds.get_mut(&key) {
-            d.downstream_cqs.push(cq_id);
-            return Ok(());
-        }
-        Err(Error::stream(format!("unknown stream `{upstream}`")))
+        idx
     }
 
-    fn ingest_locked(
+    /// Resolve a base stream to its shard (brief catalog lock only).
+    fn shard_of_stream(&self, key: &str, display: &str) -> Result<Arc<Shard>> {
+        let catalog = self.catalog.lock();
+        let idx = catalog
+            .streams
+            .get(key)
+            .map(|s| s.shard)
+            .ok_or_else(|| Error::stream(format!("unknown stream `{display}`")))?;
+        shard_at(&catalog, idx)
+    }
+
+    /// Acquire a shard's state lock, counting contended acquisitions.
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardState> {
+        if let Some(guard) = shard.state.try_lock() {
+            return guard;
+        }
+        self.metrics.shard_contention.inc();
+        shard.state.lock()
+    }
+
+    fn ingest_sharded(
         &self,
-        inner: &mut Inner,
-        stream: &str,
+        state: &mut ShardState,
+        key: &str,
         rows: Vec<Row>,
         start: Instant,
     ) -> Result<()> {
-        let key = stream.to_ascii_lowercase();
         let (schema, has_reorder) = {
-            let s = inner
+            let rt = state
                 .streams
-                .get(&key)
-                .ok_or_else(|| Error::stream(format!("unknown stream `{stream}`")))?;
-            (s.decl.schema.clone(), s.reorder.is_some())
+                .get(key)
+                .ok_or_else(|| Error::stream(format!("unknown stream `{key}`")))?;
+            (rt.decl.schema.clone(), rt.reorder.is_some())
         };
         // Coerce rows against the stream schema (streams enforce their
         // declared types exactly like tables do).
@@ -1110,9 +1271,9 @@ impl Db {
         }
         // Out-of-order slack.
         let released = if has_reorder {
-            let rb = inner
+            let rb = state
                 .streams
-                .get_mut(&key)
+                .get_mut(key)
                 .and_then(|s| s.reorder.as_mut())
                 .ok_or_else(|| Error::stream(format!("reorder buffer for `{key}` vanished")))?;
             let before = rb.late_drops();
@@ -1120,9 +1281,7 @@ impl Db {
             for r in coerced {
                 released.extend(rb.push(r)?);
             }
-            let dropped = rb.late_drops() - before;
-            inner.stats.late_drops += dropped;
-            self.metrics.late_drops.add(dropped);
+            self.metrics.late_drops.add(rb.late_drops() - before);
             released
         } else {
             coerced
@@ -1130,32 +1289,35 @@ impl Db {
         if released.is_empty() {
             return Ok(());
         }
-        inner.stats.tuples_in += released.len() as u64;
         self.metrics.tuples_in.add(released.len() as u64);
 
+        let (raw_channels, groups, cqtime, cq_ids) = {
+            let rt = state
+                .streams
+                .get(key)
+                .ok_or_else(|| Error::stream(format!("unknown stream `{key}`")))?;
+            (
+                rt.raw_channels.clone(),
+                rt.groups.clone(),
+                rt.decl.cqtime,
+                rt.cq_ids.clone(),
+            )
+        };
+
         // Raw archive channels (one transaction per batch).
-        let raw_channels = inner.streams[&key].raw_channels.clone();
-        for ch_name in &raw_channels {
-            let (table, mode) = {
-                let ch = &inner.channels[ch_name];
-                (ch.table.clone(), ch.mode)
-            };
-            let tid = self.engine.table_id(&table)?;
+        for ch in &raw_channels {
+            let tid = self.engine.table_id(&ch.table)?;
             let n = self.engine.with_txn(|x| {
-                if mode == ChannelMode::Replace {
+                if ch.mode == ChannelMode::Replace {
                     self.engine.delete_all_visible(x, tid)?;
                 }
                 self.engine.insert_many(x, tid, released.clone())
             })?;
-            if let Some(ch) = inner.channels.get_mut(ch_name) {
-                ch.rows_written += n;
-            }
-            inner.stats.rows_archived += n;
+            ch.rows_written.fetch_add(n, Ordering::SeqCst);
             self.metrics.rows_archived.add(n);
         }
 
         // Shared groups: fold each tuple once per group.
-        let groups = inner.registry.groups_on_stream(&key);
         for g in &groups {
             let mut g = g.lock();
             for r in &released {
@@ -1163,74 +1325,141 @@ impl Db {
             }
         }
 
-        // Per-CQ window advancement. Shared CQs take the timestamp-only
-        // fast path: the group already aggregated each tuple once.
-        let cqtime = inner.streams[&key].decl.cqtime;
+        // Per-CQ window staging. Shared CQs take the timestamp-only fast
+        // path: the group already aggregated each tuple once. If staging
+        // fails mid-way, whatever was staged so far is still evaluated
+        // and delivered before the error surfaces (no silent drops).
         let timestamps: Option<Vec<i64>> = cqtime.map(|c| {
             released
                 .iter()
                 .map(|r| r[c].as_timestamp().unwrap_or(i64::MIN))
                 .collect()
         });
-        let cq_ids = inner.streams[&key].cq_ids.clone();
-        let mut emitted = Vec::new();
-        for id in cq_ids {
-            let entry = inner
+        let mut staged: Vec<(u64, Vec<WindowTask>)> = Vec::new();
+        let mut stage_err: Option<Error> = None;
+        'cqs: for id in cq_ids {
+            let entry = state
                 .cqs
                 .get_mut(&id)
                 .ok_or_else(|| Error::stream(format!("cq {id} not registered")))?;
-            let mut outs = Vec::new();
+            let mut tasks = Vec::new();
             if entry.cq.is_shared() {
                 let ts_list = timestamps
                     .as_ref()
                     .ok_or_else(|| Error::stream("shared CQ without CQTIME"))?;
                 for &ts in ts_list {
-                    outs.extend(entry.cq.note_shared_tuple(ts)?);
+                    match entry.cq.stage_note_shared(ts) {
+                        Ok(t) => tasks.extend(t),
+                        Err(e) => {
+                            staged.push((id, std::mem::take(&mut tasks)));
+                            stage_err = Some(e);
+                            break 'cqs;
+                        }
+                    }
                 }
             } else {
                 for r in &released {
-                    outs.extend(entry.cq.on_tuple(r.clone())?);
+                    match entry.cq.stage_tuple(r.clone()) {
+                        Ok(t) => tasks.extend(t),
+                        Err(e) => {
+                            staged.push((id, std::mem::take(&mut tasks)));
+                            stage_err = Some(e);
+                            break 'cqs;
+                        }
+                    }
                 }
             }
-            if !outs.is_empty() {
-                emitted.push((id, outs));
+            staged.push((id, tasks));
+        }
+        self.eval_and_pump(state, staged, stage_err, start)
+    }
+
+    /// Evaluate staged window tasks on the worker pool, then deliver.
+    ///
+    /// `run_ordered` hands results back in submission order — exactly the
+    /// (CQ registration, window close) order serial execution produces —
+    /// so downstream output is byte-identical to the single-threaded
+    /// engine. Results produced before the first error (staging or
+    /// evaluation) are always delivered; the error is returned after.
+    fn eval_and_pump(
+        &self,
+        state: &mut ShardState,
+        staged: Vec<(u64, Vec<WindowTask>)>,
+        stage_err: Option<Error>,
+        start: Instant,
+    ) -> Result<()> {
+        let mut flat: Vec<(u64, WindowTask)> = Vec::new();
+        for (id, tasks) in staged {
+            for t in tasks {
+                flat.push((id, t));
             }
         }
-        self.pump(inner, emitted, start)
+        if flat.is_empty() {
+            return match stage_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
+        }
+        let meta: Vec<(u64, usize)> = flat.iter().map(|(id, t)| (*id, t.input_rows())).collect();
+        let jobs: Vec<_> = flat.into_iter().map(|(_, t)| move || t.run()).collect();
+        let results = self.pool.run_ordered(jobs);
+        let mut emitted: Vec<(u64, CqOutput)> = Vec::new();
+        let mut eval_err: Option<Error> = None;
+        for ((id, in_rows), res) in meta.into_iter().zip(results) {
+            match res {
+                Ok(out) => {
+                    if let Some(entry) = state.cqs.get_mut(&id) {
+                        entry.cq.finish_window(in_rows, &out);
+                    }
+                    emitted.push((id, out));
+                }
+                Err(e) => {
+                    // Later tasks belong to later (CQ, close) pairs; serial
+                    // execution would never have produced them.
+                    eval_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let pump_res = self.pump(state, emitted, start);
+        if let Some(e) = eval_err {
+            return Err(e);
+        }
+        pump_res?;
+        match stage_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Propagate CQ outputs through sinks: client queues, channels and
     /// downstream CQs (derived-stream composition, §3.2), breadth-first.
     /// `start` is the one timestamp taken when the triggering batch or
     /// heartbeat arrived; each CQ's close-latency histogram observes the
-    /// elapsed time when its result is enqueued.
+    /// elapsed time when its result is enqueued. Cascades stay inside the
+    /// owning shard (a derived stream lives with its root base stream),
+    /// and run serially to preserve exact visibility order.
     fn pump(
         &self,
-        inner: &mut Inner,
-        emitted: Vec<(u64, Vec<CqOutput>)>,
+        state: &mut ShardState,
+        emitted: Vec<(u64, CqOutput)>,
         start: Instant,
     ) -> Result<()> {
-        let mut queue: VecDeque<(u64, CqOutput)> = emitted
-            .into_iter()
-            .flat_map(|(id, outs)| outs.into_iter().map(move |o| (id, o)))
-            .collect();
+        let mut queue: VecDeque<(u64, CqOutput)> = emitted.into();
         let mut published = false;
         while let Some((cq_id, out)) = queue.pop_front() {
-            inner.stats.windows_out += 1;
             self.metrics.windows_out.inc();
-            if let Some(entry) = inner.cqs.get(&cq_id) {
+            if let Some(entry) = state.cqs.get(&cq_id) {
                 entry.close_hist.observe_from(start);
             }
-            let sink_target = match &inner.cqs.get(&cq_id).map(|e| &e.sink) {
+            let sink_target = match state.cqs.get(&cq_id).map(|e| &e.sink) {
                 Some(Sink::Client(s)) => {
                     let s = *s;
-                    if let Some(sub) = inner.subs.get_mut(&s) {
+                    let mut subs = self.subs.lock();
+                    if let Some(sub) = subs.get_mut(&s) {
+                        // The depth gauge is settled inside `offer`.
                         let drops = sub.offer(out);
-                        inner.stats.sub_drops += drops;
                         self.metrics.sub_drops.add(drops);
-                        // Net queue growth: +1 unless a drop made room
-                        // (both overflow policies leave the length as-is).
-                        self.metrics.sub_queue_depth.add(1 - drops as i64);
                         published = true;
                     }
                     continue;
@@ -1238,41 +1467,34 @@ impl Db {
                 Some(Sink::Derived(name)) => name.clone(),
                 None => continue, // dropped mid-flight
             };
-            let (channels, downstream) = {
-                let d = &inner.deriveds[&sink_target];
-                (d.channels.clone(), d.downstream_cqs.clone())
+            let (channels, downstream) = match state.deriveds.get(&sink_target) {
+                Some(d) => (d.channels.clone(), d.downstream_cqs.clone()),
+                None => continue,
             };
             // One transaction covers every channel's rows AND the resume
             // watermark, so recovery can never observe a watermark without
             // its archived window or vice versa (exactly-once archiving
             // across crashes — the §4 recovery contract).
-            let mut written: Vec<(String, u64)> = Vec::new();
+            let mut written: Vec<(Arc<AtomicU64>, u64)> = Vec::new();
             self.engine.with_txn(|x| {
-                for ch_name in &channels {
-                    let (table, mode) = {
-                        let ch = &inner.channels[ch_name];
-                        (ch.table.clone(), ch.mode)
-                    };
-                    let tid = self.engine.table_id(&table)?;
-                    if mode == ChannelMode::Replace {
+                for ch in &channels {
+                    let tid = self.engine.table_id(&ch.table)?;
+                    if ch.mode == ChannelMode::Replace {
                         self.engine.delete_all_visible(x, tid)?;
                     }
                     let n = self
                         .engine
                         .insert_many(x, tid, out.relation.rows().to_vec())?;
-                    written.push((ch_name.clone(), n));
+                    written.push((ch.rows_written.clone(), n));
                 }
                 save_watermark_txn(&self.engine, x, &sink_target, out.close)
             })?;
-            for (ch_name, n) in written {
-                if let Some(ch) = inner.channels.get_mut(&ch_name) {
-                    ch.rows_written += n;
-                }
-                inner.stats.rows_archived += n;
+            for (cell, n) in written {
+                cell.fetch_add(n, Ordering::SeqCst);
                 self.metrics.rows_archived.add(n);
             }
             for ds in downstream {
-                if let Some(entry) = inner.cqs.get_mut(&ds) {
+                if let Some(entry) = state.cqs.get_mut(&ds) {
                     let outs = entry.cq.on_batch(out.close, out.relation.rows().to_vec())?;
                     for o in outs {
                         queue.push_back((ds, o));
@@ -1286,9 +1508,9 @@ impl Db {
         Ok(())
     }
 
-    fn persist_ddl(&self, inner: &mut Inner, kind: &str, key: &str, sql: &str) -> Result<()> {
-        let seq = inner.ddl_seq;
-        inner.ddl_seq += 1;
+    fn persist_ddl(&self, catalog: &mut Catalog, kind: &str, key: &str, sql: &str) -> Result<()> {
+        let seq = catalog.ddl_seq;
+        catalog.ddl_seq += 1;
         let ddl_key = format!("ddl.{seq:020}");
         self.engine.catalog_put(&ddl_key, sql)?;
         self.engine
@@ -1296,8 +1518,8 @@ impl Db {
         Ok(())
     }
 
-    fn unpersist_ddl(&self, inner: &mut Inner, kind: &str, key: &str) -> Result<()> {
-        let _ = inner;
+    fn unpersist_ddl(&self, catalog: &mut Catalog, kind: &str, key: &str) -> Result<()> {
+        let _ = catalog;
         let ref_key = format!("ddlref.{kind}.{key}");
         if let Some(ddl_key) = self.engine.catalog_get(&ref_key) {
             self.engine.catalog_del(&ddl_key)?;
@@ -1316,20 +1538,22 @@ impl Db {
             let stmt = parse_statement(&sql)?;
             self.execute_stmt(stmt, &sql, false)?;
         }
-        self.inner.lock().ddl_seq = max_seq + 1;
+        self.catalog.lock().ddl_seq = max_seq + 1;
         Ok(())
     }
 
     fn restore_watermarks(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let names: Vec<(String, u64)> = inner
+        let catalog = self.catalog.lock();
+        let entries: Vec<(String, usize, u64)> = catalog
             .deriveds
             .iter()
-            .map(|(n, d)| (n.clone(), d.cq_id))
+            .map(|(n, d)| (n.clone(), d.shard, d.cq_id))
             .collect();
-        for (name, cq_id) in names {
+        for (name, shard_idx, cq_id) in entries {
             if let Some(wm) = load_watermark(&self.engine, &name)? {
-                if let Some(entry) = inner.cqs.get_mut(&cq_id) {
+                let shard = shard_at(&catalog, shard_idx)?;
+                let mut state = shard.state.lock();
+                if let Some(entry) = state.cqs.get_mut(&cq_id) {
                     entry.cq.resume_after(wm);
                 }
             }
@@ -1339,19 +1563,48 @@ impl Db {
 
     /// Rows written by a channel so far.
     pub fn channel_rows_written(&self, channel: &str) -> Option<u64> {
-        self.inner
+        self.catalog
             .lock()
             .channels
             .get(&channel.to_ascii_lowercase())
-            .map(|c| c.rows_written)
+            .map(|c| c.rows_written.load(Ordering::SeqCst))
     }
+}
+
+/// `DROP` result for an object that was not found.
+fn missing(what: &str, name: &str, if_exists: bool) -> Result<ExecResult> {
+    if if_exists {
+        Ok(ExecResult::Dropped(name.to_string()))
+    } else {
+        Err(Error::catalog(format!("{what} `{name}` does not exist")))
+    }
+}
+
+/// Fetch a shard handle by index (all callers hold the catalog lock).
+fn shard_at(catalog: &Catalog, idx: usize) -> Result<Arc<Shard>> {
+    catalog
+        .shards
+        .get(idx)
+        .cloned()
+        .ok_or_else(|| Error::stream(format!("shard {idx} out of range")))
+}
+
+/// Register a CQ with its upstream's runtime inside the shard.
+fn attach_cq(state: &mut ShardState, upstream: &str, cq_id: u64) -> Result<()> {
+    if let Some(s) = state.streams.get_mut(upstream) {
+        s.cq_ids.push(cq_id);
+        return Ok(());
+    }
+    if let Some(d) = state.deriveds.get_mut(upstream) {
+        d.downstream_cqs.push(cq_id);
+        return Ok(());
+    }
+    Err(Error::stream(format!("unknown stream `{upstream}`")))
 }
 
 struct ProviderView<'a> {
     engine: &'a Arc<StorageEngine>,
-    streams: &'a HashMap<String, BaseStream>,
-    deriveds: &'a HashMap<String, Derived>,
-    views: &'a HashMap<String, String>,
+    catalog: &'a Catalog,
 }
 
 impl streamrel_sql::analyzer::SchemaProvider for ProviderView<'_> {
@@ -1363,11 +1616,13 @@ impl streamrel_sql::analyzer::SchemaProvider for ProviderView<'_> {
         streamrel_sql::analyzer::RelKind,
     )> {
         let streams: HashMap<String, StreamDecl> = self
+            .catalog
             .streams
             .iter()
             .map(|(k, v)| (k.clone(), v.decl.clone()))
             .collect();
         let deriveds: HashMap<String, StreamDecl> = self
+            .catalog
             .deriveds
             .iter()
             .map(|(k, v)| (k.clone(), v.decl.clone()))
@@ -1376,7 +1631,7 @@ impl streamrel_sql::analyzer::SchemaProvider for ProviderView<'_> {
             engine: self.engine,
             streams: &streams,
             deriveds: &deriveds,
-            views: self.views,
+            views: &self.catalog.views,
         };
         streamrel_sql::analyzer::SchemaProvider::relation(&p, name)
     }
@@ -1467,6 +1722,7 @@ fn reorder_columns(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::OverflowPolicy;
     use streamrel_types::row;
     use streamrel_types::time::MINUTES;
 
@@ -1851,8 +2107,8 @@ mod tests {
             assert_eq!(outs[1].relation.rows()[0], row!["a", 120i64]);
         }
         // Sharing pooled all four CQs into one group.
-        let inner = db.inner.lock();
-        assert_eq!(inner.registry.len(), 1);
+        let catalog = db.catalog.lock();
+        assert_eq!(catalog.registry.len(), 1);
     }
 
     #[test]
@@ -2035,5 +2291,87 @@ mod tests {
             .execute("CREATE STREAM d AS SELECT a FROM t")
             .unwrap_err();
         assert!(e.to_string().contains("continuous"), "{e}");
+    }
+
+    /// Regression: when one CQ's window evaluation fails, windows already
+    /// produced by *other* CQs on the same stream used to be silently
+    /// dropped (the pump never ran). Partial outputs must be delivered,
+    /// then the error returned.
+    #[test]
+    fn heartbeat_delivers_partial_outputs_before_erroring() {
+        let db = db();
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+            .unwrap();
+        // CQ 1: healthy.
+        let healthy = db
+            .execute("SELECT count(*) c, cq_close(*) w FROM s <TUMBLING '1 minute'>")
+            .unwrap()
+            .subscription();
+        // CQ 2: admits statically, but divides by min(v)=0 at runtime.
+        let doomed = db
+            .execute("SELECT 1 / min(v) r, cq_close(*) w FROM s <TUMBLING '1 minute'>")
+            .unwrap()
+            .subscription();
+        db.ingest("s", row![0i64, Value::Timestamp(10_000_000)])
+            .unwrap();
+        let err = db.heartbeat("s", MINUTES).unwrap_err();
+        assert!(err.to_string().contains("division by zero"), "{err}");
+        // The healthy CQ's window survived the neighbour's failure.
+        let outs = db.poll(healthy).unwrap();
+        assert_eq!(outs.len(), 1, "healthy CQ output was dropped");
+        assert_eq!(outs[0].relation.rows()[0][0], Value::Int(1));
+        assert!(db.poll(doomed).unwrap().is_empty());
+        // Same contract on the ingest path: a zero lands in the next
+        // window, and the tuple that closes it still delivers the
+        // healthy CQ's output before the doomed CQ's error surfaces.
+        db.ingest("s", row![0i64, Value::Timestamp(70_000_000)])
+            .unwrap();
+        db.ingest("s", row![5i64, Value::Timestamp(130_000_000)])
+            .unwrap_err();
+        assert_eq!(db.poll(healthy).unwrap().len(), 1);
+    }
+
+    /// The `db.sub_queue_depth` gauge must equal the sum of pending
+    /// results across live subscriptions at all times — including after
+    /// forced overflow drops under both policies.
+    #[test]
+    fn queue_depth_gauge_is_conserved_under_overflow() {
+        for policy in [OverflowPolicy::DropOldest, OverflowPolicy::DropNewest] {
+            let db = Db::in_memory(DbOptions::default().with_sub_queue(2, policy));
+            db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+                .unwrap();
+            let a = db
+                .execute("SELECT count(*) c FROM s <TUMBLING '1 minute'>")
+                .unwrap()
+                .subscription();
+            let b = db
+                .execute("SELECT sum(v) t FROM s <TUMBLING '1 minute'>")
+                .unwrap()
+                .subscription();
+            let gauge = db.engine().metrics().gauge("db.sub_queue_depth");
+            let pending_sum = |db: &Db| {
+                let subs = db.subs.lock();
+                subs.values().map(|s| s.pending() as i64).sum::<i64>()
+            };
+            db.ingest("s", row![1i64, Value::Timestamp(1)]).unwrap();
+            // Close 5 windows against capacity-2 queues: 3 forced drops
+            // per subscription under either policy.
+            db.heartbeat("s", 5 * MINUTES).unwrap();
+            assert_eq!(db.stats().sub_drops, 6);
+            assert_eq!(gauge.get(), 4, "2 queues × capacity 2 ({policy:?})");
+            assert_eq!(gauge.get(), pending_sum(&db));
+            // Drain one sub: gauge follows.
+            assert_eq!(db.poll(a).unwrap().len(), 2);
+            assert_eq!(gauge.get(), pending_sum(&db));
+            assert_eq!(gauge.get(), 2);
+            // Overflow again on the other sub.
+            db.heartbeat("s", 8 * MINUTES).unwrap();
+            assert_eq!(gauge.get(), pending_sum(&db));
+            // Unsubscribing with results still queued settles the gauge.
+            db.unsubscribe(b).unwrap();
+            assert_eq!(gauge.get(), pending_sum(&db));
+            db.unsubscribe(a).unwrap();
+            assert_eq!(gauge.get(), 0, "all depth released ({policy:?})");
+        }
     }
 }

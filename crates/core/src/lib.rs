@@ -32,6 +32,7 @@ mod db;
 mod options;
 mod provider;
 mod script;
+mod shard;
 mod subscription;
 
 pub use db::{Db, DbStats, ExecResult};

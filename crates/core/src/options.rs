@@ -27,6 +27,15 @@ pub struct DbOptions {
     pub sub_queue_capacity: usize,
     /// Which window result to sacrifice when a subscription queue is full.
     pub sub_overflow: OverflowPolicy,
+    /// Number of execution shards. `0` (the default) gives every base
+    /// stream its own shard, so ingest on distinct streams never contends;
+    /// `N > 0` fixes N shard domains and assigns streams round-robin
+    /// (`with_shards(1)` is the single-lock ablation baseline).
+    pub shards: usize,
+    /// Worker threads for closed-window plan evaluation. `None` (the
+    /// default) sizes from the host's parallelism; `Some(0)` evaluates
+    /// inline on the ingesting thread (the serial ablation baseline).
+    pub pool_workers: Option<usize>,
 }
 
 impl Default for DbOptions {
@@ -38,6 +47,8 @@ impl Default for DbOptions {
             slack: 0,
             sub_queue_capacity: DEFAULT_SUB_CAPACITY,
             sub_overflow: OverflowPolicy::DropOldest,
+            shards: 0,
+            pool_workers: None,
         }
     }
 }
@@ -72,5 +83,30 @@ impl DbOptions {
         self.sub_queue_capacity = capacity;
         self.sub_overflow = overflow;
         self
+    }
+
+    /// Fix the number of execution shards (`1` = the single-lock
+    /// baseline; `0` = one shard per stream).
+    pub fn with_shards(mut self, shards: usize) -> DbOptions {
+        self.shards = shards;
+        self
+    }
+
+    /// Fix the window-evaluation worker count (`0` = evaluate inline).
+    pub fn with_pool_workers(mut self, workers: usize) -> DbOptions {
+        self.pool_workers = Some(workers);
+        self
+    }
+
+    /// The effective worker-pool size: the configured count, or a small
+    /// host-derived default (never more than 4 — window evaluation shares
+    /// the box with ingest threads).
+    pub fn resolved_pool_workers(&self) -> usize {
+        match self.pool_workers {
+            Some(n) => n,
+            None => std::thread::available_parallelism()
+                .map(|n| n.get().saturating_sub(1).clamp(1, 4))
+                .unwrap_or(1),
+        }
     }
 }

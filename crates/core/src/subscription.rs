@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use streamrel_cq::CqOutput;
+use streamrel_obs::Gauge;
 
 /// Identifies one client subscription within a [`crate::Db`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,6 +44,12 @@ pub struct Subscription {
     policy: OverflowPolicy,
     delivered: u64,
     dropped: u64,
+    /// Aggregate depth gauge (`db.sub_queue_depth`). Every queue length
+    /// change — enqueue, overflow drop, drain, teardown — is accounted
+    /// here, inside the same critical section that mutates the queue, so
+    /// the gauge can never drift from the sum of pending results even
+    /// when many shards offer concurrently.
+    depth_gauge: Option<Arc<Gauge>>,
 }
 
 impl Default for Subscription {
@@ -63,6 +70,21 @@ impl Subscription {
             policy,
             delivered: 0,
             dropped: 0,
+            depth_gauge: None,
+        }
+    }
+
+    /// Account this queue's length in `gauge` from now on (and release
+    /// whatever is pending when the subscription is dropped).
+    pub fn with_depth_gauge(mut self, gauge: Arc<Gauge>) -> Subscription {
+        gauge.add(self.queue.len() as i64);
+        self.depth_gauge = Some(gauge);
+        self
+    }
+
+    fn gauge_add(&self, delta: i64) {
+        if let Some(g) = &self.depth_gauge {
+            g.add(delta);
         }
     }
 
@@ -71,13 +93,17 @@ impl Subscription {
     pub fn offer(&mut self, out: CqOutput) -> u64 {
         if self.queue.len() < self.capacity {
             self.queue.push_back(out);
+            self.gauge_add(1);
             return 0;
         }
         self.dropped += 1;
         match self.policy {
             OverflowPolicy::DropOldest => {
+                // -1 for the sacrificed window, +1 for the enqueued one.
                 self.queue.pop_front();
+                self.gauge_add(-1);
                 self.queue.push_back(out);
+                self.gauge_add(1);
             }
             OverflowPolicy::DropNewest => {}
         }
@@ -87,6 +113,7 @@ impl Subscription {
     /// Drain all queued results.
     pub fn drain(&mut self) -> Vec<CqOutput> {
         let out: Vec<CqOutput> = self.queue.drain(..).collect();
+        self.gauge_add(-(out.len() as i64));
         self.delivered += out.len() as u64;
         out
     }
@@ -104,6 +131,13 @@ impl Subscription {
     /// Window results dropped on overflow.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        // Undelivered results leave the aggregate depth with the sub.
+        self.gauge_add(-(self.queue.len() as i64));
     }
 }
 

@@ -18,6 +18,7 @@
 
 pub mod consistency;
 pub mod ordering;
+pub mod pool;
 pub mod recovery;
 pub mod runtime;
 pub mod shared;
@@ -25,6 +26,7 @@ pub mod window;
 
 pub use consistency::{ConsistencyMode, SnapshotSource};
 pub use ordering::ReorderBuffer;
-pub use runtime::{ContinuousQuery, CqOutput, CqStats, ExecMode};
+pub use pool::WorkerPool;
+pub use runtime::{ContinuousQuery, CqOutput, CqStats, ExecMode, WindowTask};
 pub use shared::{SharedGroup, SharedRegistry};
 pub use window::{ClosedWindow, WindowBuffer};

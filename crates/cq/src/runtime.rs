@@ -32,6 +32,71 @@ pub struct CqOutput {
     pub relation: Relation,
 }
 
+/// One closed window, staged for evaluation off the shard lock.
+///
+/// Staging captures everything plan execution needs — the plan, the
+/// window relation, the close boundary, and (for `QueryStart`
+/// consistency) the pinned snapshot — so [`WindowTask::run`] is a pure
+/// function of the task: it touches no CQ state and can execute on any
+/// thread of a [`crate::WorkerPool`]. The staging thread calls
+/// [`ContinuousQuery::finish_window`] with the result, in serial order,
+/// to apply stats and emit the `cq.close` trace event deterministically.
+pub struct WindowTask {
+    plan: LogicalPlan,
+    /// Stream name bound to the window relation (`SHARED_INPUT` for the
+    /// post-aggregation plan of a shared CQ).
+    input: String,
+    rel: Relation,
+    close: Timestamp,
+    engine: Arc<StorageEngine>,
+    consistency: ConsistencyMode,
+    /// Snapshot pinned at CQ start (`QueryStart` mode only);
+    /// `WindowBoundary` pins fresh at run time.
+    snapshot: Option<Snapshot>,
+}
+
+impl WindowTask {
+    /// The window close timestamp.
+    pub fn close(&self) -> Timestamp {
+        self.close
+    }
+
+    /// Rows in the staged window relation (for trace accounting).
+    pub fn input_rows(&self) -> usize {
+        self.rel.len()
+    }
+
+    /// Evaluate the staged window. Side-effect free: reads only the
+    /// captured relation and an MVCC snapshot.
+    pub fn run(&self) -> Result<CqOutput> {
+        let source: SnapshotSource = match self.consistency {
+            // Window consistency: a fresh snapshot at this boundary.
+            ConsistencyMode::WindowBoundary => SnapshotSource::pin(self.engine.clone()),
+            ConsistencyMode::QueryStart => SnapshotSource::with_snapshot(
+                self.engine.clone(),
+                self.snapshot.clone().expect("pinned at start"),
+            ),
+        };
+        let ctx = ExecContext::window(
+            &source as &dyn RelationSource,
+            &self.input,
+            &self.rel,
+            self.close,
+        );
+        let relation = execute(&self.plan, &ctx)?;
+        Ok(CqOutput {
+            close: self.close,
+            relation,
+        })
+    }
+}
+
+// Tasks must cross threads into the worker pool.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<WindowTask>();
+};
+
 /// Runtime counters for one CQ.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CqStats {
@@ -205,11 +270,17 @@ impl ContinuousQuery {
     /// group by the orchestrator (once per group!); this call only advances
     /// this member's window boundaries.
     pub fn on_tuple(&mut self, row: Row) -> Result<Vec<CqOutput>> {
+        let tasks = self.stage_tuple(row)?;
+        self.run_staged(tasks)
+    }
+
+    /// Stage the windows one tuple closes, without evaluating them.
+    pub fn stage_tuple(&mut self, row: Row) -> Result<Vec<WindowTask>> {
         self.stats.tuples_in += 1;
         match &mut self.mode {
             ExecMode::Unshared { buffer } => {
                 let closes = buffer.push(row)?;
-                self.run_windows(closes)
+                self.stage_closed(closes)
             }
             ExecMode::Shared { .. } => {
                 let ts = match self.cqtime {
@@ -219,7 +290,7 @@ impl ContinuousQuery {
                         .as_timestamp()?,
                     None => return Err(Error::stream("shared CQ requires CQTIME")),
                 };
-                self.advance_shared(ts)
+                self.stage_shared(ts)
             }
         }
     }
@@ -228,34 +299,79 @@ impl ContinuousQuery {
     /// into the group; this member only needs the timestamp to advance its
     /// window boundaries. Avoids cloning the row once per member CQ.
     pub fn note_shared_tuple(&mut self, ts: Timestamp) -> Result<Vec<CqOutput>> {
+        let tasks = self.stage_note_shared(ts)?;
+        self.run_staged(tasks)
+    }
+
+    /// Staging form of [`ContinuousQuery::note_shared_tuple`].
+    pub fn stage_note_shared(&mut self, ts: Timestamp) -> Result<Vec<WindowTask>> {
         debug_assert!(self.is_shared());
         self.stats.tuples_in += 1;
-        self.advance_shared(ts)
+        self.stage_shared(ts)
     }
 
     /// Advance event time without a tuple (heartbeat / punctuation).
     pub fn on_heartbeat(&mut self, ts: Timestamp) -> Result<Vec<CqOutput>> {
+        let tasks = self.stage_heartbeat(ts)?;
+        self.run_staged(tasks)
+    }
+
+    /// Stage the windows a heartbeat closes, without evaluating them.
+    pub fn stage_heartbeat(&mut self, ts: Timestamp) -> Result<Vec<WindowTask>> {
         match &mut self.mode {
             ExecMode::Unshared { buffer } => {
                 let closes = buffer.advance_to(ts);
-                self.run_windows(closes)
+                self.stage_closed(closes)
             }
-            ExecMode::Shared { .. } => self.advance_shared(ts),
+            ExecMode::Shared { .. } => self.stage_shared(ts),
         }
     }
 
     /// Push an upstream result batch (CQ over a derived stream).
     pub fn on_batch(&mut self, close: Timestamp, rows: Vec<Row>) -> Result<Vec<CqOutput>> {
+        let tasks = self.stage_batch(close, rows)?;
+        self.run_staged(tasks)
+    }
+
+    /// Stage the windows an upstream result batch closes.
+    pub fn stage_batch(&mut self, close: Timestamp, rows: Vec<Row>) -> Result<Vec<WindowTask>> {
         self.stats.tuples_in += rows.len() as u64;
         match &mut self.mode {
             ExecMode::Unshared { buffer } => {
                 let closes = buffer.push_batch(close, rows);
-                self.run_windows(closes)
+                self.stage_closed(closes)
             }
             ExecMode::Shared { .. } => Err(Error::stream(
                 "shared mode does not consume derived batches",
             )),
         }
+    }
+
+    /// Apply a completed window to this CQ's counters and trace. Must be
+    /// called exactly once per staged task, in staging order, from the
+    /// thread that owns the CQ — this keeps stats and the trace ring
+    /// identical to serial execution even when `run` happened on a pool.
+    pub fn finish_window(&mut self, in_rows: usize, out: &CqOutput) {
+        self.stats.windows_out += 1;
+        self.stats.rows_out += out.relation.len() as u64;
+        // One trace event per close decision — never per tuple.
+        self.engine.metrics().trace().record(
+            "cq.close",
+            &self.name,
+            format!("in_rows={} out_rows={}", in_rows, out.relation.len()),
+            out.close,
+        );
+    }
+
+    /// Inline evaluation of staged tasks (the serial path).
+    fn run_staged(&mut self, tasks: Vec<WindowTask>) -> Result<Vec<CqOutput>> {
+        let mut outputs = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            let out = task.run()?;
+            self.finish_window(task.input_rows(), &out);
+            outputs.push(out);
+        }
+        Ok(outputs)
     }
 
     /// Resume after recovery: windows closing at or before `watermark`
@@ -300,7 +416,11 @@ impl ContinuousQuery {
         }
     }
 
-    fn advance_shared(&mut self, ts: Timestamp) -> Result<Vec<CqOutput>> {
+    /// Stage shared-mode windows up to `ts`. The aggregate relation is
+    /// composed from slices *at staging time* (under the group lock, so
+    /// member progress and eviction stay ordered); only the post-plan
+    /// execution is deferred to the task.
+    fn stage_shared(&mut self, ts: Timestamp) -> Result<Vec<WindowTask>> {
         // Collect the boundary crossings first (cheap, per tuple), and
         // only clone the execution state when a window actually closed.
         let (group, member, post_plan, closes) = match &mut self.mode {
@@ -333,7 +453,7 @@ impl ContinuousQuery {
             }
             ExecMode::Unshared { .. } => unreachable!(),
         };
-        let mut outputs = Vec::new();
+        let mut tasks = Vec::with_capacity(closes.len());
         for close in closes {
             let agg_rel = {
                 let mut g = group.lock();
@@ -342,10 +462,9 @@ impl ContinuousQuery {
                 g.evict();
                 rel
             };
-            let out = self.execute_window(&post_plan, SHARED_INPUT, &agg_rel, close)?;
-            outputs.push(out);
+            tasks.push(self.make_task(post_plan.clone(), SHARED_INPUT.to_string(), agg_rel, close));
         }
-        Ok(outputs)
+        Ok(tasks)
     }
 
     fn advance_of(&self) -> i64 {
@@ -355,52 +474,37 @@ impl ContinuousQuery {
         }
     }
 
-    fn run_windows(&mut self, closes: Vec<ClosedWindow>) -> Result<Vec<CqOutput>> {
-        let mut outputs = Vec::with_capacity(closes.len());
-        let plan = self.plan.clone();
-        let stream = self.stream.clone();
-        let schema =
-            stream_scan_schema(&plan).ok_or_else(|| Error::stream("plan lost its stream scan"))?;
+    /// Stage unshared windows: each closed window's rows become a task.
+    fn stage_closed(&mut self, closes: Vec<ClosedWindow>) -> Result<Vec<WindowTask>> {
+        if closes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let schema = stream_scan_schema(&self.plan)
+            .ok_or_else(|| Error::stream("plan lost its stream scan"))?;
+        let mut tasks = Vec::with_capacity(closes.len());
         for cw in closes {
             let rel = Relation::new(schema.clone(), cw.rows);
-            let out = self.execute_window(&plan, &stream, &rel, cw.close)?;
-            outputs.push(out);
+            tasks.push(self.make_task(self.plan.clone(), self.stream.clone(), rel, cw.close));
         }
-        Ok(outputs)
+        Ok(tasks)
     }
 
-    fn execute_window(
-        &mut self,
-        plan: &LogicalPlan,
-        stream_name: &str,
-        window_rel: &Relation,
+    fn make_task(
+        &self,
+        plan: LogicalPlan,
+        input: String,
+        rel: Relation,
         close: Timestamp,
-    ) -> Result<CqOutput> {
-        let source: SnapshotSource = match self.consistency {
-            // Window consistency: a fresh snapshot at this boundary.
-            ConsistencyMode::WindowBoundary => SnapshotSource::pin(self.engine.clone()),
-            ConsistencyMode::QueryStart => SnapshotSource::with_snapshot(
-                self.engine.clone(),
-                self.start_snapshot.clone().expect("pinned at start"),
-            ),
-        };
-        let ctx = ExecContext::window(
-            &source as &dyn RelationSource,
-            stream_name,
-            window_rel,
+    ) -> WindowTask {
+        WindowTask {
+            plan,
+            input,
+            rel,
             close,
-        );
-        let relation = execute(plan, &ctx)?;
-        self.stats.windows_out += 1;
-        self.stats.rows_out += relation.len() as u64;
-        // One trace event per close decision — never per tuple.
-        self.engine.metrics().trace().record(
-            "cq.close",
-            &self.name,
-            format!("in_rows={} out_rows={}", window_rel.len(), relation.len()),
-            close,
-        );
-        Ok(CqOutput { close, relation })
+            engine: self.engine.clone(),
+            consistency: self.consistency,
+            snapshot: self.start_snapshot.clone(),
+        }
     }
 }
 

@@ -10,6 +10,13 @@
 //! slices it covers. Each arriving tuple is therefore aggregated once,
 //! regardless of how many CQs are registered: per-tuple cost is O(1) in
 //! the number of queries, which experiment E3 measures.
+//!
+//! Concurrency: a [`SharedGroup`] is owned by an `Arc<Mutex<_>>` held by
+//! the registry and by every member CQ's shard. Its declared place in
+//! the engine-wide lock order is the `g` slot of `db.rs`'s
+//! `catalog < state < g < subs`: a group lock is only ever taken after
+//! the catalog or shard-state lock and is never held across any other
+//! acquisition.
 
 use std::collections::{BTreeMap, HashMap};
 

@@ -43,6 +43,12 @@ pub struct ServerOptions {
     /// teardown can take, not how fast results are pushed (pushes are
     /// notifier-driven).
     pub tick: Duration,
+    /// Idle deadline for the request thread. A connection that sends no
+    /// frame for this long **and owns no subscriptions** is considered
+    /// half-open and reaped; subscribers sit legitimately silent while
+    /// results are pushed, so the deadline never applies to them.
+    /// `None` (the default) waits forever, matching the old behaviour.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServerOptions {
@@ -50,6 +56,7 @@ impl Default for ServerOptions {
         ServerOptions {
             write_timeout: Duration::from_secs(5),
             tick: Duration::from_millis(100),
+            read_timeout: None,
         }
     }
 }
@@ -144,6 +151,7 @@ fn accept_loop(
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_write_timeout(Some(opts.write_timeout));
+                let _ = stream.set_read_timeout(opts.read_timeout);
                 let Ok(socket) = stream.try_clone() else {
                     continue;
                 };
@@ -185,6 +193,8 @@ struct Conn {
     frames_out: Arc<Counter>,
     conn_in: Arc<Counter>,
     conn_out: Arc<Counter>,
+    /// Half-open connections hung up by the idle read deadline.
+    idle_reaped: Arc<Counter>,
 }
 
 impl Conn {
@@ -244,6 +254,7 @@ fn handle_conn(db: Arc<Db>, stream: TcpStream, opts: ServerOptions) {
         frames_out: registry.counter("net.frames_out"),
         conn_in: registry.counter(&format!("{conn_prefix}frames_in")),
         conn_out: registry.counter(&format!("{conn_prefix}frames_out")),
+        idle_reaped: registry.counter("net.idle_reaped"),
     });
 
     // Delivery thread: block on the notifier, push results as they land.
@@ -259,7 +270,7 @@ fn handle_conn(db: Arc<Db>, stream: TcpStream, opts: ServerOptions) {
         })
     };
 
-    request_loop(&conn, &stream);
+    request_loop(&conn, &stream, opts.read_timeout.is_some());
 
     // Teardown: stop the deliverer, then reap this connection's
     // subscriptions so the engine stops retaining windows for it.
@@ -276,11 +287,28 @@ fn handle_conn(db: Arc<Db>, stream: TcpStream, opts: ServerOptions) {
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn request_loop(conn: &Arc<Conn>, mut stream: &TcpStream) {
+fn request_loop(conn: &Arc<Conn>, mut stream: &TcpStream, idle_deadline: bool) {
     loop {
         let frame = match Frame::read_from(&mut stream) {
             Ok(Some(f)) => f,
             Ok(None) => return, // clean EOF
+            Err(e)
+                if idle_deadline
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                // The idle read deadline expired. A subscriber sits
+                // legitimately silent between pushed results, so only a
+                // connection owning no subscriptions is half-open; reap
+                // it so it cannot pin this thread forever.
+                if conn.subs.lock().is_empty() {
+                    conn.idle_reaped.inc();
+                    return;
+                }
+                continue;
+            }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Malformed frame: tell the client why, then hang up.
                 // Re-synchronising a corrupt byte stream is hopeless.

@@ -10,7 +10,7 @@ use std::net::TcpStream;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use streamrel::net::{wire, Client, Frame, FrameType, Server};
+use streamrel::net::{wire, Client, Frame, FrameType, Server, ServerOptions};
 use streamrel::types::Value;
 use streamrel::{Db, DbOptions, ExecResult};
 
@@ -245,6 +245,87 @@ fn abrupt_disconnect_reaps_subscriptions() {
     admin.heartbeat("events", 120_000_000).unwrap();
     assert_eq!(db.stats().live_subs, 0);
     admin.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn half_open_connection_is_reaped_on_read_timeout() {
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    let opts = ServerOptions {
+        read_timeout: Some(Duration::from_millis(100)),
+        ..ServerOptions::default()
+    };
+    let server = Server::serve_with(db.clone(), "127.0.0.1:0", opts).unwrap();
+    let addr = server.local_addr();
+
+    // Connect, then go silent: no frames, no FIN — a half-open client.
+    // Without a read deadline this would pin its connection thread in
+    // request_loop forever.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    use std::io::Read;
+    let mut buf = [0u8; 16];
+    // The server must hang up (EOF) once the idle deadline expires.
+    let n = raw.read(&mut buf).unwrap();
+    assert_eq!(n, 0, "server should close the half-open connection");
+
+    // The reap is observable in the metrics relation.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let reaped = db
+            .metrics_relation()
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::text("net.idle_reaped"))
+            .map(|r| r[2].clone());
+        if reaped == Some(Value::Int(1)) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "idle reap never counted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn idle_subscriber_survives_read_timeout() {
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    let opts = ServerOptions {
+        read_timeout: Some(Duration::from_millis(100)),
+        ..ServerOptions::default()
+    };
+    let server = Server::serve_with(db.clone(), "127.0.0.1:0", opts).unwrap();
+    let addr = server.local_addr();
+
+    let admin = Client::connect(addr).unwrap();
+    admin.execute(DDL).unwrap();
+
+    // A subscriber sends one frame, then sits silent far longer than the
+    // idle deadline — exactly the shape of a push consumer mid-stream.
+    let subscriber = Client::connect(addr).unwrap();
+    let stream = subscriber.subscribe(CQ).unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    assert_eq!(
+        db.stats().live_subs,
+        1,
+        "idle subscriber must not be reaped"
+    );
+
+    // The idle admin (no subscriptions) was half-open and got reaped;
+    // drive the data from a fresh connection. The subscriber, by
+    // contrast, still receives pushed windows after the silence.
+    let feeder = Client::connect(addr).unwrap();
+    feeder.ingest_batch("events", &[row(0, 0)]).unwrap();
+    feeder.heartbeat("events", 120_000_000).unwrap();
+    let out = stream
+        .next_timeout(Duration::from_secs(10))
+        .expect("window result pushed to idle subscriber");
+    assert_eq!(out.close, 60_000_000);
+
+    drop(stream);
+    subscriber.close().unwrap();
+    feeder.close().unwrap();
+    drop(admin); // already hung up server-side
     server.shutdown();
 }
 

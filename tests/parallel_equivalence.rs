@@ -1,0 +1,140 @@
+//! Property: the sharded, pooled execution core is observationally
+//! identical to serial single-lock execution. For random workloads with
+//! concurrent `ingest_batch` calls across ≥3 streams, every subscription
+//! receives a byte-identical window sequence (per-CQ, ordered by close
+//! timestamp) to the one produced by applying the same per-stream batch
+//! sequences on a single-shard, inline-evaluation database.
+//!
+//! Shards only ever remove *cross-stream* serialization; each CQ is
+//! rooted at one stream, so its output is a function of that stream's
+//! tuple order alone — which both runs preserve exactly.
+
+use proptest::prelude::*;
+use proptest::test_runner::Config;
+use streamrel::net::wire;
+use streamrel::types::Value;
+use streamrel::{Db, DbOptions, SubscriptionId};
+
+const STREAMS: usize = 3;
+
+/// One stream's workload: ordered batches of (value, clock-gap) pairs.
+type StreamBatches = Vec<Vec<(i64, i64)>>;
+
+fn setup(db: &Db) -> Vec<SubscriptionId> {
+    let mut subs = Vec::new();
+    for i in 0..STREAMS {
+        db.execute(&format!(
+            "CREATE STREAM s{i} (v integer, ts timestamp CQTIME USER)"
+        ))
+        .unwrap();
+        // Two CQs per stream: a tumbling count and a sliding aggregate
+        // (the second pair is shareable, so the shared path is covered).
+        subs.push(
+            db.execute(&format!(
+                "SELECT count(*) c, cq_close(*) w FROM s{i} <TUMBLING '1 minute'>"
+            ))
+            .unwrap()
+            .subscription(),
+        );
+        subs.push(
+            db.execute(&format!(
+                "SELECT sum(v) t, min(v) lo FROM s{i} \
+                 <VISIBLE '2 minutes' ADVANCE '1 minute'>"
+            ))
+            .unwrap()
+            .subscription(),
+        );
+    }
+    subs
+}
+
+/// Turn gap-encoded batches into absolute-timestamp rows.
+fn materialize(batches: &StreamBatches) -> Vec<Vec<Vec<Value>>> {
+    let mut clock = 0i64;
+    batches
+        .iter()
+        .map(|batch| {
+            batch
+                .iter()
+                .map(|&(v, gap)| {
+                    clock += gap;
+                    vec![Value::Int(v), Value::Timestamp(clock)]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Canonical bytes for one subscription's output: every window's close
+/// time plus its codec-encoded relation. "Byte-identical" means equal.
+fn drain_canonical(db: &Db, subs: &[SubscriptionId]) -> Vec<Vec<(i64, Vec<u8>)>> {
+    subs.iter()
+        .map(|&sub| {
+            db.poll(sub)
+                .unwrap()
+                .into_iter()
+                .map(|o| (o.close, wire::encode_rows(&o.relation)))
+                .collect()
+        })
+        .collect()
+}
+
+/// The reference: one shard, no worker pool, batches applied serially.
+fn serial_run(workload: &[StreamBatches]) -> Vec<Vec<(i64, Vec<u8>)>> {
+    let db = Db::in_memory(DbOptions::default().with_shards(1).with_pool_workers(0));
+    let subs = setup(&db);
+    for (i, batches) in workload.iter().enumerate() {
+        for rows in materialize(batches) {
+            db.ingest_batch(&format!("s{i}"), rows).unwrap();
+        }
+    }
+    for i in 0..STREAMS {
+        db.heartbeat(&format!("s{i}"), 3_600_000_000).unwrap();
+    }
+    drain_canonical(&db, &subs)
+}
+
+/// The system under test: default sharding (one per stream) and worker
+/// pool, with one concurrent ingester thread per stream.
+fn concurrent_run(workload: &[StreamBatches]) -> Vec<Vec<(i64, Vec<u8>)>> {
+    let db = Db::in_memory(DbOptions::default());
+    let subs = setup(&db);
+    std::thread::scope(|s| {
+        for (i, batches) in workload.iter().enumerate() {
+            let db = &db;
+            s.spawn(move || {
+                for rows in materialize(batches) {
+                    db.ingest_batch(&format!("s{i}"), rows).unwrap();
+                }
+            });
+        }
+    });
+    for i in 0..STREAMS {
+        db.heartbeat(&format!("s{i}"), 3_600_000_000).unwrap();
+    }
+    drain_canonical(&db, &subs)
+}
+
+proptest! {
+    #![proptest_config(Config::with_cases(16))]
+    #[test]
+    fn concurrent_sharded_equals_serial(
+        workload in prop::collection::vec(
+            prop::collection::vec(
+                prop::collection::vec((0i64..100, 0i64..40_000_000), 1..8),
+                1..6,
+            ),
+            STREAMS,
+        ),
+    ) {
+        let reference = serial_run(&workload);
+        let parallel = concurrent_run(&workload);
+        prop_assert_eq!(&parallel, &reference);
+        // Within each subscription, closes arrive ordered.
+        for sub in &parallel {
+            for pair in sub.windows(2) {
+                prop_assert!(pair[0].0 <= pair[1].0, "closes out of order");
+            }
+        }
+    }
+}
