@@ -1,0 +1,128 @@
+//! Crash-recovery torture driver (DESIGN.md §10).
+//!
+//! Runs the deterministic crash-at-every-op sweeps from
+//! `streamrel_bench::torture` — storage-level and full-CQ-stack — over
+//! one or more seeds, and fails loudly (exit 1) on any divergence,
+//! printing the `(seed, op)` pair that reproduces it and dumping the
+//! frozen simulated disk image for artifact upload.
+//!
+//! Env knobs (all optional):
+//!
+//! * `TORTURE_SEED`    — base seed (default 42)
+//! * `TORTURE_SEEDS`   — number of consecutive seeds to sweep (default 1;
+//!   the nightly lane runs many)
+//! * `TORTURE_STEPS`   — storage workload steps per seed (default 80)
+//! * `TORTURE_TUPLES`  — CQ workload tuples per seed (default 25)
+//! * `TORTURE_ARTIFACT_DIR` — where failing disk images land (default
+//!   `target/torture-artifacts`)
+//!
+//! Reproduce a printed failure with:
+//! `TORTURE_SEED=<seed> TORTURE_SEEDS=1 cargo run --release --bin
+//! recovery_torture` (the op index is swept automatically; the named
+//! seed regenerates the identical workload, fault schedule and tear
+//! offsets).
+
+#![deny(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use streamrel_bench::torture::{cq_sweep, engine_sweep, Failure, SweepOutcome};
+use streamrel_bench::ResultTable;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn dump_failures(kind: &str, failures: &[Failure], dir: &Path) {
+    for f in failures {
+        eprintln!(
+            "DIVERGENCE [{kind}] seed={} op={}\n{}\n  reproduce: \
+             TORTURE_SEED={} TORTURE_SEEDS=1 cargo run --release --bin recovery_torture",
+            f.seed, f.op, f.detail, f.seed
+        );
+        let image_dir = dir.join(format!("{kind}-seed{}-op{}", f.seed, f.op));
+        match f.image.dump_to(&image_dir) {
+            Ok(()) => eprintln!("  frozen disk image dumped to {}", image_dir.display()),
+            Err(e) => eprintln!("  disk image dump failed: {e}"),
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base_seed = env_u64("TORTURE_SEED", 42);
+    let seeds = env_u64("TORTURE_SEEDS", 1).max(1);
+    let steps = env_u64("TORTURE_STEPS", 80) as usize;
+    let tuples = env_u64("TORTURE_TUPLES", 25) as usize;
+    let artifact_dir = PathBuf::from(
+        std::env::var("TORTURE_ARTIFACT_DIR").unwrap_or_else(|_| "target/torture-artifacts".into()),
+    );
+
+    println!(
+        "recovery_torture: crash-at-every-op sweep, seeds {base_seed}..{} \
+         ({steps} storage steps + {tuples} CQ tuples per seed)\n",
+        base_seed + seeds - 1
+    );
+
+    let start = Instant::now();
+    let mut engine_total = SweepOutcome::default();
+    let mut cq_total = SweepOutcome::default();
+    let mut table = ResultTable::new(&["seed", "storage crash points", "cq crash points", "fail"]);
+    for seed in base_seed..base_seed + seeds {
+        let e = engine_sweep(seed, steps)?;
+        let c = cq_sweep(seed, tuples)?;
+        table.row(&[
+            seed.to_string(),
+            e.crash_points.to_string(),
+            c.crash_points.to_string(),
+            (e.failures.len() + c.failures.len()).to_string(),
+        ]);
+        engine_total.merge(e);
+        cq_total.merge(c);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    table.print();
+
+    let crash_points = engine_total.crash_points + cq_total.crash_points;
+    let failures = engine_total.failures.len() + cq_total.failures.len();
+    println!(
+        "\n{crash_points} crash points, {failures} divergences in {secs:.2}s \
+         ({:.0} crash points/s)",
+        crash_points as f64 / secs.max(1e-9)
+    );
+
+    let json = format!(
+        "{{\n  \"base_seed\": {base_seed},\n  \"seeds\": {seeds},\n  \
+         \"storage_crash_points\": {},\n  \"cq_crash_points\": {},\n  \
+         \"failures\": {failures},\n  \"secs\": {secs:.3}\n}}\n",
+        engine_total.crash_points, cq_total.crash_points
+    );
+    std::fs::write("BENCH_recovery_torture.json", json)?;
+    println!("recorded BENCH_recovery_torture.json");
+
+    if failures > 0 {
+        dump_failures("storage", &engine_total.failures, &artifact_dir);
+        dump_failures("cq", &cq_total.failures, &artifact_dir);
+        let seeds_file = artifact_dir.join("failing-seeds.txt");
+        let lines: String = engine_total
+            .failures
+            .iter()
+            .map(|f| format!("storage {} {}\n", f.seed, f.op))
+            .chain(
+                cq_total
+                    .failures
+                    .iter()
+                    .map(|f| format!("cq {} {}\n", f.seed, f.op)),
+            )
+            .collect();
+        std::fs::create_dir_all(&artifact_dir)?;
+        std::fs::write(&seeds_file, lines)?;
+        eprintln!("failing seeds recorded in {}", seeds_file.display());
+        std::process::exit(1);
+    }
+    println!("recovery proof holds: zero divergence across all crash points");
+    Ok(())
+}

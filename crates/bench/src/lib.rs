@@ -7,6 +7,8 @@
 
 #![deny(unsafe_code)]
 
+pub mod torture;
+
 use std::time::{Duration, Instant};
 
 /// Scale factor from the `SCALE` env var (default 1). Experiment sizes

@@ -1,0 +1,545 @@
+//! Crash-recovery torture harness (DESIGN.md §10).
+//!
+//! Two deterministic sweeps, both built on `streamrel-faults`:
+//!
+//! * [`engine_sweep`] — a seeded workload of logical storage steps
+//!   (DDL, transactional inserts/deletes, catalog puts, checkpoints,
+//!   aborted transactions) runs once fault-free to record the state
+//!   digest at every step boundary; then the same workload is crashed at
+//!   **every mutating I/O operation index** in turn, the frozen disk
+//!   image is reopened, and the recovered state must (a) equal some step
+//!   boundary at or after the last step whose commit fsync returned
+//!   (atomicity + durability), and (b) after re-driving the remaining
+//!   steps, be byte-identical to the uncrashed reference's final digest.
+//! * [`cq_sweep`] — the same protocol over the full SQL/CQ stack: a
+//!   tumbling-window CQ archiving into an Active Table through an APPEND
+//!   channel, plus a raw archive. After each crash the harness reopens,
+//!   rebuilds in-flight window state from the raw archive past the
+//!   watermark (the paper's §4 recovery story), re-drives the ingest
+//!   steps whose tuples never became durable, and requires the final
+//!   archive + watermark digest to be byte-identical to the reference.
+//!
+//! Every divergence is reported as a [`Failure`] carrying the seed and
+//! crash-op index; `FaultPlan::crash_at(seed, op)` reproduces it exactly.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streamrel_core::{Db, DbOptions};
+use streamrel_cq::recovery::{archive_watermark, replay_rows_after};
+use streamrel_faults::{DiskImage, FaultIo, FaultPlan};
+use streamrel_storage::{Io, StorageEngine, SyncMode};
+use streamrel_types::{Column, DataType, Result, Value};
+
+/// Simulated data directory (never touches the real filesystem).
+const SIM_DIR: &str = "/sim/db";
+
+/// One divergence found by a sweep: the reproduction recipe plus what
+/// went wrong.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Workload + fault seed.
+    pub seed: u64,
+    /// Mutating-op index the crash was injected at.
+    pub op: u64,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+    /// The frozen disk image, for artifact upload.
+    pub image: DiskImage,
+}
+
+/// Result of one sweep: how many crash points ran and which diverged.
+#[derive(Debug, Default)]
+pub struct SweepOutcome {
+    /// Crash-op indices exercised.
+    pub crash_points: u64,
+    /// Divergences (empty = recovery proven over this workload).
+    pub failures: Vec<Failure>,
+}
+
+impl SweepOutcome {
+    /// Merge another outcome into this one.
+    pub fn merge(&mut self, other: SweepOutcome) {
+        self.crash_points += other.crash_points;
+        self.failures.extend(other.failures);
+    }
+}
+
+// ---- engine-level sweep ----------------------------------------------------
+
+/// One logical storage step. Steps are *value-addressed* (tables by
+/// name, rows by content) so they can be re-driven against a recovered
+/// engine whose heap slots and transaction ids differ from the
+/// reference run's.
+#[derive(Debug, Clone)]
+enum EngineStep {
+    CreateTable(String),
+    InsertBatch { table: String, base: i64, n: usize },
+    DeleteMin { table: String },
+    KvPut { key: String, value: String },
+    Checkpoint,
+    AbortedInsert { table: String, v: i64 },
+}
+
+fn torture_schema() -> streamrel_types::Schema {
+    streamrel_types::Schema::new(vec![
+        Column::not_null("k", DataType::Text),
+        Column::new("v", DataType::Int),
+    ])
+    .expect("static schema")
+}
+
+/// Deterministic step list for a seed. A monotone counter keeps every
+/// inserted row unique, which makes every step-boundary digest distinct
+/// (except for steps that are deliberately digest-neutral: checkpoints,
+/// aborted transactions, deletes from empty tables — re-driving those is
+/// idempotent, so boundary ambiguity is harmless).
+fn gen_engine_steps(seed: u64, n: usize) -> Vec<EngineStep> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x544f_5254);
+    let mut tables: Vec<String> = Vec::new();
+    let mut counter: i64 = 0;
+    let mut steps = Vec::with_capacity(n);
+    for _ in 0..n {
+        let roll = if tables.is_empty() {
+            0
+        } else {
+            rng.gen_range(0..100u32)
+        };
+        let step = if tables.is_empty() || (roll < 8 && tables.len() < 6) {
+            let name = format!("t{}", tables.len());
+            tables.push(name.clone());
+            EngineStep::CreateTable(name)
+        } else if roll < 55 {
+            let table = tables[rng.gen_range(0..tables.len())].clone();
+            let n = rng.gen_range(1..4usize);
+            let base = counter;
+            counter += n as i64;
+            EngineStep::InsertBatch { table, base, n }
+        } else if roll < 70 {
+            EngineStep::DeleteMin {
+                table: tables[rng.gen_range(0..tables.len())].clone(),
+            }
+        } else if roll < 82 {
+            counter += 1;
+            EngineStep::KvPut {
+                key: format!("torture.k{}", rng.gen_range(0..8u32)),
+                value: format!("v{counter}"),
+            }
+        } else if roll < 90 {
+            EngineStep::Checkpoint
+        } else {
+            counter += 1;
+            EngineStep::AbortedInsert {
+                table: tables[rng.gen_range(0..tables.len())].clone(),
+                v: counter,
+            }
+        };
+        steps.push(step);
+    }
+    steps
+}
+
+fn apply_engine_step(e: &StorageEngine, step: &EngineStep) -> Result<()> {
+    match step {
+        EngineStep::CreateTable(name) => {
+            e.create_table(name, torture_schema())?;
+        }
+        EngineStep::InsertBatch { table, base, n } => {
+            let id = e.table_id(table)?;
+            e.with_txn(|x| {
+                for i in 0..*n {
+                    let v = base + i as i64;
+                    e.insert(x, id, vec![Value::text(format!("k{v}")), Value::Int(v)])?;
+                }
+                Ok(())
+            })?;
+        }
+        EngineStep::DeleteMin { table } => {
+            let id = e.table_id(table)?;
+            e.with_txn(|x| {
+                let snap = e.snapshot_for(x);
+                let mut rows = e.scan(id, &snap)?;
+                rows.sort_by_key(|(_, r)| match r.get(1) {
+                    Some(Value::Int(v)) => *v,
+                    _ => i64::MAX,
+                });
+                if let Some((tid, _)) = rows.first() {
+                    e.delete(x, *tid)?;
+                }
+                Ok(())
+            })?;
+        }
+        EngineStep::KvPut { key, value } => e.catalog_put(key, value)?,
+        EngineStep::Checkpoint => e.checkpoint()?,
+        EngineStep::AbortedInsert { table, v } => {
+            let id = e.table_id(table)?;
+            let x = e.begin()?;
+            e.insert(x, id, vec![Value::text(format!("a{v}")), Value::Int(*v)])?;
+            e.abort(x)?;
+        }
+    }
+    Ok(())
+}
+
+/// Canonical state digest: every table (sorted by name) with its visible
+/// rows (sorted by content), plus the whole catalog KV area. Slot
+/// numbers, transaction ids and table ids are deliberately excluded —
+/// recovery renumbers them freely.
+pub fn engine_digest(e: &StorageEngine) -> Result<String> {
+    let mut out = String::new();
+    let mut names = e.table_names();
+    names.sort();
+    let snap = e.snapshot();
+    for name in names {
+        let id = e.table_id(&name)?;
+        let mut rows: Vec<String> = e
+            .scan(id, &snap)?
+            .into_iter()
+            .map(|(_, r)| format!("{r:?}"))
+            .collect();
+        rows.sort();
+        out.push_str(&format!("table {name}: {}\n", rows.join(" | ")));
+    }
+    for (k, v) in e.catalog_scan("") {
+        out.push_str(&format!("kv {k}={v}\n"));
+    }
+    Ok(out)
+}
+
+fn open_engine(io: &Arc<FaultIo>) -> Result<StorageEngine> {
+    let dynio: Arc<dyn Io> = io.clone();
+    StorageEngine::open_with_io(SIM_DIR, SyncMode::Fsync, dynio)
+}
+
+/// Crash-at-every-op sweep over the storage-level workload. Returns the
+/// number of crash points exercised and any divergences.
+pub fn engine_sweep(seed: u64, nsteps: usize) -> Result<SweepOutcome> {
+    let steps = gen_engine_steps(seed, nsteps);
+
+    // Reference run: no faults; digest at every step boundary.
+    let io = FaultIo::new(FaultPlan::none(seed));
+    let e = open_engine(&io)?;
+    let mut boundaries = vec![engine_digest(&e)?];
+    for s in &steps {
+        apply_engine_step(&e, s)?;
+        boundaries.push(engine_digest(&e)?);
+    }
+    let total_ops = io.ops();
+    drop(e);
+
+    let mut outcome = SweepOutcome {
+        crash_points: total_ops,
+        failures: Vec::new(),
+    };
+    for op in 0..total_ops {
+        if let Some(f) = engine_crash_once(seed, &steps, &boundaries, op)? {
+            outcome.failures.push(f);
+        }
+    }
+    Ok(outcome)
+}
+
+/// Run the workload with a crash injected at mutating-op `op`, recover,
+/// and check both invariants. `None` = this crash point is proven.
+fn engine_crash_once(
+    seed: u64,
+    steps: &[EngineStep],
+    boundaries: &[String],
+    op: u64,
+) -> Result<Option<Failure>> {
+    let io = FaultIo::new(FaultPlan::crash_at(seed, op).with_bit_flip());
+    let mut completed = 0usize;
+    if let Ok(e) = open_engine(&io) {
+        for s in steps {
+            if apply_engine_step(&e, s).is_err() {
+                break;
+            }
+            completed += 1;
+        }
+    }
+    let image = io.frozen_image()?;
+    let fail = |detail: String| {
+        Ok(Some(Failure {
+            seed,
+            op,
+            detail,
+            image: image.clone(),
+        }))
+    };
+
+    // Power-loss restart: reopen over the frozen image, no faults.
+    let rio = FaultIo::from_image(&image, FaultPlan::none(0));
+    let e = match open_engine(&rio) {
+        Ok(e) => e,
+        Err(err) => return fail(format!("recovery open failed: {err}")),
+    };
+    let got = engine_digest(&e)?;
+
+    // Atomicity + durability: the recovered state is a step boundary, at
+    // or (if the crashing step's records all landed) one past the last
+    // step whose commit fsync was acknowledged.
+    let Some(rel) = boundaries[completed..].iter().position(|b| *b == got) else {
+        return fail(format!(
+            "recovered state matches no boundary >= {completed}:\n{got}"
+        ));
+    };
+    let resume = completed + rel;
+
+    // Convergence: re-driving the remaining steps lands byte-identical
+    // to the uncrashed reference.
+    for (i, s) in steps[resume..].iter().enumerate() {
+        if let Err(err) = apply_engine_step(&e, s) {
+            return fail(format!("re-drive failed at step {}: {err}", resume + i));
+        }
+    }
+    let fin = engine_digest(&e)?;
+    if fin != boundaries[boundaries.len() - 1] {
+        return fail(format!(
+            "re-driven final state diverges from reference:\n--- got ---\n{fin}"
+        ));
+    }
+    Ok(None)
+}
+
+// ---- CQ-level sweep --------------------------------------------------------
+
+/// One logical CQ workload step: ingest a tuple (timestamps strictly
+/// increase, so a tuple is identified by its timestamp) or heartbeat.
+#[derive(Debug, Clone)]
+enum CqStep {
+    Ingest { k: &'static str, ts: i64 },
+    Heartbeat { ts: i64 },
+}
+
+const SECOND: i64 = 1_000_000;
+const MINUTE: i64 = 60 * SECOND;
+
+fn gen_cq_steps(seed: u64, tuples: usize) -> Vec<CqStep> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0c0f_fee0);
+    let keys = ["a", "b", "c"];
+    let mut ts = 0i64;
+    let mut steps = Vec::new();
+    for _ in 0..tuples {
+        ts += rng.gen_range(1..30i64) * SECOND;
+        steps.push(CqStep::Ingest {
+            k: keys[rng.gen_range(0..keys.len())],
+            ts,
+        });
+        if rng.gen_bool(0.2) {
+            // Close out the current minute.
+            let hb = (ts / MINUTE + 1) * MINUTE;
+            steps.push(CqStep::Heartbeat { ts: hb });
+            ts = hb;
+        }
+    }
+    // Final heartbeat closes every remaining window so the reference and
+    // recovered runs are compared with no in-flight state.
+    steps.push(CqStep::Heartbeat {
+        ts: (ts / MINUTE + 2) * MINUTE,
+    });
+    steps
+}
+
+fn cq_options() -> DbOptions {
+    // Single shard, no worker pool: the op sequence must be identical on
+    // every run for crash-at-op-N to be meaningful.
+    DbOptions::default()
+        .with_sync(SyncMode::Fsync)
+        .with_shards(1)
+        .with_pool_workers(0)
+}
+
+fn cq_setup(db: &Db) -> Result<()> {
+    db.execute("CREATE STREAM s (k varchar(16), ts timestamp CQTIME USER)")?;
+    db.execute("CREATE TABLE agg (k varchar(16), c bigint, w timestamp)")?;
+    db.execute(
+        "CREATE STREAM per_minute AS SELECT k, count(*) c, cq_close(*) w \
+         FROM s <TUMBLING '1 minute'> GROUP BY k",
+    )?;
+    db.execute("CREATE CHANNEL ch FROM per_minute INTO agg APPEND")?;
+    db.execute("CREATE TABLE raw (k varchar(16), ts timestamp)")?;
+    db.execute("CREATE CHANNEL raw_ch FROM s INTO raw APPEND")?;
+    Ok(())
+}
+
+fn apply_cq_step(db: &Db, step: &CqStep) -> Result<()> {
+    match step {
+        CqStep::Ingest { k, ts } => db.ingest("s", vec![Value::text(*k), Value::Timestamp(*ts)]),
+        CqStep::Heartbeat { ts } => db.heartbeat("s", *ts),
+    }
+}
+
+/// Canonical CQ digest: archived windows, the raw archive, and every CQ
+/// watermark — the full durable footprint of the standing query.
+pub fn cq_digest(db: &Db) -> Result<String> {
+    let mut out = String::new();
+    for t in ["agg", "raw"] {
+        let rel = match db.execute(&format!("SELECT * FROM {t}"))? {
+            streamrel_core::ExecResult::Rows(rel) => rel,
+            other => {
+                return Err(streamrel_types::Error::Io(format!(
+                    "unexpected result {other:?}"
+                )))
+            }
+        };
+        let mut rows: Vec<String> = rel.rows().iter().map(|r| format!("{r:?}")).collect();
+        rows.sort();
+        out.push_str(&format!("table {t}: {}\n", rows.join(" | ")));
+    }
+    for (k, v) in db.engine().catalog_scan("cq_watermark.") {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    Ok(out)
+}
+
+fn open_db(io: &Arc<FaultIo>) -> Result<Db> {
+    let dynio: Arc<dyn Io> = io.clone();
+    Db::open_with_io(SIM_DIR, cq_options(), dynio)
+}
+
+/// Crash-at-every-op sweep over the CQ workload (ingest phase; DDL crash
+/// points are covered by [`engine_sweep`]'s `CreateTable`/`KvPut` steps).
+pub fn cq_sweep(seed: u64, tuples: usize) -> Result<SweepOutcome> {
+    let steps = gen_cq_steps(seed, tuples);
+
+    // Reference run.
+    let io = FaultIo::new(FaultPlan::none(seed));
+    let db = open_db(&io)?;
+    cq_setup(&db)?;
+    let setup_ops = io.ops();
+    for s in &steps {
+        apply_cq_step(&db, s)?;
+    }
+    let reference = cq_digest(&db)?;
+    let total_ops = io.ops();
+    drop(db);
+
+    let mut outcome = SweepOutcome {
+        crash_points: total_ops - setup_ops,
+        failures: Vec::new(),
+    };
+    for op in setup_ops..total_ops {
+        if let Some(f) = cq_crash_once(seed, &steps, &reference, op)? {
+            outcome.failures.push(f);
+        }
+    }
+    Ok(outcome)
+}
+
+fn cq_crash_once(seed: u64, steps: &[CqStep], reference: &str, op: u64) -> Result<Option<Failure>> {
+    let io = FaultIo::new(FaultPlan::crash_at(seed, op).with_bit_flip());
+    if let Ok(db) = open_db(&io) {
+        if cq_setup(&db).is_ok() {
+            for s in steps {
+                if apply_cq_step(&db, s).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let image = io.frozen_image()?;
+    let fail = |detail: String| {
+        Ok(Some(Failure {
+            seed,
+            op,
+            detail,
+            image: image.clone(),
+        }))
+    };
+
+    // Restart: recovery replays the WAL, rebuilds DDL objects and
+    // restores each CQ's position from its Active-Table watermark.
+    let rio = FaultIo::from_image(&image, FaultPlan::none(0));
+    let db = match open_db(&rio) {
+        Ok(db) => db,
+        Err(err) => return fail(format!("recovery open failed: {err}")),
+    };
+
+    // Rebuild in-flight window state from the raw archive (§4): replay
+    // the raw rows past the watermark through the stream, bypassing the
+    // raw channel so they are not archived twice.
+    let wm = archive_watermark(db.engine(), "agg", "w")?.unwrap_or(i64::MIN);
+    let replay = replay_rows_after(db.engine(), "raw", "ts", wm)?;
+    db.execute("DROP CHANNEL raw_ch")?;
+    for r in replay {
+        if let Err(err) = db.ingest("s", r) {
+            return fail(format!("raw replay re-ingest failed: {err}"));
+        }
+    }
+    db.execute("CREATE CHANNEL raw_ch FROM s INTO raw APPEND")?;
+
+    // Re-drive: tuples that never became durable (absent from the raw
+    // archive) are re-ingested; heartbeats are replayed wholesale (a
+    // stale heartbeat closes nothing).
+    let durable: HashSet<i64> = match db.execute("SELECT ts FROM raw")? {
+        streamrel_core::ExecResult::Rows(rel) => rel
+            .rows()
+            .iter()
+            .filter_map(|r| match r.first() {
+                Some(Value::Timestamp(t)) => Some(*t),
+                _ => None,
+            })
+            .collect(),
+        _ => HashSet::new(),
+    };
+    for s in steps {
+        let redo = match s {
+            CqStep::Ingest { ts, .. } => !durable.contains(ts),
+            CqStep::Heartbeat { .. } => true,
+        };
+        if redo {
+            if let Err(err) = apply_cq_step(&db, s) {
+                return fail(format!("re-drive failed on {s:?}: {err}"));
+            }
+        }
+    }
+    let got = cq_digest(&db)?;
+    if got != reference {
+        return fail(format!(
+            "CQ state diverges from reference:\n--- got ---\n{got}--- want ---\n{reference}"
+        ));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_steps_are_deterministic() {
+        let a = format!("{:?}", gen_engine_steps(9, 30));
+        let b = format!("{:?}", gen_engine_steps(9, 30));
+        assert_eq!(a, b);
+        let c = format!("{:?}", gen_engine_steps(10, 30));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_engine_sweep_is_clean() {
+        let out = engine_sweep(0xBEEF, 12).unwrap();
+        assert!(out.crash_points > 10);
+        assert!(
+            out.failures.is_empty(),
+            "first failure: seed={} op={} — {}",
+            out.failures[0].seed,
+            out.failures[0].op,
+            out.failures[0].detail
+        );
+    }
+
+    #[test]
+    fn small_cq_sweep_is_clean() {
+        let out = cq_sweep(0xBEEF, 6).unwrap();
+        assert!(out.crash_points > 10);
+        assert!(
+            out.failures.is_empty(),
+            "first failure: seed={} op={} — {}",
+            out.failures[0].seed,
+            out.failures[0].op,
+            out.failures[0].detail
+        );
+    }
+}

@@ -26,7 +26,7 @@ use streamrel_sql::analyzer::Analyzer;
 use streamrel_sql::ast::{ChannelMode, ColumnDef, Expr, ObjectKind, Query, ShowKind, Statement};
 use streamrel_sql::parser::{parse_statement, parse_statements};
 use streamrel_sql::plan::{BoundExpr, LogicalPlan};
-use streamrel_storage::StorageEngine;
+use streamrel_storage::{Io, StorageEngine};
 use streamrel_types::{Column, Error, Relation, Result, Row, Schema, Timestamp, Value};
 
 use crate::options::DbOptions;
@@ -207,6 +207,17 @@ impl Db {
     /// CQ's position from its Active-Table watermark (§4 recovery).
     pub fn open(dir: impl AsRef<Path>, options: DbOptions) -> Result<Db> {
         let engine = Arc::new(StorageEngine::open_with(dir.as_ref(), options.sync)?);
+        let db = Db::with_engine(engine, options);
+        db.replay_ddl()?;
+        db.restore_watermarks()?;
+        Ok(db)
+    }
+
+    /// [`Db::open`] over an explicit storage [`Io`] implementation — the
+    /// seam the crash-recovery torture harness uses to run the full SQL /
+    /// CQ stack against a simulated fault-injecting disk (DESIGN.md §10).
+    pub fn open_with_io(dir: impl AsRef<Path>, options: DbOptions, io: Arc<dyn Io>) -> Result<Db> {
+        let engine = Arc::new(StorageEngine::open_with_io(dir.as_ref(), options.sync, io)?);
         let db = Db::with_engine(engine, options);
         db.replay_ddl()?;
         db.restore_watermarks()?;

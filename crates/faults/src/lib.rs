@@ -1,0 +1,563 @@
+//! Deterministic storage fault injection for streamrel.
+//!
+//! [`FaultIo`] implements the storage [`Io`] trait over a fully simulated
+//! disk, with a seeded per-operation fault schedule:
+//!
+//! * **crash-at-op-N** — the Nth mutating I/O operation is interrupted
+//!   mid-flight and the simulated disk image is *frozen*: synced bytes
+//!   survive, a PRNG-chosen prefix of each file's unsynced suffix
+//!   "happened to hit the platter", the rest is lost, and the torn region
+//!   may take a bit flip. Every later operation fails — the process is
+//!   dead. Reopening an engine over [`FaultIo::frozen_image`] is exactly
+//!   a post-power-loss restart.
+//! * **fsync `EIO`** — the Nth sync durably lands a PRNG prefix of the
+//!   pending bytes, then errors. The durable state is indeterminate, so
+//!   the WAL must poison itself (`Error::WalPoisoned`, fsyncgate).
+//! * **short write** — the Nth append applies a PRNG prefix of the data
+//!   to the OS cache, then errors.
+//!
+//! All randomness comes from one `StdRng` seeded by [`FaultPlan::seed`],
+//! and the torture workload runs single-threaded, so a failing run is
+//! reproducible from the printed `(seed, crash op)` pair alone. Injected
+//! faults surface as `fault.injected.*` counters through the engine's
+//! metrics registry via [`Io::bind_metrics`]. See DESIGN.md §10.
+
+#![deny(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streamrel_obs::{Counter, Registry};
+use streamrel_storage::Io;
+use streamrel_types::{Error, Result};
+
+/// The seeded fault schedule for one [`FaultIo`] instance.
+///
+/// Operation indices count *mutating* operations only (`append`, `sync`,
+/// `truncate`, `replace`), in execution order, starting at 0. Reads and
+/// directory creation never fault and never advance the counter, so an op
+/// index maps to the same logical operation on every run with the same
+/// workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// PRNG seed; every injected partial effect derives from it.
+    pub seed: u64,
+    /// Crash (freeze the disk image, fail everything after) at this
+    /// mutating-op index.
+    pub crash_at_op: Option<u64>,
+    /// Inject an `EIO` on the Nth `sync` call (counting syncs only).
+    pub sync_error_at_sync: Option<u64>,
+    /// Short-write the Nth `append` call (counting appends only).
+    pub short_write_at_append: Option<u64>,
+    /// On crash, flip one bit in each file's torn (unsynced-but-kept)
+    /// region, exercising the WAL's CRC tail scan.
+    pub bit_flip_on_crash: bool,
+}
+
+impl FaultPlan {
+    /// No faults: a plain deterministic in-memory disk.
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            crash_at_op: None,
+            sync_error_at_sync: None,
+            short_write_at_append: None,
+            bit_flip_on_crash: false,
+        }
+    }
+
+    /// Crash at mutating-op index `op`.
+    pub fn crash_at(seed: u64, op: u64) -> FaultPlan {
+        FaultPlan {
+            crash_at_op: Some(op),
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Fail the `n`th fsync with `EIO`.
+    pub fn sync_error_at(seed: u64, n: u64) -> FaultPlan {
+        FaultPlan {
+            sync_error_at_sync: Some(n),
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Short-write the `n`th append.
+    pub fn short_write_at(seed: u64, n: u64) -> FaultPlan {
+        FaultPlan {
+            short_write_at_append: Some(n),
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Enable a bit flip in the torn region on crash.
+    pub fn with_bit_flip(mut self) -> FaultPlan {
+        self.bit_flip_on_crash = true;
+        self
+    }
+}
+
+/// A frozen snapshot of the simulated disk: what a real disk would hold
+/// after power loss. Reopen an engine over it via
+/// [`FaultIo::from_image`], or dump it to a real directory for a CI
+/// artifact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiskImage {
+    /// File contents keyed by simulated path.
+    pub files: BTreeMap<PathBuf, Vec<u8>>,
+    /// Directories that existed.
+    pub dirs: BTreeSet<PathBuf>,
+}
+
+impl DiskImage {
+    /// Write the image's files under `root` on the real filesystem
+    /// (flattening simulated paths to file names), for artifact upload
+    /// from a failing torture run.
+    pub fn dump_to(&self, root: &Path) -> Result<()> {
+        std::fs::create_dir_all(root)?;
+        for (path, data) in &self.files {
+            let flat: String = path
+                .to_string_lossy()
+                .chars()
+                .map(|c| if c == '/' || c == '\\' { '_' } else { c })
+                .collect();
+            std::fs::write(root.join(flat.trim_start_matches('_')), data)?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-file simulated state: the whole byte range the process has
+/// written (`data`) and how much of it is guaranteed on stable storage
+/// (`durable`). The gap is the "OS page cache" — lost on crash except
+/// for a PRNG-chosen prefix.
+#[derive(Debug, Clone, Default)]
+struct FileState {
+    durable: usize,
+    data: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct State {
+    rng: StdRng,
+    /// Mutating ops performed so far (also: the index of the next op).
+    ops: u64,
+    syncs: u64,
+    appends: u64,
+    crashed: bool,
+    files: BTreeMap<PathBuf, FileState>,
+    dirs: BTreeSet<PathBuf>,
+}
+
+/// `fault.injected.*` counter handles, bound on [`Io::bind_metrics`].
+#[derive(Clone)]
+struct FaultCounters {
+    crashes: Arc<Counter>,
+    sync_errors: Arc<Counter>,
+    short_writes: Arc<Counter>,
+}
+
+/// A deterministic fault-injecting [`Io`] over a simulated disk.
+pub struct FaultIo {
+    plan: FaultPlan,
+    state: Mutex<State>,
+    counters: Mutex<Option<FaultCounters>>,
+}
+
+impl FaultIo {
+    /// An empty simulated disk under `plan`.
+    pub fn new(plan: FaultPlan) -> Arc<FaultIo> {
+        Arc::new(FaultIo {
+            state: Mutex::new(State {
+                rng: StdRng::seed_from_u64(plan.seed),
+                ops: 0,
+                syncs: 0,
+                appends: 0,
+                crashed: false,
+                files: BTreeMap::new(),
+                dirs: BTreeSet::new(),
+            }),
+            plan,
+            counters: Mutex::new(None),
+        })
+    }
+
+    /// Rebuild a simulated disk from a frozen image (everything in the
+    /// image is durable — it already survived the crash).
+    pub fn from_image(image: &DiskImage, plan: FaultPlan) -> Arc<FaultIo> {
+        let io = FaultIo::new(plan);
+        {
+            let mut st = io.state.lock();
+            st.dirs = image.dirs.clone();
+            st.files = image
+                .files
+                .iter()
+                .map(|(p, d)| {
+                    (
+                        p.clone(),
+                        FileState {
+                            durable: d.len(),
+                            data: d.clone(),
+                        },
+                    )
+                })
+                .collect();
+        }
+        io
+    }
+
+    /// Mutating ops performed so far. Run the workload once without
+    /// faults to learn the sweep range for crash-at-every-op.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().ops
+    }
+
+    /// Has the simulated disk crashed (frozen)?
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// The current disk image. After a crash this is the frozen
+    /// post-power-loss view; before one it is the durable + cached view
+    /// (both useful: the latter models a clean process kill where the OS
+    /// survives and the page cache is eventually written back).
+    pub fn image(&self) -> DiskImage {
+        let st = self.state.lock();
+        DiskImage {
+            files: st
+                .files
+                .iter()
+                .map(|(p, f)| (p.clone(), f.data.clone()))
+                .collect(),
+            dirs: st.dirs.clone(),
+        }
+    }
+
+    /// The frozen post-crash image. Errors if no crash was injected yet.
+    pub fn frozen_image(&self) -> Result<DiskImage> {
+        if !self.crashed() {
+            return Err(Error::Io("simulated disk has not crashed".into()));
+        }
+        Ok(self.image())
+    }
+
+    fn counters(&self) -> Option<FaultCounters> {
+        self.counters.lock().clone()
+    }
+
+    /// Freeze the image: apply cache loss (keep a PRNG prefix of each
+    /// unsynced suffix), optionally flip a bit in each torn region, and
+    /// mark the disk crashed.
+    fn freeze(&self, st: &mut State) {
+        for f in st.files.values_mut() {
+            let unsynced = f.data.len() - f.durable;
+            let kept = if unsynced > 0 {
+                st.rng.gen_range(0..=unsynced)
+            } else {
+                0
+            };
+            f.data.truncate(f.durable + kept);
+            if self.plan.bit_flip_on_crash && kept > 0 {
+                let at = f.durable + st.rng.gen_range(0..kept);
+                let bit = st.rng.gen_range(0..8u32);
+                f.data[at] ^= 1 << bit;
+            }
+            f.durable = f.data.len();
+        }
+        st.crashed = true;
+        if let Some(c) = self.counters() {
+            c.crashes.inc();
+        }
+    }
+
+    /// Entry guard for every mutating op: fail if already crashed, and
+    /// report whether *this* op is the crash point.
+    fn begin_op(&self, st: &mut State) -> Result<bool> {
+        if st.crashed {
+            return Err(Error::Io("simulated disk is crashed".into()));
+        }
+        let here = self.plan.crash_at_op == Some(st.ops);
+        st.ops += 1;
+        Ok(here)
+    }
+
+    fn file<'a>(st: &'a mut State, path: &Path) -> &'a mut FileState {
+        st.files.entry(path.to_path_buf()).or_default()
+    }
+}
+
+impl Io for FaultIo {
+    fn create_dir_all(&self, path: &Path) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.crashed {
+            return Err(Error::Io("simulated disk is crashed".into()));
+        }
+        st.dirs.insert(path.to_path_buf());
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> Result<Option<Vec<u8>>> {
+        let st = self.state.lock();
+        if st.crashed {
+            return Err(Error::Io("simulated disk is crashed".into()));
+        }
+        Ok(st.files.get(path).map(|f| f.data.clone()))
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> Result<()> {
+        let mut st = self.state.lock();
+        let crash_here = self.begin_op(&mut st)?;
+        st.appends += 1;
+        if crash_here {
+            // The write syscall was in flight: a prefix reaches the cache.
+            let partial = st.rng.gen_range(0..=data.len());
+            let part = data[..partial].to_vec();
+            Self::file(&mut st, path).data.extend_from_slice(&part);
+            self.freeze(&mut st);
+            return Err(Error::Io(format!(
+                "simulated crash during append (op {})",
+                st.ops - 1
+            )));
+        }
+        if self.plan.short_write_at_append == Some(st.appends - 1) {
+            let partial = st.rng.gen_range(0..data.len().max(1));
+            let part = data[..partial].to_vec();
+            Self::file(&mut st, path).data.extend_from_slice(&part);
+            if let Some(c) = self.counters() {
+                c.short_writes.inc();
+            }
+            return Err(Error::Io(format!(
+                "simulated short write ({partial} of {} bytes)",
+                data.len()
+            )));
+        }
+        Self::file(&mut st, path).data.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&self, path: &Path) -> Result<()> {
+        let mut st = self.state.lock();
+        let crash_here = self.begin_op(&mut st)?;
+        st.syncs += 1;
+        if crash_here {
+            // fsync was in flight: some pending pages made it down.
+            let f = Self::file(&mut st, path);
+            let pending = f.data.len() - f.durable;
+            let landed = if pending > 0 {
+                st.rng.gen_range(0..=pending)
+            } else {
+                0
+            };
+            let f = Self::file(&mut st, path);
+            f.durable += landed;
+            self.freeze(&mut st);
+            return Err(Error::Io(format!(
+                "simulated crash during fsync (op {})",
+                st.ops - 1
+            )));
+        }
+        if self.plan.sync_error_at_sync == Some(st.syncs - 1) {
+            // fsyncgate: the kernel wrote an unknown subset of the dirty
+            // pages before reporting EIO, then marked them clean.
+            let f = Self::file(&mut st, path);
+            let pending = f.data.len() - f.durable;
+            let landed = if pending > 0 {
+                st.rng.gen_range(0..=pending)
+            } else {
+                0
+            };
+            let f = Self::file(&mut st, path);
+            f.durable += landed;
+            if let Some(c) = self.counters() {
+                c.sync_errors.inc();
+            }
+            return Err(Error::Io("simulated fsync EIO".into()));
+        }
+        let f = Self::file(&mut st, path);
+        f.durable = f.data.len();
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> Result<()> {
+        let mut st = self.state.lock();
+        let crash_here = self.begin_op(&mut st)?;
+        if crash_here {
+            // Metadata op: it either committed or it did not.
+            let applied = st.rng.gen_bool(0.5);
+            if applied {
+                let f = Self::file(&mut st, path);
+                f.data.truncate(len as usize);
+                f.durable = f.durable.min(f.data.len());
+            }
+            self.freeze(&mut st);
+            return Err(Error::Io(format!(
+                "simulated crash during truncate (op {})",
+                st.ops - 1
+            )));
+        }
+        let f = Self::file(&mut st, path);
+        f.data.truncate(len as usize);
+        // truncate is durable (StdIo syncs after set_len).
+        f.durable = f.data.len();
+        Ok(())
+    }
+
+    fn replace(&self, path: &Path, data: &[u8]) -> Result<()> {
+        let mut st = self.state.lock();
+        let crash_here = self.begin_op(&mut st)?;
+        if crash_here {
+            // Atomic rename: old or new contents, never a mix.
+            let applied = st.rng.gen_bool(0.5);
+            if applied {
+                let f = Self::file(&mut st, path);
+                f.data = data.to_vec();
+                f.durable = data.len();
+            }
+            self.freeze(&mut st);
+            return Err(Error::Io(format!(
+                "simulated crash during replace (op {})",
+                st.ops - 1
+            )));
+        }
+        let f = Self::file(&mut st, path);
+        f.data = data.to_vec();
+        f.durable = data.len();
+        Ok(())
+    }
+
+    fn bind_metrics(&self, registry: &Arc<Registry>) {
+        *self.counters.lock() = Some(FaultCounters {
+            crashes: registry.counter("fault.injected.crashes"),
+            sync_errors: registry.counter("fault.injected.sync_errors"),
+            short_writes: registry.counter("fault.injected.short_writes"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn faultless_disk_behaves_like_a_filesystem() {
+        let io = FaultIo::new(FaultPlan::none(1));
+        io.create_dir_all(&p("/db")).unwrap();
+        assert_eq!(io.read(&p("/db/wal")).unwrap(), None);
+        io.append(&p("/db/wal"), b"abc").unwrap();
+        io.append(&p("/db/wal"), b"def").unwrap();
+        io.sync(&p("/db/wal")).unwrap();
+        assert_eq!(io.read(&p("/db/wal")).unwrap().unwrap(), b"abcdef");
+        io.truncate(&p("/db/wal"), 2).unwrap();
+        assert_eq!(io.read(&p("/db/wal")).unwrap().unwrap(), b"ab");
+        io.replace(&p("/db/ck"), b"snap").unwrap();
+        assert_eq!(io.read(&p("/db/ck")).unwrap().unwrap(), b"snap");
+        assert_eq!(io.ops(), 5);
+        assert!(!io.crashed());
+    }
+
+    #[test]
+    fn crash_freezes_synced_bytes_and_fails_everything_after() {
+        // Crash on op index 2 (the second append).
+        let io = FaultIo::new(FaultPlan::crash_at(7, 2));
+        io.append(&p("/w"), b"AAAA").unwrap(); // op 0
+        io.sync(&p("/w")).unwrap(); // op 1
+        let err = io.append(&p("/w"), b"BBBB").unwrap_err(); // op 2: crash
+        assert!(matches!(err, Error::Io(_)));
+        assert!(io.crashed());
+        assert!(io.append(&p("/w"), b"CCCC").is_err());
+        assert!(io.read(&p("/w")).is_err());
+        let img = io.frozen_image().unwrap();
+        let data = &img.files[&p("/w")];
+        // Synced prefix always survives; torn tail is a prefix of "BBBB".
+        assert!(data.starts_with(b"AAAA"));
+        assert!(data.len() <= 8);
+    }
+
+    #[test]
+    fn crash_sweep_is_deterministic_for_a_seed() {
+        let run = |seed| {
+            let io = FaultIo::new(FaultPlan::crash_at(seed, 3));
+            let _ = io.append(&p("/w"), b"0123456789");
+            let _ = io.sync(&p("/w"));
+            let _ = io.append(&p("/w"), b"abcdefghij");
+            let _ = io.append(&p("/w"), b"KLMNOPQRST");
+            io.image()
+        };
+        assert_eq!(run(42), run(42));
+        // Different seeds tear at different offsets (overwhelmingly).
+        let a = run(1).files[&p("/w")].clone();
+        let same = (0..16).all(|s| run(s).files[&p("/w")] == a);
+        assert!(!same, "tear offset should depend on the seed");
+    }
+
+    #[test]
+    fn sync_error_leaves_durability_indeterminate() {
+        let io = FaultIo::new(FaultPlan::sync_error_at(5, 1));
+        io.append(&p("/w"), b"one").unwrap();
+        io.sync(&p("/w")).unwrap(); // sync #0: fine
+        io.append(&p("/w"), b"two").unwrap();
+        let err = io.sync(&p("/w")).unwrap_err(); // sync #1: EIO
+        assert!(matches!(err, Error::Io(m) if m.contains("EIO")));
+        assert!(!io.crashed(), "an fsync error is not a crash");
+        // The disk still works; durability of "two" is unknown until the
+        // next successful sync.
+        io.append(&p("/w"), b"three").unwrap();
+        io.sync(&p("/w")).unwrap();
+    }
+
+    #[test]
+    fn short_write_applies_a_strict_prefix() {
+        let io = FaultIo::new(FaultPlan::short_write_at(9, 0));
+        let err = io.append(&p("/w"), b"0123456789").unwrap_err();
+        assert!(matches!(err, Error::Io(m) if m.contains("short write")));
+        let img = io.image();
+        let data = &img.files[&p("/w")];
+        assert!(data.len() < 10, "short write must not complete");
+        assert_eq!(&b"0123456789"[..data.len()], &data[..]);
+    }
+
+    #[test]
+    fn from_image_round_trips() {
+        let io = FaultIo::new(FaultPlan::crash_at(3, 1));
+        io.append(&p("/w"), b"abc").unwrap();
+        let _ = io.sync(&p("/w")); // op 1: crash
+        let img = io.frozen_image().unwrap();
+        let re = FaultIo::from_image(&img, FaultPlan::none(0));
+        assert_eq!(re.image(), img);
+        re.append(&p("/w"), b"!").unwrap();
+        assert!(re.read(&p("/w")).unwrap().unwrap().ends_with(b"!"));
+    }
+
+    #[test]
+    fn bit_flip_corrupts_only_the_torn_region() {
+        // The synced prefix must survive every seed; only the unsynced
+        // tail of the crashing append is eligible for the flip.
+        for seed in 0..64 {
+            let io = FaultIo::new(FaultPlan::crash_at(seed, 2).with_bit_flip());
+            io.append(&p("/w"), b"SAFE").unwrap(); // op 0
+            io.sync(&p("/w")).unwrap(); // op 1
+            io.append(&p("/w"), b"tail-to-tear").unwrap_err(); // op 2
+            let img = io.frozen_image().unwrap();
+            assert!(img.files[&p("/w")].starts_with(b"SAFE"));
+        }
+    }
+
+    #[test]
+    fn counters_register_and_count() {
+        let io = FaultIo::new(FaultPlan::sync_error_at(5, 0));
+        let reg = Arc::new(Registry::default());
+        io.bind_metrics(&reg);
+        io.append(&p("/w"), b"x").unwrap();
+        let _ = io.sync(&p("/w"));
+        assert_eq!(reg.counter("fault.injected.sync_errors").get(), 1);
+        assert_eq!(reg.counter("fault.injected.crashes").get(), 0);
+    }
+}

@@ -7,14 +7,12 @@
 //! streaming data that has been entered into persistent structures" (§2.3).
 
 use std::collections::HashMap;
-use std::fs::File;
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use streamrel_obs::{Histogram, Registry};
+use streamrel_obs::{Gauge, Histogram, Registry};
 use streamrel_types::{Error, Result, Row, Schema};
 
 use crate::catalog::{Catalog, NamedIndex, SchemaRef, TableMeta};
@@ -22,14 +20,15 @@ use crate::codec::{self, Reader};
 use crate::crc::crc32;
 use crate::heap::TupleId;
 use crate::index::{IndexKey, OrderedIndex};
+use crate::io::{Io, StdIo};
 use crate::txn::{Snapshot, TxnId, TxnManager, TxnStatus, FROZEN_XID};
-use crate::wal::{replay, Wal, WalRecord};
+use crate::wal::{replay_bytes, Wal, WalRecord};
 
 pub use crate::wal::SyncMode;
 
 const CHECKPOINT_FILE: &str = "checkpoint.dat";
 const WAL_FILE: &str = "wal.log";
-const CHECKPOINT_MAGIC: &[u8; 8] = b"SRCHKPT1";
+const CHECKPOINT_MAGIC: &[u8; 8] = b"SRCHKPT2";
 
 /// Counters exposed for tests, benchmarks and EXPERIMENTS.md tables.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,22 +47,35 @@ pub struct EngineStats {
     pub replayed: u64,
 }
 
-// lock-order: wal < stats
+// lock-order: epoch < wal < stats
 //
 // Commit paths append to the WAL and then bump the counters; never hold
 // `stats` while taking `wal` (streamrel-lint enforces this per function).
+// The checkpoint epoch is read before (and never while) holding `wal`.
 /// The durable storage engine.
 pub struct StorageEngine {
     dir: Option<PathBuf>,
     txns: TxnManager,
     catalog: Catalog,
     wal: Option<Mutex<Wal>>,
+    /// All file traffic (WAL, checkpoints) goes through this seam; the
+    /// fault-injection harness substitutes a simulated disk here.
+    io: Arc<dyn Io>,
+    /// Checkpoint generation. Bumped by every successful checkpoint and
+    /// stamped into both the checkpoint body and the first WAL record so
+    /// recovery can tell a stale WAL (crash between checkpoint rename and
+    /// WAL reset) from a live one. See DESIGN.md §10.
+    epoch: Mutex<u64>,
     stats: Mutex<EngineStats>,
     /// Engine-wide metrics registry; every layer above shares this handle.
     metrics: Arc<Registry>,
     /// Cached instruments so the hot commit path skips the registry map.
     commit_hist: Arc<Histogram>,
     wal_sync_hist: Arc<Histogram>,
+    /// 0 = healthy, 1 = the WAL refused further writes after a failed
+    /// flush/fsync (`Error::WalPoisoned`). Registered at open so the row
+    /// is always present in `streamrel_metrics`.
+    wal_poisoned: Arc<Gauge>,
 }
 
 impl StorageEngine {
@@ -76,26 +88,71 @@ impl StorageEngine {
     /// Open with an explicit durability mode. Loads the checkpoint (if any)
     /// and replays the WAL: this is crash recovery for durable state.
     pub fn open_with(dir: impl Into<PathBuf>, sync: SyncMode) -> Result<StorageEngine> {
+        Self::open_with_io(dir, sync, StdIo::shared())
+    }
+
+    /// Open against an explicit [`Io`] implementation. This is the seam
+    /// the crash-recovery torture harness uses: `streamrel-faults` passes
+    /// a simulated disk here and crashes the engine at every I/O operation
+    /// in turn (DESIGN.md §10). Production paths use [`StdIo`].
+    pub fn open_with_io(
+        dir: impl Into<PathBuf>,
+        sync: SyncMode,
+        io: Arc<dyn Io>,
+    ) -> Result<StorageEngine> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        io.create_dir_all(&dir)?;
         let metrics = Arc::new(Registry::default());
+        io.bind_metrics(&metrics);
         let commit_hist = metrics.histogram("storage.commit_us");
         let wal_sync_hist = metrics.histogram("storage.wal_sync_us");
+        let wal_poisoned = metrics.gauge("wal.poisoned");
         let engine = StorageEngine {
             dir: Some(dir.clone()),
             txns: TxnManager::new(),
             catalog: Catalog::new(),
             wal: None,
+            io: io.clone(),
+            epoch: Mutex::new(0),
             stats: Mutex::new(EngineStats::default()),
             metrics,
             commit_hist,
             wal_sync_hist,
+            wal_poisoned,
         };
         engine.load_checkpoint(&dir.join(CHECKPOINT_FILE))?;
-        let replayed = engine.replay_wal(&dir.join(WAL_FILE))?;
+        let ck_epoch = *engine.epoch.lock();
+        let wal_path = dir.join(WAL_FILE);
+        let wal_bytes = io.read(&wal_path)?.unwrap_or_default();
+        let (records, valid_len) = replay_bytes(&wal_bytes);
+        // Every WAL opens with an `Epoch` stamp. One older than the
+        // checkpoint we just loaded means the crash landed between the
+        // checkpoint rename and the WAL reset: those records are already
+        // in the checkpoint, and replaying them over its renumbered heap
+        // slots would corrupt the image — discard instead.
+        let wal_epoch = match records.first() {
+            Some(WalRecord::Epoch { epoch }) => *epoch,
+            _ => 0,
+        };
+        let stale = !records.is_empty() && wal_epoch < ck_epoch;
+        let records = if stale { Vec::new() } else { records };
+        if stale {
+            io.truncate(&wal_path, 0)?;
+        } else if (valid_len as usize) < wal_bytes.len() {
+            // Torn tail from a mid-append crash: cut it so fresh appends
+            // do not land behind a CRC-invalid region.
+            io.truncate(&wal_path, valid_len)?;
+        }
+        let replayed = engine.apply_wal_records(records)?;
         engine.stats.lock().replayed = replayed;
         engine.rebuild_indexes();
-        let wal = Wal::open(dir.join(WAL_FILE), sync)?;
+        let mut wal = Wal::open_with_io(wal_path, sync, io)?;
+        if stale || replayed == 0 {
+            // Fresh (or just-discarded) log: stamp the current epoch so
+            // the next recovery can trust its contents.
+            wal.append(&WalRecord::Epoch { epoch: ck_epoch })?;
+            wal.sync_commit()?;
+        }
         let engine = StorageEngine {
             wal: Some(Mutex::new(wal)),
             ..engine
@@ -109,15 +166,19 @@ impl StorageEngine {
         let metrics = Arc::new(Registry::default());
         let commit_hist = metrics.histogram("storage.commit_us");
         let wal_sync_hist = metrics.histogram("storage.wal_sync_us");
+        let wal_poisoned = metrics.gauge("wal.poisoned");
         StorageEngine {
             dir: None,
             txns: TxnManager::new(),
             catalog: Catalog::new(),
             wal: None,
+            io: StdIo::shared(),
+            epoch: Mutex::new(0),
             stats: Mutex::new(EngineStats::default()),
             metrics,
             commit_hist,
             wal_sync_hist,
+            wal_poisoned,
         }
     }
 
@@ -145,7 +206,14 @@ impl StorageEngine {
 
     fn log(&self, rec: &WalRecord) -> Result<()> {
         if let Some(wal) = &self.wal {
-            wal.lock().append(rec)?;
+            let mut w = wal.lock();
+            if let Err(e) = w.append(rec) {
+                if w.is_poisoned() {
+                    self.wal_poisoned.set(1);
+                }
+                return Err(e);
+            }
+            drop(w);
             self.stats.lock().wal_records += 1;
         }
         Ok(())
@@ -154,10 +222,23 @@ impl StorageEngine {
     fn log_sync(&self) -> Result<()> {
         if let Some(wal) = &self.wal {
             let start = Instant::now();
-            wal.lock().sync_commit()?;
+            let mut w = wal.lock();
+            if let Err(e) = w.sync_commit() {
+                if w.is_poisoned() {
+                    self.wal_poisoned.set(1);
+                }
+                return Err(e);
+            }
+            drop(w);
             self.wal_sync_hist.observe_from(start);
         }
         Ok(())
+    }
+
+    /// True once the WAL has refused writes after a failed flush/fsync.
+    /// Mirrored as the `wal.poisoned` gauge in [`StorageEngine::metrics`].
+    pub fn wal_poisoned(&self) -> bool {
+        self.wal_poisoned.get() != 0
     }
 
     // ---- transactions ----------------------------------------------------
@@ -545,20 +626,29 @@ impl StorageEngine {
         }
         let snap = self.snapshot();
         let aborted = |x: TxnId| self.txns.is_aborted(x);
+        let new_epoch = *self.epoch.lock() + 1;
 
         let mut body = Vec::new();
         let tables = self.catalog.all_tables();
+        codec::put_u64(&mut body, new_epoch);
         codec::put_u64(&mut body, snap.xmax);
         codec::put_u32(&mut body, tables.len() as u32);
+        let mut images: Vec<(Arc<TableMeta>, Vec<Row>)> = Vec::with_capacity(tables.len());
         for meta in &tables {
             codec::put_u32(&mut body, meta.id);
             codec::put_str(&mut body, &meta.name);
             codec::encode_schema(&mut body, &meta.schema);
-            let rows = meta.heap.scan(&snap, &aborted);
+            let rows: Vec<Row> = meta
+                .heap
+                .scan(&snap, &aborted)
+                .into_iter()
+                .map(|(_, row)| row)
+                .collect();
             codec::put_u64(&mut body, rows.len() as u64);
-            for (_, row) in rows {
-                codec::encode_row(&mut body, &row);
+            for row in &rows {
+                codec::encode_row(&mut body, row);
             }
+            images.push((meta.clone(), rows));
         }
         let kv = self.catalog.kv_scan("");
         codec::put_u32(&mut body, kv.len() as u32);
@@ -567,33 +657,51 @@ impl StorageEngine {
             codec::put_str(&mut body, &v);
         }
 
-        let tmp = dir.join("checkpoint.tmp");
-        let final_path = dir.join(CHECKPOINT_FILE);
-        {
-            let mut f = File::create(&tmp)?;
-            f.write_all(CHECKPOINT_MAGIC)?;
-            f.write_all(&(body.len() as u64).to_le_bytes())?;
-            f.write_all(&crc32(&body).to_le_bytes())?;
-            f.write_all(&body)?;
-            f.sync_all()?;
+        let mut full = Vec::with_capacity(20 + body.len());
+        full.extend_from_slice(CHECKPOINT_MAGIC);
+        full.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        full.extend_from_slice(&crc32(&body).to_le_bytes());
+        full.extend_from_slice(&body);
+        self.io.replace(&dir.join(CHECKPOINT_FILE), &full)?;
+        *self.epoch.lock() = new_epoch;
+        // Renumber the live heap to exactly the image recovery will load
+        // (compact slots 0..n, frozen visibility): records logged after
+        // this point reference slots by the *image's* numbering, so a
+        // later recovery's checkpoint-load + replay stays aligned. Safe
+        // because checkpointing requires quiescence (no snapshots pinned,
+        // no transactions in flight).
+        for (meta, rows) in images {
+            meta.heap.truncate();
+            let indexes = meta.indexes.read();
+            for idx in indexes.iter() {
+                idx.index.clear();
+            }
+            for row in rows {
+                let tid = meta.heap.insert(FROZEN_XID, row.clone());
+                for idx in indexes.iter() {
+                    idx.index.insert(&row, tid.slot);
+                }
+            }
         }
-        std::fs::rename(&tmp, &final_path)?;
         if let Some(wal) = &self.wal {
-            wal.lock().reset()?;
+            let mut w = wal.lock();
+            // A crash between the atomic replace above and this reset
+            // leaves the pre-checkpoint WAL on disk; its older epoch
+            // stamp tells the next recovery to discard it rather than
+            // replay already-checkpointed records over renumbered slots.
+            w.reset()?;
+            w.append(&WalRecord::Epoch { epoch: new_epoch })?;
+            w.sync_commit()?;
         }
         self.txns.prune_below(snap.xmax);
         Ok(())
     }
 
     fn load_checkpoint(&self, path: &Path) -> Result<()> {
-        let mut data = Vec::new();
-        match File::open(path) {
-            Ok(mut f) => {
-                f.read_to_end(&mut data)?;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
-            Err(e) => return Err(e.into()),
-        }
+        let data = match self.io.read(path)? {
+            Some(d) => d,
+            None => return Ok(()),
+        };
         if data.len() < 20 || &data[..8] != CHECKPOINT_MAGIC {
             return Err(Error::storage("bad checkpoint header"));
         }
@@ -613,6 +721,7 @@ impl StorageEngine {
             return Err(Error::storage("checkpoint crc mismatch"));
         }
         let mut r = Reader::new(body);
+        *self.epoch.lock() = r.u64()?;
         let next_xid = r.u64()?;
         let ntables = r.u32()?;
         for _ in 0..ntables {
@@ -636,8 +745,7 @@ impl StorageEngine {
         Ok(())
     }
 
-    fn replay_wal(&self, path: &Path) -> Result<u64> {
-        let (records, _) = replay(path)?;
+    fn apply_wal_records(&self, records: Vec<WalRecord>) -> Result<u64> {
         let n = records.len() as u64;
         let mut seen: HashMap<TxnId, TxnStatus> = HashMap::new();
         let mut max_xid = 0;
@@ -694,6 +802,8 @@ impl StorageEngine {
                 WalRecord::CatalogDel { key } => {
                     self.catalog.kv_del(&key);
                 }
+                // Epoch stamps only gate staleness at open; no state.
+                WalRecord::Epoch { .. } => {}
             }
         }
         for (xid, key, value) in txn_puts {

@@ -1,0 +1,207 @@
+//! The storage I/O abstraction.
+//!
+//! Every byte the engine persists — WAL appends, fsyncs, checkpoint
+//! images, tail truncation — flows through the [`Io`] trait. Production
+//! uses [`StdIo`] (a thin veneer over `std::fs`); the `streamrel-faults`
+//! crate implements the same trait over a simulated disk with a seeded
+//! fault schedule, which is how the crash-recovery torture harness can
+//! crash the engine at *every* I/O operation deterministically and prove
+//! recovery correct (DESIGN.md §10).
+//!
+//! The trait deliberately models the durability boundary of a real
+//! filesystem: [`Io::append`] lands bytes in the "OS cache" (survives a
+//! process crash, not power loss), [`Io::sync`] is the fsync barrier, and
+//! [`Io::replace`] is the atomic tmp-write/fsync/rename idiom used for
+//! checkpoints. Fault implementations are free to lose or tear anything
+//! that was appended but never synced.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use streamrel_obs::Registry;
+use streamrel_types::Result;
+
+/// The storage I/O surface. Implementations must be shareable across the
+/// engine's threads (the WAL mutex serializes log traffic; checkpointing
+/// and recovery are single-threaded by construction).
+pub trait Io: Send + Sync {
+    /// Create `path` as a directory, including parents (idempotent).
+    fn create_dir_all(&self, path: &Path) -> Result<()>;
+
+    /// Full contents of `path`, or `None` if the file does not exist.
+    fn read(&self, path: &Path) -> Result<Option<Vec<u8>>>;
+
+    /// Append `data` to `path` (creating it if absent). The bytes reach
+    /// the OS cache, not necessarily the platter — call [`Io::sync`] at
+    /// durability points.
+    fn append(&self, path: &Path, data: &[u8]) -> Result<()>;
+
+    /// Durability barrier: all previously appended bytes of `path` are on
+    /// stable storage when this returns `Ok`. A failure leaves the file's
+    /// durable state *indeterminate* (fsyncgate semantics) — callers must
+    /// treat the handle as unusable, not retry.
+    fn sync(&self, path: &Path) -> Result<()>;
+
+    /// Truncate `path` to exactly `len` bytes, durably (used to cut a
+    /// torn WAL tail before appending fresh records after recovery).
+    fn truncate(&self, path: &Path, len: u64) -> Result<()>;
+
+    /// Atomically replace `path` with `data` (write to a sibling temp
+    /// file, fsync, rename). After `Ok`, a crash observes either the old
+    /// or the new contents, never a mix.
+    fn replace(&self, path: &Path, data: &[u8]) -> Result<()>;
+
+    /// Bind the engine's metrics registry. Fault-injecting
+    /// implementations register their `fault.injected.*` counters here;
+    /// the default is a no-op.
+    fn bind_metrics(&self, _registry: &Arc<Registry>) {}
+}
+
+/// Passthrough [`Io`] over the real filesystem.
+///
+/// Append handles are cached per path so the per-commit hot path costs
+/// one `write(2)` (plus `fdatasync` under `SyncMode::Fsync`), matching
+/// the pre-trait `BufWriter<File>` behaviour. `truncate`/`replace`
+/// invalidate the cached handle for their path.
+#[derive(Default)]
+pub struct StdIo {
+    handles: Mutex<HashMap<PathBuf, File>>,
+}
+
+impl StdIo {
+    /// A fresh handle cache.
+    pub fn new() -> StdIo {
+        StdIo::default()
+    }
+
+    /// Shared trait object, ready for [`crate::StorageEngine::open_with_io`].
+    pub fn shared() -> Arc<dyn Io> {
+        Arc::new(StdIo::new())
+    }
+
+    /// Run `f` with the cached append handle for `path`, opening one if
+    /// needed.
+    fn with_handle<T>(
+        &self,
+        path: &Path,
+        f: impl FnOnce(&mut File) -> std::io::Result<T>,
+    ) -> Result<T> {
+        let mut handles = self.handles.lock();
+        if !handles.contains_key(path) {
+            let file = OpenOptions::new().create(true).append(true).open(path)?;
+            handles.insert(path.to_path_buf(), file);
+        }
+        match handles.get_mut(path) {
+            Some(file) => Ok(f(file)?),
+            None => Err(streamrel_types::Error::storage("append handle vanished")),
+        }
+    }
+}
+
+impl Io for StdIo {
+    fn create_dir_all(&self, path: &Path) -> Result<()> {
+        Ok(std::fs::create_dir_all(path)?)
+    }
+
+    fn read(&self, path: &Path) -> Result<Option<Vec<u8>>> {
+        match File::open(path) {
+            Ok(mut f) => {
+                let mut data = Vec::new();
+                f.read_to_end(&mut data)?;
+                Ok(Some(data))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> Result<()> {
+        self.with_handle(path, |f| f.write_all(data))
+    }
+
+    fn sync(&self, path: &Path) -> Result<()> {
+        self.with_handle(path, |f| f.sync_data())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> Result<()> {
+        self.handles.lock().remove(path);
+        // truncate(false): `set_len` below cuts to exactly `len`; opening
+        // with truncation would wipe the prefix we intend to keep.
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(len)?;
+        file.sync_data()?;
+        Ok(())
+    }
+
+    fn replace(&self, path: &Path, data: &[u8]) -> Result<()> {
+        self.handles.lock().remove(path);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("streamrel-io-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let dir = tmp("roundtrip");
+        let io = StdIo::new();
+        let p = dir.join("f");
+        assert_eq!(io.read(&p).unwrap(), None);
+        io.append(&p, b"hello ").unwrap();
+        io.append(&p, b"world").unwrap();
+        io.sync(&p).unwrap();
+        assert_eq!(io.read(&p).unwrap().unwrap(), b"hello world");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_cuts_tail_and_reopens_for_append() {
+        let dir = tmp("truncate");
+        let io = StdIo::new();
+        let p = dir.join("f");
+        io.append(&p, b"0123456789").unwrap();
+        io.truncate(&p, 4).unwrap();
+        io.append(&p, b"AB").unwrap();
+        io.sync(&p).unwrap();
+        assert_eq!(io.read(&p).unwrap().unwrap(), b"0123AB");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replace_is_atomic_swap() {
+        let dir = tmp("replace");
+        let io = StdIo::new();
+        let p = dir.join("f");
+        io.replace(&p, b"one").unwrap();
+        assert_eq!(io.read(&p).unwrap().unwrap(), b"one");
+        io.replace(&p, b"two").unwrap();
+        assert_eq!(io.read(&p).unwrap().unwrap(), b"two");
+        assert!(!p.with_extension("tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

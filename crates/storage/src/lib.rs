@@ -18,10 +18,12 @@ pub mod crc;
 pub mod engine;
 pub mod heap;
 pub mod index;
+pub mod io;
 pub mod txn;
 pub mod wal;
 
 pub use engine::{StorageEngine, SyncMode};
 pub use heap::{HeapTable, TupleId};
 pub use index::OrderedIndex;
+pub use io::{Io, StdIo};
 pub use txn::{Snapshot, TxnId, TxnManager, TxnStatus};

@@ -7,13 +7,25 @@
 //!
 //! On-disk framing: `[u32 payload_len][u32 crc32(payload)][payload]`.
 //! Replay tolerates a torn final record (crash mid-append) by stopping at
-//! the first length/CRC mismatch, mirroring how real WALs handle tails.
+//! the first length/CRC mismatch, mirroring how real WALs handle tails;
+//! the engine then truncates the file to the valid prefix so fresh
+//! appends are never stranded behind a corrupt record.
+//!
+//! All file traffic goes through the [`Io`] trait so the fault-injection
+//! harness (`streamrel-faults`) can tear writes and fail fsyncs. A failed
+//! flush or fsync **poisons** the log: the durable state of the file is
+//! indeterminate after such a failure (fsyncgate), so every subsequent
+//! append/commit returns [`Error::WalPoisoned`] until the engine is
+//! reopened and recovery re-establishes a known-good prefix.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::fs::File;
+use std::io::Read;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use streamrel_types::{Error, Result, Row, Schema};
+
+use crate::io::{Io, StdIo};
 
 use crate::codec::{
     decode_row, decode_schema, encode_row, encode_schema, put_str, put_u32, put_u64, Reader,
@@ -63,6 +75,13 @@ pub enum WalRecord {
     },
     /// Remove a catalog entry.
     CatalogDel { key: String },
+    /// Checkpoint-generation marker, written as the first record of a
+    /// freshly reset log. On recovery, a log whose epoch is *older* than
+    /// the checkpoint's is stale — the checkpoint already contains every
+    /// effect it describes (the crash hit between the checkpoint rename
+    /// and the log reset) — and replaying it over the checkpointed heap
+    /// would double-apply records against renumbered slots.
+    Epoch { epoch: u64 },
 }
 
 const T_BEGIN: u8 = 1;
@@ -76,6 +95,7 @@ const T_TRUNC: u8 = 8;
 const T_CPUT: u8 = 9;
 const T_CDEL: u8 = 10;
 const T_CPUTX: u8 = 11;
+const T_EPOCH: u8 = 12;
 
 impl WalRecord {
     /// Serialize to the payload form (no framing).
@@ -142,6 +162,10 @@ impl WalRecord {
                 put_str(&mut b, key);
                 put_str(&mut b, value);
             }
+            WalRecord::Epoch { epoch } => {
+                b.push(T_EPOCH);
+                put_u64(&mut b, *epoch);
+            }
         }
         b
     }
@@ -184,6 +208,7 @@ impl WalRecord {
                 key: r.str()?,
                 value: r.str()?,
             },
+            T_EPOCH => WalRecord::Epoch { epoch: r.u64()? },
             t => return Err(Error::storage(format!("unknown wal record type {t}"))),
         };
         if r.remaining() != 0 {
@@ -207,27 +232,44 @@ pub enum SyncMode {
     Fsync,
 }
 
+/// User-space buffer size above which appends spill to the OS even
+/// before a commit point (mirrors the `BufWriter` default the log used
+/// before the [`Io`] abstraction).
+const SPILL_BYTES: usize = 8 * 1024;
+
 /// Append-only WAL writer.
 pub struct Wal {
     path: PathBuf,
-    writer: BufWriter<File>,
+    io: Arc<dyn Io>,
+    /// User-space record buffer; spills at [`SPILL_BYTES`] and at every
+    /// commit point (except under [`SyncMode::NoSync`]).
+    buf: Vec<u8>,
     sync: SyncMode,
     appended: u64,
+    /// Set on the first failed flush/fsync; all further writes refuse.
+    poisoned: Option<String>,
 }
 
 impl Wal {
-    /// Open (creating if absent) the log at `path` for appending.
+    /// Open (creating if absent) the log at `path` for appending, over
+    /// the real filesystem.
     pub fn open(path: impl Into<PathBuf>, sync: SyncMode) -> Result<Wal> {
+        Wal::open_with_io(path, sync, StdIo::shared())
+    }
+
+    /// Open over an explicit [`Io`] implementation (fault injection).
+    pub fn open_with_io(path: impl Into<PathBuf>, sync: SyncMode, io: Arc<dyn Io>) -> Result<Wal> {
         let path = path.into();
         if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
+            io.create_dir_all(dir)?;
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Wal {
             path,
-            writer: BufWriter::new(file),
+            io,
+            buf: Vec::new(),
             sync,
             appended: 0,
+            poisoned: None,
         })
     }
 
@@ -241,42 +283,97 @@ impl Wal {
         self.appended
     }
 
+    /// Whether a failed flush/fsync has poisoned this log handle.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The typed error every operation returns once poisoned.
+    fn poison_err(&self) -> Option<Error> {
+        self.poisoned
+            .as_ref()
+            .map(|reason| Error::WalPoisoned(reason.clone()))
+    }
+
+    /// Record a write/sync failure: the file's durable contents are now
+    /// indeterminate, so the handle refuses all further traffic.
+    fn poison(&mut self, e: Error) -> Error {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(e.to_string());
+        }
+        e
+    }
+
+    /// Push the user-space buffer to the OS cache.
+    fn spill(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        match self.io.append(&self.path, &self.buf) {
+            Ok(()) => {
+                self.buf.clear();
+                Ok(())
+            }
+            Err(e) => Err(self.poison(e)),
+        }
+    }
+
     /// Append one record (framing + CRC). Durability is controlled by
     /// [`Wal::sync_commit`], which callers invoke at commit points.
     pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
+        if let Some(e) = self.poison_err() {
+            return Err(e);
+        }
         let payload = rec.encode();
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        put_u32(&mut frame, payload.len() as u32);
-        put_u32(&mut frame, crc32(&payload));
-        frame.extend_from_slice(&payload);
-        self.writer.write_all(&frame)?;
+        put_u32(&mut self.buf, payload.len() as u32);
+        put_u32(&mut self.buf, crc32(&payload));
+        self.buf.extend_from_slice(&payload);
         self.appended += 1;
+        if self.buf.len() >= SPILL_BYTES {
+            self.spill()?;
+        }
         Ok(())
     }
 
     /// Make previously appended records durable per the sync mode.
     pub fn sync_commit(&mut self) -> Result<()> {
+        if let Some(e) = self.poison_err() {
+            return Err(e);
+        }
         match self.sync {
             SyncMode::NoSync => Ok(()),
-            SyncMode::Flush => Ok(self.writer.flush()?),
+            SyncMode::Flush => self.spill(),
             SyncMode::Fsync => {
-                self.writer.flush()?;
-                self.writer.get_ref().sync_data()?;
-                Ok(())
+                self.spill()?;
+                match self.io.sync(&self.path) {
+                    Ok(()) => Ok(()),
+                    Err(e) => Err(self.poison(e)),
+                }
             }
         }
     }
 
-    /// Flush and truncate the log to zero length (after a checkpoint has
-    /// captured all state).
+    /// Discard buffered records and truncate the log to zero length
+    /// (after a checkpoint has captured all state).
     pub fn reset(&mut self) -> Result<()> {
-        self.writer.flush()?;
-        let file = OpenOptions::new().write(true).open(&self.path)?;
-        file.set_len(0)?;
-        file.sync_data()?;
-        let file = OpenOptions::new().append(true).open(&self.path)?;
-        self.writer = BufWriter::new(file);
-        Ok(())
+        if let Some(e) = self.poison_err() {
+            return Err(e);
+        }
+        self.buf.clear();
+        match self.io.truncate(&self.path, 0) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.poison(e)),
+        }
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Best-effort flush so NoSync logs survive a clean drop, as the
+        // old BufWriter-backed writer did. Errors are unreportable here.
+        if self.poisoned.is_none() {
+            let _ = self.spill();
+        }
     }
 }
 
@@ -291,6 +388,14 @@ pub fn replay(path: &Path) -> Result<(Vec<WalRecord>, u64)> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((vec![], 0)),
         Err(e) => return Err(e.into()),
     }
+    Ok(replay_bytes(&data))
+}
+
+/// Replay from an in-memory image of the log file: every intact record
+/// plus the byte length of the valid prefix (the engine truncates the
+/// file to that length before appending new records, so a torn or
+/// corrupt tail can never strand later appends behind it).
+pub fn replay_bytes(data: &[u8]) -> (Vec<WalRecord>, u64) {
     // A short slice reads as `None`, which ends replay exactly like a
     // torn tail would.
     fn le_u32(data: &[u8], pos: usize) -> Option<u32> {
@@ -300,7 +405,7 @@ pub fn replay(path: &Path) -> Result<(Vec<WalRecord>, u64)> {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while pos + 8 <= data.len() {
-        let (Some(len), Some(crc)) = (le_u32(&data, pos), le_u32(&data, pos + 4)) else {
+        let (Some(len), Some(crc)) = (le_u32(data, pos), le_u32(data, pos + 4)) else {
             break; // torn tail
         };
         let len = len as usize;
@@ -319,7 +424,7 @@ pub fn replay(path: &Path) -> Result<(Vec<WalRecord>, u64)> {
         }
         pos = end;
     }
-    Ok((records, pos as u64))
+    (records, pos as u64)
 }
 
 #[cfg(test)]
@@ -374,6 +479,7 @@ mod tests {
                 key: "cq_watermark.urls_now".into(),
                 value: "60000000".into(),
             },
+            WalRecord::Epoch { epoch: 3 },
             WalRecord::DropTable { id: 7 },
         ]
     }
@@ -474,5 +580,70 @@ mod tests {
         wal.sync_commit().unwrap();
         let (got, _) = replay(&path).unwrap();
         assert_eq!(got.len(), 1);
+    }
+
+    /// An [`Io`] whose fsync fails once; everything else passes through
+    /// to the real filesystem.
+    struct FailingSyncIo {
+        inner: StdIo,
+        fail_next_sync: parking_lot::Mutex<bool>,
+    }
+
+    impl Io for FailingSyncIo {
+        fn create_dir_all(&self, path: &Path) -> Result<()> {
+            self.inner.create_dir_all(path)
+        }
+        fn read(&self, path: &Path) -> Result<Option<Vec<u8>>> {
+            self.inner.read(path)
+        }
+        fn append(&self, path: &Path, data: &[u8]) -> Result<()> {
+            self.inner.append(path, data)
+        }
+        fn sync(&self, path: &Path) -> Result<()> {
+            if std::mem::take(&mut *self.fail_next_sync.lock()) {
+                return Err(Error::Io("injected fsync EIO".into()));
+            }
+            self.inner.sync(path)
+        }
+        fn truncate(&self, path: &Path, len: u64) -> Result<()> {
+            self.inner.truncate(path, len)
+        }
+        fn replace(&self, path: &Path, data: &[u8]) -> Result<()> {
+            self.inner.replace(path, data)
+        }
+    }
+
+    #[test]
+    fn failed_fsync_poisons_the_log() {
+        let path = tmp("poison");
+        let io = Arc::new(FailingSyncIo {
+            inner: StdIo::new(),
+            fail_next_sync: parking_lot::Mutex::new(false),
+        });
+        let mut wal = Wal::open_with_io(&path, SyncMode::Fsync, io.clone()).unwrap();
+        wal.append(&WalRecord::Begin { xid: 1 }).unwrap();
+        wal.sync_commit().unwrap();
+
+        *io.fail_next_sync.lock() = true;
+        wal.append(&WalRecord::Begin { xid: 2 }).unwrap();
+        let first = wal.sync_commit().unwrap_err();
+        assert!(matches!(first, Error::Io(_)), "first failure is the cause");
+        assert!(wal.is_poisoned());
+
+        // Every subsequent operation returns the typed poison error; the
+        // file never sees another byte.
+        for op in [
+            wal.append(&WalRecord::Begin { xid: 3 }),
+            wal.sync_commit(),
+            wal.reset(),
+        ] {
+            assert!(matches!(op.unwrap_err(), Error::WalPoisoned(_)));
+        }
+        drop(wal); // drop must not attempt to spill a poisoned buffer
+        let (got, _) = replay(&path).unwrap();
+        // xid 2 may or may not be durable (it reached the OS cache before
+        // the failed fsync); xid 3 must not be.
+        assert!(got.iter().all(|r| *r != WalRecord::Begin { xid: 3 }));
+        assert!(got.contains(&WalRecord::Begin { xid: 1 }));
     }
 }

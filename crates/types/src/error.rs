@@ -30,6 +30,13 @@ pub enum Error {
     Arithmetic(String),
     /// I/O error, stringified to keep `Error: Clone + PartialEq`.
     Io(String),
+    /// The write-ahead log observed a failed flush or fsync and refuses
+    /// all further appends/commits. An fsync failure leaves the durable
+    /// state of the file indeterminate (the kernel may have dropped the
+    /// dirty pages — "fsyncgate"), so retrying would silently risk
+    /// acknowledging lost commits; the only safe recovery is to reopen
+    /// the engine and replay the log.
+    WalPoisoned(String),
     /// Feature present in the grammar but intentionally unsupported.
     Unsupported(String),
     /// Static plan-safety rejection from `streamrel-check` at CQ
@@ -108,6 +115,11 @@ impl fmt::Display for Error {
             Error::Stream(m) => write!(f, "stream error: {m}"),
             Error::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
+            Error::WalPoisoned(m) => write!(
+                f,
+                "wal poisoned: {m}; the log accepts no further writes — \
+                 reopen the engine to recover"
+            ),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Check {
                 rule,

@@ -1,0 +1,246 @@
+//! Fault-injection and crash-recovery integration tests (DESIGN.md §10).
+//!
+//! The heavy lifting lives in `streamrel_bench::torture`: seeded
+//! workloads crashed at **every mutating I/O operation**, recovered from
+//! the frozen disk image, and required to be byte-identical to an
+//! uncrashed reference after re-driving. These tests pin the protocol
+//! into the tier-1 suite at a size that stays fast in debug builds; the
+//! `recovery_torture` binary (and the nightly CI lane) runs the same
+//! sweeps at much higher iteration counts.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use proptest::test_runner::Config;
+use streamrel::storage::wal::{replay_bytes, WalRecord};
+use streamrel::storage::{Io, StorageEngine, SyncMode};
+use streamrel::types::{Error, Value};
+use streamrel::{Db, DbOptions};
+use streamrel_bench::torture::{cq_sweep, engine_sweep};
+use streamrel_faults::{FaultIo, FaultPlan};
+
+// ---- crash-at-every-op sweeps ---------------------------------------------
+
+/// The acceptance bar: one fixed seed, >= 200 crash points across the
+/// storage and CQ sweeps, zero divergence.
+#[test]
+fn torture_sweep_proves_recovery_at_scale() {
+    let e = engine_sweep(42, 80).unwrap();
+    let c = cq_sweep(42, 25).unwrap();
+    let points = e.crash_points + c.crash_points;
+    assert!(points >= 200, "only {points} crash points exercised");
+    let failures: Vec<String> = e
+        .failures
+        .iter()
+        .chain(&c.failures)
+        .map(|f| format!("seed={} op={}: {}", f.seed, f.op, f.detail))
+        .collect();
+    assert!(failures.is_empty(), "divergences:\n{}", failures.join("\n"));
+}
+
+proptest! {
+    #![proptest_config(Config::with_cases(5))]
+    /// The same proof must hold for arbitrary seeds, i.e. arbitrary
+    /// workload shapes, crash offsets and tear points.
+    #[test]
+    fn torture_sweep_holds_for_random_seeds(seed in 0u64..u64::MAX / 2) {
+        let e = engine_sweep(seed, 24).unwrap();
+        prop_assert!(
+            e.failures.is_empty(),
+            "storage divergence: seed={} op={}: {}",
+            e.failures[0].seed, e.failures[0].op, e.failures[0].detail
+        );
+        let c = cq_sweep(seed, 8).unwrap();
+        prop_assert!(
+            c.failures.is_empty(),
+            "cq divergence: seed={} op={}: {}",
+            c.failures[0].seed, c.failures[0].op, c.failures[0].detail
+        );
+    }
+}
+
+// ---- fsyncgate: a failed fsync poisons the WAL ----------------------------
+
+/// A failed `sync_commit` leaves durability indeterminate (the kernel
+/// may have written any subset of the dirty pages and marked them
+/// clean), so the WAL must refuse every subsequent write until the
+/// engine is reopened and recovery re-establishes a known-good state.
+#[test]
+fn failed_fsync_poisons_the_wal_until_reopen() {
+    // Sync #0 is the epoch stamp at open; sync #1 is the first
+    // catalog_put's commit fsync.
+    let io = FaultIo::new(FaultPlan::sync_error_at(7, 1));
+    let dynio: Arc<dyn Io> = io.clone();
+    let e = StorageEngine::open_with_io("/sim/db", SyncMode::Fsync, dynio).unwrap();
+    assert!(!e.wal_poisoned());
+
+    let err = e.catalog_put("k0", "v0").unwrap_err();
+    assert!(
+        matches!(&err, Error::Io(m) if m.contains("EIO")),
+        "expected the injected EIO, got {err}"
+    );
+    assert!(e.wal_poisoned(), "failed fsync must poison the WAL");
+
+    // Every later write is refused with the typed error...
+    for op in 0..3 {
+        let err = e.catalog_put(&format!("later{op}"), "v").unwrap_err();
+        assert!(
+            matches!(err, Error::WalPoisoned(_)),
+            "op {op} after poisoning must fail WalPoisoned"
+        );
+    }
+    // ...and the poisoning is visible in streamrel_metrics.
+    let rel = e.metrics().to_relation();
+    let poisoned = rel
+        .rows()
+        .iter()
+        .find(|r| r.first() == Some(&Value::text("wal.poisoned")))
+        .and_then(|r| r.get(2).cloned());
+    assert_eq!(poisoned, Some(Value::Int(1)));
+    let injected = rel
+        .rows()
+        .iter()
+        .find(|r| r.first() == Some(&Value::text("fault.injected.sync_errors")))
+        .and_then(|r| r.get(2).cloned());
+    assert_eq!(injected, Some(Value::Int(1)));
+
+    // Reopening over the surviving bytes recovers: the WAL is reset to a
+    // consistent prefix and accepts writes again.
+    let image = io.image();
+    drop(e);
+    let rio = FaultIo::from_image(&image, FaultPlan::none(0));
+    let dynio: Arc<dyn Io> = rio.clone();
+    let e = StorageEngine::open_with_io("/sim/db", SyncMode::Fsync, dynio).unwrap();
+    assert!(!e.wal_poisoned());
+    e.catalog_put("after", "recovery").unwrap();
+    assert_eq!(e.catalog_get("after").as_deref(), Some("recovery"));
+}
+
+// ---- torn tail: replay truncates at the first invalid frame ---------------
+
+#[test]
+fn wal_replay_truncates_at_torn_tail() {
+    // On-disk framing, as `Wal::append` writes it.
+    fn frame(rec: &WalRecord) -> Vec<u8> {
+        let payload = rec.encode();
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        out.extend((payload.len() as u32).to_le_bytes());
+        out.extend(streamrel::storage::crc::crc32(&payload).to_le_bytes());
+        out.extend(payload);
+        out
+    }
+
+    let mut valid = Vec::new();
+    valid.extend(frame(&WalRecord::Epoch { epoch: 1 }));
+    valid.extend(frame(&WalRecord::Commit { xid: 9 }));
+    let valid_len = valid.len() as u64;
+
+    // A torn tail: the final record only partially reached the platter.
+    let tail = frame(&WalRecord::Commit { xid: 10 });
+    for cut in 1..tail.len() {
+        let mut torn = valid.clone();
+        torn.extend(&tail[..cut]);
+        let (records, len) = replay_bytes(&torn);
+        assert_eq!(records.len(), 2, "torn frame (cut {cut}) must not replay");
+        assert_eq!(len, valid_len, "valid prefix ends before the tear");
+    }
+
+    // A bit flip inside the tail frame: CRC rejects it, replay keeps the
+    // intact prefix.
+    let mut flipped = valid.clone();
+    flipped.extend(&tail);
+    let at = valid.len() + 8; // first payload byte of the tail frame
+    flipped[at] ^= 0x40;
+    let (records, len) = replay_bytes(&flipped);
+    assert_eq!(records.len(), 2, "CRC-invalid frame must not replay");
+    assert_eq!(len, valid_len);
+}
+
+/// End-to-end torn tail: crash mid-append with a bit flip in the torn
+/// region, reopen, and the engine must come up on the intact prefix and
+/// keep working.
+#[test]
+fn engine_reopens_over_a_torn_bit_flipped_tail() {
+    for seed in 0..8u64 {
+        let io = FaultIo::new(FaultPlan::crash_at(seed, 6).with_bit_flip());
+        let dynio: Arc<dyn Io> = io.clone();
+        let mut survived = Vec::new();
+        if let Ok(e) = StorageEngine::open_with_io("/sim/db", SyncMode::Fsync, dynio) {
+            for i in 0.. {
+                if e.catalog_put(&format!("k{i}"), "v").is_err() {
+                    break;
+                }
+                survived.push(format!("k{i}"));
+            }
+        }
+        let image = io.frozen_image().unwrap();
+        let rio = FaultIo::from_image(&image, FaultPlan::none(0));
+        let dynio: Arc<dyn Io> = rio.clone();
+        let e = StorageEngine::open_with_io("/sim/db", SyncMode::Fsync, dynio).unwrap();
+        // Every acknowledged put is durable (Fsync mode) and readable.
+        for k in &survived {
+            assert_eq!(
+                e.catalog_get(k).as_deref(),
+                Some("v"),
+                "seed {seed}: lost {k}"
+            );
+        }
+        e.catalog_put("post", "crash").unwrap();
+    }
+}
+
+// ---- observability: fault metrics in streamrel_metrics --------------------
+
+/// `fault.injected.*` and `wal.poisoned` are first-class instruments:
+/// they appear in the `streamrel_metrics` relation through the SQL
+/// surface and are re-registered after a restart replaces the whole
+/// metrics registry.
+#[test]
+fn fault_metrics_appear_and_survive_registry_restart() {
+    let expected = [
+        "fault.injected.crashes",
+        "fault.injected.sync_errors",
+        "fault.injected.short_writes",
+        "wal.poisoned",
+    ];
+    let names = |db: &Db| -> Vec<String> {
+        let rel = db
+            .execute("SELECT name FROM streamrel_metrics")
+            .unwrap()
+            .rows();
+        rel.rows()
+            .iter()
+            .filter_map(|r| match r.first() {
+                Some(Value::Text(s)) => Some(s.to_string()),
+                _ => None,
+            })
+            .collect()
+    };
+
+    let io = FaultIo::new(FaultPlan::none(11));
+    let dynio: Arc<dyn Io> = io.clone();
+    let db = Db::open_with_io("/sim/db", DbOptions::default(), dynio).unwrap();
+    db.execute("CREATE TABLE t (v bigint)").unwrap();
+    let got = names(&db);
+    for n in expected {
+        assert!(
+            got.iter().any(|g| g == n),
+            "{n} missing from streamrel_metrics"
+        );
+    }
+    drop(db);
+
+    // Restart: Db::open_with_io builds a fresh Registry; binding the Io
+    // and opening the WAL must re-register every fault instrument.
+    let image = io.image();
+    let rio = FaultIo::from_image(&image, FaultPlan::none(0));
+    let dynio: Arc<dyn Io> = rio.clone();
+    let db = Db::open_with_io("/sim/db", DbOptions::default(), dynio).unwrap();
+    let got = names(&db);
+    for n in expected {
+        assert!(
+            got.iter().any(|g| g == n),
+            "{n} missing after registry restart"
+        );
+    }
+}
