@@ -77,6 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let registry = SharedRegistry::new();
     let ctx = CheckContext {
         sharing: true,
+        ivm: true,
         registry: Some(&registry),
     };
 

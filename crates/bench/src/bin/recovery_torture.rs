@@ -27,7 +27,7 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use streamrel_bench::torture::{cq_sweep, engine_sweep, Failure, SweepOutcome};
+use streamrel_bench::torture::{cq_sweep, engine_sweep, ivm_sweep, Failure, SweepOutcome};
 use streamrel_bench::ResultTable;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -70,24 +70,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let start = Instant::now();
     let mut engine_total = SweepOutcome::default();
     let mut cq_total = SweepOutcome::default();
-    let mut table = ResultTable::new(&["seed", "storage crash points", "cq crash points", "fail"]);
+    let mut ivm_total = SweepOutcome::default();
+    let mut table = ResultTable::new(&[
+        "seed",
+        "storage crash points",
+        "cq crash points",
+        "ivm crash points",
+        "fail",
+    ]);
     for seed in base_seed..base_seed + seeds {
         let e = engine_sweep(seed, steps)?;
         let c = cq_sweep(seed, tuples)?;
+        let v = ivm_sweep(seed, tuples)?;
         table.row(&[
             seed.to_string(),
             e.crash_points.to_string(),
             c.crash_points.to_string(),
-            (e.failures.len() + c.failures.len()).to_string(),
+            v.crash_points.to_string(),
+            (e.failures.len() + c.failures.len() + v.failures.len()).to_string(),
         ]);
         engine_total.merge(e);
         cq_total.merge(c);
+        ivm_total.merge(v);
     }
     let secs = start.elapsed().as_secs_f64();
     table.print();
 
-    let crash_points = engine_total.crash_points + cq_total.crash_points;
-    let failures = engine_total.failures.len() + cq_total.failures.len();
+    let crash_points = engine_total.crash_points + cq_total.crash_points + ivm_total.crash_points;
+    let failures = engine_total.failures.len() + cq_total.failures.len() + ivm_total.failures.len();
     println!(
         "\n{crash_points} crash points, {failures} divergences in {secs:.2}s \
          ({:.0} crash points/s)",
@@ -97,8 +107,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let json = format!(
         "{{\n  \"base_seed\": {base_seed},\n  \"seeds\": {seeds},\n  \
          \"storage_crash_points\": {},\n  \"cq_crash_points\": {},\n  \
+         \"ivm_crash_points\": {},\n  \
          \"failures\": {failures},\n  \"secs\": {secs:.3}\n}}\n",
-        engine_total.crash_points, cq_total.crash_points
+        engine_total.crash_points, cq_total.crash_points, ivm_total.crash_points
     );
     std::fs::write("BENCH_recovery_torture.json", json)?;
     println!("recorded BENCH_recovery_torture.json");
@@ -106,6 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if failures > 0 {
         dump_failures("storage", &engine_total.failures, &artifact_dir);
         dump_failures("cq", &cq_total.failures, &artifact_dir);
+        dump_failures("ivm", &ivm_total.failures, &artifact_dir);
         let seeds_file = artifact_dir.join("failing-seeds.txt");
         let lines: String = engine_total
             .failures
@@ -116,6 +128,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .failures
                     .iter()
                     .map(|f| format!("cq {} {}\n", f.seed, f.op)),
+            )
+            .chain(
+                ivm_total
+                    .failures
+                    .iter()
+                    .map(|f| format!("ivm {} {}\n", f.seed, f.op)),
             )
             .collect();
         std::fs::create_dir_all(&artifact_dir)?;

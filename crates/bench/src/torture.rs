@@ -364,6 +364,75 @@ fn cq_setup(db: &Db) -> Result<()> {
     Ok(())
 }
 
+/// One CQ-level sweep flavour: which options, which standing query, and
+/// how far before the watermark the raw replay must reach.
+struct SweepSpec {
+    options: fn() -> DbOptions,
+    setup: fn(&Db) -> Result<()>,
+    /// `visible - advance`: the span of already-archived raw rows a
+    /// sliding window still needs to rebuild its in-flight state. Zero
+    /// for tumbling windows.
+    replay_slack: i64,
+    /// Require the standing CQ to run on the IVM path after every open
+    /// (reference run *and* each recovery) — a silent fallback would
+    /// make the sweep prove the wrong executor.
+    require_ivm: bool,
+}
+
+const CQ_SPEC: SweepSpec = SweepSpec {
+    options: cq_options,
+    setup: cq_setup,
+    replay_slack: 0,
+    require_ivm: false,
+};
+
+// ---- IVM sweep: delta state crashed mid-slice ------------------------------
+
+fn ivm_options() -> DbOptions {
+    // Sharing ablated so the standing query lowers to the IVM path.
+    cq_options().without_sharing()
+}
+
+/// A *sliding* grouped count (`VISIBLE 2m ADVANCE 1m`, slice width 1m):
+/// a crash lands mid-slice with partial aggregate state in memory, and
+/// recovery must refold the delta from the raw archive — including the
+/// already-archived minute before the watermark that the next window
+/// still sees.
+fn ivm_setup(db: &Db) -> Result<()> {
+    db.execute("CREATE STREAM s (k varchar(16), ts timestamp CQTIME USER)")?;
+    db.execute("CREATE TABLE agg (k varchar(16), c bigint, w timestamp)")?;
+    db.execute(
+        "CREATE STREAM winagg AS SELECT k, count(*) c, cq_close(*) w \
+         FROM s <VISIBLE '2 minutes' ADVANCE '1 minute'> GROUP BY k",
+    )?;
+    db.execute("CREATE CHANNEL ch FROM winagg INTO agg APPEND")?;
+    db.execute("CREATE TABLE raw (k varchar(16), ts timestamp)")?;
+    db.execute("CREATE CHANNEL raw_ch FROM s INTO raw APPEND")?;
+    Ok(())
+}
+
+const IVM_SPEC: SweepSpec = SweepSpec {
+    options: ivm_options,
+    setup: ivm_setup,
+    replay_slack: MINUTE, // visible 2m - advance 1m
+    require_ivm: true,
+};
+
+fn ivm_lowered(db: &Db) -> bool {
+    let q = format!(
+        "SELECT value FROM {}metrics WHERE name = 'ivm.lowered'",
+        streamrel_obs::RESERVED_PREFIX
+    );
+    match db.execute(&q) {
+        Ok(streamrel_core::ExecResult::Rows(rel)) => rel
+            .rows()
+            .first()
+            .and_then(|r| r.first())
+            .is_some_and(|v| matches!(v, Value::Int(n) if *n >= 1)),
+        _ => false,
+    }
+}
+
 fn apply_cq_step(db: &Db, step: &CqStep) -> Result<()> {
     match step {
         CqStep::Ingest { k, ts } => db.ingest("s", vec![Value::text(*k), Value::Timestamp(*ts)]),
@@ -394,20 +463,37 @@ pub fn cq_digest(db: &Db) -> Result<String> {
     Ok(out)
 }
 
-fn open_db(io: &Arc<FaultIo>) -> Result<Db> {
+fn open_db(io: &Arc<FaultIo>, spec: &SweepSpec) -> Result<Db> {
     let dynio: Arc<dyn Io> = io.clone();
-    Db::open_with_io(SIM_DIR, cq_options(), dynio)
+    Db::open_with_io(SIM_DIR, (spec.options)(), dynio)
 }
 
 /// Crash-at-every-op sweep over the CQ workload (ingest phase; DDL crash
 /// points are covered by [`engine_sweep`]'s `CreateTable`/`KvPut` steps).
 pub fn cq_sweep(seed: u64, tuples: usize) -> Result<SweepOutcome> {
+    spec_sweep(seed, tuples, &CQ_SPEC)
+}
+
+/// Crash-at-every-op sweep over the IVM workload: same recovery protocol
+/// as [`cq_sweep`], but the standing query runs on the incremental path
+/// and a crash lands mid-slice. The recovered, re-driven archive must be
+/// byte-identical to the uncrashed reference.
+pub fn ivm_sweep(seed: u64, tuples: usize) -> Result<SweepOutcome> {
+    spec_sweep(seed, tuples, &IVM_SPEC)
+}
+
+fn spec_sweep(seed: u64, tuples: usize, spec: &SweepSpec) -> Result<SweepOutcome> {
     let steps = gen_cq_steps(seed, tuples);
 
     // Reference run.
     let io = FaultIo::new(FaultPlan::none(seed));
-    let db = open_db(&io)?;
-    cq_setup(&db)?;
+    let db = open_db(&io, spec)?;
+    (spec.setup)(&db)?;
+    if spec.require_ivm && !ivm_lowered(&db) {
+        return Err(streamrel_types::Error::stream(
+            "sweep CQ did not lower to the IVM path",
+        ));
+    }
     let setup_ops = io.ops();
     for s in &steps {
         apply_cq_step(&db, s)?;
@@ -421,17 +507,23 @@ pub fn cq_sweep(seed: u64, tuples: usize) -> Result<SweepOutcome> {
         failures: Vec::new(),
     };
     for op in setup_ops..total_ops {
-        if let Some(f) = cq_crash_once(seed, &steps, &reference, op)? {
+        if let Some(f) = spec_crash_once(seed, &steps, &reference, op, spec)? {
             outcome.failures.push(f);
         }
     }
     Ok(outcome)
 }
 
-fn cq_crash_once(seed: u64, steps: &[CqStep], reference: &str, op: u64) -> Result<Option<Failure>> {
+fn spec_crash_once(
+    seed: u64,
+    steps: &[CqStep],
+    reference: &str,
+    op: u64,
+    spec: &SweepSpec,
+) -> Result<Option<Failure>> {
     let io = FaultIo::new(FaultPlan::crash_at(seed, op).with_bit_flip());
-    if let Ok(db) = open_db(&io) {
-        if cq_setup(&db).is_ok() {
+    if let Ok(db) = open_db(&io, spec) {
+        if (spec.setup)(&db).is_ok() {
             for s in steps {
                 if apply_cq_step(&db, s).is_err() {
                     break;
@@ -452,16 +544,26 @@ fn cq_crash_once(seed: u64, steps: &[CqStep], reference: &str, op: u64) -> Resul
     // Restart: recovery replays the WAL, rebuilds DDL objects and
     // restores each CQ's position from its Active-Table watermark.
     let rio = FaultIo::from_image(&image, FaultPlan::none(0));
-    let db = match open_db(&rio) {
+    let db = match open_db(&rio, spec) {
         Ok(db) => db,
         Err(err) => return fail(format!("recovery open failed: {err}")),
     };
+    if spec.require_ivm && !ivm_lowered(&db) {
+        return fail("recovered CQ did not re-lower to the IVM path".into());
+    }
 
     // Rebuild in-flight window state from the raw archive (§4): replay
     // the raw rows past the watermark through the stream, bypassing the
-    // raw channel so they are not archived twice.
+    // raw channel so they are not archived twice. A sliding window's
+    // next close still sees `replay_slack` of archived time *before*
+    // the watermark, so the replay bound reaches back that far.
     let wm = archive_watermark(db.engine(), "agg", "w")?.unwrap_or(i64::MIN);
-    let replay = replay_rows_after(db.engine(), "raw", "ts", wm)?;
+    let replay = replay_rows_after(
+        db.engine(),
+        "raw",
+        "ts",
+        wm.saturating_sub(spec.replay_slack),
+    )?;
     db.execute("DROP CHANNEL raw_ch")?;
     for r in replay {
         if let Err(err) = db.ingest("s", r) {
@@ -533,6 +635,19 @@ mod tests {
     #[test]
     fn small_cq_sweep_is_clean() {
         let out = cq_sweep(0xBEEF, 6).unwrap();
+        assert!(out.crash_points > 10);
+        assert!(
+            out.failures.is_empty(),
+            "first failure: seed={} op={} — {}",
+            out.failures[0].seed,
+            out.failures[0].op,
+            out.failures[0].detail
+        );
+    }
+
+    #[test]
+    fn small_ivm_sweep_is_clean() {
+        let out = ivm_sweep(0xBEEF, 6).unwrap();
         assert!(out.crash_points > 10);
         assert!(
             out.failures.is_empty(),

@@ -97,6 +97,8 @@ impl Finding {
 pub struct CheckContext<'a> {
     /// Whether shared slice aggregation is enabled engine-wide.
     pub sharing: bool,
+    /// Whether incremental view maintenance is enabled engine-wide.
+    pub ivm: bool,
     /// The live shared-slice registry, for grid-compatibility checks.
     pub registry: Option<&'a SharedRegistry>,
 }
@@ -110,6 +112,13 @@ pub struct CheckReport {
     pub findings: Vec<Finding>,
     /// Conservative human-readable bound on standing state.
     pub state_bound: String,
+    /// Execution path the CQ takes at each window close: `"ivm"` when the
+    /// plan lowers to incremental view maintenance, `"reeval"` for
+    /// per-window re-evaluation, `"-"` for snapshot queries.
+    pub path: &'static str,
+    /// Why IVM lowering fell back (continuous `"reeval"` plans only);
+    /// stable reason text from the lowering pass.
+    pub ivm_fallback: Option<&'static str>,
 }
 
 impl CheckReport {
@@ -136,17 +145,20 @@ impl CheckReport {
 
     /// Render the report as the `EXPLAIN CHECK` relation.
     ///
-    /// Columns: `kind` (query/verdict/reject/warn/state-bound), `rule`,
-    /// `detail`, `hint`. Built here — not in the server — so the embedded
-    /// and remote surfaces are one code path.
+    /// Columns: `kind` (query/verdict/info/reject/warn/state-bound),
+    /// `rule`, `detail`, `hint`, `path` (`ivm`/`reeval`/`-`, constant per
+    /// query). Built here — not in the server — so the embedded and remote
+    /// surfaces are one code path.
     pub fn to_relation(&self) -> Relation {
         let schema = Arc::new(Schema::new_unchecked(vec![
             Column::new("kind", DataType::Text),
             Column::new("rule", DataType::Text),
             Column::new("detail", DataType::Text),
             Column::new("hint", DataType::Text),
+            Column::new("path", DataType::Text),
         ]));
         let mut rel = Relation::empty(schema);
+        let path = Value::text(self.path);
         let class = if self.continuous {
             "continuous query (CQ)"
         } else {
@@ -157,6 +169,7 @@ impl CheckReport {
             Value::text(""),
             Value::text(class),
             Value::text(""),
+            path.clone(),
         ]);
         let verdict = if self.rejection().is_some() {
             "reject: not admissible as a standing query".to_string()
@@ -170,13 +183,28 @@ impl CheckReport {
             Value::text(""),
             Value::text(verdict),
             Value::text(""),
+            path.clone(),
         ]);
+        if let Some(reason) = self.ivm_fallback {
+            rel.push(vec![
+                Value::text("info"),
+                Value::text("ivm-fallback"),
+                Value::text(reason),
+                Value::text(
+                    "the CQ re-evaluates its plan at every window close; \
+                     see the fallback matrix in DESIGN.md §12 for shapes \
+                     that maintain state incrementally",
+                ),
+                path.clone(),
+            ]);
+        }
         for f in &self.findings {
             rel.push(vec![
                 Value::text(f.severity.label()),
                 Value::text(f.rule),
                 Value::text(&f.message),
                 Value::text(&f.hint),
+                path.clone(),
             ]);
         }
         rel.push(vec![
@@ -184,6 +212,7 @@ impl CheckReport {
             Value::text(""),
             Value::text(&self.state_bound),
             Value::text(""),
+            path,
         ]);
         rel
     }
@@ -213,10 +242,35 @@ pub fn check_plan(plan: &LogicalPlan, ctx: &CheckContext) -> CheckReport {
         Severity::Reject => 0,
         Severity::Warn => 1,
     });
+    let continuous = plan.is_continuous();
+    let (path, ivm_fallback) = if !continuous {
+        ("-", None)
+    } else if !ctx.ivm {
+        (
+            "reeval",
+            Some("incremental view maintenance disabled by engine options"),
+        )
+    } else {
+        match streamrel_ivm::fallback_reason(plan) {
+            None => ("ivm", None),
+            Some(reason) => ("reeval", Some(reason)),
+        }
+    };
+    let mut state_bound = state_bound(plan);
+    if path == "ivm" {
+        // The IVM path never buffers window tuples: standing state is the
+        // per-slice partials, bounded by distinct keys — not arrival rate.
+        state_bound.push_str(
+            "; ivm: buffered tuples replaced by per-slice aggregate \
+             partials (bounded by distinct keys per slice)",
+        );
+    }
     CheckReport {
-        continuous: plan.is_continuous(),
-        state_bound: state_bound(plan),
+        continuous,
+        state_bound,
         findings,
+        path,
+        ivm_fallback,
     }
 }
 
@@ -723,9 +777,77 @@ mod tests {
     #[test]
     fn report_relation_shape() {
         let rel = check("select * from hits").to_relation();
-        assert_eq!(rel.schema().columns().len(), 4);
+        assert_eq!(rel.schema().columns().len(), 5);
+        assert_eq!(rel.schema().column(4).name, "path");
         // query row + verdict row + >=1 finding + state-bound row.
         assert!(rel.len() >= 4);
+        // The path column is constant across the report's rows.
+        let paths: Vec<&Value> = rel.rows().iter().map(|r| &r[4]).collect();
+        assert!(paths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    fn check_with_ivm(sql: &str) -> CheckReport {
+        let stmt = parse_statement(sql).expect("parse");
+        let Statement::Select(q) = stmt else {
+            panic!("not a select")
+        };
+        let analyzed = Analyzer::new(&TestProvider).analyze(&q).expect("analyze");
+        check_plan(
+            &analyzed.plan,
+            &CheckContext {
+                ivm: true,
+                ..CheckContext::default()
+            },
+        )
+    }
+
+    #[test]
+    fn path_reports_ivm_for_eligible_aggregate() {
+        let report = check_with_ivm(
+            "select url, count(*) c from hits <visible '2 minutes' \
+             advance '1 minute'> group by url",
+        );
+        assert_eq!(report.path, "ivm");
+        assert_eq!(report.ivm_fallback, None);
+        assert!(
+            report.state_bound.contains("ivm:"),
+            "{}",
+            report.state_bound
+        );
+    }
+
+    #[test]
+    fn path_reports_reeval_with_reason_for_ineligible_plans() {
+        let report = check_with_ivm(
+            "select url from hits <visible '1 minute' advance '1 minute'> \
+             where url like '/a%'",
+        );
+        assert_eq!(report.path, "reeval");
+        let reason = report.ivm_fallback.expect("fallback reason");
+        assert!(reason.contains("anchor"), "{reason}");
+        // The reason surfaces as an info row in the relation.
+        let rel = report.to_relation();
+        assert!(rel
+            .rows()
+            .iter()
+            .any(|r| r[0] == Value::text("info") && r[1] == Value::text("ivm-fallback")));
+    }
+
+    #[test]
+    fn path_reports_reeval_when_ivm_disabled() {
+        let report = check(
+            "select url, count(*) c from hits <visible '2 minutes' \
+             advance '1 minute'> group by url",
+        );
+        assert_eq!(report.path, "reeval");
+        assert!(report.ivm_fallback.unwrap().contains("disabled"));
+    }
+
+    #[test]
+    fn snapshot_queries_have_no_path() {
+        let report = check_with_ivm("select * from sites");
+        assert_eq!(report.path, "-");
+        assert_eq!(report.ivm_fallback, None);
     }
 
     #[test]

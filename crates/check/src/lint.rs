@@ -36,7 +36,12 @@ use std::path::{Path, PathBuf};
 
 /// Crate subtrees where `.unwrap()` / `.expect(` are forbidden outside
 /// tests.
-const NO_UNWRAP_SCOPES: &[&str] = &["crates/storage/src/", "crates/net/src/", "crates/core/src/"];
+const NO_UNWRAP_SCOPES: &[&str] = &[
+    "crates/storage/src/",
+    "crates/net/src/",
+    "crates/core/src/",
+    "crates/ivm/src/",
+];
 
 /// Files allowed to hardcode the reserved catalog prefix: its definition
 /// (`crates/obs`), the enforcement site, and this lint's own rule table.

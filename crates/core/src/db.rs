@@ -161,6 +161,10 @@ struct DbMetrics {
     check_rejected: Arc<Counter>,
     /// Warnings attached to admitted plans.
     check_warned: Arc<Counter>,
+    /// Admitted continuous plans the check classified as IVM-lowerable.
+    check_ivm_lowered: Arc<Counter>,
+    /// Admitted continuous plans that fall back to re-evaluation.
+    check_ivm_fallback: Arc<Counter>,
     exec: ExecMetrics,
 }
 
@@ -176,6 +180,8 @@ impl DbMetrics {
             shard_contention: registry.counter("db.shard.contention"),
             check_rejected: registry.counter("check.rejected"),
             check_warned: registry.counter("check.warned"),
+            check_ivm_lowered: registry.counter("check.ivm_lowered"),
+            check_ivm_fallback: registry.counter("check.ivm_fallback"),
             exec: ExecMetrics::register(registry),
         }
     }
@@ -549,6 +555,7 @@ impl Db {
                 &analyzed.plan,
                 &CheckContext {
                     sharing: self.options.sharing,
+                    ivm: self.options.ivm,
                     registry: Some(&catalog.registry),
                 },
             )
@@ -566,6 +573,7 @@ impl Db {
             plan,
             &CheckContext {
                 sharing: self.options.sharing,
+                ivm: self.options.ivm,
                 registry: Some(&catalog.registry),
             },
         );
@@ -574,6 +582,11 @@ impl Db {
             return Err(err);
         }
         self.metrics.check_warned.add(report.warnings() as u64);
+        match report.path {
+            "ivm" => self.metrics.check_ivm_lowered.inc(),
+            "reeval" => self.metrics.check_ivm_fallback.inc(),
+            _ => {}
+        }
         Ok(())
     }
 
@@ -776,6 +789,11 @@ impl Db {
         let upstream_is_base = catalog.streams.contains_key(&upstream);
         if self.options.sharing && upstream_is_base {
             cq.try_share(&mut catalog.registry);
+        }
+        // Sharing won, or the shape didn't share: try delta processing
+        // next. A shared CQ already folds each tuple once per group.
+        if self.options.ivm && upstream_is_base && !cq.is_shared() {
+            cq.try_lower_ivm();
         }
         let out_schema = analyzed.plan.schema();
         let cqtime = find_cq_close_column(&analyzed.plan);
@@ -1121,6 +1139,9 @@ impl Db {
         let upstream_is_base = catalog.streams.contains_key(&upstream);
         if self.options.sharing && upstream_is_base {
             cq.try_share(&mut catalog.registry);
+        }
+        if self.options.ivm && upstream_is_base && !cq.is_shared() {
+            cq.try_lower_ivm();
         }
         let shard_idx = if let Some(s) = catalog.streams.get(&upstream) {
             s.shard

@@ -13,6 +13,10 @@ pub struct DbOptions {
     /// Pool compatible aggregate CQs into shared slice groups (§2.2
     /// "Jellybean processing"). Ablated by experiment E3.
     pub sharing: bool,
+    /// Lower eligible unshared CQs to incremental view maintenance (delta
+    /// processing instead of per-window re-evaluation). Sharing takes
+    /// precedence where both apply. Ablated by the `ivm_bench` baseline.
+    pub ivm: bool,
     /// Snapshot policy for table reads inside CQs (window consistency, §4).
     /// Ablated by experiment E8.
     pub consistency: ConsistencyMode,
@@ -42,6 +46,7 @@ impl Default for DbOptions {
     fn default() -> DbOptions {
         DbOptions {
             sharing: true,
+            ivm: true,
             consistency: ConsistencyMode::WindowBoundary,
             sync: SyncMode::Flush,
             slack: 0,
@@ -57,6 +62,13 @@ impl DbOptions {
     /// Disable CQ sharing (ablation baseline).
     pub fn without_sharing(mut self) -> DbOptions {
         self.sharing = false;
+        self
+    }
+
+    /// Disable incremental view maintenance (ablation baseline: every
+    /// window close re-evaluates the full plan).
+    pub fn without_ivm(mut self) -> DbOptions {
+        self.ivm = false;
         self
     }
 

@@ -14,6 +14,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use streamrel_exec::{execute, ExecContext, RelationSource};
+use streamrel_ivm::{lower, IvmState, JoinDelta, Lowering, WindowOutput, IVM_INPUT};
+use streamrel_obs::{Counter, Gauge, IvmMetrics};
 use streamrel_sql::analyzer::AnalyzedQuery;
 use streamrel_sql::plan::{LogicalPlan, WindowSpec};
 use streamrel_storage::{Snapshot, StorageEngine};
@@ -53,6 +55,10 @@ pub struct WindowTask {
     /// Snapshot pinned at CQ start (`QueryStart` mode only);
     /// `WindowBoundary` pins fresh at run time.
     snapshot: Option<Snapshot>,
+    /// IVM stream-table join delta: match counts must resolve against the
+    /// same snapshot the post-plan reads, so finalize happens here, not at
+    /// staging time.
+    delta: Option<Box<JoinDelta>>,
 }
 
 impl WindowTask {
@@ -61,9 +67,13 @@ impl WindowTask {
         self.close
     }
 
-    /// Rows in the staged window relation (for trace accounting).
+    /// Rows in the staged window relation (for trace accounting). For an
+    /// IVM join task this is the staged delta entry count.
     pub fn input_rows(&self) -> usize {
-        self.rel.len()
+        match &self.delta {
+            Some(d) => d.len(),
+            None => self.rel.len(),
+        }
     }
 
     /// Evaluate the staged window. Side-effect free: reads only the
@@ -77,10 +87,18 @@ impl WindowTask {
                 self.snapshot.clone().expect("pinned at start"),
             ),
         };
+        let finalized;
+        let input_rel = match &self.delta {
+            Some(d) => {
+                finalized = d.finalize(&source as &dyn RelationSource)?;
+                &finalized
+            }
+            None => &self.rel,
+        };
         let ctx = ExecContext::window(
             &source as &dyn RelationSource,
             &self.input,
-            &self.rel,
+            input_rel,
             self.close,
         );
         let relation = execute(&self.plan, &ctx)?;
@@ -122,6 +140,25 @@ pub enum ExecMode {
         advance: i64,
         next_close: Option<Timestamp>,
         max_ts: Timestamp,
+    },
+    /// Maintain incremental operator state per tuple (delta processing);
+    /// at close, compose the anchor output from slices and run only the
+    /// post-anchor plan. Unlike `Shared`, the state is private to this CQ
+    /// and the CQ folds tuples itself in `stage_tuple`.
+    Ivm {
+        /// Boxed: slice maps dwarf every other variant's footprint.
+        state: Box<IvmState>,
+        post_plan: LogicalPlan,
+        visible: i64,
+        advance: i64,
+        next_close: Option<Timestamp>,
+        max_ts: Timestamp,
+        /// `ivm.delta.rows` counter (cached: no registry lookup per tuple).
+        delta_rows: Arc<Counter>,
+        /// `ivm.state.bytes` gauge, refreshed at close boundaries.
+        state_bytes: Arc<Gauge>,
+        /// Rows already reported to `delta_rows`.
+        reported: u64,
     },
 }
 
@@ -218,6 +255,68 @@ impl ContinuousQuery {
         matches!(self.mode, ExecMode::Shared { .. })
     }
 
+    /// True if this CQ maintains incremental (IVM) state.
+    pub fn is_ivm(&self) -> bool {
+        matches!(self.mode, ExecMode::Ivm { .. })
+    }
+
+    /// Approximate bytes of live IVM state (0 in other modes).
+    pub fn ivm_state_bytes(&self) -> usize {
+        match &self.mode {
+            ExecMode::Ivm { state, .. } => state.state_bytes(),
+            _ => 0,
+        }
+    }
+
+    /// Attempt to lower this CQ to incremental view maintenance. Returns
+    /// true on success. Must be called before any tuple flows, and after
+    /// [`ContinuousQuery::try_share`] — a shared CQ already processes
+    /// tuples once per *group*, which dominates per-CQ IVM state.
+    /// Bumps `ivm.lowered` / `ivm.fallback` and records the decision (and
+    /// any fallback reason) on the trace ring.
+    pub fn try_lower_ivm(&mut self) -> bool {
+        if self.stats.tuples_in > 0 || self.is_shared() || self.is_ivm() {
+            return false;
+        }
+        let WindowSpec::Time { visible, advance } = self.window else {
+            return false;
+        };
+        let metrics = IvmMetrics::register(self.engine.metrics());
+        match lower(&self.plan) {
+            Lowering::Lowered(p) => {
+                metrics.lowered.inc();
+                self.engine.metrics().trace().record(
+                    "cq.ivm",
+                    &self.name,
+                    format!("visible={visible} advance={advance}"),
+                    0,
+                );
+                self.mode = ExecMode::Ivm {
+                    state: Box::new(IvmState::new(&p)),
+                    post_plan: p.post_plan,
+                    visible: p.visible,
+                    advance: p.advance,
+                    next_close: None,
+                    max_ts: i64::MIN,
+                    delta_rows: metrics.delta_rows,
+                    state_bytes: metrics.state_bytes,
+                    reported: 0,
+                };
+                true
+            }
+            Lowering::Fallback(reason) => {
+                metrics.fallback.inc();
+                self.engine.metrics().trace().record(
+                    "cq.ivm.fallback",
+                    &self.name,
+                    reason.to_string(),
+                    0,
+                );
+                false
+            }
+        }
+    }
+
     /// Attempt to convert this CQ to shared-slice execution through the
     /// registry. Returns true on success. Must be called before any tuple
     /// flows (re-slicing live groups is refused).
@@ -259,7 +358,7 @@ impl ContinuousQuery {
     pub fn shared_group(&self) -> Option<Arc<Mutex<SharedGroup>>> {
         match &self.mode {
             ExecMode::Shared { group, .. } => Some(group.clone()),
-            ExecMode::Unshared { .. } => None,
+            _ => None,
         }
     }
 
@@ -291,6 +390,16 @@ impl ContinuousQuery {
                     None => return Err(Error::stream("shared CQ requires CQTIME")),
                 };
                 self.stage_shared(ts)
+            }
+            ExecMode::Ivm { .. } => {
+                let ts = match self.cqtime {
+                    Some(i) => row
+                        .get(i)
+                        .ok_or_else(|| Error::stream("row too short for CQTIME"))?
+                        .as_timestamp()?,
+                    None => return Err(Error::stream("incremental CQ requires CQTIME")),
+                };
+                self.stage_ivm(Some(row), ts)
             }
         }
     }
@@ -324,6 +433,7 @@ impl ContinuousQuery {
                 self.stage_closed(closes)
             }
             ExecMode::Shared { .. } => self.stage_shared(ts),
+            ExecMode::Ivm { .. } => self.stage_ivm(None, ts),
         }
     }
 
@@ -343,6 +453,11 @@ impl ContinuousQuery {
             }
             ExecMode::Shared { .. } => Err(Error::stream(
                 "shared mode does not consume derived batches",
+            )),
+            // Unreachable in practice: the lowering pass refuses derived
+            // streams, so a batch-fed CQ never enters IVM mode.
+            ExecMode::Ivm { .. } => Err(Error::stream(
+                "incremental mode does not consume derived batches",
             )),
         }
     }
@@ -391,6 +506,12 @@ impl ContinuousQuery {
                 advance,
                 max_ts,
                 ..
+            }
+            | ExecMode::Ivm {
+                next_close,
+                advance,
+                max_ts,
+                ..
             } => {
                 *next_close = Some(crate::window::align_next_close(watermark, *advance));
                 *max_ts = (*max_ts).max(watermark);
@@ -412,7 +533,7 @@ impl ContinuousQuery {
     fn next_close_hint(&self) -> Option<Timestamp> {
         match &self.mode {
             ExecMode::Unshared { buffer } => buffer.next_close(),
-            ExecMode::Shared { next_close, .. } => *next_close,
+            ExecMode::Shared { next_close, .. } | ExecMode::Ivm { next_close, .. } => *next_close,
         }
     }
 
@@ -451,7 +572,7 @@ impl ContinuousQuery {
                 *next_close = Some(boundary);
                 (group.clone(), *member, post_plan.clone(), closes)
             }
-            ExecMode::Unshared { .. } => unreachable!(),
+            _ => unreachable!(),
         };
         let mut tasks = Vec::with_capacity(closes.len());
         for close in closes {
@@ -463,6 +584,86 @@ impl ContinuousQuery {
                 rel
             };
             tasks.push(self.make_task(post_plan.clone(), SHARED_INPUT.to_string(), agg_rel, close));
+        }
+        Ok(tasks)
+    }
+
+    /// Stage IVM-mode windows up to `ts`, folding `row` (if any) into the
+    /// slice state first. Fold-before-close is safe for the same reason it
+    /// is in shared mode: closes are slice boundaries, so a tuple at
+    /// `ts >= close` lands in a slice outside the `[close - visible,
+    /// close)` compose range. Aggregate/DISTINCT anchors compose at staging
+    /// time (`Ready`); stream-table join anchors defer match counting to
+    /// the task (`NeedsTable`), where the boundary snapshot is pinned.
+    fn stage_ivm(&mut self, row: Option<Row>, ts: Timestamp) -> Result<Vec<WindowTask>> {
+        let (post_plan, staged) = match &mut self.mode {
+            ExecMode::Ivm {
+                state,
+                post_plan,
+                visible,
+                advance,
+                next_close,
+                max_ts,
+                delta_rows,
+                state_bytes,
+                reported,
+            } => {
+                if let Some(r) = &row {
+                    state.on_tuple(r)?;
+                    let folded = state.delta_rows();
+                    delta_rows.add(folded - *reported);
+                    *reported = folded;
+                }
+                *max_ts = (*max_ts).max(ts);
+                let a = *advance;
+                let mut boundary = match *next_close {
+                    Some(c) => c,
+                    None => (ts.div_euclid(a) + 1) * a,
+                };
+                if boundary > ts {
+                    *next_close = Some(boundary);
+                    return Ok(Vec::new());
+                }
+                let mut staged = Vec::new();
+                while boundary <= ts {
+                    let out = state.window_result(boundary)?;
+                    // Horizon of the *next* window: its low edge is
+                    // (boundary + advance) - visible, matching the
+                    // unshared buffer's eviction rule.
+                    state.evict(boundary + a - *visible);
+                    staged.push((boundary, out));
+                    boundary += a;
+                }
+                *next_close = Some(boundary);
+                state_bytes.set(state.state_bytes() as i64);
+                (post_plan.clone(), staged)
+            }
+            _ => unreachable!(),
+        };
+        let mut tasks = Vec::with_capacity(staged.len());
+        for (close, out) in staged {
+            match out {
+                WindowOutput::Ready(rel) => {
+                    tasks.push(self.make_task(
+                        post_plan.clone(),
+                        IVM_INPUT.to_string(),
+                        rel,
+                        close,
+                    ));
+                }
+                WindowOutput::NeedsTable(delta) => {
+                    let schema = stream_scan_schema(&post_plan)
+                        .ok_or_else(|| Error::stream("ivm post-plan lost its delta scan"))?;
+                    let mut task = self.make_task(
+                        post_plan.clone(),
+                        IVM_INPUT.to_string(),
+                        Relation::empty(schema),
+                        close,
+                    );
+                    task.delta = Some(delta);
+                    tasks.push(task);
+                }
+            }
         }
         Ok(tasks)
     }
@@ -504,6 +705,7 @@ impl ContinuousQuery {
             engine: self.engine.clone(),
             consistency: self.consistency,
             snapshot: self.start_snapshot.clone(),
+            delta: None,
         }
     }
 }
@@ -741,6 +943,119 @@ mod tests {
             assert_eq!(u.close, s.close);
             assert_eq!(u.relation.rows(), s.relation.rows(), "at close {}", u.close);
         }
+    }
+
+    #[test]
+    fn ivm_mode_matches_unshared_results() {
+        let (p, e) = setup();
+        let sql = "SELECT url, count(*) c FROM url_stream \
+                   <VISIBLE '2 minutes' ADVANCE '1 minute'> GROUP BY url \
+                   ORDER BY c DESC, url";
+        let mut reeval = make_cq(&p, e.clone(), sql, ConsistencyMode::WindowBoundary);
+        let mut ivm = make_cq(&p, e.clone(), sql, ConsistencyMode::WindowBoundary);
+        assert!(ivm.try_lower_ivm());
+        assert!(ivm.is_ivm());
+
+        let mut out_r = Vec::new();
+        let mut out_i = Vec::new();
+        for i in 0..300 {
+            let t = tup(if i % 3 == 0 { "/a" } else { "/b" }, i * 1_000_000);
+            out_r.extend(reeval.on_tuple(t.clone()).unwrap());
+            out_i.extend(ivm.on_tuple(t).unwrap());
+        }
+        assert_eq!(out_r.len(), out_i.len());
+        for (r, i) in out_r.iter().zip(&out_i) {
+            assert_eq!(r.close, i.close);
+            assert_eq!(r.relation.rows(), i.relation.rows(), "at close {}", r.close);
+        }
+        assert_eq!(e.metrics().counter("ivm.lowered").get(), 1);
+        assert!(e.metrics().counter("ivm.delta.rows").get() >= 300);
+    }
+
+    #[test]
+    fn ivm_join_matches_unshared_and_sees_boundary_snapshot() {
+        let (p, e) = setup();
+        let dim = e.table_id("url_dim").unwrap();
+        e.with_txn(|x| {
+            e.insert(x, dim, row!["/a", "news"])?;
+            e.insert(x, dim, row!["/a", "blog"])?;
+            e.insert(x, dim, row!["/b", "sports"])
+        })
+        .unwrap();
+        let sql = "SELECT s.url, count(*) c FROM url_stream \
+                   <VISIBLE '2 minutes' ADVANCE '1 minute'> s \
+                   JOIN url_dim d ON s.url = d.url GROUP BY s.url";
+        let mut reeval = make_cq(&p, e.clone(), sql, ConsistencyMode::WindowBoundary);
+        let mut ivm = make_cq(&p, e.clone(), sql, ConsistencyMode::WindowBoundary);
+        assert!(ivm.try_lower_ivm());
+
+        let mut out_r = Vec::new();
+        let mut out_i = Vec::new();
+        for i in 0..120i64 {
+            let t = tup(["/a", "/b", "/c"][(i % 3) as usize], i * 1_000_000);
+            out_r.extend(reeval.on_tuple(t.clone()).unwrap());
+            out_i.extend(ivm.on_tuple(t).unwrap());
+            if i == 70 {
+                // Mutate the dimension mid-stream: both modes must see the
+                // change at the same window boundary.
+                e.with_txn(|x| e.insert(x, dim, row!["/c", "misc"]))
+                    .unwrap();
+            }
+        }
+        out_r.extend(reeval.on_heartbeat(2 * MINUTES).unwrap());
+        out_i.extend(ivm.on_heartbeat(2 * MINUTES).unwrap());
+        assert!(!out_r.is_empty());
+        assert_eq!(out_r.len(), out_i.len());
+        for (r, i) in out_r.iter().zip(&out_i) {
+            assert_eq!(r.close, i.close);
+            assert_eq!(r.relation.rows(), i.relation.rows(), "at close {}", r.close);
+        }
+    }
+
+    #[test]
+    fn ivm_resume_realigns_next_close() {
+        let (p, e) = setup();
+        let sql = "SELECT url, count(*) c FROM url_stream \
+                   <TUMBLING '1 minute'> GROUP BY url";
+        let mut cq = make_cq(&p, e, sql, ConsistencyMode::WindowBoundary);
+        assert!(cq.try_lower_ivm());
+        cq.resume_after(5 * MINUTES + 17);
+        cq.on_tuple(tup("/a", 5 * MINUTES + 30_000_000)).unwrap();
+        let outs = cq.on_heartbeat(7 * MINUTES).unwrap();
+        let closes: Vec<Timestamp> = outs.iter().map(|o| o.close).collect();
+        assert_eq!(closes, vec![6 * MINUTES, 7 * MINUTES]);
+    }
+
+    #[test]
+    fn ineligible_plan_does_not_lower_and_counts_fallback() {
+        let (p, e) = setup();
+        let mut cq = make_cq(
+            &p,
+            e.clone(),
+            "SELECT url FROM url_stream <TUMBLING '1 minute'> WHERE url LIKE '/a%'",
+            ConsistencyMode::WindowBoundary,
+        );
+        assert!(!cq.try_lower_ivm());
+        assert!(!cq.is_ivm());
+        assert_eq!(e.metrics().counter("ivm.fallback").get(), 1);
+        let events = e.metrics().trace().dump();
+        assert!(events.iter().any(|ev| ev.kind == "cq.ivm.fallback"));
+        // The CQ still works on the re-evaluation path.
+        cq.on_tuple(tup("/a1", 5)).unwrap();
+        let outs = cq.on_heartbeat(MINUTES).unwrap();
+        assert_eq!(outs[0].relation.rows(), &[row!["/a1"]]);
+    }
+
+    #[test]
+    fn shared_cq_refuses_ivm_lowering() {
+        let (p, e) = setup();
+        let sql = "SELECT url, count(*) c FROM url_stream \
+                   <TUMBLING '1 minute'> GROUP BY url";
+        let mut cq = make_cq(&p, e, sql, ConsistencyMode::WindowBoundary);
+        let mut registry = SharedRegistry::new();
+        assert!(cq.try_share(&mut registry));
+        assert!(!cq.try_lower_ivm(), "sharing wins over per-CQ IVM state");
+        assert!(cq.is_shared());
     }
 
     #[test]

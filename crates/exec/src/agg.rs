@@ -239,6 +239,33 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Scale the partial as if every contributing input row had occurred
+    /// `m` times. The IVM join path uses this: a stream-side partial built
+    /// once per tuple is multiplied by the tuple's table-match count, which
+    /// is exactly what re-evaluating the join would have produced (each
+    /// match repeats the left row's aggregate contribution). Min/max and
+    /// DISTINCT states are repetition-invariant and unchanged.
+    pub fn scale(&mut self, m: i64) -> Result<()> {
+        debug_assert!(m >= 1, "scale factor must be a positive match count");
+        let overflow = || Error::Arithmetic("aggregate scale overflow".into());
+        match &mut self.state {
+            State::Count(n) => *n = n.checked_mul(m).ok_or_else(overflow)?,
+            State::SumInt { sum, .. } => *sum = sum.checked_mul(m).ok_or_else(overflow)?,
+            State::SumFloat { sum, .. } => *sum *= m as f64,
+            State::Avg { sum, n } => {
+                *sum *= m as f64;
+                *n = n.checked_mul(m).ok_or_else(overflow)?;
+            }
+            State::Var { n, sum, sumsq, .. } => {
+                *n = n.checked_mul(m).ok_or_else(overflow)?;
+                *sum *= m as f64;
+                *sumsq *= m as f64;
+            }
+            State::MinMax { .. } | State::Distinct { .. } => {}
+        }
+        Ok(())
+    }
+
     /// Final value: SQL semantics (`sum`/`min`/`max`/`avg` over nothing is
     /// NULL; `count` over nothing is 0).
     pub fn finish(&self) -> Value {
@@ -461,6 +488,41 @@ mod tests {
             av.update(Some(&Value::Int(v))).unwrap();
         }
         assert_eq!(av.finish(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn scale_equals_repeated_updates() {
+        // Property behind the IVM join path: scaling a partial by m equals
+        // updating it m times with the same inputs.
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
+            let vals: Vec<Value> = [3i64, 7, 7, 11].iter().map(|&v| Value::Int(v)).collect();
+            let m = 3;
+            let mut scaled = acc(func);
+            for v in &vals {
+                scaled.update(Some(v)).unwrap();
+            }
+            scaled.scale(m).unwrap();
+            let mut repeated = acc(func);
+            for _ in 0..m {
+                for v in &vals {
+                    repeated.update(Some(v)).unwrap();
+                }
+            }
+            assert_eq!(scaled.finish(), repeated.finish(), "{func:?}");
+        }
+    }
+
+    #[test]
+    fn scale_overflow_detected() {
+        let mut a = acc(AggFunc::Sum);
+        a.update(Some(&Value::Int(i64::MAX / 2))).unwrap();
+        assert!(a.scale(3).is_err());
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub fn extract_keys(on: &BoundExpr, left_width: usize) -> Option<JoinKeys> {
     }
 }
 
-fn flatten_and(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
+/// Flatten a conjunction tree into its conjuncts (a non-AND expression
+/// yields itself). Shared with the IVM lowering pass, which classifies
+/// WHERE conjuncts by join side the same way the hash join does.
+pub fn flatten_and(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
     if let BoundExpr::Binary {
         op: BinaryOp::And,
         left,
@@ -107,7 +110,7 @@ fn side_of(e: &BoundExpr, left_width: usize) -> Side {
 
 /// Rebase an expression bound over the concatenated row so it can run over
 /// a right row alone.
-fn shift_down(e: &mut BoundExpr, left_width: usize) {
+pub fn shift_down(e: &mut BoundExpr, left_width: usize) {
     match e {
         BoundExpr::Column { index, .. } => *index -= left_width,
         BoundExpr::Literal(_) | BoundExpr::CqClose => {}

@@ -15,6 +15,13 @@
 //!   the WAL must poison itself (`Error::WalPoisoned`, fsyncgate).
 //! * **short write** — the Nth append applies a PRNG prefix of the data
 //!   to the OS cache, then errors.
+//! * **disk full** — the Nth append fails with a simulated `ENOSPC`
+//!   before any byte reaches the cache (the kernel rejected the write
+//!   outright), exercising the WAL's poison-on-append-failure path.
+//! * **corrupt read** — the Nth read returns the file with one PRNG bit
+//!   flipped, a latent bad sector surfacing at open: recovery must
+//!   truncate at the CRC break or surface a typed error, never panic.
+//!   The flip is in the returned copy only; the platter is untouched.
 //!
 //! All randomness comes from one `StdRng` seeded by [`FaultPlan::seed`],
 //! and the torture workload runs single-threaded, so a failing run is
@@ -38,10 +45,12 @@ use streamrel_types::{Error, Result};
 /// The seeded fault schedule for one [`FaultIo`] instance.
 ///
 /// Operation indices count *mutating* operations only (`append`, `sync`,
-/// `truncate`, `replace`), in execution order, starting at 0. Reads and
-/// directory creation never fault and never advance the counter, so an op
-/// index maps to the same logical operation on every run with the same
-/// workload.
+/// `truncate`, `replace`), in execution order, starting at 0. Directory
+/// creation never faults and never advances a counter. Reads advance a
+/// *separate* read counter (so adding read faults to a plan never shifts
+/// the mutating-op indices an existing sweep was tuned against), and an
+/// op index maps to the same logical operation on every run with the
+/// same workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     /// PRNG seed; every injected partial effect derives from it.
@@ -53,6 +62,13 @@ pub struct FaultPlan {
     pub sync_error_at_sync: Option<u64>,
     /// Short-write the Nth `append` call (counting appends only).
     pub short_write_at_append: Option<u64>,
+    /// Fail the Nth `append` call (counting appends only) with a
+    /// simulated `ENOSPC`; no byte reaches the cache.
+    pub disk_full_at_append: Option<u64>,
+    /// Flip one PRNG bit in the bytes returned by the Nth `read` call
+    /// (counting reads only). Skipped silently if that read finds no
+    /// data; the on-disk image is never modified.
+    pub corrupt_read_at_read: Option<u64>,
     /// On crash, flip one bit in each file's torn (unsynced-but-kept)
     /// region, exercising the WAL's CRC tail scan.
     pub bit_flip_on_crash: bool,
@@ -66,6 +82,8 @@ impl FaultPlan {
             crash_at_op: None,
             sync_error_at_sync: None,
             short_write_at_append: None,
+            disk_full_at_append: None,
+            corrupt_read_at_read: None,
             bit_flip_on_crash: false,
         }
     }
@@ -90,6 +108,22 @@ impl FaultPlan {
     pub fn short_write_at(seed: u64, n: u64) -> FaultPlan {
         FaultPlan {
             short_write_at_append: Some(n),
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Fail the `n`th append with a simulated `ENOSPC`.
+    pub fn disk_full_at(seed: u64, n: u64) -> FaultPlan {
+        FaultPlan {
+            disk_full_at_append: Some(n),
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Flip one bit in the bytes returned by the `n`th read.
+    pub fn corrupt_read_at(seed: u64, n: u64) -> FaultPlan {
+        FaultPlan {
+            corrupt_read_at_read: Some(n),
             ..FaultPlan::none(seed)
         }
     }
@@ -148,6 +182,9 @@ struct State {
     ops: u64,
     syncs: u64,
     appends: u64,
+    /// Read ops performed so far; a separate schedule axis from `ops` so
+    /// read faults never renumber mutating operations.
+    reads: u64,
     crashed: bool,
     files: BTreeMap<PathBuf, FileState>,
     dirs: BTreeSet<PathBuf>,
@@ -159,6 +196,8 @@ struct FaultCounters {
     crashes: Arc<Counter>,
     sync_errors: Arc<Counter>,
     short_writes: Arc<Counter>,
+    disk_full: Arc<Counter>,
+    corrupt_reads: Arc<Counter>,
 }
 
 /// A deterministic fault-injecting [`Io`] over a simulated disk.
@@ -177,6 +216,7 @@ impl FaultIo {
                 ops: 0,
                 syncs: 0,
                 appends: 0,
+                reads: 0,
                 crashed: false,
                 files: BTreeMap::new(),
                 dirs: BTreeSet::new(),
@@ -301,11 +341,27 @@ impl Io for FaultIo {
     }
 
     fn read(&self, path: &Path) -> Result<Option<Vec<u8>>> {
-        let st = self.state.lock();
+        let mut st = self.state.lock();
         if st.crashed {
             return Err(Error::Io("simulated disk is crashed".into()));
         }
-        Ok(st.files.get(path).map(|f| f.data.clone()))
+        let corrupt_here = self.plan.corrupt_read_at_read == Some(st.reads);
+        st.reads += 1;
+        let mut data = st.files.get(path).map(|f| f.data.clone());
+        if corrupt_here {
+            // A latent bad sector: the copy handed to the caller differs
+            // from the platter by one bit. An empty or absent file has no
+            // sector to go bad, so the schedule entry fires into nothing.
+            if let Some(bytes) = data.as_mut().filter(|b| !b.is_empty()) {
+                let at = st.rng.gen_range(0..bytes.len());
+                let bit = st.rng.gen_range(0..8u32);
+                bytes[at] ^= 1 << bit;
+                if let Some(c) = self.counters() {
+                    c.corrupt_reads.inc();
+                }
+            }
+        }
+        Ok(data)
     }
 
     fn append(&self, path: &Path, data: &[u8]) -> Result<()> {
@@ -321,6 +377,17 @@ impl Io for FaultIo {
             return Err(Error::Io(format!(
                 "simulated crash during append (op {})",
                 st.ops - 1
+            )));
+        }
+        if self.plan.disk_full_at_append == Some(st.appends - 1) {
+            // ENOSPC at the write syscall: the kernel rejects the whole
+            // write up front, so unlike a short write nothing lands.
+            if let Some(c) = self.counters() {
+                c.disk_full.inc();
+            }
+            return Err(Error::Io(format!(
+                "simulated disk full (ENOSPC): 0 of {} bytes written",
+                data.len()
             )));
         }
         if self.plan.short_write_at_append == Some(st.appends - 1) {
@@ -434,6 +501,8 @@ impl Io for FaultIo {
             crashes: registry.counter("fault.injected.crashes"),
             sync_errors: registry.counter("fault.injected.sync_errors"),
             short_writes: registry.counter("fault.injected.short_writes"),
+            disk_full: registry.counter("fault.injected.disk_full"),
+            corrupt_reads: registry.counter("fault.injected.corrupt_reads"),
         });
     }
 }
@@ -548,6 +617,63 @@ mod tests {
             let img = io.frozen_image().unwrap();
             assert!(img.files[&p("/w")].starts_with(b"SAFE"));
         }
+    }
+
+    #[test]
+    fn disk_full_rejects_the_whole_write_and_the_disk_survives() {
+        let io = FaultIo::new(FaultPlan::disk_full_at(3, 1));
+        io.append(&p("/w"), b"first").unwrap(); // append #0
+        let err = io.append(&p("/w"), b"second").unwrap_err(); // append #1
+        assert!(matches!(err, Error::Io(m) if m.contains("ENOSPC")));
+        assert!(!io.crashed(), "disk full is not a crash");
+        // Nothing of the rejected write landed, and the disk keeps working
+        // (the operator freed space).
+        assert_eq!(io.read(&p("/w")).unwrap().unwrap(), b"first");
+        io.append(&p("/w"), b"third").unwrap();
+        assert_eq!(io.read(&p("/w")).unwrap().unwrap(), b"firstthird");
+    }
+
+    #[test]
+    fn corrupt_read_flips_one_bit_in_the_copy_only() {
+        let io = FaultIo::new(FaultPlan::corrupt_read_at(17, 0));
+        io.append(&p("/w"), b"ABCDEFGH").unwrap();
+        io.sync(&p("/w")).unwrap();
+        let bad = io.read(&p("/w")).unwrap().unwrap(); // read #0: bad sector
+        let diff: u32 = bad
+            .iter()
+            .zip(b"ABCDEFGH")
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1, "exactly one bit flips: {bad:?}");
+        // The platter is untouched: the next read is pristine.
+        assert_eq!(io.read(&p("/w")).unwrap().unwrap(), b"ABCDEFGH");
+    }
+
+    #[test]
+    fn corrupt_read_of_a_missing_file_fires_into_nothing() {
+        let io = FaultIo::new(FaultPlan::corrupt_read_at(5, 0));
+        assert_eq!(io.read(&p("/absent")).unwrap(), None); // read #0
+        io.append(&p("/w"), b"ok").unwrap();
+        assert_eq!(io.read(&p("/w")).unwrap().unwrap(), b"ok");
+    }
+
+    #[test]
+    fn read_faults_do_not_renumber_mutating_ops() {
+        // The same workload, with and without read faults, crashes at the
+        // same logical operation.
+        let run = |plan: FaultPlan| {
+            let io = FaultIo::new(plan);
+            let _ = io.append(&p("/w"), b"one"); // op 0
+            let _ = io.read(&p("/w"));
+            let _ = io.sync(&p("/w")); // op 1
+            let _ = io.read(&p("/w"));
+            let _ = io.append(&p("/w"), b"two"); // op 2: crash
+            io.crashed()
+        };
+        assert!(run(FaultPlan::crash_at(9, 2)));
+        let mut both = FaultPlan::crash_at(9, 2);
+        both.corrupt_read_at_read = Some(0);
+        assert!(run(both), "read faults shifted the mutating-op index");
     }
 
     #[test]

@@ -1,0 +1,755 @@
+//! The IVM planner pass: lowering a bound continuous plan to an
+//! incremental program, or reporting why it must re-evaluate.
+//!
+//! A plan lowers when it has exactly one *anchor* — an `Aggregate` or a
+//! `Distinct` — whose input is maintainable per tuple: a filter/project
+//! chain over the stream scan, optionally (for aggregates) joined to a
+//! stored table on hash-exact equi-keys. Everything above the anchor
+//! becomes the *post-plan*, re-anchored on the synthetic [`IVM_INPUT`]
+//! stream; at window close the runtime feeds it the relation composed
+//! from slice partials.
+//!
+//! The eligibility rules are deliberately conservative: every admitted
+//! shape must reproduce re-evaluation **byte-identically**, so anything
+//! whose slice-merge could reorder floating-point accumulation (float
+//! SUM/AVG, VARIANCE/STDDEV, float join keys) falls back. Each fallback
+//! carries a stable reason string that `EXPLAIN CHECK` surfaces and the
+//! `ivm.fallback` counter tallies.
+
+use streamrel_exec::join::{extract_keys, flatten_and, shift_down};
+use streamrel_sql::plan::{AggFunc, AggSpec, BoundExpr, JoinKind, LogicalPlan, SchemaRef};
+use streamrel_sql::WindowSpec;
+use streamrel_types::DataType;
+
+/// Synthetic stream name the post-plan scans; the runtime binds it to the
+/// relation composed from IVM state at each window close.
+pub const IVM_INPUT: &str = "__ivm_delta";
+
+/// One maintained row transformation below the anchor.
+#[derive(Debug, Clone)]
+pub enum RowOp {
+    /// Drop rows failing the predicate.
+    Filter(BoundExpr),
+    /// Map the row through projection expressions.
+    Project(Vec<BoundExpr>),
+}
+
+/// The stream-side pipeline below the anchor: which stream feeds it, where
+/// its CQTIME lives, and the filter/project chain applied per tuple.
+#[derive(Debug, Clone)]
+pub struct StreamPrefix {
+    /// Source stream name.
+    pub stream: String,
+    /// Stream schema (the chain's input).
+    pub input_schema: SchemaRef,
+    /// CQTIME column position in the *stream* row (ops may project it
+    /// away; the timestamp is read before the chain runs).
+    pub cqtime: usize,
+    /// Filter/project chain, in application order.
+    pub ops: Vec<RowOp>,
+}
+
+/// The grouping/aggregation applied at the anchor.
+#[derive(Debug, Clone)]
+pub struct AggShape {
+    /// Group-by expressions over the anchor input row.
+    pub group_exprs: Vec<BoundExpr>,
+    /// Aggregate functions (arguments over the anchor input row).
+    pub aggs: Vec<AggSpec>,
+    /// Anchor output schema (`[groups..., aggs...]`).
+    pub schema: SchemaRef,
+}
+
+/// An equi-join from the stream side to a stored table, reduced to what
+/// incremental maintenance needs: key extraction on both sides and the
+/// table-side filter. Per-tuple state is keyed by the join key; the match
+/// count against the boundary snapshot is resolved at window close.
+#[derive(Debug, Clone)]
+pub struct JoinShape {
+    /// Key expressions over the stream-side (left) row.
+    pub left_key: Vec<BoundExpr>,
+    /// Joined table name.
+    pub table: String,
+    /// Table schema.
+    pub table_schema: SchemaRef,
+    /// Combined table-side filter (scan filter AND right-only WHERE
+    /// conjuncts), over the table row.
+    pub table_filter: Option<BoundExpr>,
+    /// Key expressions over the table row.
+    pub right_key: Vec<BoundExpr>,
+    /// When the single right key is a bare column, its name — the close
+    /// path probes the table's index instead of scanning.
+    pub index_column: Option<String>,
+}
+
+/// What state the runtime maintains for a lowered plan.
+#[derive(Debug, Clone)]
+pub enum IvmShape {
+    /// `Aggregate` over a stream chain: per-slice delta hash aggregates.
+    Agg { prefix: StreamPrefix, agg: AggShape },
+    /// `Aggregate` over stream ⋈ table: per-slice partials keyed by
+    /// (join key, group key); match counts resolved against the window
+    /// boundary snapshot.
+    JoinAgg {
+        prefix: StreamPrefix,
+        join: JoinShape,
+        agg: AggShape,
+    },
+    /// `Distinct` over a stream chain: per-slice first-seen row sets.
+    Distinct {
+        prefix: StreamPrefix,
+        /// Anchor output schema (= its input schema).
+        schema: SchemaRef,
+    },
+}
+
+/// A lowered continuous plan: the incremental shape plus the post-plan
+/// that consumes the composed anchor output at window close.
+#[derive(Debug, Clone)]
+pub struct IvmProgram {
+    /// State to maintain per tuple.
+    pub shape: IvmShape,
+    /// Plan over [`IVM_INPUT`] run at each close.
+    pub post_plan: LogicalPlan,
+    /// Window VISIBLE (µs).
+    pub visible: i64,
+    /// Window ADVANCE (µs).
+    pub advance: i64,
+}
+
+/// Outcome of the lowering pass.
+pub enum Lowering {
+    /// The plan lowers to an incremental program.
+    Lowered(Box<IvmProgram>),
+    /// The plan must re-evaluate per window; the reason is stable text
+    /// surfaced by `EXPLAIN CHECK` and the `ivm.fallback` counter.
+    Fallback(&'static str),
+}
+
+/// Lower a bound continuous plan, or report the fallback reason.
+pub fn lower(plan: &LogicalPlan) -> Lowering {
+    let mut found: Option<(IvmShape, WindowSpec)> = None;
+    let post_plan = match rewrite(plan, &mut found) {
+        Ok(p) => p,
+        Err(reason) => return Lowering::Fallback(reason),
+    };
+    match found {
+        Some((shape, WindowSpec::Time { visible, advance })) => {
+            Lowering::Lowered(Box::new(IvmProgram {
+                shape,
+                post_plan,
+                visible,
+                advance,
+            }))
+        }
+        // parse_stream_chain only admits time windows; defense in depth.
+        Some(_) => Lowering::Fallback(REASON_WINDOW),
+        None => Lowering::Fallback(REASON_NO_ANCHOR),
+    }
+}
+
+/// Why a plan does not lower, or `None` when it does. Admission checking
+/// (`streamrel-check`) uses this to report the chosen execution path
+/// without constructing runtime state.
+pub fn fallback_reason(plan: &LogicalPlan) -> Option<&'static str> {
+    match lower(plan) {
+        Lowering::Lowered(_) => None,
+        Lowering::Fallback(r) => Some(r),
+    }
+}
+
+const REASON_NO_ANCHOR: &str = "no aggregate or distinct anchor to maintain incrementally";
+const REASON_TWO_ANCHORS: &str = "more than one incremental anchor";
+const REASON_WINDOW: &str = "only time windows lower to slices";
+const REASON_DERIVED: &str = "derived-stream source arrives as whole result batches";
+const REASON_NO_CQTIME: &str = "stream has no CQTIME column to slice on";
+const REASON_CQ_CLOSE: &str = "cq_close(*) below the anchor is unknown at slice time";
+const REASON_FLOAT_AGG: &str = "float sum/avg slice merge is not order-exact";
+const REASON_VARIANCE: &str = "variance/stddev slice merge is not order-exact";
+const REASON_JOIN_ABOVE: &str = "join above the incremental anchor";
+const REASON_JOIN_KIND: &str = "only inner stream-table joins lower";
+const REASON_CROSS_JOIN: &str = "cross join has no key to index on";
+const REASON_NO_EQUI_KEY: &str = "join condition has no equi-key";
+const REASON_RESIDUAL: &str = "non-equi join conjuncts require re-evaluation";
+const REASON_KEY_TYPES: &str = "join key sides have different types";
+const REASON_FLOAT_KEY: &str = "float join keys are not hash-exact";
+const REASON_FILTER_SPANS: &str = "filter conjunct spans both join sides";
+const REASON_GROUP_SIDE: &str = "group key references the table side";
+const REASON_AGG_SIDE: &str = "aggregate argument references the table side";
+const REASON_RIGHT_NOT_TABLE: &str = "join right side is not a stored table scan";
+const REASON_STREAM_RIGHT: &str = "stream on the join's right side";
+const REASON_BELOW_ANCHOR: &str = "unsupported operator below the anchor";
+
+fn rewrite(
+    plan: &LogicalPlan,
+    found: &mut Option<(IvmShape, WindowSpec)>,
+) -> Result<LogicalPlan, &'static str> {
+    match plan {
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+            schema,
+        } => {
+            if found.is_some() {
+                return Err(REASON_TWO_ANCHORS);
+            }
+            let (shape, window) = lower_aggregate(input, group_exprs, aggs, schema)?;
+            *found = Some((shape, window));
+            Ok(LogicalPlan::StreamScan {
+                stream: IVM_INPUT.to_string(),
+                schema: schema.clone(),
+                window,
+                cqtime: None,
+                derived: false,
+            })
+        }
+        LogicalPlan::Distinct { input } => {
+            if contains_aggregate(input) {
+                // The aggregate below is the anchor; DISTINCT rides in the
+                // post-plan over its (small) output.
+                Ok(LogicalPlan::Distinct {
+                    input: Box::new(rewrite(input, found)?),
+                })
+            } else {
+                if found.is_some() {
+                    return Err(REASON_TWO_ANCHORS);
+                }
+                let (prefix, window) = parse_stream_chain(input)?;
+                let schema = input.schema();
+                *found = Some((
+                    IvmShape::Distinct {
+                        prefix,
+                        schema: schema.clone(),
+                    },
+                    window,
+                ));
+                Ok(LogicalPlan::StreamScan {
+                    stream: IVM_INPUT.to_string(),
+                    schema,
+                    window,
+                    cqtime: None,
+                    derived: false,
+                })
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => Ok(LogicalPlan::Filter {
+            input: Box::new(rewrite(input, found)?),
+            predicate: predicate.clone(),
+        }),
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => Ok(LogicalPlan::Project {
+            input: Box::new(rewrite(input, found)?),
+            exprs: exprs.clone(),
+            schema: schema.clone(),
+        }),
+        LogicalPlan::Sort { input, keys } => Ok(LogicalPlan::Sort {
+            input: Box::new(rewrite(input, found)?),
+            keys: keys.clone(),
+        }),
+        LogicalPlan::Limit { input, n } => Ok(LogicalPlan::Limit {
+            input: Box::new(rewrite(input, found)?),
+            n: *n,
+        }),
+        LogicalPlan::Join { .. } => Err(REASON_JOIN_ABOVE),
+        LogicalPlan::StreamScan { .. } => Err(REASON_NO_ANCHOR),
+        LogicalPlan::TableScan { .. } | LogicalPlan::OneRow => Err(REASON_NO_ANCHOR),
+    }
+}
+
+fn contains_aggregate(plan: &LogicalPlan) -> bool {
+    let mut found = false;
+    plan.visit(&mut |p| {
+        if matches!(p, LogicalPlan::Aggregate { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Walk a filter/project chain down to the stream scan.
+fn parse_stream_chain(plan: &LogicalPlan) -> Result<(StreamPrefix, WindowSpec), &'static str> {
+    let mut ops_rev: Vec<RowOp> = Vec::new();
+    let mut cur = plan;
+    loop {
+        match cur {
+            LogicalPlan::Filter { input, predicate } => {
+                if predicate.uses_cq_close() {
+                    return Err(REASON_CQ_CLOSE);
+                }
+                ops_rev.push(RowOp::Filter(predicate.clone()));
+                cur = input;
+            }
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema: _,
+            } => {
+                if exprs.iter().any(BoundExpr::uses_cq_close) {
+                    return Err(REASON_CQ_CLOSE);
+                }
+                ops_rev.push(RowOp::Project(exprs.clone()));
+                cur = input;
+            }
+            LogicalPlan::StreamScan {
+                stream,
+                schema,
+                window,
+                cqtime,
+                derived,
+            } => {
+                if *derived {
+                    return Err(REASON_DERIVED);
+                }
+                let WindowSpec::Time { .. } = window else {
+                    return Err(REASON_WINDOW);
+                };
+                let Some(cqtime) = *cqtime else {
+                    return Err(REASON_NO_CQTIME);
+                };
+                ops_rev.reverse();
+                return Ok((
+                    StreamPrefix {
+                        stream: stream.clone(),
+                        input_schema: schema.clone(),
+                        cqtime,
+                        ops: ops_rev,
+                    },
+                    *window,
+                ));
+            }
+            _ => return Err(REASON_BELOW_ANCHOR),
+        }
+    }
+}
+
+/// Per-aggregate eligibility: only order-insensitive-exact partials lower.
+/// Integer sums are exact; AVG keeps an f64 sum of integer-valued inputs,
+/// which is addition of exactly-representable values (≤ 2⁵³), so slice
+/// order cannot change the result. Float SUM/AVG and VARIANCE/STDDEV merge
+/// float partials whose rounding depends on association order — those
+/// re-evaluate.
+fn agg_eligible(spec: &AggSpec) -> Result<(), &'static str> {
+    if spec.arg.as_ref().is_some_and(BoundExpr::uses_cq_close) {
+        return Err(REASON_CQ_CLOSE);
+    }
+    let float_arg = matches!(spec.arg.as_ref().map(BoundExpr::ty), Some(DataType::Float));
+    match spec.func {
+        AggFunc::Count | AggFunc::Min | AggFunc::Max => Ok(()),
+        AggFunc::Sum | AggFunc::Avg if float_arg => Err(REASON_FLOAT_AGG),
+        AggFunc::Sum | AggFunc::Avg => Ok(()),
+        AggFunc::Variance | AggFunc::Stddev => Err(REASON_VARIANCE),
+    }
+}
+
+fn lower_aggregate(
+    input: &LogicalPlan,
+    group_exprs: &[BoundExpr],
+    aggs: &[AggSpec],
+    schema: &SchemaRef,
+) -> Result<(IvmShape, WindowSpec), &'static str> {
+    if group_exprs.iter().any(BoundExpr::uses_cq_close) {
+        return Err(REASON_CQ_CLOSE);
+    }
+    for spec in aggs {
+        agg_eligible(spec)?;
+    }
+    let agg = AggShape {
+        group_exprs: group_exprs.to_vec(),
+        aggs: aggs.to_vec(),
+        schema: schema.clone(),
+    };
+
+    // Peel WHERE filters sitting between the aggregate and a join; for a
+    // plain chain they are handled by parse_stream_chain instead.
+    let mut above: Vec<&BoundExpr> = Vec::new();
+    let mut cur = input;
+    while let LogicalPlan::Filter {
+        input: inner,
+        predicate,
+    } = cur
+    {
+        above.push(predicate);
+        cur = inner;
+    }
+    let LogicalPlan::Join {
+        left,
+        right,
+        kind,
+        on,
+        schema: _,
+    } = cur
+    else {
+        // No join below: the whole input is a stream chain.
+        let (prefix, window) = parse_stream_chain(input)?;
+        return Ok((IvmShape::Agg { prefix, agg }, window));
+    };
+
+    if *kind != JoinKind::Inner {
+        return Err(REASON_JOIN_KIND);
+    }
+    let Some(on) = on else {
+        return Err(REASON_CROSS_JOIN);
+    };
+    if on.uses_cq_close() {
+        return Err(REASON_CQ_CLOSE);
+    }
+
+    // Stream on the left, stored table (with optional scan filter) on the
+    // right — the shape `try_index_join` accelerates in the re-eval path.
+    let (mut prefix, window) = parse_stream_chain(left).map_err(|e| {
+        if matches!(left.as_ref(), LogicalPlan::TableScan { .. }) {
+            REASON_STREAM_RIGHT
+        } else {
+            e
+        }
+    })?;
+    let left_width = left.schema().len();
+    let mut table_filters: Vec<BoundExpr> = Vec::new();
+    let mut table_scan = right.as_ref();
+    while let LogicalPlan::Filter {
+        input: inner,
+        predicate,
+    } = table_scan
+    {
+        if predicate.uses_cq_close() {
+            return Err(REASON_CQ_CLOSE);
+        }
+        table_filters.push(predicate.clone());
+        table_scan = inner;
+    }
+    let LogicalPlan::TableScan {
+        table,
+        schema: table_schema,
+    } = table_scan
+    else {
+        return Err(REASON_RIGHT_NOT_TABLE);
+    };
+
+    let Some(keys) = extract_keys(on, left_width) else {
+        return Err(REASON_NO_EQUI_KEY);
+    };
+    if !keys.residual.is_empty() {
+        return Err(REASON_RESIDUAL);
+    }
+    for (l, r) in keys.left.iter().zip(&keys.right) {
+        if l.ty() != r.ty() {
+            return Err(REASON_KEY_TYPES);
+        }
+        if l.ty() == DataType::Float {
+            return Err(REASON_FLOAT_KEY);
+        }
+    }
+
+    // Classify the peeled WHERE conjuncts by side: left-only ones join the
+    // stream chain, right-only ones the table filter. A conjunct spanning
+    // both sides would need the joined row — fall back.
+    for predicate in above {
+        if predicate.uses_cq_close() {
+            return Err(REASON_CQ_CLOSE);
+        }
+        let mut conjuncts = Vec::new();
+        flatten_and(predicate, &mut conjuncts);
+        for mut c in conjuncts {
+            let mut cols = Vec::new();
+            c.referenced_columns(&mut cols);
+            if cols.iter().all(|&i| i < left_width) {
+                prefix.ops.push(RowOp::Filter(c));
+            } else if cols.iter().all(|&i| i >= left_width) {
+                shift_down(&mut c, left_width);
+                table_filters.push(c);
+            } else {
+                return Err(REASON_FILTER_SPANS);
+            }
+        }
+    }
+
+    // Group keys and aggregate arguments must be computable from the
+    // stream row alone (their partials are scaled by the match count).
+    let mut cols = Vec::new();
+    for e in &agg.group_exprs {
+        e.referenced_columns(&mut cols);
+    }
+    if cols.iter().any(|&i| i >= left_width) {
+        return Err(REASON_GROUP_SIDE);
+    }
+    cols.clear();
+    for spec in &agg.aggs {
+        if let Some(arg) = &spec.arg {
+            arg.referenced_columns(&mut cols);
+        }
+    }
+    if cols.iter().any(|&i| i >= left_width) {
+        return Err(REASON_AGG_SIDE);
+    }
+
+    let index_column = match (keys.left.len(), keys.right.first()) {
+        (1, Some(BoundExpr::Column { index, .. })) => {
+            Some(table_schema.column(*index).name.clone())
+        }
+        _ => None,
+    };
+    let table_filter = table_filters.into_iter().reduce(|a, b| BoundExpr::Binary {
+        op: streamrel_sql::ast::BinaryOp::And,
+        left: Box::new(a),
+        right: Box::new(b),
+        ty: DataType::Bool,
+    });
+    Ok((
+        IvmShape::JoinAgg {
+            prefix,
+            join: JoinShape {
+                left_key: keys.left,
+                table: table.clone(),
+                table_schema: table_schema.clone(),
+                table_filter,
+                right_key: keys.right,
+                index_column,
+            },
+            agg,
+        },
+        window,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use streamrel_sql::ast::WindowSpec;
+    use streamrel_sql::plan::{BinaryOp, SortKey};
+    use streamrel_types::time::MINUTES;
+    use streamrel_types::{Column, DataType, Schema, Value};
+
+    fn stream_schema() -> SchemaRef {
+        Arc::new(
+            Schema::new(vec![
+                Column::new("url", DataType::Text),
+                Column::not_null("atime", DataType::Timestamp),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn dims_schema() -> SchemaRef {
+        Arc::new(
+            Schema::new(vec![
+                Column::new("url", DataType::Text),
+                Column::new("weight", DataType::Int),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn time_window() -> WindowSpec {
+        WindowSpec::Time {
+            visible: 2 * MINUTES,
+            advance: MINUTES,
+        }
+    }
+
+    fn scan(window: WindowSpec) -> LogicalPlan {
+        LogicalPlan::StreamScan {
+            stream: "url_stream".into(),
+            schema: stream_schema(),
+            window,
+            cqtime: Some(1),
+            derived: false,
+        }
+    }
+
+    fn col(index: usize, ty: DataType) -> BoundExpr {
+        BoundExpr::Column { index, ty }
+    }
+
+    fn count_spec() -> AggSpec {
+        AggSpec {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+            name: "count".into(),
+            ty: DataType::Int,
+        }
+    }
+
+    fn agg_schema() -> SchemaRef {
+        Arc::new(Schema::new_unchecked(vec![
+            Column::new("url", DataType::Text),
+            Column::new("count", DataType::Int),
+        ]))
+    }
+
+    fn count_plan(input: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(input),
+            group_exprs: vec![col(0, DataType::Text)],
+            aggs: vec![count_spec()],
+            schema: agg_schema(),
+        }
+    }
+
+    #[test]
+    fn grouped_count_lowers_to_agg_shape() {
+        let plan = count_plan(scan(time_window()));
+        let Lowering::Lowered(p) = lower(&plan) else {
+            panic!("expected lowered: {:?}", fallback_reason(&plan));
+        };
+        assert!(matches!(p.shape, IvmShape::Agg { .. }));
+        assert_eq!((p.visible, p.advance), (2 * MINUTES, MINUTES));
+        // The post-plan is the anchor replacement alone: a scan of the
+        // composed delta input.
+        assert!(
+            matches!(&p.post_plan, LogicalPlan::StreamScan { stream, .. } if stream == IVM_INPUT)
+        );
+        assert!(fallback_reason(&plan).is_none());
+    }
+
+    #[test]
+    fn wrappers_above_anchor_stay_in_post_plan() {
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Sort {
+                input: Box::new(count_plan(scan(time_window()))),
+                keys: vec![SortKey {
+                    expr: col(1, DataType::Int),
+                    asc: false,
+                }],
+            }),
+            n: 5,
+        };
+        let Lowering::Lowered(p) = lower(&plan) else {
+            panic!("expected lowered: {:?}", fallback_reason(&plan));
+        };
+        assert!(matches!(p.post_plan, LogicalPlan::Limit { .. }));
+    }
+
+    #[test]
+    fn rows_window_falls_back() {
+        let plan = count_plan(scan(WindowSpec::Rows {
+            visible: 10,
+            advance: 5,
+        }));
+        assert_eq!(fallback_reason(&plan), Some(REASON_WINDOW));
+    }
+
+    #[test]
+    fn float_sum_falls_back() {
+        let mut plan = count_plan(scan(time_window()));
+        let LogicalPlan::Aggregate { aggs, .. } = &mut plan else {
+            unreachable!()
+        };
+        aggs[0] = AggSpec {
+            func: AggFunc::Sum,
+            arg: Some(BoundExpr::Literal(Value::Float(1.0))),
+            distinct: false,
+            name: "sum".into(),
+            ty: DataType::Float,
+        };
+        assert_eq!(fallback_reason(&plan), Some(REASON_FLOAT_AGG));
+        // Integer SUM stays eligible.
+        let LogicalPlan::Aggregate { aggs, .. } = &mut plan else {
+            unreachable!()
+        };
+        aggs[0] = AggSpec {
+            func: AggFunc::Sum,
+            arg: Some(BoundExpr::Literal(Value::Int(1))),
+            distinct: false,
+            name: "sum".into(),
+            ty: DataType::Int,
+        };
+        assert!(fallback_reason(&plan).is_none());
+    }
+
+    #[test]
+    fn plain_select_falls_back_without_anchor() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan(time_window())),
+            predicate: BoundExpr::Literal(Value::Bool(true)),
+        };
+        assert_eq!(fallback_reason(&plan), Some(REASON_NO_ANCHOR));
+    }
+
+    fn join_plan(on: Option<BoundExpr>) -> LogicalPlan {
+        let mut cols: Vec<Column> = stream_schema().columns().to_vec();
+        cols.extend(dims_schema().columns().iter().cloned());
+        let join_schema = Arc::new(Schema::new_unchecked(cols));
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan(time_window())),
+                right: Box::new(LogicalPlan::TableScan {
+                    table: "dims".into(),
+                    schema: dims_schema(),
+                }),
+                kind: JoinKind::Inner,
+                on,
+                schema: join_schema,
+            }),
+            group_exprs: vec![col(0, DataType::Text)],
+            aggs: vec![count_spec()],
+            schema: agg_schema(),
+        }
+    }
+
+    fn url_eq() -> BoundExpr {
+        BoundExpr::Binary {
+            op: BinaryOp::Eq,
+            left: Box::new(col(0, DataType::Text)),
+            right: Box::new(col(2, DataType::Text)),
+            ty: DataType::Bool,
+        }
+    }
+
+    #[test]
+    fn equi_join_lowers_with_index_column() {
+        let plan = join_plan(Some(url_eq()));
+        let Lowering::Lowered(p) = lower(&plan) else {
+            panic!("expected lowered: {:?}", fallback_reason(&plan));
+        };
+        let IvmShape::JoinAgg { join, .. } = &p.shape else {
+            panic!("expected JoinAgg shape");
+        };
+        assert_eq!(join.table, "dims");
+        assert_eq!(join.index_column.as_deref(), Some("url"));
+    }
+
+    #[test]
+    fn cross_join_falls_back() {
+        let plan = join_plan(None);
+        assert_eq!(fallback_reason(&plan), Some(REASON_CROSS_JOIN));
+    }
+
+    #[test]
+    fn group_key_on_table_side_falls_back() {
+        let mut plan = join_plan(Some(url_eq()));
+        let LogicalPlan::Aggregate { group_exprs, .. } = &mut plan else {
+            unreachable!()
+        };
+        group_exprs[0] = col(3, DataType::Int);
+        assert_eq!(fallback_reason(&plan), Some(REASON_GROUP_SIDE));
+    }
+
+    #[test]
+    fn distinct_over_stream_lowers() {
+        let plan = LogicalPlan::Distinct {
+            input: Box::new(scan(time_window())),
+        };
+        let Lowering::Lowered(p) = lower(&plan) else {
+            panic!("expected lowered: {:?}", fallback_reason(&plan));
+        };
+        assert!(matches!(p.shape, IvmShape::Distinct { .. }));
+    }
+
+    #[test]
+    fn derived_stream_falls_back() {
+        let plan = count_plan(LogicalPlan::StreamScan {
+            stream: "hits_1m".into(),
+            schema: stream_schema(),
+            window: time_window(),
+            cqtime: Some(1),
+            derived: true,
+        });
+        assert_eq!(fallback_reason(&plan), Some(REASON_DERIVED));
+    }
+}

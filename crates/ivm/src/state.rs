@@ -1,0 +1,825 @@
+//! Per-CQ incremental operator state.
+//!
+//! Time is cut into slices of width `gcd(VISIBLE, ADVANCE)` — the same
+//! grid the shared "Jellybean" groups use — and each arriving tuple is
+//! folded into its slice's state: hash-aggregate partials, (join key,
+//! group key) partials, or a first-seen DISTINCT set. A window close
+//! composes the covered slices by *merging partials*, so its cost is
+//! proportional to the number of distinct keys touched since the previous
+//! close (the delta), not to the number of buffered rows.
+//!
+//! Order exactness: tuples reach the CQ in CQTIME order (the reorder
+//! buffer sits upstream), slices are contiguous time ranges, and each
+//! slice records first-seen key order — so walking slices in time order
+//! and keys in slice order reproduces the *global* first-seen order that
+//! re-evaluation's hash aggregate produces. That argument, plus the
+//! lowering pass only admitting order-insensitive-exact accumulators, is
+//! what makes IVM output byte-identical to re-evaluation.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use streamrel_exec::expr::{eval, eval_predicate, EvalContext};
+use streamrel_exec::{Accumulator, RelationSource};
+use streamrel_sql::plan::{AggSpec, BoundExpr, SchemaRef};
+use streamrel_types::{Error, Relation, Result, Row, Timestamp, Value};
+
+use crate::lower::{AggShape, IvmProgram, IvmShape, RowOp, StreamPrefix};
+
+/// Result of composing a window from slices.
+pub enum WindowOutput {
+    /// The anchor output is fully determined by stream state.
+    Ready(Relation),
+    /// A stream-table join: the delta must be counted against the window
+    /// boundary snapshot inside the (pool-runnable) window task, so table
+    /// visibility matches re-evaluation's consistency mode exactly.
+    NeedsTable(Box<JoinDelta>),
+}
+
+/// The join-aggregate delta staged for one window close: slice-merged
+/// partials keyed by join key, finalized against a table snapshot.
+pub struct JoinDelta {
+    table: String,
+    table_filter: Option<BoundExpr>,
+    right_key: Vec<BoundExpr>,
+    index_column: Option<String>,
+    /// `(join key, group key, merged partials)` in global first-seen
+    /// pair order.
+    entries: Vec<(Vec<Value>, Vec<Value>, Vec<Accumulator>)>,
+    aggs: Vec<AggSpec>,
+    schema: SchemaRef,
+    /// Global aggregate (no GROUP BY): an empty result emits a defaults
+    /// row, like re-evaluation's aggregate over an empty join.
+    global: bool,
+}
+
+impl JoinDelta {
+    /// Delta rows staged (trace accounting).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no delta entries are staged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolve match counts against `source` (the pinned snapshot) and
+    /// emit the aggregate output. Each partial was built once per stream
+    /// tuple; a tuple joined to `m` table rows contributes its update `m`
+    /// times in re-evaluation, which is exactly `Accumulator::scale(m)`.
+    /// Group order is the first-seen order over pairs with at least one
+    /// match — the same order the re-evaluated hash aggregate sees.
+    pub fn finalize(&self, source: &dyn RelationSource) -> Result<Relation> {
+        let ectx = EvalContext::default();
+        let mut counts: HashMap<Vec<Value>, i64> = HashMap::new();
+        let indexed = match &self.index_column {
+            // Probe-with-NULL is the engine's "does an index exist" idiom
+            // (see try_index_join); NULL never matches any key.
+            Some(col) => source
+                .index_lookup(&self.table, col, &Value::Null)?
+                .is_some(),
+            None => false,
+        };
+        if indexed {
+            let col = self.index_column.as_deref().unwrap_or_default();
+            for (jk, _, _) in &self.entries {
+                if counts.contains_key(jk) {
+                    continue;
+                }
+                let candidates = source
+                    .index_lookup(&self.table, col, &jk[0])?
+                    .unwrap_or_default();
+                let mut m = 0i64;
+                for row in &candidates {
+                    if self.row_matches(row, jk, &ectx)? {
+                        m += 1;
+                    }
+                }
+                counts.insert(jk.clone(), m);
+            }
+        } else {
+            let rel = source.scan_table(&self.table)?;
+            for row in rel.rows() {
+                if let Some(f) = &self.table_filter {
+                    if !eval_predicate(f, row, &ectx)? {
+                        continue;
+                    }
+                }
+                let rk: Vec<Value> = self
+                    .right_key
+                    .iter()
+                    .map(|e| eval(e, row, &ectx))
+                    .collect::<Result<_>>()?;
+                if rk.iter().any(Value::is_null) {
+                    continue;
+                }
+                *counts.entry(rk).or_insert(0) += 1;
+            }
+        }
+
+        let mut merged: HashMap<&[Value], Vec<Accumulator>> = HashMap::new();
+        let mut order: Vec<&[Value]> = Vec::new();
+        for (jk, gk, accs) in &self.entries {
+            let m = counts.get(jk).copied().unwrap_or(0);
+            if m == 0 {
+                continue;
+            }
+            let mut scaled = accs.clone();
+            for a in &mut scaled {
+                a.scale(m)?;
+            }
+            match merged.get_mut(gk.as_slice()) {
+                Some(existing) => {
+                    for (a, p) in existing.iter_mut().zip(&scaled) {
+                        a.merge(p)?;
+                    }
+                }
+                None => {
+                    order.push(gk.as_slice());
+                    merged.insert(gk.as_slice(), scaled);
+                }
+            }
+        }
+        let mut rel = Relation::empty(self.schema.clone());
+        if merged.is_empty() && self.global {
+            rel.push(
+                self.aggs
+                    .iter()
+                    .map(|s| Accumulator::new(s).finish())
+                    .collect(),
+            );
+            return Ok(rel);
+        }
+        for gk in order {
+            let accs = &merged[gk];
+            let mut row: Row = gk.to_vec();
+            row.extend(accs.iter().map(Accumulator::finish));
+            rel.push(row);
+        }
+        Ok(rel)
+    }
+
+    fn row_matches(&self, row: &Row, jk: &[Value], ectx: &EvalContext) -> Result<bool> {
+        if let Some(f) = &self.table_filter {
+            if !eval_predicate(f, row, ectx)? {
+                return Ok(false);
+            }
+        }
+        for (e, want) in self.right_key.iter().zip(jk) {
+            let got = eval(e, row, ectx)?;
+            if got.is_null() || got != *want {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+type PairKey = (Vec<Value>, Vec<Value>);
+
+enum SliceKind {
+    /// Aggregate partials keyed by group key.
+    Groups {
+        groups: HashMap<Vec<Value>, Vec<Accumulator>>,
+        order: Vec<Vec<Value>>,
+    },
+    /// Join-aggregate partials keyed by (join key, group key).
+    Pairs {
+        pairs: HashMap<PairKey, Vec<Accumulator>>,
+        order: Vec<PairKey>,
+    },
+    /// DISTINCT rows in first-seen order.
+    Rows { seen: HashSet<Row>, order: Vec<Row> },
+}
+
+struct Slice {
+    /// Approximate heap footprint (state-size accounting).
+    bytes: usize,
+    kind: SliceKind,
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn val_bytes(v: &Value) -> usize {
+    match v {
+        Value::Text(s) => 24 + s.len(),
+        _ => 16,
+    }
+}
+
+fn key_bytes(vals: &[Value]) -> usize {
+    24 + vals.iter().map(val_bytes).sum::<usize>()
+}
+
+/// Rough per-accumulator footprint (the DISTINCT set inside an
+/// accumulator grows beyond this; the bound is an estimate, not a ledger).
+const ACC_BYTES: usize = 64;
+
+/// Incremental state for one lowered CQ.
+pub struct IvmState {
+    shape: IvmShape,
+    width: i64,
+    visible: i64,
+    slices: BTreeMap<Timestamp, Slice>,
+    delta_rows: u64,
+}
+
+impl IvmState {
+    /// Fresh state for a lowered program.
+    pub fn new(program: &IvmProgram) -> IvmState {
+        IvmState {
+            shape: program.shape.clone(),
+            width: gcd(program.visible, program.advance).max(1),
+            visible: program.visible,
+            slices: BTreeMap::new(),
+            delta_rows: 0,
+        }
+    }
+
+    /// Slice width (µs).
+    pub fn slice_width(&self) -> i64 {
+        self.width
+    }
+
+    /// Number of live slices.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Rows folded into state so far (the `ivm.delta.rows` counter).
+    pub fn delta_rows(&self) -> u64 {
+        self.delta_rows
+    }
+
+    /// Approximate bytes held across live slices.
+    pub fn state_bytes(&self) -> usize {
+        self.slices.values().map(|s| s.bytes).sum()
+    }
+
+    fn prefix(&self) -> &StreamPrefix {
+        match &self.shape {
+            IvmShape::Agg { prefix, .. }
+            | IvmShape::JoinAgg { prefix, .. }
+            | IvmShape::Distinct { prefix, .. } => prefix,
+        }
+    }
+
+    /// Fold one stream tuple into its slice. The caller guarantees CQTIME
+    /// order (the reorder buffer sits upstream, as for shared groups).
+    pub fn on_tuple(&mut self, row: &Row) -> Result<()> {
+        let ectx = EvalContext::default();
+        let prefix = self.prefix();
+        let ts = row
+            .get(prefix.cqtime)
+            .ok_or_else(|| Error::stream("row too short for CQTIME"))?
+            .as_timestamp()?;
+        let Some(folded) = apply_ops(&prefix.ops, row, &ectx)? else {
+            return Ok(());
+        };
+        let slice_start = ts.div_euclid(self.width) * self.width;
+        let width = self.width;
+        match &self.shape {
+            IvmShape::Agg { agg, .. } => {
+                let key: Vec<Value> = agg
+                    .group_exprs
+                    .iter()
+                    .map(|e| eval(e, &folded, &ectx))
+                    .collect::<Result<_>>()?;
+                let slice = self.slices.entry(slice_start).or_insert_with(|| Slice {
+                    bytes: 0,
+                    kind: SliceKind::Groups {
+                        groups: HashMap::new(),
+                        order: Vec::new(),
+                    },
+                });
+                let SliceKind::Groups { groups, order } = &mut slice.kind else {
+                    return Err(Error::stream("ivm slice kind changed mid-stream"));
+                };
+                let accs = match groups.get_mut(&key) {
+                    Some(a) => a,
+                    None => {
+                        slice.bytes += key_bytes(&key) + ACC_BYTES * agg.aggs.len();
+                        order.push(key.clone());
+                        groups
+                            .entry(key)
+                            .or_insert_with(|| agg.aggs.iter().map(Accumulator::new).collect())
+                    }
+                };
+                update_accs(accs, &agg.aggs, &folded, &ectx)?;
+            }
+            IvmShape::JoinAgg { join, agg, .. } => {
+                let jk: Vec<Value> = join
+                    .left_key
+                    .iter()
+                    .map(|e| eval(e, &folded, &ectx))
+                    .collect::<Result<_>>()?;
+                if jk.iter().any(Value::is_null) {
+                    // NULL join keys never match: re-evaluation emits no
+                    // joined row, so there is nothing to maintain.
+                    return Ok(());
+                }
+                let gk: Vec<Value> = agg
+                    .group_exprs
+                    .iter()
+                    .map(|e| eval(e, &folded, &ectx))
+                    .collect::<Result<_>>()?;
+                let slice = self.slices.entry(slice_start).or_insert_with(|| Slice {
+                    bytes: 0,
+                    kind: SliceKind::Pairs {
+                        pairs: HashMap::new(),
+                        order: Vec::new(),
+                    },
+                });
+                let SliceKind::Pairs { pairs, order } = &mut slice.kind else {
+                    return Err(Error::stream("ivm slice kind changed mid-stream"));
+                };
+                let pair = (jk, gk);
+                let accs = match pairs.get_mut(&pair) {
+                    Some(a) => a,
+                    None => {
+                        slice.bytes +=
+                            key_bytes(&pair.0) + key_bytes(&pair.1) + ACC_BYTES * agg.aggs.len();
+                        order.push(pair.clone());
+                        pairs
+                            .entry(pair)
+                            .or_insert_with(|| agg.aggs.iter().map(Accumulator::new).collect())
+                    }
+                };
+                update_accs(accs, &agg.aggs, &folded, &ectx)?;
+            }
+            IvmShape::Distinct { .. } => {
+                let slice = self.slices.entry(slice_start).or_insert_with(|| Slice {
+                    bytes: 0,
+                    kind: SliceKind::Rows {
+                        seen: HashSet::new(),
+                        order: Vec::new(),
+                    },
+                });
+                let SliceKind::Rows { seen, order } = &mut slice.kind else {
+                    return Err(Error::stream("ivm slice kind changed mid-stream"));
+                };
+                if seen.insert(folded.clone()) {
+                    slice.bytes += key_bytes(&folded);
+                    order.push(folded);
+                }
+            }
+        }
+        let _ = width;
+        self.delta_rows += 1;
+        Ok(())
+    }
+
+    /// Compose the anchor output for the window `[close - visible, close)`
+    /// by merging covered slices.
+    pub fn window_result(&self, close: Timestamp) -> Result<WindowOutput> {
+        let lo = close - self.visible;
+        match &self.shape {
+            IvmShape::Agg { agg, .. } => {
+                let mut merged: HashMap<&[Value], Vec<Accumulator>> = HashMap::new();
+                let mut order: Vec<&[Value]> = Vec::new();
+                for (_, slice) in self.slices.range(lo..close) {
+                    let SliceKind::Groups { groups, order: so } = &slice.kind else {
+                        return Err(Error::stream("ivm slice kind changed mid-stream"));
+                    };
+                    for key in so {
+                        let partial = &groups[key];
+                        match merged.get_mut(key.as_slice()) {
+                            Some(accs) => {
+                                for (a, p) in accs.iter_mut().zip(partial) {
+                                    a.merge(p)?;
+                                }
+                            }
+                            None => {
+                                order.push(key.as_slice());
+                                merged.insert(key.as_slice(), partial.clone());
+                            }
+                        }
+                    }
+                }
+                Ok(WindowOutput::Ready(compose_groups(agg, merged, order)?))
+            }
+            IvmShape::JoinAgg { join, agg, .. } => {
+                let mut merged: HashMap<&PairKey, Vec<Accumulator>> = HashMap::new();
+                let mut order: Vec<&PairKey> = Vec::new();
+                for (_, slice) in self.slices.range(lo..close) {
+                    let SliceKind::Pairs { pairs, order: so } = &slice.kind else {
+                        return Err(Error::stream("ivm slice kind changed mid-stream"));
+                    };
+                    for key in so {
+                        let partial = &pairs[key];
+                        match merged.get_mut(key) {
+                            Some(accs) => {
+                                for (a, p) in accs.iter_mut().zip(partial) {
+                                    a.merge(p)?;
+                                }
+                            }
+                            None => {
+                                order.push(key);
+                                merged.insert(key, partial.clone());
+                            }
+                        }
+                    }
+                }
+                let entries = order
+                    .into_iter()
+                    .map(|k| {
+                        let accs = merged.remove(k).unwrap_or_default();
+                        (k.0.clone(), k.1.clone(), accs)
+                    })
+                    .collect();
+                Ok(WindowOutput::NeedsTable(Box::new(JoinDelta {
+                    table: join.table.clone(),
+                    table_filter: join.table_filter.clone(),
+                    right_key: join.right_key.clone(),
+                    index_column: join.index_column.clone(),
+                    entries,
+                    aggs: agg.aggs.clone(),
+                    schema: agg.schema.clone(),
+                    global: agg.group_exprs.is_empty(),
+                })))
+            }
+            IvmShape::Distinct { schema, .. } => {
+                let mut seen: HashSet<&Row> = HashSet::new();
+                let mut rel = Relation::empty(schema.clone());
+                for (_, slice) in self.slices.range(lo..close) {
+                    let SliceKind::Rows { order, .. } = &slice.kind else {
+                        return Err(Error::stream("ivm slice kind changed mid-stream"));
+                    };
+                    for row in order {
+                        if seen.insert(row) {
+                            rel.push(row.clone());
+                        }
+                    }
+                }
+                Ok(WindowOutput::Ready(rel))
+            }
+        }
+    }
+
+    /// Drop slices no future window can reach: every slice whose end is at
+    /// or before `horizon` (= next close − visible).
+    pub fn evict(&mut self, horizon: Timestamp) {
+        let width = self.width;
+        self.slices.retain(|start, _| start + width > horizon);
+    }
+}
+
+fn compose_groups(
+    agg: &AggShape,
+    merged: HashMap<&[Value], Vec<Accumulator>>,
+    order: Vec<&[Value]>,
+) -> Result<Relation> {
+    let mut rel = Relation::empty(agg.schema.clone());
+    if merged.is_empty() && agg.group_exprs.is_empty() {
+        // Global aggregate over an empty window: defaults row, exactly as
+        // the re-evaluated aggregate produces.
+        rel.push(
+            agg.aggs
+                .iter()
+                .map(|s| Accumulator::new(s).finish())
+                .collect(),
+        );
+        return Ok(rel);
+    }
+    for key in order {
+        let accs = &merged[key];
+        let mut row: Row = key.to_vec();
+        row.extend(accs.iter().map(Accumulator::finish));
+        rel.push(row);
+    }
+    Ok(rel)
+}
+
+fn update_accs(
+    accs: &mut [Accumulator],
+    specs: &[AggSpec],
+    row: &Row,
+    ectx: &EvalContext,
+) -> Result<()> {
+    for (acc, spec) in accs.iter_mut().zip(specs) {
+        match &spec.arg {
+            Some(arg) => {
+                let v = eval(arg, row, ectx)?;
+                acc.update(Some(&v))?;
+            }
+            None => acc.update(None)?,
+        }
+    }
+    Ok(())
+}
+
+fn apply_ops(ops: &[RowOp], row: &Row, ectx: &EvalContext) -> Result<Option<Row>> {
+    let mut cur = row.clone();
+    for op in ops {
+        match op {
+            RowOp::Filter(pred) => {
+                if !eval_predicate(pred, &cur, ectx)? {
+                    return Ok(None);
+                }
+            }
+            RowOp::Project(exprs) => {
+                cur = exprs
+                    .iter()
+                    .map(|e| eval(e, &cur, ectx))
+                    .collect::<Result<_>>()?;
+            }
+        }
+    }
+    Ok(Some(cur))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use streamrel_sql::plan::{AggFunc, LogicalPlan};
+    use streamrel_types::time::MINUTES;
+    use streamrel_types::{row, Column, DataType, Schema};
+
+    use crate::lower::{AggShape, JoinShape, StreamPrefix};
+
+    fn stream_schema() -> SchemaRef {
+        Arc::new(
+            Schema::new(vec![
+                Column::new("url", DataType::Text),
+                Column::not_null("atime", DataType::Timestamp),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn col0() -> BoundExpr {
+        BoundExpr::Column {
+            index: 0,
+            ty: DataType::Text,
+        }
+    }
+
+    fn count_spec() -> AggSpec {
+        AggSpec {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+            name: "count".into(),
+            ty: DataType::Int,
+        }
+    }
+
+    fn prefix(ops: Vec<RowOp>) -> StreamPrefix {
+        StreamPrefix {
+            stream: "url_stream".into(),
+            input_schema: stream_schema(),
+            cqtime: 1,
+            ops,
+        }
+    }
+
+    fn count_agg(grouped: bool) -> AggShape {
+        let (group_exprs, cols) = if grouped {
+            (
+                vec![col0()],
+                vec![
+                    Column::new("url", DataType::Text),
+                    Column::new("count", DataType::Int),
+                ],
+            )
+        } else {
+            (vec![], vec![Column::new("count", DataType::Int)])
+        };
+        AggShape {
+            group_exprs,
+            aggs: vec![count_spec()],
+            schema: Arc::new(Schema::new_unchecked(cols)),
+        }
+    }
+
+    fn program(shape: IvmShape, visible: i64, advance: i64) -> IvmProgram {
+        IvmProgram {
+            shape,
+            post_plan: LogicalPlan::OneRow,
+            visible,
+            advance,
+        }
+    }
+
+    fn agg_state(ops: Vec<RowOp>, grouped: bool, visible: i64, advance: i64) -> IvmState {
+        IvmState::new(&program(
+            IvmShape::Agg {
+                prefix: prefix(ops),
+                agg: count_agg(grouped),
+            },
+            visible,
+            advance,
+        ))
+    }
+
+    fn tup(url: &str, ts: i64) -> Row {
+        row![url, Value::Timestamp(ts)]
+    }
+
+    fn ready(out: WindowOutput) -> Relation {
+        match out {
+            WindowOutput::Ready(rel) => rel,
+            WindowOutput::NeedsTable(_) => panic!("expected Ready output"),
+        }
+    }
+
+    #[test]
+    fn agg_window_merges_slices() {
+        let mut s = agg_state(vec![], true, 2 * MINUTES, MINUTES);
+        assert_eq!(s.slice_width(), MINUTES);
+        s.on_tuple(&tup("/a", 10)).unwrap();
+        s.on_tuple(&tup("/a", 20)).unwrap();
+        s.on_tuple(&tup("/b", MINUTES + 5)).unwrap();
+        let rel = ready(s.window_result(2 * MINUTES).unwrap());
+        assert_eq!(rel.rows(), &[row!["/a", 2i64], row!["/b", 1i64]]);
+        assert_eq!(s.delta_rows(), 3);
+        assert!(s.state_bytes() > 0);
+    }
+
+    #[test]
+    fn shorter_visible_sees_only_recent_slices() {
+        let mut s = agg_state(vec![], true, MINUTES, MINUTES);
+        s.on_tuple(&tup("/a", 10)).unwrap();
+        s.on_tuple(&tup("/b", MINUTES + 5)).unwrap();
+        let rel = ready(s.window_result(2 * MINUTES).unwrap());
+        assert_eq!(rel.rows(), &[row!["/b", 1i64]]);
+    }
+
+    #[test]
+    fn filter_op_applies_before_slicing() {
+        let like = BoundExpr::Like {
+            expr: Box::new(col0()),
+            pattern: Box::new(BoundExpr::Literal(Value::text("/a%"))),
+            negated: false,
+        };
+        let mut s = agg_state(vec![RowOp::Filter(like)], true, MINUTES, MINUTES);
+        s.on_tuple(&tup("/a1", 10)).unwrap();
+        s.on_tuple(&tup("/b1", 20)).unwrap();
+        let rel = ready(s.window_result(MINUTES).unwrap());
+        assert_eq!(rel.rows(), &[row!["/a1", 1i64]]);
+        assert_eq!(s.delta_rows(), 1, "filtered rows never reach state");
+    }
+
+    #[test]
+    fn empty_global_aggregate_yields_defaults() {
+        let s = agg_state(vec![], false, MINUTES, MINUTES);
+        let rel = ready(s.window_result(MINUTES).unwrap());
+        assert_eq!(rel.rows(), &[row![0i64]]);
+    }
+
+    #[test]
+    fn eviction_drops_unreachable_slices() {
+        let mut s = agg_state(vec![], true, MINUTES, MINUTES);
+        for i in 0..10 {
+            s.on_tuple(&tup("/a", i * MINUTES + 1)).unwrap();
+        }
+        assert_eq!(s.slice_count(), 10);
+        s.evict(2 * MINUTES);
+        assert_eq!(s.slice_count(), 8);
+        let bytes = s.state_bytes();
+        s.evict(10 * MINUTES);
+        assert_eq!(s.slice_count(), 0);
+        assert!(s.state_bytes() < bytes);
+    }
+
+    #[test]
+    fn distinct_first_seen_across_slices() {
+        let shape = IvmShape::Distinct {
+            prefix: prefix(vec![RowOp::Project(vec![col0()])]),
+            schema: Arc::new(Schema::new_unchecked(vec![Column::new(
+                "url",
+                DataType::Text,
+            )])),
+        };
+        let mut s = IvmState::new(&program(shape, 2 * MINUTES, MINUTES));
+        s.on_tuple(&tup("/a", 10)).unwrap();
+        s.on_tuple(&tup("/b", 20)).unwrap();
+        s.on_tuple(&tup("/a", MINUTES + 5)).unwrap();
+        let rel = ready(s.window_result(2 * MINUTES).unwrap());
+        assert_eq!(rel.rows(), &[row!["/a"], row!["/b"]]);
+    }
+
+    fn join_state() -> IvmState {
+        let shape = IvmShape::JoinAgg {
+            prefix: prefix(vec![]),
+            join: JoinShape {
+                left_key: vec![col0()],
+                table: "dims".into(),
+                table_schema: dims_schema(),
+                table_filter: None,
+                right_key: vec![col0()],
+                index_column: Some("url".into()),
+            },
+            agg: count_agg(true),
+        };
+        IvmState::new(&program(shape, MINUTES, MINUTES))
+    }
+
+    fn dims_schema() -> SchemaRef {
+        Arc::new(
+            Schema::new(vec![
+                Column::new("url", DataType::Text),
+                Column::new("weight", DataType::Int),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn dims_rel() -> Relation {
+        let mut rel = Relation::empty(dims_schema());
+        rel.push(row!["/a", 1i64]);
+        rel.push(row!["/a", 2i64]);
+        rel.push(row!["/b", 3i64]);
+        rel
+    }
+
+    fn delta(s: &IvmState, close: i64) -> Box<JoinDelta> {
+        match s.window_result(close).unwrap() {
+            WindowOutput::NeedsTable(d) => d,
+            WindowOutput::Ready(_) => panic!("expected NeedsTable output"),
+        }
+    }
+
+    #[test]
+    fn join_delta_scales_by_match_count() {
+        let mut s = join_state();
+        s.on_tuple(&tup("/a", 10)).unwrap();
+        s.on_tuple(&tup("/a", 20)).unwrap();
+        s.on_tuple(&tup("/b", 30)).unwrap();
+        s.on_tuple(&tup("/c", 40)).unwrap();
+        let d = delta(&s, MINUTES);
+        let source = streamrel_exec::source::MapSource::new().with("dims", dims_rel());
+        let rel = d.finalize(&source).unwrap();
+        // `/a` matches 2 dim rows (2 tuples × 2), `/c` matches none.
+        assert_eq!(rel.rows(), &[row!["/a", 4i64], row!["/b", 1i64]]);
+    }
+
+    #[test]
+    fn join_delta_index_path_matches_scan_path() {
+        struct Indexed(Relation);
+        impl RelationSource for Indexed {
+            fn scan_table(&self, _: &str) -> Result<Relation> {
+                panic!("index path must not scan");
+            }
+            fn index_lookup(&self, _: &str, _: &str, key: &Value) -> Result<Option<Vec<Row>>> {
+                Ok(Some(
+                    self.0
+                        .rows()
+                        .iter()
+                        .filter(|r| r[0] == *key)
+                        .cloned()
+                        .collect(),
+                ))
+            }
+        }
+        let mut s = join_state();
+        s.on_tuple(&tup("/a", 10)).unwrap();
+        s.on_tuple(&tup("/b", 30)).unwrap();
+        let d = delta(&s, MINUTES);
+        let via_index = d.finalize(&Indexed(dims_rel())).unwrap();
+        let via_scan = d
+            .finalize(&streamrel_exec::source::MapSource::new().with("dims", dims_rel()))
+            .unwrap();
+        assert_eq!(via_index.rows(), via_scan.rows());
+        assert_eq!(via_index.rows(), &[row!["/a", 2i64], row!["/b", 1i64]]);
+    }
+
+    #[test]
+    fn null_join_keys_never_staged() {
+        let mut s = join_state();
+        s.on_tuple(&row![Value::Null, Value::Timestamp(10)])
+            .unwrap();
+        let d = delta(&s, MINUTES);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn empty_global_join_aggregate_yields_defaults() {
+        let shape = IvmShape::JoinAgg {
+            prefix: prefix(vec![]),
+            join: JoinShape {
+                left_key: vec![col0()],
+                table: "dims".into(),
+                table_schema: dims_schema(),
+                table_filter: None,
+                right_key: vec![col0()],
+                index_column: None,
+            },
+            agg: count_agg(false),
+        };
+        let s = IvmState::new(&program(shape, MINUTES, MINUTES));
+        let d = delta(&s, MINUTES);
+        let source = streamrel_exec::source::MapSource::new().with("dims", dims_rel());
+        let rel = d.finalize(&source).unwrap();
+        assert_eq!(rel.rows(), &[row![0i64]]);
+    }
+}

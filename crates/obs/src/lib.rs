@@ -19,7 +19,7 @@
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{Counter, Gauge, Histogram, IvmMetrics, Registry};
 pub use trace::{TraceEvent, TraceRing};
 
 use std::sync::Arc;

@@ -328,6 +328,34 @@ pub fn metrics_schema() -> Schema {
     .expect("metrics schema is well-formed")
 }
 
+/// Arc-cached handles for the IVM subsystem's instruments.
+///
+/// Registered once per lowering decision (get-or-create, like every
+/// registry access); the CQ runtime clones the per-tuple handles into
+/// each lowered CQ so delta accounting never touches the registry lock.
+pub struct IvmMetrics {
+    /// CQs lowered to incremental view maintenance.
+    pub lowered: Arc<Counter>,
+    /// CQs that fell back to per-window re-evaluation.
+    pub fallback: Arc<Counter>,
+    /// Stream tuples folded into IVM slice state.
+    pub delta_rows: Arc<Counter>,
+    /// Approximate bytes of live IVM state across CQs.
+    pub state_bytes: Arc<Gauge>,
+}
+
+impl IvmMetrics {
+    /// Register (or re-attach to) the `ivm.*` instruments in `registry`.
+    pub fn register(registry: &Registry) -> IvmMetrics {
+        IvmMetrics {
+            lowered: registry.counter("ivm.lowered"),
+            fallback: registry.counter("ivm.fallback"),
+            delta_rows: registry.counter("ivm.delta.rows"),
+            state_bytes: registry.gauge("ivm.state.bytes"),
+        }
+    }
+}
+
 fn opt_int(v: Option<u64>) -> Value {
     match v {
         Some(v) => Value::Int(v as i64),

@@ -64,6 +64,11 @@ pub mod cq {
     pub use streamrel_cq::*;
 }
 
+/// Incremental view maintenance (delta processing for eligible CQs).
+pub mod ivm {
+    pub use streamrel_ivm::*;
+}
+
 /// Baselines: store-first, batch materialized views, mini map/reduce.
 pub mod baseline {
     pub use streamrel_baseline::*;

@@ -146,7 +146,7 @@ fn explain_check_reports_without_registering() {
         .iter()
         .map(|c| c.name.as_str())
         .collect();
-    assert_eq!(cols, ["kind", "rule", "detail", "hint"]);
+    assert_eq!(cols, ["kind", "rule", "detail", "hint", "path"]);
     let dump = format!("{:?}", rel.rows());
     assert!(dump.contains("continuous query"), "{dump}");
     assert!(dump.contains("reject"), "{dump}");

@@ -116,6 +116,115 @@ fn failed_fsync_poisons_the_wal_until_reopen() {
     assert_eq!(e.catalog_get("after").as_deref(), Some("recovery"));
 }
 
+// ---- disk full: a rejected append poisons the WAL -------------------------
+
+/// `ENOSPC` on a WAL append means the log's in-memory offset no longer
+/// matches the file: the WAL must poison itself with a typed error (not
+/// panic, not silently retry) and a reopen over the surviving bytes must
+/// recover every acknowledged commit.
+#[test]
+fn disk_full_append_poisons_the_wal_until_reopen() {
+    let io = FaultIo::new(FaultPlan::disk_full_at(13, 2));
+    let dynio: Arc<dyn Io> = io.clone();
+    let e = StorageEngine::open_with_io("/sim/db", SyncMode::Fsync, dynio).unwrap();
+
+    // Put keys until the injected ENOSPC hits one of them.
+    let mut acked = Vec::new();
+    let mut enospc = None;
+    for i in 0..8 {
+        let k = format!("k{i}");
+        match e.catalog_put(&k, "v") {
+            Ok(()) => acked.push(k),
+            Err(err) => {
+                enospc = Some(err);
+                break;
+            }
+        }
+    }
+    let err = enospc.expect("the scheduled ENOSPC never fired");
+    assert!(
+        matches!(&err, Error::Io(m) if m.contains("ENOSPC")),
+        "expected the injected ENOSPC, got {err}"
+    );
+    assert!(e.wal_poisoned(), "failed append must poison the WAL");
+    let err = e.catalog_put("later", "v").unwrap_err();
+    assert!(matches!(err, Error::WalPoisoned(_)), "got {err}");
+    let rel = e.metrics().to_relation();
+    let injected = rel
+        .rows()
+        .iter()
+        .find(|r| r.first() == Some(&Value::text("fault.injected.disk_full")))
+        .and_then(|r| r.get(2).cloned());
+    assert_eq!(injected, Some(Value::Int(1)));
+
+    // Reopen over the surviving bytes: every acknowledged put is durable
+    // (Fsync mode) and the log accepts writes again.
+    let image = io.image();
+    drop(e);
+    let rio = FaultIo::from_image(&image, FaultPlan::none(0));
+    let dynio: Arc<dyn Io> = rio.clone();
+    let e = StorageEngine::open_with_io("/sim/db", SyncMode::Fsync, dynio).unwrap();
+    assert!(!e.wal_poisoned());
+    for k in &acked {
+        assert_eq!(e.catalog_get(k).as_deref(), Some("v"), "lost {k}");
+    }
+    e.catalog_put("after", "recovery").unwrap();
+}
+
+// ---- bad sector: corrupt reads at open surface typed errors ---------------
+
+/// A latent bad sector under the WAL or checkpoint surfaces at the *next
+/// open*, when recovery reads the file back. Whatever single bit flips,
+/// open must either succeed (the CRC scan truncates at the break) or
+/// return a typed error — never panic — and a successful open must leave
+/// a working engine.
+#[test]
+fn corrupt_read_at_open_never_panics() {
+    // Build a durable image with real content to corrupt.
+    let io = FaultIo::new(FaultPlan::none(23));
+    let dynio: Arc<dyn Io> = io.clone();
+    let e = StorageEngine::open_with_io("/sim/db", SyncMode::Fsync, dynio).unwrap();
+    for i in 0..6 {
+        e.catalog_put(&format!("k{i}"), "v").unwrap();
+    }
+    e.checkpoint().unwrap();
+    for i in 6..10 {
+        e.catalog_put(&format!("k{i}"), "v").unwrap();
+    }
+    let image = io.image();
+    drop(e);
+
+    // Open reads the checkpoint then the WAL; sweep the bad sector over
+    // the first few reads across many seeds (= many flip offsets).
+    let mut opened = 0u32;
+    let mut rejected = 0u32;
+    for read_idx in 0..3u64 {
+        for seed in 0..32u64 {
+            let rio = FaultIo::from_image(&image, FaultPlan::corrupt_read_at(seed, read_idx));
+            let dynio: Arc<dyn Io> = rio.clone();
+            match StorageEngine::open_with_io("/sim/db", SyncMode::Fsync, dynio) {
+                Ok(e) => {
+                    // Recovery truncated at the break; the engine works.
+                    e.catalog_put("post", "open").unwrap();
+                    assert_eq!(e.catalog_get("post").as_deref(), Some("open"));
+                    opened += 1;
+                }
+                Err(err) => {
+                    // Typed rejection is acceptable; a panic is not.
+                    assert!(
+                        matches!(err, Error::Io(_) | Error::Storage(_)),
+                        "untyped error from corrupt open: {err}"
+                    );
+                    rejected += 1;
+                }
+            }
+        }
+    }
+    // The sweep must actually exercise both outcomes somewhere.
+    assert!(opened > 0, "no corrupt open ever recovered");
+    assert!(rejected > 0, "no corrupt open was ever detected");
+}
+
 // ---- torn tail: replay truncates at the first invalid frame ---------------
 
 #[test]
@@ -201,6 +310,8 @@ fn fault_metrics_appear_and_survive_registry_restart() {
         "fault.injected.crashes",
         "fault.injected.sync_errors",
         "fault.injected.short_writes",
+        "fault.injected.disk_full",
+        "fault.injected.corrupt_reads",
         "wal.poisoned",
     ];
     let names = |db: &Db| -> Vec<String> {

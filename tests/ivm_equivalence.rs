@@ -1,0 +1,262 @@
+//! IVM ↔ re-evaluation equivalence suite.
+//!
+//! The incremental view maintenance path is an *optimization*, not a
+//! semantics change: for every plan it accepts, its per-window output
+//! must be byte-identical — schema, row order, and values — to what the
+//! re-evaluation executor produces from the buffered window. This suite
+//! pins that contract three ways:
+//!
+//! * table-driven cases over the public SQL surface (aggregates with and
+//!   without GROUP BY, stream-table joins, DISTINCT, ordered post-plans,
+//!   out-of-order arrival under slack, and forced-fallback shapes),
+//!   each run twice — `DbOptions::without_sharing()` vs the same with
+//!   `without_ivm()` — and compared byte for byte, with `EXPLAIN CHECK`
+//!   asserting which path the plan takes;
+//! * a property test sweeping randomized workloads through both
+//!   configurations;
+//! * the crash-recovery torture harness's IVM sweep: a sliding window
+//!   crashed at every mutating I/O op (including mid-slice), recovered,
+//!   re-driven, and required to match the uncrashed reference.
+
+use proptest::prelude::*;
+use proptest::test_runner::Config;
+use streamrel::types::time::{MINUTES, SECONDS};
+use streamrel::types::Value;
+use streamrel::{Db, DbOptions};
+use streamrel_bench::torture::ivm_sweep;
+
+const DDL: &[&str] = &[
+    "CREATE STREAM hits (url varchar(32), v integer, ts timestamp CQTIME USER)",
+    "CREATE TABLE sites (url varchar(32), owner varchar(32))",
+    "INSERT INTO sites VALUES ('/u0', 'alice'), ('/u1', 'bob'), ('/u2', 'carol')",
+];
+
+/// (case name, CQ, `EXPLAIN CHECK` path the plan must report).
+const CASES: &[(&str, &str, &str)] = &[
+    (
+        "grouped-count",
+        "SELECT url, count(*) c FROM hits \
+         <VISIBLE '2 minutes' ADVANCE '30 seconds'> GROUP BY url",
+        "ivm",
+    ),
+    (
+        "grouped-sum-min-max",
+        "SELECT url, sum(v) s, min(v) lo, max(v) hi FROM hits \
+         <VISIBLE '3 minutes' ADVANCE '1 minute'> GROUP BY url",
+        "ivm",
+    ),
+    (
+        "global-count-avg",
+        "SELECT count(*) c, avg(v) a FROM hits <TUMBLING '1 minute'>",
+        "ivm",
+    ),
+    (
+        "distinct",
+        "SELECT DISTINCT url FROM hits <VISIBLE '2 minutes' ADVANCE '1 minute'>",
+        "ivm",
+    ),
+    (
+        "join-agg",
+        "SELECT h.url, count(*) c FROM hits \
+         <VISIBLE '2 minutes' ADVANCE '1 minute'> h \
+         JOIN sites s ON h.url = s.url GROUP BY h.url",
+        "ivm",
+    ),
+    (
+        "ordered-post-plan",
+        "SELECT url, count(*) c FROM hits \
+         <VISIBLE '2 minutes' ADVANCE '1 minute'> GROUP BY url \
+         ORDER BY c DESC, url",
+        "ivm",
+    ),
+    (
+        "float-agg-falls-back",
+        "SELECT sum(v * 0.5) s FROM hits <TUMBLING '1 minute'>",
+        "reeval",
+    ),
+    (
+        "rows-window-falls-back",
+        "SELECT url, count(*) c FROM hits \
+         <VISIBLE 100 ROWS ADVANCE 50 ROWS> GROUP BY url",
+        "reeval",
+    ),
+];
+
+fn ivm_on() -> DbOptions {
+    DbOptions::default().without_sharing()
+}
+
+fn ivm_off() -> DbOptions {
+    DbOptions::default().without_sharing().without_ivm()
+}
+
+fn db_with(opts: DbOptions) -> Db {
+    let db = Db::in_memory(opts);
+    for sql in DDL {
+        db.execute(sql).unwrap();
+    }
+    db
+}
+
+fn metric(db: &Db, name: &str) -> i64 {
+    let rel = db
+        .execute(&format!(
+            "SELECT value FROM streamrel_metrics WHERE name = '{name}'"
+        ))
+        .unwrap()
+        .rows();
+    rel.rows()
+        .first()
+        .and_then(|r| r.first())
+        .and_then(|v| v.as_int().ok())
+        .unwrap_or(0)
+}
+
+/// The `path` column `EXPLAIN CHECK` reports for `cq` (constant on every
+/// report row).
+fn explain_path(db: &Db, cq: &str) -> String {
+    let rel = db.execute(&format!("EXPLAIN CHECK {cq}")).unwrap().rows();
+    match rel.rows().first().and_then(|r| r.get(4)) {
+        Some(Value::Text(s)) => s.to_string(),
+        other => panic!("no path column in EXPLAIN CHECK output: {other:?}"),
+    }
+}
+
+/// Run `cq` over `rows` (plus a closing heartbeat), canonicalize every
+/// emitted window, and report how many CQs lowered to the IVM path.
+fn windows(opts: DbOptions, cq: &str, rows: &[(String, i64, i64)]) -> (String, i64) {
+    let db = db_with(opts);
+    let sub = db.execute(cq).unwrap().subscription();
+    for (url, v, ts) in rows {
+        db.ingest(
+            "hits",
+            vec![
+                Value::text(url.clone()),
+                Value::Int(*v),
+                Value::Timestamp(*ts),
+            ],
+        )
+        .unwrap();
+    }
+    let last = rows.last().map(|(_, _, ts)| *ts).unwrap_or(0);
+    db.heartbeat("hits", last + 10 * MINUTES).unwrap();
+    let mut out = String::new();
+    for o in db.poll(sub).unwrap() {
+        out.push_str(&format!(
+            "close={} schema={:?}\n",
+            o.close,
+            o.relation.schema()
+        ));
+        for r in o.relation.rows() {
+            out.push_str(&format!("{r:?}\n"));
+        }
+    }
+    (out, metric(&db, "ivm.lowered"))
+}
+
+/// Deterministic workload: irregular timestamp steps (1..29 s) so tuples
+/// cross slice boundaries unevenly, five URLs (two of which have no
+/// `sites` match), signed values.
+fn fixed_rows(n: usize) -> Vec<(String, i64, i64)> {
+    let mut ts = 0i64;
+    (0..n)
+        .map(|i| {
+            ts += ((i as i64 * 7919) % 29 + 1) * SECONDS;
+            (format!("/u{}", i % 5), (i as i64 * 31) % 97 - 48, ts)
+        })
+        .collect()
+}
+
+#[test]
+fn every_case_is_byte_identical_and_takes_its_declared_path() {
+    let rows = fixed_rows(300);
+    for (name, cq, path) in CASES {
+        // Static path report, with and without the option.
+        assert_eq!(
+            explain_path(&db_with(ivm_on()), cq),
+            *path,
+            "{name}: wrong EXPLAIN CHECK path"
+        );
+        assert_eq!(
+            explain_path(&db_with(ivm_off()), cq),
+            "reeval",
+            "{name}: disabling IVM must force the reeval path"
+        );
+
+        // Dynamic equivalence: both executors, same tuples, same bytes.
+        let (incr, lowered_on) = windows(ivm_on(), cq, &rows);
+        let (reeval, lowered_off) = windows(ivm_off(), cq, &rows);
+        assert!(!incr.is_empty(), "{name}: no windows emitted");
+        assert_eq!(incr, reeval, "{name}: IVM output diverges from re-eval");
+        assert_eq!(
+            lowered_on,
+            (*path == "ivm") as i64,
+            "{name}: runtime lowering disagrees with the declared path"
+        );
+        assert_eq!(lowered_off, 0, "{name}: IVM lowered despite without_ivm()");
+    }
+}
+
+#[test]
+fn out_of_order_arrival_under_slack_stays_identical() {
+    // Swap adjacent tuples so arrival order differs from CQTIME order,
+    // within a 60-second slack.
+    let mut rows = fixed_rows(200);
+    for i in (1..rows.len()).step_by(7) {
+        rows.swap(i - 1, i);
+    }
+    let cq = CASES[0].1;
+    let slack = 60 * SECONDS;
+    let (incr, lowered) = windows(ivm_on().with_slack(slack), cq, &rows);
+    let (reeval, _) = windows(ivm_off().with_slack(slack), cq, &rows);
+    assert_eq!(lowered, 1);
+    assert!(!incr.is_empty());
+    assert_eq!(incr, reeval, "out-of-order IVM output diverges");
+}
+
+proptest! {
+    #![proptest_config(Config::with_cases(8))]
+    /// Arbitrary workloads (key choice, values, irregular gaps) through
+    /// every eligible case shape: both paths byte-identical.
+    #[test]
+    fn random_workloads_are_byte_identical(
+        raw in prop::collection::vec((0usize..5, -50i64..50, 1i64..30), 20..150),
+        case in 0usize..6,
+    ) {
+        let mut ts = 0i64;
+        let rows: Vec<(String, i64, i64)> = raw
+            .iter()
+            .map(|(k, v, gap)| {
+                ts += gap * SECONDS;
+                (format!("/u{k}"), *v, ts)
+            })
+            .collect();
+        let cq = CASES[case].1;
+        let (incr, lowered) = windows(ivm_on(), cq, &rows);
+        let (reeval, _) = windows(ivm_off(), cq, &rows);
+        prop_assert_eq!(lowered, 1, "case {} must lower", CASES[case].0);
+        prop_assert_eq!(incr, reeval, "case {} diverges", CASES[case].0);
+    }
+}
+
+/// The torture harness's IVM entry: a sliding grouped count crashed at
+/// every mutating I/O operation — including mid-slice, with partial
+/// aggregate state in memory — recovered from the frozen disk image,
+/// re-driven, and required to be byte-identical to the uncrashed
+/// reference. (The nightly lane runs the same sweep at higher counts via
+/// `recovery_torture`.)
+#[test]
+fn crash_mid_slice_recovery_is_byte_identical() {
+    let out = ivm_sweep(0xC0FFEE, 12).unwrap();
+    assert!(
+        out.crash_points >= 30,
+        "only {} crash points exercised",
+        out.crash_points
+    );
+    let failures: Vec<String> = out
+        .failures
+        .iter()
+        .map(|f| format!("seed={} op={}: {}", f.seed, f.op, f.detail))
+        .collect();
+    assert!(failures.is_empty(), "divergences:\n{}", failures.join("\n"));
+}

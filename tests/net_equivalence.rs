@@ -364,3 +364,57 @@ fn check_rejection_is_byte_identical_embedded_and_remote() {
     client.close().unwrap();
     server.shutdown();
 }
+
+#[test]
+fn explain_check_report_is_byte_identical_embedded_and_remote() {
+    // `EXPLAIN CHECK` output is an ordinary relation (kind, rule,
+    // detail, hint, path): a remote client must receive exactly the
+    // bytes the embedded API produces, including the `path` column's
+    // IVM-vs-reeval verdict.
+    let cases = [
+        // Eligible grouped aggregate: lowered to delta processing.
+        (
+            "SELECT v, count(*) c FROM events \
+             <VISIBLE '2 minutes' ADVANCE '1 minute'> GROUP BY v",
+            "ivm",
+        ),
+        // ROWS window: re-evaluation, with an ivm-fallback info row.
+        (
+            "SELECT v FROM events <VISIBLE 10 ROWS ADVANCE 10 ROWS>",
+            "reeval",
+        ),
+        // Snapshot query: no standing state, no path.
+        ("SELECT 1 one", "-"),
+    ];
+
+    let embedded = Db::in_memory(DbOptions::default());
+    embedded.execute(DDL).unwrap();
+
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    let server = Server::serve(db.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let client = Client::connect(addr).unwrap();
+    client.execute(DDL).unwrap();
+
+    for (sql, want_path) in cases {
+        let explain = format!("EXPLAIN CHECK {sql}");
+        let local = match embedded.execute(&explain).unwrap() {
+            ExecResult::Rows(rel) => rel,
+            other => panic!("{explain}: expected rows, got {other:?}"),
+        };
+        let remote = client.execute(&explain).unwrap();
+        assert_eq!(
+            wire::encode_rows(&local),
+            wire::encode_rows(&remote),
+            "{explain}: embedded and remote reports differ"
+        );
+        match remote.rows().first().and_then(|r| r.get(4)) {
+            Some(Value::Text(p)) if p.as_ref() == want_path => {}
+            other => panic!("{explain}: expected path {want_path}, got {other:?}"),
+        }
+        // EXPLAIN CHECK registers nothing on either side.
+        assert_eq!(db.stats().live_subs, 0);
+    }
+    client.close().unwrap();
+    server.shutdown();
+}
