@@ -1,31 +1,36 @@
-//! ingest_parallel — aggregate ingest throughput under the sharded
-//! execution core vs the seed's single-lock baseline.
+//! ingest_parallel — *durable* aggregate ingest throughput under the
+//! sharded execution core + per-shard WAL vs the seed's single-lock,
+//! single-log baseline.
 //!
 //! Four base streams are fed by four concurrent ingester threads for a
 //! fixed wall-clock window. Three streams carry a cheap tumbling count;
 //! the fourth carries a deliberately expensive CQ (a grouped sliding
-//! window that re-scans a large buffer on every close). Under the
-//! single-lock baseline every window close on the slow stream stalls
-//! ingest on all three fast streams; under per-stream shards it stalls
-//! only its own. The aggregate rows/sec across all four streams is the
-//! headline number — the isolation win shows up even on a single-core
-//! host, because baseline ingesters are *blocked* on the one lock while
-//! sharded ingesters stay runnable.
+//! window that re-scans a large buffer on every close). Every stream
+//! also archives its raw tuples through an APPEND channel, so each
+//! ingest batch commits through the WAL — this is the path that
+//! regressed when the sharded core (PR 4) funneled every shard's commit
+//! through one `Mutex<Wal>`. The sharded configuration routes each
+//! shard to its own `wal-<k>.log` commit domain with group commit
+//! (DESIGN.md §13); the baseline pins one shard and one log.
 //!
 //! The run records the measurement to `BENCH_ingest_parallel.json` and
 //! fails (non-zero exit, for the CI smoke job) if the sharded
 //! configuration does not reach `MIN_SPEEDUP` over the baseline. The
 //! floor is only enforced when the host actually has `STREAMS` cores:
-//! on fewer cores the total CPU budget is fixed, so no lock layout can
-//! multiply aggregate throughput and the number is reported as-is.
+//! on fewer cores the total CPU budget is fixed, so no lock or log
+//! layout can multiply aggregate throughput. A skipped floor is recorded
+//! honestly: the JSON carries `"skipped": true` plus the reason, so a
+//! dashboard can never mistake a too-small host for a pass.
 
 #![deny(unsafe_code)]
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use streamrel_bench::ResultTable;
 use streamrel_core::{Db, DbOptions};
+use streamrel_storage::SyncMode;
 use streamrel_types::Value;
 
 /// Streams, ingester threads, and shards in the sharded configuration.
@@ -50,6 +55,13 @@ fn setup(db: &Db) {
             "SELECT count(*) c, cq_close(*) w FROM s{i} <TUMBLING '1 minute'>"
         ))
         .unwrap();
+        // Raw archive: every ingested batch commits through the WAL.
+        db.execute(&format!("CREATE TABLE raw{i} (v integer, ts timestamp)"))
+            .unwrap();
+        db.execute(&format!(
+            "CREATE CHANNEL ch{i} FROM s{i} INTO raw{i} APPEND"
+        ))
+        .unwrap();
     }
     // The slow stream: every 5-second advance re-scans a 10-minute
     // buffer, grouped and sorted — a stand-in for an expensive report.
@@ -61,11 +73,21 @@ fn setup(db: &Db) {
          GROUP BY k ORDER BY c DESC, k",
     )
     .unwrap();
+    db.execute("CREATE TABLE rawslow (k varchar(8), ts timestamp)")
+        .unwrap();
+    db.execute("CREATE CHANNEL chslow FROM slow INTO rawslow APPEND")
+        .unwrap();
 }
 
-/// Feed all four streams concurrently for `RUN`; return aggregate rows/s.
-fn run(opts: DbOptions) -> f64 {
-    let db = Db::in_memory(opts);
+/// Feed all four streams concurrently for `RUN` against a durable
+/// database in a scratch directory; return aggregate rows/s.
+fn run(tag: &str, opts: DbOptions) -> f64 {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "streamrel-ingest-parallel-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Db::open(&dir, opts).unwrap();
     setup(&db);
     let total = AtomicU64::new(0);
     let start = Instant::now();
@@ -102,42 +124,72 @@ fn run(opts: DbOptions) -> f64 {
             }
         });
     });
-    total.load(Ordering::SeqCst) as f64 / start.elapsed().as_secs_f64()
+    let tps = total.load(Ordering::SeqCst) as f64 / start.elapsed().as_secs_f64();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    tps
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("ingest_parallel: sharded execution core vs single-lock baseline\n");
+    println!(
+        "ingest_parallel: sharded core + per-shard WAL vs \
+         single-lock, single-log baseline (durable, Fsync)\n"
+    );
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    let baseline = run(DbOptions::default().with_shards(1).with_pool_workers(0));
-    let sharded = run(DbOptions::default().with_shards(STREAMS));
+    let baseline = run(
+        "baseline",
+        DbOptions::default()
+            .with_sync(SyncMode::Fsync)
+            .with_shards(1)
+            .with_wal_shards(1)
+            .with_pool_workers(0),
+    );
+    let sharded = run(
+        "sharded",
+        DbOptions::default()
+            .with_sync(SyncMode::Fsync)
+            .with_shards(STREAMS)
+            .with_wal_shards(STREAMS),
+    );
     let speedup = sharded / baseline;
+    let skipped = cores < STREAMS;
+    let skip_reason = if skipped {
+        format!(
+            "host has {cores} core(s); the {MIN_SPEEDUP}x floor needs \
+             {STREAMS} — aggregate throughput cannot scale past the CPU budget"
+        )
+    } else {
+        String::new()
+    };
 
     let mut table = ResultTable::new(&["configuration", "aggregate rows/s"]);
-    table.row(&["single lock, inline eval".into(), format!("{baseline:.0}")]);
     table.row(&[
-        format!("{STREAMS} shards, worker pool"),
+        "1 shard, 1 wal log, inline eval".into(),
+        format!("{baseline:.0}"),
+    ]);
+    table.row(&[
+        format!("{STREAMS} shards, {STREAMS} wal logs, worker pool"),
         format!("{sharded:.0}"),
     ]);
     table.print();
     println!(
         "\n{STREAMS} streams / {STREAMS} ingesters on {cores} core(s): \
-         {speedup:.2}x aggregate throughput"
+         {speedup:.2}x aggregate durable throughput"
     );
 
     let json = format!(
         "{{\n  \"streams\": {STREAMS},\n  \"shards\": {STREAMS},\n  \
+         \"wal_shards\": {STREAMS},\n  \"durable\": true,\n  \
          \"cores\": {cores},\n  \"baseline_tps\": {baseline:.1},\n  \
-         \"sharded_tps\": {sharded:.1},\n  \"speedup\": {speedup:.3}\n}}\n"
+         \"sharded_tps\": {sharded:.1},\n  \"speedup\": {speedup:.3},\n  \
+         \"skipped\": {skipped},\n  \"skip_reason\": \"{skip_reason}\"\n}}\n"
     );
     std::fs::write("BENCH_ingest_parallel.json", json)?;
     println!("recorded BENCH_ingest_parallel.json");
 
-    if cores < STREAMS {
-        println!(
-            "SKIP: {MIN_SPEEDUP}x floor needs {STREAMS} cores (host has \
-             {cores}); aggregate throughput cannot scale past the CPU budget"
-        );
+    if skipped {
+        println!("SKIP: {skip_reason}");
         return Ok(());
     }
     if speedup < MIN_SPEEDUP {

@@ -13,6 +13,10 @@
 //!   the nightly lane runs many)
 //! * `TORTURE_STEPS`   — storage workload steps per seed (default 80)
 //! * `TORTURE_TUPLES`  — CQ workload tuples per seed (default 25)
+//! * `TORTURE_WAL_SHARDS` — commit domains for the multi-log storage
+//!   sweep (default 3; the single-log sweep always runs too). Each seed
+//!   also sweeps the checkpoint-rename/WAL-reset interleaving at this
+//!   domain count (DESIGN.md §13)
 //! * `TORTURE_ARTIFACT_DIR` — where failing disk images land (default
 //!   `target/torture-artifacts`)
 //!
@@ -27,7 +31,10 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use streamrel_bench::torture::{cq_sweep, engine_sweep, ivm_sweep, Failure, SweepOutcome};
+use streamrel_bench::torture::{
+    checkpoint_reset_sweep, cq_sweep, engine_sweep, engine_sweep_with_logs, ivm_sweep, Failure,
+    SweepOutcome,
+};
 use streamrel_bench::ResultTable;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -57,47 +64,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seeds = env_u64("TORTURE_SEEDS", 1).max(1);
     let steps = env_u64("TORTURE_STEPS", 80) as usize;
     let tuples = env_u64("TORTURE_TUPLES", 25) as usize;
+    let wal_shards = env_u64("TORTURE_WAL_SHARDS", 3).max(2) as usize;
     let artifact_dir = PathBuf::from(
         std::env::var("TORTURE_ARTIFACT_DIR").unwrap_or_else(|_| "target/torture-artifacts".into()),
     );
 
     println!(
         "recovery_torture: crash-at-every-op sweep, seeds {base_seed}..{} \
-         ({steps} storage steps + {tuples} CQ tuples per seed)\n",
+         ({steps} storage steps + {tuples} CQ tuples per seed; multi-log \
+         sweeps at {wal_shards} commit domains)\n",
         base_seed + seeds - 1
     );
 
     let start = Instant::now();
     let mut engine_total = SweepOutcome::default();
+    let mut multilog_total = SweepOutcome::default();
     let mut cq_total = SweepOutcome::default();
     let mut ivm_total = SweepOutcome::default();
     let mut table = ResultTable::new(&[
         "seed",
         "storage crash points",
+        "multilog crash points",
         "cq crash points",
         "ivm crash points",
         "fail",
     ]);
     for seed in base_seed..base_seed + seeds {
         let e = engine_sweep(seed, steps)?;
+        let mut m = engine_sweep_with_logs(seed, steps, wal_shards)?;
+        m.merge(checkpoint_reset_sweep(seed, wal_shards)?);
         let c = cq_sweep(seed, tuples)?;
         let v = ivm_sweep(seed, tuples)?;
         table.row(&[
             seed.to_string(),
             e.crash_points.to_string(),
+            m.crash_points.to_string(),
             c.crash_points.to_string(),
             v.crash_points.to_string(),
-            (e.failures.len() + c.failures.len() + v.failures.len()).to_string(),
+            (e.failures.len() + m.failures.len() + c.failures.len() + v.failures.len()).to_string(),
         ]);
         engine_total.merge(e);
+        multilog_total.merge(m);
         cq_total.merge(c);
         ivm_total.merge(v);
     }
     let secs = start.elapsed().as_secs_f64();
     table.print();
 
-    let crash_points = engine_total.crash_points + cq_total.crash_points + ivm_total.crash_points;
-    let failures = engine_total.failures.len() + cq_total.failures.len() + ivm_total.failures.len();
+    let crash_points = engine_total.crash_points
+        + multilog_total.crash_points
+        + cq_total.crash_points
+        + ivm_total.crash_points;
+    let failures = engine_total.failures.len()
+        + multilog_total.failures.len()
+        + cq_total.failures.len()
+        + ivm_total.failures.len();
     println!(
         "\n{crash_points} crash points, {failures} divergences in {secs:.2}s \
          ({:.0} crash points/s)",
@@ -106,16 +127,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let json = format!(
         "{{\n  \"base_seed\": {base_seed},\n  \"seeds\": {seeds},\n  \
-         \"storage_crash_points\": {},\n  \"cq_crash_points\": {},\n  \
+         \"storage_crash_points\": {},\n  \"multilog_crash_points\": {},\n  \
+         \"wal_shards\": {wal_shards},\n  \"cq_crash_points\": {},\n  \
          \"ivm_crash_points\": {},\n  \
          \"failures\": {failures},\n  \"secs\": {secs:.3}\n}}\n",
-        engine_total.crash_points, cq_total.crash_points, ivm_total.crash_points
+        engine_total.crash_points,
+        multilog_total.crash_points,
+        cq_total.crash_points,
+        ivm_total.crash_points
     );
     std::fs::write("BENCH_recovery_torture.json", json)?;
     println!("recorded BENCH_recovery_torture.json");
 
     if failures > 0 {
         dump_failures("storage", &engine_total.failures, &artifact_dir);
+        dump_failures("multilog", &multilog_total.failures, &artifact_dir);
         dump_failures("cq", &cq_total.failures, &artifact_dir);
         dump_failures("ivm", &ivm_total.failures, &artifact_dir);
         let seeds_file = artifact_dir.join("failing-seeds.txt");
@@ -123,6 +149,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .failures
             .iter()
             .map(|f| format!("storage {} {}\n", f.seed, f.op))
+            .chain(
+                multilog_total
+                    .failures
+                    .iter()
+                    .map(|f| format!("multilog {} {}\n", f.seed, f.op)),
+            )
             .chain(
                 cq_total
                     .failures

@@ -141,14 +141,24 @@ fn gen_engine_steps(seed: u64, n: usize) -> Vec<EngineStep> {
     steps
 }
 
-fn apply_engine_step(e: &StorageEngine, step: &EngineStep) -> Result<()> {
+/// Commit domain a table's inserts are routed to when the sweep runs
+/// with multiple WAL logs: table `tN` homes on log `N % wal_shards`.
+/// Deletes deliberately go to the *next* domain, so a table's insert and
+/// its delete live in different logs — recovery must merge the logs in
+/// global-LSN order or the delete replays before the insert it targets.
+fn table_home(table: &str, wal_shards: usize) -> usize {
+    let idx: usize = table.trim_start_matches('t').parse().unwrap_or(0);
+    idx % wal_shards.max(1)
+}
+
+fn apply_engine_step(e: &StorageEngine, step: &EngineStep, wal_shards: usize) -> Result<()> {
     match step {
         EngineStep::CreateTable(name) => {
             e.create_table(name, torture_schema())?;
         }
         EngineStep::InsertBatch { table, base, n } => {
             let id = e.table_id(table)?;
-            e.with_txn(|x| {
+            e.with_txn_on(table_home(table, wal_shards), |x| {
                 for i in 0..*n {
                     let v = base + i as i64;
                     e.insert(x, id, vec![Value::text(format!("k{v}")), Value::Int(v)])?;
@@ -158,24 +168,27 @@ fn apply_engine_step(e: &StorageEngine, step: &EngineStep) -> Result<()> {
         }
         EngineStep::DeleteMin { table } => {
             let id = e.table_id(table)?;
-            e.with_txn(|x| {
-                let snap = e.snapshot_for(x);
-                let mut rows = e.scan(id, &snap)?;
-                rows.sort_by_key(|(_, r)| match r.get(1) {
-                    Some(Value::Int(v)) => *v,
-                    _ => i64::MAX,
-                });
-                if let Some((tid, _)) = rows.first() {
-                    e.delete(x, *tid)?;
-                }
-                Ok(())
-            })?;
+            e.with_txn_on(
+                (table_home(table, wal_shards) + 1) % wal_shards.max(1),
+                |x| {
+                    let snap = e.snapshot_for(x);
+                    let mut rows = e.scan(id, &snap)?;
+                    rows.sort_by_key(|(_, r)| match r.get(1) {
+                        Some(Value::Int(v)) => *v,
+                        _ => i64::MAX,
+                    });
+                    if let Some((tid, _)) = rows.first() {
+                        e.delete(x, *tid)?;
+                    }
+                    Ok(())
+                },
+            )?;
         }
         EngineStep::KvPut { key, value } => e.catalog_put(key, value)?,
         EngineStep::Checkpoint => e.checkpoint()?,
         EngineStep::AbortedInsert { table, v } => {
             let id = e.table_id(table)?;
-            let x = e.begin()?;
+            let x = e.begin_on(table_home(table, wal_shards))?;
             e.insert(x, id, vec![Value::text(format!("a{v}")), Value::Int(*v)])?;
             e.abort(x)?;
         }
@@ -208,22 +221,66 @@ pub fn engine_digest(e: &StorageEngine) -> Result<String> {
     Ok(out)
 }
 
-fn open_engine(io: &Arc<FaultIo>) -> Result<StorageEngine> {
+fn open_engine(io: &Arc<FaultIo>, wal_shards: usize) -> Result<StorageEngine> {
     let dynio: Arc<dyn Io> = io.clone();
-    StorageEngine::open_with_io(SIM_DIR, SyncMode::Fsync, dynio)
+    StorageEngine::open_with_opts(SIM_DIR, SyncMode::Fsync, dynio, wal_shards)
 }
 
-/// Crash-at-every-op sweep over the storage-level workload. Returns the
-/// number of crash points exercised and any divergences.
+/// Crash-at-every-op sweep over the storage-level workload with a single
+/// commit domain (the pre-§13 layout; kept as the baseline sweep).
 pub fn engine_sweep(seed: u64, nsteps: usize) -> Result<SweepOutcome> {
-    let steps = gen_engine_steps(seed, nsteps);
+    engine_sweep_with_logs(seed, nsteps, 1)
+}
 
+/// Crash-at-every-op sweep over the storage-level workload with
+/// `wal_shards` independent commit domains. Inserts home on a table's own
+/// log while deletes are routed to the *next* log (see [`table_home`]),
+/// so every crash point also proves the cross-log LSN-merge recovery cut
+/// and per-shard checkpoint epoch stamping (DESIGN.md §13).
+pub fn engine_sweep_with_logs(seed: u64, nsteps: usize, wal_shards: usize) -> Result<SweepOutcome> {
+    sweep_engine_steps(seed, &gen_engine_steps(seed, nsteps), wal_shards)
+}
+
+/// Deterministic interleaving for ISSUE-7 satellite 3: data in several
+/// domains, then checkpoints — so the sweep crashes at every op *between*
+/// the checkpoint's manifest rename and each per-shard WAL reset. A
+/// recovery that discarded more than the genuinely stale logs (or kept a
+/// stale one) fails the boundary/convergence checks. The post-checkpoint
+/// traffic proves the recovered engine still routes and replays cleanly.
+pub fn checkpoint_reset_sweep(seed: u64, wal_shards: usize) -> Result<SweepOutcome> {
+    let t = |i: usize| format!("t{i}");
+    let mut steps = Vec::new();
+    for i in 0..wal_shards.max(2) {
+        steps.push(EngineStep::CreateTable(t(i)));
+        steps.push(EngineStep::InsertBatch {
+            table: t(i),
+            base: (i as i64) * 10,
+            n: 2,
+        });
+    }
+    steps.push(EngineStep::Checkpoint);
+    steps.push(EngineStep::InsertBatch {
+        table: t(0),
+        base: 100,
+        n: 2,
+    });
+    steps.push(EngineStep::DeleteMin { table: t(1) });
+    steps.push(EngineStep::Checkpoint);
+    steps.push(EngineStep::InsertBatch {
+        table: t(1),
+        base: 200,
+        n: 1,
+    });
+    sweep_engine_steps(seed, &steps, wal_shards)
+}
+
+fn sweep_engine_steps(seed: u64, steps: &[EngineStep], wal_shards: usize) -> Result<SweepOutcome> {
     // Reference run: no faults; digest at every step boundary.
     let io = FaultIo::new(FaultPlan::none(seed));
-    let e = open_engine(&io)?;
+    let e = open_engine(&io, wal_shards)?;
     let mut boundaries = vec![engine_digest(&e)?];
-    for s in &steps {
-        apply_engine_step(&e, s)?;
+    for s in steps {
+        apply_engine_step(&e, s, wal_shards)?;
         boundaries.push(engine_digest(&e)?);
     }
     let total_ops = io.ops();
@@ -234,7 +291,7 @@ pub fn engine_sweep(seed: u64, nsteps: usize) -> Result<SweepOutcome> {
         failures: Vec::new(),
     };
     for op in 0..total_ops {
-        if let Some(f) = engine_crash_once(seed, &steps, &boundaries, op)? {
+        if let Some(f) = engine_crash_once(seed, steps, &boundaries, op, wal_shards)? {
             outcome.failures.push(f);
         }
     }
@@ -248,12 +305,13 @@ fn engine_crash_once(
     steps: &[EngineStep],
     boundaries: &[String],
     op: u64,
+    wal_shards: usize,
 ) -> Result<Option<Failure>> {
     let io = FaultIo::new(FaultPlan::crash_at(seed, op).with_bit_flip());
     let mut completed = 0usize;
-    if let Ok(e) = open_engine(&io) {
+    if let Ok(e) = open_engine(&io, wal_shards) {
         for s in steps {
-            if apply_engine_step(&e, s).is_err() {
+            if apply_engine_step(&e, s, wal_shards).is_err() {
                 break;
             }
             completed += 1;
@@ -271,7 +329,7 @@ fn engine_crash_once(
 
     // Power-loss restart: reopen over the frozen image, no faults.
     let rio = FaultIo::from_image(&image, FaultPlan::none(0));
-    let e = match open_engine(&rio) {
+    let e = match open_engine(&rio, wal_shards) {
         Ok(e) => e,
         Err(err) => return fail(format!("recovery open failed: {err}")),
     };
@@ -290,7 +348,7 @@ fn engine_crash_once(
     // Convergence: re-driving the remaining steps lands byte-identical
     // to the uncrashed reference.
     for (i, s) in steps[resume..].iter().enumerate() {
-        if let Err(err) = apply_engine_step(&e, s) {
+        if let Err(err) = apply_engine_step(&e, s, wal_shards) {
             return fail(format!("re-drive failed at step {}: {err}", resume + i));
         }
     }
@@ -343,11 +401,13 @@ fn gen_cq_steps(seed: u64, tuples: usize) -> Vec<CqStep> {
 }
 
 fn cq_options() -> DbOptions {
-    // Single shard, no worker pool: the op sequence must be identical on
-    // every run for crash-at-op-N to be meaningful.
+    // Single shard, one WAL log, no worker pool: the op sequence must be
+    // identical on every run (and every host) for crash-at-op-N to be
+    // meaningful; a host-derived wal_shards would shift op indices.
     DbOptions::default()
         .with_sync(SyncMode::Fsync)
         .with_shards(1)
+        .with_wal_shards(1)
         .with_pool_workers(0)
 }
 
@@ -622,6 +682,32 @@ mod tests {
     #[test]
     fn small_engine_sweep_is_clean() {
         let out = engine_sweep(0xBEEF, 12).unwrap();
+        assert!(out.crash_points > 10);
+        assert!(
+            out.failures.is_empty(),
+            "first failure: seed={} op={} — {}",
+            out.failures[0].seed,
+            out.failures[0].op,
+            out.failures[0].detail
+        );
+    }
+
+    #[test]
+    fn small_multilog_sweep_is_clean() {
+        let out = engine_sweep_with_logs(0xBEEF, 12, 3).unwrap();
+        assert!(out.crash_points > 10);
+        assert!(
+            out.failures.is_empty(),
+            "first failure: seed={} op={} — {}",
+            out.failures[0].seed,
+            out.failures[0].op,
+            out.failures[0].detail
+        );
+    }
+
+    #[test]
+    fn checkpoint_reset_interleaving_is_clean() {
+        let out = checkpoint_reset_sweep(7, 3).unwrap();
         assert!(out.crash_points > 10);
         assert!(
             out.failures.is_empty(),

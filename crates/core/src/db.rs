@@ -26,7 +26,7 @@ use streamrel_sql::analyzer::Analyzer;
 use streamrel_sql::ast::{ChannelMode, ColumnDef, Expr, ObjectKind, Query, ShowKind, Statement};
 use streamrel_sql::parser::{parse_statement, parse_statements};
 use streamrel_sql::plan::{BoundExpr, LogicalPlan};
-use streamrel_storage::{Io, StorageEngine};
+use streamrel_storage::{Io, StdIo, StorageEngine};
 use streamrel_types::{Column, Error, Relation, Result, Row, Schema, Timestamp, Value};
 
 use crate::options::DbOptions;
@@ -212,7 +212,12 @@ impl Db {
     /// views, derived streams and channels, then restores each derived
     /// CQ's position from its Active-Table watermark (§4 recovery).
     pub fn open(dir: impl AsRef<Path>, options: DbOptions) -> Result<Db> {
-        let engine = Arc::new(StorageEngine::open_with(dir.as_ref(), options.sync)?);
+        let engine = Arc::new(StorageEngine::open_with_opts(
+            dir.as_ref(),
+            options.sync,
+            StdIo::shared(),
+            options.resolved_wal_shards(),
+        )?);
         let db = Db::with_engine(engine, options);
         db.replay_ddl()?;
         db.restore_watermarks()?;
@@ -223,7 +228,12 @@ impl Db {
     /// seam the crash-recovery torture harness uses to run the full SQL /
     /// CQ stack against a simulated fault-injecting disk (DESIGN.md §10).
     pub fn open_with_io(dir: impl AsRef<Path>, options: DbOptions, io: Arc<dyn Io>) -> Result<Db> {
-        let engine = Arc::new(StorageEngine::open_with_io(dir.as_ref(), options.sync, io)?);
+        let engine = Arc::new(StorageEngine::open_with_opts(
+            dir.as_ref(),
+            options.sync,
+            io,
+            options.resolved_wal_shards(),
+        )?);
         let db = Db::with_engine(engine, options);
         db.replay_ddl()?;
         db.restore_watermarks()?;
@@ -1256,7 +1266,12 @@ impl Db {
         };
         catalog.stream_seq += 1;
         while catalog.shards.len() <= idx {
-            catalog.shards.push(Shard::new());
+            // Each shard's durable writes (raw archives, channel writes,
+            // watermarks) are pinned to one WAL commit domain so a shard
+            // always fsyncs the same log (DESIGN.md §13). In-memory
+            // engines report zero domains; clamp so the modulo is defined.
+            let domain = catalog.shards.len() % self.engine.wal_shards().max(1);
+            catalog.shards.push(Shard::new(domain));
         }
         idx
     }
@@ -1339,7 +1354,7 @@ impl Db {
         // Raw archive channels (one transaction per batch).
         for ch in &raw_channels {
             let tid = self.engine.table_id(&ch.table)?;
-            let n = self.engine.with_txn(|x| {
+            let n = self.engine.with_txn_on(state.domain, |x| {
                 if ch.mode == ChannelMode::Replace {
                     self.engine.delete_all_visible(x, tid)?;
                 }
@@ -1508,7 +1523,7 @@ impl Db {
             // its archived window or vice versa (exactly-once archiving
             // across crashes — the §4 recovery contract).
             let mut written: Vec<(Arc<AtomicU64>, u64)> = Vec::new();
-            self.engine.with_txn(|x| {
+            self.engine.with_txn_on(state.domain, |x| {
                 for ch in &channels {
                     let tid = self.engine.table_id(&ch.table)?;
                     if ch.mode == ChannelMode::Replace {

@@ -40,6 +40,12 @@ pub struct DbOptions {
     /// default) sizes from the host's parallelism; `Some(0)` evaluates
     /// inline on the ingesting thread (the serial ablation baseline).
     pub pool_workers: Option<usize>,
+    /// Number of WAL commit domains (`wal-<k>.log` files with independent
+    /// fsyncs, DESIGN.md §13). `0` (the default) derives a count from
+    /// `shards` or the host's parallelism via
+    /// [`DbOptions::resolved_wal_shards`]; `1` is the single-log
+    /// ablation baseline (all shards funnel through one commit mutex).
+    pub wal_shards: usize,
 }
 
 impl Default for DbOptions {
@@ -54,6 +60,7 @@ impl Default for DbOptions {
             sub_overflow: OverflowPolicy::DropOldest,
             shards: 0,
             pool_workers: None,
+            wal_shards: 0,
         }
     }
 }
@@ -108,6 +115,29 @@ impl DbOptions {
     pub fn with_pool_workers(mut self, workers: usize) -> DbOptions {
         self.pool_workers = Some(workers);
         self
+    }
+
+    /// Fix the number of WAL commit domains (`1` = the single-log
+    /// baseline; `0` = derive from `shards` / host parallelism).
+    pub fn with_wal_shards(mut self, wal_shards: usize) -> DbOptions {
+        self.wal_shards = wal_shards;
+        self
+    }
+
+    /// The effective commit-domain count: the configured count, or the
+    /// execution-shard count when fixed, or the host's parallelism —
+    /// capped at 8 (per-log fsyncs stop paying for themselves well
+    /// before the file-descriptor cost does).
+    pub fn resolved_wal_shards(&self) -> usize {
+        if self.wal_shards > 0 {
+            return self.wal_shards;
+        }
+        if self.shards > 0 {
+            return self.shards.min(8);
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get().clamp(1, 8))
+            .unwrap_or(1)
     }
 
     /// The effective worker-pool size: the configured count, or a small

@@ -81,6 +81,11 @@ pub(crate) struct ShardState {
     pub streams: HashMap<String, StreamRuntime>,
     pub deriveds: HashMap<String, DerivedRuntime>,
     pub cqs: HashMap<u64, CqEntry>,
+    /// WAL commit domain this shard's durable writes (raw archives,
+    /// channel writes, watermarks) are routed to — `shard index %
+    /// engine.wal_shards()`, fixed at assignment time so a shard always
+    /// fsyncs the same log (DESIGN.md §13).
+    pub domain: usize,
 }
 
 /// One execution shard. With `DbOptions::shards == 0` each base stream
@@ -92,7 +97,9 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    pub fn new() -> Arc<Shard> {
-        Arc::new(Shard::default())
+    pub fn new(domain: usize) -> Arc<Shard> {
+        let shard = Shard::default();
+        shard.state.lock().domain = domain;
+        Arc::new(shard)
     }
 }

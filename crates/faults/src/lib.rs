@@ -148,6 +148,17 @@ pub struct DiskImage {
 }
 
 impl DiskImage {
+    /// File names matching `needle` (sorted), with their byte lengths —
+    /// e.g. `image.files_matching("wal-")` to assert which per-shard
+    /// commit logs a crash left behind (DESIGN.md §13).
+    pub fn files_matching(&self, needle: &str) -> Vec<(PathBuf, usize)> {
+        self.files
+            .iter()
+            .filter(|(p, _)| p.to_string_lossy().contains(needle))
+            .map(|(p, d)| (p.clone(), d.len()))
+            .collect()
+    }
+
     /// Write the image's files under `root` on the real filesystem
     /// (flattening simulated paths to file names), for artifact upload
     /// from a failing torture run.

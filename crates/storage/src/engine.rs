@@ -8,10 +8,11 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use streamrel_obs::{Gauge, Histogram, Registry};
 use streamrel_types::{Error, Result, Row, Schema};
 
@@ -27,8 +28,12 @@ use crate::wal::{replay_bytes, Wal, WalRecord};
 pub use crate::wal::SyncMode;
 
 const CHECKPOINT_FILE: &str = "checkpoint.dat";
-const WAL_FILE: &str = "wal.log";
 const CHECKPOINT_MAGIC: &[u8; 8] = b"SRCHKPT2";
+
+/// Log file name for commit domain `shard` (DESIGN.md §13).
+fn wal_file(shard: usize) -> String {
+    format!("wal-{shard}.log")
+}
 
 /// Counters exposed for tests, benchmarks and EXPERIMENTS.md tables.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,34 +52,97 @@ pub struct EngineStats {
     pub replayed: u64,
 }
 
-// lock-order: epoch < wal < stats
+/// Group-commit coordination for one commit domain (DESIGN.md §13).
+///
+/// Commits batch into one append+fsync: whichever committer finds no
+/// leader active becomes the leader, fsyncs everything appended so far,
+/// then publishes the covered LSN; followers block only until
+/// `durable_lsn` reaches their commit's LSN.
+struct GroupState {
+    /// Highest LSN known durable in this domain's log.
+    durable_lsn: u64,
+    /// A leader is currently between "claimed leadership" and "published
+    /// its fsync result". At most one per domain.
+    leader_active: bool,
+    /// Commit LSNs appended but not yet covered by a published fsync;
+    /// the leader counts how many one fsync absorbed (batch size).
+    pending: Vec<u64>,
+}
+
+/// One commit domain: an independent WAL file plus its group-commit
+/// state and per-shard instruments.
+struct WalShard {
+    wal: Mutex<Wal>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
+    /// `storage.commit_us.shard<k>`.
+    commit_hist: Arc<Histogram>,
+    /// `storage.wal_sync_us.shard<k>`.
+    sync_hist: Arc<Histogram>,
+    /// `wal.poisoned.shard<k>`: 0 = healthy, 1 = this domain's log
+    /// refused further writes after a failed flush/fsync.
+    poisoned_gauge: Arc<Gauge>,
+}
+
+impl WalShard {
+    fn new(shard: usize, wal: Wal, durable_lsn: u64, metrics: &Registry) -> WalShard {
+        WalShard {
+            wal: Mutex::new(wal),
+            group: Mutex::new(GroupState {
+                durable_lsn,
+                leader_active: false,
+                pending: Vec::new(),
+            }),
+            group_cv: Condvar::new(),
+            commit_hist: metrics.histogram(&format!("storage.commit_us.shard{shard}")),
+            sync_hist: metrics.histogram(&format!("storage.wal_sync_us.shard{shard}")),
+            poisoned_gauge: metrics.gauge(&format!("wal.poisoned.shard{shard}")),
+        }
+    }
+}
+
+// lock-order: epoch < wal < group < stats
 //
-// Commit paths append to the WAL and then bump the counters; never hold
-// `stats` while taking `wal` (streamrel-lint enforces this per function).
-// The checkpoint epoch is read before (and never while) holding `wal`.
+// Commit paths append to the WAL, coordinate through the group-commit
+// state, then bump the counters; never hold `stats` while taking `wal`
+// or `group` (streamrel-lint enforces this per function). The group
+// leader releases `wal` before taking `group` to publish its result, so
+// followers can keep appending while an fsync is in flight. The
+// checkpoint epoch is read before (and never while) holding `wal`.
 /// The durable storage engine.
 pub struct StorageEngine {
     dir: Option<PathBuf>,
     txns: TxnManager,
     catalog: Catalog,
-    wal: Option<Mutex<Wal>>,
+    /// One WAL per commit domain (`wal-<k>.log`); empty for in-memory
+    /// engines. Transactions are routed to a domain at `begin_on` and
+    /// confined to it, so commit atomicity stays a single-file property
+    /// and domains fsync independently.
+    wals: Vec<WalShard>,
     /// All file traffic (WAL, checkpoints) goes through this seam; the
     /// fault-injection harness substitutes a simulated disk here.
     io: Arc<dyn Io>,
     /// Checkpoint generation. Bumped by every successful checkpoint and
-    /// stamped into both the checkpoint body and the first WAL record so
-    /// recovery can tell a stale WAL (crash between checkpoint rename and
-    /// WAL reset) from a live one. See DESIGN.md §10.
+    /// stamped into the checkpoint body and the first record of every
+    /// log so recovery can tell a stale log (crash between checkpoint
+    /// rename and that log's reset) from a live one. See DESIGN.md §10/§13.
     epoch: Mutex<u64>,
+    /// Global log sequence number allocator. Every record in every log
+    /// carries one; recovery merges all logs in LSN order to rebuild a
+    /// single serial history. Allocated under the destination log's
+    /// `wal` lock so each log's `last_lsn` always covers its buffer.
+    next_lsn: AtomicU64,
     stats: Mutex<EngineStats>,
     /// Engine-wide metrics registry; every layer above shares this handle.
     metrics: Arc<Registry>,
     /// Cached instruments so the hot commit path skips the registry map.
     commit_hist: Arc<Histogram>,
     wal_sync_hist: Arc<Histogram>,
-    /// 0 = healthy, 1 = the WAL refused further writes after a failed
-    /// flush/fsync (`Error::WalPoisoned`). Registered at open so the row
-    /// is always present in `streamrel_metrics`.
+    /// `wal.group_commit.batch_size`: commits absorbed per fsync.
+    batch_hist: Arc<Histogram>,
+    /// Count of poisoned commit domains (0 = all healthy). Per-domain
+    /// state lives in `wal.poisoned.shard<k>`. Registered at open so the
+    /// row is always present in `streamrel_metrics`.
     wal_poisoned: Arc<Gauge>,
 }
 
@@ -91,72 +159,143 @@ impl StorageEngine {
         Self::open_with_io(dir, sync, StdIo::shared())
     }
 
-    /// Open against an explicit [`Io`] implementation. This is the seam
-    /// the crash-recovery torture harness uses: `streamrel-faults` passes
-    /// a simulated disk here and crashes the engine at every I/O operation
-    /// in turn (DESIGN.md §10). Production paths use [`StdIo`].
+    /// Open against an explicit [`Io`] implementation with a single
+    /// commit domain. This is the seam the crash-recovery torture
+    /// harness uses: `streamrel-faults` passes a simulated disk here and
+    /// crashes the engine at every I/O operation in turn (DESIGN.md §10).
+    /// Production paths use [`StdIo`].
     pub fn open_with_io(
         dir: impl Into<PathBuf>,
         sync: SyncMode,
         io: Arc<dyn Io>,
     ) -> Result<StorageEngine> {
+        Self::open_with_opts(dir, sync, io, 1)
+    }
+
+    /// Open with `wal_shards` independent commit domains (`wal-<k>.log`
+    /// each; clamped to at least 1). Recovery reads *every* log present
+    /// on disk — including logs beyond `wal_shards` left by a previous
+    /// open with more domains — discards per-log stale ones (epoch older
+    /// than the checkpoint's expectation for that shard), then merges the
+    /// survivors' records in global-LSN order into one serial replay.
+    pub fn open_with_opts(
+        dir: impl Into<PathBuf>,
+        sync: SyncMode,
+        io: Arc<dyn Io>,
+        wal_shards: usize,
+    ) -> Result<StorageEngine> {
+        let wal_shards = wal_shards.max(1);
         let dir = dir.into();
         io.create_dir_all(&dir)?;
         let metrics = Arc::new(Registry::default());
         io.bind_metrics(&metrics);
         let commit_hist = metrics.histogram("storage.commit_us");
         let wal_sync_hist = metrics.histogram("storage.wal_sync_us");
+        let batch_hist = metrics.histogram("wal.group_commit.batch_size");
         let wal_poisoned = metrics.gauge("wal.poisoned");
         let engine = StorageEngine {
             dir: Some(dir.clone()),
             txns: TxnManager::new(),
             catalog: Catalog::new(),
-            wal: None,
+            wals: Vec::new(),
             io: io.clone(),
             epoch: Mutex::new(0),
+            next_lsn: AtomicU64::new(1),
             stats: Mutex::new(EngineStats::default()),
             metrics,
             commit_hist,
             wal_sync_hist,
+            batch_hist,
             wal_poisoned,
         };
-        engine.load_checkpoint(&dir.join(CHECKPOINT_FILE))?;
+        let shard_epochs = engine.load_checkpoint(&dir.join(CHECKPOINT_FILE))?;
         let ck_epoch = *engine.epoch.lock();
-        let wal_path = dir.join(WAL_FILE);
-        let wal_bytes = io.read(&wal_path)?.unwrap_or_default();
-        let (records, valid_len) = replay_bytes(&wal_bytes);
-        // Every WAL opens with an `Epoch` stamp. One older than the
-        // checkpoint we just loaded means the crash landed between the
-        // checkpoint rename and the WAL reset: those records are already
-        // in the checkpoint, and replaying them over its renumbered heap
-        // slots would corrupt the image — discard instead.
-        let wal_epoch = match records.first() {
-            Some(WalRecord::Epoch { epoch }) => *epoch,
-            _ => 0,
+        let expected_epoch = |shard: usize| -> u64 {
+            shard_epochs
+                .iter()
+                .find(|(s, _)| *s == shard as u32)
+                .map(|(_, e)| *e)
+                .unwrap_or(ck_epoch)
         };
-        let stale = !records.is_empty() && wal_epoch < ck_epoch;
-        let records = if stale { Vec::new() } else { records };
-        if stale {
-            io.truncate(&wal_path, 0)?;
-        } else if (valid_len as usize) < wal_bytes.len() {
-            // Torn tail from a mid-append crash: cut it so fresh appends
-            // do not land behind a CRC-invalid region.
-            io.truncate(&wal_path, valid_len)?;
+        // Probe every log on disk. Logs below `wal_shards` always get a
+        // handle; logs beyond it (a previous open used more domains) are
+        // still replayed — their records are part of durable state until
+        // a checkpoint with a newer epoch supersedes them.
+        let mut merged: Vec<(u64, WalRecord)> = Vec::new();
+        let mut needs_stamp = vec![false; wal_shards];
+        let mut k = 0usize;
+        loop {
+            let path = dir.join(wal_file(k));
+            let bytes = match io.read(&path)? {
+                Some(b) => b,
+                None if k < wal_shards => {
+                    // Fresh log: stamp the current epoch below so the
+                    // next recovery can trust its contents.
+                    needs_stamp[k] = true;
+                    k += 1;
+                    continue;
+                }
+                None => break,
+            };
+            let (records, valid_len) = replay_bytes(&bytes);
+            // Every log opens with an `Epoch` stamp. One older than the
+            // checkpoint's expectation for this shard means the crash
+            // landed between the checkpoint rename and this log's reset:
+            // those records are already in the checkpoint, and replaying
+            // them over its renumbered heap slots would corrupt the
+            // image — discard *this log only*.
+            let log_epoch = match records.first() {
+                Some((_, WalRecord::Epoch { epoch, .. })) => *epoch,
+                _ => 0,
+            };
+            let stale = !records.is_empty() && log_epoch < expected_epoch(k);
+            if stale {
+                io.truncate(&path, 0)?;
+                if k < wal_shards {
+                    needs_stamp[k] = true;
+                }
+            } else {
+                if (valid_len as usize) < bytes.len() {
+                    // Torn tail from a mid-append crash: cut it so fresh
+                    // appends do not land behind a CRC-invalid region.
+                    io.truncate(&path, valid_len)?;
+                }
+                if records.is_empty() && k < wal_shards {
+                    needs_stamp[k] = true;
+                }
+                merged.extend(records);
+            }
+            k += 1;
         }
+        // Stitch the consistent cut: one serial history in LSN order.
+        // A transaction is confined to one log, so a commit record either
+        // survived (all its records sort before it) or the whole txn
+        // replays as in-flight → aborted.
+        merged.sort_by_key(|(lsn, _)| *lsn);
+        let max_lsn = merged.last().map(|(lsn, _)| *lsn).unwrap_or(0);
+        engine.next_lsn.store(max_lsn + 1, Ordering::SeqCst);
+        let records: Vec<WalRecord> = merged.into_iter().map(|(_, rec)| rec).collect();
         let replayed = engine.apply_wal_records(records)?;
         engine.stats.lock().replayed = replayed;
         engine.rebuild_indexes();
-        let mut wal = Wal::open_with_io(wal_path, sync, io)?;
-        if stale || replayed == 0 {
-            // Fresh (or just-discarded) log: stamp the current epoch so
-            // the next recovery can trust its contents.
-            wal.append(&WalRecord::Epoch { epoch: ck_epoch })?;
-            wal.sync_commit()?;
+        let mut wals = Vec::with_capacity(wal_shards);
+        for (shard, stamp) in needs_stamp.iter().copied().enumerate() {
+            let mut wal = Wal::open_with_io(dir.join(wal_file(shard)), sync, io.clone())?;
+            if stamp {
+                let lsn = engine.next_lsn.fetch_add(1, Ordering::SeqCst);
+                wal.append(
+                    lsn,
+                    &WalRecord::Epoch {
+                        epoch: ck_epoch,
+                        shard: shard as u32,
+                    },
+                )?;
+                wal.sync_commit()?;
+            }
+            let durable = wal.last_lsn();
+            wals.push(WalShard::new(shard, wal, durable, &engine.metrics));
         }
-        let engine = StorageEngine {
-            wal: Some(Mutex::new(wal)),
-            ..engine
-        };
+        let engine = StorageEngine { wals, ..engine };
         Ok(engine)
     }
 
@@ -166,18 +305,21 @@ impl StorageEngine {
         let metrics = Arc::new(Registry::default());
         let commit_hist = metrics.histogram("storage.commit_us");
         let wal_sync_hist = metrics.histogram("storage.wal_sync_us");
+        let batch_hist = metrics.histogram("wal.group_commit.batch_size");
         let wal_poisoned = metrics.gauge("wal.poisoned");
         StorageEngine {
             dir: None,
             txns: TxnManager::new(),
             catalog: Catalog::new(),
-            wal: None,
+            wals: Vec::new(),
             io: StdIo::shared(),
             epoch: Mutex::new(0),
+            next_lsn: AtomicU64::new(1),
             stats: Mutex::new(EngineStats::default()),
             metrics,
             commit_hist,
             wal_sync_hist,
+            batch_hist,
             wal_poisoned,
         }
     }
@@ -204,67 +346,216 @@ impl StorageEngine {
         &self.txns
     }
 
-    fn log(&self, rec: &WalRecord) -> Result<()> {
-        if let Some(wal) = &self.wal {
-            let mut w = wal.lock();
-            if let Err(e) = w.append(rec) {
-                if w.is_poisoned() {
-                    self.wal_poisoned.set(1);
-                }
-                return Err(e);
-            }
-            drop(w);
-            self.stats.lock().wal_records += 1;
-        }
-        Ok(())
+    /// Number of commit domains (0 for in-memory engines).
+    pub fn wal_shards(&self) -> usize {
+        self.wals.len()
     }
 
-    fn log_sync(&self) -> Result<()> {
-        if let Some(wal) = &self.wal {
-            let start = Instant::now();
-            let mut w = wal.lock();
+    /// Clamp a requested commit domain to the configured range.
+    fn clamp_domain(&self, domain: usize) -> usize {
+        if self.wals.is_empty() {
+            0
+        } else {
+            domain % self.wals.len()
+        }
+    }
+
+    /// Scope a poison error to the commit domain it came from, so one
+    /// shard's failure never reads as whole-engine poisoning.
+    fn scope_err(&self, domain: usize, e: Error) -> Error {
+        match e {
+            Error::WalPoisoned(m) if !m.starts_with("shard ") => {
+                Error::WalPoisoned(format!("shard {domain}: {m}"))
+            }
+            other => other,
+        }
+    }
+
+    /// Settle the poison gauges after domain `domain` refused a write:
+    /// its per-shard gauge goes to 1, the global gauge becomes the count
+    /// of poisoned domains. Call without holding `wal`/`group` locks.
+    fn note_poisoned(&self, domain: usize) {
+        if let Some(shard) = self.wals.get(domain) {
+            shard.poisoned_gauge.set(1);
+        }
+        let n = self
+            .wals
+            .iter()
+            .filter(|s| s.poisoned_gauge.get() != 0)
+            .count();
+        self.wal_poisoned.set(n as i64);
+    }
+
+    /// Append one record to domain `domain` under a fresh global LSN.
+    /// The LSN is allocated under the log's lock so `Wal::last_lsn`
+    /// always covers every record buffered in that log — a group-commit
+    /// leader's fsync target can never miss an allocated-but-unappended
+    /// commit. Returns the record's LSN (0 for in-memory engines).
+    fn log_on(&self, domain: usize, rec: &WalRecord) -> Result<u64> {
+        let Some(shard) = self.wals.get(domain) else {
+            return Ok(0);
+        };
+        let mut w = shard.wal.lock();
+        let lsn = self.next_lsn.fetch_add(1, Ordering::SeqCst);
+        if let Err(e) = w.append(lsn, rec) {
+            let poisoned = w.is_poisoned();
+            drop(w);
+            if poisoned {
+                self.note_poisoned(domain);
+            }
+            return Err(self.scope_err(domain, e));
+        }
+        if matches!(rec, WalRecord::Commit { .. }) {
+            // Register for batch accounting while still holding `wal`:
+            // no leader can capture a target covering this commit before
+            // it is pending, so every commit lands in exactly one batch
+            // and `sum(wal.group_commit.batch_size) == commits`.
+            shard.group.lock().pending.push(lsn);
+        }
+        drop(w);
+        self.stats.lock().wal_records += 1;
+        Ok(lsn)
+    }
+
+    /// Block until `lsn` is durable in `domain`, joining (or leading) a
+    /// group commit. See DESIGN.md §13 for the leader/follower protocol.
+    fn sync_domain_to(&self, domain: usize, lsn: u64) -> Result<()> {
+        let Some(shard) = self.wals.get(domain) else {
+            return Ok(());
+        };
+        loop {
+            let mut g = shard.group.lock();
+            if g.durable_lsn >= lsn {
+                return Ok(());
+            }
+            if !g.leader_active {
+                g.leader_active = true;
+                drop(g);
+                // Lead one fsync round, then loop to re-check coverage
+                // (our own append is always ≤ the target we synced, so
+                // a successful round exits on the next iteration).
+                self.group_lead(domain, shard)?;
+            } else {
+                shard.group_cv.wait(&mut g);
+            }
+        }
+    }
+
+    /// One leader round of the group-commit protocol: capture the log's
+    /// append horizon, fsync it, publish the covered LSN and wake
+    /// followers. On failure the domain is poisoned and every waiter
+    /// eventually observes the error by leading its own failed round.
+    fn group_lead(&self, domain: usize, shard: &WalShard) -> Result<()> {
+        let start = Instant::now();
+        let mut w = shard.wal.lock();
+        let target = w.last_lsn();
+        let res = w.sync_commit();
+        let poisoned = w.is_poisoned();
+        drop(w);
+        let mut g = shard.group.lock();
+        g.leader_active = false;
+        match res {
+            Ok(()) => {
+                if target > g.durable_lsn {
+                    g.durable_lsn = target;
+                }
+                let batch = g.pending.iter().filter(|&&l| l <= target).count();
+                g.pending.retain(|&l| l > target);
+                shard.group_cv.notify_all();
+                drop(g);
+                self.wal_sync_hist.observe_from(start);
+                shard.sync_hist.observe_from(start);
+                if batch > 0 {
+                    self.batch_hist.observe(batch as u64);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                shard.group_cv.notify_all();
+                drop(g);
+                if poisoned {
+                    self.note_poisoned(domain);
+                }
+                Err(self.scope_err(domain, e))
+            }
+        }
+    }
+
+    /// Flush/fsync every commit domain's log per its sync mode. Tests and
+    /// the checkpoint quiesce path use this to force buffered records to
+    /// the OS before a simulated crash.
+    pub fn sync_all_wals(&self) -> Result<()> {
+        for (domain, shard) in self.wals.iter().enumerate() {
+            let mut w = shard.wal.lock();
             if let Err(e) = w.sync_commit() {
-                if w.is_poisoned() {
-                    self.wal_poisoned.set(1);
+                let poisoned = w.is_poisoned();
+                drop(w);
+                if poisoned {
+                    self.note_poisoned(domain);
                 }
-                return Err(e);
+                return Err(self.scope_err(domain, e));
             }
-            drop(w);
-            self.wal_sync_hist.observe_from(start);
         }
         Ok(())
     }
 
-    /// True once the WAL has refused writes after a failed flush/fsync.
-    /// Mirrored as the `wal.poisoned` gauge in [`StorageEngine::metrics`].
+    /// True once any commit domain has refused writes after a failed
+    /// flush/fsync. The `wal.poisoned` gauge in [`StorageEngine::metrics`]
+    /// carries the count of poisoned domains; `wal.poisoned.shard<k>`
+    /// the per-domain state.
     pub fn wal_poisoned(&self) -> bool {
         self.wal_poisoned.get() != 0
     }
 
+    /// Commit domains currently refusing writes.
+    pub fn wal_poisoned_shards(&self) -> Vec<usize> {
+        self.wals
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.poisoned_gauge.get() != 0)
+            .map(|(k, _)| k)
+            .collect()
+    }
+
     // ---- transactions ----------------------------------------------------
 
-    /// Begin a transaction.
+    /// Begin a transaction on commit domain 0.
     pub fn begin(&self) -> Result<TxnId> {
-        let xid = self.txns.begin();
-        self.log(&WalRecord::Begin { xid })?;
+        self.begin_on(0)
+    }
+
+    /// Begin a transaction pinned to commit domain `domain` (clamped to
+    /// the configured range). Every record of the transaction — Begin,
+    /// DML, Commit/Abort — lands in that domain's log, so commit
+    /// atomicity never spans files.
+    pub fn begin_on(&self, domain: usize) -> Result<TxnId> {
+        let domain = self.clamp_domain(domain);
+        let xid = self.txns.begin_on(domain as u32);
+        self.log_on(domain, &WalRecord::Begin { xid })?;
         Ok(xid)
     }
 
-    /// Commit: logs the commit record, makes it durable, then flips status.
+    /// Commit: logs the commit record, makes it durable (joining the
+    /// domain's group commit), then flips status.
     pub fn commit(&self, xid: TxnId) -> Result<()> {
         let start = Instant::now();
-        self.log(&WalRecord::Commit { xid })?;
-        self.log_sync()?;
+        let domain = self.txns.domain_of(xid) as usize;
+        let lsn = self.log_on(domain, &WalRecord::Commit { xid })?;
+        self.sync_domain_to(domain, lsn)?;
         self.txns.commit(xid);
         self.stats.lock().commits += 1;
         self.commit_hist.observe_from(start);
+        if let Some(shard) = self.wals.get(domain) {
+            shard.commit_hist.observe_from(start);
+        }
         Ok(())
     }
 
     /// Abort: the transaction's inserts/deletes become permanently
     /// invisible (no physical undo needed under MVCC).
     pub fn abort(&self, xid: TxnId) -> Result<()> {
-        self.log(&WalRecord::Abort { xid })?;
+        let domain = self.txns.domain_of(xid) as usize;
+        self.log_on(domain, &WalRecord::Abort { xid })?;
         self.txns.abort(xid);
         self.stats.lock().aborts += 1;
         Ok(())
@@ -283,7 +574,14 @@ impl StorageEngine {
     /// Run `f` inside a fresh transaction, committing on `Ok` and aborting
     /// on `Err`.
     pub fn with_txn<T>(&self, f: impl FnOnce(TxnId) -> Result<T>) -> Result<T> {
-        let xid = self.begin()?;
+        self.with_txn_on(0, f)
+    }
+
+    /// [`StorageEngine::with_txn`] pinned to commit domain `domain` —
+    /// the shard→log routing used by sharded ingest so concurrent
+    /// streams fsync independent logs.
+    pub fn with_txn_on<T>(&self, domain: usize, f: impl FnOnce(TxnId) -> Result<T>) -> Result<T> {
+        let xid = self.begin_on(domain)?;
         match f(xid) {
             Ok(v) => {
                 self.commit(xid)?;
@@ -298,15 +596,20 @@ impl StorageEngine {
 
     // ---- DDL ---------------------------------------------------------------
 
-    /// Create a table; DDL is logged and durable immediately.
+    /// Create a table; DDL is logged to domain 0 and durable immediately,
+    /// so any later DML referencing the table carries a strictly larger
+    /// LSN and replays after it.
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<u32> {
         let meta = self.catalog.create_table(name, schema)?;
-        self.log(&WalRecord::CreateTable {
-            id: meta.id,
-            name: meta.name.clone(),
-            schema: (*meta.schema).clone(),
-        })?;
-        self.log_sync()?;
+        let lsn = self.log_on(
+            0,
+            &WalRecord::CreateTable {
+                id: meta.id,
+                name: meta.name.clone(),
+                schema: (*meta.schema).clone(),
+            },
+        )?;
+        self.sync_domain_to(0, lsn)?;
         Ok(meta.id)
     }
 
@@ -314,8 +617,8 @@ impl StorageEngine {
     pub fn drop_table(&self, name: &str) -> Result<()> {
         let meta = self.catalog.table_by_name(name)?;
         self.catalog.drop_table(meta.id)?;
-        self.log(&WalRecord::DropTable { id: meta.id })?;
-        self.log_sync()?;
+        let lsn = self.log_on(0, &WalRecord::DropTable { id: meta.id })?;
+        self.sync_domain_to(0, lsn)?;
         Ok(())
     }
 
@@ -429,12 +732,15 @@ impl StorageEngine {
         for idx in meta.indexes.read().iter() {
             idx.index.insert(&row, tid.slot);
         }
-        self.log(&WalRecord::Insert {
-            xid,
-            table: table_id,
-            slot: tid.slot,
-            row,
-        })?;
+        self.log_on(
+            self.txns.domain_of(xid) as usize,
+            &WalRecord::Insert {
+                xid,
+                table: table_id,
+                slot: tid.slot,
+                row,
+            },
+        )?;
         self.stats.lock().inserts += 1;
         Ok(tid)
     }
@@ -461,11 +767,14 @@ impl StorageEngine {
                 "write-write conflict or missing tuple at {tid:?}"
             )));
         }
-        self.log(&WalRecord::Delete {
-            xid,
-            table: tid.table,
-            slot: tid.slot,
-        })?;
+        self.log_on(
+            self.txns.domain_of(xid) as usize,
+            &WalRecord::Delete {
+                xid,
+                table: tid.table,
+                slot: tid.slot,
+            },
+        )?;
         self.stats.lock().deletes += 1;
         Ok(())
     }
@@ -492,11 +801,14 @@ impl StorageEngine {
         for idx in meta.indexes.read().iter() {
             idx.index.clear();
         }
-        self.log(&WalRecord::Truncate {
-            table: table_id,
-            xid: 0,
-        })?;
-        self.log_sync()?;
+        let lsn = self.log_on(
+            0,
+            &WalRecord::Truncate {
+                table: table_id,
+                xid: 0,
+            },
+        )?;
+        self.sync_domain_to(0, lsn)?;
         Ok(())
     }
 
@@ -566,11 +878,14 @@ impl StorageEngine {
     /// Persist an upper-layer catalog entry (stream/view/channel DDL text).
     pub fn catalog_put(&self, key: &str, value: &str) -> Result<()> {
         self.catalog.kv_put(key, value);
-        self.log(&WalRecord::CatalogPut {
-            key: key.to_string(),
-            value: value.to_string(),
-        })?;
-        self.log_sync()?;
+        let lsn = self.log_on(
+            0,
+            &WalRecord::CatalogPut {
+                key: key.to_string(),
+                value: value.to_string(),
+            },
+        )?;
+        self.sync_domain_to(0, lsn)?;
         Ok(())
     }
 
@@ -580,11 +895,14 @@ impl StorageEngine {
     /// fails). Durability rides on the transaction's commit sync.
     pub fn catalog_put_txn(&self, xid: TxnId, key: &str, value: &str) -> Result<()> {
         self.catalog.kv_put(key, value);
-        self.log(&WalRecord::CatalogPutTxn {
-            xid,
-            key: key.to_string(),
-            value: value.to_string(),
-        })?;
+        self.log_on(
+            self.txns.domain_of(xid) as usize,
+            &WalRecord::CatalogPutTxn {
+                xid,
+                key: key.to_string(),
+                value: value.to_string(),
+            },
+        )?;
         Ok(())
     }
 
@@ -597,10 +915,13 @@ impl StorageEngine {
     pub fn catalog_del(&self, key: &str) -> Result<bool> {
         let existed = self.catalog.kv_del(key);
         if existed {
-            self.log(&WalRecord::CatalogDel {
-                key: key.to_string(),
-            })?;
-            self.log_sync()?;
+            let lsn = self.log_on(
+                0,
+                &WalRecord::CatalogDel {
+                    key: key.to_string(),
+                },
+            )?;
+            self.sync_domain_to(0, lsn)?;
         }
         Ok(existed)
     }
@@ -631,6 +952,15 @@ impl StorageEngine {
         let mut body = Vec::new();
         let tables = self.catalog.all_tables();
         codec::put_u64(&mut body, new_epoch);
+        // Per-shard epoch expectations: every live commit domain is
+        // about to be reset to `new_epoch`. A crash between the rename
+        // below and an individual log's reset leaves that log stamped
+        // with the *old* epoch — recovery discards exactly those.
+        codec::put_u32(&mut body, self.wals.len() as u32);
+        for shard in 0..self.wals.len() {
+            codec::put_u32(&mut body, shard as u32);
+            codec::put_u64(&mut body, new_epoch);
+        }
         codec::put_u64(&mut body, snap.xmax);
         codec::put_u32(&mut body, tables.len() as u32);
         let mut images: Vec<(Arc<TableMeta>, Vec<Row>)> = Vec::with_capacity(tables.len());
@@ -683,24 +1013,40 @@ impl StorageEngine {
                 }
             }
         }
-        if let Some(wal) = &self.wal {
-            let mut w = wal.lock();
+        for (shard_idx, shard) in self.wals.iter().enumerate() {
+            let mut w = shard.wal.lock();
             // A crash between the atomic replace above and this reset
-            // leaves the pre-checkpoint WAL on disk; its older epoch
-            // stamp tells the next recovery to discard it rather than
-            // replay already-checkpointed records over renumbered slots.
+            // leaves this pre-checkpoint log on disk; its older epoch
+            // stamp tells the next recovery to discard it (and only it)
+            // rather than replay already-checkpointed records over
+            // renumbered slots.
             w.reset()?;
-            w.append(&WalRecord::Epoch { epoch: new_epoch })?;
+            let lsn = self.next_lsn.fetch_add(1, Ordering::SeqCst);
+            w.append(
+                lsn,
+                &WalRecord::Epoch {
+                    epoch: new_epoch,
+                    shard: shard_idx as u32,
+                },
+            )?;
             w.sync_commit()?;
+            drop(w);
+            let mut g = shard.group.lock();
+            if lsn > g.durable_lsn {
+                g.durable_lsn = lsn;
+            }
+            g.pending.clear();
         }
         self.txns.prune_below(snap.xmax);
         Ok(())
     }
 
-    fn load_checkpoint(&self, path: &Path) -> Result<()> {
+    /// Load the checkpoint (if any); returns the per-shard epoch table
+    /// recovery uses to judge each log's staleness independently.
+    fn load_checkpoint(&self, path: &Path) -> Result<Vec<(u32, u64)>> {
         let data = match self.io.read(path)? {
             Some(d) => d,
-            None => return Ok(()),
+            None => return Ok(Vec::new()),
         };
         if data.len() < 20 || &data[..8] != CHECKPOINT_MAGIC {
             return Err(Error::storage("bad checkpoint header"));
@@ -722,6 +1068,13 @@ impl StorageEngine {
         }
         let mut r = Reader::new(body);
         *self.epoch.lock() = r.u64()?;
+        let nshards = r.u32()?;
+        let mut shard_epochs = Vec::with_capacity(nshards as usize);
+        for _ in 0..nshards {
+            let shard = r.u32()?;
+            let epoch = r.u64()?;
+            shard_epochs.push((shard, epoch));
+        }
         let next_xid = r.u64()?;
         let ntables = r.u32()?;
         for _ in 0..ntables {
@@ -742,7 +1095,7 @@ impl StorageEngine {
             self.catalog.kv_put(&k, &v);
         }
         self.txns.bump_next_xid(next_xid);
-        Ok(())
+        Ok(shard_epochs)
     }
 
     fn apply_wal_records(&self, records: Vec<WalRecord>) -> Result<u64> {
@@ -940,9 +1293,7 @@ mod tests {
             // Uncommitted transaction, lost on "crash".
             let xid = e.begin().unwrap();
             e.insert(xid, t, row!["/ghost", 9i64]).unwrap();
-            if let Some(w) = &e.wal {
-                w.lock().sync_commit().unwrap();
-            }
+            e.sync_all_wals().unwrap();
             // Drop without commit = crash.
         }
         let e = StorageEngine::open(&dir).unwrap();
@@ -1003,9 +1354,7 @@ mod tests {
             let x = e.begin().unwrap();
             e.insert(x, t, row!["/b", 2i64]).unwrap();
             e.catalog_put_txn(x, "cq_watermark.q", "200").unwrap();
-            if let Some(w) = &e.wal {
-                w.lock().sync_commit().unwrap();
-            }
+            e.sync_all_wals().unwrap();
             // Crash without commit.
         }
         let e = StorageEngine::open(&dir).unwrap();
@@ -1129,6 +1478,107 @@ mod tests {
             .unwrap();
         e.truncate(t).unwrap();
         assert!(visible_rows(&e, "urls").is_empty());
+    }
+
+    #[test]
+    fn multi_domain_recovery_merges_logs_in_lsn_order() {
+        let dir = tmpdir("multilog");
+        {
+            let e =
+                StorageEngine::open_with_opts(&dir, SyncMode::Flush, StdIo::shared(), 3).unwrap();
+            assert_eq!(e.wal_shards(), 3);
+            let t = e.create_table("urls", schema()).unwrap();
+            // Insert on domain 1, then delete the same tuple from a txn
+            // on domain 2: without the global-LSN merge the delete could
+            // replay before its insert and silently vanish.
+            let tid = e
+                .with_txn_on(1, |xid| e.insert(xid, t, row!["/a", 1i64]))
+                .unwrap();
+            e.with_txn_on(2, |xid| e.delete(xid, tid)).unwrap();
+            e.with_txn_on(0, |xid| e.insert(xid, t, row!["/b", 2i64]))
+                .unwrap();
+        }
+        for k in 0..3 {
+            assert!(dir.join(format!("wal-{k}.log")).exists(), "log {k} exists");
+        }
+        let e = StorageEngine::open_with_opts(&dir, SyncMode::Flush, StdIo::shared(), 3).unwrap();
+        assert_eq!(
+            visible_rows(&e, "urls"),
+            vec![row!["/b", 2i64]],
+            "cross-domain delete replays after its insert"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_with_fewer_domains_keeps_all_records() {
+        let dir = tmpdir("shrink");
+        {
+            let e =
+                StorageEngine::open_with_opts(&dir, SyncMode::Flush, StdIo::shared(), 3).unwrap();
+            let t = e.create_table("urls", schema()).unwrap();
+            for d in 0..3 {
+                e.with_txn_on(d, |xid| e.insert(xid, t, row![format!("/{d}"), d as i64]))
+                    .unwrap();
+            }
+        }
+        // Reopen with one domain: records in wal-1/wal-2 must still be
+        // replayed (they stay on disk until a checkpoint stales them).
+        let e = StorageEngine::open_with_opts(&dir, SyncMode::Flush, StdIo::shared(), 1).unwrap();
+        assert_eq!(e.wal_shards(), 1);
+        assert_eq!(visible_rows(&e, "urls").len(), 3);
+        e.checkpoint().unwrap();
+        drop(e);
+        // After the checkpoint the extra logs carry a stale epoch; a
+        // fresh open discards them without losing state.
+        let e = StorageEngine::open_with_opts(&dir, SyncMode::Flush, StdIo::shared(), 1).unwrap();
+        assert_eq!(visible_rows(&e, "urls").len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_commits() {
+        let dir = tmpdir("group");
+        let e = Arc::new(
+            StorageEngine::open_with_opts(&dir, SyncMode::Fsync, StdIo::shared(), 2).unwrap(),
+        );
+        let t = e.create_table("urls", schema()).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || {
+                    for j in 0..25 {
+                        e.with_txn_on(i % 2, |xid| {
+                            e.insert(xid, t, row![format!("/{i}/{j}"), j as i64])
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(e.stats().commits, 100);
+        assert_eq!(visible_rows(&e, "urls").len(), 100);
+        // Conservation: every acked commit was covered by exactly one
+        // group-commit batch (registered under the wal lock, so no commit
+        // can slip between a leader's target and its batch accounting).
+        let batches = e.metrics().histogram("wal.group_commit.batch_size");
+        assert_eq!(
+            batches.sum(),
+            100,
+            "every acked commit is counted in exactly one batch"
+        );
+        assert!(batches.count() <= 100, "batches never exceed commits");
+        drop(e);
+        let e = StorageEngine::open_with_opts(&dir, SyncMode::Fsync, StdIo::shared(), 2).unwrap();
+        assert_eq!(
+            visible_rows(&e, "urls").len(),
+            100,
+            "every acked commit survives recovery"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

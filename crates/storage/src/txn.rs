@@ -83,6 +83,12 @@ pub struct TxnManager {
 struct TxnTables {
     active: HashSet<TxnId>,
     status: HashMap<TxnId, TxnStatus>,
+    /// Commit domain (WAL shard) each live transaction logs to. A txn is
+    /// confined to one domain for its whole life so its records — and in
+    /// particular its Commit — land in a single log, keeping commit
+    /// atomicity a single-file property. Entries are dropped on
+    /// commit/abort; absent means domain 0.
+    domains: HashMap<TxnId, u32>,
 }
 
 impl Default for TxnManager {
@@ -99,17 +105,31 @@ impl TxnManager {
             inner: RwLock::new(TxnTables {
                 active: HashSet::new(),
                 status: HashMap::new(),
+                domains: HashMap::new(),
             }),
         }
     }
 
-    /// Begin a transaction: allocate an id and mark it active.
+    /// Begin a transaction: allocate an id and mark it active (domain 0).
     pub fn begin(&self) -> TxnId {
+        self.begin_on(0)
+    }
+
+    /// Begin a transaction pinned to commit domain (WAL shard) `domain`.
+    pub fn begin_on(&self, domain: u32) -> TxnId {
         let xid = self.next_xid.fetch_add(1, Ordering::SeqCst);
         let mut t = self.inner.write();
         t.active.insert(xid);
         t.status.insert(xid, TxnStatus::InProgress);
+        if domain != 0 {
+            t.domains.insert(xid, domain);
+        }
         xid
+    }
+
+    /// Commit domain `xid` was begun on (0 for unknown/finished ids).
+    pub fn domain_of(&self, xid: TxnId) -> u32 {
+        self.inner.read().domains.get(&xid).copied().unwrap_or(0)
     }
 
     /// Mark `xid` committed.
@@ -117,6 +137,7 @@ impl TxnManager {
         let mut t = self.inner.write();
         t.active.remove(&xid);
         t.status.insert(xid, TxnStatus::Committed);
+        t.domains.remove(&xid);
     }
 
     /// Mark `xid` aborted.
@@ -124,6 +145,7 @@ impl TxnManager {
         let mut t = self.inner.write();
         t.active.remove(&xid);
         t.status.insert(xid, TxnStatus::Aborted);
+        t.domains.remove(&xid);
     }
 
     /// Commit state of `xid`. Unknown ids below the next id are treated as
@@ -254,6 +276,19 @@ mod tests {
         m.bump_next_xid(50); // no-op
         let a = m.begin();
         assert!(a >= 100);
+    }
+
+    #[test]
+    fn domains_track_live_txns_only() {
+        let m = TxnManager::new();
+        let a = m.begin_on(3);
+        let b = m.begin();
+        assert_eq!(m.domain_of(a), 3);
+        assert_eq!(m.domain_of(b), 0);
+        m.commit(a);
+        m.abort(b);
+        assert_eq!(m.domain_of(a), 0, "finished txns fall back to domain 0");
+        assert_eq!(m.domain_of(b), 0);
     }
 
     #[test]

@@ -5,11 +5,18 @@
 //! the integrity of durable state" — this is that guarantee; the CQ layer
 //! adds runtime-state recovery from Active Tables on top).
 //!
-//! On-disk framing: `[u32 payload_len][u32 crc32(payload)][payload]`.
+//! On-disk framing: `[u32 payload_len][u32 crc32(lsn ‖ payload)][u64 lsn][payload]`.
 //! Replay tolerates a torn final record (crash mid-append) by stopping at
 //! the first length/CRC mismatch, mirroring how real WALs handle tails;
 //! the engine then truncates the file to the valid prefix so fresh
 //! appends are never stranded behind a corrupt record.
+//!
+//! Each frame carries the engine-global **log sequence number** under the
+//! CRC. With the commit domain partitioned across `wal-<shard>.log` files
+//! (DESIGN.md §13), recovery merges every log's surviving records in LSN
+//! order to reconstruct one serial history — without the LSN, records from
+//! different logs touching the same table could replay out of order (e.g.
+//! a delete before the insert it deletes).
 //!
 //! All file traffic goes through the [`Io`] trait so the fault-injection
 //! harness (`streamrel-faults`) can tear writes and fail fsyncs. A failed
@@ -77,11 +84,14 @@ pub enum WalRecord {
     CatalogDel { key: String },
     /// Checkpoint-generation marker, written as the first record of a
     /// freshly reset log. On recovery, a log whose epoch is *older* than
-    /// the checkpoint's is stale — the checkpoint already contains every
-    /// effect it describes (the crash hit between the checkpoint rename
-    /// and the log reset) — and replaying it over the checkpointed heap
-    /// would double-apply records against renumbered slots.
-    Epoch { epoch: u64 },
+    /// the checkpoint's expectation for its shard is stale — the
+    /// checkpoint already contains every effect it describes (the crash
+    /// hit between the checkpoint rename and that log's reset) — and
+    /// replaying it over the checkpointed heap would double-apply
+    /// records against renumbered slots. `shard` identifies which
+    /// commit domain's log stamped the marker so a crash that resets
+    /// only *some* logs discards exactly the stale ones.
+    Epoch { epoch: u64, shard: u32 },
 }
 
 const T_BEGIN: u8 = 1;
@@ -162,9 +172,10 @@ impl WalRecord {
                 put_str(&mut b, key);
                 put_str(&mut b, value);
             }
-            WalRecord::Epoch { epoch } => {
+            WalRecord::Epoch { epoch, shard } => {
                 b.push(T_EPOCH);
                 put_u64(&mut b, *epoch);
+                put_u32(&mut b, *shard);
             }
         }
         b
@@ -208,7 +219,10 @@ impl WalRecord {
                 key: r.str()?,
                 value: r.str()?,
             },
-            T_EPOCH => WalRecord::Epoch { epoch: r.u64()? },
+            T_EPOCH => WalRecord::Epoch {
+                epoch: r.u64()?,
+                shard: r.u32()?,
+            },
             t => return Err(Error::storage(format!("unknown wal record type {t}"))),
         };
         if r.remaining() != 0 {
@@ -246,6 +260,10 @@ pub struct Wal {
     buf: Vec<u8>,
     sync: SyncMode,
     appended: u64,
+    /// Highest LSN appended through this handle (0 = none yet). A group
+    /// commit leader reads this under the log lock to learn how far one
+    /// fsync will cover.
+    last_lsn: u64,
     /// Set on the first failed flush/fsync; all further writes refuse.
     poisoned: Option<String>,
 }
@@ -269,6 +287,7 @@ impl Wal {
             buf: Vec::new(),
             sync,
             appended: 0,
+            last_lsn: 0,
             poisoned: None,
         })
     }
@@ -281,6 +300,11 @@ impl Wal {
     /// Number of records appended through this handle.
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    /// Highest LSN appended through this handle (0 = none yet).
+    pub fn last_lsn(&self) -> u64 {
+        self.last_lsn
     }
 
     /// Whether a failed flush/fsync has poisoned this log handle.
@@ -318,17 +342,22 @@ impl Wal {
         }
     }
 
-    /// Append one record (framing + CRC). Durability is controlled by
-    /// [`Wal::sync_commit`], which callers invoke at commit points.
-    pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
+    /// Append one record under the given global LSN (framing + CRC over
+    /// `lsn ‖ payload`). Durability is controlled by [`Wal::sync_commit`],
+    /// which callers invoke at commit points.
+    pub fn append(&mut self, lsn: u64, rec: &WalRecord) -> Result<()> {
         if let Some(e) = self.poison_err() {
             return Err(e);
         }
         let payload = rec.encode();
+        let mut body = Vec::with_capacity(8 + payload.len());
+        put_u64(&mut body, lsn);
+        body.extend_from_slice(&payload);
         put_u32(&mut self.buf, payload.len() as u32);
-        put_u32(&mut self.buf, crc32(&payload));
-        self.buf.extend_from_slice(&payload);
+        put_u32(&mut self.buf, crc32(&body));
+        self.buf.extend_from_slice(&body);
         self.appended += 1;
+        self.last_lsn = self.last_lsn.max(lsn);
         if self.buf.len() >= SPILL_BYTES {
             self.spill()?;
         }
@@ -378,8 +407,8 @@ impl Drop for Wal {
 }
 
 /// Read every intact record from a log file. Stops cleanly at a torn tail;
-/// returns the records and the count of bytes of valid prefix.
-pub fn replay(path: &Path) -> Result<(Vec<WalRecord>, u64)> {
+/// returns `(lsn, record)` pairs and the count of bytes of valid prefix.
+pub fn replay(path: &Path) -> Result<(Vec<(u64, WalRecord)>, u64)> {
     let mut data = Vec::new();
     match File::open(path) {
         Ok(mut f) => {
@@ -392,34 +421,42 @@ pub fn replay(path: &Path) -> Result<(Vec<WalRecord>, u64)> {
 }
 
 /// Replay from an in-memory image of the log file: every intact record
-/// plus the byte length of the valid prefix (the engine truncates the
-/// file to that length before appending new records, so a torn or
-/// corrupt tail can never strand later appends behind it).
-pub fn replay_bytes(data: &[u8]) -> (Vec<WalRecord>, u64) {
+/// tagged with its global LSN, plus the byte length of the valid prefix
+/// (the engine truncates the file to that length before appending new
+/// records, so a torn or corrupt tail can never strand later appends
+/// behind it).
+pub fn replay_bytes(data: &[u8]) -> (Vec<(u64, WalRecord)>, u64) {
     // A short slice reads as `None`, which ends replay exactly like a
     // torn tail would.
     fn le_u32(data: &[u8], pos: usize) -> Option<u32> {
         let b: [u8; 4] = data.get(pos..pos + 4)?.try_into().ok()?;
         Some(u32::from_le_bytes(b))
     }
+    fn le_u64(data: &[u8], pos: usize) -> Option<u64> {
+        let b: [u8; 8] = data.get(pos..pos + 8)?.try_into().ok()?;
+        Some(u64::from_le_bytes(b))
+    }
     let mut records = Vec::new();
     let mut pos = 0usize;
-    while pos + 8 <= data.len() {
+    while pos + 16 <= data.len() {
         let (Some(len), Some(crc)) = (le_u32(data, pos), le_u32(data, pos + 4)) else {
             break; // torn tail
         };
         let len = len as usize;
-        let start = pos + 8;
-        let end = match start.checked_add(len) {
+        let start = pos + 8; // start of [lsn][payload]
+        let end = match start.checked_add(8 + len) {
             Some(e) if e <= data.len() => e,
             _ => break, // torn tail
         };
-        let payload = &data[start..end];
-        if crc32(payload) != crc {
+        let body = &data[start..end];
+        if crc32(body) != crc {
             break; // corrupt tail
         }
-        match WalRecord::decode(payload) {
-            Ok(rec) => records.push(rec),
+        let Some(lsn) = le_u64(data, start) else {
+            break; // unreachable given the length check; treat as torn
+        };
+        match WalRecord::decode(&body[8..]) {
+            Ok(rec) => records.push((lsn, rec)),
             Err(_) => break,
         }
         pos = end;
@@ -479,9 +516,21 @@ mod tests {
                 key: "cq_watermark.urls_now".into(),
                 value: "60000000".into(),
             },
-            WalRecord::Epoch { epoch: 3 },
+            WalRecord::Epoch { epoch: 3, shard: 2 },
             WalRecord::DropTable { id: 7 },
         ]
+    }
+
+    /// Append `recs` with LSNs 1..=n through a fresh handle.
+    fn append_all(wal: &mut Wal, recs: &[WalRecord]) {
+        for (i, r) in recs.iter().enumerate() {
+            wal.append(i as u64 + 1, r).unwrap();
+        }
+    }
+
+    /// Strip LSNs from a replay result.
+    fn recs_of(pairs: Vec<(u64, WalRecord)>) -> Vec<WalRecord> {
+        pairs.into_iter().map(|(_, r)| r).collect()
     }
 
     #[test]
@@ -498,13 +547,14 @@ mod tests {
         let recs = sample_records();
         {
             let mut wal = Wal::open(&path, SyncMode::Flush).unwrap();
-            for r in &recs {
-                wal.append(r).unwrap();
-            }
+            append_all(&mut wal, &recs);
+            assert_eq!(wal.last_lsn(), recs.len() as u64);
             wal.sync_commit().unwrap();
         }
         let (got, _) = replay(&path).unwrap();
-        assert_eq!(got, recs);
+        let lsns: Vec<u64> = got.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lsns, (1..=recs.len() as u64).collect::<Vec<_>>());
+        assert_eq!(recs_of(got), recs);
     }
 
     #[test]
@@ -522,9 +572,7 @@ mod tests {
         let recs = sample_records();
         {
             let mut wal = Wal::open(&path, SyncMode::Flush).unwrap();
-            for r in &recs {
-                wal.append(r).unwrap();
-            }
+            append_all(&mut wal, &recs);
             wal.sync_commit().unwrap();
         }
         // Chop off the last 3 bytes: final record is torn.
@@ -532,7 +580,7 @@ mod tests {
         std::fs::write(&path, &data[..data.len() - 3]).unwrap();
         let (got, _) = replay(&path).unwrap();
         assert_eq!(got.len(), recs.len() - 1);
-        assert_eq!(got[..], recs[..recs.len() - 1]);
+        assert_eq!(recs_of(got)[..], recs[..recs.len() - 1]);
     }
 
     #[test]
@@ -541,15 +589,14 @@ mod tests {
         let recs = sample_records();
         {
             let mut wal = Wal::open(&path, SyncMode::Flush).unwrap();
-            for r in &recs {
-                wal.append(r).unwrap();
-            }
+            append_all(&mut wal, &recs);
             wal.sync_commit().unwrap();
         }
         let mut data = std::fs::read(&path).unwrap();
-        // Flip a byte inside the second record's payload.
+        // Flip a byte inside the second record's payload. A frame is
+        // `[u32 len][u32 crc][u64 lsn][payload]`: 16 bytes of header+lsn.
         let first_len = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
-        let idx = 8 + first_len + 8 + 1;
+        let idx = (16 + first_len) + 16 + 1;
         data[idx] ^= 0xFF;
         std::fs::write(&path, &data).unwrap();
         let (got, _) = replay(&path).unwrap();
@@ -560,23 +607,21 @@ mod tests {
     fn reset_truncates() {
         let path = tmp("reset");
         let mut wal = Wal::open(&path, SyncMode::Flush).unwrap();
-        for r in sample_records() {
-            wal.append(&r).unwrap();
-        }
+        append_all(&mut wal, &sample_records());
         wal.sync_commit().unwrap();
         wal.reset().unwrap();
-        wal.append(&WalRecord::Begin { xid: 99 }).unwrap();
+        wal.append(40, &WalRecord::Begin { xid: 99 }).unwrap();
         wal.sync_commit().unwrap();
         drop(wal);
         let (got, _) = replay(&path).unwrap();
-        assert_eq!(got, vec![WalRecord::Begin { xid: 99 }]);
+        assert_eq!(got, vec![(40, WalRecord::Begin { xid: 99 })]);
     }
 
     #[test]
     fn fsync_mode_works() {
         let path = tmp("fsync");
         let mut wal = Wal::open(&path, SyncMode::Fsync).unwrap();
-        wal.append(&WalRecord::Begin { xid: 5 }).unwrap();
+        wal.append(1, &WalRecord::Begin { xid: 5 }).unwrap();
         wal.sync_commit().unwrap();
         let (got, _) = replay(&path).unwrap();
         assert_eq!(got.len(), 1);
@@ -621,11 +666,11 @@ mod tests {
             fail_next_sync: parking_lot::Mutex::new(false),
         });
         let mut wal = Wal::open_with_io(&path, SyncMode::Fsync, io.clone()).unwrap();
-        wal.append(&WalRecord::Begin { xid: 1 }).unwrap();
+        wal.append(1, &WalRecord::Begin { xid: 1 }).unwrap();
         wal.sync_commit().unwrap();
 
         *io.fail_next_sync.lock() = true;
-        wal.append(&WalRecord::Begin { xid: 2 }).unwrap();
+        wal.append(2, &WalRecord::Begin { xid: 2 }).unwrap();
         let first = wal.sync_commit().unwrap_err();
         assert!(matches!(first, Error::Io(_)), "first failure is the cause");
         assert!(wal.is_poisoned());
@@ -633,7 +678,7 @@ mod tests {
         // Every subsequent operation returns the typed poison error; the
         // file never sees another byte.
         for op in [
-            wal.append(&WalRecord::Begin { xid: 3 }),
+            wal.append(3, &WalRecord::Begin { xid: 3 }),
             wal.sync_commit(),
             wal.reset(),
         ] {
@@ -641,6 +686,7 @@ mod tests {
         }
         drop(wal); // drop must not attempt to spill a poisoned buffer
         let (got, _) = replay(&path).unwrap();
+        let got = recs_of(got);
         // xid 2 may or may not be durable (it reached the OS cache before
         // the failed fsync); xid 3 must not be.
         assert!(got.iter().all(|r| *r != WalRecord::Begin { xid: 3 }));

@@ -8,15 +8,18 @@
 //! `recovery_torture` binary (and the nightly CI lane) runs the same
 //! sweeps at much higher iteration counts.
 
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 use proptest::test_runner::Config;
 use streamrel::storage::wal::{replay_bytes, WalRecord};
 use streamrel::storage::{Io, StorageEngine, SyncMode};
-use streamrel::types::{Error, Value};
+use streamrel::types::{Column, DataType, Error, Schema, Value};
 use streamrel::{Db, DbOptions};
-use streamrel_bench::torture::{cq_sweep, engine_sweep};
+use streamrel_bench::torture::{
+    checkpoint_reset_sweep, cq_sweep, engine_sweep, engine_sweep_with_logs,
+};
 use streamrel_faults::{FaultIo, FaultPlan};
 
 // ---- crash-at-every-op sweeps ---------------------------------------------
@@ -38,10 +41,30 @@ fn torture_sweep_proves_recovery_at_scale() {
     assert!(failures.is_empty(), "divergences:\n{}", failures.join("\n"));
 }
 
+/// The same proof over *multiple* WAL logs (DESIGN.md §13): inserts and
+/// deletes are deliberately routed to different commit domains, so every
+/// crash point also exercises the cross-log LSN-merge recovery cut, the
+/// per-shard checkpoint epochs, and the stale-log discard.
+#[test]
+fn multilog_torture_sweep_proves_recovery_at_scale() {
+    let m = engine_sweep_with_logs(42, 40, 3).unwrap();
+    let ck = checkpoint_reset_sweep(42, 3).unwrap();
+    let points = m.crash_points + ck.crash_points;
+    assert!(points >= 100, "only {points} crash points exercised");
+    let failures: Vec<String> = m
+        .failures
+        .iter()
+        .chain(&ck.failures)
+        .map(|f| format!("seed={} op={}: {}", f.seed, f.op, f.detail))
+        .collect();
+    assert!(failures.is_empty(), "divergences:\n{}", failures.join("\n"));
+}
+
 proptest! {
     #![proptest_config(Config::with_cases(5))]
     /// The same proof must hold for arbitrary seeds, i.e. arbitrary
-    /// workload shapes, crash offsets and tear points.
+    /// workload shapes, crash offsets and tear points — with one log and
+    /// with several.
     #[test]
     fn torture_sweep_holds_for_random_seeds(seed in 0u64..u64::MAX / 2) {
         let e = engine_sweep(seed, 24).unwrap();
@@ -49,6 +72,12 @@ proptest! {
             e.failures.is_empty(),
             "storage divergence: seed={} op={}: {}",
             e.failures[0].seed, e.failures[0].op, e.failures[0].detail
+        );
+        let m = engine_sweep_with_logs(seed, 16, 2 + (seed % 3) as usize).unwrap();
+        prop_assert!(
+            m.failures.is_empty(),
+            "multilog divergence: seed={} op={}: {}",
+            m.failures[0].seed, m.failures[0].op, m.failures[0].detail
         );
         let c = cq_sweep(seed, 8).unwrap();
         prop_assert!(
@@ -114,6 +143,206 @@ fn failed_fsync_poisons_the_wal_until_reopen() {
     assert!(!e.wal_poisoned());
     e.catalog_put("after", "recovery").unwrap();
     assert_eq!(e.catalog_get("after").as_deref(), Some("recovery"));
+}
+
+// ---- fsyncgate, per shard: poisoning is scoped to one commit domain -------
+
+fn two_col_schema() -> Schema {
+    Schema::new(vec![
+        Column::not_null("k", DataType::Text),
+        Column::new("v", DataType::Int),
+    ])
+    .unwrap()
+}
+
+/// A failed fsync on one commit domain's log poisons *that domain only*
+/// (DESIGN.md §13): the healthy domain keeps committing, the poisoned
+/// one rejects with a shard-scoped error until reopen, and the per-shard
+/// gauges tell them apart. Reopen re-establishes every domain.
+#[test]
+fn poisoned_shard_rejects_while_healthy_shard_commits() {
+    // Syncs #0/#1 are the two epoch stamps at open; #2 is the CREATE
+    // TABLE DDL fsync (domain 0). The error is scheduled a little past
+    // that and the domain-1 commit loop below walks into it.
+    let io = FaultIo::new(FaultPlan::sync_error_at(7, 4));
+    let dynio: Arc<dyn Io> = io.clone();
+    let e = StorageEngine::open_with_opts("/sim/db", SyncMode::Fsync, dynio, 2).unwrap();
+    let t = e.create_table("t", two_col_schema()).unwrap();
+
+    let insert_on = |e: &StorageEngine, domain: usize, v: i64| {
+        e.with_txn_on(domain, |x| {
+            e.insert(x, t, vec![Value::text(format!("k{v}")), Value::Int(v)])
+        })
+    };
+
+    // Commit on domain 1 until the injected EIO lands on wal-1.log.
+    let mut acked_d1 = 0i64;
+    let mut hit = None;
+    for v in 0..8 {
+        match insert_on(&e, 1, v) {
+            Ok(_) => acked_d1 += 1,
+            Err(err) => {
+                hit = Some(err);
+                break;
+            }
+        }
+    }
+    let err = hit.expect("the scheduled EIO never fired");
+    assert!(
+        matches!(&err, Error::Io(m) if m.contains("EIO")),
+        "first failure surfaces the causal error, got {err}"
+    );
+    assert_eq!(e.wal_poisoned_shards(), vec![1], "only domain 1 poisoned");
+
+    // The poisoned domain rejects with a shard-scoped typed error...
+    let err = insert_on(&e, 1, 100).unwrap_err();
+    assert!(
+        matches!(&err, Error::WalPoisoned(m) if m.contains("shard 1")),
+        "expected a shard-scoped WalPoisoned, got {err}"
+    );
+    // ...while the healthy domain keeps committing.
+    for v in 200..203 {
+        insert_on(&e, 0, v).unwrap();
+    }
+
+    // Gauges: global = count of poisoned domains; per-shard tells which.
+    let rel = e.metrics().to_relation();
+    let gauge = |name: &str| {
+        rel.rows()
+            .iter()
+            .find(|r| r.first() == Some(&Value::text(name)))
+            .and_then(|r| r.get(2).cloned())
+    };
+    assert_eq!(gauge("wal.poisoned"), Some(Value::Int(1)));
+    assert_eq!(gauge("wal.poisoned.shard1"), Some(Value::Int(1)));
+    assert_eq!(gauge("wal.poisoned.shard0"), Some(Value::Int(0)));
+
+    // Reopen over the surviving bytes: both domains accept writes, the
+    // gauges settle back to 0 per shard, and every acked commit (on
+    // either domain) survived.
+    let image = io.image();
+    assert_eq!(
+        image.files_matching("wal-").len(),
+        2,
+        "each commit domain owns its own wal-<k>.log"
+    );
+    drop(e);
+    let rio = FaultIo::from_image(&image, FaultPlan::none(0));
+    let dynio: Arc<dyn Io> = rio.clone();
+    let e = StorageEngine::open_with_opts("/sim/db", SyncMode::Fsync, dynio, 2).unwrap();
+    assert!(!e.wal_poisoned());
+    assert!(e.wal_poisoned_shards().is_empty());
+    let rel = e.metrics().to_relation();
+    let settled = |name: &str| {
+        rel.rows()
+            .iter()
+            .find(|r| r.first() == Some(&Value::text(name)))
+            .and_then(|r| r.get(2).cloned())
+    };
+    assert_eq!(settled("wal.poisoned"), Some(Value::Int(0)));
+    assert_eq!(settled("wal.poisoned.shard0"), Some(Value::Int(0)));
+    assert_eq!(settled("wal.poisoned.shard1"), Some(Value::Int(0)));
+
+    let t = e.table_id("t").unwrap();
+    let survivors = e.scan(t, &e.snapshot()).unwrap().len() as i64;
+    assert!(
+        survivors >= acked_d1 + 3,
+        "acked commits lost: {survivors} < {}",
+        acked_d1 + 3
+    );
+    e.with_txn_on(1, |x| {
+        e.insert(x, t, vec![Value::text("post"), Value::Int(-1)])
+    })
+    .unwrap();
+    e.with_txn_on(0, |x| {
+        e.insert(x, t, vec![Value::text("post0"), Value::Int(-2)])
+    })
+    .unwrap();
+}
+
+// ---- group commit: conservation across a crash ----------------------------
+
+/// Conservation across a crash with concurrent group-committed writers
+/// on two domains: every transaction whose commit was *acknowledged*
+/// (its `with_txn_on` returned Ok) survives recovery, and nothing
+/// recovers that was never attempted. Swept over several crash points so
+/// the crash lands before, between and after the two logs' fsyncs.
+#[test]
+fn group_commit_conservation_across_crash() {
+    for crash_op in [6u64, 12, 20, 35, 60] {
+        let io = FaultIo::new(FaultPlan::crash_at(0xACED, crash_op));
+        let dynio: Arc<dyn Io> = io.clone();
+        let acked: Arc<Mutex<HashSet<i64>>> = Arc::new(Mutex::new(HashSet::new()));
+        if let Ok(e) = StorageEngine::open_with_opts("/sim/db", SyncMode::Fsync, dynio, 2) {
+            let e = Arc::new(e);
+            if let Ok(t) = e.create_table("t", two_col_schema()) {
+                let threads: Vec<_> = (0..2i64)
+                    .map(|d| {
+                        let e = Arc::clone(&e);
+                        let acked = Arc::clone(&acked);
+                        std::thread::spawn(move || {
+                            for j in 0..30i64 {
+                                let v = d * 1000 + j;
+                                let ok = e
+                                    .with_txn_on(d as usize, |x| {
+                                        e.insert(
+                                            x,
+                                            t,
+                                            vec![Value::text(format!("k{v}")), Value::Int(v)],
+                                        )
+                                    })
+                                    .is_ok();
+                                if !ok {
+                                    break;
+                                }
+                                acked.lock().unwrap().insert(v);
+                            }
+                        })
+                    })
+                    .collect();
+                for th in threads {
+                    th.join().unwrap();
+                }
+            }
+        }
+        let acked = Arc::try_unwrap(acked).unwrap().into_inner().unwrap();
+
+        let image = io.frozen_image().unwrap();
+        let rio = FaultIo::from_image(&image, FaultPlan::none(0));
+        let dynio: Arc<dyn Io> = rio.clone();
+        let e = StorageEngine::open_with_opts("/sim/db", SyncMode::Fsync, dynio, 2).unwrap();
+        let recovered: Vec<i64> = match e.table_id("t") {
+            Ok(t) => e
+                .scan(t, &e.snapshot())
+                .unwrap()
+                .into_iter()
+                .filter_map(|(_, r)| match r.get(1) {
+                    Some(Value::Int(v)) => Some(*v),
+                    _ => None,
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        let recovered_set: HashSet<i64> = recovered.iter().copied().collect();
+        assert_eq!(
+            recovered.len(),
+            recovered_set.len(),
+            "crash op {crash_op}: replay duplicated a committed row"
+        );
+        for v in &acked {
+            assert!(
+                recovered_set.contains(v),
+                "crash op {crash_op}: acked commit {v} lost"
+            );
+        }
+        for v in &recovered_set {
+            let attempted = (0..30).contains(v) || (1000..1030).contains(v);
+            assert!(
+                attempted,
+                "crash op {crash_op}: recovered a row never written: {v}"
+            );
+        }
+    }
 }
 
 // ---- disk full: a rejected append poisons the WAL -------------------------
@@ -229,40 +458,46 @@ fn corrupt_read_at_open_never_panics() {
 
 #[test]
 fn wal_replay_truncates_at_torn_tail() {
-    // On-disk framing, as `Wal::append` writes it.
-    fn frame(rec: &WalRecord) -> Vec<u8> {
+    // On-disk framing, as `Wal::append` writes it: the CRC covers the
+    // LSN *and* the payload, so a flipped LSN is rejected too.
+    fn frame(lsn: u64, rec: &WalRecord) -> Vec<u8> {
         let payload = rec.encode();
-        let mut out = Vec::with_capacity(payload.len() + 8);
-        out.extend((payload.len() as u32).to_le_bytes());
-        out.extend(streamrel::storage::crc::crc32(&payload).to_le_bytes());
-        out.extend(payload);
+        let mut body = Vec::with_capacity(8 + payload.len());
+        body.extend(lsn.to_le_bytes());
+        body.extend(payload);
+        let mut out = Vec::with_capacity(body.len() + 8);
+        out.extend(((body.len() - 8) as u32).to_le_bytes());
+        out.extend(streamrel::storage::crc::crc32(&body).to_le_bytes());
+        out.extend(body);
         out
     }
 
     let mut valid = Vec::new();
-    valid.extend(frame(&WalRecord::Epoch { epoch: 1 }));
-    valid.extend(frame(&WalRecord::Commit { xid: 9 }));
+    valid.extend(frame(1, &WalRecord::Epoch { epoch: 1, shard: 0 }));
+    valid.extend(frame(2, &WalRecord::Commit { xid: 9 }));
     let valid_len = valid.len() as u64;
 
     // A torn tail: the final record only partially reached the platter.
-    let tail = frame(&WalRecord::Commit { xid: 10 });
+    let tail = frame(3, &WalRecord::Commit { xid: 10 });
     for cut in 1..tail.len() {
         let mut torn = valid.clone();
         torn.extend(&tail[..cut]);
         let (records, len) = replay_bytes(&torn);
         assert_eq!(records.len(), 2, "torn frame (cut {cut}) must not replay");
         assert_eq!(len, valid_len, "valid prefix ends before the tear");
+        assert_eq!(records[1].0, 2, "intact records keep their LSNs");
     }
 
-    // A bit flip inside the tail frame: CRC rejects it, replay keeps the
-    // intact prefix.
-    let mut flipped = valid.clone();
-    flipped.extend(&tail);
-    let at = valid.len() + 8; // first payload byte of the tail frame
-    flipped[at] ^= 0x40;
-    let (records, len) = replay_bytes(&flipped);
-    assert_eq!(records.len(), 2, "CRC-invalid frame must not replay");
-    assert_eq!(len, valid_len);
+    // A bit flip inside the tail frame (in the LSN and in the payload):
+    // CRC rejects it, replay keeps the intact prefix.
+    for at in [valid.len() + 8, valid.len() + 16] {
+        let mut flipped = valid.clone();
+        flipped.extend(&tail);
+        flipped[at] ^= 0x40;
+        let (records, len) = replay_bytes(&flipped);
+        assert_eq!(records.len(), 2, "CRC-invalid frame must not replay");
+        assert_eq!(len, valid_len);
+    }
 }
 
 /// End-to-end torn tail: crash mid-append with a bit flip in the torn
