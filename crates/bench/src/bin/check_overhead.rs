@@ -79,6 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sharing: true,
         ivm: true,
         registry: Some(&registry),
+        budget: None,
     };
 
     // Warm-up plus sanity: the unbounded plan must be the one rejection.

@@ -7,6 +7,7 @@
 
 #![deny(unsafe_code)]
 
+pub mod race;
 pub mod torture;
 
 use std::time::{Duration, Instant};

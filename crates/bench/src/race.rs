@@ -1,0 +1,400 @@
+//! Race torture: seeded chaos scheduling over the engine's concurrency
+//! invariants (DESIGN.md §14).
+//!
+//! Each suite runs a **fixed** deterministic workload twice: once
+//! serially with no perturbation to produce a canonical reference, then
+//! concurrently with [`streamrel_faults::chaos`] armed under the sweep
+//! seed and the runtime lock witness validating every named-lock
+//! acquisition against the generated global order. The contract is
+//! byte-identical: for every seed the concurrent run's observable
+//! results must equal the reference exactly — any divergence is a real
+//! ordering bug, reported as a [`RaceFailure`] carrying the seed that
+//! reproduces it.
+//!
+//! * [`parallel_equivalence`] — concurrent sharded ingest across three
+//!   streams vs the single-shard inline-evaluation baseline; every
+//!   subscription's window sequence must match byte for byte.
+//! * [`group_commit_conservation`] — four writer threads ingest through
+//!   the sharded WAL's group-commit path into archived Active Tables;
+//!   every tuple must be counted exactly once, both live and after a
+//!   simulated restart from the disk image.
+//! * [`subscription_conservation`] — four subscribers drain one CQ from
+//!   their own threads while the writer is still ingesting; each must
+//!   observe the identical, complete, close-ordered window sequence.
+
+use std::sync::Arc;
+
+use streamrel_core::{Db, DbOptions, SubscriptionId};
+use streamrel_faults::{chaos, FaultIo, FaultPlan};
+use streamrel_types::Value;
+
+/// Simulated data directory for the durable suite.
+const SIM_DIR: &str = "/sim/race";
+
+/// One divergence: the reproduction recipe plus what went wrong.
+#[derive(Debug, Clone)]
+pub struct RaceFailure {
+    /// Which suite diverged.
+    pub suite: &'static str,
+    /// Chaos seed that reproduces the failure.
+    pub seed: u64,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+/// One race suite: a name and a chaos-perturbed invariant check.
+type Suite = (&'static str, fn() -> Result<(), String>);
+
+/// Result of sweeping one seed across every suite.
+#[derive(Debug, Default)]
+pub struct RaceOutcome {
+    /// Synchronization points perturbed across the suites.
+    pub chaos_points: u64,
+    /// Divergences (empty = all invariants held under this schedule).
+    pub failures: Vec<RaceFailure>,
+}
+
+/// Run every suite under `seed`. The lock witness is enabled for the
+/// duration, so a lock-order inversion or deadlock panics inside the
+/// suite and is reported as a failure rather than aborting the sweep.
+pub fn run_seed(seed: u64) -> RaceOutcome {
+    let mut outcome = RaceOutcome::default();
+    parking_lot::witness::enable();
+    let suites: [Suite; 3] = [
+        ("parallel-equivalence", parallel_equivalence),
+        ("group-commit-conservation", group_commit_conservation),
+        ("subscription-conservation", subscription_conservation),
+    ];
+    for (name, suite) in suites {
+        chaos::arm(seed);
+        let run = std::panic::catch_unwind(suite);
+        chaos::disarm();
+        outcome.chaos_points += chaos::ops();
+        let detail = match run {
+            Ok(Ok(())) => continue,
+            Ok(Err(detail)) => detail,
+            Err(panic) => format!("panic: {}", panic_message(&panic)),
+        };
+        outcome.failures.push(RaceFailure {
+            suite: name,
+            seed,
+            detail,
+        });
+    }
+    parking_lot::witness::disable();
+    outcome
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---- suite 1: parallel equivalence -----------------------------------------
+
+const STREAMS: usize = 3;
+
+/// The fixed workload: per stream, batches of (value, clock-gap) rows.
+/// Derived from splitmix64 so every run — reference and perturbed —
+/// ingests the same bytes.
+fn workload() -> Vec<Vec<Vec<(i64, i64)>>> {
+    const WORKLOAD_SEED: u64 = 0xC0FFEE;
+    (0..STREAMS as u64)
+        .map(|s| {
+            (0..6u64)
+                .map(|b| {
+                    (0..8u64)
+                        .map(|r| {
+                            let d = chaos::splitmix64(WORKLOAD_SEED ^ (s << 32) ^ (b << 16) ^ r);
+                            ((d % 100) as i64, (d >> 32) as i64 % 20_000_000)
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn setup_streams(db: &Db) -> Vec<SubscriptionId> {
+    let mut subs = Vec::new();
+    for i in 0..STREAMS {
+        db.execute(&format!(
+            "CREATE STREAM s{i} (v integer, ts timestamp CQTIME USER)"
+        ))
+        .unwrap();
+        subs.push(
+            db.execute(&format!(
+                "SELECT count(*) c, sum(v) t FROM s{i} <TUMBLING '1 minute'>"
+            ))
+            .unwrap()
+            .subscription(),
+        );
+        subs.push(
+            db.execute(&format!(
+                "SELECT sum(v) t, min(v) lo FROM s{i} \
+                 <VISIBLE '2 minutes' ADVANCE '1 minute'>"
+            ))
+            .unwrap()
+            .subscription(),
+        );
+    }
+    subs
+}
+
+/// Gap-encoded batches to absolute-timestamp rows.
+fn materialize(batches: &[Vec<(i64, i64)>]) -> Vec<Vec<Vec<Value>>> {
+    let mut clock = 0i64;
+    batches
+        .iter()
+        .map(|batch| {
+            batch
+                .iter()
+                .map(|&(v, gap)| {
+                    clock += gap;
+                    vec![Value::Int(v), Value::Timestamp(clock)]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Canonical form of one subscription's output: close timestamp plus
+/// the debug rendering of the relation's rows (total, deterministic).
+fn drain_canonical(db: &Db, subs: &[SubscriptionId]) -> Vec<Vec<(i64, String)>> {
+    subs.iter()
+        .map(|&sub| {
+            db.poll(sub)
+                .unwrap()
+                .into_iter()
+                .map(|o| (o.close, format!("{:?}", o.relation.rows())))
+                .collect()
+        })
+        .collect()
+}
+
+fn parallel_equivalence() -> Result<(), String> {
+    let workload = workload();
+    // Reference: one shard, inline evaluation, serial ingest, unperturbed.
+    chaos::disarm();
+    let reference = {
+        let db = Db::in_memory(DbOptions::default().with_shards(1).with_pool_workers(0));
+        let subs = setup_streams(&db);
+        for (i, batches) in workload.iter().enumerate() {
+            for rows in materialize(batches) {
+                db.ingest_batch(&format!("s{i}"), rows).unwrap();
+            }
+        }
+        for i in 0..STREAMS {
+            db.heartbeat(&format!("s{i}"), 3_600_000_000).unwrap();
+        }
+        drain_canonical(&db, &subs)
+    };
+    // System under test: default shards and pool, one ingester thread per
+    // stream, chaos re-armed with its op counter continuing.
+    chaos::rearm();
+    let got = {
+        let db = Db::in_memory(DbOptions::default());
+        let subs = setup_streams(&db);
+        std::thread::scope(|s| {
+            for (i, batches) in workload.iter().enumerate() {
+                let db = &db;
+                s.spawn(move || {
+                    for rows in materialize(batches) {
+                        db.ingest_batch(&format!("s{i}"), rows).unwrap();
+                    }
+                });
+            }
+        });
+        for i in 0..STREAMS {
+            db.heartbeat(&format!("s{i}"), 3_600_000_000).unwrap();
+        }
+        drain_canonical(&db, &subs)
+    };
+    if got != reference {
+        return Err(diff_detail(&reference, &got));
+    }
+    Ok(())
+}
+
+fn diff_detail(reference: &[Vec<(i64, String)>], got: &[Vec<(i64, String)>]) -> String {
+    for (i, (r, g)) in reference.iter().zip(got).enumerate() {
+        if r != g {
+            return format!(
+                "subscription #{i} diverged: reference {} window(s), got {} — first \
+                 differing entry: ref {:?} vs got {:?}",
+                r.len(),
+                g.len(),
+                r.iter().find(|e| !g.contains(e)),
+                g.iter().find(|e| !r.contains(e)),
+            );
+        }
+    }
+    "output shape diverged".to_string()
+}
+
+// ---- suite 2: group-commit conservation ------------------------------------
+
+const WRITERS: usize = 4;
+const ROWS_PER_WRITER: i64 = 400;
+
+fn group_commit_conservation() -> Result<(), String> {
+    // Durable Db over a simulated disk: four streams, each archived into
+    // its own Active Table through an APPEND channel, sharded WAL so
+    // commits race through the per-shard group-commit path.
+    let io = FaultIo::new(FaultPlan::none(0));
+    let opts = DbOptions::default().with_wal_shards(WRITERS);
+    let db = Db::open_with_io(SIM_DIR, opts, io.clone()).map_err(|e| e.to_string())?;
+    for i in 0..WRITERS {
+        db.execute(&format!(
+            "CREATE STREAM w{i} (v integer, ts timestamp CQTIME USER)"
+        ))
+        .unwrap();
+        db.execute(&format!("CREATE TABLE agg{i} (c bigint, w timestamp)"))
+            .unwrap();
+        db.execute(&format!(
+            "CREATE STREAM per{i} AS SELECT count(*) c, cq_close(*) w \
+             FROM w{i} <TUMBLING '1 second'>"
+        ))
+        .unwrap();
+        db.execute(&format!(
+            "CREATE CHANNEL ch{i} FROM per{i} INTO agg{i} APPEND"
+        ))
+        .unwrap();
+    }
+    std::thread::scope(|s| {
+        for i in 0..WRITERS {
+            let db = &db;
+            s.spawn(move || {
+                for r in 0..ROWS_PER_WRITER {
+                    db.ingest(
+                        &format!("w{i}"),
+                        vec![Value::Int(1), Value::Timestamp(r * 10_000)],
+                    )
+                    .unwrap();
+                }
+                db.heartbeat(&format!("w{i}"), ROWS_PER_WRITER * 10_000 + 1_000_000)
+                    .unwrap();
+            });
+        }
+    });
+    let count = |db: &Db| -> i64 {
+        (0..WRITERS)
+            .map(|i| {
+                db.execute(&format!("SELECT coalesce(sum(c), 0) FROM agg{i}"))
+                    .unwrap()
+                    .rows()
+                    .rows()[0][0]
+                    .as_int()
+                    .unwrap()
+            })
+            .sum()
+    };
+    let want = WRITERS as i64 * ROWS_PER_WRITER;
+    let live = count(&db);
+    if live != want {
+        return Err(format!("live count {live} != ingested {want}"));
+    }
+    // Simulated clean restart: everything the OS cache held is written
+    // back, then the WAL replays. Conservation must survive recovery.
+    drop(db);
+    let image = io.image();
+    let re_io = FaultIo::from_image(&image, FaultPlan::none(0));
+    let db = Db::open_with_io(
+        SIM_DIR,
+        DbOptions::default().with_wal_shards(WRITERS),
+        re_io,
+    )
+    .map_err(|e| e.to_string())?;
+    let recovered = count(&db);
+    if recovered != want {
+        return Err(format!("recovered count {recovered} != ingested {want}"));
+    }
+    Ok(())
+}
+
+// ---- suite 3: subscription conservation ------------------------------------
+
+const SUBSCRIBERS: usize = 4;
+const SUB_ROWS: i64 = 2_000;
+const SUB_WINDOWS: usize = 8;
+
+fn subscription_conservation() -> Result<(), String> {
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        .unwrap();
+    let subs: Vec<SubscriptionId> = (0..SUBSCRIBERS)
+        .map(|_| {
+            db.execute("SELECT count(*) c, sum(v) t FROM s <TUMBLING '1 second'>")
+                .unwrap()
+                .subscription()
+        })
+        .collect();
+    // Rows spread evenly over SUB_WINDOWS one-second windows.
+    let span = SUB_WINDOWS as i64 * 1_000_000;
+    let step = span / SUB_ROWS;
+    let results: Vec<Vec<(i64, i64, String)>> = std::thread::scope(|scope| {
+        let writer_db = db.clone();
+        scope.spawn(move || {
+            for r in 0..SUB_ROWS {
+                writer_db
+                    .ingest("s", vec![Value::Int(1), Value::Timestamp(r * step)])
+                    .unwrap();
+            }
+            writer_db.heartbeat("s", span).unwrap();
+        });
+        // Pollers drain concurrently with ingest, accumulating until the
+        // final window (which the heartbeat guarantees will close) shows
+        // up. The default queue capacity exceeds SUB_WINDOWS, so no
+        // overflow policy can silently drop a window.
+        subs.iter()
+            .map(|&sub| {
+                let db = db.clone();
+                scope.spawn(move || {
+                    let mut seen: Vec<(i64, i64, String)> = Vec::new();
+                    loop {
+                        for o in db.poll(sub).unwrap() {
+                            let count = o.relation.rows()[0][0].as_int().unwrap();
+                            seen.push((o.close, count, format!("{:?}", o.relation.rows())));
+                        }
+                        if seen.len() >= SUB_WINDOWS {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    seen
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for (i, r) in results.iter().enumerate() {
+        if r.len() != SUB_WINDOWS {
+            return Err(format!(
+                "subscriber #{i} saw {} window(s), expected {SUB_WINDOWS}",
+                r.len()
+            ));
+        }
+        if !r.windows(2).all(|p| p[0].0 < p[1].0) {
+            return Err(format!("subscriber #{i} saw out-of-order closes"));
+        }
+        if r != &results[0] {
+            return Err(format!("subscriber #{i} diverged from subscriber #0"));
+        }
+        // Conservation: the per-window counts must sum to every ingested
+        // row exactly once.
+        let total: i64 = r.iter().map(|w| w.1).sum();
+        if total != SUB_ROWS {
+            return Err(format!(
+                "subscriber #{i} window counts sum to {total}, ingested {SUB_ROWS}"
+            ));
+        }
+    }
+    Ok(())
+}

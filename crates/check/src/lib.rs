@@ -26,6 +26,15 @@
 #![deny(unsafe_code)]
 
 pub mod lint;
+pub mod lock_graph;
+
+/// The generated merged workspace lock-order table (see
+/// [`lock_graph`]). Lives in `lock_graph.gen.rs`, produced by
+/// `streamrel-lint --update-lock-graph` and staleness-checked by the
+/// lint; pulled in via `include!` so rustfmt leaves it alone.
+pub mod lock_graph_gen {
+    include!("lock_graph.gen.rs");
+}
 
 use std::sync::Arc;
 use streamrel_cq::shared::{extract_shape, SharedRegistry};
@@ -88,11 +97,28 @@ impl Finding {
     }
 }
 
+/// The engine-wide standing-state budget at one admission decision.
+///
+/// Carried in [`CheckContext`] when `DbOptions::state_budget_bytes` is
+/// configured: `limit_bytes` is the cross-CQ cap and `admitted_bytes`
+/// the sum of the bounds of every CQ currently registered. The budget
+/// rule rejects a plan whose own bound would push the sum past the cap
+/// — and, because the cap is a *proof* obligation, any plan whose state
+/// cannot be byte-bounded at all (arrival-rate-dependent windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateBudget {
+    /// The configured cross-CQ cap.
+    pub limit_bytes: u64,
+    /// Bytes already admitted against the cap.
+    pub admitted_bytes: u64,
+}
+
 /// Context the admission check needs from the engine.
 ///
 /// Everything here is optional in the sense that `check_plan` degrades
 /// gracefully: without a registry the shared-grid rule simply cannot
-/// fire (there is nothing to mismatch against).
+/// fire (there is nothing to mismatch against), and without a budget
+/// the byte bound is reported but never enforced.
 #[derive(Default)]
 pub struct CheckContext<'a> {
     /// Whether shared slice aggregation is enabled engine-wide.
@@ -101,6 +127,8 @@ pub struct CheckContext<'a> {
     pub ivm: bool,
     /// The live shared-slice registry, for grid-compatibility checks.
     pub registry: Option<&'a SharedRegistry>,
+    /// The cross-CQ standing-state budget, when one is configured.
+    pub budget: Option<StateBudget>,
 }
 
 /// Result of the Level-1 plan analysis.
@@ -112,6 +140,11 @@ pub struct CheckReport {
     pub findings: Vec<Finding>,
     /// Conservative human-readable bound on standing state.
     pub state_bound: String,
+    /// Conservative numeric bound on standing state, when one exists:
+    /// `Some(bytes)` iff every stream scan is row-bounded (row windows),
+    /// `Some(0)` for snapshot queries, `None` when the state depends on
+    /// arrival rate (time windows, slices, unbounded scans).
+    pub state_bound_bytes: Option<u64>,
     /// Execution path the CQ takes at each window close: `"ivm"` when the
     /// plan lowers to incremental view maintenance, `"reeval"` for
     /// per-window re-evaluation, `"-"` for snapshot queries.
@@ -207,10 +240,14 @@ impl CheckReport {
                 path.clone(),
             ]);
         }
+        let bytes = match self.state_bound_bytes {
+            Some(b) => format!("{b} byte(s)"),
+            None => "unbounded in bytes (arrival-rate dependent)".to_string(),
+        };
         rel.push(vec![
             Value::text("state-bound"),
             Value::text(""),
-            Value::text(&self.state_bound),
+            Value::text(format!("{}; {bytes}", self.state_bound)),
             Value::text(""),
             path,
         ]);
@@ -238,11 +275,15 @@ pub fn check_plan(plan: &LogicalPlan, ctx: &CheckContext) -> CheckReport {
     window_shape_rules(plan, &mut findings);
     shared_grid_rule(plan, ctx, &mut findings);
     non_monotonic_rule(plan, &mut findings);
+    let continuous = plan.is_continuous();
+    let state_bound_bytes = state_bound_bytes(plan);
+    if continuous {
+        budget_rule(state_bound_bytes, ctx, &mut findings);
+    }
     findings.sort_by_key(|f| match f.severity {
         Severity::Reject => 0,
         Severity::Warn => 1,
     });
-    let continuous = plan.is_continuous();
     let (path, ivm_fallback) = if !continuous {
         ("-", None)
     } else if !ctx.ivm {
@@ -268,6 +309,7 @@ pub fn check_plan(plan: &LogicalPlan, ctx: &CheckContext) -> CheckReport {
     CheckReport {
         continuous,
         state_bound,
+        state_bound_bytes,
         findings,
         path,
         ivm_fallback,
@@ -523,6 +565,82 @@ fn non_monotonic_rule(plan: &LogicalPlan, out: &mut Vec<Finding>) {
             ));
         }
     });
+}
+
+/// Estimated in-memory width of one buffered row: fixed-width scalars
+/// at their natural size, plus a nominal allowance for variable-width
+/// text (conservative for typical keys, not a hard ceiling).
+fn row_width_bytes(schema: &Schema) -> u64 {
+    schema
+        .columns()
+        .iter()
+        .map(|c| match c.ty {
+            DataType::Bool => 1,
+            DataType::Int | DataType::Float | DataType::Timestamp | DataType::Interval => 8,
+            DataType::Text => 64,
+        })
+        .sum()
+}
+
+/// Conservative numeric byte bound on the plan's standing state, when
+/// one can be proven: row windows buffer exactly `visible` rows per
+/// scan, so their state is `visible x row width`. Time windows, slice
+/// windows and unbounded scans depend on arrival rate (or upstream
+/// batch size), so no byte bound exists and the whole plan reports
+/// `None`. Snapshot queries hold no standing state.
+fn state_bound_bytes(plan: &LogicalPlan) -> Option<u64> {
+    let mut total: Option<u64> = Some(0);
+    plan.visit(&mut |p| {
+        if let LogicalPlan::StreamScan { schema, window, .. } = p {
+            let scan = match window {
+                WindowSpec::Rows { visible, .. } => Some(*visible * row_width_bytes(schema)),
+                WindowSpec::Time { .. } | WindowSpec::Slices { .. } | WindowSpec::Unbounded => None,
+            };
+            total = match (total, scan) {
+                (Some(t), Some(s)) => Some(t + s),
+                _ => None,
+            };
+        }
+    });
+    total
+}
+
+/// Rule `state-budget` (reject): with a cross-CQ standing-state budget
+/// configured, a plan is admitted only if its byte bound *provably*
+/// fits in the remaining budget. A plan with no byte bound at all
+/// (arrival-rate-dependent state) cannot discharge that proof and is
+/// rejected outright — the budget is a guarantee, not a heuristic.
+fn budget_rule(bound: Option<u64>, ctx: &CheckContext, out: &mut Vec<Finding>) {
+    let Some(budget) = ctx.budget else { return };
+    match bound {
+        None => out.push(Finding::reject(
+            "state-budget",
+            "the plan's standing state depends on arrival rate and cannot \
+             be byte-bounded, so it is not admissible under the engine's \
+             state budget"
+                .to_string(),
+            "use row-bounded windows (e.g. <visible 100 rows advance 10 \
+             rows>) or raise/remove DbOptions::state_budget_bytes"
+                .to_string(),
+        )),
+        Some(bytes) => {
+            let remaining = budget.limit_bytes.saturating_sub(budget.admitted_bytes);
+            if bytes > remaining {
+                out.push(Finding::reject(
+                    "state-budget",
+                    format!(
+                        "the plan needs up to {bytes} byte(s) of standing \
+                         state but only {remaining} of the {} byte budget \
+                         remain ({} already admitted across running CQs)",
+                        budget.limit_bytes, budget.admitted_bytes
+                    ),
+                    "drop or re-window other CQs, shrink this window, or \
+                     raise DbOptions::state_budget_bytes"
+                        .to_string(),
+                ));
+            }
+        }
+    }
 }
 
 /// Conservative human-readable bound on the standing state the plan
@@ -848,6 +966,91 @@ mod tests {
         let report = check_with_ivm("select * from sites");
         assert_eq!(report.path, "-");
         assert_eq!(report.ivm_fallback, None);
+    }
+
+    fn check_with_budget(sql: &str, limit: u64, admitted: u64) -> CheckReport {
+        let stmt = parse_statement(sql).expect("parse");
+        let Statement::Select(q) = stmt else {
+            panic!("not a select")
+        };
+        let analyzed = Analyzer::new(&TestProvider).analyze(&q).expect("analyze");
+        check_plan(
+            &analyzed.plan,
+            &CheckContext {
+                budget: Some(StateBudget {
+                    limit_bytes: limit,
+                    admitted_bytes: admitted,
+                }),
+                ..CheckContext::default()
+            },
+        )
+    }
+
+    #[test]
+    fn state_bound_bytes_computed_for_row_windows() {
+        // hits: ts(8) + url(64) + bytes(8) = 80 bytes/row x 100 rows.
+        let report = admitted("select count(*) from hits <visible 100 rows advance 100 rows>");
+        assert_eq!(report.state_bound_bytes, Some(8_000));
+        // Time windows depend on arrival rate: no byte bound.
+        let report = admitted("select count(*) from hits <visible '1 minute' advance '1 minute'>");
+        assert_eq!(report.state_bound_bytes, None);
+        // Snapshot queries hold nothing.
+        assert_eq!(check("select * from sites").state_bound_bytes, Some(0));
+    }
+
+    #[test]
+    fn budget_admits_within_and_rejects_over() {
+        // 8000 bytes needed, 10000 available: admitted.
+        let report = check_with_budget(
+            "select count(*) from hits <visible 100 rows advance 100 rows>",
+            10_000,
+            0,
+        );
+        assert!(report.rejection().is_none(), "{:?}", report.findings);
+        // Same plan, but 4000 of the 10000 already admitted: rejected.
+        let report = check_with_budget(
+            "select count(*) from hits <visible 100 rows advance 100 rows>",
+            10_000,
+            4_000,
+        );
+        let f = report.rejection().expect("over-budget plan must reject");
+        assert_eq!(f.rule, "state-budget");
+        assert!(f.message.contains("8000"), "{}", f.message);
+    }
+
+    #[test]
+    fn budget_rejects_unboundable_plans() {
+        let report = check_with_budget(
+            "select count(*) from hits <visible '1 minute' advance '1 minute'>",
+            1 << 30,
+            0,
+        );
+        assert_eq!(
+            report.rejection().expect("reject").rule,
+            "state-budget",
+            "arrival-rate-dependent state cannot be admitted under a budget"
+        );
+        // No budget configured: the same plan is admitted.
+        admitted("select count(*) from hits <visible '1 minute' advance '1 minute'>");
+    }
+
+    #[test]
+    fn budget_ignores_snapshot_queries() {
+        let report = check_with_budget("select * from sites", 1, 0);
+        assert!(report.rejection().is_none());
+    }
+
+    #[test]
+    fn report_relation_carries_byte_bound() {
+        let rel =
+            check("select count(*) from hits <visible 100 rows advance 100 rows>").to_relation();
+        let bound_row = rel
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::text("state-bound"))
+            .expect("state-bound row");
+        let detail = format!("{:?}", bound_row[2]);
+        assert!(detail.contains("8000 byte(s)"), "{detail}");
     }
 
     #[test]

@@ -17,16 +17,32 @@
 //!   declaration. Nested acquisition with no declared order is how the
 //!   shard/pool locks would silently grow deadlock potential.
 //! * **`relaxed-ordering`** — `Ordering::Relaxed` is allowed only in
-//!   `crates/obs` (metrics counters, where staleness is acceptable).
+//!   `crates/obs` (metrics counters, where staleness is acceptable), and
+//!   even there only for *counter-style* atomics: a receiver that pairs a
+//!   Relaxed `.store(` with a Relaxed `.load(` and never goes through a
+//!   `fetch_*` RMW is a cross-thread handoff, which Relaxed cannot
+//!   synchronize — flagged everywhere. Allowlist entries for this rule
+//!   must carry a `-- justification` suffix.
+//! * **`condvar-wait-loop`** — `Condvar::wait`/`wait_for`/`wait_while`
+//!   sites in `crates/` must sit inside a `while`/`loop`/`for` guard (a
+//!   condvar wake is a hint, not a proof — spurious wakeups and stolen
+//!   wakes require re-checking the predicate), or carry a
+//!   `// lint: wait-ok(reason)` justification.
 //! * **`reserved-prefix`** — the reserved `streamrel_` catalog prefix may
 //!   be hardcoded only at its definition/enforcement sites; everything
 //!   else must go through `streamrel_obs::RESERVED_PREFIX`.
 //! * **`deny-unsafe`** — every crate root carries `#![deny(unsafe_code)]`
 //!   or a documented `lint: allow-unsafe(reason)` exception comment.
 //!
+//! On top of the per-file rules, [`run`] also executes the
+//! whole-workspace lock-graph analysis (see [`crate::lock_graph`]):
+//! rules `lock-cycle`, `lock-graph-inversion`, and `lock-graph-stale`.
+//!
 //! Violations can be burned down via the `lint.allow` file at the repo
-//! root (`<rule-id> <path>` per line). Entries that no longer match
-//! anything **fail the lint** — the allowlist can only shrink.
+//! root (`<rule-id> <path> [-- justification]` per line). Entries that no
+//! longer match anything **fail the lint** — the allowlist can only
+//! shrink — and `relaxed-ordering` entries without a justification are
+//! rejected.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -100,6 +116,7 @@ pub fn run(root: &Path) -> io::Result<LintReport> {
     files.sort();
     let mut report = LintReport::default();
     let mut used: BTreeSet<usize> = BTreeSet::new();
+    let mut found: Vec<Violation> = Vec::new();
     for file in &files {
         let rel = file
             .strip_prefix(root)
@@ -108,25 +125,36 @@ pub fn run(root: &Path) -> io::Result<LintReport> {
             .replace('\\', "/");
         let content = fs::read_to_string(file)?;
         report.files_scanned += 1;
-        for v in lint_file(&rel, &content) {
-            match allow.iter().position(|(r, p)| *r == v.rule && *p == v.path) {
-                Some(i) => {
-                    used.insert(i);
-                    report.allowed += 1;
-                }
-                None => report.violations.push(v),
+        found.extend(lint_file(&rel, &content));
+    }
+    // Whole-workspace lock-graph pass (cycles, inversions, staleness).
+    found.extend(crate::lock_graph::analyze(root)?.violations);
+    for v in found {
+        match allow
+            .iter()
+            .position(|e| e.rule == v.rule && e.path == v.path && e.usable())
+        {
+            Some(i) => {
+                used.insert(i);
+                report.allowed += 1;
             }
+            None => report.violations.push(v),
         }
     }
-    for (i, (rule, path)) in allow.iter().enumerate() {
-        if !used.contains(&i) {
-            report.stale.push(format!("{rule} {path}"));
+    for (i, e) in allow.iter().enumerate() {
+        if !e.usable() {
+            report.stale.push(format!(
+                "{} {} (entries for this rule need a `-- justification` suffix)",
+                e.rule, e.path
+            ));
+        } else if !used.contains(&i) {
+            report.stale.push(format!("{} {}", e.rule, e.path));
         }
     }
     Ok(report)
 }
 
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     if !dir.is_dir() {
         return Ok(());
     }
@@ -145,21 +173,49 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Parse `lint.allow` text: `#` comments, blank lines, `<rule> <path>`.
-fn parse_allowlist(text: &str) -> Vec<(String, String)> {
+/// One parsed `lint.allow` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    /// Text after a `--` separator, if any.
+    pub justification: Option<String>,
+}
+
+/// Rules whose allowlist entries must carry a `-- justification`.
+const JUSTIFIED_RULES: &[&str] = &["relaxed-ordering"];
+
+impl AllowEntry {
+    /// False when the entry is rejected for missing its justification.
+    fn usable(&self) -> bool {
+        self.justification.is_some() || !JUSTIFIED_RULES.contains(&self.rule.as_str())
+    }
+}
+
+/// Parse `lint.allow` text: `#` comments, blank lines, and
+/// `<rule> <path> [-- justification]` entries.
+fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
     text.lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .filter_map(|l| {
-            let (rule, path) = l.split_once(char::is_whitespace)?;
-            Some((rule.to_string(), path.trim().to_string()))
+            let (entry, justification) = match l.split_once("--") {
+                Some((e, j)) => (e.trim(), Some(j.trim().to_string())),
+                None => (l, None),
+            };
+            let (rule, path) = entry.split_once(char::is_whitespace)?;
+            Some(AllowEntry {
+                rule: rule.to_string(),
+                path: path.trim().to_string(),
+                justification: justification.filter(|j| !j.is_empty()),
+            })
         })
         .collect()
 }
 
 /// Split one source line into (code with string contents blanked,
 /// concatenated string-literal contents).
-fn split_strings(line: &str) -> (String, String) {
+pub(crate) fn split_strings(line: &str) -> (String, String) {
     let mut code = String::with_capacity(line.len());
     let mut strings = String::new();
     let mut in_str = false;
@@ -195,7 +251,7 @@ fn split_strings(line: &str) -> (String, String) {
 }
 
 /// True for lines that are only a comment (the scanner skips them).
-fn is_comment(line: &str) -> bool {
+pub(crate) fn is_comment(line: &str) -> bool {
     let t = line.trim_start();
     t.starts_with("//") || t.starts_with("/*") || t.starts_with('*')
 }
@@ -203,7 +259,7 @@ fn is_comment(line: &str) -> bool {
 /// Index of the first line starting the `#[cfg(test)]` region, if any.
 /// Everything at or after it is test code. This matches the repo-wide
 /// convention of one trailing inline test module per file.
-fn test_region_start(lines: &[&str]) -> usize {
+pub(crate) fn test_region_start(lines: &[&str]) -> usize {
     lines
         .iter()
         .position(|l| l.trim() == "#[cfg(test)]")
@@ -220,13 +276,13 @@ fn is_crate_root(rel: &str) -> bool {
         || rel.starts_with("src/bin/")
 }
 
-/// Extract the receiver identifier of a `.lock()` call: the last
-/// dot-separated path segment before the call (`self.inner.lock()` →
-/// `inner`, `g.lock()` → `g`).
-fn lock_receivers(code: &str) -> Vec<String> {
+/// Extract receiver identifiers before each occurrence of `pat`: the
+/// last dot-separated path segment (`self.inner.lock()` with pat
+/// `.lock()` → `inner`, `g.lock()` → `g`).
+fn receivers_of(code: &str, pat: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut rest = code;
-    while let Some(i) = rest.find(".lock()") {
+    while let Some(i) = rest.find(pat) {
         let head = &rest[..i];
         let seg: String = head
             .chars()
@@ -237,9 +293,14 @@ fn lock_receivers(code: &str) -> Vec<String> {
         if !seg.is_empty() {
             out.push(seg);
         }
-        rest = &rest[i + ".lock()".len()..];
+        rest = &rest[i + pat.len()..];
     }
     out
+}
+
+/// Receivers of `.lock()` calls on one line of blanked code.
+fn lock_receivers(code: &str) -> Vec<String> {
+    receivers_of(code, ".lock()")
 }
 
 /// Lint a single file's content. `rel` is the repo-relative unix path.
@@ -277,12 +338,46 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
         }
     }
 
+    // Pre-pass for the relaxed-ordering handoff extension: a receiver
+    // with a Relaxed `.store(` AND a Relaxed `.load(` that never goes
+    // through a `fetch_*` RMW is a cross-thread handoff pair, not a
+    // counter — Relaxed gives it no happens-before edge.
+    let mut relaxed_stores: BTreeSet<String> = BTreeSet::new();
+    let mut relaxed_loads: BTreeSet<String> = BTreeSet::new();
+    let mut rmw_receivers: BTreeSet<String> = BTreeSet::new();
+    if in_crates {
+        for line in lines.iter().take(test_start) {
+            if is_comment(line) {
+                continue;
+            }
+            let (code, _) = split_strings(line);
+            rmw_receivers.extend(receivers_of(&code, ".fetch_"));
+            if code.contains("Ordering::Relaxed") {
+                relaxed_stores.extend(receivers_of(&code, ".store("));
+                relaxed_loads.extend(receivers_of(&code, ".load("));
+            }
+        }
+    }
+    let handoff = |code: &str| -> Option<String> {
+        receivers_of(code, ".store(")
+            .into_iter()
+            .chain(receivers_of(code, ".load("))
+            .find(|r| {
+                relaxed_stores.contains(r)
+                    && relaxed_loads.contains(r)
+                    && !rmw_receivers.contains(r)
+            })
+    };
+
     // Per-function furthest lock position seen so far.
     let mut max_pos: Option<usize> = None;
     // Per-function distinct lock receivers (for files with no declared
     // order), and whether this function was already reported.
     let mut fn_locks: Vec<String> = Vec::new();
     let mut fn_reported = false;
+    // Loop-nesting stack for `condvar-wait-loop`: one bool per open
+    // brace, true when the brace belongs to a `while`/`loop`/`for`.
+    let mut loop_stack: Vec<bool> = Vec::new();
 
     for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -303,15 +398,28 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
                         .to_string(),
                 });
             }
-            if in_crates && !relaxed_ok && code.contains("Ordering::Relaxed") {
-                out.push(Violation {
-                    rule: "relaxed-ordering",
-                    path: rel.to_string(),
-                    line: lineno,
-                    message: "`Ordering::Relaxed` outside crates/obs; use \
-                              SeqCst or justify in crates/obs"
-                        .to_string(),
-                });
+            if in_crates && code.contains("Ordering::Relaxed") {
+                if !relaxed_ok {
+                    out.push(Violation {
+                        rule: "relaxed-ordering",
+                        path: rel.to_string(),
+                        line: lineno,
+                        message: "`Ordering::Relaxed` outside crates/obs; use \
+                                  SeqCst or justify in crates/obs"
+                            .to_string(),
+                    });
+                } else if let Some(recv) = handoff(&code) {
+                    out.push(Violation {
+                        rule: "relaxed-ordering",
+                        path: rel.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "`{recv}` is a Relaxed store/load handoff pair \
+                             (no fetch_* RMW); Relaxed provides no \
+                             happens-before — use Acquire/Release"
+                        ),
+                    });
+                }
             }
             if !prefix_ok && strings.contains("streamrel_") {
                 out.push(Violation {
@@ -328,6 +436,40 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
                 max_pos = None;
                 fn_locks.clear();
                 fn_reported = false;
+                loop_stack.clear();
+            }
+            // `condvar-wait-loop`: a wait outside any loop construct. The
+            // line carrying the loop keyword counts as inside it.
+            let loopish = code.contains("while ")
+                || code.contains("for ")
+                || t.starts_with("loop")
+                || code.contains(" loop ");
+            if in_crates
+                && [".wait(", ".wait_for(", ".wait_while("]
+                    .iter()
+                    .any(|p| code.contains(p))
+                && !loopish
+                && !loop_stack.iter().any(|&b| b)
+                && !line.contains("lint: wait-ok")
+            {
+                out.push(Violation {
+                    rule: "condvar-wait-loop",
+                    path: rel.to_string(),
+                    line: lineno,
+                    message: "condvar wait outside a `while`/`loop` guard; \
+                              spurious wakeups require re-checking the \
+                              predicate (or add `// lint: wait-ok(reason)`)"
+                        .to_string(),
+                });
+            }
+            for c in code.chars() {
+                match c {
+                    '{' => loop_stack.push(loopish),
+                    '}' => {
+                        loop_stack.pop();
+                    }
+                    _ => {}
+                }
             }
             if order.is_empty() && in_crates {
                 for recv in lock_receivers(&code) {
@@ -522,10 +664,74 @@ mod tests {
         let allow = parse_allowlist("# comment\n\nno-unwrap crates/storage/src/wal.rs\n");
         assert_eq!(
             allow,
-            vec![(
-                "no-unwrap".to_string(),
-                "crates/storage/src/wal.rs".to_string()
-            )]
+            vec![AllowEntry {
+                rule: "no-unwrap".to_string(),
+                path: "crates/storage/src/wal.rs".to_string(),
+                justification: None,
+            }]
         );
+    }
+
+    #[test]
+    fn allowlist_justification_suffix_parses() {
+        let allow = parse_allowlist(
+            "relaxed-ordering crates/x/src/a.rs -- seqlock readers tolerate tears\n",
+        );
+        assert_eq!(allow.len(), 1);
+        assert_eq!(allow[0].rule, "relaxed-ordering");
+        assert_eq!(allow[0].path, "crates/x/src/a.rs");
+        assert_eq!(
+            allow[0].justification.as_deref(),
+            Some("seqlock readers tolerate tears")
+        );
+        assert!(allow[0].usable());
+        // relaxed-ordering without a justification is rejected; other
+        // rules don't need one.
+        let bare = parse_allowlist("relaxed-ordering crates/x/src/a.rs\n");
+        assert!(!bare[0].usable());
+        let other = parse_allowlist("no-unwrap crates/x/src/a.rs\n");
+        assert!(other[0].usable());
+    }
+
+    #[test]
+    fn condvar_wait_outside_loop_flagged() {
+        // Bare wait in straight-line code: violation.
+        let src = "fn f(&self) {\n    let mut g = self.m.lock();\n    self.cv.wait(&mut g);\n}\n";
+        assert_eq!(
+            rules_of("crates/cq/src/pool.rs", src),
+            vec!["condvar-wait-loop"]
+        );
+        // Inside a `while` guard: fine.
+        let src = "fn f(&self) {\n    let mut g = self.m.lock();\n    while !*g {\n        self.cv.wait(&mut g);\n    }\n}\n";
+        assert!(rules_of("crates/cq/src/pool.rs", src).is_empty());
+        // Inside a `loop`: fine.
+        let src = "fn f(&self) {\n    let mut g = self.m.lock();\n    loop {\n        if *g { break; }\n        self.cv.wait_for(&mut g, t);\n    }\n}\n";
+        assert!(rules_of("crates/cq/src/pool.rs", src).is_empty());
+        // Justified single wait: fine.
+        let src = "fn f(&self) {\n    let mut g = self.m.lock();\n    // lint: wait-ok(caller re-checks generation)\n    self.cv.wait(&mut g); // lint: wait-ok(caller re-checks generation)\n}\n";
+        assert!(rules_of("crates/cq/src/pool.rs", src).is_empty());
+        // Shims (the Condvar implementation itself) are out of scope.
+        let src = "fn f(&self) { self.0.wait(g); }\n";
+        assert!(rules_of("shims/parking_lot/src/lib.rs", src)
+            .iter()
+            .all(|r| *r != "condvar-wait-loop"));
+    }
+
+    #[test]
+    fn relaxed_handoff_pair_flagged_even_in_obs() {
+        // store+load pair with no RMW: a handoff — flagged in obs too.
+        let src = "fn set(&self) { self.flag.store(1, Ordering::Relaxed); }\n\
+                   fn get(&self) -> u64 { self.flag.load(Ordering::Relaxed) }\n";
+        let rules = rules_of("crates/obs/src/metrics.rs", src);
+        assert_eq!(rules, vec!["relaxed-ordering", "relaxed-ordering"]);
+        // A counter (fetch_add + load) stays allowed in obs.
+        let src = "fn inc(&self) { self.v.fetch_add(1, Ordering::Relaxed); }\n\
+                   fn get(&self) -> u64 { self.v.load(Ordering::Relaxed) }\n";
+        assert!(rules_of("crates/obs/src/metrics.rs", src).is_empty());
+        // A gauge that also goes through fetch_sub keeps its store/load.
+        let src = "fn set(&self) { self.v.store(1, Ordering::Relaxed); }\n\
+                   fn dec(&self) { self.v.fetch_sub(1, Ordering::Relaxed); }\n\
+                   fn get(&self) -> u64 { self.v.load(Ordering::Relaxed) }\n";
+        assert!(rules_of("crates/obs/src/metrics.rs", src).is_empty());
     }
 }

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use parking_lot::{Mutex, MutexGuard};
 
-use streamrel_check::{check_plan, CheckContext};
+use streamrel_check::{check_plan, CheckContext, StateBudget};
 use streamrel_cq::recovery::{load_watermark, save_watermark_txn};
 use streamrel_cq::{
     ContinuousQuery, CqOutput, CqStats, ReorderBuffer, SharedRegistry, WindowTask, WorkerPool,
@@ -144,6 +144,14 @@ struct Catalog {
     next_cq: u64,
     next_sub: u64,
     ddl_seq: u64,
+    /// Summed conservative state bounds of the running CQs, charged
+    /// against `DbOptions::state_budget_bytes` at admission and released
+    /// on teardown. Maintained even without a budget (it is cheap and
+    /// the ledger must be warm if a budget is ever configured).
+    admitted_state_bytes: u64,
+    /// Per-CQ share of `admitted_state_bytes`, keyed by CQ id, so
+    /// teardown releases exactly what admission charged.
+    cq_state_bytes: HashMap<u64, u64>,
 }
 
 /// Cached handles into the engine's metrics registry. Held as `Arc`s so
@@ -159,6 +167,8 @@ struct DbMetrics {
     shard_contention: Arc<Counter>,
     /// Plans refused by the Level-1 admission check.
     check_rejected: Arc<Counter>,
+    /// Subset of rejections caused by the cross-CQ state budget.
+    check_budget_rejected: Arc<Counter>,
     /// Warnings attached to admitted plans.
     check_warned: Arc<Counter>,
     /// Admitted continuous plans the check classified as IVM-lowerable.
@@ -179,6 +189,7 @@ impl DbMetrics {
             sub_queue_depth: registry.gauge("db.sub_queue_depth"),
             shard_contention: registry.counter("db.shard.contention"),
             check_rejected: registry.counter("check.rejected"),
+            check_budget_rejected: registry.counter("check.budget_rejected"),
             check_warned: registry.counter("check.warned"),
             check_ivm_lowered: registry.counter("check.ivm_lowered"),
             check_ivm_fallback: registry.counter("check.ivm_fallback"),
@@ -241,23 +252,34 @@ impl Db {
     }
 
     fn with_engine(engine: Arc<StorageEngine>, options: DbOptions) -> Db {
+        // Arm the runtime lock witness with the merged global acquisition
+        // order produced by `streamrel-lint --update-lock-graph`. Installing
+        // the same table twice is a no-op, so repeated Db construction is
+        // fine; validation itself stays off unless the `lock_witness`
+        // feature (or `witness::enable()`) turns it on.
+        parking_lot::witness::install_order(streamrel_check::lock_graph_gen::LOCK_MUST_PRECEDE);
         let metrics = DbMetrics::register(engine.metrics());
         let pool = WorkerPool::new(options.resolved_pool_workers(), engine.metrics());
         Db {
-            catalog: Mutex::new(Catalog {
-                streams: HashMap::new(),
-                deriveds: HashMap::new(),
-                views: HashMap::new(),
-                channels: HashMap::new(),
-                registry: SharedRegistry::new(),
-                shards: Vec::new(),
-                sub_shard: HashMap::new(),
-                stream_seq: 0,
-                next_cq: 1,
-                next_sub: 1,
-                ddl_seq: 1,
-            }),
-            subs: Mutex::new(HashMap::new()),
+            catalog: Mutex::named(
+                "core.catalog",
+                Catalog {
+                    streams: HashMap::new(),
+                    deriveds: HashMap::new(),
+                    views: HashMap::new(),
+                    channels: HashMap::new(),
+                    registry: SharedRegistry::new(),
+                    shards: Vec::new(),
+                    sub_shard: HashMap::new(),
+                    stream_seq: 0,
+                    next_cq: 1,
+                    next_sub: 1,
+                    ddl_seq: 1,
+                    admitted_state_bytes: 0,
+                    cq_state_bytes: HashMap::new(),
+                },
+            ),
+            subs: Mutex::named("core.subs", HashMap::new()),
             pool,
             notify: ResultNotifier::new(),
             metrics,
@@ -567,10 +589,22 @@ impl Db {
                     sharing: self.options.sharing,
                     ivm: self.options.ivm,
                     registry: Some(&catalog.registry),
+                    budget: self.budget_context(&catalog),
                 },
             )
         };
         Ok(ExecResult::Rows(report.to_relation()))
+    }
+
+    /// The live cross-CQ budget snapshot for one admission decision,
+    /// when `DbOptions::state_budget_bytes` is configured.
+    fn budget_context(&self, catalog: &Catalog) -> Option<StateBudget> {
+        self.options
+            .state_budget_bytes
+            .map(|limit_bytes| StateBudget {
+                limit_bytes,
+                admitted_bytes: catalog.admitted_state_bytes,
+            })
     }
 
     /// The Level-1 admission gate: every continuous plan is statically
@@ -578,16 +612,23 @@ impl Db {
     /// buffers, subscriptions, shared-group membership) is allocated.
     /// Rejections surface as [`Error::Check`] with a fix hint; warnings
     /// only bump the `check.warned` counter.
-    fn admit_plan(&self, catalog: &Catalog, plan: &LogicalPlan) -> Result<()> {
+    /// Returns the byte share to charge against the state-budget ledger
+    /// for this CQ (its conservative bound, or 0 when unboundable —
+    /// which only admits when no budget is configured).
+    fn admit_plan(&self, catalog: &Catalog, plan: &LogicalPlan) -> Result<u64> {
         let report = check_plan(
             plan,
             &CheckContext {
                 sharing: self.options.sharing,
                 ivm: self.options.ivm,
                 registry: Some(&catalog.registry),
+                budget: self.budget_context(catalog),
             },
         );
         if let Some(err) = report.to_error() {
+            if report.rejection().map(|f| f.rule) == Some("state-budget") {
+                self.metrics.check_budget_rejected.inc();
+            }
             self.metrics.check_rejected.inc();
             return Err(err);
         }
@@ -597,7 +638,30 @@ impl Db {
             "reeval" => self.metrics.check_ivm_fallback.inc(),
             _ => {}
         }
-        Ok(())
+        Ok(report.state_bound_bytes.unwrap_or(0))
+    }
+
+    /// Charge an admitted CQ's state share to the budget ledger.
+    fn charge_state(catalog: &mut Catalog, cq_id: u64, bytes: u64) {
+        catalog.admitted_state_bytes += bytes;
+        catalog.cq_state_bytes.insert(cq_id, bytes);
+    }
+
+    /// Release a torn-down CQ's state share back to the budget ledger.
+    fn release_state(catalog: &mut Catalog, cq_id: u64) {
+        if let Some(bytes) = catalog.cq_state_bytes.remove(&cq_id) {
+            catalog.admitted_state_bytes = catalog.admitted_state_bytes.saturating_sub(bytes);
+        }
+    }
+
+    /// Release several torn-down CQs' budget shares. Callers must hold
+    /// no shard state lock: this takes the catalog, and the declared
+    /// order is catalog < state.
+    fn release_removed(&self, removed: Vec<u64>) {
+        let mut catalog = self.catalog.lock();
+        for id in removed {
+            Self::release_state(&mut catalog, id);
+        }
     }
 
     /// `SHOW TABLES|STREAMS|VIEWS|CHANNELS|METRICS|TRACE`.
@@ -786,7 +850,7 @@ impl Db {
                  (use CREATE VIEW or CREATE TABLE AS for snapshot queries)",
             ));
         }
-        self.admit_plan(&catalog, &analyzed.plan)?;
+        let state_bytes = self.admit_plan(&catalog, &analyzed.plan)?;
         let mut cq = ContinuousQuery::new(
             key.clone(),
             &analyzed,
@@ -816,6 +880,7 @@ impl Db {
         };
         let cq_id = catalog.next_cq;
         catalog.next_cq += 1;
+        Self::charge_state(&mut catalog, cq_id, state_bytes);
         catalog.deriveds.insert(
             key.clone(),
             CatDerived {
@@ -993,6 +1058,7 @@ impl Db {
                 }
             }
             catalog.deriveds.remove(key);
+            Self::release_state(&mut catalog, cq_id);
             self.engine.metrics().remove(&format!("cq.close_us.{key}"));
             self.unpersist_ddl(&mut catalog, "derived", key)?;
             return Ok(ExecResult::Dropped(name.to_string()));
@@ -1136,7 +1202,7 @@ impl Db {
             return Ok(ExecResult::Rows(rel));
         }
         // Continuous query: register a subscription-backed CQ.
-        self.admit_plan(&catalog, &analyzed.plan)?;
+        let state_bytes = self.admit_plan(&catalog, &analyzed.plan)?;
         let sub_id = SubscriptionId(catalog.next_sub);
         catalog.next_sub += 1;
         let mut cq = ContinuousQuery::new(
@@ -1162,6 +1228,7 @@ impl Db {
         };
         let cq_id = catalog.next_cq;
         catalog.next_cq += 1;
+        Self::charge_state(&mut catalog, cq_id, state_bytes);
         catalog.sub_shard.insert(sub_id, shard_idx);
         let groups = if upstream_is_base {
             catalog.registry.groups_on_stream(&upstream)
@@ -1210,7 +1277,7 @@ impl Db {
             .remove(&format!("cq.close_us.sub_{}", sub.0));
         let shard = shard_at(&catalog, shard_idx)?;
         drop(catalog);
-        {
+        let removed = {
             let mut state = shard.state.lock();
             let ids: Vec<u64> = state
                 .cqs
@@ -1218,7 +1285,7 @@ impl Db {
                 .filter(|(_, e)| matches!(e.sink, Sink::Client(s) if s == sub))
                 .map(|(id, _)| *id)
                 .collect();
-            for id in ids {
+            for &id in &ids {
                 state.cqs.remove(&id);
                 for s in state.streams.values_mut() {
                     s.cq_ids.retain(|&c| c != id);
@@ -1227,7 +1294,9 @@ impl Db {
                     d.downstream_cqs.retain(|&c| c != id);
                 }
             }
-        }
+            ids
+        };
+        self.release_removed(removed);
         // Undelivered results leave the depth gauge with the subscription
         // (its Drop impl settles the account).
         self.subs.lock().remove(&sub);

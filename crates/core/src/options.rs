@@ -46,6 +46,13 @@ pub struct DbOptions {
     /// [`DbOptions::resolved_wal_shards`]; `1` is the single-log
     /// ablation baseline (all shards funnel through one commit mutex).
     pub wal_shards: usize,
+    /// Cross-CQ standing-state budget in bytes. `None` (the default)
+    /// admits any plan the Level-1 check accepts; `Some(cap)` admits a
+    /// CQ only if its conservative byte bound fits alongside the bounds
+    /// of every CQ already running — plans whose state cannot be
+    /// byte-bounded (arrival-rate-dependent windows) are rejected
+    /// outright under a budget.
+    pub state_budget_bytes: Option<u64>,
 }
 
 impl Default for DbOptions {
@@ -61,6 +68,7 @@ impl Default for DbOptions {
             shards: 0,
             pool_workers: None,
             wal_shards: 0,
+            state_budget_bytes: None,
         }
     }
 }
@@ -121,6 +129,13 @@ impl DbOptions {
     /// baseline; `0` = derive from `shards` / host parallelism).
     pub fn with_wal_shards(mut self, wal_shards: usize) -> DbOptions {
         self.wal_shards = wal_shards;
+        self
+    }
+
+    /// Cap the summed standing-state bound of all running CQs at
+    /// `bytes` (see [`DbOptions::state_budget_bytes`]).
+    pub fn with_state_budget(mut self, bytes: u64) -> DbOptions {
+        self.state_budget_bytes = Some(bytes);
         self
     }
 

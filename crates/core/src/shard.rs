@@ -91,14 +91,16 @@ pub(crate) struct ShardState {
 /// One execution shard. With `DbOptions::shards == 0` each base stream
 /// owns a shard of its own; with a fixed shard count streams are assigned
 /// round-robin at CREATE time.
-#[derive(Default)]
 pub(crate) struct Shard {
     pub state: Mutex<ShardState>,
 }
 
 impl Shard {
     pub fn new(domain: usize) -> Arc<Shard> {
-        let shard = Shard::default();
+        let shard = Shard {
+            // Witness name matches db.rs's `// lock-order:` declaration.
+            state: Mutex::named("core.state", ShardState::default()),
+        };
         shard.state.lock().domain = domain;
         Arc::new(shard)
     }

@@ -16,7 +16,7 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use streamrel_cq::CqOutput;
@@ -147,7 +147,7 @@ impl Drop for Subscription {
 /// delivery threads block here (with a timeout, so teardown can always
 /// make progress) and drain their connection's subscriptions on each
 /// generation bump.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 // lock-order: generation < sub
 //
 // The notifier's generation lock is never taken while holding a
@@ -155,6 +155,16 @@ impl Drop for Subscription {
 pub struct ResultNotifier {
     generation: Mutex<u64>,
     cv: Condvar,
+}
+
+impl Default for ResultNotifier {
+    fn default() -> ResultNotifier {
+        ResultNotifier {
+            // Witness name matches the `// lock-order:` declaration above.
+            generation: Mutex::named("core.generation", 0),
+            cv: Condvar::new(),
+        }
+    }
 }
 
 impl ResultNotifier {
@@ -175,13 +185,19 @@ impl ResultNotifier {
     }
 
     /// Block until the generation exceeds `seen` or `timeout` elapses.
-    /// Returns the generation observed on wake-up.
+    /// Returns the generation observed on wake-up. Spurious or stolen
+    /// wakeups re-enter the wait with the remaining budget, so an early
+    /// return really means "newer generation" or "deadline reached".
     pub fn wait_newer(&self, seen: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
         let mut gen = self.generation.lock();
-        if *gen > seen {
-            return *gen;
+        while *gen <= seen {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let _ = self.cv.wait_for(&mut gen, deadline - now);
         }
-        let _ = self.cv.wait_for(&mut gen, timeout);
         *gen
     }
 }

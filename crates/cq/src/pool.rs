@@ -71,7 +71,7 @@ impl WorkerPool {
     /// runs inline on the calling thread (the serial baseline).
     pub fn new(workers: usize, registry: &Registry) -> WorkerPool {
         let shared = Arc::new(PoolShared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::named("cq.queue", VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             queue_depth: registry.gauge("pool.queue_depth"),
@@ -110,8 +110,8 @@ impl WorkerPool {
         }
         let n = tasks.len();
         let batch = Arc::new(BatchState {
-            results: Mutex::new((0..n).map(|_| None).collect()),
-            remaining: Mutex::new(n),
+            results: Mutex::named("cq.results", (0..n).map(|_| None).collect()),
+            remaining: Mutex::named("cq.remaining", n),
             done_cv: Condvar::new(),
         });
         for (i, f) in tasks.into_iter().enumerate() {

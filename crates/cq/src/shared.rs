@@ -389,7 +389,9 @@ impl SharedRegistry {
         self.groups
             .entry(fp)
             .or_insert_with(|| {
-                std::sync::Arc::new(parking_lot::Mutex::new(SharedGroup::new(shape)))
+                // Witness name matches db.rs's `// lock-order:`
+                // declaration, where this lock is acquired as `g`.
+                std::sync::Arc::new(parking_lot::Mutex::named("core.g", SharedGroup::new(shape)))
             })
             .clone()
     }

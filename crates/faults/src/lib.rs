@@ -31,6 +31,8 @@
 
 #![deny(unsafe_code)]
 
+pub mod chaos;
+
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;

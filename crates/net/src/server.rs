@@ -91,7 +91,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<ConnHandle>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<Vec<ConnHandle>>> = Arc::new(Mutex::named("net.conns", Vec::new()));
         let accept = {
             let shutdown = shutdown.clone();
             let conns = conns.clone();
@@ -247,8 +247,8 @@ fn handle_conn(db: Arc<Db>, stream: TcpStream, opts: ServerOptions) {
     connections.add(1);
     let conn = Arc::new(Conn {
         db: db.clone(),
-        writer: Mutex::new(writer),
-        subs: Mutex::new(HashSet::new()),
+        writer: Mutex::named("net.writer", writer),
+        subs: Mutex::named("net.subs", HashSet::new()),
         gone: AtomicBool::new(false),
         frames_in: registry.counter("net.frames_in"),
         frames_out: registry.counter("net.frames_out"),

@@ -87,12 +87,15 @@ struct WalShard {
 impl WalShard {
     fn new(shard: usize, wal: Wal, durable_lsn: u64, metrics: &Registry) -> WalShard {
         WalShard {
-            wal: Mutex::new(wal),
-            group: Mutex::new(GroupState {
-                durable_lsn,
-                leader_active: false,
-                pending: Vec::new(),
-            }),
+            wal: Mutex::named("storage.wal", wal),
+            group: Mutex::named(
+                "storage.group",
+                GroupState {
+                    durable_lsn,
+                    leader_active: false,
+                    pending: Vec::new(),
+                },
+            ),
             group_cv: Condvar::new(),
             commit_hist: metrics.histogram(&format!("storage.commit_us.shard{shard}")),
             sync_hist: metrics.histogram(&format!("storage.wal_sync_us.shard{shard}")),
@@ -199,9 +202,9 @@ impl StorageEngine {
             catalog: Catalog::new(),
             wals: Vec::new(),
             io: io.clone(),
-            epoch: Mutex::new(0),
+            epoch: Mutex::named("storage.epoch", 0),
             next_lsn: AtomicU64::new(1),
-            stats: Mutex::new(EngineStats::default()),
+            stats: Mutex::named("storage.stats", EngineStats::default()),
             metrics,
             commit_hist,
             wal_sync_hist,
@@ -313,9 +316,9 @@ impl StorageEngine {
             catalog: Catalog::new(),
             wals: Vec::new(),
             io: StdIo::shared(),
-            epoch: Mutex::new(0),
+            epoch: Mutex::named("storage.epoch", 0),
             next_lsn: AtomicU64::new(1),
-            stats: Mutex::new(EngineStats::default()),
+            stats: Mutex::named("storage.stats", EngineStats::default()),
             metrics,
             commit_hist,
             wal_sync_hist,

@@ -6,31 +6,64 @@
 //! returns the guard directly). Poisoned std locks are treated as
 //! acquired — the data is still consistent for our use cases, matching
 //! parking_lot's behaviour of not having poisoning at all.
+//!
+//! On top of the plain shim, locks built with [`Mutex::named`] /
+//! [`RwLock::named`] participate in the runtime lock [`witness`]: their
+//! acquisitions are validated against the generated global lock order,
+//! tracked for wait-for-graph deadlock detection, and exposed to the
+//! seeded chaos scheduler (`streamrel-faults`). Unnamed locks pay one
+//! `Option` branch and nothing else. Validation defaults to off; build
+//! with the `lock_witness` feature (or call [`witness::enable`]) to turn
+//! it on.
 
 // lint: allow-unsafe(Condvar::wait must hand the guard through std's API
 // by value; the shim moves it with a raw pointer read/write in
 // `take_guard`, which is sound because the source is forgotten)
 
+pub mod witness;
+
 use std::fmt;
+use std::panic::Location;
 use std::sync::{self, TryLockError};
 use std::time::Duration;
 
+use witness::ChaosPoint;
+
 /// Mutual exclusion primitive (poison-free facade over `std::sync::Mutex`).
 #[derive(Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    name: Option<&'static str>,
+    inner: sync::Mutex<T>,
+}
 
 /// RAII guard for [`Mutex`].
-pub struct MutexGuard<'a, T: ?Sized>(sync::MutexGuard<'a, T>);
+pub struct MutexGuard<'a, T: ?Sized> {
+    token: Option<witness::Token>,
+    inner: sync::MutexGuard<'a, T>,
+}
 
 impl<T> Mutex<T> {
-    /// Create a new mutex.
+    /// Create a new (unnamed) mutex.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            name: None,
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Create a witness-instrumented mutex. `name` must be the lock's
+    /// qualified name from the generated global order table
+    /// (`<crate>.<receiver>`, e.g. `"storage.wal"`).
+    pub const fn named(name: &'static str, value: T) -> Mutex<T> {
+        Mutex {
+            name: Some(name),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
+        match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -38,29 +71,67 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquire the lock, blocking until available.
+    /// Acquire the lock, blocking until available. Named locks are
+    /// validated against the global lock order and watched for
+    /// deadlock while the witness is enabled.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.0.lock() {
-            Ok(g) => MutexGuard(g),
-            Err(p) => MutexGuard(p.into_inner()),
+        let Some(name) = self.name else {
+            return MutexGuard {
+                token: None,
+                inner: lock_plain(&self.inner),
+            };
+        };
+        let site = Location::caller();
+        witness::chaos(ChaosPoint::Acquire, Some(name));
+        if !witness::enabled() {
+            return MutexGuard {
+                token: None,
+                inner: lock_plain(&self.inner),
+            };
+        }
+        witness::validate(name, site);
+        let addr = self as *const _ as *const () as usize;
+        let inner =
+            witness::acquire_with_detection(name, addr, site, || try_lock_plain(&self.inner));
+        MutexGuard {
+            token: Some(witness::acquired(name, addr, true, site)),
+            inner,
         }
     }
 
     /// Try to acquire the lock without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard(g)),
-            Err(TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = try_lock_plain(&self.inner)?;
+        let token = self.name.filter(|_| witness::enabled()).map(|name| {
+            let addr = self as *const _ as *const () as usize;
+            witness::acquired(name, addr, true, Location::caller())
+        });
+        Some(MutexGuard { token, inner })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
+        match self.inner.get_mut() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
+    }
+}
+
+fn lock_plain<T: ?Sized>(m: &sync::Mutex<T>) -> sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn try_lock_plain<T: ?Sized>(m: &sync::Mutex<T>) -> Option<sync::MutexGuard<'_, T>> {
+    match m.try_lock() {
+        Ok(g) => Some(g),
+        Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        Err(TryLockError::WouldBlock) => None,
     }
 }
 
@@ -73,38 +144,67 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            witness::released(token);
+        }
+    }
+}
+
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
     }
 }
 
 /// Reader-writer lock (poison-free facade over `std::sync::RwLock`).
 #[derive(Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    name: Option<&'static str>,
+    inner: sync::RwLock<T>,
+}
 
 /// Shared-read guard for [`RwLock`].
-pub struct RwLockReadGuard<'a, T: ?Sized>(sync::RwLockReadGuard<'a, T>);
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    token: Option<witness::Token>,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
 
 /// Exclusive-write guard for [`RwLock`].
-pub struct RwLockWriteGuard<'a, T: ?Sized>(sync::RwLockWriteGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    token: Option<witness::Token>,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
 
 impl<T> RwLock<T> {
-    /// Create a new reader-writer lock.
+    /// Create a new (unnamed) reader-writer lock.
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            name: None,
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Create a witness-instrumented reader-writer lock (see
+    /// [`Mutex::named`]).
+    pub const fn named(name: &'static str, value: T) -> RwLock<T> {
+        RwLock {
+            name: Some(name),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
+        match self.inner.into_inner() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -113,35 +213,111 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read lock.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        match self.0.read() {
-            Ok(g) => RwLockReadGuard(g),
-            Err(p) => RwLockReadGuard(p.into_inner()),
+        let Some(name) = self.name else {
+            return RwLockReadGuard {
+                token: None,
+                inner: read_plain(&self.inner),
+            };
+        };
+        let site = Location::caller();
+        witness::chaos(ChaosPoint::Acquire, Some(name));
+        if !witness::enabled() {
+            return RwLockReadGuard {
+                token: None,
+                inner: read_plain(&self.inner),
+            };
+        }
+        witness::validate(name, site);
+        let addr = self as *const _ as *const () as usize;
+        let inner =
+            witness::acquire_with_detection(name, addr, site, || match self.inner.try_read() {
+                Ok(g) => Some(g),
+                Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                Err(TryLockError::WouldBlock) => None,
+            });
+        RwLockReadGuard {
+            token: Some(witness::acquired(name, addr, false, site)),
+            inner,
         }
     }
 
     /// Acquire an exclusive write lock.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        match self.0.write() {
-            Ok(g) => RwLockWriteGuard(g),
-            Err(p) => RwLockWriteGuard(p.into_inner()),
+        let Some(name) = self.name else {
+            return RwLockWriteGuard {
+                token: None,
+                inner: write_plain(&self.inner),
+            };
+        };
+        let site = Location::caller();
+        witness::chaos(ChaosPoint::Acquire, Some(name));
+        if !witness::enabled() {
+            return RwLockWriteGuard {
+                token: None,
+                inner: write_plain(&self.inner),
+            };
+        }
+        witness::validate(name, site);
+        let addr = self as *const _ as *const () as usize;
+        let inner =
+            witness::acquire_with_detection(name, addr, site, || match self.inner.try_write() {
+                Ok(g) => Some(g),
+                Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                Err(TryLockError::WouldBlock) => None,
+            });
+        RwLockWriteGuard {
+            token: Some(witness::acquired(name, addr, true, site)),
+            inner,
         }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
+        match self.inner.get_mut() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
     }
 }
 
+fn read_plain<T: ?Sized>(l: &sync::RwLock<T>) -> sync::RwLockReadGuard<'_, T> {
+    match l.read() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn write_plain<T: ?Sized>(l: &sync::RwLock<T>) -> sync::RwLockWriteGuard<'_, T> {
+    match l.write() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.0.try_read() {
+        match self.inner.try_read() {
             Ok(g) => f.debug_tuple("RwLock").field(&&*g).finish(),
             _ => f.write_str("RwLock(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            witness::released(token);
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            witness::released(token);
         }
     }
 }
@@ -149,20 +325,20 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
 impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
     }
 }
 
@@ -188,38 +364,73 @@ impl Condvar {
     }
 
     /// Block until notified, releasing the guard while waiting.
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let relock = release_for_wait(guard);
         take_guard(guard, |g| match self.0.wait(g) {
             Ok(g) => (g, ()),
             Err(p) => (p.into_inner(), ()),
         });
+        rerecord_after_wait(guard, relock);
     }
 
     /// Block until notified or `timeout` elapses.
+    #[track_caller]
     pub fn wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
-        take_guard(guard, |g| match self.0.wait_timeout(g, timeout) {
+        let relock = release_for_wait(guard);
+        let r = take_guard(guard, |g| match self.0.wait_timeout(g, timeout) {
             Ok((g, t)) => (g, WaitTimeoutResult(t.timed_out())),
             Err(p) => {
                 let (g, t) = p.into_inner();
                 (g, WaitTimeoutResult(t.timed_out()))
             }
-        })
+        });
+        rerecord_after_wait(guard, relock);
+        r
     }
 
     /// Wake one waiter.
     pub fn notify_one(&self) -> bool {
+        witness::chaos(ChaosPoint::Notify, None);
         self.0.notify_one();
         true
     }
 
     /// Wake all waiters.
     pub fn notify_all(&self) -> usize {
+        witness::chaos(ChaosPoint::Notify, None);
         self.0.notify_all();
         0
+    }
+}
+
+/// A wait releases the mutex: hand the witness token back so the
+/// held-set and owner map reflect reality while this thread sleeps.
+/// Returns the (name, addr) identity needed to re-record afterwards.
+fn release_for_wait<T: ?Sized>(guard: &mut MutexGuard<'_, T>) -> Option<(&'static str, usize)> {
+    let name = guard.token.as_ref().map(|t| t.name());
+    witness::chaos(ChaosPoint::CondvarWait, name);
+    if let Some(token) = guard.token.take() {
+        let identity = (token.name(), token.addr());
+        witness::released(token);
+        Some(identity)
+    } else {
+        None
+    }
+}
+
+/// Re-record the mutex the wait re-acquired (if it was witnessed).
+#[track_caller]
+fn rerecord_after_wait<T: ?Sized>(
+    guard: &mut MutexGuard<'_, T>,
+    identity: Option<(&'static str, usize)>,
+) {
+    if let Some((name, addr)) = identity {
+        guard.token = Some(witness::reacquired(name, addr, Location::caller()));
     }
 }
 
@@ -236,9 +447,9 @@ fn take_guard<'a, T, R>(
     // through here only if the mutex is poisoned, which we map back into a
     // live guard above.
     unsafe {
-        let inner = std::ptr::read(&guard.0);
+        let inner = std::ptr::read(&guard.inner);
         let (inner, r) = f(inner);
-        std::ptr::write(&mut guard.0, inner);
+        std::ptr::write(&mut guard.inner, inner);
         r
     }
 }
@@ -270,6 +481,7 @@ mod tests {
         let m = Mutex::new(false);
         let cv = Condvar::new();
         let mut g = m.lock();
+        // lint: wait-ok(timeout assertion, nothing to re-check)
         let r = cv.wait_for(&mut g, Duration::from_millis(10));
         assert!(r.timed_out());
     }
@@ -290,5 +502,15 @@ mod tests {
             assert!(!r.timed_out(), "notify should arrive");
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn named_locks_work_without_witness() {
+        let m = Mutex::named("test.plain", 7);
+        assert_eq!(*m.lock(), 7);
+        let l = RwLock::named("test.plain_rw", 8);
+        assert_eq!(*l.read(), 8);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 9);
     }
 }

@@ -180,3 +180,90 @@ fn non_monotonic_warning_surfaces_in_explain_check() {
     assert!(dump.contains("non-monotonic-op"), "{dump}");
     assert!(dump.contains("admit with 1 warning"), "{dump}");
 }
+
+// ---- cross-CQ state budget -------------------------------------------------
+
+/// hits: url text (64) + atime timestamp (8) = 72 bytes/row.
+fn budget_db(limit: u64) -> Db {
+    let db = Db::in_memory(DbOptions::default().with_state_budget(limit));
+    db.execute(DDL_STREAM).unwrap();
+    db.execute(DDL_TABLE).unwrap();
+    db
+}
+
+#[test]
+fn state_budget_admits_until_exhausted_and_releases_on_teardown() {
+    // Each CQ buffers 100 rows x 72 bytes = 7200 bytes; cap at two.
+    let db = budget_db(15_000);
+    let q = "SELECT count(*) c FROM hits <VISIBLE 100 ROWS ADVANCE 100 ROWS>";
+    let first = match db.execute(q).unwrap() {
+        ExecResult::Subscribed(s) => s,
+        other => panic!("expected subscription, got {other:?}"),
+    };
+    db.execute(q).unwrap();
+    // Third would need 21600 > 15000: rejected, with the budget counter bumped.
+    let err = db.execute(q).unwrap_err().to_string();
+    assert!(err.contains("check error [state-budget]"), "{err}");
+    assert!(err.contains("15000"), "{err}");
+    let rel = db
+        .execute("SELECT value FROM streamrel_metrics WHERE name = 'check.budget_rejected'")
+        .unwrap()
+        .rows();
+    assert_eq!(rel.rows()[0][0].as_int().unwrap(), 1);
+    // Tearing one CQ down releases its share; the next admission fits.
+    db.unsubscribe(first).unwrap();
+    db.execute(q).unwrap();
+}
+
+#[test]
+fn state_budget_rejects_arrival_rate_dependent_plans() {
+    let capped = budget_db(1 << 30);
+    // A time window cannot be byte-bounded: rejected under any budget.
+    let err = capped
+        .execute("SELECT count(*) c FROM hits <TUMBLING '1 minute'>")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("check error [state-budget]"), "{err}");
+    assert!(err.contains("arrival rate"), "{err}");
+    // Without a budget the same plan is admitted (pre-existing behavior).
+    let free = db();
+    free.execute("SELECT count(*) c FROM hits <TUMBLING '1 minute'>")
+        .unwrap();
+}
+
+#[test]
+fn dropped_derived_stream_releases_its_budget_share() {
+    let db = budget_db(8_000);
+    db.execute(
+        "CREATE STREAM hot AS SELECT url, count(*) c, cq_close(*) w \
+         FROM hits <VISIBLE 100 ROWS ADVANCE 100 ROWS> GROUP BY url",
+    )
+    .unwrap();
+    // 7200 of 8000 charged: a second row-window CQ does not fit.
+    let err = db
+        .execute("SELECT count(*) c FROM hits <VISIBLE 100 ROWS ADVANCE 100 ROWS>")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("state-budget"), "{err}");
+    db.execute("DROP STREAM hot").unwrap();
+    db.execute("SELECT count(*) c FROM hits <VISIBLE 100 ROWS ADVANCE 100 ROWS>")
+        .unwrap();
+}
+
+#[test]
+fn explain_check_surfaces_budget_verdict_without_charging() {
+    let db = budget_db(1_000);
+    let rel = db
+        .execute("EXPLAIN CHECK SELECT count(*) c FROM hits <VISIBLE 100 ROWS ADVANCE 100 ROWS>")
+        .unwrap()
+        .rows();
+    let dump = format!("{:?}", rel.rows());
+    assert!(dump.contains("state-budget"), "{dump}");
+    assert!(dump.contains("7200"), "{dump}");
+    // EXPLAIN CHECK never charges the ledger: a fitting CQ still admits.
+    let db = budget_db(8_000);
+    db.execute("EXPLAIN CHECK SELECT count(*) c FROM hits <VISIBLE 100 ROWS ADVANCE 100 ROWS>")
+        .unwrap();
+    db.execute("SELECT count(*) c FROM hits <VISIBLE 100 ROWS ADVANCE 100 ROWS>")
+        .unwrap();
+}
