@@ -139,6 +139,9 @@ struct Catalog {
     shards: Vec<Arc<Shard>>,
     /// Which shard hosts each client subscription's CQs.
     sub_shard: HashMap<SubscriptionId, usize>,
+    /// Which CQ each client subscription is a member of. Primaries and
+    /// attached members ([`Db::subscribe_attach`]) map to the same CQ id.
+    sub_cq: HashMap<SubscriptionId, u64>,
     /// Streams created so far (drives round-robin shard assignment).
     stream_seq: usize,
     next_cq: u64,
@@ -271,6 +274,7 @@ impl Db {
                     registry: SharedRegistry::new(),
                     shards: Vec::new(),
                     sub_shard: HashMap::new(),
+                    sub_cq: HashMap::new(),
                     stream_seq: 0,
                     next_cq: 1,
                     next_sub: 1,
@@ -374,11 +378,51 @@ impl Db {
     }
 
     /// Drain pending window results for a subscription.
+    ///
+    /// Results are stored shared ([`Arc<CqOutput>`] — one allocation per
+    /// closed window no matter how many subscriptions receive it); this
+    /// convenience form unwraps the sole reference (free for the common
+    /// single-subscriber case) or clones when other members still hold
+    /// the window. Fan-out consumers that only need read access should
+    /// use [`Db::poll_shared`] and skip the clone entirely.
     pub fn poll(&self, sub: SubscriptionId) -> Result<Vec<CqOutput>> {
+        Ok(self
+            .poll_shared(sub)?
+            .into_iter()
+            .map(|a| Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()))
+            .collect())
+    }
+
+    /// Drain pending window results without copying the underlying
+    /// windows: each result is the same reference-counted allocation the
+    /// engine enqueued (and, under fan-out, the same one every other
+    /// member of the CQ receives).
+    pub fn poll_shared(&self, sub: SubscriptionId) -> Result<Vec<Arc<CqOutput>>> {
         let mut subs = self.subs.lock();
         subs.get_mut(&sub)
             .map(Subscription::drain)
             .ok_or_else(|| Error::stream(format!("unknown subscription {sub:?}")))
+    }
+
+    /// Drain many subscriptions under **one** queue-table acquisition.
+    /// The i-th result corresponds to `ids[i]`; unknown (departed)
+    /// subscriptions yield an empty vec rather than an error.
+    ///
+    /// Atomicity is the point, not convenience: the engine offers a
+    /// closed window to every member of a fan-out group under a single
+    /// lock acquisition, so a caller that also drains under a single
+    /// acquisition observes each window on *all* of its subscriptions or
+    /// on none — never a partial cut. The network reactor relies on this
+    /// to encode each window exactly once per delivery sweep.
+    pub fn poll_shared_many(&self, ids: &[SubscriptionId]) -> Vec<Vec<Arc<CqOutput>>> {
+        let mut subs = self.subs.lock();
+        ids.iter()
+            .map(|id| {
+                subs.get_mut(id)
+                    .map(Subscription::drain)
+                    .unwrap_or_default()
+            })
+            .collect()
     }
 
     /// Push one tuple into a base stream (programmatic fast path; the SQL
@@ -1230,6 +1274,7 @@ impl Db {
         catalog.next_cq += 1;
         Self::charge_state(&mut catalog, cq_id, state_bytes);
         catalog.sub_shard.insert(sub_id, shard_idx);
+        catalog.sub_cq.insert(sub_id, cq_id);
         let groups = if upstream_is_base {
             catalog.registry.groups_on_stream(&upstream)
         } else {
@@ -1249,7 +1294,7 @@ impl Db {
                 cq_id,
                 CqEntry {
                     cq,
-                    sink: Sink::Client(sub_id),
+                    sink: Sink::Clients(vec![sub_id]),
                     close_hist: hist,
                 },
             );
@@ -1264,14 +1309,77 @@ impl Db {
         Ok(ExecResult::Subscribed(sub_id))
     }
 
+    /// Attach a new subscription to the CQ behind `primary`, sharing its
+    /// window computation: the CQ runs once, and every closed window is
+    /// offered (reference-counted, not copied) to each member's own
+    /// bounded queue. This is the engine half of the network server's
+    /// serialize-once fan-out — N remote subscribers to one continuous
+    /// query cost one CQ runtime and one window allocation per close.
+    ///
+    /// The returned subscription is independent for delivery purposes:
+    /// it has its own queue, depth accounting and overflow policy, and
+    /// unsubscribing it never disturbs other members. The CQ itself is
+    /// torn down when its *last* member unsubscribes.
+    pub fn subscribe_attach(&self, primary: SubscriptionId) -> Result<SubscriptionId> {
+        let mut catalog = self.catalog.lock();
+        let shard_idx = *catalog
+            .sub_shard
+            .get(&primary)
+            .ok_or_else(|| Error::stream(format!("unknown subscription {primary:?}")))?;
+        let cq_id = *catalog
+            .sub_cq
+            .get(&primary)
+            .ok_or_else(|| Error::stream(format!("unknown subscription {primary:?}")))?;
+        let sub_id = SubscriptionId(catalog.next_sub);
+        catalog.next_sub += 1;
+        catalog.sub_shard.insert(sub_id, shard_idx);
+        catalog.sub_cq.insert(sub_id, cq_id);
+        let shard = shard_at(&catalog, shard_idx)?;
+        {
+            // Lock order: catalog < state (the file-level declaration).
+            let mut state = shard.state.lock();
+            match state.cqs.get_mut(&cq_id).map(|e| &mut e.sink) {
+                Some(Sink::Clients(members)) => members.push(sub_id),
+                _ => {
+                    // The primary unsubscribed between the catalog lookup
+                    // and here (or points at a derived-stream CQ, which
+                    // sub_cq never records). Roll back the reservation.
+                    catalog.sub_shard.remove(&sub_id);
+                    catalog.sub_cq.remove(&sub_id);
+                    return Err(Error::stream(format!("unknown subscription {primary:?}")));
+                }
+            }
+        }
+        drop(catalog);
+        self.subs.lock().insert(
+            sub_id,
+            Subscription::bounded(self.options.sub_queue_capacity, self.options.sub_overflow)
+                .with_depth_gauge(self.metrics.sub_queue_depth.clone()),
+        );
+        Ok(sub_id)
+    }
+
+    /// The CQ id a client subscription feeds from, if it is still live.
+    /// Two subscriptions report the same id exactly when they share one
+    /// CQ runtime (i.e. one was [`Db::subscribe_attach`]ed to the other).
+    pub fn subscription_cq(&self, sub: SubscriptionId) -> Option<u64> {
+        self.catalog.lock().sub_cq.get(&sub).copied()
+    }
+
     /// Terminate a continuous query / subscription (§3.1: "CQs run until
     /// they are explicitly terminated").
+    ///
+    /// With fan-out ([`Db::subscribe_attach`]) a CQ may have several
+    /// member subscriptions; removing one only detaches it. The CQ
+    /// runtime — and its state-budget charge and close histogram — is
+    /// released when the last member leaves.
     pub fn unsubscribe(&self, sub: SubscriptionId) -> Result<()> {
         let mut catalog = self.catalog.lock();
         let shard_idx = catalog
             .sub_shard
             .remove(&sub)
             .ok_or_else(|| Error::stream(format!("unknown subscription {sub:?}")))?;
+        catalog.sub_cq.remove(&sub);
         self.engine
             .metrics()
             .remove(&format!("cq.close_us.sub_{}", sub.0));
@@ -1279,12 +1387,17 @@ impl Db {
         drop(catalog);
         let removed = {
             let mut state = shard.state.lock();
-            let ids: Vec<u64> = state
-                .cqs
-                .iter()
-                .filter(|(_, e)| matches!(e.sink, Sink::Client(s) if s == sub))
-                .map(|(id, _)| *id)
-                .collect();
+            // Detach this subscription from every client-sinked CQ; a CQ
+            // whose membership empties is torn down.
+            let mut ids: Vec<u64> = Vec::new();
+            for (id, e) in state.cqs.iter_mut() {
+                if let Sink::Clients(members) = &mut e.sink {
+                    members.retain(|&s| s != sub);
+                    if members.is_empty() {
+                        ids.push(*id);
+                    }
+                }
+            }
             for &id in &ids {
                 state.cqs.remove(&id);
                 for s in state.streams.values_mut() {
@@ -1569,15 +1682,27 @@ impl Db {
                 entry.close_hist.observe_from(start);
             }
             let sink_target = match state.cqs.get(&cq_id).map(|e| &e.sink) {
-                Some(Sink::Client(s)) => {
-                    let s = *s;
+                Some(Sink::Clients(members)) => {
+                    // One allocation per closed window: every member's
+                    // queue holds the same Arc. All offers happen under a
+                    // single `subs` acquisition, so a notifier wakeup
+                    // (and hence one reactor sweep) observes either no
+                    // copy or every copy of this window — the invariant
+                    // the server's serialize-once encode cache relies on.
+                    let members = members.clone();
+                    let shared = Arc::new(out);
                     let mut subs = self.subs.lock();
-                    if let Some(sub) = subs.get_mut(&s) {
-                        // The depth gauge is settled inside `offer`.
-                        let drops = sub.offer(out);
-                        self.metrics.sub_drops.add(drops);
-                        published = true;
+                    let mut drops = 0;
+                    let mut offered = false;
+                    for s in &members {
+                        if let Some(sub) = subs.get_mut(s) {
+                            // The depth gauge is settled inside `offer`.
+                            drops += sub.offer(shared.clone());
+                            offered = true;
+                        }
                     }
+                    self.metrics.sub_drops.add(drops);
+                    published |= offered;
                     continue;
                 }
                 Some(Sink::Derived(name)) => name.clone(),
@@ -2488,6 +2613,87 @@ mod tests {
             assert_eq!(gauge.get(), pending_sum(&db));
             db.unsubscribe(a).unwrap();
             assert_eq!(gauge.get(), 0, "all depth released ({policy:?})");
+        }
+    }
+
+    #[test]
+    fn attached_subscriptions_share_one_cq() {
+        let db = db();
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+            .unwrap();
+        let primary = db
+            .execute("SELECT sum(v) t, cq_close(*) w FROM s <TUMBLING '1 minute'>")
+            .unwrap()
+            .subscription();
+        let member = db.subscribe_attach(primary).unwrap();
+        assert_ne!(primary, member);
+        assert_eq!(
+            db.subscription_cq(primary),
+            db.subscription_cq(member),
+            "attach joins the primary's CQ, it does not start a new one"
+        );
+        let windows_before = db.stats().windows_out;
+        db.ingest("s", row![5i64, Value::Timestamp(1)]).unwrap();
+        db.heartbeat("s", MINUTES).unwrap();
+        // The CQ ran once; both members received that one window.
+        assert_eq!(db.stats().windows_out, windows_before + 1);
+        let a = db.poll_shared(primary).unwrap();
+        let b = db.poll_shared(member).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert!(
+            Arc::ptr_eq(&a[0], &b[0]),
+            "fan-out shares the window allocation, it does not copy"
+        );
+        assert_eq!(a[0].relation.rows()[0][0], Value::Int(5));
+    }
+
+    #[test]
+    fn attached_member_survives_primary_unsubscribe() {
+        let db = db();
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+            .unwrap();
+        let primary = db
+            .execute("SELECT count(*) c FROM s <TUMBLING '1 minute'>")
+            .unwrap()
+            .subscription();
+        let member = db.subscribe_attach(primary).unwrap();
+        db.unsubscribe(primary).unwrap();
+        assert!(db.poll(primary).is_err());
+        // The CQ keeps running for the surviving member.
+        db.ingest("s", row![1i64, Value::Timestamp(1)]).unwrap();
+        db.heartbeat("s", MINUTES).unwrap();
+        assert_eq!(db.poll(member).unwrap().len(), 1);
+        // Attaching to a departed subscription is an error.
+        assert!(db.subscribe_attach(primary).is_err());
+        // Last member out tears the CQ down and releases its budget.
+        db.unsubscribe(member).unwrap();
+        assert!(db.poll(member).is_err());
+        assert_eq!(db.catalog.lock().admitted_state_bytes, 0);
+    }
+
+    #[test]
+    fn attached_members_drop_independently_on_overflow() {
+        let db = Db::in_memory(DbOptions::default().with_sub_queue(2, OverflowPolicy::DropOldest));
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+            .unwrap();
+        let primary = db
+            .execute("SELECT count(*) c FROM s <TUMBLING '1 minute'>")
+            .unwrap()
+            .subscription();
+        let member = db.subscribe_attach(primary).unwrap();
+        db.ingest("s", row![1i64, Value::Timestamp(1)]).unwrap();
+        // 5 closed windows against two capacity-2 queues: each member
+        // overflows on its own account (3 drops each), and the drained
+        // survivors are the same shared windows on both sides.
+        db.heartbeat("s", 5 * MINUTES).unwrap();
+        assert_eq!(db.stats().sub_drops, 6);
+        let a = db.poll_shared(primary).unwrap();
+        let b = db.poll_shared(member).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(Arc::ptr_eq(x, y));
         }
     }
 }

@@ -38,4 +38,6 @@ mod subscription;
 pub use db::{Db, DbStats, ExecResult};
 pub use options::DbOptions;
 pub use script::split_statements;
-pub use subscription::{OverflowPolicy, ResultNotifier, Subscription, SubscriptionId};
+pub use subscription::{
+    OverflowPolicy, ResultNotifier, Subscription, SubscriptionId, Waker, DEFAULT_SUB_CAPACITY,
+};

@@ -29,8 +29,12 @@ use crate::subscription::SubscriptionId;
 pub(crate) enum Sink {
     /// Feed a derived stream's subscribers.
     Derived(String),
-    /// Queue for a client subscription.
-    Client(SubscriptionId),
+    /// Queue for one or more client subscriptions sharing this CQ. The
+    /// first entry is the *primary* (the subscription `SELECT` returned);
+    /// later entries attached via [`crate::Db::subscribe_attach`]. Each
+    /// member has its own bounded queue; the CQ itself — window state,
+    /// close schedule, budget — runs once regardless of membership.
+    Clients(Vec<SubscriptionId>),
 }
 
 /// A running CQ plus its delivery target.

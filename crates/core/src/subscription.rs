@@ -15,7 +15,7 @@
 //! backpressure.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -36,15 +36,26 @@ pub enum OverflowPolicy {
     DropNewest,
 }
 
-/// Bounded queue of undelivered window results for one subscription.
+/// Bounded queue of undelivered items for one consumer.
+///
+/// The engine's subscription queues hold shared window results
+/// (`Arc<CqOutput>` — one CQ output fanned out to N subscribers is
+/// reference-counted, never deep-copied), but the machinery — capacity
+/// bound, [`OverflowPolicy`], delivered/dropped accounting, aggregate
+/// depth gauge — is item-agnostic: the network server instantiates the
+/// same type over encoded frames for its per-subscriber outboxes, and
+/// the client over decoded results, so every delivery stage in the
+/// system shares one conservation story (delivered + dropped + pending
+/// == offered).
 #[derive(Debug)]
-pub struct Subscription {
-    queue: VecDeque<CqOutput>,
+pub struct Subscription<T = Arc<CqOutput>> {
+    queue: VecDeque<T>,
     capacity: usize,
     policy: OverflowPolicy,
     delivered: u64,
     dropped: u64,
-    /// Aggregate depth gauge (`db.sub_queue_depth`). Every queue length
+    /// Aggregate depth gauge (`db.sub_queue_depth` for engine queues,
+    /// `net.outbox.depth` for server outboxes). Every queue length
     /// change — enqueue, overflow drop, drain, teardown — is accounted
     /// here, inside the same critical section that mutates the queue, so
     /// the gauge can never drift from the sum of pending results even
@@ -52,8 +63,8 @@ pub struct Subscription {
     depth_gauge: Option<Arc<Gauge>>,
 }
 
-impl Default for Subscription {
-    fn default() -> Subscription {
+impl<T> Default for Subscription<T> {
+    fn default() -> Subscription<T> {
         Subscription::bounded(DEFAULT_SUB_CAPACITY, OverflowPolicy::default())
     }
 }
@@ -61,9 +72,9 @@ impl Default for Subscription {
 /// Default queue capacity when none is configured.
 pub const DEFAULT_SUB_CAPACITY: usize = 1024;
 
-impl Subscription {
-    /// A queue holding at most `capacity` undelivered window results.
-    pub fn bounded(capacity: usize, policy: OverflowPolicy) -> Subscription {
+impl<T> Subscription<T> {
+    /// A queue holding at most `capacity` undelivered items.
+    pub fn bounded(capacity: usize, policy: OverflowPolicy) -> Subscription<T> {
         Subscription {
             queue: VecDeque::new(),
             capacity: capacity.max(1),
@@ -76,7 +87,7 @@ impl Subscription {
 
     /// Account this queue's length in `gauge` from now on (and release
     /// whatever is pending when the subscription is dropped).
-    pub fn with_depth_gauge(mut self, gauge: Arc<Gauge>) -> Subscription {
+    pub fn with_depth_gauge(mut self, gauge: Arc<Gauge>) -> Subscription<T> {
         gauge.add(self.queue.len() as i64);
         self.depth_gauge = Some(gauge);
         self
@@ -88,9 +99,9 @@ impl Subscription {
         }
     }
 
-    /// Append a window result. Returns the number of results dropped to
-    /// honour the capacity bound (0 or 1).
-    pub fn offer(&mut self, out: CqOutput) -> u64 {
+    /// Append an item. Returns the number of items dropped to honour the
+    /// capacity bound (0 or 1).
+    pub fn offer(&mut self, out: T) -> u64 {
         if self.queue.len() < self.capacity {
             self.queue.push_back(out);
             self.gauge_add(1);
@@ -99,7 +110,7 @@ impl Subscription {
         self.dropped += 1;
         match self.policy {
             OverflowPolicy::DropOldest => {
-                // -1 for the sacrificed window, +1 for the enqueued one.
+                // -1 for the sacrificed item, +1 for the enqueued one.
                 self.queue.pop_front();
                 self.gauge_add(-1);
                 self.queue.push_back(out);
@@ -110,51 +121,80 @@ impl Subscription {
         1
     }
 
-    /// Drain all queued results.
-    pub fn drain(&mut self) -> Vec<CqOutput> {
-        let out: Vec<CqOutput> = self.queue.drain(..).collect();
+    /// Drain all queued items.
+    pub fn drain(&mut self) -> Vec<T> {
+        let out: Vec<T> = self.queue.drain(..).collect();
         self.gauge_add(-(out.len() as i64));
         self.delivered += out.len() as u64;
         out
     }
 
-    /// Undelivered window count.
+    /// Remove and return the oldest queued item, counting it delivered.
+    pub fn pop(&mut self) -> Option<T> {
+        let out = self.queue.pop_front()?;
+        self.gauge_add(-1);
+        self.delivered += 1;
+        Some(out)
+    }
+
+    /// Undelivered item count.
     pub fn pending(&self) -> usize {
         self.queue.len()
     }
 
-    /// Total delivered window count.
+    /// Total delivered item count.
     pub fn delivered(&self) -> u64 {
         self.delivered
     }
 
-    /// Window results dropped on overflow.
+    /// Items dropped on overflow.
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 }
 
-impl Drop for Subscription {
+impl<T> Drop for Subscription<T> {
     fn drop(&mut self) {
         // Undelivered results leave the aggregate depth with the sub.
         self.gauge_add(-(self.queue.len() as i64));
     }
 }
 
+/// A callback invoked (without any notifier lock held) on every publish.
+pub type Waker = Arc<dyn Fn() + Send + Sync>;
+
 /// Wakes blocked pollers when any subscription receives a window result.
 ///
-/// The embedded API polls; a network server cannot afford to — its
-/// delivery threads block here (with a timeout, so teardown can always
-/// make progress) and drain their connection's subscriptions on each
-/// generation bump.
-#[derive(Debug)]
+/// Two wake styles coexist:
+///
+/// * **Blocking** — [`ResultNotifier::wait_newer`] parks a thread on a
+///   condvar until the generation advances. The embedded API and simple
+///   delivery threads use this.
+/// * **Readiness** — a reactor that multiplexes thousands of
+///   subscriptions over a handful of sockets cannot park a thread per
+///   consumer; it registers a [`Waker`] (typically `Poller::notify`)
+///   with [`ResultNotifier::register_waker`] and gets called back on
+///   each publish. Wakers are held weakly and pruned lazily, so a
+///   departed reactor costs one dead slot, not a leak.
 // lock-order: generation < sub
 //
 // The notifier's generation lock is never taken while holding a
-// subscription queue lock.
+// subscription queue lock. The wakers list lock is private to this
+// type, never nested with any other lock (wakers run after it is
+// released), and so contributes no lock-graph edges.
 pub struct ResultNotifier {
     generation: Mutex<u64>,
     cv: Condvar,
+    wakers: Mutex<Vec<Weak<dyn Fn() + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for ResultNotifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultNotifier")
+            .field("generation", &*self.generation.lock())
+            .field("wakers", &self.wakers.lock().len())
+            .finish()
+    }
 }
 
 impl Default for ResultNotifier {
@@ -163,6 +203,7 @@ impl Default for ResultNotifier {
             // Witness name matches the `// lock-order:` declaration above.
             generation: Mutex::named("core.generation", 0),
             cv: Condvar::new(),
+            wakers: Mutex::named("core.wakers", Vec::new()),
         }
     }
 }
@@ -178,10 +219,31 @@ impl ResultNotifier {
         *self.generation.lock()
     }
 
-    /// Publish: bump the generation and wake all waiters.
+    /// Publish: bump the generation and wake all waiters — blocked
+    /// [`ResultNotifier::wait_newer`] callers via the condvar, registered
+    /// [`Waker`]s by invocation. Wakers run with no notifier lock held,
+    /// so a waker may freely call back into the notifier (or into a
+    /// poller whose wait loop re-reads the generation).
     pub fn notify(&self) {
         *self.generation.lock() += 1;
         self.cv.notify_all();
+        let live: Vec<Waker> = {
+            let mut wakers = self.wakers.lock();
+            wakers.retain(|w| w.strong_count() > 0);
+            wakers.iter().filter_map(Weak::upgrade).collect()
+        };
+        for waker in live {
+            waker();
+        }
+    }
+
+    /// Register `waker` to be invoked on every subsequent publish. The
+    /// notifier holds it weakly: dropping the last strong reference
+    /// unregisters it.
+    pub fn register_waker(&self, waker: &Waker) {
+        let mut wakers = self.wakers.lock();
+        wakers.retain(|w| w.strong_count() > 0);
+        wakers.push(Arc::downgrade(waker));
     }
 
     /// Block until the generation exceeds `seen` or `timeout` elapses.
@@ -273,6 +335,29 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         n.notify();
         assert!(t.join().unwrap() > seen);
+    }
+
+    #[test]
+    fn waker_fires_on_publish_and_unregisters_on_drop() {
+        let n = ResultNotifier::new();
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let waker: Waker = {
+            let hits = hits.clone();
+            Arc::new(move || {
+                hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            })
+        };
+        n.register_waker(&waker);
+        n.notify();
+        n.notify();
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 2);
+        drop(waker);
+        n.notify();
+        assert_eq!(
+            hits.load(std::sync::atomic::Ordering::Relaxed),
+            2,
+            "dropped waker must not fire"
+        );
     }
 
     #[test]

@@ -1,26 +1,39 @@
 //! Blocking wire-protocol client.
 //!
 //! One TCP connection carries both request/response traffic and
-//! asynchronous `WindowResult` pushes. A background reader thread
-//! demultiplexes: responses go to the (single) in-flight request;
-//! window results are routed to the [`SubscriptionStream`] they belong
-//! to. Requests are serialized — the protocol allows one outstanding
-//! request per connection — but pushed results arrive at any time,
-//! including while no request is in flight.
+//! asynchronous `WindowResult` pushes — including pushes for **many**
+//! logical subscriptions multiplexed over the single socket (register
+//! more with [`Client::subscribe`] or join an existing fan-out group
+//! with [`Client::subscribe_attach`]). A background reader thread
+//! demultiplexes: responses go to the (single) in-flight request; window
+//! results are routed to the [`SubscriptionStream`] they belong to.
+//! Requests are serialized — the protocol allows one outstanding request
+//! per connection — but pushed results arrive at any time, including
+//! while no request is in flight.
+//!
+//! Each subscription's client-side queue is **bounded**
+//! ([`ClientOptions`]), mirroring the server's outbox discipline: an
+//! application that stops consuming a stream sheds that stream's windows
+//! by the configured [`OverflowPolicy`] (observable via
+//! [`SubscriptionStream::dropped`]) instead of growing memory without
+//! limit. The reader decodes with the resumable [`FrameDecoder`], so a
+//! socket read timeout mid-frame never desyncs the stream.
 
 use std::fmt;
 use std::io::{self, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
-use std::sync::mpsc;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+use streamrel_core::{OverflowPolicy, Subscription};
 use streamrel_cq::CqOutput;
 use streamrel_types::{Relation, Row, Timestamp};
 
-use crate::frame::{Frame, FrameType};
+use crate::frame::{Frame, FrameDecoder, FrameType};
 use crate::wire;
 
 /// Client-side failures.
@@ -64,10 +77,63 @@ impl From<streamrel_types::Error> for NetError {
 /// Client-side result alias.
 pub type NetResult<T> = Result<T, NetError>;
 
+/// Client tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientOptions {
+    /// Per-subscription bound on windows buffered client-side awaiting
+    /// consumption. Mirrors the server's queue discipline so a stalled
+    /// consumer sheds (counted) instead of allocating forever.
+    pub sub_queue_capacity: usize,
+    /// What an overflowing subscription queue sacrifices.
+    pub sub_overflow: OverflowPolicy,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            sub_queue_capacity: streamrel_core::DEFAULT_SUB_CAPACITY,
+            sub_overflow: OverflowPolicy::DropOldest,
+        }
+    }
+}
+
+/// Bounded buffer between the reader thread and one
+/// [`SubscriptionStream`].
+struct SubQueue {
+    q: Mutex<Subscription<CqOutput>>,
+    cv: Condvar,
+    /// Set (with a final wakeup) when the reader exits: no more results
+    /// will ever arrive.
+    closed: AtomicBool,
+}
+
+impl SubQueue {
+    fn new(opts: ClientOptions) -> Arc<SubQueue> {
+        Arc::new(SubQueue {
+            q: Mutex::new(Subscription::bounded(
+                opts.sub_queue_capacity,
+                opts.sub_overflow,
+            )),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    fn offer(&self, out: CqOutput) {
+        self.q.lock().offer(out);
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+}
+
 /// A demultiplexed server→client message destined for the request path.
 enum Reply {
     Rows(Relation),
-    Subscribed(u64, Receiver<CqOutput>),
+    Subscribed(u64, Arc<SubQueue>),
     Heartbeat,
     Stats(Relation),
     Goodbye,
@@ -87,8 +153,13 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to a server.
+    /// Connect to a server with default options.
     pub fn connect(addr: impl ToSocketAddrs) -> NetResult<Client> {
+        Client::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connect with explicit options.
+    pub fn connect_with(addr: impl ToSocketAddrs, opts: ClientOptions) -> NetResult<Client> {
         let socket = TcpStream::connect(addr)?;
         socket.set_nodelay(true).ok();
         let writer = socket.try_clone()?;
@@ -96,7 +167,7 @@ impl Client {
         let (resp_tx, resp_rx) = mpsc::channel();
         let reader = std::thread::Builder::new()
             .name("streamrel-client-reader".into())
-            .spawn(move || reader_loop(read_half, resp_tx))
+            .spawn(move || reader_loop(read_half, resp_tx, opts))
             .map_err(NetError::Io)?;
         Ok(Client {
             io: Mutex::new(Io {
@@ -124,10 +195,21 @@ impl Client {
     /// server and surface on the returned iterator as they close.
     pub fn subscribe(&self, sql: &str) -> NetResult<SubscriptionStream> {
         match self.request(Frame::new(FrameType::Query, wire::encode_query(sql)))? {
-            Reply::Subscribed(id, rx) => Ok(SubscriptionStream { id, rx }),
+            Reply::Subscribed(id, queue) => Ok(SubscriptionStream { id, queue }),
             Reply::Rows(_) => Err(NetError::Protocol(
                 "statement returned rows, not a subscription; use execute()".into(),
             )),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Join the fan-out group of an existing subscription (possibly
+    /// owned by another connection): the server runs the continuous
+    /// query **once** and serializes each closed window once, and this
+    /// stream receives the same window sequence under its own fresh id.
+    pub fn subscribe_attach(&self, primary: u64) -> NetResult<SubscriptionStream> {
+        match self.request(Frame::new(FrameType::Attach, wire::encode_attach(primary)))? {
+            Reply::Subscribed(id, queue) => Ok(SubscriptionStream { id, queue }),
             other => Err(unexpected(&other)),
         }
     }
@@ -218,59 +300,87 @@ fn unexpected(reply: &Reply) -> NetError {
 }
 
 /// Reader thread: decode frames and route them. Response frames go to
-/// the in-flight request; `WindowResult` frames go to their stream. On
-/// any socket or protocol error the thread exits, which closes every
-/// channel and surfaces `Disconnected` to all callers.
-fn reader_loop(mut socket: TcpStream, resp: Sender<Reply>) {
-    let mut subs: Vec<(u64, Sender<CqOutput>)> = Vec::new();
+/// the in-flight request; `WindowResult` frames go to their stream's
+/// bounded queue. On any socket or protocol error the thread exits,
+/// closing the response channel and every subscription queue, which
+/// surfaces `Disconnected`/end-of-stream to all callers.
+fn reader_loop(mut socket: TcpStream, resp: Sender<Reply>, opts: ClientOptions) {
+    let mut subs: Vec<(u64, Arc<SubQueue>)> = Vec::new();
+    let mut decoder = FrameDecoder::new();
     loop {
-        let frame = match Frame::read_from(&mut socket) {
+        // The resumable decoder survives read timeouts mid-frame (the
+        // old `Frame::read_from` restarted and desynced); anything else
+        // short of a complete frame ends the connection.
+        let frame = match decoder.read_frame(&mut socket) {
             Ok(Some(f)) => f,
-            _ => return,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            _ => break,
         };
         let forwarded = match frame.ty {
             FrameType::Rows => match wire::decode_rows(&frame.payload) {
                 Ok(rel) => resp.send(Reply::Rows(rel)).is_ok(),
-                Err(_) => return,
+                Err(_) => break,
             },
             FrameType::Subscribed => match wire::decode_subscribed(&frame.payload) {
                 Ok(id) => {
-                    // Register the route *before* handing the receiver to
-                    // the caller: this thread is the only frame source, so
-                    // no WindowResult for `id` can be missed.
-                    let (tx, rx) = mpsc::channel();
-                    subs.push((id, tx));
-                    resp.send(Reply::Subscribed(id, rx)).is_ok()
+                    // Register the route *before* handing the queue to
+                    // the caller: this thread is the only frame source,
+                    // so no WindowResult for `id` can be missed.
+                    let queue = SubQueue::new(opts);
+                    subs.push((id, queue.clone()));
+                    resp.send(Reply::Subscribed(id, queue)).is_ok()
                 }
-                Err(_) => return,
+                Err(_) => break,
             },
             FrameType::WindowResult => match wire::decode_window_result(&frame.payload) {
                 Ok((id, out)) => {
-                    // Dead streams (receiver dropped) are pruned lazily.
-                    subs.retain(|(sid, tx)| *sid != id || tx.send(out.clone()).is_ok());
+                    // Streams whose consumer is gone (we hold the only
+                    // reference) are pruned lazily; live ones get the
+                    // window offered to their bounded queue.
+                    subs.retain(|(sid, q)| {
+                        if *sid == id {
+                            if Arc::strong_count(q) == 1 {
+                                return false;
+                            }
+                            q.offer(out.clone());
+                        }
+                        true
+                    });
                     true
                 }
-                Err(_) => return,
+                Err(_) => break,
             },
             FrameType::Heartbeat => resp.send(Reply::Heartbeat).is_ok(),
             FrameType::StatsResult => match wire::decode_rows(&frame.payload) {
                 Ok(rel) => resp.send(Reply::Stats(rel)).is_ok(),
-                Err(_) => return,
+                Err(_) => break,
             },
             FrameType::Error => match wire::decode_error(&frame.payload) {
                 Ok(msg) => resp.send(Reply::Err(msg)).is_ok(),
-                Err(_) => return,
+                Err(_) => break,
             },
             FrameType::Goodbye => {
                 let _ = resp.send(Reply::Goodbye);
-                return;
+                break;
             }
-            FrameType::Query | FrameType::Ingest | FrameType::Stats => return, // server must not send these
+            // Client-to-server frames; the server must not send these.
+            FrameType::Query | FrameType::Ingest | FrameType::Stats | FrameType::Attach => break,
         };
         if !forwarded {
             // The Client was dropped; nobody is listening any more.
-            return;
+            break;
         }
+    }
+    // Wake every blocked stream: the connection is over.
+    for (_, q) in subs {
+        q.close();
     }
 }
 
@@ -282,7 +392,7 @@ fn reader_loop(mut socket: TcpStream, resp: Sender<Reply>) {
 /// client-side until the connection closes and the server reaps it.
 pub struct SubscriptionStream {
     id: u64,
-    rx: Receiver<CqOutput>,
+    queue: Arc<SubQueue>,
 }
 
 impl SubscriptionStream {
@@ -291,19 +401,33 @@ impl SubscriptionStream {
         self.id
     }
 
+    /// Windows shed client-side because this stream's bounded queue
+    /// overflowed (the consumer fell behind the wire).
+    pub fn dropped(&self) -> u64 {
+        self.queue.q.lock().dropped()
+    }
+
     /// Non-blocking poll; `None` if nothing is pending right now.
     pub fn try_next(&self) -> Option<CqOutput> {
-        match self.rx.try_recv() {
-            Ok(out) => Some(out),
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
-        }
+        self.queue.q.lock().pop()
     }
 
     /// Block up to `timeout` for the next window result.
     pub fn next_timeout(&self, timeout: Duration) -> Option<CqOutput> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(out) => Some(out),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        let deadline = Instant::now() + timeout;
+        let mut q = self.queue.q.lock();
+        loop {
+            if let Some(out) = q.pop() {
+                return Some(out);
+            }
+            if self.queue.closed.load(Ordering::SeqCst) {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let _ = self.queue.cv.wait_for(&mut q, deadline - now);
         }
     }
 }
@@ -312,6 +436,15 @@ impl Iterator for SubscriptionStream {
     type Item = CqOutput;
 
     fn next(&mut self) -> Option<CqOutput> {
-        self.rx.recv().ok()
+        let mut q = self.queue.q.lock();
+        loop {
+            if let Some(out) = q.pop() {
+                return Some(out);
+            }
+            if self.queue.closed.load(Ordering::SeqCst) {
+                return None;
+            }
+            self.queue.cv.wait(&mut q);
+        }
     }
 }

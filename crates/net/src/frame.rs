@@ -16,7 +16,9 @@
 use std::io::{self, Read, Write};
 
 /// Wire-format version. Bump on any incompatible frame or payload change.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// v2: multiplexed subscriptions — the `Attach` frame joins an existing
+/// subscription's fan-out group over any connection.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a single frame's length field. Anything larger is
 /// treated as a malformed (or hostile) frame rather than an allocation.
@@ -47,6 +49,11 @@ pub enum FrameType {
     /// Server → client: the `streamrel_metrics` relation (same payload
     /// encoding as `Rows`, so the schema is byte-identical to a SELECT).
     StatsResult = 10,
+    /// Client → server: join an existing subscription's fan-out group
+    /// (payload: the primary's `u64` id). Answered with `Subscribed`
+    /// carrying a fresh id; window results for both ids are encoded from
+    /// the same CQ output, serialized once.
+    Attach = 11,
 }
 
 impl FrameType {
@@ -63,6 +70,7 @@ impl FrameType {
             8 => FrameType::Goodbye,
             9 => FrameType::Stats,
             10 => FrameType::StatsResult,
+            11 => FrameType::Attach,
             _ => return None,
         })
     }
@@ -127,6 +135,116 @@ impl Frame {
         let mut payload = vec![0u8; len as usize - 2];
         r.read_exact(&mut payload)?;
         Ok(Some(Frame { ty, payload }))
+    }
+}
+
+/// Incremental, resumable frame decoder.
+///
+/// [`Frame::read_from`] assumes it owns the stream until a frame
+/// completes: any `WouldBlock`/`TimedOut` mid-frame loses the bytes
+/// already consumed and permanently desyncs the connection. This decoder
+/// is the fix — bytes are buffered as they arrive ([`FrameDecoder::extend`]
+/// or [`FrameDecoder::read_frame`]) and a frame is produced only once it
+/// is complete, so a read that dies with a timeout (or `WouldBlock`, on
+/// the nonblocking reactor path) resumes exactly where it stopped.
+///
+/// Validation is eager: an implausible length, wrong version byte, or
+/// unknown frame type is reported as soon as those bytes are buffered,
+/// before the (possibly enormous) payload is waited for.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted opportunistically.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// Empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Buffer freshly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `start` is dead.
+        if self.start > 0 && (self.start == self.buf.len() || self.start >= 4096) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded into a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when a frame is partially buffered — the peer has sent a
+    /// length prefix (or part of one) whose frame has not completed yet.
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Decode the next complete frame out of the buffer. `Ok(None)`
+    /// means more bytes are needed; errors mean the stream is corrupt
+    /// (same taxonomy as [`Frame::read_from`]).
+    pub fn next_frame(&mut self) -> io::Result<Option<Frame>> {
+        let avail = self.buffered();
+        if avail < 4 {
+            return Ok(None);
+        }
+        let at = |i: usize| self.buf[self.start + i];
+        let len = u32::from_le_bytes([at(0), at(1), at(2), at(3)]);
+        if !(2..=MAX_FRAME_LEN).contains(&len) {
+            return Err(malformed(format!("implausible frame length {len}")));
+        }
+        if avail >= 5 && at(4) != PROTOCOL_VERSION {
+            return Err(malformed(format!(
+                "protocol version {} (this build speaks {PROTOCOL_VERSION})",
+                at(4)
+            )));
+        }
+        if avail >= 6 {
+            FrameType::from_u8(at(5))
+                .ok_or_else(|| malformed(format!("unknown frame type {}", at(5))))?;
+        }
+        let total = 4 + len as usize;
+        if avail < total {
+            return Ok(None);
+        }
+        // `len >= 2` puts the type byte inside a complete frame, so this
+        // re-parse cannot fail where the eager check above passed.
+        let ty = FrameType::from_u8(at(5))
+            .ok_or_else(|| malformed(format!("unknown frame type {}", at(5))))?;
+        let payload = self.buf[self.start + 6..self.start + total].to_vec();
+        self.start += total;
+        Ok(Some(Frame { ty, payload }))
+    }
+
+    /// Read from `r` until one frame completes. `Ok(None)` is a clean
+    /// EOF at a frame boundary; EOF mid-frame is an error. A
+    /// `WouldBlock`/`TimedOut`/`Interrupted`-free error propagates, and —
+    /// the point of this type — so do `WouldBlock` and `TimedOut`, with
+    /// every byte already received still buffered: call again to resume.
+    pub fn read_frame<R: Read>(&mut self, r: &mut R) -> io::Result<Option<Frame>> {
+        loop {
+            if let Some(frame) = self.next_frame()? {
+                return Ok(Some(frame));
+            }
+            let mut chunk = [0u8; 8192];
+            match r.read(&mut chunk) {
+                Ok(0) if self.mid_frame() => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof mid-frame",
+                    ))
+                }
+                Ok(0) => return Ok(None),
+                Ok(n) => self.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -200,5 +318,113 @@ mod tests {
             .unwrap();
         buf.truncate(10);
         assert!(Frame::read_from(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn decoder_assembles_frames_fed_one_byte_at_a_time() {
+        let mut bytes = Vec::new();
+        Frame::new(FrameType::Query, b"select 1".to_vec())
+            .write_to(&mut bytes)
+            .unwrap();
+        Frame::bare(FrameType::Goodbye)
+            .write_to(&mut bytes)
+            .unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in bytes {
+            dec.extend(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].ty, FrameType::Query);
+        assert_eq!(got[0].payload, b"select 1");
+        assert_eq!(got[1].ty, FrameType::Goodbye);
+        assert!(!dec.mid_frame(), "no bytes left over");
+    }
+
+    #[test]
+    fn decoder_rejects_bad_header_before_payload_arrives() {
+        let mut dec = FrameDecoder::new();
+        // Length says 1 MiB payload follows, but the version byte is
+        // already wrong: reject now, not a megabyte from now.
+        let len = (1024 * 1024u32).to_le_bytes();
+        dec.extend(&[len[0], len[1], len[2], len[3], 99]);
+        let err = dec.next_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version 99"), "{err}");
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&u32::MAX.to_le_bytes());
+        assert!(dec.next_frame().is_err(), "implausible length");
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&[8, 0, 0, 0, PROTOCOL_VERSION, 200]);
+        assert!(dec.next_frame().is_err(), "unknown type");
+    }
+
+    /// A reader that yields one byte, then `WouldBlock`, alternately —
+    /// the shape of a slow writer dribbling into a socket with a read
+    /// timeout. The old `Frame::read_from` restarts from scratch after
+    /// every timeout and desyncs; the decoder must resume.
+    struct Dribble<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+        starve: bool,
+    }
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.starve = !self.starve;
+            if self.starve {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout tick"));
+            }
+            if self.pos == self.bytes.len() {
+                return Ok(0);
+            }
+            buf[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn decoder_resumes_across_read_timeouts_without_desync() {
+        let mut bytes = Vec::new();
+        Frame::new(FrameType::Query, b"select 42".to_vec())
+            .write_to(&mut bytes)
+            .unwrap();
+        Frame::new(FrameType::Heartbeat, vec![3; 16])
+            .write_to(&mut bytes)
+            .unwrap();
+        let mut r = Dribble {
+            bytes: &bytes,
+            pos: 0,
+            starve: false,
+        };
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut timeouts = 0;
+        while got.len() < 2 {
+            match dec.read_frame(&mut r) {
+                Ok(Some(f)) => got.push(f),
+                Ok(None) => panic!("unexpected EOF"),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => timeouts += 1,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(timeouts >= bytes.len(), "every byte cost one timeout tick");
+        assert_eq!(got[0].payload, b"select 42");
+        assert_eq!(got[1].ty, FrameType::Heartbeat);
+        assert_eq!(got[1].payload, vec![3; 16]);
+        // Clean EOF at the boundary after both frames.
+        loop {
+            match dec.read_frame(&mut r) {
+                Ok(None) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                other => panic!("expected clean EOF, got {other:?}"),
+            }
+        }
     }
 }

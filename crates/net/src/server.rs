@@ -1,54 +1,77 @@
-//! Thread-per-connection TCP server.
+//! Readiness-driven reactor server.
 //!
-//! Each accepted connection gets two threads:
+//! One thread multiplexes every connection over a [`polling::Poller`]
+//! (a poll(2)-backed readiness shim; see `shims/poll`). A connection is
+//! two file descriptors' worth of state — an incremental
+//! [`FrameDecoder`] on the read side, a queue of encoded frames on the
+//! write side — not two threads: 10 000 subscribers cost buffers and
+//! fds, never 20 000 stacks. The reactor wakes on three signals only:
 //!
-//! - a **request** thread that reads frames, executes them against the
-//!   shared [`Db`] and writes the reply, and
-//! - a **delivery** thread that blocks on the database's
-//!   [`streamrel_core::ResultNotifier`] and *pushes* `WindowResult`
-//!   frames for every subscription this connection owns, as windows
-//!   close — continuous SELECT results are never polled over the wire.
+//! - **socket readiness** (accept, readable bytes, writable space),
+//! - **the engine's [`streamrel_core::ResultNotifier`]**, bridged to the
+//!   poller via a registered waker so a closing window interrupts the
+//!   poll wait immediately, and
+//! - a **fallback tick** bounding idle-reap and shutdown latency.
 //!
-//! Backpressure is the engine's bounded subscription queue: a client that
-//! stops reading stalls its delivery thread on the socket (bounded by
-//! [`ServerOptions::write_timeout`]), the queue behind it fills, and the
-//! configured overflow policy sheds windows for *that* subscription only.
-//! When a connection drops — gracefully via `Goodbye` or abruptly — every
-//! subscription it owned is unsubscribed from the database, so dead
-//! clients cannot accumulate server-side state.
+//! **Serialize-once fan-out.** A continuous query with N subscribers
+//! (the [`FrameType::Attach`] frame joins an existing subscription's
+//! fan-out group) produces ONE encoded window body per close — the
+//! engine hands every member the same reference-counted window, the
+//! sweep encodes it once (`net.fanout.encodes` counts bodies, not
+//! deliveries) and each subscriber's outbox holds the shared bytes plus
+//! its own 8-byte id prefix. Delivery work scales with subscribers;
+//! serialization work scales with windows.
+//!
+//! **Backpressure** is layered. The engine's bounded subscription queue
+//! is drained promptly by the sweep, so the shed point for a slow
+//! consumer moves to its per-subscription **outbox** — the same
+//! [`Subscription`] machinery (capacity, [`OverflowPolicy`], depth
+//! gauge `net.outbox.depth`) instantiated over encoded frames. A peer
+//! that stops reading altogether is disconnected once its write stalls
+//! longer than [`ServerOptions::write_timeout`]. Windows that were
+//! drained from the engine but never reached the socket — outbox
+//! residue, a half-written frame at socket death — are counted in
+//! `net.delivery_lost`, so windows_routed == sent + dropped + lost
+//! holds across connection death.
 
-use std::collections::HashSet;
-use std::io::{self, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-use streamrel_core::{Db, ExecResult, SubscriptionId};
-use streamrel_obs::Counter;
+use polling::{Event, Events, Poller};
+use streamrel_core::{Db, ExecResult, OverflowPolicy, Subscription, SubscriptionId};
+use streamrel_cq::CqOutput;
+use streamrel_obs::{Counter, Gauge};
 
-use crate::frame::{Frame, FrameType};
+use crate::frame::{Frame, FrameDecoder, FrameType, MAX_FRAME_LEN, PROTOCOL_VERSION};
 use crate::wire;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerOptions {
-    /// Per-frame socket write timeout. A subscriber that stops reading
-    /// for longer than this gets disconnected (and reaped) instead of
-    /// wedging its delivery thread forever.
+    /// Write-stall deadline. A subscriber that stops reading for longer
+    /// than this (with output pending) is disconnected and reaped
+    /// instead of accumulating state forever.
     pub write_timeout: Duration,
-    /// Fallback wake interval for delivery threads; bounds how long
-    /// teardown can take, not how fast results are pushed (pushes are
-    /// notifier-driven).
+    /// Fallback poll timeout; bounds idle-reap and shutdown latency,
+    /// not delivery latency (deliveries are notifier-driven).
     pub tick: Duration,
-    /// Idle deadline for the request thread. A connection that sends no
-    /// frame for this long **and owns no subscriptions** is considered
-    /// half-open and reaped; subscribers sit legitimately silent while
-    /// results are pushed, so the deadline never applies to them.
-    /// `None` (the default) waits forever, matching the old behaviour.
+    /// Idle deadline. A connection that sends no frame for this long
+    /// **and owns no subscriptions** is considered half-open and reaped;
+    /// subscribers sit legitimately silent while results are pushed, so
+    /// the deadline never applies to them. `None` (the default) waits
+    /// forever.
     pub read_timeout: Option<Duration>,
+    /// Per-subscription outbox bound (encoded frames queued for one
+    /// subscriber). Overflow sheds per [`ServerOptions::outbox_overflow`]
+    /// and counts into `net.outbox_drops`.
+    pub outbox_capacity: usize,
+    /// What an overflowing outbox sacrifices.
+    pub outbox_overflow: OverflowPolicy,
 }
 
 impl Default for ServerOptions {
@@ -57,6 +80,8 @@ impl Default for ServerOptions {
             write_timeout: Duration::from_secs(5),
             tick: Duration::from_millis(100),
             read_timeout: None,
+            outbox_capacity: streamrel_core::DEFAULT_SUB_CAPACITY,
+            outbox_overflow: OverflowPolicy::DropOldest,
         }
     }
 }
@@ -65,13 +90,11 @@ impl Default for ServerOptions {
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<ConnHandle>>>,
-}
-
-struct ConnHandle {
-    socket: TcpStream,
-    thread: JoinHandle<()>,
+    poller: Arc<Poller>,
+    reactor: Option<JoinHandle<()>>,
+    /// Keeps the notifier→poller bridge registered; dropping the last
+    /// strong reference unregisters the waker.
+    _waker: streamrel_core::Waker,
 }
 
 impl Server {
@@ -90,20 +113,33 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let poller = Arc::new(Poller::new()?);
+        poller.add(&listener, Event::readable(LISTENER_KEY))?;
+        // Bridge engine publishes into poller wakeups: a window closing
+        // anywhere interrupts the poll wait. The waker holds only a weak
+        // poller reference's worth of work — one self-pipe write — and
+        // runs with no locks held on either side.
+        let waker: streamrel_core::Waker = {
+            let poller = poller.clone();
+            Arc::new(move || {
+                let _ = poller.notify();
+            })
+        };
+        db.notifier().register_waker(&waker);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<ConnHandle>>> = Arc::new(Mutex::named("net.conns", Vec::new()));
-        let accept = {
+        let reactor = {
             let shutdown = shutdown.clone();
-            let conns = conns.clone();
+            let poller = poller.clone();
             thread::Builder::new()
-                .name("streamrel-accept".into())
-                .spawn(move || accept_loop(listener, db, opts, shutdown, conns))?
+                .name("streamrel-reactor".into())
+                .spawn(move || Reactor::new(db, listener, poller, opts).run(&shutdown))?
         };
         Ok(Server {
             addr,
             shutdown,
-            accept: Some(accept),
-            conns,
+            poller,
+            reactor: Some(reactor),
+            _waker: waker,
         })
     }
 
@@ -112,22 +148,16 @@ impl Server {
         self.addr
     }
 
-    /// Stop accepting, hang up every connection, join all threads.
+    /// Stop accepting, hang up every connection, join the reactor.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.accept.take() {
+        let _ = self.poller.notify();
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
-        }
-        let conns: Vec<ConnHandle> = std::mem::take(&mut *self.conns.lock());
-        for c in &conns {
-            let _ = c.socket.shutdown(Shutdown::Both);
-        }
-        for c in conns {
-            let _ = c.thread.join();
         }
     }
 }
@@ -138,201 +168,290 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    db: Arc<Db>,
-    opts: ServerOptions,
-    shutdown: Arc<AtomicBool>,
-    conns: Arc<Mutex<Vec<ConnHandle>>>,
-) {
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_nodelay(true);
-                let _ = stream.set_write_timeout(Some(opts.write_timeout));
-                let _ = stream.set_read_timeout(opts.read_timeout);
-                let Ok(socket) = stream.try_clone() else {
-                    continue;
-                };
-                let db = db.clone();
-                let spawned = thread::Builder::new()
-                    .name("streamrel-conn".into())
-                    .spawn(move || handle_conn(db, stream, opts));
-                if let Ok(thread) = spawned {
-                    let mut guard = conns.lock();
-                    // Opportunistically reap finished connections so a
-                    // long-lived server does not accumulate handles.
-                    guard.retain(|c| !c.thread.is_finished());
-                    guard.push(ConnHandle { socket, thread });
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(10)),
-        }
-    }
-}
+/// Poller key of the accept socket; connections use `CONN_SEQ`-derived
+/// keys starting at 1.
+const LISTENER_KEY: usize = 0;
 
-/// Monotonic connection ids, used to key per-connection instruments
-/// (`net.conn.<id>.*`) so concurrent connections never share counters.
+/// Monotonic connection ids, used both as poller keys and to key
+/// per-connection instruments (`net.conn.<id>.*`) so concurrent
+/// connections never share counters.
 static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
 
-// lock-order: conns < subs < writer
-//
-// The server's connection list is taken before any per-connection lock,
-// and a connection's subscription set before its socket writer.
-/// Everything the request and delivery threads share for one connection.
+/// One encoded `WindowResult` awaiting delivery: the shared
+/// (serialize-once) body plus this subscriber's id. The frame header and
+/// id prefix are materialized at write time; the body bytes are the same
+/// allocation for every member of the fan-out group.
+struct OutFrame {
+    sub: u64,
+    body: Arc<Vec<u8>>,
+}
+
+/// Per-connection state machine. No locks anywhere: the reactor thread
+/// is the only owner.
 struct Conn {
-    db: Arc<Db>,
-    writer: Mutex<TcpStream>,
-    subs: Mutex<HashSet<u64>>,
-    gone: AtomicBool,
-    frames_in: Arc<Counter>,
-    frames_out: Arc<Counter>,
+    sock: TcpStream,
+    decoder: FrameDecoder,
+    /// Encoded reply/control frames, flushed ahead of window results so
+    /// a `Subscribed` ack always precedes its first `WindowResult`.
+    ctrl: VecDeque<Vec<u8>>,
+    /// Subscription ids owned by this connection, registration order.
+    subs: Vec<u64>,
+    /// Per-subscription bounded outboxes of encoded window frames.
+    outboxes: HashMap<u64, Subscription<OutFrame>>,
+    /// The frame currently on the wire: `wbuf[wpos..]` remains to send.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// True while `wbuf` holds a `WindowResult` (for loss accounting).
+    inflight_window: bool,
+    /// Write interest currently registered with the poller.
+    want_write: bool,
+    /// Stream is corrupt or said goodbye: drain `ctrl`, then close.
+    closing: bool,
+    last_activity: Instant,
+    /// When the peer first left output stranded (`WouldBlock` with bytes
+    /// pending); cleared by any successful write.
+    stalled_since: Option<Instant>,
+    conn_prefix: String,
     conn_in: Arc<Counter>,
     conn_out: Arc<Counter>,
-    /// Half-open connections hung up by the idle read deadline.
+}
+
+/// Aggregate instruments the reactor updates. Cached as `Arc`s so the
+/// per-event hot path never touches the registry lock.
+struct NetMetrics {
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    connections: Arc<Gauge>,
     idle_reaped: Arc<Counter>,
+    /// Window bodies serialized (once per closed window per sweep — NOT
+    /// per subscriber; that is the whole fan-out claim).
+    fanout_encodes: Arc<Counter>,
+    /// Sum of per-subscription outbox depths.
+    outbox_depth: Arc<Gauge>,
+    /// Window frames shed by a full outbox (slow consumer).
+    outbox_drops: Arc<Counter>,
+    /// Window results drained from the engine but never fully written to
+    /// a socket: outbox residue and half-written frames at teardown.
+    delivery_lost: Arc<Counter>,
+    /// Window frames fully handed to the kernel.
+    windows_sent: Arc<Counter>,
+    /// Reactor loop iterations (readiness, notifier or tick).
+    wakeups: Arc<Counter>,
 }
 
-impl Conn {
-    fn send(&self, frame: &Frame) -> io::Result<()> {
-        self.frames_out.inc();
-        self.conn_out.inc();
-        let mut w = self.writer.lock();
-        frame.write_to(&mut *w)?;
-        w.flush()
-    }
+struct Reactor {
+    db: Arc<Db>,
+    listener: TcpListener,
+    poller: Arc<Poller>,
+    opts: ServerOptions,
+    conns: HashMap<usize, Conn>,
+    metrics: NetMetrics,
+    registry: Arc<streamrel_obs::Registry>,
+}
 
-    /// Unsubscribe everything this connection owns (idempotent).
-    fn reap(&self) {
-        for id in self.subs.lock().drain() {
-            let _ = self.db.unsubscribe(SubscriptionId(id));
+impl Reactor {
+    fn new(
+        db: Arc<Db>,
+        listener: TcpListener,
+        poller: Arc<Poller>,
+        opts: ServerOptions,
+    ) -> Reactor {
+        let registry = db.engine().metrics().clone();
+        let metrics = NetMetrics {
+            frames_in: registry.counter("net.frames_in"),
+            frames_out: registry.counter("net.frames_out"),
+            connections: registry.gauge("net.connections"),
+            idle_reaped: registry.counter("net.idle_reaped"),
+            fanout_encodes: registry.counter("net.fanout.encodes"),
+            outbox_depth: registry.gauge("net.outbox.depth"),
+            outbox_drops: registry.counter("net.outbox_drops"),
+            delivery_lost: registry.counter("net.delivery_lost"),
+            windows_sent: registry.counter("net.windows_sent"),
+            wakeups: registry.counter("net.reactor.wakeups"),
+        };
+        Reactor {
+            db,
+            listener,
+            poller,
+            opts,
+            conns: HashMap::new(),
+            metrics,
+            registry,
         }
     }
 
-    /// Push pending window results for every subscription this
-    /// connection owns. Any socket error marks the connection gone.
-    fn deliver_pending(&self) {
-        let ids: Vec<u64> = self.subs.lock().iter().copied().collect();
-        for id in ids {
-            let outs = match self.db.poll(SubscriptionId(id)) {
-                Ok(outs) => outs,
-                Err(_) => continue, // unsubscribed mid-flight
+    fn run(mut self, shutdown: &AtomicBool) {
+        let mut events = Events::new();
+        while !shutdown.load(Ordering::SeqCst) {
+            events.clear();
+            let _ = self.poller.wait(&mut events, Some(self.opts.tick));
+            self.metrics.wakeups.inc();
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let ready: Vec<Event> = events.iter().collect();
+            for ev in ready {
+                if ev.key == LISTENER_KEY {
+                    self.accept_ready();
+                } else if self.conns.contains_key(&ev.key) {
+                    if ev.readable && !self.conn_readable(ev.key) {
+                        self.close_conn(ev.key);
+                        continue;
+                    }
+                    if self.conns.contains_key(&ev.key) && !self.pump_writes(ev.key) {
+                        self.close_conn(ev.key);
+                    }
+                }
+            }
+            self.sweep_deliveries();
+            self.flush_all();
+            self.reap_deadlines();
+        }
+        // Teardown: hang up every connection so peers observe EOF.
+        let keys: Vec<usize> = self.conns.keys().copied().collect();
+        for key in keys {
+            self.close_conn(key);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let (sock, _peer) = match self.listener.accept() {
+                Ok(v) => v,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
             };
-            for out in outs {
-                let frame = Frame::new(
-                    FrameType::WindowResult,
-                    wire::encode_window_result(id, &out),
-                );
-                if self.send(&frame).is_err() {
-                    self.gone.store(true, Ordering::SeqCst);
-                    return;
-                }
-            }
-        }
-    }
-}
-
-fn handle_conn(db: Arc<Db>, stream: TcpStream, opts: ServerOptions) {
-    let Ok(writer) = stream.try_clone() else {
-        return;
-    };
-    let registry = db.engine().metrics().clone();
-    let conn_id = CONN_SEQ.fetch_add(1, Ordering::SeqCst);
-    let conn_prefix = format!("net.conn.{conn_id}.");
-    let connections = registry.gauge("net.connections");
-    connections.add(1);
-    let conn = Arc::new(Conn {
-        db: db.clone(),
-        writer: Mutex::named("net.writer", writer),
-        subs: Mutex::named("net.subs", HashSet::new()),
-        gone: AtomicBool::new(false),
-        frames_in: registry.counter("net.frames_in"),
-        frames_out: registry.counter("net.frames_out"),
-        conn_in: registry.counter(&format!("{conn_prefix}frames_in")),
-        conn_out: registry.counter(&format!("{conn_prefix}frames_out")),
-        idle_reaped: registry.counter("net.idle_reaped"),
-    });
-
-    // Delivery thread: block on the notifier, push results as they land.
-    let delivery = {
-        let conn = conn.clone();
-        let notifier = db.notifier();
-        thread::spawn(move || {
-            let mut seen = notifier.generation();
-            while !conn.gone.load(Ordering::SeqCst) {
-                seen = notifier.wait_newer(seen, opts.tick);
-                conn.deliver_pending();
-            }
-        })
-    };
-
-    request_loop(&conn, &stream, opts.read_timeout.is_some());
-
-    // Teardown: stop the deliverer, then reap this connection's
-    // subscriptions so the engine stops retaining windows for it.
-    conn.gone.store(true, Ordering::SeqCst);
-    db.notifier().notify(); // wake the deliverer promptly
-    let _ = delivery.join();
-    conn.reap();
-    // Per-connection instruments die with the connection; the aggregate
-    // `net.*` counters and the connection gauge live on.
-    connections.add(-1);
-    registry.remove_prefix(&conn_prefix);
-    // shutdown() acts on the connection itself, so the peer sees EOF even
-    // though the server's registry still holds a cloned handle.
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-fn request_loop(conn: &Arc<Conn>, mut stream: &TcpStream, idle_deadline: bool) {
-    loop {
-        let frame = match Frame::read_from(&mut stream) {
-            Ok(Some(f)) => f,
-            Ok(None) => return, // clean EOF
-            Err(e)
-                if idle_deadline
-                    && matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                    ) =>
-            {
-                // The idle read deadline expired. A subscriber sits
-                // legitimately silent between pushed results, so only a
-                // connection owning no subscriptions is half-open; reap
-                // it so it cannot pin this thread forever.
-                if conn.subs.lock().is_empty() {
-                    conn.idle_reaped.inc();
-                    return;
-                }
+            if sock.set_nonblocking(true).is_err() {
                 continue;
             }
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Malformed frame: tell the client why, then hang up.
-                // Re-synchronising a corrupt byte stream is hopeless.
-                let _ = conn.send(&Frame::new(
-                    FrameType::Error,
-                    wire::encode_error(&format!("malformed frame: {e}")),
-                ));
-                return;
+            let _ = sock.set_nodelay(true);
+            let key = (CONN_SEQ.fetch_add(1, Ordering::SeqCst) + 1) as usize;
+            if self.poller.add(&sock, Event::readable(key)).is_err() {
+                continue;
             }
-            Err(_) => return, // abrupt disconnect
+            let conn_prefix = format!("net.conn.{key}.");
+            self.metrics.connections.add(1);
+            self.conns.insert(
+                key,
+                Conn {
+                    sock,
+                    decoder: FrameDecoder::new(),
+                    ctrl: VecDeque::new(),
+                    subs: Vec::new(),
+                    outboxes: HashMap::new(),
+                    wbuf: Vec::new(),
+                    wpos: 0,
+                    inflight_window: false,
+                    want_write: false,
+                    closing: false,
+                    last_activity: Instant::now(),
+                    stalled_since: None,
+                    conn_in: self.registry.counter(&format!("{conn_prefix}frames_in")),
+                    conn_out: self.registry.counter(&format!("{conn_prefix}frames_out")),
+                    conn_prefix,
+                },
+            );
+        }
+    }
+
+    /// Drain readable bytes into the decoder and process every complete
+    /// frame. Returns false when the connection must die abruptly.
+    fn conn_readable(&mut self, key: usize) -> bool {
+        loop {
+            let Some(conn) = self.conns.get_mut(&key) else {
+                return true;
+            };
+            let mut chunk = [0u8; 16 * 1024];
+            match conn.sock.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF. Clean only at a frame boundary with nothing
+                    // owed; either way the connection is done.
+                    return false;
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    conn.decoder.extend(&chunk[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        // Decode outside the read loop; a corrupt stream stops here.
+        loop {
+            let next = {
+                let Some(conn) = self.conns.get_mut(&key) else {
+                    return true;
+                };
+                if conn.closing {
+                    return true;
+                }
+                let next = conn.decoder.next_frame();
+                if matches!(next, Ok(Some(_))) {
+                    conn.conn_in.inc();
+                }
+                next
+            };
+            match next {
+                Ok(Some(frame)) => {
+                    self.metrics.frames_in.inc();
+                    self.handle_frame(key, frame);
+                }
+                Ok(None) => return true,
+                Err(e) => {
+                    // Malformed frame: tell the client why, then hang
+                    // up. Re-synchronising a corrupt byte stream is
+                    // hopeless.
+                    self.enqueue_ctrl(
+                        key,
+                        &Frame::new(
+                            FrameType::Error,
+                            wire::encode_error(&format!("malformed frame: {e}")),
+                        ),
+                    );
+                    if let Some(conn) = self.conns.get_mut(&key) {
+                        conn.closing = true;
+                    }
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Serialize a control/reply frame onto the connection's queue.
+    fn enqueue_ctrl(&mut self, key: usize, frame: &Frame) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
         };
-        conn.frames_in.inc();
-        conn.conn_in.inc();
-        let keep_going = match frame.ty {
-            FrameType::Query => handle_query(conn, &frame.payload),
-            FrameType::Ingest => handle_ingest(conn, &frame.payload),
-            FrameType::Heartbeat => handle_heartbeat(conn, &frame.payload),
-            FrameType::Stats => handle_stats(conn),
+        let mut bytes = Vec::with_capacity(frame.payload.len() + 6);
+        if frame.write_to(&mut bytes).is_ok() {
+            self.metrics.frames_out.inc();
+            conn.conn_out.inc();
+            conn.ctrl.push_back(bytes);
+        }
+    }
+
+    fn handle_frame(&mut self, key: usize, frame: Frame) {
+        match frame.ty {
+            FrameType::Query => self.handle_query(key, &frame.payload),
+            FrameType::Attach => self.handle_attach(key, &frame.payload),
+            FrameType::Ingest => self.handle_ingest(key, &frame.payload),
+            FrameType::Heartbeat => self.handle_heartbeat(key, &frame.payload),
+            FrameType::Stats => {
+                let rel = self.db.metrics_relation();
+                self.enqueue_ctrl(
+                    key,
+                    &Frame::new(FrameType::StatsResult, wire::encode_rows(&rel)),
+                );
+            }
             FrameType::Goodbye => {
                 // Reap before acking so a synchronous `close()` observes
                 // its subscriptions already gone.
-                conn.reap();
-                let _ = conn.send(&Frame::bare(FrameType::Goodbye));
-                false
+                self.reap_subs(key);
+                self.enqueue_ctrl(key, &Frame::bare(FrameType::Goodbye));
+                if let Some(conn) = self.conns.get_mut(&key) {
+                    conn.closing = true;
+                }
             }
             // Server-to-client frame types arriving here are a protocol
             // violation; answer and hang up.
@@ -341,88 +460,364 @@ fn request_loop(conn: &Arc<Conn>, mut stream: &TcpStream, idle_deadline: bool) {
             | FrameType::WindowResult
             | FrameType::Error
             | FrameType::StatsResult => {
-                let _ = conn.send(&Frame::new(
-                    FrameType::Error,
-                    wire::encode_error(&format!("unexpected frame {:?} from client", frame.ty)),
-                ));
-                false
+                self.enqueue_ctrl(
+                    key,
+                    &Frame::new(
+                        FrameType::Error,
+                        wire::encode_error(&format!("unexpected frame {:?} from client", frame.ty)),
+                    ),
+                );
+                if let Some(conn) = self.conns.get_mut(&key) {
+                    conn.closing = true;
+                }
             }
+        }
+    }
+
+    /// Run one SQL statement; reply `Rows`, `Subscribed` or `Error`.
+    /// SQL errors are replies, not disconnects.
+    fn handle_query(&mut self, key: usize, payload: &[u8]) {
+        let sql = match wire::decode_query(payload) {
+            Ok(sql) => sql,
+            Err(e) => return self.reply_error(key, &e.to_string()),
         };
-        if !keep_going || conn.gone.load(Ordering::SeqCst) {
+        let reply = match self.db.execute(&sql) {
+            Ok(ExecResult::Rows(rel)) => Frame::new(FrameType::Rows, wire::encode_rows(&rel)),
+            Ok(ExecResult::Subscribed(SubscriptionId(id))) => {
+                return self.register_sub(key, id);
+            }
+            Ok(ExecResult::Created(name)) => ack("created", &name, 0),
+            Ok(ExecResult::Dropped(name)) => ack("dropped", &name, 0),
+            Ok(ExecResult::Inserted(n)) => ack("inserted", "", n as i64),
+            Ok(ExecResult::Deleted(n)) => ack("deleted", "", n as i64),
+            Ok(ExecResult::Truncated(name)) => ack("truncated", &name, 0),
+            Err(e) => Frame::new(FrameType::Error, wire::encode_error(&e.to_string())),
+        };
+        self.enqueue_ctrl(key, &reply);
+    }
+
+    /// Join an existing subscription's fan-out group: the CQ keeps
+    /// running once; this connection gains a member id whose window
+    /// results are encoded from the same bytes as everyone else's.
+    fn handle_attach(&mut self, key: usize, payload: &[u8]) {
+        let primary = match wire::decode_attach(payload) {
+            Ok(id) => id,
+            Err(e) => return self.reply_error(key, &e.to_string()),
+        };
+        match self.db.subscribe_attach(SubscriptionId(primary)) {
+            Ok(SubscriptionId(id)) => self.register_sub(key, id),
+            Err(e) => self.reply_error(key, &e.to_string()),
+        }
+    }
+
+    /// Ack a fresh subscription and wire up its delivery state. The ack
+    /// is enqueued before the id becomes sweep-visible, and `ctrl`
+    /// drains ahead of outboxes, so `Subscribed` always precedes the
+    /// first `WindowResult` on the wire.
+    fn register_sub(&mut self, key: usize, id: u64) {
+        if !self.conns.contains_key(&key) {
+            // Connection died while the statement ran; don't leak the CQ.
+            let _ = self.db.unsubscribe(SubscriptionId(id));
             return;
         }
+        self.enqueue_ctrl(
+            key,
+            &Frame::new(FrameType::Subscribed, wire::encode_subscribed(id)),
+        );
+        let outbox = Subscription::bounded(self.opts.outbox_capacity, self.opts.outbox_overflow)
+            .with_depth_gauge(self.metrics.outbox_depth.clone());
+        if let Some(conn) = self.conns.get_mut(&key) {
+            conn.subs.push(id);
+            conn.outboxes.insert(id, outbox);
+        }
+    }
+
+    fn handle_ingest(&mut self, key: usize, payload: &[u8]) {
+        let (stream, rows) = match wire::decode_ingest(payload) {
+            Ok(v) => v,
+            Err(e) => return self.reply_error(key, &e.to_string()),
+        };
+        let n = rows.len() as i64;
+        let reply = match self.db.ingest_batch(&stream, rows) {
+            Ok(()) => ack("ingested", &stream, n),
+            Err(e) => Frame::new(FrameType::Error, wire::encode_error(&e.to_string())),
+        };
+        self.enqueue_ctrl(key, &reply);
+    }
+
+    fn handle_heartbeat(&mut self, key: usize, payload: &[u8]) {
+        let (stream, ts) = match wire::decode_heartbeat(payload) {
+            Ok(v) => v,
+            Err(e) => return self.reply_error(key, &e.to_string()),
+        };
+        let reply = match self.db.heartbeat(&stream, ts) {
+            Ok(()) => Frame::new(FrameType::Heartbeat, wire::encode_heartbeat(&stream, ts)),
+            Err(e) => Frame::new(FrameType::Error, wire::encode_error(&e.to_string())),
+        };
+        self.enqueue_ctrl(key, &reply);
+    }
+
+    fn reply_error(&mut self, key: usize, msg: &str) {
+        self.enqueue_ctrl(key, &Frame::new(FrameType::Error, wire::encode_error(msg)));
+    }
+
+    /// Drain every subscription's engine queue into its outbox,
+    /// serializing each distinct window **once**.
+    ///
+    /// All queues are drained under one engine lock acquisition
+    /// ([`Db::poll_shared_many`]) and the engine offers each window to a
+    /// fan-out group's members under one acquisition too — so within a
+    /// sweep a window appears on all of its subscriptions or none, and
+    /// the identity cache (keyed by the shared allocation's address,
+    /// pinned live for the sweep) makes `net.fanout.encodes` count
+    /// windows, not windows × subscribers.
+    fn sweep_deliveries(&mut self) {
+        if self.conns.is_empty() {
+            return;
+        }
+        let routes: Vec<(usize, u64)> = self
+            .conns
+            .iter()
+            .flat_map(|(key, c)| c.subs.iter().map(move |&s| (*key, s)))
+            .collect();
+        if routes.is_empty() {
+            return;
+        }
+        let ids: Vec<SubscriptionId> = routes.iter().map(|&(_, s)| SubscriptionId(s)).collect();
+        let drained = self.db.poll_shared_many(&ids);
+        // Cache key: address of the shared window allocation. Holding
+        // the Arc in the value pins the address, so a key can never be
+        // reused for a different window within this sweep.
+        #[allow(clippy::type_complexity)]
+        let mut cache: HashMap<*const CqOutput, (Arc<CqOutput>, Arc<Vec<u8>>)> = HashMap::new();
+        let mut outbox_drops = 0u64;
+        let mut oversized = 0u64;
+        for ((key, sub), outs) in routes.into_iter().zip(drained) {
+            if outs.is_empty() {
+                continue;
+            }
+            let Some(conn) = self.conns.get_mut(&key) else {
+                // Connection died between snapshot and drain: drained
+                // windows can no longer be delivered.
+                self.metrics.delivery_lost.add(outs.len() as u64);
+                continue;
+            };
+            let Some(outbox) = conn.outboxes.get_mut(&sub) else {
+                self.metrics.delivery_lost.add(outs.len() as u64);
+                continue;
+            };
+            for out in outs {
+                let body = match cache.entry(Arc::as_ptr(&out)) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.get().1.clone(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        self.metrics.fanout_encodes.inc();
+                        let body = Arc::new(wire::encode_window_body(&out));
+                        e.insert((out.clone(), body.clone()));
+                        body
+                    }
+                };
+                if body.len() as u64 + 10 > MAX_FRAME_LEN as u64 {
+                    // Unencodable frame; the window is gone either way.
+                    oversized += 1;
+                    continue;
+                }
+                outbox_drops += outbox.offer(OutFrame { sub, body });
+            }
+        }
+        self.metrics.outbox_drops.add(outbox_drops);
+        self.metrics.delivery_lost.add(oversized);
+    }
+
+    /// Flush pending output on every connection that has any.
+    fn flush_all(&mut self) {
+        let keys: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.has_output() || c.closing)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in keys {
+            if !self.pump_writes(key) {
+                self.close_conn(key);
+            } else if let Some(conn) = self.conns.get(&key) {
+                if conn.closing && !conn.has_output() {
+                    // Everything owed (error report, goodbye ack) is on
+                    // the wire: orderly close.
+                    self.close_conn(key);
+                }
+            }
+        }
+    }
+
+    /// Write as much pending output as the socket accepts. Returns false
+    /// when the connection must die abruptly.
+    fn pump_writes(&mut self, key: usize) -> bool {
+        loop {
+            let Some(conn) = self.conns.get_mut(&key) else {
+                return true;
+            };
+            if conn.wpos == conn.wbuf.len() {
+                if conn.inflight_window {
+                    self.metrics.windows_sent.inc();
+                }
+                conn.wbuf.clear();
+                conn.wpos = 0;
+                conn.inflight_window = false;
+                if !conn.materialize_next(&self.metrics) {
+                    // Nothing left to send: drop write interest.
+                    if conn.want_write {
+                        conn.want_write = false;
+                        let _ = self.poller.modify(&conn.sock, Event::readable(key));
+                    }
+                    conn.stalled_since = None;
+                    return true;
+                }
+            }
+            match conn.sock.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    conn.wpos += n;
+                    conn.stalled_since = None;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // Kernel buffer full: ask for writability, start (or
+                    // keep) the stall clock.
+                    if !conn.want_write {
+                        conn.want_write = true;
+                        let _ = self.poller.modify(&conn.sock, Event::all(key));
+                    }
+                    conn.stalled_since.get_or_insert_with(Instant::now);
+                    return true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Enforce the idle (half-open) and write-stall deadlines.
+    fn reap_deadlines(&mut self) {
+        let now = Instant::now();
+        let mut idle: Vec<usize> = Vec::new();
+        let mut stalled: Vec<usize> = Vec::new();
+        for (key, conn) in &self.conns {
+            if let Some(deadline) = self.opts.read_timeout {
+                // A connection owning subscriptions sits legitimately
+                // silent while results are pushed; only sub-less
+                // connections are half-open candidates.
+                if conn.subs.is_empty()
+                    && !conn.closing
+                    && now.duration_since(conn.last_activity) >= deadline
+                {
+                    idle.push(*key);
+                    continue;
+                }
+            }
+            if let Some(since) = conn.stalled_since {
+                if now.duration_since(since) >= self.opts.write_timeout {
+                    stalled.push(*key);
+                }
+            }
+        }
+        for key in idle {
+            self.metrics.idle_reaped.inc();
+            self.close_conn(key);
+        }
+        for key in stalled {
+            self.close_conn(key);
+        }
+    }
+
+    /// Unsubscribe everything this connection owns, accounting every
+    /// window that was drained from the engine but never fully written:
+    /// outbox residue, the half-written in-flight frame, and whatever
+    /// the engine still held for these subscriptions.
+    fn reap_subs(&mut self, key: usize) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        let mut lost = 0u64;
+        if conn.inflight_window {
+            // A fully-written window frame reached the kernel (sent);
+            // a half-written one did not (lost).
+            if conn.wpos < conn.wbuf.len() {
+                lost += 1;
+            } else {
+                self.metrics.windows_sent.inc();
+            }
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            conn.inflight_window = false;
+        }
+        for (_, mut outbox) in conn.outboxes.drain() {
+            lost += outbox.pending() as u64;
+            outbox.drain();
+        }
+        let subs = std::mem::take(&mut conn.subs);
+        for id in subs {
+            // Windows still queued engine-side were routed to this
+            // subscriber and will now never be delivered.
+            if let Ok(outs) = self.db.poll_shared(SubscriptionId(id)) {
+                lost += outs.len() as u64;
+            }
+            let _ = self.db.unsubscribe(SubscriptionId(id));
+        }
+        self.metrics.delivery_lost.add(lost);
+    }
+
+    fn close_conn(&mut self, key: usize) {
+        self.reap_subs(key);
+        let Some(conn) = self.conns.remove(&key) else {
+            return;
+        };
+        let _ = self.poller.delete(&conn.sock);
+        let _ = conn.sock.shutdown(Shutdown::Both);
+        self.metrics.connections.add(-1);
+        // Per-connection instruments die with the connection; the
+        // aggregate `net.*` counters and the connection gauge live on.
+        self.registry.remove_prefix(&conn.conn_prefix);
     }
 }
 
-/// Run one SQL statement; reply `Rows`, `Subscribed` or `Error`.
-/// SQL errors are replies, not disconnects. Returns false on socket death.
-fn handle_query(conn: &Arc<Conn>, payload: &[u8]) -> bool {
-    let sql = match wire::decode_query(payload) {
-        Ok(sql) => sql,
-        Err(e) => return reply_error(conn, &e.to_string()),
-    };
-    let reply = match conn.db.execute(&sql) {
-        Ok(ExecResult::Rows(rel)) => Frame::new(FrameType::Rows, wire::encode_rows(&rel)),
-        Ok(ExecResult::Subscribed(SubscriptionId(id))) => {
-            // Reply before registering for delivery: queued results are
-            // retained by the engine, and this order guarantees the
-            // Subscribed frame precedes the first WindowResult on the wire.
-            let ok = conn
-                .send(&Frame::new(
-                    FrameType::Subscribed,
-                    wire::encode_subscribed(id),
-                ))
-                .is_ok();
-            if ok {
-                conn.subs.lock().insert(id);
-            } else {
-                let _ = conn.db.unsubscribe(SubscriptionId(id));
-            }
-            return ok;
+impl Conn {
+    fn has_output(&self) -> bool {
+        self.wpos < self.wbuf.len()
+            || !self.ctrl.is_empty()
+            || self.outboxes.values().any(|o| o.pending() > 0)
+    }
+
+    /// Load the next pending frame into `wbuf`. Control frames first
+    /// (they are replies and subscription acks), then one window frame
+    /// per subscription in registration order. Returns false when there
+    /// is nothing to send.
+    fn materialize_next(&mut self, metrics: &NetMetrics) -> bool {
+        if let Some(bytes) = self.ctrl.pop_front() {
+            self.wbuf = bytes;
+            return true;
         }
-        Ok(ExecResult::Created(name)) => ack("created", &name, 0),
-        Ok(ExecResult::Dropped(name)) => ack("dropped", &name, 0),
-        Ok(ExecResult::Inserted(n)) => ack("inserted", "", n as i64),
-        Ok(ExecResult::Deleted(n)) => ack("deleted", "", n as i64),
-        Ok(ExecResult::Truncated(name)) => ack("truncated", &name, 0),
-        Err(e) => Frame::new(FrameType::Error, wire::encode_error(&e.to_string())),
-    };
-    conn.send(&reply).is_ok()
-}
-
-fn handle_ingest(conn: &Arc<Conn>, payload: &[u8]) -> bool {
-    let (stream, rows) = match wire::decode_ingest(payload) {
-        Ok(v) => v,
-        Err(e) => return reply_error(conn, &e.to_string()),
-    };
-    let n = rows.len() as i64;
-    let reply = match conn.db.ingest_batch(&stream, rows) {
-        Ok(()) => ack("ingested", &stream, n),
-        Err(e) => Frame::new(FrameType::Error, wire::encode_error(&e.to_string())),
-    };
-    conn.send(&reply).is_ok()
-}
-
-fn handle_heartbeat(conn: &Arc<Conn>, payload: &[u8]) -> bool {
-    let (stream, ts) = match wire::decode_heartbeat(payload) {
-        Ok(v) => v,
-        Err(e) => return reply_error(conn, &e.to_string()),
-    };
-    let reply = match conn.db.heartbeat(&stream, ts) {
-        Ok(()) => Frame::new(FrameType::Heartbeat, wire::encode_heartbeat(&stream, ts)),
-        Err(e) => Frame::new(FrameType::Error, wire::encode_error(&e.to_string())),
-    };
-    conn.send(&reply).is_ok()
-}
-
-/// Serve the current `streamrel_metrics` relation. The payload goes
-/// through the same relation codec as `Rows`, and the relation itself is
-/// the one `SELECT * FROM streamrel_metrics` would return — so embedded
-/// and wire clients see a byte-identical schema.
-fn handle_stats(conn: &Arc<Conn>) -> bool {
-    let rel = conn.db.metrics_relation();
-    conn.send(&Frame::new(FrameType::StatsResult, wire::encode_rows(&rel)))
-        .is_ok()
+        for &sub in &self.subs {
+            let Some(outbox) = self.outboxes.get_mut(&sub) else {
+                continue;
+            };
+            if let Some(frame) = outbox.pop() {
+                // [len u32][ver][ty][sub u64][body]; len counts
+                // everything after itself. The body bytes are the shared
+                // fan-out allocation — composed here, never re-encoded.
+                let len = (2 + 8 + frame.body.len()) as u32;
+                self.wbuf.reserve(4 + len as usize);
+                self.wbuf.extend_from_slice(&len.to_le_bytes());
+                self.wbuf.push(PROTOCOL_VERSION);
+                self.wbuf.push(FrameType::WindowResult as u8);
+                self.wbuf.extend_from_slice(&frame.sub.to_le_bytes());
+                self.wbuf.extend_from_slice(&frame.body);
+                self.inflight_window = true;
+                metrics.frames_out.inc();
+                self.conn_out.inc();
+                return true;
+            }
+        }
+        false
+    }
 }
 
 fn ack(tag: &str, detail: &str, n: i64) -> Frame {
@@ -430,9 +825,4 @@ fn ack(tag: &str, detail: &str, n: i64) -> Frame {
         FrameType::Rows,
         wire::encode_rows(&wire::ack_relation(tag, detail, n)),
     )
-}
-
-fn reply_error(conn: &Arc<Conn>, msg: &str) -> bool {
-    conn.send(&Frame::new(FrameType::Error, wire::encode_error(msg)))
-        .is_ok()
 }

@@ -12,6 +12,7 @@
 //! | `WindowResult` | `u64` subscription id, `i64` close, relation       |
 //! | `Ingest`       | `str` stream, `u32` row count, rows                |
 //! | `Heartbeat`    | `str` stream, `i64` event time (µs)                |
+//! | `Attach`       | `u64` primary subscription id                      |
 //! | `Error`        | `str` message                                      |
 //! | `Goodbye`      | (empty)                                            |
 //! | `Stats`        | (empty)                                            |
@@ -137,6 +138,18 @@ pub fn decode_subscribed(payload: &[u8]) -> Result<u64> {
 pub fn encode_window_result(sub: u64, out: &CqOutput) -> Vec<u8> {
     let mut buf = Vec::new();
     put_u64(&mut buf, sub);
+    buf.extend_from_slice(&encode_window_body(out));
+    buf
+}
+
+/// The subscriber-independent tail of a `WindowResult` payload: close
+/// time + relation. With N subscribers on one CQ the server encodes
+/// this **once** per closed window, reference-counts the bytes, and
+/// prepends only the 8-byte subscription id per receiver — delivery
+/// scales with subscribers, serialization with windows (the fan-out
+/// path; `net.fanout.encodes` counts calls to this function).
+pub fn encode_window_body(out: &CqOutput) -> Vec<u8> {
+    let mut buf = Vec::new();
     put_i64(&mut buf, out.close);
     encode_relation(&mut buf, &out.relation);
     buf
@@ -150,6 +163,18 @@ pub fn decode_window_result(payload: &[u8]) -> Result<(u64, CqOutput)> {
         let relation = decode_relation(r)?;
         Ok((sub, CqOutput { close, relation }))
     })
+}
+
+/// `Attach` payload: the primary subscription to join.
+pub fn encode_attach(primary: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8);
+    put_u64(&mut buf, primary);
+    buf
+}
+
+/// Decode an `Attach` payload.
+pub fn decode_attach(payload: &[u8]) -> Result<u64> {
+    whole(payload, |r| r.u64())
 }
 
 /// `Error` payload.
@@ -251,6 +276,28 @@ mod tests {
         assert_eq!(sub, 7);
         assert_eq!(got.close, 60_000_000);
         assert_eq!(got.relation.rows(), out.relation.rows());
+    }
+
+    #[test]
+    fn window_result_is_prefix_plus_shared_body() {
+        // The fan-out path writes [sub id][shared body]; that
+        // composition must be byte-identical to the monolithic encoding
+        // the client decodes.
+        let out = CqOutput {
+            close: 60_000_000,
+            relation: rel(),
+        };
+        let mut composed = encode_subscribed(7);
+        composed.extend_from_slice(&encode_window_body(&out));
+        assert_eq!(composed, encode_window_result(7, &out));
+    }
+
+    #[test]
+    fn attach_round_trip() {
+        assert_eq!(decode_attach(&encode_attach(99)).unwrap(), 99);
+        let mut bad = encode_attach(99);
+        bad.push(0);
+        assert!(decode_attach(&bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! Offline shim for the `polling` crate, backed by `poll(2)`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small readiness API the reactor in `streamrel-net`
+//! actually uses: register file descriptors with an interest and a
+//! `usize` key, block in [`Poller::wait`] until one becomes ready (or a
+//! timeout elapses), and wake the waiter from any thread with
+//! [`Poller::notify`]. The backend is plain POSIX `poll(2)` — level
+//! triggered, no descriptor limit beyond the process's fd table, and
+//! O(registered) per wait, which is the honest cost model for the
+//! 10k-subscriber fan-out target (the syscall walks the array either
+//! way; epoll would shave constants, not asymptotics, and `poll` is the
+//! portable floor).
+//!
+//! `notify` is a self-pipe: a nonblocking `UnixStream` pair whose read
+//! end participates in every wait. Writing one byte wakes the poller;
+//! the byte is drained before `wait` returns so notifications never
+//! accumulate. A full pipe means a wakeup is already pending, so a
+//! `WouldBlock` on notify is success, not failure.
+
+// lint: allow-unsafe(poll(2) has no std wrapper; the single unsafe
+// block passes a stack-owned `&mut [PollFd]` straight to the syscall,
+// which writes only `revents` within the slice it was given)
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::os::raw::{c_int, c_short, c_ulong};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+const POLLIN: c_short = 0x001;
+const POLLOUT: c_short = 0x004;
+const POLLERR: c_short = 0x008;
+const POLLHUP: c_short = 0x010;
+const POLLNVAL: c_short = 0x020;
+
+/// `struct pollfd` from `<poll.h>`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: c_int,
+    events: c_short,
+    revents: c_short,
+}
+
+#[allow(unsafe_code)]
+mod sys {
+    use super::{c_int, c_ulong, PollFd};
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// Safe wrapper: the syscall writes only the `revents` fields of the
+    /// slice it is handed.
+    pub(super) fn poll_fds(fds: &mut [PollFd], timeout_ms: c_int) -> c_int {
+        // SAFETY: `fds` is a live, exclusively-borrowed slice; the kernel
+        // reads `fd`/`events` and writes `revents` within its bounds.
+        unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) }
+    }
+}
+
+/// Readiness interest (registration) or readiness state (result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen token identifying the registered source.
+    pub key: usize,
+    /// Interested in (or observed) read readiness.
+    pub readable: bool,
+    /// Interested in (or observed) write readiness.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Read-readiness interest.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Write-readiness interest.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Read + write interest.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// Registered but currently dormant (kept in the set, never ready).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// Reusable buffer of ready events filled by [`Poller::wait`].
+#[derive(Debug, Default)]
+pub struct Events {
+    ready: Vec<Event>,
+}
+
+impl Events {
+    /// Empty buffer.
+    pub fn new() -> Events {
+        Events::default()
+    }
+
+    /// Iterate the events produced by the last `wait`.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.ready.iter().copied()
+    }
+
+    /// Number of ready events.
+    pub fn len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// True when the last `wait` produced nothing (timeout or notify).
+    pub fn is_empty(&self) -> bool {
+        self.ready.is_empty()
+    }
+
+    /// Drop all buffered events.
+    pub fn clear(&mut self) {
+        self.ready.clear();
+    }
+}
+
+/// One fd's registration.
+#[derive(Clone, Copy)]
+struct Registration {
+    key: usize,
+    interest: c_short,
+}
+
+/// A `poll(2)`-backed readiness queue over registered file descriptors.
+///
+/// All methods take `&self`; the registration table sits behind a plain
+/// `std` mutex (this shim underlies the lock-witnessed `parking_lot`
+/// shim, so it must not depend on it). `wait` snapshots the table,
+/// releases the lock, and blocks in the syscall — registrations changed
+/// concurrently are observed on the next wait, which is the level-
+/// triggered contract callers already live with.
+pub struct Poller {
+    fds: Mutex<HashMap<RawFd, Registration>>,
+    /// Self-pipe read end; participates in every wait.
+    wake_rx: UnixStream,
+    /// Self-pipe write end; `notify` writes one byte here.
+    wake_tx: UnixStream,
+}
+
+impl Poller {
+    /// Create a poller (and its internal notify pipe).
+    pub fn new() -> io::Result<Poller> {
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        Ok(Poller {
+            fds: Mutex::new(HashMap::new()),
+            wake_rx,
+            wake_tx,
+        })
+    }
+
+    /// Register `source` with `interest`. Re-adding an fd replaces its
+    /// registration (same as `modify`).
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.install(source.as_raw_fd(), interest);
+        Ok(())
+    }
+
+    /// Change an existing registration's interest/key.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.install(source.as_raw_fd(), interest);
+        Ok(())
+    }
+
+    /// Remove `source` from the set.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.table().remove(&source.as_raw_fd());
+        Ok(())
+    }
+
+    /// Block until at least one registered fd is ready, `timeout`
+    /// elapses, or [`Poller::notify`] is called. Ready events are
+    /// appended to `events` (cleared first); returns how many. A wake
+    /// via `notify` or timeout returns `Ok(0)`.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let mut pollfds: Vec<PollFd> = Vec::new();
+        let mut keys: Vec<usize> = Vec::new();
+        pollfds.push(PollFd {
+            fd: self.wake_rx.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        keys.push(usize::MAX); // sentinel: the notify pipe
+        for (&fd, reg) in self.table().iter() {
+            pollfds.push(PollFd {
+                fd,
+                events: reg.interest,
+                revents: 0,
+            });
+            keys.push(reg.key);
+        }
+        let timeout_ms: c_int = match timeout {
+            // poll(2) rounds down; a sub-millisecond timeout must still
+            // sleep, not spin, so round up.
+            Some(t) => {
+                t.as_millis().min(c_int::MAX as u128) as c_int
+                    + c_int::from(t.subsec_micros() % 1_000 != 0)
+            }
+            None => -1,
+        };
+        loop {
+            let n = sys::poll_fds(&mut pollfds, timeout_ms);
+            if n >= 0 {
+                break;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+        // Drain the notify pipe so edge-like wakeups never accumulate.
+        if pollfds[0].revents != 0 {
+            let mut sink = [0u8; 64];
+            while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+        }
+        for (pfd, &key) in pollfds.iter().zip(&keys).skip(1) {
+            if pfd.revents == 0 {
+                continue;
+            }
+            // ERR/HUP/NVAL surface as readable+writable so the owner
+            // attempts I/O, observes the real error, and tears down.
+            let broken = pfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+            events.ready.push(Event {
+                key,
+                readable: pfd.revents & POLLIN != 0 || broken,
+                writable: pfd.revents & POLLOUT != 0 || broken,
+            });
+        }
+        Ok(events.len())
+    }
+
+    /// Wake a concurrent (or the next) [`Poller::wait`] from any thread.
+    pub fn notify(&self) -> io::Result<()> {
+        match (&self.wake_tx).write(&[1]) {
+            Ok(_) => Ok(()),
+            // Pipe full: a wakeup is already pending.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn install(&self, fd: RawFd, interest: Event) {
+        let mut events = 0;
+        if interest.readable {
+            events |= POLLIN;
+        }
+        if interest.writable {
+            events |= POLLOUT;
+        }
+        self.table().insert(
+            fd,
+            Registration {
+                key: interest.key,
+                interest: events,
+            },
+        );
+    }
+
+    fn table(&self) -> std::sync::MutexGuard<'_, HashMap<RawFd, Registration>> {
+        // Poison-free facade, matching the parking_lot shim's stance: a
+        // panicked holder leaves the map consistent (single-step inserts
+        // and removes only).
+        match self.fds.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("registered", &self.table().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn write_makes_peer_readable() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(7)).unwrap();
+        let mut events = Events::new();
+        // Nothing pending: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        a.write_all(b"x").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+    }
+
+    #[test]
+    fn writable_interest_and_modify() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&a, Event::writable(3)).unwrap();
+        let mut events = Events::new();
+        // An idle socket with buffer space is immediately writable.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 3 && e.writable));
+        // Dormant registration: never ready.
+        poller.modify(&a, Event::none(3)).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        poller.delete(&a).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_wait_from_another_thread() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let p2 = poller.clone();
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            p2.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let start = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 0, "notify produces no events, just a wakeup");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "woke via notify, not timeout"
+        );
+        waker.join().unwrap();
+        // Notifications do not accumulate: the pipe was drained.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn closed_peer_reports_ready_for_teardown() {
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(1)).unwrap();
+        drop(a);
+        let mut events = Events::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("hangup surfaces as an event");
+        assert!(ev.readable, "owner must attempt a read and observe EOF");
+    }
+}

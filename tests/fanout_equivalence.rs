@@ -1,0 +1,435 @@
+//! Serialize-once fan-out: equivalence, exactly-once, and conservation.
+//!
+//! One continuous query with N subscribers must behave like N private
+//! copies of the query — every member receives the byte-identical window
+//! sequence exactly once, remote or embedded — while the server does the
+//! work of *one*: each closed window is encoded into a single shared
+//! frame body no matter how many outboxes it is broadcast to
+//! (`net.fanout.encodes` counts windows, not windows × subscribers).
+//! On the loss side, nothing vanishes silently: windows routed to a
+//! subscriber are either flushed (`net.windows_sent`), shed by its
+//! bounded outbox (`net.outbox_drops`), or counted as casualties of its
+//! death (`net.delivery_lost`) — the three must sum to the windows its
+//! query closed.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use streamrel::net::{wire, Client, ClientOptions, Frame, FrameType, Server, ServerOptions};
+use streamrel::types::Value;
+use streamrel::{Db, DbOptions, ExecResult, OverflowPolicy};
+use streamrel_faults::chaos;
+
+const DDL: &str = "CREATE STREAM events (v integer, etime timestamp CQTIME USER)";
+const CQ: &str = "SELECT sum(v) total, cq_close(*) w FROM events <TUMBLING '1 minute'>";
+
+/// Rows for one window: all share a timestamp inside window `w`, so the
+/// aggregate is independent of arrival interleaving.
+fn window_rows(w: i64) -> Vec<Vec<Value>> {
+    (0..4)
+        .map(|c| {
+            vec![
+                Value::Int(w * 10 + c),
+                Value::Timestamp(w * 60_000_000 + 10_000_000),
+            ]
+        })
+        .collect()
+}
+
+/// Canonical bytes for one window result; "byte-identical" compares these.
+fn canonical(close: i64, relation: &streamrel::types::Relation) -> (i64, Vec<u8>) {
+    (close, wire::encode_rows(relation))
+}
+
+/// The reference: `windows` one-minute windows of the same workload
+/// through the embedded API, drained from a single subscription.
+fn embedded_reference(windows: i64) -> Vec<(i64, Vec<u8>)> {
+    let db = Db::in_memory(DbOptions::default());
+    db.execute(DDL).unwrap();
+    let sub = match db.execute(CQ).unwrap() {
+        ExecResult::Subscribed(s) => s,
+        other => panic!("expected subscription, got {other:?}"),
+    };
+    for w in 0..windows {
+        for row in window_rows(w) {
+            db.ingest("events", row).unwrap();
+        }
+        db.heartbeat("events", (w + 1) * 60_000_000).unwrap();
+    }
+    db.poll(sub)
+        .unwrap()
+        .iter()
+        .map(|o| canonical(o.close, &o.relation))
+        .collect()
+}
+
+/// Read a named counter/gauge out of the engine's metrics relation.
+fn metric(db: &Db, name: &str) -> Option<i64> {
+    db.metrics_relation().rows().iter().find_map(|r| {
+        (r[0] == Value::text(name)).then(|| match &r[2] {
+            Value::Int(n) => *n,
+            other => panic!("metric {name} is not an integer: {other:?}"),
+        })
+    })
+}
+
+/// Poll until `name` reaches `want` (metrics lag delivery by a reactor
+/// tick; flat-out equality asserts would race it).
+fn await_metric(db: &Db, name: &str, want: i64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let got = metric(db, name).unwrap_or(0);
+        if got == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{name} stuck at {got}, want {want}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Drain exactly `want` windows from a stream, then prove nothing more
+/// arrives: exactly-once means the sequence matches AND has no tail.
+fn collect_exactly(
+    stream: &streamrel::net::SubscriptionStream,
+    want: usize,
+) -> Vec<(i64, Vec<u8>)> {
+    let mut got = Vec::new();
+    while got.len() < want {
+        let out = stream
+            .next_timeout(Duration::from_secs(10))
+            .expect("window result not pushed within 10s");
+        got.push(canonical(out.close, &out.relation));
+    }
+    assert!(
+        stream.next_timeout(Duration::from_millis(200)).is_none(),
+        "subscriber received more windows than the query closed"
+    );
+    got
+}
+
+#[test]
+fn fanout_members_receive_byte_identical_windows_exactly_once() {
+    const WINDOWS: i64 = 2;
+    let reference = embedded_reference(WINDOWS);
+    assert_eq!(reference.len(), WINDOWS as usize);
+
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    let server = Server::serve(db.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let admin = Client::connect(addr).unwrap();
+    admin.execute(DDL).unwrap();
+
+    // Three connections, multiple logical subscriptions multiplexed over
+    // each: one primary plus two attached members per connection — seven
+    // streams total sharing ONE running query.
+    let conns: Vec<Client> = (0..3).map(|_| Client::connect(addr).unwrap()).collect();
+    let primary = conns[0].subscribe(CQ).unwrap();
+    let mut streams = Vec::new();
+    for conn in &conns {
+        for _ in 0..2 {
+            streams.push(conn.subscribe_attach(primary.id()).unwrap());
+        }
+    }
+    streams.push(primary);
+    assert_eq!(db.stats().live_subs, streams.len() as u64);
+
+    for w in 0..WINDOWS {
+        admin.ingest_batch("events", &window_rows(w)).unwrap();
+        admin.heartbeat("events", (w + 1) * 60_000_000).unwrap();
+    }
+
+    for stream in &streams {
+        assert_eq!(collect_exactly(stream, reference.len()), reference);
+        assert_eq!(stream.dropped(), 0);
+    }
+
+    // The server ran the query once and serialized each window once:
+    // encodes == windows closed, NOT windows × subscribers.
+    assert_eq!(metric(&db, "net.fanout.encodes"), Some(WINDOWS));
+    await_metric(&db, "net.windows_sent", WINDOWS * streams.len() as i64);
+    assert_eq!(metric(&db, "net.outbox_drops"), Some(0));
+    assert_eq!(metric(&db, "net.delivery_lost"), Some(0));
+
+    drop(streams);
+    for c in conns {
+        c.close().unwrap();
+    }
+    admin.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn attached_members_survive_primary_death_mid_delivery() {
+    const WINDOWS: i64 = 2;
+    let reference = embedded_reference(WINDOWS);
+
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    let server = Server::serve(db.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let admin = Client::connect(addr).unwrap();
+    admin.execute(DDL).unwrap();
+
+    // The primary subscribes over a raw socket so it can die without a
+    // Goodbye; two members attach from their own connections.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    Frame::new(FrameType::Query, wire::encode_query(CQ))
+        .write_to(&mut raw)
+        .unwrap();
+    raw.flush().unwrap();
+    let ack = Frame::read_from(&mut raw).unwrap().unwrap();
+    assert_eq!(ack.ty, FrameType::Subscribed);
+    let primary_id = wire::decode_subscribed(&ack.payload).unwrap();
+
+    let members: Vec<Client> = (0..2).map(|_| Client::connect(addr).unwrap()).collect();
+    let streams: Vec<_> = members
+        .iter()
+        .map(|c| c.subscribe_attach(primary_id).unwrap())
+        .collect();
+    assert_eq!(db.stats().live_subs, 3);
+
+    // Window 1 flows to everyone, including the doomed primary.
+    admin.ingest_batch("events", &window_rows(0)).unwrap();
+    admin.heartbeat("events", 60_000_000).unwrap();
+    let first = Frame::read_from(&mut raw).unwrap().expect("primary window");
+    assert_eq!(first.ty, FrameType::WindowResult);
+    let (id, out) = wire::decode_window_result(&first.payload).unwrap();
+    assert_eq!(id, primary_id);
+    assert_eq!(canonical(out.close, &out.relation), reference[0]);
+
+    // Primary dies abruptly mid-stream. The query must keep running for
+    // the attached members — only the dead subscription is reaped.
+    drop(raw);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while db.stats().live_subs != 2 {
+        assert!(Instant::now() < deadline, "dead primary never reaped");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Window 2 closes after the death; survivors still get the full,
+    // byte-identical sequence.
+    admin.ingest_batch("events", &window_rows(1)).unwrap();
+    admin.heartbeat("events", 120_000_000).unwrap();
+    for stream in &streams {
+        assert_eq!(collect_exactly(stream, reference.len()), reference);
+    }
+    // Each window was still encoded once, members or not.
+    assert_eq!(metric(&db, "net.fanout.encodes"), Some(WINDOWS));
+
+    drop(streams);
+    for c in members {
+        c.close().unwrap();
+    }
+    admin.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn fanout_is_byte_identical_under_chaos_schedules() {
+    // race_torture's contract, applied to the fan-out path: for every
+    // chaos seed the remote members' observable results must equal the
+    // unperturbed embedded reference exactly — any divergence is a real
+    // ordering bug in reactor/engine handoff, never schedule noise.
+    const WINDOWS: i64 = 2;
+    let reference = embedded_reference(WINDOWS);
+
+    parking_lot::witness::enable();
+    let mut points = 0;
+    for seed in [0xC1D2_2009, 0xFA10_0075] {
+        chaos::arm(seed);
+        let run = std::panic::catch_unwind(|| {
+            let db = Arc::new(Db::in_memory(DbOptions::default()));
+            let server = Server::serve(db.clone(), "127.0.0.1:0").unwrap();
+            let addr = server.local_addr();
+            let admin = Client::connect(addr).unwrap();
+            admin.execute(DDL).unwrap();
+
+            let conns: Vec<Client> = (0..2).map(|_| Client::connect(addr).unwrap()).collect();
+            let primary = conns[0].subscribe(CQ).unwrap();
+            let mut streams = vec![conns[1].subscribe_attach(primary.id()).unwrap()];
+            streams.push(conns[0].subscribe_attach(primary.id()).unwrap());
+            streams.push(primary);
+
+            for w in 0..WINDOWS {
+                admin.ingest_batch("events", &window_rows(w)).unwrap();
+                admin.heartbeat("events", (w + 1) * 60_000_000).unwrap();
+            }
+            let got: Vec<_> = streams
+                .iter()
+                .map(|s| collect_exactly(s, WINDOWS as usize))
+                .collect();
+            drop(streams);
+            for c in conns {
+                c.close().unwrap();
+            }
+            admin.close().unwrap();
+            server.shutdown();
+            got
+        });
+        chaos::disarm();
+        points += chaos::ops();
+        let got = match run {
+            Ok(got) => got,
+            Err(_) => panic!("seed {seed:#x}: fan-out run panicked under chaos"),
+        };
+        for (i, member) in got.iter().enumerate() {
+            assert_eq!(
+                member, &reference,
+                "seed {seed:#x}: member {i} diverged from embedded reference"
+            );
+        }
+    }
+    parking_lot::witness::disable();
+    assert!(points > 0, "chaos injector never fired");
+}
+
+#[test]
+fn delivery_loss_is_conserved_across_socket_death() {
+    // A subscriber that stops reading, then dies: every window its query
+    // closed must be accounted for — flushed to the socket, shed by the
+    // bounded outbox, or counted lost at teardown. Large payloads defeat
+    // kernel socket buffering so real backpressure (and real residue)
+    // builds up server-side.
+    const WINDOWS: i64 = 16;
+    const ROWS_PER_WINDOW: i64 = 768;
+
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    let opts = ServerOptions {
+        outbox_capacity: 2,
+        outbox_overflow: OverflowPolicy::DropOldest,
+        write_timeout: Duration::from_secs(30), // let the drop, not the stall, kill it
+        ..ServerOptions::default()
+    };
+    let server = Server::serve_with(db.clone(), "127.0.0.1:0", opts).unwrap();
+    let addr = server.local_addr();
+
+    let admin = Client::connect(addr).unwrap();
+    admin
+        .execute(
+            "CREATE STREAM events (v integer, payload varchar(2048), etime timestamp CQTIME USER)",
+        )
+        .unwrap();
+
+    // Subscribe over a raw socket, consume the ack, then go silent.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    Frame::new(
+        FrameType::Query,
+        wire::encode_query("SELECT v, payload FROM events <TUMBLING '1 minute'>"),
+    )
+    .write_to(&mut raw)
+    .unwrap();
+    raw.flush().unwrap();
+    let ack = Frame::read_from(&mut raw).unwrap().unwrap();
+    assert_eq!(ack.ty, FrameType::Subscribed);
+
+    let filler = "x".repeat(1024);
+    for w in 0..WINDOWS {
+        let rows: Vec<Vec<Value>> = (0..ROWS_PER_WINDOW)
+            .map(|i| {
+                vec![
+                    Value::Int(w * ROWS_PER_WINDOW + i),
+                    Value::text(&filler),
+                    Value::Timestamp(w * 60_000_000 + 10_000_000),
+                ]
+            })
+            .collect();
+        admin.ingest_batch("events", &rows).unwrap();
+        admin.heartbeat("events", (w + 1) * 60_000_000).unwrap();
+    }
+
+    // Die abruptly with megabytes still in flight.
+    drop(raw);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while db.stats().live_subs != 0 {
+        assert!(Instant::now() < deadline, "dead subscriber never reaped");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Conservation: sent + shed + lost == closed. And the death was
+    // genuinely mid-delivery — something was lost or shed, not just
+    // buffered away by the kernel.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let sent = metric(&db, "net.windows_sent").unwrap_or(0);
+        let shed = metric(&db, "net.outbox_drops").unwrap_or(0);
+        let lost = metric(&db, "net.delivery_lost").unwrap_or(0);
+        if sent + shed + lost == WINDOWS {
+            assert!(
+                shed + lost > 0,
+                "workload too small to exercise loss accounting"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "conservation violated: sent={sent} shed={shed} lost={lost}, want sum {WINDOWS}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    admin.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn client_queue_is_bounded_with_visible_drops() {
+    // Satellite of the same discipline on the other end of the wire: a
+    // consumer that falls behind sheds by policy client-side instead of
+    // growing without limit, and the shed count is visible.
+    const WINDOWS: i64 = 8;
+    const KEEP: usize = 3;
+    let reference = embedded_reference(WINDOWS);
+
+    let db = Arc::new(Db::in_memory(DbOptions::default()));
+    let server = Server::serve(db.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let admin = Client::connect(addr).unwrap();
+    admin.execute(DDL).unwrap();
+
+    let lagger = Client::connect_with(
+        addr,
+        ClientOptions {
+            sub_queue_capacity: KEEP,
+            sub_overflow: OverflowPolicy::DropOldest,
+        },
+    )
+    .unwrap();
+    let stream = lagger.subscribe(CQ).unwrap();
+
+    for w in 0..WINDOWS {
+        admin.ingest_batch("events", &window_rows(w)).unwrap();
+        admin.heartbeat("events", (w + 1) * 60_000_000).unwrap();
+    }
+
+    // The reader thread keeps draining the wire into the bounded queue;
+    // once everything arrived, exactly capacity windows remain and the
+    // overflow is counted.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stream.dropped() != WINDOWS as u64 - KEEP as u64 {
+        assert!(
+            Instant::now() < deadline,
+            "client-side drops stuck at {}",
+            stream.dropped()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // DropOldest keeps the newest windows: the tail of the reference.
+    let mut kept = Vec::new();
+    while let Some(out) = stream.try_next() {
+        kept.push(canonical(out.close, &out.relation));
+    }
+    assert_eq!(kept, reference[reference.len() - KEEP..]);
+
+    drop(stream);
+    lagger.close().unwrap();
+    admin.close().unwrap();
+    server.shutdown();
+}
