@@ -1,0 +1,539 @@
+//! Cross-process federation torture: `kill -9` the serving node
+//! mid-ingest, restart it, and prove the downstream node converges
+//! byte-identically to an uncrashed single-process reference.
+//!
+//! This is the first torture lane that crosses a real process boundary:
+//! the serving node is a **child process** (this same binary re-executed
+//! with `--node`) running a durable `Db` behind a TCP server; the parent
+//! drives a deterministic seeded feed over the wire, SIGKILLs the child
+//! at seed-chosen windows, restarts it on the same data dir and port,
+//! and re-drives exactly the rows the recovery contract says are the
+//! producer's responsibility: everything at or above the archive's
+//! high-water mark (rows below it are in durably archived windows; rows
+//! above were open-window runtime state, lost with the process). The
+//! consumer — a bridge in the parent — reconnects with backoff and
+//! resumes via `SubscribeFrom{last applied close}`, replaying any
+//! windows that closed while the link was down from the child's archive.
+//!
+//! Convergence claim: the consumer's merged windows are byte-identical
+//! to the same pipeline run uncrashed in one process — closes, row
+//! order, and encodings, not just totals.
+//!
+//! Env knobs (all optional):
+//!
+//! * `FED_SEED`    — base seed (default 42)
+//! * `FED_SEEDS`   — consecutive seeds to sweep (default 1)
+//! * `FED_WINDOWS` — producer windows per seed (default 8)
+//! * `FED_KILLS`   — SIGKILLs per seed (default 2)
+//! * `FED_ARTIFACT_DIR` — where failing node dirs land (default
+//!   `target/federation-artifacts`)
+//!
+//! Reproduce a failure with `FED_SEED=<seed> FED_SEEDS=1 cargo run
+//! --release -p streamrel-bench --bin federation_torture`.
+
+#![deny(unsafe_code)]
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use streamrel_bench::ResultTable;
+use streamrel_core::{Db, DbOptions, ExecResult, SubscriptionId};
+use streamrel_net::{wire, Bridge, BridgeOptions, Client, Server};
+use streamrel_types::time::MINUTES;
+use streamrel_types::{Row, Value};
+
+const PRODUCER_DDL: &[&str] = &[
+    "CREATE STREAM hits (url varchar(100), htime timestamp CQTIME USER)",
+    "CREATE TABLE hit_archive (url varchar(100), scnt integer, stime timestamp)",
+    "CREATE STREAM hit_partials AS SELECT url, count(*) scnt, cq_close(*) stime \
+     FROM hits <TUMBLING '1 minute'> GROUP BY url ORDER BY url",
+    "CREATE CHANNEL hit_chan FROM hit_partials INTO hit_archive APPEND",
+];
+const CONSUMER_STREAM: &str =
+    "CREATE STREAM partials (url varchar(100), scnt integer, stime timestamp CQTIME USER)";
+const MERGED_CQ: &str = "SELECT url, sum(scnt) total, cq_close(*) w \
+     FROM partials <TUMBLING '1 minute'> GROUP BY url ORDER BY url";
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+// ---------------------------------------------------------------- child
+
+/// Child mode: a serving node. Opens (or re-opens after a kill) the
+/// durable database at `dir`, applies the pipeline DDL if this is a
+/// fresh dir, binds `port` (0 = ephemeral; restarts retry the bind until
+/// the OS releases the old listener) and prints `PORT=<n>`.
+fn run_node(dir: &Path, port: u16) -> ! {
+    let db = match Db::open(dir, DbOptions::default()) {
+        Ok(db) => Arc::new(db),
+        Err(e) => {
+            eprintln!("node: cannot open {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    for stmt in PRODUCER_DDL {
+        // Fresh dir: creates the pipeline. Restart: the catalog was
+        // recovered from the WAL and each statement fails "exists" —
+        // which is exactly the durability being tortured, so ignore.
+        let _ = db.execute(stmt);
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let server = loop {
+        match Server::serve(db.clone(), ("127.0.0.1", port)) {
+            Ok(s) => break s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    eprintln!("node: cannot bind 127.0.0.1:{port}: {e}");
+                    std::process::exit(1);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    println!("PORT={}", server.local_addr().port());
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Spawn a serving node and wait for its `PORT=` line.
+fn spawn_node(dir: &Path, port: u16) -> Result<(Child, u16), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut child = Command::new(exe)
+        .arg("--node")
+        .arg(dir)
+        .arg("--port")
+        .arg(port.to_string())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn node: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    for line in &mut lines {
+        let line = line.map_err(|e| format!("read node stdout: {e}"))?;
+        if let Some(p) = line.strip_prefix("PORT=") {
+            let port: u16 = p.parse().map_err(|e| format!("bad PORT line: {e}"))?;
+            // Keep draining stdout so the child can never block on a
+            // full pipe (it prints nothing more, but stay safe).
+            std::thread::spawn(move || for _ in lines {});
+            return Ok((child, port));
+        }
+    }
+    let _ = child.kill();
+    Err("node exited without printing PORT=".into())
+}
+
+// --------------------------------------------------------------- parent
+
+/// Deterministic per-seed feed: `rows_of(seed, w)` is the same on every
+/// run, so the parent can re-drive any suffix after a kill.
+fn rows_of(seed: u64, w: i64, rows_per_window: i64) -> Vec<Row> {
+    let mut x = seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut next = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..rows_per_window)
+        .map(|i| {
+            vec![
+                Value::text(format!("/p{}", next() % 7)),
+                Value::Timestamp(w * MINUTES + i * (MINUTES / rows_per_window)),
+            ]
+        })
+        .collect()
+}
+
+/// Seed-chosen kill points: distinct windows in `1..windows` (never the
+/// first, so there is always archived state to recover against).
+fn kill_windows(seed: u64, windows: i64, kills: u64) -> Vec<i64> {
+    // SplitMix64 over (seed, attempt): consecutive seeds get unrelated
+    // schedules, unlike a raw xorshift whose low bits change slowly.
+    let mix = |mut z: u64| {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut picked = Vec::new();
+    let mut attempt = 0u64;
+    while (picked.len() as u64) < kills.min(windows.saturating_sub(1) as u64) {
+        let w = 1 + (mix(seed.wrapping_mul(0x100_0000) ^ attempt) % (windows as u64 - 1)) as i64;
+        attempt += 1;
+        if !picked.contains(&w) {
+            picked.push(w);
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
+
+fn subscribe(db: &Db, sql: &str) -> SubscriptionId {
+    match db.execute(sql).unwrap() {
+        ExecResult::Subscribed(s) => s,
+        other => panic!("expected subscription from {sql}, got {other:?}"),
+    }
+}
+
+fn canonical_outputs(outs: &[streamrel_cq::CqOutput]) -> Vec<(i64, Vec<u8>)> {
+    outs.iter()
+        .map(|o| (o.close, wire::encode_rows(&o.relation)))
+        .collect()
+}
+
+/// The uncrashed reference: same pipeline, one process, no wire.
+fn reference(seed: u64, windows: i64, rows_per_window: i64) -> Vec<(i64, Vec<u8>)> {
+    let producer = Db::in_memory(DbOptions::default());
+    for stmt in PRODUCER_DDL {
+        producer.execute(stmt).unwrap();
+    }
+    let partials = producer.subscribe_stream("hit_partials").unwrap();
+    let consumer = Db::in_memory(DbOptions::default());
+    consumer.execute(CONSUMER_STREAM).unwrap();
+    let merged = subscribe(&consumer, MERGED_CQ);
+    for w in 0..windows {
+        producer
+            .ingest_batch("hits", rows_of(seed, w, rows_per_window))
+            .unwrap();
+        producer.heartbeat("hits", (w + 1) * MINUTES).unwrap();
+    }
+    producer.heartbeat("hits", (windows + 1) * MINUTES).unwrap();
+    for out in producer.poll(partials).unwrap() {
+        if !out.relation.rows().is_empty() {
+            consumer
+                .ingest_batch("partials", out.relation.rows().to_vec())
+                .unwrap();
+        }
+        consumer.heartbeat("partials", out.close).unwrap();
+    }
+    canonical_outputs(&consumer.poll(merged).unwrap())
+}
+
+fn connect_retry(addr: &str, deadline: Duration) -> Result<Client, String> {
+    let end = Instant::now() + deadline;
+    loop {
+        match Client::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) => {
+                if Instant::now() >= end {
+                    return Err(format!("connect {addr}: {e}"));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// The archive high-water mark on the serving node: max `stime` in the
+/// Active Table, or `i64::MIN` on an empty archive. Computed client-side
+/// from a plain scan so the probe exercises no more SQL surface than the
+/// pipeline itself.
+fn archive_watermark(client: &Client) -> Result<i64, String> {
+    let rel = client
+        .execute("SELECT stime FROM hit_archive")
+        .map_err(|e| format!("archive scan: {e}"))?;
+    Ok(rel
+        .rows()
+        .iter()
+        .filter_map(|r| match r.first() {
+            Some(Value::Timestamp(t)) => Some(*t),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(i64::MIN))
+}
+
+struct SeedOutcome {
+    kills: u64,
+    reconnects: u64,
+    replayed_windows: u64,
+    redriven_rows: u64,
+    diverged: bool,
+}
+
+fn run_seed(
+    seed: u64,
+    windows: i64,
+    rows_per_window: i64,
+    kills: u64,
+    artifact_dir: &Path,
+) -> Result<SeedOutcome, String> {
+    let expect = reference(seed, windows, rows_per_window);
+    let dir = std::env::temp_dir().join(format!(
+        "streamrel-fedtorture-{}-{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (mut child, port) = spawn_node(&dir, 0)?;
+    let addr = format!("127.0.0.1:{port}");
+
+    // The downstream node: embedded consumer fed by a reconnecting bridge.
+    let consumer = Arc::new(Db::in_memory(DbOptions::default()));
+    consumer
+        .execute(CONSUMER_STREAM)
+        .map_err(|e| e.to_string())?;
+    let merged = subscribe(&consumer, MERGED_CQ);
+    let bridge = Bridge::start(
+        consumer.clone(),
+        addr.clone(),
+        "hit_partials",
+        "partials",
+        BridgeOptions {
+            backoff_initial: Duration::from_millis(20),
+            backoff_max: Duration::from_millis(200),
+            poll: Duration::from_millis(20),
+            ..BridgeOptions::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    if !bridge.wait_until_up(Duration::from_secs(10)) {
+        return Err("bridge never attached to fresh node".into());
+    }
+
+    let kill_at = kill_windows(seed, windows, kills);
+    let mut client = connect_retry(&addr, Duration::from_secs(10))?;
+    let mut performed_kills = 0u64;
+    let mut redriven_rows = 0u64;
+    let mut w = 0i64;
+    while w < windows {
+        let rows = rows_of(seed, w, rows_per_window);
+        if kill_at.contains(&w) {
+            // Mid-ingest: half the window is in the node's open-window
+            // runtime state when SIGKILL lands — gone with the process.
+            let half = rows.len() / 2;
+            client
+                .ingest_batch("hits", &rows[..half])
+                .map_err(|e| format!("pre-kill ingest: {e}"))?;
+            child.kill().map_err(|e| format!("kill: {e}"))?;
+            let _ = child.wait();
+            performed_kills += 1;
+            drop(client);
+
+            // Restart on the same dir + port; the bridge's backoff loop
+            // finds the new listener on its own.
+            let (c2, p2) = spawn_node(&dir, port)?;
+            child = c2;
+            assert_eq!(p2, port, "node restarted on a different port");
+            client = connect_retry(&addr, Duration::from_secs(10))?;
+
+            // Producer-side recovery contract: everything at or above
+            // the archive high-water mark is the feeder's to re-drive.
+            let watermark = archive_watermark(&client)?;
+            for wi in 0..=w {
+                let redrive: Vec<Row> = rows_of(seed, wi, rows_per_window)
+                    .into_iter()
+                    .filter(|r| matches!(r[1], Value::Timestamp(t) if t >= watermark))
+                    .collect();
+                redriven_rows += redrive.len() as u64;
+                if !redrive.is_empty() {
+                    client
+                        .ingest_batch("hits", &redrive)
+                        .map_err(|e| format!("re-drive: {e}"))?;
+                }
+            }
+            // Fall through: the loop re-runs window `w` from the top —
+            // but its rows were just re-driven, so close it directly.
+        } else {
+            client
+                .ingest_batch("hits", &rows)
+                .map_err(|e| format!("ingest: {e}"))?;
+        }
+        client
+            .heartbeat("hits", (w + 1) * MINUTES)
+            .map_err(|e| format!("heartbeat: {e}"))?;
+        w += 1;
+    }
+    client
+        .heartbeat("hits", (windows + 1) * MINUTES)
+        .map_err(|e| format!("flush heartbeat: {e}"))?;
+
+    // Convergence: the consumer's merged windows equal the uncrashed
+    // reference, byte for byte.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut got = Vec::new();
+    while got.len() < expect.len() && Instant::now() < deadline {
+        got.extend(canonical_outputs(
+            &consumer.poll(merged).map_err(|e| e.to_string())?,
+        ));
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let diverged = got != expect;
+    if diverged {
+        let seed_dir = artifact_dir.join(format!("seed{seed}"));
+        let _ = std::fs::create_dir_all(&seed_dir);
+        let _ = copy_dir(&dir, &seed_dir.join("node-data"));
+        let detail = format!(
+            "expected {} windows {:?}\ngot {} windows {:?}\n",
+            expect.len(),
+            expect.iter().map(|(c, _)| c).collect::<Vec<_>>(),
+            got.len(),
+            got.iter().map(|(c, _)| c).collect::<Vec<_>>()
+        );
+        let _ = std::fs::write(seed_dir.join("divergence.txt"), detail);
+        eprintln!(
+            "DIVERGENCE seed={seed} kills_at={kill_at:?}: consumer did not \
+             converge (node data dir copied to {})\n  reproduce: FED_SEED={seed} \
+             FED_SEEDS=1 cargo run --release -p streamrel-bench --bin federation_torture",
+            seed_dir.display()
+        );
+    }
+
+    // Replay stats come from the serving node's own counters.
+    let replayed_windows = client
+        .stats()
+        .ok()
+        .and_then(|rel| {
+            rel.rows()
+                .iter()
+                .find(|r| r[0] == Value::text("fed.replayed_windows"))
+                .and_then(|r| match r[2] {
+                    Value::Int(v) => Some(v as u64),
+                    _ => None,
+                })
+        })
+        .unwrap_or(0);
+
+    let reconnects = bridge.reconnects();
+    bridge.shutdown();
+    let _ = child.kill();
+    let _ = child.wait(); // lint: wait-ok(process reap, not a condvar)
+    if !diverged {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Ok(SeedOutcome {
+        kills: performed_kills,
+        reconnects,
+        replayed_windows,
+        redriven_rows,
+        diverged,
+    })
+}
+
+fn copy_dir(from: &Path, to: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(to)?;
+    for entry in std::fs::read_dir(from)? {
+        let entry = entry?;
+        let dest = to.join(entry.file_name());
+        if entry.file_type()?.is_dir() {
+            copy_dir(&entry.path(), &dest)?;
+        } else {
+            std::fs::copy(entry.path(), &dest)?;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Child mode?
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--node") {
+        let dir = PathBuf::from(args.get(i + 1).expect("--node wants a dir"));
+        let port = args
+            .iter()
+            .position(|a| a == "--port")
+            .and_then(|p| args.get(p + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0u16);
+        run_node(&dir, port);
+    }
+
+    let base_seed = env_u64("FED_SEED", 42);
+    let seeds = env_u64("FED_SEEDS", 1).max(1);
+    let windows = env_u64("FED_WINDOWS", 8) as i64;
+    let rows_per_window = env_u64("FED_ROWS", 40) as i64;
+    let kills = env_u64("FED_KILLS", 2);
+    let artifact_dir = PathBuf::from(
+        std::env::var("FED_ARTIFACT_DIR").unwrap_or_else(|_| "target/federation-artifacts".into()),
+    );
+    println!(
+        "federation_torture: kill -9 the serving node at {kills} seeded windows \
+         of {windows} ({rows_per_window} rows each), seeds {base_seed}..{}\n",
+        base_seed + seeds - 1
+    );
+
+    let start = Instant::now();
+    let mut table = ResultTable::new(&[
+        "seed",
+        "kills",
+        "reconnects",
+        "replayed windows",
+        "re-driven rows",
+        "converged",
+    ]);
+    let mut total = SeedOutcome {
+        kills: 0,
+        reconnects: 0,
+        replayed_windows: 0,
+        redriven_rows: 0,
+        diverged: false,
+    };
+    let mut divergences = 0u64;
+    for seed in base_seed..base_seed + seeds {
+        let out = run_seed(seed, windows, rows_per_window, kills, &artifact_dir)?;
+        table.row(&[
+            seed.to_string(),
+            out.kills.to_string(),
+            out.reconnects.to_string(),
+            out.replayed_windows.to_string(),
+            out.redriven_rows.to_string(),
+            (!out.diverged).to_string(),
+        ]);
+        if out.diverged {
+            divergences += 1;
+        }
+        total.kills += out.kills;
+        total.reconnects += out.reconnects;
+        total.replayed_windows += out.replayed_windows;
+        total.redriven_rows += out.redriven_rows;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    table.print();
+    println!(
+        "\n{} kills, {} reconnects, {} archive-replayed windows, {divergences} \
+         divergences in {secs:.2}s",
+        total.kills, total.reconnects, total.replayed_windows
+    );
+
+    let json = format!(
+        "{{\n  \"base_seed\": {base_seed},\n  \"seeds\": {seeds},\n  \
+         \"windows\": {windows},\n  \"kills\": {},\n  \"reconnects\": {},\n  \
+         \"replayed_windows\": {},\n  \"redriven_rows\": {},\n  \
+         \"divergences\": {divergences},\n  \"secs\": {secs:.3}\n}}\n",
+        total.kills, total.reconnects, total.replayed_windows, total.redriven_rows
+    );
+    std::fs::write("BENCH_federation_torture.json", json)?;
+    println!("recorded BENCH_federation_torture.json");
+
+    if divergences > 0 {
+        let _ = std::fs::create_dir_all(&artifact_dir);
+        let _ = std::fs::write(
+            artifact_dir.join("failing-seeds.txt"),
+            format!("{divergences} diverging seeds; see seed dirs alongside\n"),
+        );
+        std::process::exit(1);
+    }
+    // A torture run that never killed anything proves nothing.
+    assert!(
+        total.kills >= seeds * kills.min(windows as u64 - 1),
+        "kill schedule did not fire"
+    );
+    // Back-to-back kills can share one reconnect (the bridge may still
+    // be backing off from the first when the second lands), but every
+    // seed's link must have come back at least once.
+    assert!(
+        total.reconnects >= seeds,
+        "bridge reconnected {} times across {seeds} seeds",
+        total.reconnects
+    );
+    println!("federation recovery proof holds: zero divergence across all kills");
+    Ok(())
+}

@@ -1418,6 +1418,124 @@ impl Db {
         Ok(())
     }
 
+    // ---- federation -----------------------------------------------------------
+
+    /// Subscribe to a stream's output as-is: each upstream batch (a
+    /// derived stream's closed window, or a base stream's tuple) arrives
+    /// as exactly one window result, unmodified. This is the engine half
+    /// of the federation bridge — node A serves its derived stream over
+    /// this subscription and node B re-ingests the rows. Implemented as
+    /// `SELECT * FROM <name> <SLICES 1 WINDOWS>`, whose pass-through
+    /// semantics the slice window guarantees (one `ClosedWindow` per
+    /// upstream batch, same close, same rows).
+    pub fn subscribe_stream(&self, name: &str) -> Result<SubscriptionId> {
+        let key = name.to_ascii_lowercase();
+        {
+            let catalog = self.catalog.lock();
+            if !catalog.streams.contains_key(&key) && !catalog.deriveds.contains_key(&key) {
+                return Err(Error::stream(format!("unknown stream `{name}`")));
+            }
+        }
+        match self.execute(&format!("SELECT * FROM {key} <SLICES 1 WINDOWS>"))? {
+            ExecResult::Subscribed(id) => Ok(id),
+            other => Err(Error::stream(format!(
+                "subscribe_stream produced {other:?}, not a subscription"
+            ))),
+        }
+    }
+
+    /// Replay a derived stream's archived windows with `close > after`,
+    /// in close order — the Active-Tables recovery story (§4) applied
+    /// across nodes. Windows are reconstructed from the stream's first
+    /// APPEND channel: rows are grouped by the stream's `cq_close(*)`
+    /// column, so federation requires the derived stream to carry one
+    /// (like the quickstart's `stime`) and to archive through an APPEND
+    /// channel. `pump` commits each window's archive rows and resume
+    /// watermark in one transaction *before* any delivery, so everything
+    /// a subscriber ever saw is reconstructible here. The replay ends
+    /// with an empty window at the stream's durable watermark when that
+    /// is past the last archived close (heartbeat-only windows archive
+    /// no rows but do commit the watermark).
+    pub fn archived_windows(&self, stream: &str, after: Timestamp) -> Result<Vec<CqOutput>> {
+        let key = stream.to_ascii_lowercase();
+        let (schema, cqtime, shard_idx) = {
+            let catalog = self.catalog.lock();
+            let d = catalog
+                .deriveds
+                .get(&key)
+                .ok_or_else(|| Error::stream(format!("`{stream}` is not a derived stream")))?;
+            (d.decl.schema.clone(), d.decl.cqtime, d.shard)
+        };
+        let close_col = cqtime.ok_or_else(|| {
+            Error::stream(format!(
+                "derived stream `{stream}` has no cq_close(*) column; \
+                 archived windows cannot be replayed"
+            ))
+        })?;
+        let table = {
+            let catalog = self.catalog.lock();
+            let shard = shard_at(&catalog, shard_idx)?;
+            let state = shard.state.lock();
+            state
+                .deriveds
+                .get(&key)
+                .and_then(|d| {
+                    d.channels
+                        .iter()
+                        .find(|c| c.mode == ChannelMode::Append)
+                        .map(|c| c.table.clone())
+                })
+                .ok_or_else(|| {
+                    Error::stream(format!(
+                        "derived stream `{stream}` has no APPEND channel to replay from"
+                    ))
+                })?
+        };
+        let tid = self.engine.table_id(&table)?;
+        let snap = self.engine.snapshot();
+        // Heap scan order is insertion order, and each window's rows were
+        // inserted in one transaction in relation order — grouping into a
+        // close-ordered map preserves the original row order per window.
+        let mut by_close: std::collections::BTreeMap<Timestamp, Vec<Row>> =
+            std::collections::BTreeMap::new();
+        for (_, row) in self.engine.scan(tid, &snap)? {
+            let close = row
+                .get(close_col)
+                .ok_or_else(|| {
+                    Error::stream(format!(
+                        "archived row in `{table}` is missing close column {close_col}"
+                    ))
+                })?
+                .as_timestamp()?;
+            if close > after {
+                by_close.entry(close).or_default().push(row);
+            }
+        }
+        let mut outs: Vec<CqOutput> = by_close
+            .into_iter()
+            .map(|(close, rows)| CqOutput {
+                close,
+                relation: Relation::new(schema.clone(), rows),
+            })
+            .collect();
+        // Heartbeat-only windows archive no rows, but `pump` commits the
+        // resume watermark for them all the same — so when the stream's
+        // durable watermark is past the last archived close, finish the
+        // replay with an empty window carrying it. Without this, a
+        // subscriber whose gap ended in empty windows would reconnect
+        // and never learn that event time had advanced.
+        let last = outs.last().map(|o| o.close).unwrap_or(after);
+        if let Some(wm) = load_watermark(&self.engine, &key)? {
+            if wm > last {
+                outs.push(CqOutput {
+                    close: wm,
+                    relation: Relation::new(schema, Vec::new()),
+                });
+            }
+        }
+        Ok(outs)
+    }
+
     // ---- internals ------------------------------------------------------------
 
     fn check_name_free(&self, catalog: &Catalog, key: &str) -> Result<()> {

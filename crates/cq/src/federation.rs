@@ -1,0 +1,317 @@
+//! Partitioned-stream federation primitives (the paper's §4
+//! "network-effect" story, applied across nodes).
+//!
+//! [`Partitioner`] hash-partitions a base stream's tuples across N
+//! serving nodes; each node runs the same windowed CQ over its slice and
+//! the consumer merges the per-partition partial windows back into one
+//! deterministic sequence with [`PartitionUnion`]. Determinism is the
+//! whole contract: given the same input rows, the merged output —
+//! release order included — is byte-identical no matter how the N links
+//! race, because a window is released only once **every** partition's
+//! watermark has passed its close, and releases are ordered by
+//! `(close, partition)`.
+//!
+//! Both types are engine-agnostic (no `Db`, no sockets): the network
+//! bridge in `streamrel-net` feeds them, and the equivalence tests drive
+//! them directly.
+
+use std::collections::VecDeque;
+
+use streamrel_storage::codec::encode_value;
+use streamrel_types::{Error, Result, Row, Timestamp};
+
+use crate::CqOutput;
+
+/// Deterministic hash partitioner over one key column.
+///
+/// The hash is FNV-1a over the key value's storage-codec encoding, so a
+/// value has exactly one hash no matter which node computes it (the same
+/// single-representation argument the wire format makes): every producer
+/// and every test agrees on row placement.
+#[derive(Debug, Clone, Copy)]
+pub struct Partitioner {
+    key_col: usize,
+    parts: usize,
+}
+
+impl Partitioner {
+    /// Partition rows by column `key_col` into `parts` partitions.
+    pub fn new(key_col: usize, parts: usize) -> Result<Partitioner> {
+        if parts == 0 {
+            return Err(Error::stream("partitioner needs at least one partition"));
+        }
+        Ok(Partitioner { key_col, parts })
+    }
+
+    /// Number of partitions.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Which partition owns `row`.
+    pub fn partition_of(&self, row: &Row) -> Result<usize> {
+        let v = row.get(self.key_col).ok_or_else(|| {
+            Error::stream(format!(
+                "row has no partition key column {} (row arity {})",
+                self.key_col,
+                row.len()
+            ))
+        })?;
+        let mut bytes = Vec::with_capacity(16);
+        encode_value(&mut bytes, v);
+        Ok((fnv1a(&bytes) % self.parts as u64) as usize)
+    }
+
+    /// Split a batch into per-partition batches, preserving the input's
+    /// relative row order inside each partition.
+    pub fn split(&self, rows: Vec<Row>) -> Result<Vec<Vec<Row>>> {
+        let mut out: Vec<Vec<Row>> = vec![Vec::new(); self.parts];
+        for row in rows {
+            let p = self.partition_of(&row)?;
+            out[p].push(row);
+        }
+        Ok(out)
+    }
+}
+
+/// FNV-1a, 64-bit. Small, dependency-free, and stable across platforms —
+/// exactly what a cross-node placement function needs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One partition's merge state.
+#[derive(Debug, Default)]
+struct PartState {
+    /// Windows received but not yet releasable, close-ascending (each
+    /// partition's CQ emits closes in strictly increasing order).
+    buffer: VecDeque<CqOutput>,
+    /// Highest close or heartbeat seen from this partition; `None` until
+    /// the partition reports anything.
+    watermark: Option<Timestamp>,
+}
+
+/// Watermark-ordered union of per-partition window streams.
+///
+/// Feed each partition's windows ([`PartitionUnion::offer`]) and
+/// watermark advances ([`PartitionUnion::heartbeat`]) as they arrive —
+/// in any interleaving — then drain ([`PartitionUnion::drain_ready`]).
+/// A window is released only when every partition's watermark has
+/// reached its close, so a partition can never later produce a window
+/// that should have sorted before something already released; releases
+/// are ordered `(close, partition)`, which makes the merged sequence a
+/// pure function of the inputs.
+#[derive(Debug)]
+pub struct PartitionUnion {
+    parts: Vec<PartState>,
+}
+
+impl PartitionUnion {
+    /// Union over `parts` partitions.
+    pub fn new(parts: usize) -> PartitionUnion {
+        PartitionUnion {
+            parts: (0..parts).map(|_| PartState::default()).collect(),
+        }
+    }
+
+    /// Number of partitions merged.
+    pub fn parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Accept one window from `part`. The window's close also advances
+    /// the partition's watermark (a CQ only emits a close once event
+    /// time has passed it).
+    pub fn offer(&mut self, part: usize, out: CqOutput) -> Result<()> {
+        let state = self.part_mut(part)?;
+        if let Some(last) = state.buffer.back() {
+            if out.close <= last.close {
+                return Err(Error::stream(format!(
+                    "partition {part} regressed: window close {} after {}",
+                    out.close, last.close
+                )));
+            }
+        }
+        state.watermark = Some(state.watermark.map_or(out.close, |w| w.max(out.close)));
+        state.buffer.push_back(out);
+        Ok(())
+    }
+
+    /// Advance `part`'s watermark without a window (heartbeat
+    /// propagation: the partition's event time passed `ts` with nothing
+    /// to emit).
+    pub fn heartbeat(&mut self, part: usize, ts: Timestamp) -> Result<()> {
+        let state = self.part_mut(part)?;
+        state.watermark = Some(state.watermark.map_or(ts, |w| w.max(ts)));
+        Ok(())
+    }
+
+    /// The merge frontier: the lowest partition watermark, i.e. the
+    /// close up to which the merged sequence is complete. `None` until
+    /// every partition has reported at least once.
+    pub fn frontier(&self) -> Option<Timestamp> {
+        self.parts
+            .iter()
+            .map(|p| p.watermark)
+            .collect::<Option<Vec<_>>>()
+            .map(|ws| ws.into_iter().min().unwrap_or(Timestamp::MIN))
+    }
+
+    /// Windows buffered awaiting release.
+    pub fn pending(&self) -> usize {
+        self.parts.iter().map(|p| p.buffer.len()).sum()
+    }
+
+    /// Release every window whose close the frontier has passed, in
+    /// `(close, partition)` order.
+    pub fn drain_ready(&mut self) -> Vec<CqOutput> {
+        let Some(frontier) = self.frontier() else {
+            return Vec::new();
+        };
+        let mut ready: Vec<(Timestamp, usize, CqOutput)> = Vec::new();
+        for (i, state) in self.parts.iter_mut().enumerate() {
+            while state
+                .buffer
+                .front()
+                .is_some_and(|out| out.close <= frontier)
+            {
+                // Pop preserves the partition's close order, so sorting
+                // by (close, partition) below is a stable total order.
+                if let Some(out) = state.buffer.pop_front() {
+                    ready.push((out.close, i, out));
+                }
+            }
+        }
+        ready.sort_by_key(|(close, part, _)| (*close, *part));
+        ready.into_iter().map(|(_, _, out)| out).collect()
+    }
+
+    fn part_mut(&mut self, part: usize) -> Result<&mut PartState> {
+        let n = self.parts.len();
+        self.parts
+            .get_mut(part)
+            .ok_or_else(|| Error::stream(format!("unknown partition {part} (of {n})")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use streamrel_types::{Column, DataType, Relation, Schema, Value};
+
+    use super::*;
+
+    fn row(key: i64) -> Row {
+        vec![Value::Int(key)]
+    }
+
+    fn win(close: Timestamp, tag: i64) -> CqOutput {
+        let schema = Arc::new(Schema::new_unchecked(vec![Column::new(
+            "tag",
+            DataType::Int,
+        )]));
+        CqOutput {
+            close,
+            relation: Relation::new(schema, vec![vec![Value::Int(tag)]]),
+        }
+    }
+
+    #[test]
+    fn partitioner_is_deterministic_and_total() {
+        let p = Partitioner::new(0, 3).unwrap();
+        for k in 0..100 {
+            let a = p.partition_of(&row(k)).unwrap();
+            let b = p.partition_of(&row(k)).unwrap();
+            assert_eq!(a, b);
+            assert!(a < 3);
+        }
+        // Not all keys land on one partition (FNV actually spreads).
+        let hit: std::collections::HashSet<usize> =
+            (0..100).map(|k| p.partition_of(&row(k)).unwrap()).collect();
+        assert!(hit.len() > 1, "degenerate placement: {hit:?}");
+    }
+
+    #[test]
+    fn split_preserves_order_within_partitions() {
+        let p = Partitioner::new(0, 2).unwrap();
+        let rows: Vec<Row> = (0..50).map(row).collect();
+        let splits = p.split(rows.clone()).unwrap();
+        assert_eq!(splits.iter().map(Vec::len).sum::<usize>(), 50);
+        for (i, part) in splits.iter().enumerate() {
+            let keys: Vec<i64> = part
+                .iter()
+                .map(|r| match r[0] {
+                    Value::Int(k) => k,
+                    _ => unreachable!(),
+                })
+                .collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(keys, sorted, "partition {i} reordered rows");
+        }
+    }
+
+    #[test]
+    fn union_holds_windows_until_every_partition_catches_up() {
+        let mut u = PartitionUnion::new(2);
+        u.offer(0, win(100, 1)).unwrap();
+        u.offer(0, win(200, 2)).unwrap();
+        // Partition 1 silent: nothing is releasable yet.
+        assert!(u.drain_ready().is_empty());
+        assert_eq!(u.pending(), 2);
+        u.heartbeat(1, 150).unwrap();
+        let released = u.drain_ready();
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].close, 100);
+        u.offer(1, win(200, 3)).unwrap();
+        let released = u.drain_ready();
+        // Same close from both partitions: partition order breaks the tie.
+        assert_eq!(
+            released.iter().map(|o| o.close).collect::<Vec<_>>(),
+            vec![200, 200]
+        );
+        assert_eq!(released[0].relation.rows()[0][0], Value::Int(2));
+        assert_eq!(released[1].relation.rows()[0][0], Value::Int(3));
+        assert_eq!(u.pending(), 0);
+    }
+
+    #[test]
+    fn union_merge_is_interleaving_independent() {
+        // Two arrival orders of the same windows/heartbeats must release
+        // the identical sequence.
+        let run = |swap: bool| {
+            let mut u = PartitionUnion::new(2);
+            let mut out = Vec::new();
+            let feed: Vec<(usize, CqOutput)> = if swap {
+                vec![(1, win(100, 10)), (0, win(100, 1)), (0, win(200, 2))]
+            } else {
+                vec![(0, win(100, 1)), (1, win(100, 10)), (0, win(200, 2))]
+            };
+            for (p, w) in feed {
+                u.offer(p, w).unwrap();
+                out.extend(u.drain_ready());
+            }
+            u.heartbeat(1, 200).unwrap();
+            out.extend(u.drain_ready());
+            out.iter()
+                .map(|o| (o.close, o.relation.rows()[0][0].clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn union_rejects_regressing_partition() {
+        let mut u = PartitionUnion::new(1);
+        u.offer(0, win(200, 1)).unwrap();
+        assert!(u.offer(0, win(100, 2)).is_err());
+        assert!(u.offer(0, win(200, 2)).is_err());
+        assert!(u.heartbeat(9, 1).is_err(), "unknown partition");
+    }
+}

@@ -17,6 +17,7 @@
 #![deny(unsafe_code)]
 
 pub mod consistency;
+pub mod federation;
 pub mod ordering;
 pub mod pool;
 pub mod recovery;
@@ -25,6 +26,7 @@ pub mod shared;
 pub mod window;
 
 pub use consistency::{ConsistencyMode, SnapshotSource};
+pub use federation::{PartitionUnion, Partitioner};
 pub use ordering::ReorderBuffer;
 pub use pool::WorkerPool;
 pub use runtime::{ContinuousQuery, CqOutput, CqStats, ExecMode, WindowTask};

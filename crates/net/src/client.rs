@@ -214,6 +214,24 @@ impl Client {
         }
     }
 
+    /// Subscribe to a stream's pass-through window feed, replaying
+    /// archived windows with `close > from` before live delivery —
+    /// the federation bridge's resume request. `from == i64::MIN`
+    /// requests live-only (nothing to resume). Replayed windows arrive
+    /// on the returned stream in close order, ahead of live ones; a
+    /// window racing the archive scan may arrive twice (replayed copy
+    /// first), so resuming consumers should drop closes they have
+    /// already applied.
+    pub fn subscribe_from(&self, stream: &str, from: Timestamp) -> NetResult<SubscriptionStream> {
+        match self.request(Frame::new(
+            FrameType::SubscribeFrom,
+            wire::encode_subscribe_from(stream, from),
+        ))? {
+            Reply::Subscribed(id, queue) => Ok(SubscriptionStream { id, queue }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Push a batch of tuples into a stream. Returns the ingested count.
     pub fn ingest_batch(&self, stream: &str, rows: &[Row]) -> NetResult<u64> {
         match self.request(Frame::new(
@@ -371,7 +389,11 @@ fn reader_loop(mut socket: TcpStream, resp: Sender<Reply>, opts: ClientOptions) 
                 break;
             }
             // Client-to-server frames; the server must not send these.
-            FrameType::Query | FrameType::Ingest | FrameType::Stats | FrameType::Attach => break,
+            FrameType::Query
+            | FrameType::Ingest
+            | FrameType::Stats
+            | FrameType::Attach
+            | FrameType::SubscribeFrom => break,
         };
         if !forwarded {
             // The Client was dropped; nobody is listening any more.
@@ -405,6 +427,18 @@ impl SubscriptionStream {
     /// overflowed (the consumer fell behind the wire).
     pub fn dropped(&self) -> u64 {
         self.queue.q.lock().dropped()
+    }
+
+    /// Windows buffered client-side awaiting consumption — the
+    /// federation bridge's lag gauge reads this.
+    pub fn pending(&self) -> usize {
+        self.queue.q.lock().pending()
+    }
+
+    /// True once the connection (or subscription) is gone: no further
+    /// results will ever arrive beyond what is already queued.
+    pub fn is_closed(&self) -> bool {
+        self.queue.closed.load(Ordering::SeqCst)
     }
 
     /// Non-blocking poll; `None` if nothing is pending right now.

@@ -54,6 +54,14 @@ pub enum FrameType {
     /// carrying a fresh id; window results for both ids are encoded from
     /// the same CQ output, serialized once.
     Attach = 11,
+    /// Client → server: subscribe to a derived stream's window results,
+    /// replaying archived windows with close strictly greater than the
+    /// given position first (payload: `str` stream, `i64` from; `from ==
+    /// i64::MIN` means live-only). The federation bridge's resume frame:
+    /// answered with `Subscribed`, then the replayed `WindowResult`s in
+    /// close order, then live windows. Additive — v2 peers that predate
+    /// it never send it, so the version byte stays at 2.
+    SubscribeFrom = 12,
 }
 
 impl FrameType {
@@ -71,6 +79,7 @@ impl FrameType {
             9 => FrameType::Stats,
             10 => FrameType::StatsResult,
             11 => FrameType::Attach,
+            12 => FrameType::SubscribeFrom,
             _ => return None,
         })
     }

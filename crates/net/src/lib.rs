@@ -14,11 +14,13 @@
 
 #![deny(unsafe_code)]
 
+pub mod bridge;
 pub mod client;
 pub mod frame;
 pub mod server;
 pub mod wire;
 
+pub use bridge::{Bridge, BridgeOptions, UnionIngest};
 pub use client::{Client, ClientOptions, NetError, NetResult, SubscriptionStream};
 pub use frame::{Frame, FrameDecoder, FrameType, MAX_FRAME_LEN, PROTOCOL_VERSION};
 pub use server::{Server, ServerOptions};

@@ -237,6 +237,13 @@ struct NetMetrics {
     windows_sent: Arc<Counter>,
     /// Reactor loop iterations (readiness, notifier or tick).
     wakeups: Arc<Counter>,
+    /// `SubscribeFrom` frames asking for archive replay (a federation
+    /// bridge resuming after a link drop or node restart).
+    fed_resubscribes: Arc<Counter>,
+    /// Archived windows re-served from Active Tables on resume.
+    fed_replayed_windows: Arc<Counter>,
+    /// Rows inside those replayed windows.
+    fed_replayed_rows: Arc<Counter>,
 }
 
 struct Reactor {
@@ -268,6 +275,9 @@ impl Reactor {
             delivery_lost: registry.counter("net.delivery_lost"),
             windows_sent: registry.counter("net.windows_sent"),
             wakeups: registry.counter("net.reactor.wakeups"),
+            fed_resubscribes: registry.counter("fed.resubscribes"),
+            fed_replayed_windows: registry.counter("fed.replayed_windows"),
+            fed_replayed_rows: registry.counter("fed.replayed_rows"),
         };
         Reactor {
             db,
@@ -435,6 +445,7 @@ impl Reactor {
         match frame.ty {
             FrameType::Query => self.handle_query(key, &frame.payload),
             FrameType::Attach => self.handle_attach(key, &frame.payload),
+            FrameType::SubscribeFrom => self.handle_subscribe_from(key, &frame.payload),
             FrameType::Ingest => self.handle_ingest(key, &frame.payload),
             FrameType::Heartbeat => self.handle_heartbeat(key, &frame.payload),
             FrameType::Stats => {
@@ -529,6 +540,57 @@ impl Reactor {
         if let Some(conn) = self.conns.get_mut(&key) {
             conn.subs.push(id);
             conn.outboxes.insert(id, outbox);
+        }
+    }
+
+    /// Subscribe to a stream's pass-through window feed, replaying
+    /// archived windows with `close > from` first — the federation
+    /// bridge's resume path (§4 recovery across nodes).
+    ///
+    /// The live subscription is registered **before** the archive scan,
+    /// so no window can fall in the gap between the two: `pump` commits a
+    /// window's archive rows before delivering it, so any window the scan
+    /// misses is queued live, and any window delivered live during the
+    /// scan is also in the scan's snapshot. The overlap is harmless —
+    /// replayed frames travel on `ctrl`, which drains ahead of the
+    /// outboxes, so the duplicate's replayed copy arrives first and the
+    /// bridge drops the live copy by close-order dedup.
+    fn handle_subscribe_from(&mut self, key: usize, payload: &[u8]) {
+        let (stream, from) = match wire::decode_subscribe_from(payload) {
+            Ok(v) => v,
+            Err(e) => return self.reply_error(key, &e.to_string()),
+        };
+        let id = match self.db.subscribe_stream(&stream) {
+            Ok(SubscriptionId(id)) => id,
+            Err(e) => return self.reply_error(key, &e.to_string()),
+        };
+        self.register_sub(key, id);
+        if from == i64::MIN {
+            return; // live-only: nothing to resume
+        }
+        self.metrics.fed_resubscribes.inc();
+        match self.db.archived_windows(&stream, from) {
+            Ok(outs) => {
+                for out in &outs {
+                    self.metrics
+                        .fed_replayed_rows
+                        .add(out.relation.len() as u64);
+                    self.enqueue_ctrl(
+                        key,
+                        &Frame::new(FrameType::WindowResult, wire::encode_window_result(id, out)),
+                    );
+                }
+                self.metrics.fed_replayed_windows.add(outs.len() as u64);
+            }
+            Err(e) => {
+                // The subscription registered but history is unavailable:
+                // fail loudly so the bridge retries instead of silently
+                // skipping windows. Closing reaps the subscription.
+                self.reply_error(key, &e.to_string());
+                if let Some(conn) = self.conns.get_mut(&key) {
+                    conn.closing = true;
+                }
+            }
         }
     }
 

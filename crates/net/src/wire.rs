@@ -13,6 +13,7 @@
 //! | `Ingest`       | `str` stream, `u32` row count, rows                |
 //! | `Heartbeat`    | `str` stream, `i64` event time (µs)                |
 //! | `Attach`       | `u64` primary subscription id                      |
+//! | `SubscribeFrom`| `str` stream, `i64` replay-after close (µs)        |
 //! | `Error`        | `str` message                                      |
 //! | `Goodbye`      | (empty)                                            |
 //! | `Stats`        | (empty)                                            |
@@ -177,6 +178,21 @@ pub fn decode_attach(payload: &[u8]) -> Result<u64> {
     whole(payload, |r| r.u64())
 }
 
+/// `SubscribeFrom` payload: subscribe to a derived stream's windows,
+/// replaying archived windows with `close > from` before live delivery.
+/// `from == i64::MIN` requests live-only (nothing to resume).
+pub fn encode_subscribe_from(stream: &str, from: Timestamp) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_str(&mut buf, stream);
+    put_i64(&mut buf, from);
+    buf
+}
+
+/// Decode a `SubscribeFrom` payload into (stream, replay-after close).
+pub fn decode_subscribe_from(payload: &[u8]) -> Result<(String, Timestamp)> {
+    whole(payload, |r| Ok((r.str()?, r.i64()?)))
+}
+
 /// `Error` payload.
 pub fn encode_error(msg: &str) -> Vec<u8> {
     let mut buf = Vec::new();
@@ -298,6 +314,20 @@ mod tests {
         let mut bad = encode_attach(99);
         bad.push(0);
         assert!(decode_attach(&bad).is_err());
+    }
+
+    #[test]
+    fn subscribe_from_round_trip() {
+        let (stream, from) =
+            decode_subscribe_from(&encode_subscribe_from("urls_now", 60_000_000)).unwrap();
+        assert_eq!(stream, "urls_now");
+        assert_eq!(from, 60_000_000);
+        // The live-only sentinel survives the codec.
+        let (_, from) = decode_subscribe_from(&encode_subscribe_from("s", i64::MIN)).unwrap();
+        assert_eq!(from, i64::MIN);
+        let mut bad = encode_subscribe_from("s", 0);
+        bad.push(0);
+        assert!(decode_subscribe_from(&bad).is_err());
     }
 
     #[test]

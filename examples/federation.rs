@@ -1,0 +1,221 @@
+//! Federation quickstart: one stream, two serving nodes, one consumer.
+//!
+//! Run self-contained (two in-process nodes):
+//! `cargo run --example federation`
+//!
+//! Run against two already-running `streamrel-serve` processes (the CI
+//! federation-smoke lane does this):
+//! `STREAMREL_NODE1=127.0.0.1:7878 STREAMREL_NODE2=127.0.0.1:7879 \
+//!  cargo run --example federation`
+//!
+//! The paper's network-effect deployment (§1/§4) in miniature: a click
+//! stream is hash-partitioned by url across two serving nodes, each
+//! node runs the same per-minute count CQ over its slice, and a consumer
+//! node bridges both partial streams back together — merged in
+//! watermark order — and re-aggregates. The merged result is asserted
+//! **byte-identical** to the same pipeline run unpartitioned in one
+//! process: partitioning is a deployment choice, not a semantics change.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use streamrel::cq::Partitioner;
+use streamrel::net::{wire, Bridge, BridgeOptions, Client, Server, UnionIngest};
+use streamrel::types::time::MINUTES;
+use streamrel::types::{Relation, Row, Value};
+use streamrel::{Db, DbOptions, ExecResult, SubscriptionId};
+
+const NODE_DDL: &[&str] = &[
+    "CREATE STREAM hits (url varchar(100), htime timestamp CQTIME USER)",
+    "CREATE TABLE hit_archive (url varchar(100), scnt integer, stime timestamp)",
+    "CREATE STREAM hit_partials AS SELECT url, count(*) scnt, cq_close(*) stime \
+     FROM hits <TUMBLING '1 minute'> GROUP BY url ORDER BY url",
+    "CREATE CHANNEL hit_chan FROM hit_partials INTO hit_archive APPEND",
+];
+const CONSUMER_STREAM: &str =
+    "CREATE STREAM partials (url varchar(100), scnt integer, stime timestamp CQTIME USER)";
+const MERGED_CQ: &str = "SELECT url, sum(scnt) total, cq_close(*) w \
+     FROM partials <TUMBLING '1 minute'> GROUP BY url ORDER BY url";
+
+const WINDOWS: i64 = 4;
+
+/// Three pages of clicks per minute — every url shows up in every
+/// window, so both partitions carry data throughout.
+fn feed(w: i64) -> Vec<Row> {
+    (0..12)
+        .map(|i| {
+            vec![
+                Value::text(format!("/page{}", i % 3)),
+                Value::Timestamp(w * MINUTES + i * 5_000_000),
+            ]
+        })
+        .collect()
+}
+
+fn canonical(close: i64, relation: &Relation) -> (i64, Vec<u8>) {
+    (close, wire::encode_rows(relation))
+}
+
+fn subscribe(db: &Db, sql: &str) -> SubscriptionId {
+    match db.execute(sql).unwrap() {
+        ExecResult::Subscribed(s) => s,
+        other => panic!("expected subscription from {sql}, got {other:?}"),
+    }
+}
+
+/// The unpartitioned reference: identical pipeline, one process.
+fn reference() -> Vec<(i64, Vec<u8>)> {
+    let producer = Db::in_memory(DbOptions::default());
+    for stmt in NODE_DDL {
+        producer.execute(stmt).unwrap();
+    }
+    let partials = producer.subscribe_stream("hit_partials").unwrap();
+    let consumer = Db::in_memory(DbOptions::default());
+    consumer.execute(CONSUMER_STREAM).unwrap();
+    let merged = subscribe(&consumer, MERGED_CQ);
+    for w in 0..WINDOWS {
+        producer.ingest_batch("hits", feed(w)).unwrap();
+    }
+    producer.heartbeat("hits", (WINDOWS + 1) * MINUTES).unwrap();
+    for out in producer.poll(partials).unwrap() {
+        if !out.relation.rows().is_empty() {
+            consumer
+                .ingest_batch("partials", out.relation.rows().to_vec())
+                .unwrap();
+        }
+        consumer.heartbeat("partials", out.close).unwrap();
+    }
+    consumer
+        .poll(merged)
+        .unwrap()
+        .iter()
+        .map(|o| canonical(o.close, &o.relation))
+        .collect()
+}
+
+fn main() {
+    let expect = reference();
+
+    // Two serving nodes: external (`STREAMREL_NODE1`/`STREAMREL_NODE2`
+    // pointing at running `streamrel-serve` processes) or in-process.
+    let external = (
+        std::env::var("STREAMREL_NODE1").ok(),
+        std::env::var("STREAMREL_NODE2").ok(),
+    );
+    let mut local_servers: Vec<Server> = Vec::new();
+    let addrs: Vec<String> = match external {
+        (Some(a), Some(b)) => {
+            println!("federation: external nodes {a} and {b}");
+            vec![a, b]
+        }
+        _ => {
+            println!("federation: two in-process nodes");
+            (0..2)
+                .map(|_| {
+                    let db = Arc::new(Db::in_memory(DbOptions::default()));
+                    let server = Server::serve(db, "127.0.0.1:0").expect("bind node");
+                    let addr = server.local_addr().to_string();
+                    local_servers.push(server);
+                    addr
+                })
+                .collect()
+        }
+    };
+
+    // Apply the node pipeline over the wire on both nodes.
+    let clients: Vec<Client> = addrs
+        .iter()
+        .map(|a| Client::connect(a.as_str()).expect("connect node"))
+        .collect();
+    for client in &clients {
+        for stmt in NODE_DDL {
+            client.execute(stmt).expect("node DDL");
+        }
+    }
+
+    // The consumer node: bridges both partition streams into one local
+    // stream through a shared watermark-ordered union.
+    let consumer = Arc::new(Db::in_memory(DbOptions::default()));
+    consumer.execute(CONSUMER_STREAM).unwrap();
+    let merged = subscribe(&consumer, MERGED_CQ);
+    let union = UnionIngest::new(2);
+    let bridges: Vec<Bridge> = addrs
+        .iter()
+        .enumerate()
+        .map(|(p, addr)| {
+            Bridge::start_partition(
+                consumer.clone(),
+                addr.clone(),
+                "hit_partials",
+                "partials",
+                union.clone(),
+                p,
+                BridgeOptions::default(),
+            )
+            .expect("start bridge")
+        })
+        .collect();
+    for bridge in &bridges {
+        assert!(
+            bridge.wait_until_up(Duration::from_secs(10)),
+            "bridge never attached"
+        );
+    }
+
+    // Partition the click feed by url and drive each node's slice.
+    let partitioner = Partitioner::new(0, 2).unwrap();
+    for w in 0..WINDOWS {
+        for (client, rows) in clients.iter().zip(partitioner.split(feed(w)).unwrap()) {
+            if !rows.is_empty() {
+                client.ingest_batch("hits", &rows).expect("ingest");
+            }
+        }
+    }
+    // Both partitions must hear the closing watermark.
+    for client in &clients {
+        client
+            .heartbeat("hits", (WINDOWS + 1) * MINUTES)
+            .expect("heartbeat");
+    }
+
+    // Drain the merged CQ until it has produced the reference's windows.
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    let mut got = Vec::new();
+    while got.len() < expect.len() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "merged output stalled: {} of {} windows",
+            got.len(),
+            expect.len()
+        );
+        for out in consumer.poll(merged).unwrap() {
+            println!(
+                "merged window close={} ({} urls)",
+                out.close,
+                out.relation.len()
+            );
+            got.push(canonical(out.close, &out.relation));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    assert_eq!(
+        got, expect,
+        "partitioned merge diverged from the unpartitioned reference"
+    );
+    for bridge in bridges {
+        assert_eq!(bridge.reconnects(), 0, "link dropped during the demo");
+        bridge.shutdown();
+    }
+    for client in clients {
+        let _ = client.close();
+    }
+    for server in local_servers {
+        server.shutdown();
+    }
+    println!(
+        "federation quickstart PASS: 2-node partitioned result is \
+         byte-identical to the single-node reference ({} windows)",
+        expect.len()
+    );
+}

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Bench regression gate: compare freshly-written BENCH_*.json files against
+# the baselines committed at HEAD, with per-metric tolerance bands.
+#
+# Usage: scripts/bench_check.sh [BENCH_file.json ...]
+#   (no arguments: every BENCH_*.json tracked at HEAD)
+#
+# Two kinds of checks:
+#   * structural — proof-shaped fields that must hold exactly on any
+#     machine: zero torture failures/divergences, row conservation,
+#     fan-out delivery counts. A violation is a correctness regression.
+#   * throughput — rates and speedup ratios compared against the
+#     committed baseline. CI machines jitter, so the band is wide:
+#     a fresh run must retain BENCH_CHECK_TOLERANCE (default 0.25) of
+#     the baseline. The gate catches collapses, not noise.
+#
+# A fresh file carrying "skipped": true is an honest skip (the bench
+# detected the host can't run it meaningfully, e.g. too few cores) and is
+# exempt from throughput bands; its skip_reason is printed instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOL="${BENCH_CHECK_TOLERANCE:-0.25}"
+
+if [ "$#" -gt 0 ]; then
+    files=("$@")
+else
+    mapfile -t files < <(git ls-tree --name-only HEAD | grep '^BENCH_.*\.json$')
+fi
+if [ "${#files[@]}" -eq 0 ]; then
+    echo "bench_check: no BENCH_*.json baselines tracked at HEAD" >&2
+    exit 1
+fi
+
+fail=0
+for f in "${files[@]}"; do
+    if [ ! -f "$f" ]; then
+        echo "FAIL $f: bench did not write a fresh result" >&2
+        fail=1
+        continue
+    fi
+    baseline=""
+    if git cat-file -e "HEAD:$f" 2>/dev/null; then
+        baseline="$(git show "HEAD:$f")"
+    fi
+    if ! BASELINE_JSON="$baseline" BENCH_TOL="$TOL" python3 - "$f" <<'PY'
+import json, os, sys
+
+path = sys.argv[1]
+name = os.path.basename(path)
+tol = float(os.environ["BENCH_TOL"])
+fresh = json.load(open(path))
+baseline_raw = os.environ.get("BASELINE_JSON", "")
+baseline = json.loads(baseline_raw) if baseline_raw.strip() else None
+
+problems = []
+
+def need(field, want):
+    got = fresh.get(field)
+    if got != want:
+        problems.append(f"{field} = {got!r}, want {want!r}")
+
+# -- structural checks: exact on every machine -----------------------------
+if name == "BENCH_recovery_torture.json":
+    need("failures", 0)
+elif name == "BENCH_federation_torture.json":
+    need("divergences", 0)
+elif name == "BENCH_federation.json":
+    need("rows_conserved", True)
+    need("apply_errors", 0)
+    need("reconnects", 0)
+elif name == "BENCH_fanout.json":
+    for entry in fresh.get("sweep", []):
+        want = entry["subs"] * fresh["windows"]
+        if entry["windows_sent"] != want:
+            problems.append(
+                f"sweep subs={entry['subs']}: windows_sent "
+                f"{entry['windows_sent']}, want {want}"
+            )
+elif name == "BENCH_ingest_parallel.json":
+    need("durable", True)
+elif name == "BENCH_ivm.json":
+    if fresh.get("windows_closed", 0) <= 0:
+        problems.append("windows_closed <= 0: the bench closed no windows")
+
+# -- throughput bands: fresh must retain `tol` of the committed baseline ---
+BANDS = {
+    "BENCH_ivm.json": ["speedup", "close_speedup", "ivm_tps"],
+    "BENCH_federation.json": ["live_windows_per_s", "replay_windows_per_s"],
+    "BENCH_ingest_parallel.json": ["speedup"],
+}
+if fresh.get("skipped"):
+    print(f"  skip {name}: {fresh.get('skip_reason', 'skipped by bench')}")
+elif baseline is None:
+    print(f"  note {name}: no committed baseline yet, structural checks only")
+elif baseline.get("skipped"):
+    print(f"  note {name}: baseline was an honest skip, structural checks only")
+else:
+    for metric in BANDS.get(name, []):
+        base = baseline.get(metric)
+        got = fresh.get(metric)
+        if base is None or got is None:
+            continue
+        floor = base * tol
+        if got < floor:
+            problems.append(
+                f"{metric} = {got:.1f}, below {tol:.0%} of baseline "
+                f"{base:.1f} (floor {floor:.1f})"
+            )
+        else:
+            print(f"  ok   {name}: {metric} {got:.1f} vs baseline {base:.1f}")
+
+if problems:
+    for p in problems:
+        print(f"FAIL {name}: {p}", file=sys.stderr)
+    sys.exit(1)
+print(f"  pass {name}")
+PY
+    then
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench_check: REGRESSION — see FAIL lines above" >&2
+    exit 1
+fi
+echo "bench_check: all bench results within tolerance"

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Federation smoke: launch two real `streamrel-serve` processes on
+# OS-assigned ports, run the partitioned quickstart (examples/federation)
+# against them, and tear everything down. The quickstart asserts the
+# 2-node partitioned result is byte-identical to the embedded
+# single-node reference, so a pass here proves the whole chain —
+# process spawn, `PORT=` handshake, wire DDL, partitioned ingest,
+# bridge union merge — on a real multi-process deployment.
+#
+# Node logs land in target/federation-smoke/ (CI uploads them on
+# failure).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LOGDIR=target/federation-smoke
+mkdir -p "$LOGDIR"
+rm -f "$LOGDIR"/node1.log "$LOGDIR"/node2.log
+
+cargo build --release --bin streamrel-serve --example federation
+
+target/release/streamrel-serve --memory 127.0.0.1:0 >"$LOGDIR/node1.log" 2>&1 &
+NODE1=$!
+target/release/streamrel-serve --memory 127.0.0.1:0 >"$LOGDIR/node2.log" 2>&1 &
+NODE2=$!
+cleanup() {
+    kill "$NODE1" "$NODE2" 2>/dev/null || true
+    wait "$NODE1" "$NODE2" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Each node prints its OS-chosen port as a `PORT=<n>` line once bound.
+port_of() {
+    local log=$1 port=""
+    for _ in $(seq 1 100); do
+        port=$(grep -m1 '^PORT=' "$log" 2>/dev/null | cut -d= -f2 || true)
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    if [ -z "$port" ]; then
+        echo "federation_smoke: no PORT= line in $log" >&2
+        return 1
+    fi
+    echo "$port"
+}
+P1=$(port_of "$LOGDIR/node1.log")
+P2=$(port_of "$LOGDIR/node2.log")
+echo "federation_smoke: node1 on :$P1, node2 on :$P2"
+
+STREAMREL_NODE1="127.0.0.1:$P1" STREAMREL_NODE2="127.0.0.1:$P2" \
+    timeout 120 cargo run --release --example federation
+
+# Both nodes must still be serving after the run — a crashed node whose
+# bridge already got the data would otherwise pass silently.
+for pid in "$NODE1" "$NODE2"; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "federation_smoke: node (pid $pid) died during the run" >&2
+        exit 1
+    fi
+done
+echo "federation_smoke: PASS (clean teardown)"

@@ -6,7 +6,9 @@
 //! streamrel-serve --memory <addr> --metrics-interval 10    # + periodic metrics dump
 //! ```
 //!
-//! Binds `addr` (e.g. `127.0.0.1:7878`) and serves the wire protocol:
+//! Binds `addr` (e.g. `127.0.0.1:7878`; `127.0.0.1:0` lets the OS pick,
+//! and the chosen port is printed as a `PORT=<n>` stdout line for
+//! scripts) and serves the wire protocol:
 //! snapshot SQL, DDL, ingest, heartbeats, pushed continuous-query
 //! results, and `Stats` metric snapshots. Runs until killed; durable
 //! databases recover their DDL and watermarks on the next start.
@@ -74,6 +76,10 @@ fn main() {
         }
     };
     println!("listening on {}", server.local_addr());
+    // Machine-readable port line: with an `:0` bind the OS picks the
+    // port, and CI scripts wiring multiple nodes read it from here
+    // instead of racing to pre-pick free ports.
+    println!("PORT={}", server.local_addr().port());
     if let Some(interval) = metrics_interval {
         let db = db.clone();
         std::thread::Builder::new()

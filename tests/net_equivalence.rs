@@ -418,3 +418,79 @@ fn explain_check_report_is_byte_identical_embedded_and_remote() {
     client.close().unwrap();
     server.shutdown();
 }
+
+/// A bridge pointed at a dead address keeps retrying with backoff and
+/// attaches as soon as a listener appears — the serving node can come up
+/// *after* its consumers, in any order.
+#[test]
+fn bridge_backs_off_until_server_appears() {
+    use streamrel::net::{Bridge, BridgeOptions};
+
+    // Reserve a port, then free it: nothing is listening there yet.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+
+    let consumer = Arc::new(Db::in_memory(DbOptions::default()));
+    consumer
+        .execute("CREATE STREAM partials (v integer, ptime timestamp CQTIME USER)")
+        .unwrap();
+    let merged = match consumer
+        .execute("SELECT sum(v) total, cq_close(*) w FROM partials <TUMBLING '1 minute'>")
+        .unwrap()
+    {
+        ExecResult::Subscribed(s) => s,
+        other => panic!("expected subscription, got {other:?}"),
+    };
+    let opts = BridgeOptions {
+        backoff_initial: Duration::from_millis(10),
+        backoff_max: Duration::from_millis(100),
+        poll: Duration::from_millis(20),
+        ..BridgeOptions::default()
+    };
+    let bridge =
+        Bridge::start(consumer.clone(), addr.clone(), "derived", "partials", opts).unwrap();
+
+    // Long enough that backoff has hit its cap several times over.
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(!bridge.is_up());
+    assert_eq!(bridge.reconnects(), 0, "no link existed to re-establish");
+
+    // The serving node appears late; the next retry attaches.
+    let producer = Arc::new(Db::in_memory(DbOptions::default()));
+    producer
+        .execute("CREATE STREAM events (v integer, etime timestamp CQTIME USER)")
+        .unwrap();
+    producer
+        .execute(
+            "CREATE STREAM derived AS SELECT sum(v) v, cq_close(*) dtime \
+             FROM events <TUMBLING '1 minute'>",
+        )
+        .unwrap();
+    let server = Server::serve(producer.clone(), addr.as_str()).unwrap();
+    assert!(
+        bridge.wait_until_up(Duration::from_secs(10)),
+        "bridge never attached"
+    );
+    // First successful attach is not a *re*connect.
+    assert_eq!(bridge.reconnects(), 0);
+
+    // And the link actually carries data end to end.
+    producer
+        .ingest("events", vec![Value::Int(7), Value::Timestamp(1_000_000)])
+        .unwrap();
+    producer.heartbeat("events", 120_000_000).unwrap();
+    assert!(bridge.wait_for_windows(1, Duration::from_secs(10)));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut outs = Vec::new();
+    while outs.is_empty() {
+        assert!(Instant::now() < deadline, "merged window never closed");
+        outs = consumer.poll(merged).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(outs[0].relation.rows()[0][0], Value::Int(7));
+    bridge.shutdown();
+    server.shutdown();
+}

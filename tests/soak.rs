@@ -148,3 +148,121 @@ fn soak_durable_with_restarts_and_checkpoints() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Federation soak: a bridge under sustained load stays healthy — the
+/// link never drops (`fed.reconnects == 0`), every window is applied,
+/// and the lag gauge settles back to zero once the producer quiesces.
+#[test]
+fn soak_federated_bridge() {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use streamrel::net::{Bridge, BridgeOptions, Server};
+
+    const MINUTES_DRIVEN: i64 = 30;
+
+    let producer = Arc::new(Db::in_memory(DbOptions::default()));
+    producer
+        .execute("CREATE STREAM clicks (url varchar(64), ts timestamp CQTIME USER)")
+        .unwrap();
+    producer
+        .execute(
+            "CREATE STREAM by_url AS SELECT url, count(*) hits, cq_close(*) w \
+             FROM clicks <TUMBLING '1 minute'> GROUP BY url ORDER BY url",
+        )
+        .unwrap();
+    let server = Server::serve(producer.clone(), "127.0.0.1:0").unwrap();
+
+    let consumer = Arc::new(Db::in_memory(DbOptions::default()));
+    consumer
+        .execute("CREATE STREAM partials (url varchar(64), hits integer, w timestamp CQTIME USER)")
+        .unwrap();
+    consumer
+        .execute("CREATE TABLE url_total (url varchar(64), hits bigint, w2 timestamp)")
+        .unwrap();
+    consumer
+        .execute(
+            "CREATE STREAM rollup AS SELECT url, sum(hits) hits, cq_close(*) w2 \
+             FROM partials <TUMBLING '2 minutes'> GROUP BY url ORDER BY url",
+        )
+        .unwrap();
+    consumer
+        .execute("CREATE CHANNEL cagg FROM rollup INTO url_total APPEND")
+        .unwrap();
+
+    let bridge = Bridge::start(
+        consumer.clone(),
+        server.local_addr().to_string(),
+        "by_url",
+        "partials",
+        BridgeOptions::default(),
+    )
+    .unwrap();
+    assert!(bridge.wait_until_up(Duration::from_secs(10)));
+
+    // Sustained minute-by-minute load, heartbeat advancing each round so
+    // windows stream out continuously instead of in one terminal burst.
+    for m in 0..MINUTES_DRIVEN {
+        let rows: Vec<Vec<Value>> = (0..60)
+            .map(|i| {
+                vec![
+                    Value::text(format!("/p{}", (m + i) % 8)),
+                    Value::Timestamp(m * MINUTES + i * 900_000 + 1),
+                ]
+            })
+            .collect();
+        producer.ingest_batch("clicks", rows).unwrap();
+        producer.heartbeat("clicks", (m + 1) * MINUTES).unwrap();
+    }
+    // Flush: two empty producer windows carry the watermark past the
+    // consumer's last (2-minute) rollup boundary so it closes too.
+    producer
+        .heartbeat("clicks", (MINUTES_DRIVEN + 2) * MINUTES)
+        .unwrap();
+
+    // Every producer window crosses the bridge: one per minute driven
+    // plus the two empty flush windows.
+    assert!(
+        bridge.wait_for_windows(MINUTES_DRIVEN as u64 + 2, Duration::from_secs(30)),
+        "only {} of {} windows applied",
+        bridge.windows_applied(),
+        MINUTES_DRIVEN + 2
+    );
+
+    // Healthy-link invariants: no drops, no failed applies, lag settled.
+    assert!(bridge.is_up());
+    assert_eq!(bridge.reconnects(), 0, "link dropped under soak load");
+    assert_eq!(bridge.apply_errors(), 0);
+    let lag_settled = |db: &Db| {
+        db.metrics_relation()
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::text("fed.lag"))
+            .map(|r| r[2] == Value::Int(0))
+            .unwrap_or(true)
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !lag_settled(&consumer) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fed.lag never settled"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // End-to-end conservation: every click is in exactly one rollup row.
+    // Rollup windows close every 2 minutes; the last one closed covers
+    // through the final heartbeat, so all clicks are archived.
+    let total = consumer
+        .execute("SELECT coalesce(sum(hits), 0) FROM url_total")
+        .unwrap()
+        .rows();
+    assert_eq!(
+        total.rows()[0][0],
+        Value::Int(MINUTES_DRIVEN * 60),
+        "clicks lost or duplicated across the bridge"
+    );
+
+    bridge.shutdown();
+    server.shutdown();
+}
